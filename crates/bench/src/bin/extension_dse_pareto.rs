@@ -1,0 +1,82 @@
+//! **Extension**: design-space exploration of the end-to-end core —
+//! pipelines × sampler micro-architecture × TableExp size — reporting the
+//! area/performance Pareto frontier.
+//!
+//! The paper evaluates four hand-picked versions (Table IV); a downstream
+//! adopter wants the frontier. Every point reuses the same calibrated
+//! area/cycle models, so the frontier is consistent with Tables III/IV.
+
+use coopmc_bench::{header, paper_note};
+use coopmc_hw::accel::{CoreConfig, PgDatapath};
+use coopmc_hw::area::SamplerKind;
+
+fn main() {
+    header("DSE", "area vs cycles/variable frontier for the 64-label MRF core");
+
+    let mut points = Vec::new();
+    for &pipelines in &[1usize, 2, 4, 8] {
+        for &sampler in &[SamplerKind::Sequential, SamplerKind::Tree, SamplerKind::PipeTree] {
+            for &(size, bits) in &[(64usize, 8u32), (1024, 32)] {
+                let cfg = CoreConfig {
+                    name: "dse",
+                    pg: PgDatapath::CoopMc { size_lut: size, bit_lut: bits },
+                    sampler,
+                    n_labels: 64,
+                    bits: 32,
+                    pipelines,
+                };
+                let r = cfg.evaluate();
+                points.push((
+                    format!("{}p/{}/lut{size}x{bits}", pipelines, sampler.name()),
+                    r.area.total(),
+                    r.cycles_per_variable,
+                ));
+            }
+            // the unoptimized PG datapath for contrast
+            let cfg = CoreConfig {
+                name: "dse",
+                pg: PgDatapath::Baseline32,
+                sampler,
+                n_labels: 64,
+                bits: 32,
+                pipelines,
+            };
+            let r = cfg.evaluate();
+            points.push((
+                format!("{}p/{}/baseline", pipelines, sampler.name()),
+                r.area.total(),
+                r.cycles_per_variable,
+            ));
+        }
+    }
+
+    // Pareto filter: a point survives if no other point is at least as good
+    // on both axes and better on one.
+    let pareto: Vec<bool> = points
+        .iter()
+        .map(|(_, a, c)| {
+            !points.iter().any(|(_, a2, c2)| {
+                (a2 <= a && c2 < c) || (a2 < a && c2 <= c)
+            })
+        })
+        .collect();
+
+    println!(
+        "{:<28} {:>12} {:>10} {:>8}",
+        "configuration", "area (um2)", "cyc/var", "pareto"
+    );
+    let mut sorted: Vec<usize> = (0..points.len()).collect();
+    sorted.sort_by(|&i, &j| points[i].1.partial_cmp(&points[j].1).unwrap());
+    for i in sorted {
+        let (name, area, cycles) = &points[i];
+        println!(
+            "{name:<28} {area:>12.0} {cycles:>10} {:>8}",
+            if pareto[i] { "*" } else { "" }
+        );
+    }
+    paper_note(
+        "Extension of Table IV. Expect every Pareto point to use the CoopMC \
+         PG datapath (the baseline PG is dominated), with the sampler choice \
+         and pipeline count trading area for cycles.",
+    );
+}

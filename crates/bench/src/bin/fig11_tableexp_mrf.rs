@@ -1,0 +1,53 @@
+//! Regenerates **Figure 11**: TableExp design-parameter sweep on all four
+//! MRF applications (converged normalized MSE; Float32 as reference).
+
+use coopmc_bench::{header, paper_note, seeds};
+use coopmc_core::experiments::{mrf_converged_nmse, mrf_golden};
+use coopmc_core::pipeline::PipelineConfig;
+use coopmc_models::mrf::{
+    image_restoration, image_segmentation, sound_source_separation, stereo_matching, MrfApp,
+};
+
+fn main() {
+    header("Figure 11", "TableExp parameter sweep on four MRF applications");
+    let apps: Vec<MrfApp> = vec![
+        image_restoration(40, 26, seeds::WORKLOAD),
+        stereo_matching(48, 32, seeds::WORKLOAD),
+        image_segmentation(50, 30, seeds::WORKLOAD),
+        sound_source_separation(40, 32, seeds::WORKLOAD),
+    ];
+    let sizes = [8usize, 16, 32, 64, 256];
+    let bits = [4u32, 8, 16];
+    let iters = 25u64;
+
+    for app in &apps {
+        let golden = mrf_golden(app, 60, seeds::GOLDEN);
+        println!("\n--- {} ---", app.name);
+        print!("{:<10}", "size_lut");
+        for b in bits {
+            print!("{:>10}", format!("{b}-bit"));
+        }
+        println!();
+        for size in sizes {
+            print!("{size:<10}");
+            for b in bits {
+                let nmse = mrf_converged_nmse(
+                    app,
+                    PipelineConfig::coopmc(size, b),
+                    iters,
+                    seeds::CHAIN,
+                    &golden,
+                );
+                print!("{nmse:>10.3}");
+            }
+            println!();
+        }
+        let float =
+            mrf_converged_nmse(app, PipelineConfig::float32(), iters, seeds::CHAIN, &golden);
+        println!("{:<10}{float:>10.3}  (reference)", "float32");
+    }
+    paper_note(
+        "Figure 11. Expect: size_lut >= 32 suffices on every application; \
+         #bit_lut has only a small effect (8 bits for full convergence speed).",
+    );
+}

@@ -1,0 +1,64 @@
+//! Regenerates **Figure 2**: exp-kernel bitwidth versus convergence on MRF
+//! stereo matching, with and without Dynamic Normalization.
+//!
+//! Left series: plain fixed-point exp kernels. Right series: the same
+//! kernels behind DyNorm. The paper's finding: <8 bits never converges
+//! without DyNorm; with DyNorm even 1 bit retains partial capability and
+//! 8 bits matches the 31-bit result.
+
+use coopmc_bench::{header, paper_note, seeds};
+use coopmc_core::experiments::{mrf_golden, mrf_trace};
+use coopmc_core::pipeline::PipelineConfig;
+use coopmc_models::mrf::stereo_matching;
+
+fn main() {
+    header("Figure 2", "precision tolerance of MRF stereo matching, +/- DyNorm");
+    let app = stereo_matching(48, 32, seeds::WORKLOAD);
+    let golden = mrf_golden(&app, 60, seeds::GOLDEN);
+    let iters = 30u64;
+    let bits_sweep = [1u32, 4, 8, 16, 31];
+    let checkpoints = [2u64, 5, 10, 20, 30];
+
+    for dynorm in [false, true] {
+        println!(
+            "\n--- {} ---",
+            if dynorm { "with DyNorm" } else { "without DyNorm (baseline)" }
+        );
+        print!("{:<12}", "bits");
+        for it in checkpoints {
+            print!("{:>9}", format!("it={it}"));
+        }
+        println!("  (normalized MSE, lower = better)");
+        let mut configs: Vec<(String, PipelineConfig)> = bits_sweep
+            .iter()
+            .map(|&b| {
+                let cfg = if dynorm {
+                    PipelineConfig::fixed_dynorm(b)
+                } else {
+                    PipelineConfig::fixed(b)
+                };
+                (format!("fixed-{b}"), cfg)
+            })
+            .collect();
+        configs.push(("float32".to_owned(), PipelineConfig::float32()));
+        for (name, cfg) in configs {
+            let trace = mrf_trace(&app, cfg, iters, seeds::CHAIN, &golden);
+            print!("{name:<12}");
+            for it in checkpoints {
+                let v = trace
+                    .samples()
+                    .iter()
+                    .find(|&&(i, _)| i == it)
+                    .map(|&(_, v)| v)
+                    .unwrap_or(f64::NAN);
+                print!("{v:>9.3}");
+            }
+            println!();
+        }
+    }
+    paper_note(
+        "Figure 2. Expect: without DyNorm, <=8-bit rows stay flat/high \
+         (uniform-sampling degeneracy); with DyNorm, 8-bit matches float32 \
+         and even 1-bit shows partial inference.",
+    );
+}

@@ -1,0 +1,57 @@
+//! Regenerates the **§IV-D roofline analysis**: per-variable memory traffic
+//! versus compute time for each core version, and whether a 32-bit SRAM
+//! interface keeps the accelerator compute-bound.
+
+use coopmc_bench::{header, paper_note};
+use coopmc_hw::accel::case_study_table;
+use coopmc_hw::roofline::{
+    roofline, READ_BITS_PER_VARIABLE, SRAM_POWER_MW, WRITE_BITS_PER_VARIABLE,
+};
+
+fn main() {
+    header("Roofline (§IV-D)", "memory-bandwidth feasibility of each core version");
+    println!(
+        "per-variable traffic: {} bits read + {} bits written",
+        READ_BITS_PER_VARIABLE, WRITE_BITS_PER_VARIABLE
+    );
+    println!(
+        "\n{:<12} {:>12} {:>18} {:>14} {:>10}",
+        "Version", "cycles/var", "threshold (b/cyc)", "SRAM (b/cyc)", "verdict"
+    );
+    for (report, _, _, _) in case_study_table() {
+        let r = roofline(report.cycles_per_variable);
+        println!(
+            "{:<12} {:>12} {:>18.1} {:>14.0} {:>10}",
+            report.config.name,
+            r.cycles_per_variable,
+            r.threshold_bits_per_cycle,
+            r.available_bits_per_cycle,
+            if r.compute_bound { "compute" } else { "MEMORY" }
+        );
+    }
+    println!("\n32-bit SRAM interface power (paper): {SRAM_POWER_MW} mW");
+
+    println!("\ninterface sweep for the fastest core (V_PG+TS):");
+    println!(
+        "{:<18} {:>12} {:>14} {:>10} {:>10}",
+        "interface", "bits/cycle", "mem cyc/var", "power mW", "verdict"
+    );
+    let fastest = case_study_table().last().unwrap().0.cycles_per_variable;
+    for (width, banks) in [(8u32, 1u32), (16, 1), (32, 1), (32, 2), (64, 2)] {
+        let sram = coopmc_hw::mem::SramConfig { width_bits: width, banks };
+        let sys = coopmc_hw::mem::system_throughput(fastest, sram);
+        println!(
+            "{:<18} {:>12.0} {:>14.1} {:>10.1} {:>10}",
+            format!("{width}-bit x{banks}"),
+            sram.bits_per_cycle(),
+            sys.memory_cycles,
+            sram.power_mw(),
+            if sys.compute_bound { "compute" } else { "MEMORY" }
+        );
+    }
+    paper_note(
+        "§IV-D. Paper: baseline threshold 15 bits/cycle, fully optimized 22 \
+         bits/cycle — both under the 32-bit SRAM roof, so the PG/SD \
+         optimizations translate directly to end-to-end speedup.",
+    );
+}

@@ -1,0 +1,35 @@
+//! Regenerates **Table I**: summary of the ten benchmark workloads.
+//!
+//! Prints both the paper-scale dimensions and the scaled synthetic
+//! configuration this repository builds for each workload.
+
+use coopmc_bench::{header, paper_note, seeds};
+use coopmc_models::workloads::{all_workloads, BuiltWorkload};
+use coopmc_models::GibbsModel;
+
+fn main() {
+    header("Table I", "summary of various benchmark workloads");
+    println!(
+        "{:<30} {:>12} {:>8} | {:>12} {:>8}",
+        "Workload", "#Variables", "#Labels", "scaled #vars", "#labels"
+    );
+    for spec in all_workloads() {
+        let built = spec.build(seeds::WORKLOAD);
+        let (vars, labels) = match &built {
+            BuiltWorkload::Mrf(app) => (app.mrf.num_variables(), app.mrf.num_labels(0)),
+            BuiltWorkload::Bn(net) => (
+                net.num_variables(),
+                (0..net.num_variables()).map(|v| net.num_labels(v)).max().unwrap(),
+            ),
+            BuiltWorkload::Lda(lda) => (lda.num_variables(), lda.n_topics()),
+        };
+        println!(
+            "{:<30} {:>12} {:>8} | {:>12} {:>8}",
+            spec.name, spec.paper_variables, spec.paper_labels, vars, labels
+        );
+    }
+    paper_note(
+        "Table I. Paper-scale corpora/images are replaced by synthetic \
+         generators with the same structure (DESIGN.md §2); BNs are full size.",
+    );
+}

@@ -1,0 +1,46 @@
+//! Regenerates **Table II**: runtime percentage breakdown (PG / SD / PU)
+//! of every workload, measured on this machine's software Gibbs engine with
+//! the vanilla float datapath and sequential sampler (the CPU baseline the
+//! paper profiles).
+
+use coopmc_bench::{header, paper_note, seeds};
+use coopmc_core::engine::GibbsEngine;
+use coopmc_core::pipeline::PipelineConfig;
+use coopmc_models::workloads::{all_workloads, BuiltWorkload};
+use coopmc_rng::SplitMix64;
+use coopmc_sampler::SequentialSampler;
+
+fn main() {
+    header("Table II", "runtime percentage breakdown of benchmark workloads");
+    println!(
+        "{:<30} {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7}",
+        "Workload", "PG%", "SD%", "PU%", "paper", "paper", "paper"
+    );
+    for spec in all_workloads() {
+        let mut engine = GibbsEngine::new(
+            PipelineConfig::float32().build(),
+            SequentialSampler::new(),
+            SplitMix64::new(seeds::CHAIN),
+        );
+        let iters = match spec.kind {
+            coopmc_models::workloads::ModelKind::Bn => 2000,
+            _ => 8,
+        };
+        let stats = match spec.build(seeds::WORKLOAD) {
+            BuiltWorkload::Mrf(mut app) => engine.run(&mut app.mrf, iters),
+            BuiltWorkload::Bn(mut net) => engine.run(&mut net, iters),
+            BuiltWorkload::Lda(mut lda) => engine.run(&mut lda, iters),
+        };
+        let (pg, sd, pu) = stats.breakdown_percent();
+        let (ppg, psd, ppu) = spec.paper_breakdown;
+        println!(
+            "{:<30} {:>6.1}% {:>6.1}% {:>6.1}% | {:>6.1}% {:>6.1}% {:>6.1}%",
+            spec.name, pg, sd, pu, ppg, psd, ppu
+        );
+    }
+    paper_note(
+        "Table II. Measured on this host's software engine; absolute splits \
+         differ from the paper's CPU, but PG+SD should dominate everywhere \
+         and PU should be small.",
+    );
+}

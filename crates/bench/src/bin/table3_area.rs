@@ -1,0 +1,46 @@
+//! Regenerates **Table III**: hardware area comparison between the 32-bit
+//! divider baseline, DyNorm+LogFusion, and DyNorm+LogFusion+TableExp.
+
+use coopmc_bench::{header, paper_note};
+use coopmc_hw::area::{pg_alu_area, PgAluDesign};
+
+fn main() {
+    header("Table III", "PG ALU area comparison (um2, calibrated 12nm model)");
+    let designs = [
+        ("Baseline (divider)", PgAluDesign::DividerBaseline { bits: 32 }),
+        ("DN+LF", PgAluDesign::DynormLogFusion { bits: 32, pipelines: 8 }),
+        (
+            "DN+LF+TE",
+            PgAluDesign::DynormLogFusionTableExp {
+                bits: 32,
+                pipelines: 8,
+                size_lut: 1024,
+                bit_lut: 32,
+            },
+        ),
+    ];
+    let baseline_total = pg_alu_area(designs[0].1).total();
+
+    println!(
+        "{:<20} {:>7} {:>7} {:>7} {:>7} {:>8} {:>10}",
+        "Type", "LOG", "ADD", "DN", "EXP", "Total", "Reduction"
+    );
+    for (name, design) in designs {
+        let a = pg_alu_area(design);
+        let get = |k: &str| a.component(k).map(|v| format!("{v:.0}")).unwrap_or("-".into());
+        println!(
+            "{:<20} {:>7} {:>7} {:>7} {:>7} {:>8.0} {:>9.2}x",
+            name,
+            get("LOG"),
+            get("ADD"),
+            get("DN"),
+            get("EXP"),
+            a.total(),
+            baseline_total / a.total()
+        );
+    }
+    paper_note(
+        "Table III. Paper: baseline 3831; DN+LF 1257 (3.05x); DN+LF+TE 507 \
+         (7.56x) with LOG 267, ADD 76, DN 84, EXP 830/80.",
+    );
+}

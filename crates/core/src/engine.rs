@@ -1,0 +1,237 @@
+//! The generic Gibbs inference engine with per-step instrumentation.
+
+use std::time::{Duration, Instant};
+
+use coopmc_kernels::cost::OpCounts;
+use coopmc_models::{GibbsModel, LabelScore};
+use coopmc_rng::HwRng;
+use coopmc_sampler::Sampler;
+
+use crate::pipeline::ProbabilityPipeline;
+
+/// Cumulative statistics of an engine run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Completed full sweeps.
+    pub iterations: u64,
+    /// Variables resampled (clamped variables are skipped).
+    pub updates: u64,
+    /// Wall time in Probability Generation.
+    pub pg_time: Duration,
+    /// Wall time in Sampling from Distribution.
+    pub sd_time: Duration,
+    /// Wall time in Parameter Update.
+    pub pu_time: Duration,
+    /// Datapath operation tally across the run.
+    pub ops: OpCounts,
+    /// Total sampler cycles (hardware model accounting).
+    pub sd_cycles: u64,
+    /// Total PG datapath cycles (operation tally priced at the per-op
+    /// latencies of `coopmc_kernels::cost`, serialized per shared ALU).
+    pub pg_cycles: u64,
+}
+
+impl RunStats {
+    /// Total simulated hardware cycles (PG + SD + a 4-cycle PU per update),
+    /// the per-workload analogue of the Table IV cycle accounting measured
+    /// on the actual executed chain rather than the closed-form model.
+    pub fn simulated_hw_cycles(&self) -> u64 {
+        self.pg_cycles + self.sd_cycles + 4 * self.updates
+    }
+
+    /// Runtime percentages `(PG%, SD%, PU%)` — the Table II breakdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no time was recorded.
+    pub fn breakdown_percent(&self) -> (f64, f64, f64) {
+        let total =
+            self.pg_time.as_secs_f64() + self.sd_time.as_secs_f64() + self.pu_time.as_secs_f64();
+        assert!(total > 0.0, "no time recorded");
+        (
+            100.0 * self.pg_time.as_secs_f64() / total,
+            100.0 * self.sd_time.as_secs_f64() / total,
+            100.0 * self.pu_time.as_secs_f64() / total,
+        )
+    }
+}
+
+/// Drives a [`GibbsModel`] through PG → SD → PU sweeps.
+#[derive(Debug, Clone)]
+pub struct GibbsEngine<P, S, R> {
+    pipeline: P,
+    sampler: S,
+    rng: R,
+    scores: Vec<LabelScore>,
+}
+
+impl<P: ProbabilityPipeline, S: Sampler, R: HwRng> GibbsEngine<P, S, R> {
+    /// Assemble an engine from a pipeline, a sampler and an RNG.
+    pub fn new(pipeline: P, sampler: S, rng: R) -> Self {
+        Self { pipeline, sampler, rng, scores: Vec::new() }
+    }
+
+    /// The pipeline.
+    pub fn pipeline(&self) -> &P {
+        &self.pipeline
+    }
+
+    /// Resample a single variable; returns its new label, or `None` if the
+    /// variable is clamped.
+    pub fn step(&mut self, model: &mut dyn GibbsModel, var: usize, stats: &mut RunStats) -> Option<usize> {
+        if model.is_clamped(var) {
+            return None;
+        }
+        let t0 = Instant::now();
+        model.begin_resample(var);
+        model.scores(var, &mut self.scores);
+        let pg = self.pipeline.generate(&self.scores);
+        let t1 = Instant::now();
+        let sample = self.sampler.sample(&pg.probs, &mut self.rng);
+        let t2 = Instant::now();
+        model.update(var, sample.label);
+        let t3 = Instant::now();
+
+        stats.pg_time += t1 - t0;
+        stats.sd_time += t2 - t1;
+        stats.pu_time += t3 - t2;
+        stats.pg_cycles += pg.ops.sequential_cycles();
+        stats.ops.merge(&pg.ops);
+        stats.sd_cycles += sample.cycles;
+        stats.updates += 1;
+        Some(sample.label)
+    }
+
+    /// One full sweep over every variable.
+    pub fn sweep(&mut self, model: &mut dyn GibbsModel, stats: &mut RunStats) {
+        for var in 0..model.num_variables() {
+            self.step(model, var, stats);
+        }
+        stats.iterations += 1;
+    }
+
+    /// Run `iterations` full sweeps.
+    pub fn run(&mut self, model: &mut dyn GibbsModel, iterations: u64) -> RunStats {
+        let mut stats = RunStats::default();
+        for _ in 0..iterations {
+            self.sweep(model, &mut stats);
+        }
+        stats
+    }
+
+    /// Run `iterations` sweeps, invoking `observer` after each with the
+    /// iteration index (1-based) and the model.
+    pub fn run_observed(
+        &mut self,
+        model: &mut dyn GibbsModel,
+        iterations: u64,
+        mut observer: impl FnMut(u64, &dyn GibbsModel),
+    ) -> RunStats {
+        let mut stats = RunStats::default();
+        for it in 1..=iterations {
+            self.sweep(model, &mut stats);
+            observer(it, model);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{FloatPipeline, PipelineConfig};
+    use coopmc_models::bn::asia;
+    use coopmc_models::mrf::image_segmentation;
+    use coopmc_models::GibbsModel;
+    use coopmc_rng::SplitMix64;
+    use coopmc_sampler::{SequentialSampler, TreeSampler};
+
+    #[test]
+    fn engine_runs_and_counts() {
+        let mut app = image_segmentation(12, 12, 3);
+        let mut engine =
+            GibbsEngine::new(FloatPipeline::new(), TreeSampler::new(), SplitMix64::new(1));
+        let stats = engine.run(&mut app.mrf, 3);
+        assert_eq!(stats.iterations, 3);
+        assert_eq!(stats.updates, 3 * 144);
+        assert!(stats.sd_cycles > 0);
+    }
+
+    #[test]
+    fn clamped_variables_are_skipped() {
+        let mut net = asia();
+        let d = net.node_index("dysp").unwrap();
+        net.set_evidence(d, 0);
+        let mut engine =
+            GibbsEngine::new(FloatPipeline::new(), SequentialSampler::new(), SplitMix64::new(2));
+        let stats = engine.run(&mut net, 10);
+        assert_eq!(stats.updates, 10 * 7, "evidence node must not be resampled");
+        assert_eq!(net.label(d), 0);
+    }
+
+    #[test]
+    fn breakdown_percentages_sum_to_100() {
+        let mut app = image_segmentation(10, 10, 4);
+        let mut engine = GibbsEngine::new(
+            PipelineConfig::coopmc(64, 8).build(),
+            TreeSampler::new(),
+            SplitMix64::new(3),
+        );
+        let stats = engine.run(&mut app.mrf, 2);
+        let (pg, sd, pu) = stats.breakdown_percent();
+        assert!((pg + sd + pu - 100.0).abs() < 1e-9);
+        assert!(pg > 0.0 && sd > 0.0);
+    }
+
+    #[test]
+    fn observer_sees_every_iteration() {
+        let mut app = image_segmentation(8, 8, 5);
+        let mut engine =
+            GibbsEngine::new(FloatPipeline::new(), TreeSampler::new(), SplitMix64::new(4));
+        let mut seen = Vec::new();
+        engine.run_observed(&mut app.mrf, 4, |it, _| seen.push(it));
+        assert_eq!(seen, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn gibbs_reduces_mrf_energy() {
+        let mut app = image_segmentation(16, 16, 6);
+        let before = app.mrf.energy();
+        let mut engine =
+            GibbsEngine::new(FloatPipeline::new(), TreeSampler::new(), SplitMix64::new(5));
+        engine.run(&mut app.mrf, 10);
+        let after = app.mrf.energy();
+        assert!(after < before, "energy must drop: {before} -> {after}");
+    }
+
+    #[test]
+    fn hardware_cycle_accounting_accumulates() {
+        let mut app = image_segmentation(10, 10, 8);
+        let mut engine = GibbsEngine::new(
+            PipelineConfig::coopmc(64, 8).build(),
+            TreeSampler::new(),
+            SplitMix64::new(6),
+        );
+        let stats = engine.run(&mut app.mrf, 2);
+        assert!(stats.pg_cycles > 0, "LUT/add ops must be priced");
+        // 2-label tree sampler: 5 cycles per draw.
+        assert_eq!(stats.sd_cycles, stats.updates * 5);
+        assert_eq!(
+            stats.simulated_hw_cycles(),
+            stats.pg_cycles + stats.sd_cycles + 4 * stats.updates
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut app = image_segmentation(10, 10, 7);
+            let mut engine =
+                GibbsEngine::new(FloatPipeline::new(), TreeSampler::new(), SplitMix64::new(seed));
+            engine.run(&mut app.mrf, 3);
+            app.mrf.labels()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

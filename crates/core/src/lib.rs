@@ -1,0 +1,43 @@
+//! The CoopMC inference core: Probability Generation pipelines and the
+//! generic Gibbs engine.
+//!
+//! This crate assembles the substrates into the paper's three-step flow
+//! (Fig. 1):
+//!
+//! 1. **PG** — a [`pipeline::ProbabilityPipeline`] turns a model's
+//!    [`coopmc_models::LabelScore`] vector into unnormalized probabilities.
+//!    Variants: float reference, plain fixed point (the "without DyNorm"
+//!    baseline of Fig. 2/10), and the full CoopMC datapath
+//!    (DyNorm + TableExp + LogFusion).
+//! 2. **SD** — any [`coopmc_sampler::Sampler`] draws the new label.
+//! 3. **PU** — the model commits the label.
+//!
+//! The [`engine::GibbsEngine`] drives any [`coopmc_models::GibbsModel`]
+//! through these steps with per-step instrumentation (the Table II runtime
+//! breakdown), and [`experiments`] holds the convergence-measurement
+//! helpers shared by the examples and the table/figure benches.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use coopmc_core::engine::GibbsEngine;
+//! use coopmc_core::pipeline::PipelineConfig;
+//! use coopmc_models::mrf::image_segmentation;
+//! use coopmc_rng::SplitMix64;
+//! use coopmc_sampler::TreeSampler;
+//!
+//! let mut app = image_segmentation(16, 16, 7);
+//! let pipeline = PipelineConfig::coopmc(64, 8).build();
+//! let mut engine = GibbsEngine::new(pipeline, TreeSampler::new(), SplitMix64::new(1));
+//! let stats = engine.run(&mut app.mrf, 5);
+//! assert_eq!(stats.iterations, 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod experiments;
+pub mod metropolis;
+pub mod parallel;
+pub mod pipeline;

@@ -1,0 +1,263 @@
+//! Parallel Gibbs scheduling: chromatic and Hogwild engines.
+//!
+//! Previous accelerators (paper references \[15\], \[16\]) parallelize the
+//! Parameter Update step with *chromatic* scheduling (sample a whole
+//! conditionally-independent color class concurrently) or *asynchronous*
+//! ("Hogwild!") updates that tolerate stale neighbour reads. CoopMC's PG/SD
+//! optimizations are orthogonal and compose with both — which this module
+//! demonstrates executably: both engines accept any
+//! [`ProbabilityPipeline`].
+//!
+//! The chromatic engine is **deterministic regardless of thread count**:
+//! every variable draw uses an RNG seeded by `(seed, iteration, variable)`,
+//! so a 1-thread and an 8-thread run produce identical chains — a strong
+//! correctness handle that the tests exploit.
+
+use coopmc_models::coloring::ChromaticModel;
+use coopmc_models::mrf::GridMrf;
+use coopmc_models::{GibbsModel, LabelScore};
+use coopmc_rng::SplitMix64;
+use coopmc_sampler::{Sampler, TreeSampler};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::pipeline::ProbabilityPipeline;
+
+/// Derive the per-variable RNG for a chromatic draw. SplitMix64's finalizer
+/// decorrelates the structured seeds.
+fn draw_rng(seed: u64, iteration: u64, var: usize) -> SplitMix64 {
+    let mut mixer = SplitMix64::new(
+        seed ^ iteration.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (var as u64).wrapping_mul(0xDEAD_BEEF_CAFE_F00D),
+    );
+    SplitMix64::new(mixer.derive())
+}
+
+/// Chromatic parallel Gibbs engine.
+#[derive(Debug, Clone)]
+pub struct ChromaticEngine<P> {
+    pipeline: P,
+    n_threads: usize,
+    seed: u64,
+}
+
+impl<P: ProbabilityPipeline + Sync> ChromaticEngine<P> {
+    /// Build an engine running `n_threads` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_threads == 0`.
+    pub fn new(pipeline: P, n_threads: usize, seed: u64) -> Self {
+        assert!(n_threads > 0, "need at least one thread");
+        Self { pipeline, n_threads, seed }
+    }
+
+    /// One full sweep: each color class is resampled concurrently from the
+    /// same snapshot, then committed before the next class starts.
+    ///
+    /// Returns the number of variables updated.
+    pub fn sweep<M: ChromaticModel + Sync>(&self, model: &mut M, iteration: u64) -> usize {
+        let classes = model.color_classes();
+        let mut updated = 0usize;
+        for class in classes {
+            let chunk = class.len().div_ceil(self.n_threads).max(1);
+            let results: Vec<(usize, usize)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = class
+                    .chunks(chunk)
+                    .map(|vars| {
+                        let model_ref: &M = &*model;
+                        let pipeline = &self.pipeline;
+                        let seed = self.seed;
+                        scope.spawn(move || {
+                            let sampler = TreeSampler::new();
+                            let mut scores: Vec<LabelScore> = Vec::new();
+                            let mut out = Vec::with_capacity(vars.len());
+                            for &var in vars {
+                                if model_ref.is_clamped(var) {
+                                    continue;
+                                }
+                                model_ref.scores(var, &mut scores);
+                                let pg = pipeline.generate(&scores);
+                                let mut rng = draw_rng(seed, iteration, var);
+                                let label = sampler.sample(&pg.probs, &mut rng).label;
+                                out.push((var, label));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+            });
+            updated += results.len();
+            for (var, label) in results {
+                model.update(var, label);
+            }
+        }
+        updated
+    }
+
+    /// Run `iterations` sweeps.
+    pub fn run<M: ChromaticModel + Sync>(&self, model: &mut M, iterations: u64) -> usize {
+        (0..iterations).map(|it| self.sweep(model, it)).sum()
+    }
+}
+
+/// Asynchronous ("Hogwild!") Gibbs sweeps over a grid MRF.
+///
+/// Worker threads own interleaved stripes of the grid and update shared
+/// atomic labels without any synchronisation barrier: neighbour reads may
+/// be one update stale, which is exactly the relaxation the paper's
+/// reference \[16\] exploits for near-linear PU scaling. Convergence is
+/// preserved in practice (and verified in the tests) because stale reads
+/// only perturb the chain, not its stationary tendency toward low energy.
+///
+/// Runs `sweeps` full passes and writes the final labels back into `mrf`.
+pub fn hogwild_mrf_sweeps<P: ProbabilityPipeline + Sync>(
+    mrf: &mut GridMrf,
+    pipeline: &P,
+    sweeps: u64,
+    n_threads: usize,
+    seed: u64,
+) {
+    assert!(n_threads > 0, "need at least one thread");
+    let shared: Vec<AtomicUsize> =
+        mrf.labels().into_iter().map(AtomicUsize::new).collect();
+    let n = shared.len();
+    let n_labels = mrf.num_labels(0);
+
+    std::thread::scope(|scope| {
+        for t in 0..n_threads {
+            let shared = &shared;
+            let mrf_ref: &GridMrf = &*mrf;
+            scope.spawn(move || {
+                let sampler = TreeSampler::new();
+                let mut probs_in: Vec<LabelScore> = Vec::with_capacity(n_labels);
+                for it in 0..sweeps {
+                    let mut var = t;
+                    while var < n {
+                        probs_in.clear();
+                        for l in 0..n_labels {
+                            let cost = mrf_ref.total_cost_at(var, l, |j| {
+                                shared[j].load(Ordering::Relaxed)
+                            });
+                            probs_in.push(LabelScore::LogDomain(-mrf_ref.beta() * cost));
+                        }
+                        let pg = pipeline.generate(&probs_in);
+                        let mut rng = draw_rng(seed ^ 0x5150, it, var);
+                        let label = sampler.sample(&pg.probs, &mut rng).label;
+                        shared[var].store(label, Ordering::Relaxed);
+                        var += n_threads;
+                    }
+                }
+            });
+        }
+    });
+
+    let labels: Vec<usize> = shared.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+    mrf.set_labels(labels);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::GibbsEngine;
+    use crate::pipeline::{CoopMcPipeline, FloatPipeline};
+    use coopmc_models::bn::earthquake;
+    use coopmc_models::mrf::image_segmentation;
+
+    #[test]
+    fn chromatic_is_deterministic_across_thread_counts() {
+        let run = |threads: usize| {
+            let mut app = image_segmentation(20, 16, 8);
+            let engine = ChromaticEngine::new(FloatPipeline::new(), threads, 77);
+            engine.run(&mut app.mrf, 5);
+            app.mrf.labels()
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(7));
+    }
+
+    #[test]
+    fn chromatic_reduces_energy_like_sequential() {
+        let mut app = image_segmentation(24, 24, 9);
+        let before = app.mrf.energy();
+        let engine = ChromaticEngine::new(CoopMcPipeline::new(64, 8), 4, 3);
+        engine.run(&mut app.mrf, 10);
+        let after = app.mrf.energy();
+        assert!(after < before, "chromatic sweeps must lower energy: {before} -> {after}");
+    }
+
+    #[test]
+    fn chromatic_updates_every_unclamped_variable() {
+        let mut net = earthquake();
+        net.set_evidence(2, 0);
+        let engine = ChromaticEngine::new(FloatPipeline::new(), 2, 5);
+        let updated = engine.sweep(&mut net, 0);
+        assert_eq!(updated, 4, "5 nodes minus 1 evidence");
+    }
+
+    #[test]
+    fn chromatic_and_sequential_reach_similar_quality() {
+        // Not bitwise-identical chains (different RNG usage), but the same
+        // stationary behaviour: compare final energies.
+        let app = image_segmentation(24, 20, 10);
+        let mut seq_model = app.mrf.clone();
+        let mut engine = GibbsEngine::new(
+            FloatPipeline::new(),
+            TreeSampler::new(),
+            SplitMix64::new(3),
+        );
+        engine.run(&mut seq_model, 15);
+        let mut par_model = app.mrf.clone();
+        let par = ChromaticEngine::new(FloatPipeline::new(), 4, 3);
+        par.run(&mut par_model, 15);
+        let e_seq = seq_model.energy();
+        let e_par = par_model.energy();
+        let rel = (e_seq - e_par).abs() / e_seq.abs().max(1.0);
+        assert!(rel < 0.1, "energies should agree within 10%: {e_seq} vs {e_par}");
+    }
+
+    #[test]
+    fn hogwild_converges_and_respects_label_range() {
+        let mut app = image_segmentation(24, 24, 11);
+        let before = app.mrf.energy();
+        hogwild_mrf_sweeps(&mut app.mrf, &FloatPipeline::new(), 10, 4, 9);
+        let after = app.mrf.energy();
+        assert!(after < before, "hogwild must lower energy: {before} -> {after}");
+        assert!(app.mrf.labels().iter().all(|&l| l < 2));
+    }
+
+    #[test]
+    fn hogwild_parallel_quality_stays_in_band() {
+        // Stale reads add sampling noise, so the parallel equilibrium is a
+        // little hotter than the single-threaded one — but both must land
+        // far below the initial energy and within the same band (the
+        // "minimal added bias" claim of the Hogwild literature the paper
+        // builds on).
+        let app = image_segmentation(20, 20, 12);
+        let initial = app.mrf.energy();
+        let mut one = app.mrf.clone();
+        hogwild_mrf_sweeps(&mut one, &FloatPipeline::new(), 12, 1, 4);
+        let mut eight = app.mrf.clone();
+        hogwild_mrf_sweeps(&mut eight, &FloatPipeline::new(), 12, 8, 4);
+        let e1 = one.energy();
+        let e8 = eight.energy();
+        assert!(e1 < 0.7 * initial, "1-thread must converge: {initial} -> {e1}");
+        assert!(e8 < 0.7 * initial, "8-thread must converge: {initial} -> {e8}");
+        let rel = (e1 - e8).abs() / e1.abs().max(1.0);
+        assert!(rel < 0.6, "equilibria should share a band: {e1} vs {e8}");
+    }
+
+    #[test]
+    fn hogwild_composes_with_coopmc_pipeline() {
+        let mut app = image_segmentation(20, 20, 13);
+        let before = app.mrf.energy();
+        hogwild_mrf_sweeps(&mut app.mrf, &CoopMcPipeline::new(64, 8), 10, 4, 5);
+        assert!(app.mrf.energy() < before);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let _ = ChromaticEngine::new(FloatPipeline::new(), 0, 1);
+    }
+}

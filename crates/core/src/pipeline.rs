@@ -1,0 +1,381 @@
+//! Probability Generation pipelines.
+//!
+//! A pipeline evaluates a vector of [`LabelScore`]s into unnormalized
+//! probabilities, modelling one of the paper's PG datapath variants. The
+//! configuration axes mirror §III: arithmetic precision, DyNorm on/off,
+//! exp-kernel implementation (approximation vs LUT), and direct vs
+//! log-domain (LogFusion) factor evaluation.
+
+use coopmc_fixed::{Fixed, QFormat, Rounding};
+use coopmc_kernels::cost::OpCounts;
+use coopmc_kernels::dynorm::dynorm_apply;
+use coopmc_kernels::exp::{ExpKernel, FixedExp, TableExp};
+use coopmc_kernels::fusion::{DirectDatapath, FactorExpr, LogFusion};
+use coopmc_kernels::log::TableLog;
+use coopmc_models::LabelScore;
+
+/// Output of one PG evaluation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PgOutput {
+    /// Unnormalized probabilities, one per label.
+    pub probs: Vec<f64>,
+    /// Primitive-operation tally.
+    pub ops: OpCounts,
+}
+
+/// A Probability Generation datapath.
+pub trait ProbabilityPipeline {
+    /// Evaluate the label scores into unnormalized probabilities.
+    fn generate(&self, scores: &[LabelScore]) -> PgOutput;
+
+    /// Short human-readable name for reports.
+    fn name(&self) -> String;
+}
+
+/// Full-precision float reference (the paper's "Float32" curves).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FloatPipeline;
+
+impl FloatPipeline {
+    /// Create the reference pipeline.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl ProbabilityPipeline for FloatPipeline {
+    fn generate(&self, scores: &[LabelScore]) -> PgOutput {
+        // Numerically stable reference: shift log-domain scores by their
+        // maximum before exponentiation (the mathematical identity DyNorm
+        // exploits — exact at float precision, Eq. 8).
+        let max_log = scores
+            .iter()
+            .filter_map(|s| match s {
+                LabelScore::LogDomain(v) => Some(*v),
+                _ => None,
+            })
+            .fold(f64::NEG_INFINITY, f64::max);
+        let probs = scores
+            .iter()
+            .map(|s| match s {
+                LabelScore::LogDomain(v) => (v - max_log).exp(),
+                factors => factors.reference_value(),
+            })
+            .collect();
+        PgOutput { probs, ops: OpCounts::new() }
+    }
+
+    fn name(&self) -> String {
+        "float32".to_owned()
+    }
+}
+
+/// Plain fixed-point datapath: the prior-accelerator baseline that Fig. 2
+/// and Fig. 10 show failing at low precision, with DyNorm optionally
+/// switched on to rescue it.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedPipeline {
+    exp: FixedExp,
+    fmt: QFormat,
+    direct: DirectDatapath,
+    dynorm: bool,
+}
+
+impl FixedPipeline {
+    /// A datapath with `frac_bits` fractional bits; `dynorm` selects whether
+    /// Dynamic Normalization precedes the exp kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac_bits` is 0 or wider than 46.
+    pub fn new(frac_bits: u32, dynorm: bool) -> Self {
+        assert!((1..=46).contains(&frac_bits), "frac_bits must be in 1..=46");
+        let fmt = QFormat::new(15, frac_bits).expect("valid datapath format");
+        Self { exp: FixedExp::new(frac_bits), fmt, direct: DirectDatapath::new(fmt), dynorm }
+    }
+
+    /// Fractional bits of the datapath.
+    pub fn frac_bits(&self) -> u32 {
+        self.fmt.frac_bits()
+    }
+}
+
+impl ProbabilityPipeline for FixedPipeline {
+    fn generate(&self, scores: &[LabelScore]) -> PgOutput {
+        let mut ops = OpCounts::new();
+        // Split evaluation: log-domain scores run through the exp ALU
+        // (optionally normalized); factor scores run the direct
+        // multiplier/divider datapath.
+        let mut log_scores: Vec<f64> = Vec::with_capacity(scores.len());
+        let mut is_log = true;
+        for s in scores {
+            match s {
+                LabelScore::LogDomain(v) => {
+                    log_scores.push(Fixed::from_f64(*v, self.fmt, Rounding::Nearest).to_f64())
+                }
+                LabelScore::Factors { .. } => {
+                    is_log = false;
+                    break;
+                }
+            }
+        }
+        if is_log && !scores.is_empty() {
+            if self.dynorm {
+                let report = dynorm_apply(&mut log_scores, 1);
+                ops.cmp += report.comparisons;
+                ops.add += log_scores.len() as u64;
+            }
+            let probs = log_scores
+                .iter()
+                .map(|&s| {
+                    ops.approx += 1;
+                    self.exp.exp(s)
+                })
+                .collect();
+            return PgOutput { probs, ops };
+        }
+        // Factor form: direct fixed-point multiply/divide.
+        let exprs: Vec<FactorExpr> = scores
+            .iter()
+            .map(|s| match s {
+                LabelScore::Factors { numerators, denominators } => {
+                    FactorExpr::ratio(numerators.clone(), denominators.clone())
+                }
+                LabelScore::LogDomain(v) => FactorExpr::product(vec![v.exp()]),
+            })
+            .collect();
+        let result = self.direct.evaluate_factors(&exprs);
+        PgOutput { probs: result.probs, ops: result.ops }
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "fixed{}{}",
+            self.fmt.frac_bits(),
+            if self.dynorm { "+dynorm" } else { "" }
+        )
+    }
+}
+
+/// The full CoopMC datapath: LogFusion + DyNorm + TableExp (with a TableLog
+/// for linear-domain factors).
+#[derive(Debug, Clone)]
+pub struct CoopMcPipeline {
+    fusion: LogFusion<TableLog, TableExp>,
+    size_lut: usize,
+    bit_lut: u32,
+}
+
+impl CoopMcPipeline {
+    /// Build the datapath with the given TableExp parameters; the TableLog
+    /// uses the same size/precision, and the log-domain accumulator bus is
+    /// the paper's Q15.16.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_lut == 0` or `bit_lut` is outside `1..=46`.
+    pub fn new(size_lut: usize, bit_lut: u32) -> Self {
+        Self::with_pipelines(size_lut, bit_lut, 4)
+    }
+
+    /// As [`CoopMcPipeline::new`] with an explicit parallel-pipeline count
+    /// for the shared NormTree.
+    pub fn with_pipelines(size_lut: usize, bit_lut: u32, pipelines: usize) -> Self {
+        let fusion = LogFusion::new(
+            TableLog::new(size_lut, bit_lut.min(46)),
+            TableExp::new(size_lut, bit_lut),
+            QFormat::baseline32(),
+            pipelines,
+        );
+        Self { fusion, size_lut, bit_lut }
+    }
+
+    /// TableExp entries.
+    pub fn size_lut(&self) -> usize {
+        self.size_lut
+    }
+
+    /// TableExp entry bits.
+    pub fn bit_lut(&self) -> u32 {
+        self.bit_lut
+    }
+}
+
+impl ProbabilityPipeline for CoopMcPipeline {
+    fn generate(&self, scores: &[LabelScore]) -> PgOutput {
+        let all_log = scores.iter().all(|s| matches!(s, LabelScore::LogDomain(_)));
+        let result = if all_log {
+            let log_scores: Vec<f64> = scores
+                .iter()
+                .map(|s| match s {
+                    LabelScore::LogDomain(v) => *v,
+                    _ => unreachable!(),
+                })
+                .collect();
+            self.fusion.evaluate_log_scores(&log_scores)
+        } else {
+            let exprs: Vec<FactorExpr> = scores
+                .iter()
+                .map(|s| match s {
+                    LabelScore::Factors { numerators, denominators } => {
+                        FactorExpr::ratio(numerators.clone(), denominators.clone())
+                    }
+                    LabelScore::LogDomain(v) => FactorExpr::product(vec![v.exp()]),
+                })
+                .collect();
+            self.fusion.evaluate_factors(&exprs)
+        };
+        PgOutput { probs: result.probs, ops: result.ops }
+    }
+
+    fn name(&self) -> String {
+        format!("coopmc-lut{}x{}", self.size_lut, self.bit_lut)
+    }
+}
+
+/// Named pipeline configurations used across examples, tests and benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineConfig {
+    /// Full-precision float reference.
+    Float32,
+    /// Plain fixed point with `frac_bits`, optionally with DyNorm.
+    Fixed {
+        /// Fractional bits of the datapath.
+        frac_bits: u32,
+        /// Whether DyNorm precedes the exp kernel.
+        dynorm: bool,
+    },
+    /// Full CoopMC datapath with the given TableExp parameters.
+    CoopMc {
+        /// TableExp entries.
+        size_lut: usize,
+        /// TableExp entry bits.
+        bit_lut: u32,
+    },
+}
+
+impl PipelineConfig {
+    /// The float reference configuration.
+    pub fn float32() -> Self {
+        PipelineConfig::Float32
+    }
+
+    /// Plain fixed point (no DyNorm) — the prior-art baseline.
+    pub fn fixed(frac_bits: u32) -> Self {
+        PipelineConfig::Fixed { frac_bits, dynorm: false }
+    }
+
+    /// Fixed point with DyNorm.
+    pub fn fixed_dynorm(frac_bits: u32) -> Self {
+        PipelineConfig::Fixed { frac_bits, dynorm: true }
+    }
+
+    /// The full CoopMC datapath.
+    pub fn coopmc(size_lut: usize, bit_lut: u32) -> Self {
+        PipelineConfig::CoopMc { size_lut, bit_lut }
+    }
+
+    /// Build the configured pipeline.
+    pub fn build(self) -> Box<dyn ProbabilityPipeline> {
+        match self {
+            PipelineConfig::Float32 => Box::new(FloatPipeline::new()),
+            PipelineConfig::Fixed { frac_bits, dynorm } => {
+                Box::new(FixedPipeline::new(frac_bits, dynorm))
+            }
+            PipelineConfig::CoopMc { size_lut, bit_lut } => {
+                Box::new(CoopMcPipeline::new(size_lut, bit_lut))
+            }
+        }
+    }
+}
+
+impl<P: ProbabilityPipeline + ?Sized> ProbabilityPipeline for Box<P> {
+    fn generate(&self, scores: &[LabelScore]) -> PgOutput {
+        (**self).generate(scores)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_scores(vals: &[f64]) -> Vec<LabelScore> {
+        vals.iter().map(|&v| LabelScore::LogDomain(v)).collect()
+    }
+
+    #[test]
+    fn float_pipeline_matches_softmax_ratios() {
+        let p = FloatPipeline::new();
+        let out = p.generate(&log_scores(&[-3.0, -1.0, -2.0]));
+        let r = out.probs[1] / out.probs[0];
+        assert!((r - (2.0f64).exp()).abs() < 1e-12);
+        assert_eq!(out.probs[1], 1.0, "max score maps to 1 after the stability shift");
+    }
+
+    #[test]
+    fn fixed_low_precision_without_dynorm_flushes() {
+        // The Fig. 2 failure mode: large negative scores, 4-bit exp kernel.
+        let p = FixedPipeline::new(4, false);
+        let out = p.generate(&log_scores(&[-20.0, -18.0, -19.0]));
+        assert!(out.probs.iter().all(|&x| x == 0.0), "{:?}", out.probs);
+    }
+
+    #[test]
+    fn fixed_low_precision_with_dynorm_recovers() {
+        let p = FixedPipeline::new(4, true);
+        let out = p.generate(&log_scores(&[-20.0, -18.0, -19.0]));
+        assert_eq!(out.probs[1], 1.0);
+        assert!(out.probs[0] < out.probs[2] && out.probs[2] < out.probs[1]);
+    }
+
+    #[test]
+    fn coopmc_pipeline_handles_both_score_forms() {
+        let p = CoopMcPipeline::new(128, 16);
+        let log_out = p.generate(&log_scores(&[-9.0, -8.0]));
+        assert_eq!(log_out.probs[1], 1.0);
+        let factor_out = p.generate(&[
+            LabelScore::Factors { numerators: vec![0.2, 0.5], denominators: vec![0.8] },
+            LabelScore::Factors { numerators: vec![0.4, 0.5], denominators: vec![0.8] },
+        ]);
+        assert!(factor_out.probs[1] > factor_out.probs[0]);
+    }
+
+    #[test]
+    fn config_builds_expected_variants() {
+        assert_eq!(PipelineConfig::float32().build().name(), "float32");
+        assert_eq!(PipelineConfig::fixed(8).build().name(), "fixed8");
+        assert_eq!(PipelineConfig::fixed_dynorm(8).build().name(), "fixed8+dynorm");
+        assert_eq!(PipelineConfig::coopmc(64, 8).build().name(), "coopmc-lut64x8");
+    }
+
+    #[test]
+    fn pipelines_agree_on_argmax_for_moderate_scores() {
+        let scores = log_scores(&[-4.0, -2.5, -3.1, -6.0]);
+        let argmax = |probs: &[f64]| {
+            probs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0
+        };
+        let f = FloatPipeline::new().generate(&scores);
+        let x = FixedPipeline::new(8, true).generate(&scores);
+        let c = CoopMcPipeline::new(64, 8).generate(&scores);
+        assert_eq!(argmax(&f.probs), 1);
+        assert_eq!(argmax(&x.probs), 1);
+        assert_eq!(argmax(&c.probs), 1);
+    }
+
+    #[test]
+    fn op_counts_reported_for_fixed_path() {
+        let p = FixedPipeline::new(8, true);
+        let out = p.generate(&log_scores(&[-1.0, -2.0, -3.0]));
+        assert_eq!(out.ops.approx, 3, "one exp ALU call per label");
+        assert!(out.ops.cmp > 0, "DyNorm comparators must be counted");
+    }
+}

@@ -1,0 +1,183 @@
+//! Fixed-point number formats.
+
+use std::fmt;
+
+/// Error returned when constructing an invalid [`QFormat`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FormatError {
+    int_bits: u32,
+    frac_bits: u32,
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid fixed-point format Q{}.{}: int_bits + frac_bits must be in 1..=62",
+            self.int_bits, self.frac_bits
+        )
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+/// Rounding mode applied when quantizing a real value onto the fixed-point
+/// grid.
+///
+/// Hardware datapaths typically truncate (drop low bits); round-to-nearest
+/// costs an extra adder. Both appear in the CoopMC datapath variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Rounding {
+    /// Round to the nearest representable value (ties away from zero).
+    #[default]
+    Nearest,
+    /// Round toward negative infinity (arithmetic shift right).
+    Floor,
+    /// Round toward zero (drop fractional bits of the magnitude).
+    Truncate,
+}
+
+/// A signed two's-complement fixed-point format `Q<int_bits>.<frac_bits>`.
+///
+/// The format has one implicit sign bit, `int_bits` integer bits and
+/// `frac_bits` fractional bits, for a total width of
+/// `1 + int_bits + frac_bits` bits. Representable values are
+/// `[-2^int_bits, 2^int_bits - 2^-frac_bits]` on a grid of `2^-frac_bits`.
+///
+/// `int_bits + frac_bits` must be in `1..=62` so raw values fit in an `i64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QFormat {
+    int_bits: u32,
+    frac_bits: u32,
+}
+
+impl QFormat {
+    /// Create a format with `int_bits` integer and `frac_bits` fractional
+    /// bits (plus an implicit sign bit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError`] if `int_bits + frac_bits` is 0 or exceeds 62.
+    pub fn new(int_bits: u32, frac_bits: u32) -> Result<Self, FormatError> {
+        let total = int_bits
+            .checked_add(frac_bits)
+            .ok_or(FormatError { int_bits, frac_bits })?;
+        if total == 0 || total > 62 {
+            return Err(FormatError { int_bits, frac_bits });
+        }
+        Ok(Self { int_bits, frac_bits })
+    }
+
+    /// The paper's 32-bit baseline datapath format: Q15.16
+    /// ("16 bits each, for the integer and fractional parts" plus sign).
+    pub fn baseline32() -> Self {
+        Self { int_bits: 15, frac_bits: 16 }
+    }
+
+    /// A probability format with `frac_bits` fractional bits and a single
+    /// integer bit, covering `[-2, 2)`: enough for DyNorm-normalized
+    /// probabilities, which live in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError`] if `frac_bits + 1` exceeds 62.
+    pub fn probability(frac_bits: u32) -> Result<Self, FormatError> {
+        Self::new(1, frac_bits)
+    }
+
+    /// Number of integer bits (excluding the sign bit).
+    pub fn int_bits(&self) -> u32 {
+        self.int_bits
+    }
+
+    /// Number of fractional bits.
+    pub fn frac_bits(&self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Total storage width in bits, including the sign bit.
+    pub fn total_bits(&self) -> u32 {
+        1 + self.int_bits + self.frac_bits
+    }
+
+    /// Smallest positive representable increment, `2^-frac_bits`.
+    pub fn resolution(&self) -> f64 {
+        1.0 / (1i64 << self.frac_bits) as f64
+    }
+
+    /// Largest representable value, `2^int_bits - 2^-frac_bits`.
+    pub fn max_value(&self) -> f64 {
+        self.max_raw() as f64 * self.resolution()
+    }
+
+    /// Smallest (most negative) representable value, `-2^int_bits`.
+    pub fn min_value(&self) -> f64 {
+        self.min_raw() as f64 * self.resolution()
+    }
+
+    /// Largest raw (integer) representation: `2^(int+frac) - 1`.
+    pub fn max_raw(&self) -> i64 {
+        (1i64 << (self.int_bits + self.frac_bits)) - 1
+    }
+
+    /// Smallest raw (integer) representation: `-2^(int+frac)`.
+    pub fn min_raw(&self) -> i64 {
+        -(1i64 << (self.int_bits + self.frac_bits))
+    }
+
+    /// Clamp a raw value into the representable range (hardware saturation).
+    pub fn saturate_raw(&self, raw: i128) -> i64 {
+        let max = self.max_raw() as i128;
+        let min = self.min_raw() as i128;
+        raw.clamp(min, max) as i64
+    }
+}
+
+impl fmt::Display for QFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}.{}", self.int_bits, self.frac_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_zero_and_oversized_formats() {
+        assert!(QFormat::new(0, 0).is_err());
+        assert!(QFormat::new(40, 30).is_err());
+        assert!(QFormat::new(31, 31).is_ok());
+        assert!(QFormat::new(0, 62).is_ok());
+    }
+
+    #[test]
+    fn range_matches_twos_complement() {
+        let q = QFormat::new(3, 2).unwrap(); // 6-bit: [-8, 7.75]
+        assert_eq!(q.total_bits(), 6);
+        assert_eq!(q.max_value(), 7.75);
+        assert_eq!(q.min_value(), -8.0);
+        assert_eq!(q.resolution(), 0.25);
+    }
+
+    #[test]
+    fn saturate_raw_clamps_both_ends() {
+        let q = QFormat::new(3, 2).unwrap();
+        assert_eq!(q.saturate_raw(1000), q.max_raw());
+        assert_eq!(q.saturate_raw(-1000), q.min_raw());
+        assert_eq!(q.saturate_raw(5), 5);
+    }
+
+    #[test]
+    fn baseline32_is_q15_16() {
+        let q = QFormat::baseline32();
+        assert_eq!(q.total_bits(), 32);
+        assert_eq!(q.frac_bits(), 16);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(QFormat::new(8, 8).unwrap().to_string(), "Q8.8");
+        assert!(!format!("{:?}", QFormat::baseline32()).is_empty());
+    }
+}

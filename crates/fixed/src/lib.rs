@@ -1,0 +1,152 @@
+//! Bit-true fixed-point arithmetic for modelling CoopMC accelerator datapaths.
+//!
+//! Every precision experiment in the CoopMC paper (HPCA 2022) reduces to the
+//! question *"what happens when this value flows through a `b`-bit fixed-point
+//! ALU?"*. This crate answers that question exactly: a [`Fixed`] value carries
+//! a runtime [`QFormat`] (integer/fraction bit split) and all arithmetic
+//! saturates and quantizes the way a signed two's-complement hardware datapath
+//! would.
+//!
+//! # Example
+//!
+//! ```
+//! use coopmc_fixed::{Fixed, QFormat, Rounding};
+//!
+//! # fn main() -> Result<(), coopmc_fixed::FormatError> {
+//! let q8_8 = QFormat::new(8, 8)?;
+//! let a = Fixed::from_f64(1.5, q8_8, Rounding::Nearest);
+//! let b = Fixed::from_f64(2.25, q8_8, Rounding::Nearest);
+//! assert_eq!((a + b).to_f64(), 3.75);
+//! // Values outside the representable range saturate instead of wrapping.
+//! let big = Fixed::from_f64(1.0e9, q8_8, Rounding::Nearest);
+//! assert_eq!(big.to_f64(), q8_8.max_value());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod format;
+mod value;
+
+pub use format::{FormatError, QFormat, Rounding};
+pub use value::Fixed;
+
+/// Quantize `x` to an unsigned value with `frac_bits` fractional bits,
+/// saturating into `[0, max_raw * 2^-frac_bits]`.
+///
+/// This is the quantization applied to read-only lookup-table entries
+/// (TableExp / TableLog ROM contents), which are unsigned by construction.
+/// Non-finite or negative inputs quantize to zero.
+///
+/// ```
+/// let q = coopmc_fixed::quantize_unsigned(0.625, 3, 7);
+/// assert_eq!(q, 0.625); // 5 / 8
+/// ```
+pub fn quantize_unsigned(x: f64, frac_bits: u32, max_raw: u64) -> f64 {
+    if !x.is_finite() || x <= 0.0 {
+        return 0.0;
+    }
+    let scale = (1u64 << frac_bits) as f64;
+    let raw = (x * scale).round() as u64;
+    let raw = raw.min(max_raw);
+    raw as f64 / scale
+}
+
+/// Absolute quantization step of an unsigned format with `frac_bits`
+/// fractional bits.
+pub fn unsigned_resolution(frac_bits: u32) -> f64 {
+    1.0 / (1u64 << frac_bits) as f64
+}
+
+/// Stochastically round `x` onto the grid of `fmt`: the value quantizes up
+/// or down with probability proportional to its distance from each
+/// neighbouring grid point, driven by `u ∈ [0, 1)`.
+///
+/// Stochastic rounding makes the quantizer *unbiased* —
+/// `E[quantize(x)] = x` for in-range inputs — which matters for
+/// accumulation-heavy MCMC datapaths (cf. the statistical-robustness
+/// analysis of reduced-precision accelerators the CoopMC paper builds on).
+///
+/// # Panics
+///
+/// Panics if `u` is outside `[0, 1)`.
+pub fn quantize_stochastic(x: f64, fmt: QFormat, u: f64) -> Fixed {
+    assert!((0.0..1.0).contains(&u), "u must be in [0, 1)");
+    if x.is_nan() {
+        return Fixed::zero(fmt);
+    }
+    let scaled = x / fmt.resolution();
+    let floor = scaled.floor();
+    let frac = scaled - floor;
+    let rounded = if u < frac { floor + 1.0 } else { floor };
+    Fixed::from_f64(rounded * fmt.resolution(), fmt, Rounding::Nearest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_unsigned_rounds_to_grid() {
+        assert_eq!(quantize_unsigned(0.5, 2, 15), 0.5);
+        assert_eq!(quantize_unsigned(0.55, 2, 15), 0.5);
+        assert_eq!(quantize_unsigned(0.65, 2, 15), 0.75);
+    }
+
+    #[test]
+    fn quantize_unsigned_saturates_at_max_raw() {
+        // max_raw = 3 with 2 frac bits => max value 0.75
+        assert_eq!(quantize_unsigned(10.0, 2, 3), 0.75);
+    }
+
+    #[test]
+    fn quantize_unsigned_clamps_negative_and_nan() {
+        assert_eq!(quantize_unsigned(-1.0, 4, 100), 0.0);
+        assert_eq!(quantize_unsigned(f64::NAN, 4, 100), 0.0);
+    }
+
+    #[test]
+    fn unsigned_resolution_is_power_of_two() {
+        assert_eq!(unsigned_resolution(0), 1.0);
+        assert_eq!(unsigned_resolution(3), 0.125);
+    }
+
+    #[test]
+    fn stochastic_rounding_picks_neighbouring_grid_points() {
+        let fmt = QFormat::new(4, 2).unwrap(); // grid 0.25
+        // x = 0.6 sits between 0.5 and 0.75 with frac 0.4.
+        assert_eq!(quantize_stochastic(0.6, fmt, 0.39).to_f64(), 0.75);
+        assert_eq!(quantize_stochastic(0.6, fmt, 0.41).to_f64(), 0.5);
+        // On-grid values never move.
+        assert_eq!(quantize_stochastic(0.5, fmt, 0.999).to_f64(), 0.5);
+    }
+
+    #[test]
+    fn stochastic_rounding_is_unbiased_in_expectation() {
+        let fmt = QFormat::new(4, 2).unwrap();
+        let x = 0.6;
+        let n = 10_000;
+        let mean: f64 = (0..n)
+            .map(|i| quantize_stochastic(x, fmt, (i as f64 + 0.5) / n as f64).to_f64())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - x).abs() < 1e-3, "mean {mean} should equal {x}");
+    }
+
+    #[test]
+    fn stochastic_rounding_handles_negatives_and_nan() {
+        let fmt = QFormat::new(4, 2).unwrap();
+        // -0.6: between -0.75 and -0.5, frac of scaled (-2.4) is 0.6.
+        assert_eq!(quantize_stochastic(-0.6, fmt, 0.59).to_f64(), -0.5);
+        assert_eq!(quantize_stochastic(-0.6, fmt, 0.61).to_f64(), -0.75);
+        assert!(quantize_stochastic(f64::NAN, fmt, 0.5).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "u must be in")]
+    fn stochastic_rounding_rejects_bad_u() {
+        let _ = quantize_stochastic(0.5, QFormat::new(4, 2).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the fixed-point substrate.
+
+use coopmc_fixed::{Fixed, QFormat, Rounding};
+use proptest::prelude::*;
+
+fn arb_format() -> impl Strategy<Value = QFormat> {
+    (0u32..=16, 0u32..=24)
+        .prop_filter("need at least one bit", |(i, f)| i + f > 0)
+        .prop_map(|(i, f)| QFormat::new(i, f).unwrap())
+}
+
+#[allow(dead_code)]
+fn arb_value(fmt: QFormat) -> impl Strategy<Value = Fixed> {
+    (fmt.min_raw()..=fmt.max_raw()).prop_map(move |raw| Fixed::from_raw(raw, fmt))
+}
+
+proptest! {
+    /// Quantizing any finite f64 lands inside the representable range.
+    #[test]
+    fn from_f64_stays_in_range(
+        fmt in arb_format(),
+        x in -1.0e12f64..1.0e12,
+        mode in prop_oneof![Just(Rounding::Nearest), Just(Rounding::Floor), Just(Rounding::Truncate)],
+    ) {
+        let v = Fixed::from_f64(x, fmt, mode);
+        prop_assert!(v.to_f64() <= fmt.max_value());
+        prop_assert!(v.to_f64() >= fmt.min_value());
+    }
+
+    /// Nearest-rounding error is bounded by half the resolution for
+    /// in-range inputs.
+    #[test]
+    fn nearest_error_bounded(fmt in arb_format(), frac in -0.999f64..0.999) {
+        let x = frac * fmt.max_value().min(1.0e9);
+        let err = Fixed::quantization_error(x, fmt, Rounding::Nearest);
+        prop_assert!(err <= fmt.resolution() / 2.0 + 1e-12, "err {err} > res/2");
+    }
+
+    /// Round-tripping a value already on the grid is lossless.
+    #[test]
+    fn grid_round_trip(fmt in arb_format(), raw in any::<i32>()) {
+        let fmt2 = fmt;
+        let raw = (raw as i64).clamp(fmt.min_raw(), fmt.max_raw());
+        let v = Fixed::from_raw(raw, fmt);
+        let back = Fixed::from_f64(v.to_f64(), fmt2, Rounding::Nearest);
+        prop_assert_eq!(v, back);
+    }
+
+    /// Addition is commutative and zero is its identity.
+    #[test]
+    fn add_commutative_with_identity(fmt in arb_format(), a_raw in any::<i32>(), b_raw in any::<i32>()) {
+        let a = Fixed::from_raw((a_raw as i64).clamp(fmt.min_raw(), fmt.max_raw()), fmt);
+        let b = Fixed::from_raw((b_raw as i64).clamp(fmt.min_raw(), fmt.max_raw()), fmt);
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a + Fixed::zero(fmt), a);
+    }
+
+    /// `x - x` is exactly zero and `x + (-x)` is zero unless negation
+    /// saturated (raw == min_raw).
+    #[test]
+    fn sub_self_is_zero(fmt in arb_format(), raw in any::<i32>()) {
+        let raw = (raw as i64).clamp(fmt.min_raw(), fmt.max_raw());
+        let x = Fixed::from_raw(raw, fmt);
+        prop_assert!((x - x).is_zero());
+        if raw != fmt.min_raw() {
+            prop_assert!((x + (-x)).is_zero());
+        }
+    }
+
+    /// Multiplication result never exceeds the exact real product
+    /// in magnitude by more than one resolution step (truncation bound),
+    /// for products that stay in range.
+    #[test]
+    fn mul_truncation_bound(fmt in arb_format(), a in -100i64..100, b in -100i64..100) {
+        prop_assume!(fmt.frac_bits() >= 2 && fmt.int_bits() >= 2);
+        let a = Fixed::from_raw(a.clamp(fmt.min_raw(), fmt.max_raw()), fmt);
+        let b = Fixed::from_raw(b.clamp(fmt.min_raw(), fmt.max_raw()), fmt);
+        let exact = a.to_f64() * b.to_f64();
+        prop_assume!(exact.abs() < fmt.max_value());
+        let got = (a * b).to_f64();
+        prop_assert!((exact - got).abs() <= fmt.resolution(), "exact {exact} got {got}");
+    }
+
+    /// Rescaling to a wider format and back is the identity.
+    #[test]
+    fn rescale_round_trip(raw in any::<i16>()) {
+        let narrow = QFormat::new(8, 4).unwrap();
+        let wide = QFormat::new(16, 16).unwrap();
+        let v = Fixed::from_raw((raw as i64).clamp(narrow.min_raw(), narrow.max_raw()), narrow);
+        let back = v.rescale(wide, Rounding::Nearest).rescale(narrow, Rounding::Nearest);
+        prop_assert_eq!(v, back);
+    }
+
+    /// Saturating ops agree with f64 reference arithmetic when the reference
+    /// result is exactly representable and in range.
+    #[test]
+    fn add_matches_reference_in_range(fmt in arb_format(), a in -1000i64..1000, b in -1000i64..1000) {
+        let a = Fixed::from_raw(a.clamp(fmt.min_raw(), fmt.max_raw()), fmt);
+        let b = Fixed::from_raw(b.clamp(fmt.min_raw(), fmt.max_raw()), fmt);
+        let exact = a.to_f64() + b.to_f64();
+        prop_assume!(exact <= fmt.max_value() && exact >= fmt.min_value());
+        prop_assert_eq!((a + b).to_f64(), exact);
+    }
+
+    /// Division followed by multiplication recovers the dividend to within
+    /// a couple of quantization steps (for well-conditioned operands).
+    #[test]
+    fn div_mul_round_trip(a in 1i64..500, b in 1i64..500) {
+        let fmt = QFormat::new(12, 12).unwrap();
+        let a = Fixed::from_raw(a << 12, fmt); // integer values
+        let b = Fixed::from_raw(b << 12, fmt);
+        let q = a / b;
+        let back = q * b;
+        let err = (back.to_f64() - a.to_f64()).abs();
+        // one step from the division truncation amplified by |b|
+        prop_assert!(err <= b.to_f64() * fmt.resolution() + fmt.resolution());
+    }
+}

@@ -1,0 +1,298 @@
+//! End-to-end accelerator core configurations — the §IV-D case study
+//! (Table IV).
+//!
+//! The case study benchmarks a 64-label MRF workload on an MCMC
+//! computational core in the spirit of the paper's references \[16\] and \[36\]:
+//! one PG pipeline plus a discrete sampler, streaming data costs. Four
+//! versions:
+//!
+//! - `V_Baseline` — 32-bit direct datapath (adders + multiplier + divider +
+//!   approximation-based exp) and a sequential sampler.
+//! - `V_PG` — DyNorm + TableExp + LogFusion in the PG step.
+//! - `V_TS` — baseline PG with the TreeSampler for SD.
+//! - `V_PG+TS` — all optimizations combined.
+
+use crate::area::{
+    add_area, cmp_area, div_area, dynorm_amortized_area, exp_approx_area, log_approx_area,
+    lut_area, mul_area, regfile_area, AreaBreakdown, SamplerKind, CORE_COMMON_UM2,
+    PRNG32_UM2, SAMPLER_CTRL_UM2,
+};
+use crate::cycles::{CoreTiming, PgTiming};
+use crate::power::{
+    PowerEstimate, ALPHA_ALU, ALPHA_COMMON, ALPHA_REG, ALPHA_ROM, ALPHA_TREE,
+};
+
+/// Number of additive factor accumulations per label for the 4-connected
+/// MRF of the case study (data cost + 4 smooth costs).
+pub const MRF_FACTOR_OPS: u64 = 5;
+
+/// PG datapath choice for a core version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PgDatapath {
+    /// 32-bit direct datapath with multiplier, divider and approx exp.
+    Baseline32,
+    /// DyNorm + LogFusion + TableExp (the `V_PG` datapath).
+    CoopMc {
+        /// TableExp entries.
+        size_lut: usize,
+        /// TableExp entry bits.
+        bit_lut: u32,
+    },
+}
+
+/// One end-to-end core configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreConfig {
+    /// Display name (e.g. `V_Baseline`).
+    pub name: &'static str,
+    /// PG datapath variant.
+    pub pg: PgDatapath,
+    /// Sampler micro-architecture.
+    pub sampler: SamplerKind,
+    /// Labels per random variable.
+    pub n_labels: usize,
+    /// Datapath width in bits.
+    pub bits: u32,
+    /// Parallel PG pipelines.
+    pub pipelines: usize,
+}
+
+/// A fully evaluated core version (one Table IV row).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreReport {
+    /// The configuration evaluated.
+    pub config: CoreConfig,
+    /// Logic area breakdown.
+    pub area: AreaBreakdown,
+    /// Activity-weighted power estimate.
+    pub power: PowerEstimate,
+    /// Stage timing.
+    pub timing: CoreTiming,
+    /// Steady-state cycles per variable.
+    pub cycles_per_variable: u64,
+}
+
+impl CoreConfig {
+    /// The four §IV-D versions at 64 labels, 32-bit, one PG pipeline.
+    pub fn case_study() -> [CoreConfig; 4] {
+        let lut = PgDatapath::CoopMc { size_lut: 1024, bit_lut: 32 };
+        [
+            CoreConfig {
+                name: "V_Baseline",
+                pg: PgDatapath::Baseline32,
+                sampler: SamplerKind::Sequential,
+                n_labels: 64,
+                bits: 32,
+                pipelines: 1,
+            },
+            CoreConfig {
+                name: "V_PG",
+                pg: lut,
+                sampler: SamplerKind::Sequential,
+                n_labels: 64,
+                bits: 32,
+                pipelines: 1,
+            },
+            CoreConfig {
+                name: "V_TS",
+                pg: PgDatapath::Baseline32,
+                sampler: SamplerKind::Tree,
+                n_labels: 64,
+                bits: 32,
+                pipelines: 1,
+            },
+            CoreConfig {
+                name: "V_PG+TS",
+                pg: lut,
+                sampler: SamplerKind::Tree,
+                n_labels: 64,
+                bits: 32,
+                pipelines: 1,
+            },
+        ]
+    }
+
+    /// PG ALU area components for this datapath (per core, all pipelines).
+    fn pg_components(&self) -> Vec<(&'static str, f64)> {
+        let p = self.pipelines as f64;
+        match self.pg {
+            PgDatapath::Baseline32 => vec![
+                ("PG.factor-adders", p * MRF_FACTOR_OPS as f64 * add_area(self.bits)),
+                ("PG.multiplier", p * mul_area(self.bits)),
+                ("PG.divider", p * div_area(self.bits)),
+                ("PG.exp-approx", p * exp_approx_area(self.bits)),
+            ],
+            PgDatapath::CoopMc { size_lut, bit_lut } => vec![
+                ("PG.log", p * log_approx_area(self.bits)),
+                ("PG.factor-adders", p * MRF_FACTOR_OPS as f64 * add_area(self.bits)),
+                ("PG.dynorm", p * dynorm_amortized_area(self.pipelines, self.bits)),
+                ("PG.table-exp", p * lut_area(size_lut, bit_lut)),
+            ],
+        }
+    }
+
+    /// Sampler logic components (the probability register is listed
+    /// separately because PG and SD share it).
+    fn sampler_components(&self) -> Vec<(&'static str, f64)> {
+        let padded = self.n_labels.next_power_of_two();
+        let threshold = mul_area(self.bits) + PRNG32_UM2;
+        match self.sampler {
+            SamplerKind::Sequential => vec![
+                ("SD.accumulator", add_area(self.bits)),
+                ("SD.comparator", cmp_area(self.bits)),
+                ("SD.threshold-gen", threshold),
+                ("SD.control", SAMPLER_CTRL_UM2),
+            ],
+            SamplerKind::Tree | SamplerKind::PipeTree => {
+                let mut v = vec![
+                    ("SD.tree-sum", (padded - 1) as f64 * add_area(self.bits)),
+                    (
+                        "SD.traverse-tree",
+                        (padded - 1) as f64 * (cmp_area(self.bits) + add_area(self.bits)),
+                    ),
+                    ("SD.threshold-gen", threshold),
+                    ("SD.control", SAMPLER_CTRL_UM2),
+                ];
+                if self.sampler == SamplerKind::PipeTree {
+                    v.push((
+                        "SD.pipeline-regs",
+                        regfile_area(2 * padded - 1, self.bits),
+                    ));
+                }
+                v
+            }
+        }
+    }
+
+    /// Evaluate area, power and timing.
+    pub fn evaluate(&self) -> CoreReport {
+        assert!(self.pipelines > 0, "pipeline count must be positive");
+        assert!(self.n_labels >= 2, "need at least two labels");
+
+        let mut components = self.pg_components();
+        components.push(("ProbReg", regfile_area(self.n_labels.next_power_of_two(), self.bits)));
+        components.extend(self.sampler_components());
+        components.push(("Common", CORE_COMMON_UM2));
+        let area = AreaBreakdown { components };
+
+        let mut power = PowerEstimate::new();
+        for (name, a) in &area.components {
+            let alpha = if name.starts_with("PG.table-exp") {
+                ALPHA_ROM
+            } else if *name == "ProbReg" || name.ends_with("pipeline-regs") {
+                ALPHA_REG
+            } else if name.starts_with("SD.tree") || name.starts_with("SD.traverse") {
+                ALPHA_TREE
+            } else if *name == "Common" {
+                ALPHA_COMMON
+            } else {
+                ALPHA_ALU
+            };
+            power.add(*a, alpha);
+        }
+
+        let pg_timing = match self.pg {
+            PgDatapath::Baseline32 => PgTiming::Baseline { pipelines: self.pipelines },
+            PgDatapath::CoopMc { .. } => PgTiming::CoopMc { pipelines: self.pipelines },
+        };
+        let mut timing = CoreTiming::new(pg_timing, self.sampler, self.n_labels, MRF_FACTOR_OPS);
+        // The CoopMC PG is two-phase; consecutive variables overlap the
+        // phases (phase 1 of variable i+1 runs during phase 2 of variable
+        // i), so the pipelined bottleneck sees half the PG latency.
+        if matches!(self.pg, PgDatapath::CoopMc { .. }) {
+            timing.pg = timing.pg.div_ceil(2);
+        }
+        let cycles_per_variable = timing.pipelined();
+
+        CoreReport { config: *self, area, power, timing, cycles_per_variable }
+    }
+}
+
+/// Evaluate the four case-study versions and report each relative to the
+/// baseline: `(report, area_ratio, power_ratio, speedup)`.
+pub fn case_study_table() -> Vec<(CoreReport, f64, f64, f64)> {
+    let configs = CoreConfig::case_study();
+    let reports: Vec<CoreReport> = configs.iter().map(|c| c.evaluate()).collect();
+    let base_area = reports[0].area.total();
+    let base_power = reports[0].power;
+    let base_cycles = reports[0].cycles_per_variable as f64;
+    reports
+        .into_iter()
+        .map(|r| {
+            let area_ratio = r.area.total() / base_area;
+            let power_ratio = r.power.relative_to(&base_power);
+            let speedup = base_cycles / r.cycles_per_variable as f64;
+            (r, area_ratio, power_ratio, speedup)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_total_matches_table4_anchor() {
+        let r = CoreConfig::case_study()[0].evaluate();
+        let total = r.area.total();
+        assert!(
+            (total - 14491.0).abs() < 50.0,
+            "V_Baseline area {total} should match the 14491 um2 anchor"
+        );
+    }
+
+    #[test]
+    fn v_pg_reduces_area_about_a_third() {
+        let rows = case_study_table();
+        let (_, area, power, _) = rows[1];
+        // Paper: 33% logic area reduction, 62% power reduction.
+        assert!((0.55..0.75).contains(&area), "V_PG area ratio {area}");
+        assert!(power < 0.7, "V_PG power ratio {power} must drop substantially");
+    }
+
+    #[test]
+    fn v_ts_spends_area_for_speed() {
+        let rows = case_study_table();
+        let (_, area, _, speedup) = rows[2];
+        // Paper: 177% area, 59% end-to-end cycle speedup.
+        assert!((1.6..2.0).contains(&area), "V_TS area ratio {area}");
+        assert!((1.4..1.8).contains(&speedup), "V_TS speedup {speedup}");
+    }
+
+    #[test]
+    fn v_pg_ts_best_of_both() {
+        let rows = case_study_table();
+        let (_, area_ts, _, _) = rows[2];
+        let (_, area, power, speedup) = rows[3];
+        // Paper: 137% area, +20% power, 1.53x speedup.
+        assert!(area < area_ts, "combined must be smaller than V_TS");
+        assert!((1.2..1.6).contains(&area), "V_PG+TS area ratio {area}");
+        assert!(speedup > 1.4, "V_PG+TS speedup {speedup}");
+        assert!(power < rows[2].2, "combined must burn less power than V_TS");
+    }
+
+    #[test]
+    fn speedup_of_baseline_is_one() {
+        let rows = case_study_table();
+        assert_eq!(rows[0].3, 1.0);
+        assert_eq!(rows[0].1, 1.0);
+        assert_eq!(rows[0].2, 1.0);
+    }
+
+    #[test]
+    fn area_breakdown_has_expected_components() {
+        let r = CoreConfig::case_study()[3].evaluate();
+        assert!(r.area.component("PG.table-exp").is_some());
+        assert!(r.area.component("SD.tree-sum").is_some());
+        assert!(r.area.component("PG.divider").is_none(), "LogFusion removes the divider");
+    }
+
+    #[test]
+    fn more_pipelines_speed_up_pg_bound_cores() {
+        let mut cfg = CoreConfig::case_study()[3];
+        let one = cfg.evaluate().cycles_per_variable;
+        cfg.pipelines = 4;
+        let four = cfg.evaluate().cycles_per_variable;
+        assert!(four < one, "PG-bound core must benefit from pipelines: {one} -> {four}");
+    }
+}

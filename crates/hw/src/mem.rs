@@ -1,0 +1,122 @@
+//! SRAM memory-system model.
+//!
+//! §IV-D closes the loop with the memory system: the case-study core reads
+//! 2072 bits and writes 6 bits per variable through a 32-bit SRAM consuming
+//! 8.8 mW. This module generalizes that accounting to arbitrary interface
+//! widths and bank counts so the roofline can be swept, and provides the
+//! combined compute/memory throughput of a core+memory pair.
+
+use crate::roofline::{READ_BITS_PER_VARIABLE, SRAM_POWER_MW, WRITE_BITS_PER_VARIABLE};
+
+/// An SRAM interface configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SramConfig {
+    /// Word width in bits.
+    pub width_bits: u32,
+    /// Independent banks (parallel words per cycle).
+    pub banks: u32,
+}
+
+impl SramConfig {
+    /// The paper's 32-bit single-bank interface.
+    pub fn paper_baseline() -> Self {
+        Self { width_bits: 32, banks: 1 }
+    }
+
+    /// Deliverable bits per cycle.
+    pub fn bits_per_cycle(&self) -> f64 {
+        (self.width_bits as u64 * self.banks as u64) as f64
+    }
+
+    /// Cycles to move one variable's traffic (reads + writes) through this
+    /// interface.
+    pub fn cycles_per_variable(&self) -> f64 {
+        (READ_BITS_PER_VARIABLE + WRITE_BITS_PER_VARIABLE) as f64 / self.bits_per_cycle()
+    }
+
+    /// Power estimate in mW, scaled linearly from the paper's 8.8 mW 32-bit
+    /// single-bank anchor (documented first-order assumption: access energy
+    /// per bit is constant across widths at this node).
+    pub fn power_mw(&self) -> f64 {
+        SRAM_POWER_MW * self.bits_per_cycle() / 32.0
+    }
+}
+
+/// Combined throughput of a compute core and a memory interface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemThroughput {
+    /// Compute cycles per variable.
+    pub compute_cycles: f64,
+    /// Memory cycles per variable.
+    pub memory_cycles: f64,
+    /// Effective cycles per variable (the binding constraint).
+    pub effective_cycles: f64,
+    /// True if compute binds (memory keeps up).
+    pub compute_bound: bool,
+}
+
+/// Evaluate a core running `compute_cycles_per_variable` against `sram`.
+///
+/// # Panics
+///
+/// Panics if `compute_cycles_per_variable == 0`.
+pub fn system_throughput(compute_cycles_per_variable: u64, sram: SramConfig) -> SystemThroughput {
+    assert!(compute_cycles_per_variable > 0, "compute cycles must be positive");
+    let compute = compute_cycles_per_variable as f64;
+    let memory = sram.cycles_per_variable();
+    SystemThroughput {
+        compute_cycles: compute,
+        memory_cycles: memory,
+        effective_cycles: compute.max(memory),
+        compute_bound: compute >= memory,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accel::case_study_table;
+
+    #[test]
+    fn paper_interface_moves_a_variable_in_65_cycles() {
+        let sram = SramConfig::paper_baseline();
+        // 2078 bits / 32 bits-per-cycle = 64.94 cycles.
+        assert!((sram.cycles_per_variable() - 64.94).abs() < 0.01);
+        assert_eq!(sram.power_mw(), SRAM_POWER_MW);
+    }
+
+    #[test]
+    fn banking_scales_bandwidth_linearly() {
+        let one = SramConfig { width_bits: 32, banks: 1 };
+        let four = SramConfig { width_bits: 32, banks: 4 };
+        assert_eq!(four.bits_per_cycle(), 4.0 * one.bits_per_cycle());
+        assert_eq!(four.cycles_per_variable(), one.cycles_per_variable() / 4.0);
+        assert_eq!(four.power_mw(), 4.0 * one.power_mw());
+    }
+
+    #[test]
+    fn case_study_cores_are_compute_bound_on_the_paper_interface() {
+        let sram = SramConfig::paper_baseline();
+        for (report, _, _, _) in case_study_table() {
+            let sys = system_throughput(report.cycles_per_variable, sram);
+            assert!(sys.compute_bound, "{} must be compute-bound", report.config.name);
+            assert_eq!(sys.effective_cycles, sys.compute_cycles);
+        }
+    }
+
+    #[test]
+    fn narrow_interfaces_become_the_bottleneck() {
+        // An 8-bit interface needs ~260 cycles/variable: slower than every
+        // core version, so memory binds.
+        let sram = SramConfig { width_bits: 8, banks: 1 };
+        let sys = system_throughput(71, sram);
+        assert!(!sys.compute_bound);
+        assert!(sys.effective_cycles > 200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_compute_panics() {
+        let _ = system_throughput(0, SramConfig::paper_baseline());
+    }
+}

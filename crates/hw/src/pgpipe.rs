@@ -1,0 +1,164 @@
+//! Cycle-accurate simulation of the Probability Generation pipeline
+//! schedule.
+//!
+//! The analytic formulas in [`crate::cycles`] summarize the PG stage cost in
+//! closed form; this module *simulates* the schedule cycle by cycle —
+//! per-lane issue, pipeline fill, the NormTree reduction barrier and the
+//! second (exp) pass of a DyNorm datapath — and the tests assert that the
+//! two models agree exactly. It also reports lane utilization, which the
+//! closed forms cannot express.
+
+use coopmc_kernels::cost::{ADD_CYCLES, EXP_APPROX_CYCLES, LUT_CYCLES, MUL_CYCLES};
+
+/// PG datapath variant to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipeKind {
+    /// Direct datapath: factor adds → β-multiply → approximation exp.
+    Baseline,
+    /// CoopMC datapath: factor adds + log LUT → NormTree barrier →
+    /// subtract + TableExp.
+    CoopMc,
+}
+
+/// Simulation input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipeSimConfig {
+    /// Datapath variant.
+    pub kind: PipeKind,
+    /// Parallel lanes.
+    pub pipelines: usize,
+    /// Labels per variable (work items per PG invocation).
+    pub n_labels: usize,
+    /// Additive factor accumulations per label.
+    pub factor_ops: u64,
+}
+
+/// Simulation output for one PG invocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipeSimReport {
+    /// Total cycles from first issue to last writeback.
+    pub cycles: u64,
+    /// Issue-slot occupancy: labels issued divided by the issue capacity
+    /// `lanes × cycles`. Fill/drain and the NormTree barrier show up as
+    /// lost slots.
+    pub utilization: f64,
+}
+
+/// Simulate one PG invocation.
+///
+/// # Panics
+///
+/// Panics if `pipelines == 0` or `n_labels == 0`.
+pub fn simulate(cfg: PipeSimConfig) -> PipeSimReport {
+    assert!(cfg.pipelines > 0, "need at least one lane");
+    assert!(cfg.n_labels > 0, "need at least one label");
+    let lanes = cfg.pipelines as u64;
+    let per_lane = cfg.n_labels.div_ceil(cfg.pipelines) as u64;
+
+    match cfg.kind {
+        PipeKind::Baseline => {
+            // Each lane issues one label per cycle (II = 1); a label's
+            // result appears `depth` cycles after issue.
+            let depth = cfg.factor_ops * ADD_CYCLES + MUL_CYCLES + EXP_APPROX_CYCLES;
+            let last_issue = per_lane - 1;
+            let cycles = last_issue + depth + 1;
+            let utilization = cfg.n_labels as f64 / (lanes * cycles) as f64;
+            PipeSimReport { cycles, utilization }
+        }
+        PipeKind::CoopMc => {
+            // Phase 1: score accumulation (adds + log LUT).
+            let depth1 = cfg.factor_ops * ADD_CYCLES + LUT_CYCLES;
+            let phase1_end = (per_lane - 1) + depth1 + 1;
+            // NormTree barrier across the lanes after the last score.
+            let norm = (cfg.pipelines.next_power_of_two().trailing_zeros() as u64).max(1) + 1;
+            // Phase 2: broadcast subtract + TableExp, streamed again.
+            let depth2 = ADD_CYCLES + LUT_CYCLES;
+            let phase2 = (per_lane - 1) + depth2 + 1;
+            let cycles = phase1_end + norm + phase2;
+            // Two issue passes over the label vector.
+            let utilization = 2.0 * cfg.n_labels as f64 / (lanes * cycles) as f64;
+            PipeSimReport { cycles, utilization }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycles::PgTiming;
+
+    #[test]
+    fn baseline_simulation_matches_analytic_model() {
+        for (n, p, f) in [(64usize, 1usize, 5u64), (64, 4, 5), (16, 2, 5), (128, 8, 3)] {
+            let sim = simulate(PipeSimConfig {
+                kind: PipeKind::Baseline,
+                pipelines: p,
+                n_labels: n,
+                factor_ops: f,
+            });
+            let analytic = PgTiming::Baseline { pipelines: p }.cycles(n, f);
+            assert_eq!(sim.cycles, analytic, "n={n} p={p} f={f}");
+        }
+    }
+
+    #[test]
+    fn coopmc_simulation_matches_analytic_model() {
+        for (n, p, f) in [(64usize, 1usize, 5u64), (64, 4, 5), (32, 8, 5), (128, 16, 3)] {
+            let sim = simulate(PipeSimConfig {
+                kind: PipeKind::CoopMc,
+                pipelines: p,
+                n_labels: n,
+                factor_ops: f,
+            });
+            let analytic = PgTiming::CoopMc { pipelines: p }.cycles(n, f);
+            assert_eq!(sim.cycles, analytic, "n={n} p={p} f={f}");
+        }
+    }
+
+    #[test]
+    fn utilization_improves_with_fewer_lanes() {
+        let at = |p: usize| {
+            simulate(PipeSimConfig {
+                kind: PipeKind::Baseline,
+                pipelines: p,
+                n_labels: 64,
+                factor_ops: 5,
+            })
+            .utilization
+        };
+        // With few labels per lane, the fill overhead dominates: 64 lanes
+        // processing 1 label each are mostly idle.
+        assert!(at(1) > at(16));
+        assert!(at(16) > at(64));
+        assert!(at(1) <= 1.0 && at(64) > 0.0);
+    }
+
+    #[test]
+    fn more_lanes_reduce_cycles_with_diminishing_returns() {
+        let cyc = |p: usize| {
+            simulate(PipeSimConfig {
+                kind: PipeKind::CoopMc,
+                pipelines: p,
+                n_labels: 64,
+                factor_ops: 5,
+            })
+            .cycles
+        };
+        assert!(cyc(2) < cyc(1));
+        assert!(cyc(8) < cyc(2));
+        let gain_1_2 = cyc(1) as f64 / cyc(2) as f64;
+        let gain_8_16 = cyc(8) as f64 / cyc(16) as f64;
+        assert!(gain_1_2 > gain_8_16, "speedup must saturate");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lanes_panics() {
+        let _ = simulate(PipeSimConfig {
+            kind: PipeKind::Baseline,
+            pipelines: 0,
+            n_labels: 4,
+            factor_ops: 1,
+        });
+    }
+}

@@ -1,0 +1,101 @@
+//! The §IV-D roofline analysis: is the optimized core compute-bound or
+//! memory-bound?
+//!
+//! The paper's accounting for the 64-label MRF with streamed data costs:
+//! computing one variable reads 2072 bits (data costs + neighbour labels)
+//! and writes 6 bits (the new label). The core is compute-limited as long
+//! as the memory system can move those bits within the per-variable compute
+//! time; the threshold bandwidth is therefore
+//! `bits_per_variable / cycles_per_variable`.
+
+/// Bits read per variable for the 64-label MRF case study (paper §IV-D).
+pub const READ_BITS_PER_VARIABLE: u64 = 2072;
+
+/// Bits written per variable (the 6-bit label for 64 labels).
+pub const WRITE_BITS_PER_VARIABLE: u64 = 6;
+
+/// A 32-bit single-port SRAM interface: bits deliverable per cycle.
+pub const SRAM_BITS_PER_CYCLE: f64 = 32.0;
+
+/// Power of the 32-bit SRAM interface quoted by the paper (mW).
+pub const SRAM_POWER_MW: f64 = 8.8;
+
+/// Result of a roofline feasibility check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RooflineReport {
+    /// Cycles the core spends computing one variable.
+    pub cycles_per_variable: u64,
+    /// Bandwidth needed to keep the core busy (bits/cycle).
+    pub threshold_bits_per_cycle: f64,
+    /// Bandwidth the modelled SRAM provides (bits/cycle).
+    pub available_bits_per_cycle: f64,
+    /// True if compute (not memory) limits throughput.
+    pub compute_bound: bool,
+}
+
+/// Evaluate the roofline for a core that takes `cycles_per_variable` cycles
+/// per variable.
+///
+/// # Panics
+///
+/// Panics if `cycles_per_variable == 0`.
+pub fn roofline(cycles_per_variable: u64) -> RooflineReport {
+    assert!(cycles_per_variable > 0, "cycles per variable must be positive");
+    let total_bits = (READ_BITS_PER_VARIABLE + WRITE_BITS_PER_VARIABLE) as f64;
+    let threshold = total_bits / cycles_per_variable as f64;
+    RooflineReport {
+        cycles_per_variable,
+        threshold_bits_per_cycle: threshold,
+        available_bits_per_cycle: SRAM_BITS_PER_CYCLE,
+        compute_bound: threshold <= SRAM_BITS_PER_CYCLE,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accel::case_study_table;
+
+    #[test]
+    fn paper_thresholds_reproduced() {
+        // Paper: baseline threshold 15 bits/cycle, optimized 22 bits/cycle.
+        // Those correspond to ~138 and ~94 cycles/variable respectively.
+        let base = roofline(138);
+        assert!((base.threshold_bits_per_cycle - 15.0).abs() < 1.0, "{base:?}");
+        let opt = roofline(94);
+        assert!((opt.threshold_bits_per_cycle - 22.0).abs() < 1.0, "{opt:?}");
+    }
+
+    #[test]
+    fn both_fit_under_32_bit_sram() {
+        // §IV-D: "easily achievable using 32-bit SRAM".
+        for cycles in [138u64, 94] {
+            assert!(roofline(cycles).compute_bound);
+        }
+    }
+
+    #[test]
+    fn modelled_cores_are_compute_bound() {
+        for (report, _, _, _) in case_study_table() {
+            let r = roofline(report.cycles_per_variable);
+            assert!(
+                r.compute_bound,
+                "{} must be compute-bound: {r:?}",
+                report.config.name
+            );
+        }
+    }
+
+    #[test]
+    fn faster_cores_need_more_bandwidth() {
+        let slow = roofline(200);
+        let fast = roofline(50);
+        assert!(fast.threshold_bits_per_cycle > slow.threshold_bits_per_cycle);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cycles_panics() {
+        let _ = roofline(0);
+    }
+}

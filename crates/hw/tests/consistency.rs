@@ -1,0 +1,125 @@
+//! Cross-layer consistency: the area model, the cycle model, the pipeline
+//! simulator and the end-to-end composition must tell one coherent story
+//! across the whole design space — not just at the calibrated points.
+
+use coopmc_hw::accel::{case_study_table, CoreConfig, PgDatapath};
+use coopmc_hw::area::{pg_alu_area, sampler_area, PgAluDesign, SamplerKind};
+use coopmc_hw::cycles::{sd_cycles, CoreTiming, PgTiming};
+use coopmc_hw::mem::{system_throughput, SramConfig};
+use coopmc_hw::pgpipe::{simulate, PipeKind, PipeSimConfig};
+use coopmc_hw::roofline::roofline;
+
+/// Area monotonicity: every sampler grows (weakly) with label count, and
+/// the PG ALU grows with LUT capacity.
+#[test]
+fn area_models_are_monotone() {
+    for kind in [SamplerKind::Sequential, SamplerKind::Tree, SamplerKind::PipeTree] {
+        let mut prev = 0.0;
+        for n in [2usize, 4, 8, 16, 32, 64, 128, 256] {
+            let a = sampler_area(kind, n, 32).total();
+            assert!(a >= prev, "{:?} shrank at n={n}", kind);
+            prev = a;
+        }
+    }
+    let mut prev = 0.0;
+    for size in [16usize, 64, 256, 1024, 4096] {
+        let a = pg_alu_area(PgAluDesign::DynormLogFusionTableExp {
+            bits: 32,
+            pipelines: 8,
+            size_lut: size,
+            bit_lut: 16,
+        })
+        .total();
+        assert!(a > prev);
+        prev = a;
+    }
+}
+
+/// The closed-form PG timing and the schedule simulator agree on every
+/// point of a broad sweep (not only the spot checks in the unit tests).
+#[test]
+fn analytic_and_simulated_pg_timing_agree_everywhere() {
+    for kind in [PipeKind::Baseline, PipeKind::CoopMc] {
+        for n_labels in [2usize, 3, 16, 17, 64, 100, 128] {
+            for pipelines in [1usize, 2, 3, 4, 8, 16] {
+                for factor_ops in [1u64, 3, 5, 9] {
+                    let sim = simulate(PipeSimConfig { kind, pipelines, n_labels, factor_ops });
+                    let analytic = match kind {
+                        PipeKind::Baseline => PgTiming::Baseline { pipelines },
+                        PipeKind::CoopMc => PgTiming::CoopMc { pipelines },
+                    }
+                    .cycles(n_labels, factor_ops);
+                    assert_eq!(
+                        sim.cycles, analytic,
+                        "kind={kind:?} n={n_labels} p={pipelines} f={factor_ops}"
+                    );
+                    assert!(sim.utilization > 0.0 && sim.utilization <= 1.0);
+                }
+            }
+        }
+    }
+}
+
+/// Composition sanity across a grid of core configurations: speedup and
+/// area move in opposite directions only along meaningful axes, and the
+/// pipelined timing never exceeds the sequential timing.
+#[test]
+fn core_configurations_behave_sanely() {
+    for &sampler in &[SamplerKind::Sequential, SamplerKind::Tree, SamplerKind::PipeTree] {
+        for &pipelines in &[1usize, 2, 4, 8] {
+            for &n_labels in &[4usize, 16, 64, 128] {
+                let cfg = CoreConfig {
+                    name: "grid",
+                    pg: PgDatapath::CoopMc { size_lut: 64, bit_lut: 8 },
+                    sampler,
+                    n_labels,
+                    bits: 32,
+                    pipelines,
+                };
+                let r = cfg.evaluate();
+                assert!(r.area.total() > 0.0);
+                assert!(r.timing.pipelined() <= r.timing.sequential());
+                assert_eq!(r.timing.sd, sd_cycles(sampler, n_labels));
+                // power estimate is positive and bounded by unweighted area
+                assert!(r.power.weighted_area > 0.0);
+                assert!(r.power.weighted_area <= r.area.total());
+            }
+        }
+    }
+}
+
+/// Roofline and memory-system agree on the compute/memory verdict for
+/// every case-study core and several interface widths.
+#[test]
+fn roofline_and_memory_model_agree() {
+    for (report, _, _, _) in case_study_table() {
+        let cycles = report.cycles_per_variable;
+        let r = roofline(cycles);
+        let sys = system_throughput(cycles, SramConfig::paper_baseline());
+        assert_eq!(r.compute_bound, sys.compute_bound, "{}", report.config.name);
+        // The threshold formulation and the cycle formulation are two views
+        // of the same inequality.
+        let threshold_view = r.threshold_bits_per_cycle <= 32.0;
+        let cycle_view = sys.memory_cycles <= sys.compute_cycles;
+        assert_eq!(threshold_view, cycle_view);
+    }
+}
+
+/// Adding PG pipelines never makes any core slower, and the speedup
+/// saturates once the sampler binds.
+#[test]
+fn pipeline_scaling_is_monotone_and_saturating() {
+    let timing = |p: usize| {
+        let mut t = CoreTiming::new(PgTiming::CoopMc { pipelines: p }, SamplerKind::Tree, 64, 5);
+        t.pg = t.pg.div_ceil(2);
+        t.pipelined()
+    };
+    let mut prev = u64::MAX;
+    for p in [1usize, 2, 4, 8, 16, 32] {
+        let c = timing(p);
+        assert!(c <= prev, "more pipelines slowed the core at p={p}");
+        prev = c;
+    }
+    // Saturation: beyond 8 pipelines the tree sampler + sync floor binds.
+    assert_eq!(timing(16), timing(32));
+}

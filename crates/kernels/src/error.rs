@@ -1,0 +1,114 @@
+//! Kernel output error measurement (paper Fig. 4).
+//!
+//! Figure 4 compares the output error of the approximation-based exp kernel
+//! against TableExp over the post-DyNorm input range `[-16, 0]`. These
+//! helpers sweep any [`ExpKernel`] against the float reference and summarize
+//! the error.
+
+use crate::exp::ExpKernel;
+
+/// One sample of a kernel-error sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorSample {
+    /// Kernel input.
+    pub x: f64,
+    /// Kernel output.
+    pub y: f64,
+    /// Absolute error versus `exp(x)`.
+    pub abs_error: f64,
+}
+
+/// Summary statistics of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorSummary {
+    /// Maximum absolute error over the sweep.
+    pub max_abs: f64,
+    /// Mean absolute error over the sweep.
+    pub mean_abs: f64,
+    /// Root-mean-square error over the sweep.
+    pub rms: f64,
+}
+
+/// Sweep `kernel` over `steps` evenly spaced inputs in `[lo, hi]`.
+///
+/// # Panics
+///
+/// Panics if `steps < 2` or `lo >= hi`.
+pub fn sweep_exp_error<E: ExpKernel>(kernel: &E, lo: f64, hi: f64, steps: usize) -> Vec<ErrorSample> {
+    assert!(steps >= 2, "need at least two sweep points");
+    assert!(lo < hi, "lo must be below hi");
+    (0..steps)
+        .map(|i| {
+            let x = lo + (hi - lo) * i as f64 / (steps - 1) as f64;
+            let y = kernel.exp(x);
+            ErrorSample { x, y, abs_error: (y - x.exp()).abs() }
+        })
+        .collect()
+}
+
+/// Summarize a sweep.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn summarize(samples: &[ErrorSample]) -> ErrorSummary {
+    assert!(!samples.is_empty(), "cannot summarize an empty sweep");
+    let n = samples.len() as f64;
+    let max_abs = samples.iter().map(|s| s.abs_error).fold(0.0, f64::max);
+    let mean_abs = samples.iter().map(|s| s.abs_error).sum::<f64>() / n;
+    let rms = (samples.iter().map(|s| s.abs_error * s.abs_error).sum::<f64>() / n).sqrt();
+    ErrorSummary { max_abs, mean_abs, rms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exp::{FixedExp, FloatExp, TableExp};
+
+    #[test]
+    fn float_kernel_has_zero_error() {
+        let sweep = sweep_exp_error(&FloatExp::new(), -16.0, 0.0, 101);
+        let s = summarize(&sweep);
+        assert_eq!(s.max_abs, 0.0);
+    }
+
+    #[test]
+    fn table_exp_error_bounded_by_step_and_quantization() {
+        // Fig. 4 configuration: size 1024, 32-bit entries.
+        let t = TableExp::new(1024, 32);
+        let s = summarize(&sweep_exp_error(&t, -16.0, 0.0, 4001));
+        // Worst case: derivative 1 at x=0 times the step (16/1024).
+        assert!(s.max_abs <= 16.0 / 1024.0 + 1e-9, "max {}", s.max_abs);
+        assert!(s.mean_abs < s.max_abs);
+    }
+
+    #[test]
+    fn smaller_tables_have_larger_error() {
+        let fine = summarize(&sweep_exp_error(&TableExp::new(1024, 32), -16.0, 0.0, 2001));
+        let coarse = summarize(&sweep_exp_error(&TableExp::new(32, 32), -16.0, 0.0, 2001));
+        assert!(coarse.max_abs > fine.max_abs);
+    }
+
+    #[test]
+    fn approx_kernel_beats_coarse_table_on_error() {
+        // The paper's point in Fig. 4: the approximation-based kernel is more
+        // accurate than TableExp — TableExp wins on *area*, not error.
+        let approx = summarize(&sweep_exp_error(&FixedExp::new(16), -16.0, 0.0, 2001));
+        let table = summarize(&sweep_exp_error(&TableExp::new(64, 16), -16.0, 0.0, 2001));
+        assert!(approx.rms < table.rms);
+    }
+
+    #[test]
+    fn rms_between_mean_and_max() {
+        let t = TableExp::new(128, 8);
+        let s = summarize(&sweep_exp_error(&t, -16.0, 0.0, 501));
+        assert!(s.mean_abs <= s.rms + 1e-15);
+        assert!(s.rms <= s.max_abs + 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_point_sweep_panics() {
+        let _ = sweep_exp_error(&FloatExp::new(), -1.0, 0.0, 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Fault injection for robustness studies.
+//!
+//! The paper's introduction motivates the co-design by the *robustness of
+//! the algorithm against noise or errors introduced* — reduced precision is
+//! one error source, but the same robustness argument covers transient
+//! hardware faults (SEU bit flips in the probability registers, stuck-at
+//! faults in a LUT column). This module makes those faults injectable so
+//! the claim can be measured (see the `extension_fault_injection` harness
+//! and the failure-injection tests).
+
+use coopmc_fixed::QFormat;
+use coopmc_rng::HwRng;
+
+/// A fault model applied to probability words in the ProbReg.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultModel {
+    /// Each stored word independently suffers a single random bit flip with
+    /// probability `rate` per read (transient single-event upsets).
+    BitFlip {
+        /// Per-word flip probability.
+        rate: f64,
+    },
+    /// One fixed bit position is stuck at 1 in every word (a hard fault in
+    /// a shared bus line or register column).
+    StuckAtOne {
+        /// The stuck bit index (0 = LSB of the fraction field).
+        bit: u32,
+    },
+    /// One fixed bit position is stuck at 0 in every word.
+    StuckAtZero {
+        /// The stuck bit index.
+        bit: u32,
+    },
+}
+
+/// Injects faults into probability vectors represented on a fixed-point
+/// grid of format `fmt`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultInjector {
+    model: FaultModel,
+    fmt: QFormat,
+}
+
+impl FaultInjector {
+    /// Build an injector for probabilities stored in format `fmt`.
+    pub fn new(model: FaultModel, fmt: QFormat) -> Self {
+        Self { model, fmt }
+    }
+
+    /// The configured fault model.
+    pub fn model(&self) -> FaultModel {
+        self.model
+    }
+
+    /// Corrupt one probability value; returns the faulty value.
+    ///
+    /// Values are clamped into the valid probability range `[0, max]`
+    /// after the raw-bit corruption, as the sampler's input latch would.
+    pub fn corrupt(&self, value: f64, rng: &mut dyn HwRng) -> f64 {
+        let raw = (value / self.fmt.resolution()).round() as i64;
+        let raw = raw.clamp(0, self.fmt.max_raw());
+        let width = self.fmt.total_bits() - 1; // magnitude bits
+        let faulty = match self.model {
+            FaultModel::BitFlip { rate } => {
+                if rng.next_f64() < rate {
+                    raw ^ (1i64 << rng.uniform_index(width as usize))
+                } else {
+                    raw
+                }
+            }
+            FaultModel::StuckAtOne { bit } => raw | (1i64 << bit.min(width - 1)),
+            FaultModel::StuckAtZero { bit } => raw & !(1i64 << bit.min(width - 1)),
+        };
+        faulty.clamp(0, self.fmt.max_raw()) as f64 * self.fmt.resolution()
+    }
+
+    /// Corrupt a whole probability vector in place; returns how many words
+    /// changed.
+    pub fn corrupt_vector(&self, probs: &mut [f64], rng: &mut dyn HwRng) -> usize {
+        let mut changed = 0;
+        for p in probs.iter_mut() {
+            let new = self.corrupt(*p, rng);
+            if new != *p {
+                changed += 1;
+                *p = new;
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coopmc_rng::SplitMix64;
+
+    fn fmt() -> QFormat {
+        QFormat::probability(16).unwrap()
+    }
+
+    #[test]
+    fn zero_rate_never_corrupts() {
+        let inj = FaultInjector::new(FaultModel::BitFlip { rate: 0.0 }, fmt());
+        let mut rng = SplitMix64::new(1);
+        let mut v = vec![0.25, 0.5, 1.0];
+        assert_eq!(inj.corrupt_vector(&mut v, &mut rng), 0);
+        assert_eq!(v, vec![0.25, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn rate_one_flips_about_one_bit_per_word() {
+        let inj = FaultInjector::new(FaultModel::BitFlip { rate: 1.0 }, fmt());
+        let mut rng = SplitMix64::new(2);
+        let mut changed = 0;
+        for _ in 0..200 {
+            let mut v = vec![0.5];
+            changed += inj.corrupt_vector(&mut v, &mut rng);
+        }
+        assert!(changed > 150, "rate-1 flips must usually change the word: {changed}");
+    }
+
+    #[test]
+    fn stuck_at_one_sets_the_bit() {
+        let inj = FaultInjector::new(FaultModel::StuckAtOne { bit: 0 }, fmt());
+        let mut rng = SplitMix64::new(3);
+        // 0.5 has LSB 0 in Q1.16: corruption adds one resolution step.
+        let res = fmt().resolution();
+        assert_eq!(inj.corrupt(0.5, &mut rng), 0.5 + res);
+        // A value with the bit already set is unchanged.
+        assert_eq!(inj.corrupt(0.5 + res, &mut rng), 0.5 + res);
+    }
+
+    #[test]
+    fn stuck_at_zero_clears_the_bit() {
+        let inj = FaultInjector::new(FaultModel::StuckAtZero { bit: 0 }, fmt());
+        let mut rng = SplitMix64::new(4);
+        let res = fmt().resolution();
+        assert_eq!(inj.corrupt(0.5 + res, &mut rng), 0.5);
+        assert_eq!(inj.corrupt(0.5, &mut rng), 0.5);
+    }
+
+    #[test]
+    fn corrupted_values_stay_in_valid_range() {
+        let inj = FaultInjector::new(FaultModel::BitFlip { rate: 1.0 }, fmt());
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..1000 {
+            let v = inj.corrupt(1.0, &mut rng);
+            assert!(v >= 0.0 && v <= fmt().max_value(), "escaped range: {v}");
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! Log-Domain Kernel Fusion (LogFusion) and the direct multiply/divide
+//! baseline datapath.
+//!
+//! LogFusion (paper §III-C, Eq. 11) evaluates
+//!
+//! ```text
+//!   Π a_i / Π b_j  =  exp( Σ log a_i  −  Σ log b_j )
+//! ```
+//!
+//! replacing `#num + #denom` multiplications/divisions with the same number
+//! of additions/subtractions, one log conversion per factor and one exp
+//! conversion per output — and, crucially, eliminating the divider from the
+//! PG datapath entirely. DyNorm sits between the accumulation and the exp
+//! kernel so the exp inputs are always in range.
+
+use coopmc_fixed::{Fixed, QFormat, Rounding};
+
+use crate::cost::OpCounts;
+use crate::dynorm::dynorm_apply;
+use crate::exp::ExpKernel;
+use crate::log::LogKernel;
+
+/// One element of a probability vector expressed as a product of linear
+/// domain factors divided by another product (Eq. 11's numerators `a_i` and
+/// denominators `b_j`).
+///
+/// A Bayesian-network label score is a product of CPT entries
+/// (denominator-free); an LDA label score is
+/// `(DT + α)(VT + β) / (ΣVT + βV)` — one denominator.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FactorExpr {
+    /// Linear-domain numerator factors `a_i`.
+    pub numerators: Vec<f64>,
+    /// Linear-domain denominator factors `b_j`.
+    pub denominators: Vec<f64>,
+}
+
+impl FactorExpr {
+    /// A score that is a plain product of `numerators`.
+    pub fn product(numerators: Vec<f64>) -> Self {
+        Self { numerators, denominators: Vec::new() }
+    }
+
+    /// A score with both numerator and denominator factors.
+    pub fn ratio(numerators: Vec<f64>, denominators: Vec<f64>) -> Self {
+        Self { numerators, denominators }
+    }
+
+    /// Exact real value of the expression (float reference).
+    pub fn reference_value(&self) -> f64 {
+        let num: f64 = self.numerators.iter().product();
+        let den: f64 = self.denominators.iter().product();
+        if den == 0.0 {
+            0.0
+        } else {
+            num / den
+        }
+    }
+}
+
+/// Result of evaluating a probability vector through a PG datapath.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PgResult {
+    /// Unnormalized probabilities, one per label.
+    pub probs: Vec<f64>,
+    /// Primitive-operation tally for the cycle/energy models.
+    pub ops: OpCounts,
+}
+
+/// The fused log-domain PG datapath: log kernels → fixed-point
+/// accumulation → DyNorm → exp kernel.
+#[derive(Debug, Clone)]
+pub struct LogFusion<L, E> {
+    log: L,
+    exp: E,
+    acc_fmt: QFormat,
+    pipelines: usize,
+    dynorm: bool,
+}
+
+impl<L: LogKernel, E: ExpKernel> LogFusion<L, E> {
+    /// Build a fused datapath.
+    ///
+    /// * `log`, `exp` — the conversion kernels (typically
+    ///   [`crate::log::TableLog`] and [`crate::exp::TableExp`]).
+    /// * `acc_fmt` — the fixed-point format of the log-domain accumulator
+    ///   bus (the paper's DN+LF design uses Q15.16).
+    /// * `pipelines` — number of parallel PG pipelines sharing the NormTree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pipelines == 0`.
+    pub fn new(log: L, exp: E, acc_fmt: QFormat, pipelines: usize) -> Self {
+        assert!(pipelines > 0, "pipeline count must be positive");
+        Self { log, exp, acc_fmt, pipelines, dynorm: true }
+    }
+
+    /// Disable DyNorm (used by the ablation showing LogFusion alone fails at
+    /// low precision — the co-dependence the paper's intro stresses).
+    pub fn without_dynorm(mut self) -> Self {
+        self.dynorm = false;
+        self
+    }
+
+    /// The log kernel.
+    pub fn log_kernel(&self) -> &L {
+        &self.log
+    }
+
+    /// The exp kernel.
+    pub fn exp_kernel(&self) -> &E {
+        &self.exp
+    }
+
+    /// Accumulator bus format.
+    pub fn accumulator_format(&self) -> QFormat {
+        self.acc_fmt
+    }
+
+    /// Evaluate a full label vector of factor expressions (Eq. 11).
+    pub fn evaluate_factors(&self, exprs: &[FactorExpr]) -> PgResult {
+        let mut ops = OpCounts::new();
+        let scores: Vec<f64> = exprs
+            .iter()
+            .map(|e| {
+                let mut acc = Fixed::zero(self.acc_fmt);
+                for &a in &e.numerators {
+                    ops.lut += 1;
+                    acc = acc + Fixed::from_f64(self.log.log(a), self.acc_fmt, Rounding::Nearest);
+                    ops.add += 1;
+                }
+                for &b in &e.denominators {
+                    ops.lut += 1;
+                    acc = acc - Fixed::from_f64(self.log.log(b), self.acc_fmt, Rounding::Nearest);
+                    ops.add += 1;
+                }
+                acc.to_f64()
+            })
+            .collect();
+        self.finish(scores, ops)
+    }
+
+    /// Evaluate a label vector whose scores are already in the log domain
+    /// (e.g. MRF energies `-β·TC`): skips the log kernels.
+    pub fn evaluate_log_scores(&self, scores: &[f64]) -> PgResult {
+        let quantized: Vec<f64> = scores
+            .iter()
+            .map(|&s| Fixed::from_f64(s, self.acc_fmt, Rounding::Nearest).to_f64())
+            .collect();
+        self.finish(quantized, OpCounts::new())
+    }
+
+    fn finish(&self, mut scores: Vec<f64>, mut ops: OpCounts) -> PgResult {
+        if scores.is_empty() {
+            return PgResult { probs: Vec::new(), ops };
+        }
+        if self.dynorm {
+            let report = dynorm_apply(&mut scores, self.pipelines);
+            ops.cmp += report.comparisons;
+            ops.add += scores.len() as u64; // the broadcast subtraction
+        }
+        let probs = scores
+            .iter()
+            .map(|&s| {
+                ops.lut += 1;
+                self.exp.exp(s)
+            })
+            .collect();
+        PgResult { probs, ops }
+    }
+}
+
+/// The direct (non-fused) baseline datapath: fixed-point multiplier and
+/// divider chains, as in previous accelerators.
+#[derive(Debug, Clone, Copy)]
+pub struct DirectDatapath {
+    fmt: QFormat,
+}
+
+impl DirectDatapath {
+    /// A direct datapath on a fixed-point bus of format `fmt`
+    /// (the paper's baseline is 32-bit, [`QFormat::baseline32`]).
+    pub fn new(fmt: QFormat) -> Self {
+        Self { fmt }
+    }
+
+    /// Bus format.
+    pub fn format(&self) -> QFormat {
+        self.fmt
+    }
+
+    /// Evaluate a label vector of factor expressions with explicit
+    /// multiply/divide sequences.
+    pub fn evaluate_factors(&self, exprs: &[FactorExpr]) -> PgResult {
+        let mut ops = OpCounts::new();
+        let probs = exprs
+            .iter()
+            .map(|e| {
+                let mut acc = Fixed::one(self.fmt);
+                for &a in &e.numerators {
+                    acc = acc * Fixed::from_f64(a, self.fmt, Rounding::Nearest);
+                    ops.mul += 1;
+                }
+                for &b in &e.denominators {
+                    acc = acc / Fixed::from_f64(b, self.fmt, Rounding::Nearest);
+                    ops.div += 1;
+                }
+                acc.to_f64().max(0.0)
+            })
+            .collect();
+        PgResult { probs, ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exp::{FloatExp, TableExp};
+    use crate::log::{FloatLog, TableLog};
+
+    fn acc() -> QFormat {
+        QFormat::baseline32()
+    }
+
+    #[test]
+    fn factor_expr_reference_value() {
+        let e = FactorExpr::ratio(vec![0.5, 0.4], vec![0.1]);
+        assert!((e.reference_value() - 2.0).abs() < 1e-12);
+        assert_eq!(FactorExpr::ratio(vec![1.0], vec![0.0]).reference_value(), 0.0);
+    }
+
+    #[test]
+    fn fused_float_kernels_match_reference_ratios() {
+        // With float log/exp kernels the fused result must match the direct
+        // ratio up to accumulator quantization.
+        let fusion = LogFusion::new(FloatLog::new(), FloatExp::new(), acc(), 4);
+        let exprs = vec![
+            FactorExpr::ratio(vec![0.5, 0.8], vec![0.9]),
+            FactorExpr::ratio(vec![0.3, 0.6], vec![0.9]),
+        ];
+        let result = fusion.evaluate_factors(&exprs);
+        // DyNorm rescales both by the same constant: ratios are preserved.
+        let got = result.probs[0] / result.probs[1];
+        let want = exprs[0].reference_value() / exprs[1].reference_value();
+        assert!((got - want).abs() / want < 1e-3, "got {got} want {want}");
+    }
+
+    #[test]
+    fn fused_lut_kernels_preserve_argmax_and_ordering() {
+        let fusion =
+            LogFusion::new(TableLog::new(128, 16), TableExp::new(128, 16), acc(), 4);
+        let exprs: Vec<FactorExpr> = [0.02, 0.5, 0.1, 0.31]
+            .iter()
+            .map(|&p| FactorExpr::product(vec![p, 0.7]))
+            .collect();
+        let result = fusion.evaluate_factors(&exprs);
+        let argmax = result
+            .probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(argmax, 1);
+        assert!(result.probs[3] > result.probs[2]);
+        assert!(result.probs[2] > result.probs[0]);
+    }
+
+    #[test]
+    fn dynorm_pins_best_label_at_one_through_table_exp() {
+        let fusion = LogFusion::new(TableLog::new(64, 8), TableExp::new(64, 8), acc(), 4);
+        // Tiny probabilities that would all flush to zero without DyNorm.
+        let exprs: Vec<FactorExpr> = [1e-6, 3e-6, 2e-6]
+            .iter()
+            .map(|&p| FactorExpr::product(vec![p]))
+            .collect();
+        let result = fusion.evaluate_factors(&exprs);
+        assert_eq!(result.probs[1], 1.0, "best label must map to exp(0) = 1");
+        assert!(result.probs.iter().all(|&p| p > 0.0), "{:?}", result.probs);
+    }
+
+    #[test]
+    fn without_dynorm_low_precision_flushes_everything() {
+        let fusion = LogFusion::new(TableLog::new(64, 8), TableExp::new(64, 8), acc(), 4)
+            .without_dynorm();
+        let exprs: Vec<FactorExpr> = [1e-6, 3e-6, 2e-6]
+            .iter()
+            .map(|&p| FactorExpr::product(vec![p]))
+            .collect();
+        let result = fusion.evaluate_factors(&exprs);
+        assert!(
+            result.probs.iter().all(|&p| p == 0.0),
+            "tiny probs must flush without DyNorm: {:?}",
+            result.probs
+        );
+    }
+
+    #[test]
+    fn log_scores_path_skips_log_kernels() {
+        let fusion = LogFusion::new(TableLog::new(64, 8), TableExp::new(64, 8), acc(), 2);
+        let result = fusion.evaluate_log_scores(&[-10.0, -9.0, -12.0]);
+        assert_eq!(result.probs[1], 1.0);
+        // one lut per exp, none per log
+        assert_eq!(result.ops.lut, 3);
+    }
+
+    #[test]
+    fn op_counts_match_factor_structure() {
+        let fusion = LogFusion::new(FloatLog::new(), FloatExp::new(), acc(), 1);
+        let exprs = vec![FactorExpr::ratio(vec![0.5, 0.5, 0.5], vec![0.25, 0.75])];
+        let r = fusion.evaluate_factors(&exprs);
+        // 5 log lookups + 1 exp lookup, 5 adds + 1 dynorm subtract
+        assert_eq!(r.ops.lut, 6);
+        assert_eq!(r.ops.add, 6);
+    }
+
+    #[test]
+    fn direct_datapath_matches_reference_for_benign_values() {
+        let direct = DirectDatapath::new(acc());
+        let exprs = vec![FactorExpr::ratio(vec![0.5, 0.5], vec![0.125])];
+        let r = direct.evaluate_factors(&exprs);
+        assert!((r.probs[0] - 2.0).abs() < 1e-3);
+        assert_eq!(r.ops.mul, 2);
+        assert_eq!(r.ops.div, 1);
+    }
+
+    #[test]
+    fn direct_datapath_underflows_on_long_products() {
+        // §III-C: long multiply sequences underflow in fixed point; this is
+        // what LogFusion fixes.
+        let direct = DirectDatapath::new(acc());
+        let exprs = vec![FactorExpr::product(vec![1e-3; 6])];
+        let r = direct.evaluate_factors(&exprs);
+        assert_eq!(r.probs[0], 0.0, "product of six 1e-3 must underflow Q15.16");
+        let fusion = LogFusion::new(FloatLog::new(), FloatExp::new(), acc(), 1);
+        let f = fusion.evaluate_factors(&exprs);
+        assert!(f.probs[0] > 0.0, "LogFusion+DyNorm must not underflow");
+    }
+
+    #[test]
+    fn zero_factor_yields_zero_probability() {
+        let fusion = LogFusion::new(TableLog::new(64, 8), TableExp::new(64, 8), acc(), 2);
+        let exprs = vec![
+            FactorExpr::product(vec![0.0, 0.5]),
+            FactorExpr::product(vec![0.5, 0.5]),
+        ];
+        let r = fusion.evaluate_factors(&exprs);
+        assert_eq!(r.probs[0], 0.0, "a zero factor must kill the label");
+        assert!(r.probs[1] > 0.0);
+    }
+
+    #[test]
+    fn empty_vector_is_empty() {
+        let fusion = LogFusion::new(FloatLog::new(), FloatExp::new(), acc(), 1);
+        assert!(fusion.evaluate_factors(&[]).probs.is_empty());
+        assert!(fusion.evaluate_log_scores(&[]).probs.is_empty());
+    }
+}

@@ -1,0 +1,45 @@
+//! CoopMC computational kernels: DyNorm, TableExp, LogFusion and the
+//! baseline datapaths they replace.
+//!
+//! The Probability Generation (PG) step of Gibbs-sampling accelerators needs
+//! exponentiation, logarithms, multiplication and division (paper §III). This
+//! crate models every datapath variant the paper compares, bit-true:
+//!
+//! - [`exp`] — the exponential kernels: float reference, the
+//!   approximation-based fixed-point baseline, and the paper's LUT-based
+//!   [`exp::TableExp`] (Eq. 10).
+//! - [`log`] — logarithm kernels used by LogFusion, including the LUT-based
+//!   [`log::TableLog`].
+//! - [`dynorm`] — Dynamic Normalization and the [`dynorm::NormTree`]
+//!   comparator tree that finds the running maximum (Fig. 3, Eq. 8–9).
+//! - [`fusion`] — [`fusion::LogFusion`], evaluating multiply/divide
+//!   sequences in the log domain (Eq. 11), and the direct multiply/divide
+//!   baseline datapath it replaces.
+//! - [`error`] — kernel output error measurement (Fig. 4).
+//! - [`cost`] — per-operation latency constants shared by the cycle models.
+//!
+//! # Example: an 8-bit TableExp behind DyNorm
+//!
+//! ```
+//! use coopmc_kernels::dynorm::dynorm_apply;
+//! use coopmc_kernels::exp::{ExpKernel, TableExp};
+//!
+//! let table = TableExp::new(64, 8);
+//! // Unnormalized log-domain scores (e.g. -beta * total cost in an MRF):
+//! let mut scores = vec![-20.5, -18.0, -19.25];
+//! let report = dynorm_apply(&mut scores, 1);
+//! assert_eq!(report.max, -18.0);
+//! // After DyNorm the best label maps to exp(0) = 1 regardless of precision.
+//! assert_eq!(table.exp(scores[1]), 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod dynorm;
+pub mod error;
+pub mod exp;
+pub mod faults;
+pub mod fusion;
+pub mod log;

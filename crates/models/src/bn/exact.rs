@@ -1,0 +1,271 @@
+//! Exact inference by variable elimination.
+//!
+//! For the 5–8 node benchmark networks, exact posteriors are cheap and make
+//! a strictly stronger golden reference than averaged Gibbs runs (see
+//! `DESIGN.md` §2). This module implements the textbook factor calculus:
+//! restrict by evidence, multiply, sum out.
+
+use super::BayesNet;
+
+/// A factor over a set of variables.
+#[derive(Debug, Clone, PartialEq)]
+struct Factor {
+    /// Variable indices, ascending.
+    vars: Vec<usize>,
+    /// Cardinalities aligned with `vars`.
+    cards: Vec<usize>,
+    /// Values in row-major order (first variable most significant).
+    table: Vec<f64>,
+}
+
+impl Factor {
+    /// Value at the given full assignment (indexed by global variable id).
+    fn value_at(&self, assignment: &[usize]) -> f64 {
+        let mut idx = 0usize;
+        for (v, c) in self.vars.iter().zip(&self.cards) {
+            idx = idx * c + assignment[*v];
+        }
+        self.table[idx]
+    }
+
+    /// Build from an explicit evaluation function over the factor's scope.
+    fn from_fn(
+        vars: Vec<usize>,
+        cards: Vec<usize>,
+        n_total_vars: usize,
+        f: impl Fn(&[usize]) -> f64,
+    ) -> Self {
+        let size: usize = cards.iter().product::<usize>().max(1);
+        let mut table = vec![0.0; size];
+        let mut assignment = vec![0usize; n_total_vars];
+        for (idx, slot) in table.iter_mut().enumerate() {
+            // Decode idx into the scope assignment (mixed radix).
+            let mut rem = idx;
+            for k in (0..vars.len()).rev() {
+                assignment[vars[k]] = rem % cards[k];
+                rem /= cards[k];
+            }
+            *slot = f(&assignment);
+        }
+        Self { vars, cards, table }
+    }
+
+    /// Multiply two factors.
+    fn multiply(&self, other: &Factor, n_total_vars: usize) -> Factor {
+        let mut vars = self.vars.clone();
+        let mut cards = self.cards.clone();
+        for (v, c) in other.vars.iter().zip(&other.cards) {
+            if !vars.contains(v) {
+                vars.push(*v);
+                cards.push(*c);
+            }
+        }
+        // keep ascending order for determinism
+        let mut paired: Vec<(usize, usize)> = vars.into_iter().zip(cards).collect();
+        paired.sort_unstable();
+        let (vars, cards): (Vec<_>, Vec<_>) = paired.into_iter().unzip();
+        let a = self.clone();
+        let b = other.clone();
+        Factor::from_fn(vars, cards, n_total_vars, move |asgn| {
+            a.value_at(asgn) * b.value_at(asgn)
+        })
+    }
+
+    /// Sum variable `var` out of the factor.
+    fn sum_out(&self, var: usize, n_total_vars: usize) -> Factor {
+        let pos = match self.vars.iter().position(|&v| v == var) {
+            Some(p) => p,
+            None => return self.clone(),
+        };
+        let card = self.cards[pos];
+        let mut vars = self.vars.clone();
+        let mut cards = self.cards.clone();
+        vars.remove(pos);
+        cards.remove(pos);
+        let src = self.clone();
+        Factor::from_fn(vars, cards, n_total_vars, move |asgn| {
+            let mut asgn = asgn.to_vec();
+            (0..card)
+                .map(|l| {
+                    asgn[var] = l;
+                    src.value_at(&asgn)
+                })
+                .sum()
+        })
+    }
+
+    /// Restrict `var = label`, dropping it from the scope.
+    fn restrict(&self, var: usize, label: usize, n_total_vars: usize) -> Factor {
+        let pos = match self.vars.iter().position(|&v| v == var) {
+            Some(p) => p,
+            None => return self.clone(),
+        };
+        let mut vars = self.vars.clone();
+        let mut cards = self.cards.clone();
+        vars.remove(pos);
+        cards.remove(pos);
+        let src = self.clone();
+        Factor::from_fn(vars, cards, n_total_vars, move |asgn| {
+            let mut asgn = asgn.to_vec();
+            asgn[var] = label;
+            src.value_at(&asgn)
+        })
+    }
+}
+
+/// Exact posterior `P(target | evidence)` by variable elimination.
+///
+/// Evidence is taken from `net`'s current evidence assignment.
+///
+/// # Panics
+///
+/// Panics if `target` is an evidence node or the evidence has probability
+/// zero.
+pub fn exact_marginal(net: &BayesNet, target: usize) -> Vec<f64> {
+    assert!(net.evidence()[target].is_none(), "target must not be evidence");
+    let n = net.nodes().len();
+
+    // One factor per CPT, restricted by evidence.
+    let mut factors: Vec<Factor> = net
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(i, node)| {
+            let mut vars: Vec<usize> = node.parents.clone();
+            vars.push(i);
+            let mut paired: Vec<(usize, usize)> =
+                vars.iter().map(|&v| (v, net.nodes()[v].card)).collect();
+            paired.sort_unstable();
+            let (vars, cards): (Vec<_>, Vec<_>) = paired.into_iter().unzip();
+            let node = node.clone();
+            let parent_cards: Vec<usize> =
+                node.parents.iter().map(|&p| net.nodes()[p].card).collect();
+            let parents = node.parents.clone();
+            let card = node.card;
+            Factor::from_fn(vars, cards, n, move |asgn| {
+                let mut combo = 0usize;
+                for (p, c) in parents.iter().zip(&parent_cards) {
+                    combo = combo * c + asgn[*p];
+                }
+                node.cpt[combo * card + asgn[i]]
+            })
+        })
+        .collect();
+
+    for (v, ev) in net.evidence().iter().enumerate() {
+        if let Some(label) = ev {
+            factors = factors.iter().map(|f| f.restrict(v, *label, n)).collect();
+        }
+    }
+
+    // Eliminate every hidden variable except the target, smallest-factor
+    // heuristic.
+    let hidden: Vec<usize> = (0..n)
+        .filter(|&v| v != target && net.evidence()[v].is_none())
+        .collect();
+    for v in hidden {
+        let (involved, rest): (Vec<Factor>, Vec<Factor>) =
+            factors.into_iter().partition(|f| f.vars.contains(&v));
+        let mut product = involved
+            .into_iter()
+            .reduce(|a, b| a.multiply(&b, n))
+            .unwrap_or(Factor { vars: vec![], cards: vec![], table: vec![1.0] });
+        product = product.sum_out(v, n);
+        factors = rest;
+        factors.push(product);
+    }
+
+    let joint = factors
+        .into_iter()
+        .reduce(|a, b| a.multiply(&b, n))
+        .expect("network has at least one factor");
+    // The remaining scope is exactly {target}.
+    let mut assignment = vec![0usize; n];
+    let card = net.nodes()[target].card;
+    let mut out = Vec::with_capacity(card);
+    for l in 0..card {
+        assignment[target] = l;
+        out.push(joint.value_at(&assignment));
+    }
+    let z: f64 = out.iter().sum();
+    assert!(z > 0.0, "evidence has probability zero");
+    out.iter().map(|p| p / z).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bn::Node;
+
+    fn chain() -> BayesNet {
+        BayesNet::new(vec![
+            Node { name: "A", card: 2, parents: vec![], cpt: vec![0.7, 0.3] },
+            Node { name: "B", card: 2, parents: vec![0], cpt: vec![0.9, 0.1, 0.2, 0.8] },
+        ])
+    }
+
+    #[test]
+    fn prior_marginal_of_root() {
+        let net = chain();
+        let m = exact_marginal(&net, 0);
+        assert!((m[0] - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prior_marginal_of_child() {
+        let net = chain();
+        // P(B=1) = 0.7*0.1 + 0.3*0.8 = 0.31
+        let m = exact_marginal(&net, 1);
+        assert!((m[1] - 0.31).abs() < 1e-12);
+    }
+
+    #[test]
+    fn posterior_with_evidence_bayes_rule() {
+        let mut net = chain();
+        net.set_evidence(1, 1);
+        // P(A=1 | B=1) = 0.3*0.8 / 0.31
+        let m = exact_marginal(&net, 0);
+        assert!((m[1] - 0.24 / 0.31).abs() < 1e-12);
+    }
+
+    #[test]
+    fn v_structure_explaining_away() {
+        // A, B independent causes; C = noisy-OR-ish child.
+        let mut net = BayesNet::new(vec![
+            Node { name: "A", card: 2, parents: vec![], cpt: vec![0.8, 0.2] },
+            Node { name: "B", card: 2, parents: vec![], cpt: vec![0.8, 0.2] },
+            Node {
+                name: "C",
+                card: 2,
+                parents: vec![0, 1],
+                // rows: (A=0,B=0), (A=0,B=1), (A=1,B=0), (A=1,B=1)
+                cpt: vec![0.99, 0.01, 0.2, 0.8, 0.2, 0.8, 0.05, 0.95],
+            },
+        ]);
+        net.set_evidence(2, 1);
+        let pa_given_c = exact_marginal(&net, 0)[1];
+        net.set_evidence(1, 1); // also observe B
+        let pa_given_cb = exact_marginal(&net, 0)[1];
+        assert!(
+            pa_given_cb < pa_given_c,
+            "observing B must explain away A: {pa_given_cb} !< {pa_given_c}"
+        );
+    }
+
+    #[test]
+    fn marginals_sum_to_one() {
+        let net = chain();
+        for v in 0..2 {
+            let m = exact_marginal(&net, v);
+            assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "target must not be evidence")]
+    fn evidence_target_panics() {
+        let mut net = chain();
+        net.set_evidence(0, 1);
+        let _ = exact_marginal(&net, 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Forward (prior) sampling and likelihood weighting for Bayesian networks.
+//!
+//! These are the classic sampling-based inference baselines that bracket
+//! Gibbs: forward sampling needs no evidence machinery, likelihood
+//! weighting handles evidence without a Markov chain. Together with the
+//! exact variable-elimination engine they give three independent inference
+//! routes through the same [`BayesNet`] — the cross-checks in the tests
+//! triangulate all of them.
+
+use coopmc_rng::HwRng;
+
+use super::BayesNet;
+
+/// Draw one full assignment from the prior (ancestral sampling).
+/// Evidence is ignored — this samples the unconditioned joint.
+pub fn forward_sample(net: &BayesNet, rng: &mut dyn HwRng) -> Vec<usize> {
+    let mut assignment = vec![0usize; net.nodes().len()];
+    for (i, node) in net.nodes().iter().enumerate() {
+        let mut combo = 0usize;
+        for &p in &node.parents {
+            combo = combo * net.nodes()[p].card + assignment[p];
+        }
+        let row = &node.cpt[combo * node.card..(combo + 1) * node.card];
+        let mut u = rng.next_f64();
+        let mut label = node.card - 1;
+        for (l, &p) in row.iter().enumerate() {
+            if u < p {
+                label = l;
+                break;
+            }
+            u -= p;
+        }
+        assignment[i] = label;
+    }
+    assignment
+}
+
+/// Estimate `P(target | evidence)` by likelihood weighting with `samples`
+/// draws: evidence nodes are clamped and contribute their CPT probability
+/// as a weight instead of being sampled.
+///
+/// # Panics
+///
+/// Panics if `target` is an evidence node or `samples == 0`.
+pub fn likelihood_weighting(
+    net: &BayesNet,
+    target: usize,
+    samples: u64,
+    rng: &mut dyn HwRng,
+) -> Vec<f64> {
+    assert!(net.evidence()[target].is_none(), "target must not be evidence");
+    assert!(samples > 0, "need at least one sample");
+    let mut weighted = vec![0.0; net.nodes()[target].card];
+    let mut total_weight = 0.0;
+    let mut assignment = vec![0usize; net.nodes().len()];
+    for _ in 0..samples {
+        let mut weight = 1.0;
+        for (i, node) in net.nodes().iter().enumerate() {
+            let mut combo = 0usize;
+            for &p in &node.parents {
+                combo = combo * net.nodes()[p].card + assignment[p];
+            }
+            let row = &node.cpt[combo * node.card..(combo + 1) * node.card];
+            if let Some(observed) = net.evidence()[i] {
+                assignment[i] = observed;
+                weight *= row[observed];
+            } else {
+                let mut u = rng.next_f64();
+                let mut label = node.card - 1;
+                for (l, &p) in row.iter().enumerate() {
+                    if u < p {
+                        label = l;
+                        break;
+                    }
+                    u -= p;
+                }
+                assignment[i] = label;
+            }
+        }
+        weighted[assignment[target]] += weight;
+        total_weight += weight;
+    }
+    assert!(total_weight > 0.0, "all samples had zero weight");
+    weighted.iter().map(|w| w / total_weight).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bn::{asia, earthquake, exact_marginal, sprinkler};
+    use coopmc_rng::SplitMix64;
+
+    #[test]
+    fn forward_sampling_matches_prior_marginals() {
+        let net = earthquake();
+        let mut rng = SplitMix64::new(5);
+        let n = 60_000;
+        let mut alarm_true = 0u64;
+        for _ in 0..n {
+            let a = forward_sample(&net, &mut rng);
+            alarm_true += u64::from(a[2] == 0);
+        }
+        let est = alarm_true as f64 / n as f64;
+        let exact = exact_marginal(&net, 2)[0];
+        assert!((est - exact).abs() < 0.005, "forward {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn likelihood_weighting_matches_exact_posterior() {
+        let mut net = earthquake();
+        let alarm = net.node_index("alarm").unwrap();
+        let burglary = net.node_index("burglary").unwrap();
+        net.set_evidence(alarm, 0);
+        let exact = exact_marginal(&net, burglary);
+        let mut rng = SplitMix64::new(7);
+        let lw = likelihood_weighting(&net, burglary, 200_000, &mut rng);
+        assert!((lw[0] - exact[0]).abs() < 0.02, "LW {lw:?} vs exact {exact:?}");
+    }
+
+    #[test]
+    fn three_inference_routes_agree_on_sprinkler() {
+        let mut net = sprinkler();
+        let w = net.node_index("wetgrass").unwrap();
+        let rain = net.node_index("rain").unwrap();
+        net.set_evidence(w, 0);
+        let exact = exact_marginal(&net, rain)[0];
+        let mut rng = SplitMix64::new(9);
+        let lw = likelihood_weighting(&net, rain, 120_000, &mut rng)[0];
+        assert!((lw - exact).abs() < 0.02, "LW {lw} vs exact {exact}");
+        // (Gibbs is triangulated against exact elsewhere; LW closing within
+        // tolerance means all three routes agree.)
+    }
+
+    #[test]
+    fn forward_samples_respect_cpt_support() {
+        // Asia's softened near-deterministic OR: either=yes must be very
+        // rare when both causes are absent in the sampled assignment.
+        let net = asia();
+        let mut rng = SplitMix64::new(11);
+        let mut violations = 0u64;
+        let mut cases = 0u64;
+        for _ in 0..30_000 {
+            let a = forward_sample(&net, &mut rng);
+            // tub = 1 (no), lung = 1 (no) -> either should be 1 (no)
+            if a[1] == 1 && a[3] == 1 {
+                cases += 1;
+                violations += u64::from(a[5] == 0);
+            }
+        }
+        assert!(cases > 10_000);
+        let rate = violations as f64 / cases as f64;
+        assert!(rate < 0.005, "soft-OR violation rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "target must not be evidence")]
+    fn lw_rejects_evidence_target() {
+        let mut net = earthquake();
+        net.set_evidence(0, 0);
+        let mut rng = SplitMix64::new(1);
+        let _ = likelihood_weighting(&net, 0, 10, &mut rng);
+    }
+}

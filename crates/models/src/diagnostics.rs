@@ -1,0 +1,307 @@
+//! Statistical robustness diagnostics for MCMC chains.
+//!
+//! The paper builds on Zhang et al.'s "Statistical Robustness of Markov
+//! Chain Monte Carlo Accelerators" (ASPLOS 2021, the paper's reference
+//! \[36\]), which defines *sampling quality*, *convergence diagnostics* and
+//! *goodness of fit* as the evaluation axes for reduced-precision MCMC
+//! hardware. This module implements the standard instruments on those axes
+//! so precision configurations can be compared like-for-like:
+//!
+//! - [`gelman_rubin`] — the potential scale reduction factor (R̂) across
+//!   parallel chains (convergence diagnostic).
+//! - [`effective_sample_size`] — autocorrelation-corrected sample count
+//!   (sampling quality).
+//! - [`total_variation`] — distance between an empirical label distribution
+//!   and a reference (goodness of fit).
+
+/// Potential scale reduction factor (Gelman–Rubin R̂) over `chains`, each a
+/// same-length series of a scalar statistic (e.g. model energy per sweep).
+///
+/// Values near 1.0 indicate the chains have mixed; classical practice
+/// flags R̂ > 1.1 as non-converged.
+///
+/// # Panics
+///
+/// Panics with fewer than 2 chains, chains shorter than 4 samples, or
+/// ragged lengths.
+pub fn gelman_rubin(chains: &[Vec<f64>]) -> f64 {
+    let m = chains.len();
+    assert!(m >= 2, "Gelman-Rubin needs at least two chains");
+    let n = chains[0].len();
+    assert!(n >= 4, "chains must have at least 4 samples");
+    assert!(chains.iter().all(|c| c.len() == n), "chains must share a length");
+
+    let chain_means: Vec<f64> =
+        chains.iter().map(|c| c.iter().sum::<f64>() / n as f64).collect();
+    let grand_mean = chain_means.iter().sum::<f64>() / m as f64;
+    // Between-chain variance.
+    let b = n as f64 / (m as f64 - 1.0)
+        * chain_means.iter().map(|&mu| (mu - grand_mean).powi(2)).sum::<f64>();
+    // Within-chain variance.
+    let w = chains
+        .iter()
+        .zip(&chain_means)
+        .map(|(c, &mu)| {
+            c.iter().map(|&x| (x - mu).powi(2)).sum::<f64>() / (n as f64 - 1.0)
+        })
+        .sum::<f64>()
+        / m as f64;
+    if w == 0.0 {
+        // All chains constant and identical (b == 0) is perfectly mixed;
+        // constant but different chains have not mixed at all.
+        return if b == 0.0 { 1.0 } else { f64::INFINITY };
+    }
+    let var_plus = (n as f64 - 1.0) / n as f64 * w + b / n as f64;
+    (var_plus / w).sqrt()
+}
+
+/// Effective sample size of a scalar series via the initial-positive-
+/// sequence autocorrelation estimator (Geyer).
+///
+/// # Panics
+///
+/// Panics on series shorter than 4 samples.
+pub fn effective_sample_size(series: &[f64]) -> f64 {
+    let n = series.len();
+    assert!(n >= 4, "series must have at least 4 samples");
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var = series.iter().map(|&x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    if var == 0.0 {
+        // A constant series carries one effective observation.
+        return 1.0;
+    }
+    let autocov = |lag: usize| -> f64 {
+        (0..n - lag)
+            .map(|i| (series[i] - mean) * (series[i + lag] - mean))
+            .sum::<f64>()
+            / n as f64
+    };
+    // Sum consecutive-pair autocorrelations while the pair sums stay
+    // positive (Geyer's initial positive sequence).
+    let mut rho_sum = 0.0;
+    let mut lag = 1usize;
+    while lag + 1 < n {
+        let pair = (autocov(lag) + autocov(lag + 1)) / var;
+        if pair <= 0.0 {
+            break;
+        }
+        rho_sum += pair;
+        lag += 2;
+    }
+    (n as f64 / (1.0 + 2.0 * rho_sum)).min(n as f64)
+}
+
+/// Lag-`k` autocorrelation of a scalar series.
+///
+/// # Panics
+///
+/// Panics if `lag >= series.len()` or the series is shorter than 2.
+pub fn autocorrelation(series: &[f64], lag: usize) -> f64 {
+    assert!(series.len() >= 2, "series too short");
+    assert!(lag < series.len(), "lag exceeds series length");
+    let n = series.len();
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var = series.iter().map(|&x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    if var == 0.0 {
+        return if lag == 0 { 1.0 } else { 0.0 };
+    }
+    (0..n - lag)
+        .map(|i| (series[i] - mean) * (series[i + lag] - mean))
+        .sum::<f64>()
+        / (n as f64 * var)
+}
+
+/// Thin a chain: keep every `stride`-th sample after dropping `burn_in`.
+///
+/// # Panics
+///
+/// Panics if `stride == 0`.
+pub fn thin(series: &[f64], burn_in: usize, stride: usize) -> Vec<f64> {
+    assert!(stride > 0, "stride must be positive");
+    series.iter().skip(burn_in).step_by(stride).copied().collect()
+}
+
+/// Geweke convergence z-score: compares the mean of the first `10%` of a
+/// chain against the last `50%`, normalized by their standard errors.
+/// |z| ≲ 2 indicates the chain start is compatible with its end (converged
+/// from the first sample's perspective).
+///
+/// # Panics
+///
+/// Panics on chains shorter than 20 samples.
+pub fn geweke_z(series: &[f64]) -> f64 {
+    assert!(series.len() >= 20, "Geweke needs at least 20 samples");
+    let head = &series[..series.len() / 10];
+    let tail = &series[series.len() / 2..];
+    let stats = |s: &[f64]| {
+        let n = s.len() as f64;
+        let mean = s.iter().sum::<f64>() / n;
+        let var = s.iter().map(|&x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        (mean, var / n)
+    };
+    let (m1, se1) = stats(head);
+    let (m2, se2) = stats(tail);
+    let denom = (se1 + se2).sqrt();
+    if denom == 0.0 {
+        0.0
+    } else {
+        (m1 - m2) / denom
+    }
+}
+
+/// Total variation distance between two distributions over the same label
+/// set: `0.5 * Σ |p_i − q_i|`, in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if the distributions differ in length or are empty.
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must share a support");
+    assert!(!p.is_empty(), "distributions must be non-empty");
+    0.5 * p.iter().zip(q).map(|(&a, &b)| (a - b).abs()).sum::<f64>()
+}
+
+/// Empirical label distribution of a sample series over `n_labels`.
+///
+/// # Panics
+///
+/// Panics if the series is empty or contains an out-of-range label.
+pub fn empirical_distribution(samples: &[usize], n_labels: usize) -> Vec<f64> {
+    assert!(!samples.is_empty(), "need at least one sample");
+    let mut counts = vec![0usize; n_labels];
+    for &s in samples {
+        assert!(s < n_labels, "label {s} out of range");
+        counts[s] += 1;
+    }
+    counts.into_iter().map(|c| c as f64 / samples.len() as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coopmc_rng::{HwRng, SplitMix64};
+
+    fn noise_chain(seed: u64, n: usize, offset: f64) -> Vec<f64> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| offset + rng.next_f64()).collect()
+    }
+
+    #[test]
+    fn rhat_near_one_for_identically_distributed_chains() {
+        let chains: Vec<Vec<f64>> = (0..4).map(|s| noise_chain(s, 500, 0.0)).collect();
+        let r = gelman_rubin(&chains);
+        assert!((r - 1.0).abs() < 0.05, "R-hat {r}");
+    }
+
+    #[test]
+    fn rhat_large_for_separated_chains() {
+        let chains = vec![noise_chain(1, 200, 0.0), noise_chain(2, 200, 10.0)];
+        let r = gelman_rubin(&chains);
+        assert!(r > 3.0, "separated chains must be flagged: {r}");
+    }
+
+    #[test]
+    fn rhat_constant_identical_chains_is_one() {
+        let chains = vec![vec![2.0; 10], vec![2.0; 10]];
+        assert_eq!(gelman_rubin(&chains), 1.0);
+    }
+
+    #[test]
+    fn ess_of_iid_series_is_near_n() {
+        let series = noise_chain(3, 1000, 0.0);
+        let ess = effective_sample_size(&series);
+        assert!(ess > 500.0, "iid ESS {ess} should approach n");
+    }
+
+    #[test]
+    fn ess_of_sticky_series_is_small() {
+        // A slowly mixing chain: long runs of repeated values.
+        let mut rng = SplitMix64::new(5);
+        let mut series = Vec::with_capacity(1000);
+        let mut x = 0.0;
+        for _ in 0..1000 {
+            if rng.next_f64() < 0.02 {
+                x = rng.next_f64() * 10.0;
+            }
+            series.push(x);
+        }
+        let ess = effective_sample_size(&series);
+        assert!(ess < 120.0, "sticky ESS {ess} must be far below n");
+    }
+
+    #[test]
+    fn ess_is_capped_at_n() {
+        // Strong negative autocorrelation would push the naive formula
+        // above n; the estimator caps it.
+        let series: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!(effective_sample_size(&series) <= 100.0);
+    }
+
+    #[test]
+    fn total_variation_bounds_and_symmetry() {
+        let p = [0.5, 0.5];
+        let q = [1.0, 0.0];
+        assert_eq!(total_variation(&p, &q), 0.5);
+        assert_eq!(total_variation(&q, &p), 0.5);
+        assert_eq!(total_variation(&p, &p), 0.0);
+        assert_eq!(total_variation(&[1.0, 0.0], &[0.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn empirical_distribution_counts() {
+        let d = empirical_distribution(&[0, 1, 1, 3], 4);
+        assert_eq!(d, vec![0.25, 0.5, 0.0, 0.25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two chains")]
+    fn rhat_single_chain_panics() {
+        let _ = gelman_rubin(&[vec![0.0; 10]]);
+    }
+
+    #[test]
+    fn autocorrelation_basics() {
+        let iid = noise_chain(7, 2000, 0.0);
+        assert!((autocorrelation(&iid, 0) - 1.0).abs() < 1e-12);
+        assert!(autocorrelation(&iid, 1).abs() < 0.1, "iid lag-1 must be small");
+        // A perfectly alternating series has lag-1 autocorrelation ~ -1.
+        let alt: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!(autocorrelation(&alt, 1) < -0.9);
+        assert!(autocorrelation(&alt, 2) > 0.9);
+    }
+
+    #[test]
+    fn thinning_reduces_autocorrelation() {
+        // A random-walk-ish chain: heavy lag-1 correlation, reduced by
+        // thinning.
+        let mut rng = SplitMix64::new(8);
+        let mut x = 0.0;
+        let chain: Vec<f64> = (0..4000)
+            .map(|_| {
+                x += rng.next_f64() - 0.5;
+                x
+            })
+            .collect();
+        let raw = autocorrelation(&chain, 1);
+        let thinned = thin(&chain, 100, 50);
+        let after = autocorrelation(&thinned, 1);
+        assert!(raw > 0.9, "random walk lag-1 {raw}");
+        assert!(after < raw, "thinning must reduce lag-1: {raw} -> {after}");
+        assert_eq!(thinned.len(), (4000usize - 100).div_ceil(50));
+    }
+
+    #[test]
+    fn geweke_flags_drifting_chains() {
+        let stationary = noise_chain(9, 500, 0.0);
+        assert!(geweke_z(&stationary).abs() < 3.0);
+        // A strongly drifting chain: head and tail means differ.
+        let drift: Vec<f64> = (0..500).map(|i| i as f64 / 50.0).collect();
+        assert!(geweke_z(&drift).abs() > 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_panics() {
+        let _ = thin(&[1.0, 2.0], 0, 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Synthetic corpus generation for the LDA workloads.
+//!
+//! The paper's corpora (NIPS papers, Enron e-mails, RNA sequences) are
+//! replaced by a deterministic generative process with planted topic
+//! structure: each topic prefers a band of the vocabulary, each document
+//! mixes a few topics, and words are drawn from the mixture — the exact
+//! generative assumptions LDA inverts, so convergence behaviour matches the
+//! real-data experiments in structure (see `DESIGN.md` §2).
+
+use coopmc_rng::{HwRng, SplitMix64};
+
+/// A bag-of-words corpus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Corpus {
+    /// Number of documents.
+    pub n_docs: usize,
+    /// Vocabulary size.
+    pub n_vocab: usize,
+    /// `(doc, word)` per token.
+    pub tokens: Vec<(u32, u32)>,
+}
+
+/// Parameters of the synthetic corpus generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusSpec {
+    /// Number of documents.
+    pub n_docs: usize,
+    /// Vocabulary size.
+    pub n_vocab: usize,
+    /// Number of planted topics.
+    pub n_topics: usize,
+    /// Tokens per document.
+    pub doc_len: usize,
+    /// Topics active per document (1..=n_topics).
+    pub topics_per_doc: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generate a corpus with planted topics.
+///
+/// Each planted topic `k` concentrates 90 % of its mass on the vocabulary
+/// band `[k·V/K, (k+1)·V/K)` and spreads the rest uniformly; each document
+/// activates `topics_per_doc` random topics with random positive weights.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero or `topics_per_doc > n_topics`.
+pub fn synthetic_corpus(spec: &CorpusSpec) -> Corpus {
+    assert!(
+        spec.n_docs > 0 && spec.n_vocab > 0 && spec.n_topics > 0 && spec.doc_len > 0,
+        "corpus dimensions must be positive"
+    );
+    assert!(
+        (1..=spec.n_topics).contains(&spec.topics_per_doc),
+        "topics_per_doc must be in 1..=n_topics"
+    );
+    let mut rng = SplitMix64::new(spec.seed);
+    let band = spec.n_vocab.div_ceil(spec.n_topics);
+    let mut tokens = Vec::with_capacity(spec.n_docs * spec.doc_len);
+    for d in 0..spec.n_docs {
+        // Pick the document's active topics and weights.
+        let mut active = Vec::with_capacity(spec.topics_per_doc);
+        while active.len() < spec.topics_per_doc {
+            let k = rng.uniform_index(spec.n_topics);
+            if !active.iter().any(|&(t, _)| t == k) {
+                active.push((k, 0.2 + rng.next_f64()));
+            }
+        }
+        let weight_sum: f64 = active.iter().map(|&(_, w)| w).sum();
+        for _ in 0..spec.doc_len {
+            // Draw a topic from the document mixture.
+            let mut u = rng.next_f64() * weight_sum;
+            let mut topic = active[0].0;
+            for &(k, w) in &active {
+                if u < w {
+                    topic = k;
+                    break;
+                }
+                u -= w;
+            }
+            // Draw a word: 90% from the topic band, 10% uniform noise.
+            // Bands are clamped so the last topics still map inside the
+            // vocabulary when band * n_topics exceeds n_vocab.
+            let word = if rng.next_f64() < 0.9 {
+                let lo = (topic * band).min(spec.n_vocab - 1);
+                let hi = ((topic + 1) * band).clamp(lo + 1, spec.n_vocab);
+                lo + rng.uniform_index(hi - lo)
+            } else {
+                rng.uniform_index(spec.n_vocab)
+            };
+            tokens.push((d as u32, word as u32));
+        }
+    }
+    Corpus { n_docs: spec.n_docs, n_vocab: spec.n_vocab, tokens }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CorpusSpec {
+        CorpusSpec {
+            n_docs: 20,
+            n_vocab: 100,
+            n_topics: 5,
+            doc_len: 50,
+            topics_per_doc: 2,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn corpus_has_expected_shape() {
+        let c = synthetic_corpus(&spec());
+        assert_eq!(c.tokens.len(), 20 * 50);
+        assert!(c.tokens.iter().all(|&(d, w)| (d as usize) < 20 && (w as usize) < 100));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(synthetic_corpus(&spec()), synthetic_corpus(&spec()));
+        let mut other = spec();
+        other.seed = 12;
+        assert_ne!(synthetic_corpus(&spec()), synthetic_corpus(&other));
+    }
+
+    #[test]
+    fn documents_concentrate_on_few_vocabulary_bands() {
+        let c = synthetic_corpus(&spec());
+        let band = 100usize.div_ceil(5);
+        // For each document, the two most common bands should hold most
+        // tokens (plus the 10% noise floor).
+        for d in 0..20u32 {
+            let mut per_band = [0usize; 5];
+            let mut count = 0;
+            for &(doc, w) in &c.tokens {
+                if doc == d {
+                    per_band[(w as usize / band).min(4)] += 1;
+                    count += 1;
+                }
+            }
+            per_band.sort_unstable_by(|a, b| b.cmp(a));
+            let top2 = per_band[0] + per_band[1];
+            assert!(
+                top2 * 10 >= count * 7,
+                "doc {d}: top-2 bands hold only {top2}/{count}"
+            );
+        }
+    }
+
+    #[test]
+    fn uneven_band_division_stays_in_vocabulary() {
+        // Regression: 32 topics over 400 words gives band 13, and
+        // 31 * 13 = 403 > 400 — the last bands must clamp, not overflow.
+        let c = synthetic_corpus(&CorpusSpec {
+            n_docs: 30,
+            n_vocab: 400,
+            n_topics: 32,
+            doc_len: 40,
+            topics_per_doc: 2,
+            seed: 1,
+        });
+        assert!(c.tokens.iter().all(|&(_, w)| (w as usize) < 400));
+    }
+
+    #[test]
+    #[should_panic(expected = "topics_per_doc")]
+    fn too_many_topics_per_doc_panics() {
+        let mut s = spec();
+        s.topics_per_doc = 9;
+        let _ = synthetic_corpus(&s);
+    }
+}

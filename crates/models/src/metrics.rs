@@ -1,0 +1,126 @@
+//! Evaluation metrics (paper §II-A).
+//!
+//! Most of the paper's workloads are unsupervised, so quality is measured
+//! against a *golden* reference produced by the vanilla floating-point
+//! algorithm: mean-square error of the label field, normalized by the MSE of
+//! an untrained model so different applications are comparable.
+
+/// Mean-square error between two label fields.
+///
+/// # Panics
+///
+/// Panics if the fields differ in length or are empty.
+pub fn mse(labels: &[usize], golden: &[usize]) -> f64 {
+    assert_eq!(labels.len(), golden.len(), "label fields must match in length");
+    assert!(!labels.is_empty(), "label fields must be non-empty");
+    labels
+        .iter()
+        .zip(golden)
+        .map(|(&a, &b)| {
+            let d = a as f64 - b as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / labels.len() as f64
+}
+
+/// MSE normalized by the MSE of an untrained (initial) model, the paper's
+/// cross-application metric: 0 is a perfect match to the golden result, 1 is
+/// no better than the initial state.
+///
+/// # Panics
+///
+/// Panics if the untrained MSE is zero (the golden field equals the initial
+/// field, so normalization is undefined) or the fields mismatch.
+pub fn normalized_mse(labels: &[usize], golden: &[usize], untrained: &[usize]) -> f64 {
+    let base = mse(untrained, golden);
+    assert!(base > 0.0, "untrained MSE must be positive for normalization");
+    mse(labels, golden) / base
+}
+
+/// A convergence trace: one metric sample per recorded iteration.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    samples: Vec<(u64, f64)>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `value` at `iteration`.
+    pub fn push(&mut self, iteration: u64, value: f64) {
+        self.samples.push((iteration, value));
+    }
+
+    /// All `(iteration, value)` samples in insertion order.
+    pub fn samples(&self) -> &[(u64, f64)] {
+        &self.samples
+    }
+
+    /// The last recorded value, if any.
+    pub fn last_value(&self) -> Option<f64> {
+        self.samples.last().map(|&(_, v)| v)
+    }
+
+    /// Mean of the final `k` samples (converged-value estimate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace holds fewer than `k` samples or `k == 0`.
+    pub fn tail_mean(&self, k: usize) -> f64 {
+        assert!(k > 0 && k <= self.samples.len(), "invalid tail length");
+        let tail = &self.samples[self.samples.len() - k..];
+        tail.iter().map(|&(_, v)| v).sum::<f64>() / k as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_of_identical_fields_is_zero() {
+        assert_eq!(mse(&[1, 2, 3], &[1, 2, 3]), 0.0);
+    }
+
+    #[test]
+    fn mse_counts_squared_label_distance() {
+        assert_eq!(mse(&[0, 0], &[2, 0]), 2.0);
+    }
+
+    #[test]
+    fn normalized_mse_is_relative_to_untrained() {
+        let golden = [5, 5, 5, 5];
+        let untrained = [0, 0, 0, 0];
+        let half = [5, 5, 0, 0];
+        assert_eq!(normalized_mse(&half, &golden, &untrained), 0.5);
+        assert_eq!(normalized_mse(&golden, &golden, &untrained), 0.0);
+        assert_eq!(normalized_mse(&untrained, &golden, &untrained), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match in length")]
+    fn mismatched_lengths_panic() {
+        let _ = mse(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn trace_tail_mean() {
+        let mut t = Trace::new();
+        for i in 0..10u64 {
+            t.push(i, i as f64);
+        }
+        assert_eq!(t.tail_mean(2), 8.5);
+        assert_eq!(t.last_value(), Some(9.0));
+        assert_eq!(t.samples().len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid tail length")]
+    fn tail_longer_than_trace_panics() {
+        Trace::new().tail_mean(1);
+    }
+}

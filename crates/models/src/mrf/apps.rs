@@ -1,0 +1,291 @@
+//! The four MRF application workloads (paper §II-B).
+//!
+//! The paper's inputs (images, stereo pairs, audio mixtures) are replaced by
+//! deterministic synthetic generators producing observation fields with the
+//! same structure and label statistics — see `DESIGN.md` §2. Each generator
+//! returns the configured [`GridMrf`] together with the clean ground-truth
+//! field the observations were corrupted from.
+
+use coopmc_rng::{HwRng, SplitMix64};
+
+use super::{CostFn, GridMrf};
+
+/// A generated MRF application workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MrfApp {
+    /// Human-readable application name.
+    pub name: &'static str,
+    /// The configured model, initialized from the noisy observations.
+    pub mrf: GridMrf,
+    /// The clean (pre-corruption) label field.
+    pub clean: Vec<usize>,
+}
+
+/// Draw a standard Gaussian via Box–Muller from a hardware RNG.
+fn gaussian(rng: &mut SplitMix64) -> f64 {
+    let u1 = rng.next_f64().max(1e-12);
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A smooth synthetic "photograph": a sum of 2-D Gaussian bumps plus an
+/// intensity ramp, quantized onto `[0, n_labels)`.
+fn smooth_scene(width: usize, height: usize, n_labels: usize, seed: u64) -> Vec<usize> {
+    let mut rng = SplitMix64::new(seed);
+    let bumps: Vec<(f64, f64, f64, f64)> = (0..4)
+        .map(|_| {
+            (
+                rng.next_f64() * width as f64,
+                rng.next_f64() * height as f64,
+                (0.1 + 0.2 * rng.next_f64()) * width as f64, // radius
+                0.5 + rng.next_f64(),                        // amplitude
+            )
+        })
+        .collect();
+    let mut field = Vec::with_capacity(width * height);
+    let mut max_v: f64 = 0.0;
+    let mut raw = Vec::with_capacity(width * height);
+    for y in 0..height {
+        for x in 0..width {
+            let mut v = 0.3 * x as f64 / width as f64 + 0.2 * y as f64 / height as f64;
+            for &(bx, by, r, a) in &bumps {
+                let d2 = (x as f64 - bx).powi(2) + (y as f64 - by).powi(2);
+                v += a * (-d2 / (2.0 * r * r)).exp();
+            }
+            max_v = max_v.max(v);
+            raw.push(v);
+        }
+    }
+    for v in raw {
+        let l = (v / max_v * (n_labels - 1) as f64).round() as usize;
+        field.push(l.min(n_labels - 1));
+    }
+    field
+}
+
+/// **Image Restoration** (64 labels): restore a grayscale image corrupted
+/// with Gaussian noise and opaque black boxes.
+pub fn image_restoration(width: usize, height: usize, seed: u64) -> MrfApp {
+    let n_labels = 64;
+    let clean = smooth_scene(width, height, n_labels, seed);
+    let mut rng = SplitMix64::new(seed ^ 0xD1CE);
+    let mut observed: Vec<f64> = clean
+        .iter()
+        .map(|&l| (l as f64 + 4.0 * gaussian(&mut rng)).clamp(0.0, (n_labels - 1) as f64))
+        .collect();
+    // Black occlusion boxes: observation driven to 0 and flagged as
+    // missing data so the restoration must inpaint them from the prior.
+    let mut mask = vec![true; width * height];
+    for _ in 0..3 {
+        let bw = width / 8 + rng.uniform_index(width / 8 + 1);
+        let bh = height / 8 + rng.uniform_index(height / 8 + 1);
+        let bx = rng.uniform_index(width.saturating_sub(bw).max(1));
+        let by = rng.uniform_index(height.saturating_sub(bh).max(1));
+        for y in by..(by + bh).min(height) {
+            for x in bx..(bx + bw).min(width) {
+                observed[y * width + x] = 0.0;
+                mask[y * width + x] = false;
+            }
+        }
+    }
+    let mut mrf = GridMrf::new(
+        width,
+        height,
+        n_labels,
+        observed,
+        CostFn::TruncatedLinear { trunc: 16.0 },
+        CostFn::TruncatedLinear { trunc: 8.0 },
+        0.5,
+        1.5,
+    );
+    mrf.set_data_mask(mask);
+    MrfApp { name: "image-restoration", mrf, clean }
+}
+
+/// **Stereo Matching** (16 labels): recover the disparity field of a scene
+/// of rectangles floating at different depths, from noisy per-pixel
+/// matching costs.
+pub fn stereo_matching(width: usize, height: usize, seed: u64) -> MrfApp {
+    let n_labels = 16;
+    let mut rng = SplitMix64::new(seed);
+    // Background plane disparity 2; rectangles at increasing disparities.
+    let mut clean = vec![2usize; width * height];
+    for d in [5usize, 9, 13] {
+        let rw = width / 3 + rng.uniform_index(width / 4 + 1);
+        let rh = height / 3 + rng.uniform_index(height / 4 + 1);
+        let rx = rng.uniform_index(width.saturating_sub(rw).max(1));
+        let ry = rng.uniform_index(height.saturating_sub(rh).max(1));
+        for y in ry..(ry + rh).min(height) {
+            for x in rx..(rx + rw).min(width) {
+                clean[y * width + x] = d;
+            }
+        }
+    }
+    let observed: Vec<f64> = clean
+        .iter()
+        .map(|&l| (l as f64 + 1.2 * gaussian(&mut rng)).clamp(0.0, (n_labels - 1) as f64))
+        .collect();
+    let mrf = GridMrf::new(
+        width,
+        height,
+        n_labels,
+        observed,
+        CostFn::TruncatedLinear { trunc: 6.0 },
+        CostFn::TruncatedLinear { trunc: 3.0 },
+        1.0,
+        1.2,
+    );
+    MrfApp { name: "stereo-matching", mrf, clean }
+}
+
+/// **Image Segmentation** (2 labels): separate a foreground blob from the
+/// background given noisy intensities.
+pub fn image_segmentation(width: usize, height: usize, seed: u64) -> MrfApp {
+    let mut rng = SplitMix64::new(seed);
+    let cx = width as f64 * (0.35 + 0.3 * rng.next_f64());
+    let cy = height as f64 * (0.35 + 0.3 * rng.next_f64());
+    let r = 0.25 * width.min(height) as f64;
+    let clean: Vec<usize> = (0..width * height)
+        .map(|i| {
+            let (x, y) = ((i % width) as f64, (i / width) as f64);
+            let wobble = 1.0 + 0.2 * ((x * 0.3).sin() + (y * 0.27).cos());
+            usize::from((x - cx).powi(2) + (y - cy).powi(2) < (r * wobble).powi(2))
+        })
+        .collect();
+    let observed: Vec<f64> =
+        clean.iter().map(|&l| (l as f64 + 0.45 * gaussian(&mut rng)).clamp(0.0, 1.0)).collect();
+    let mrf = GridMrf::new(
+        width,
+        height,
+        2,
+        observed,
+        CostFn::TruncatedQuadratic { trunc: 1.0 },
+        CostFn::Potts { penalty: 1.0 },
+        2.0,
+        0.9,
+    );
+    MrfApp { name: "image-segmentation", mrf, clean }
+}
+
+/// **Sound Source Separation** (2 labels): label each time–frequency bin of
+/// a mixed spectrogram with its dominant source (a binary mask), as in the
+/// paper's audio workload.
+///
+/// The synthetic mixture: two harmonic sources with distinct fundamentals
+/// whose per-bin energies decide the clean mask; the observation is the
+/// noisy log-energy *difference* between the sources.
+pub fn sound_source_separation(frames: usize, bins: usize, seed: u64) -> MrfApp {
+    let mut rng = SplitMix64::new(seed);
+    let f0_a = 4.0 + rng.next_f64() * 2.0;
+    let f0_b = 7.0 + rng.next_f64() * 2.0;
+    let energy = |f0: f64, t: usize, b: usize| -> f64 {
+        // Harmonic stacks with a slow amplitude modulation over time.
+        let mut e = 1e-3;
+        for h in 1..=4 {
+            let centre = f0 * h as f64;
+            let d = (b as f64 - centre).abs();
+            e += (1.0 / h as f64) * (-d * d / 2.0).exp();
+        }
+        e * (1.0 + 0.5 * (t as f64 * 0.15).sin())
+    };
+    let mut clean = Vec::with_capacity(frames * bins);
+    let mut observed = Vec::with_capacity(frames * bins);
+    for t in 0..frames {
+        for b in 0..bins {
+            let ea = energy(f0_a, t, b);
+            let eb = energy(f0_b, t, b);
+            clean.push(usize::from(eb > ea));
+            let margin = ((eb / ea).ln() / 4.0).clamp(-0.5, 0.5);
+            observed.push((0.5 + margin + 0.35 * gaussian(&mut rng)).clamp(0.0, 1.0));
+        }
+    }
+    let mrf = GridMrf::new(
+        bins,
+        frames,
+        2,
+        observed,
+        CostFn::TruncatedQuadratic { trunc: 1.0 },
+        CostFn::Potts { penalty: 1.0 },
+        2.0,
+        0.8,
+    );
+    MrfApp { name: "sound-source-separation", mrf, clean }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GibbsModel;
+
+    #[test]
+    fn restoration_has_64_labels_and_matching_sizes() {
+        let app = image_restoration(24, 16, 1);
+        assert_eq!(app.mrf.num_labels(0), 64);
+        assert_eq!(app.clean.len(), 24 * 16);
+        assert_eq!(app.mrf.num_variables(), 24 * 16);
+    }
+
+    #[test]
+    fn restoration_observations_are_corrupted() {
+        let app = image_restoration(24, 24, 2);
+        let mismatches = app
+            .clean
+            .iter()
+            .zip(app.mrf.observed())
+            .filter(|(&c, &o)| (c as f64 - o).abs() > 0.5)
+            .count();
+        assert!(mismatches > 20, "noise + boxes must corrupt many pixels");
+    }
+
+    #[test]
+    fn stereo_has_16_labels_with_planes() {
+        let app = stereo_matching(32, 24, 3);
+        assert_eq!(app.mrf.num_labels(0), 16);
+        // background plane must remain the most common disparity
+        let bg = app.clean.iter().filter(|&&l| l == 2).count();
+        assert!(bg > app.clean.len() / 5, "background plane too small: {bg}");
+        // at least one elevated rectangle
+        assert!(app.clean.iter().any(|&l| l > 2));
+    }
+
+    #[test]
+    fn segmentation_is_binary_with_both_classes() {
+        let app = image_segmentation(24, 24, 4);
+        assert_eq!(app.mrf.num_labels(0), 2);
+        let fg = app.clean.iter().filter(|&&l| l == 1).count();
+        assert!(fg > 10 && fg < app.clean.len() - 10, "fg size {fg}");
+    }
+
+    #[test]
+    fn sound_mask_is_binary_with_structure() {
+        let app = sound_source_separation(20, 32, 5);
+        assert_eq!(app.mrf.num_labels(0), 2);
+        let src_b = app.clean.iter().filter(|&&l| l == 1).count();
+        assert!(src_b > 0 && src_b < app.clean.len());
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = stereo_matching(16, 16, 42);
+        let b = stereo_matching(16, 16, 42);
+        assert_eq!(a, b);
+        let c = stereo_matching(16, 16, 43);
+        assert_ne!(a.clean, c.clean);
+    }
+
+    #[test]
+    fn clean_field_is_smoother_than_noise() {
+        // Total label variation along rows: the clean field must be far
+        // smoother than the initial (observation-derived) labels.
+        let app = image_restoration(32, 32, 7);
+        let variation = |field: &[usize]| -> f64 {
+            field
+                .chunks(32)
+                .flat_map(|row| row.windows(2))
+                .map(|w| (w[0] as f64 - w[1] as f64).abs())
+                .sum()
+        };
+        let init = app.mrf.labels();
+        assert!(variation(&app.clean) * 2.0 < variation(&init));
+    }
+}

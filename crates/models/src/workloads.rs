@@ -1,0 +1,284 @@
+//! The Table I workload registry.
+//!
+//! Each entry records the paper's workload metadata (#variables, #labels,
+//! Table II runtime breakdown) and knows how to build a scaled synthetic
+//! instance of itself. Scaled sizes keep the test suite fast; the benches
+//! construct larger instances directly from the generators when sweeping.
+
+use crate::bn::{asia, earthquake, survey, BayesNet};
+use crate::lda::{synthetic_corpus, CorpusSpec, Lda};
+use crate::mrf::{
+    image_restoration, image_segmentation, sound_source_separation, stereo_matching, MrfApp,
+};
+
+/// Model family of a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Markov random field.
+    Mrf,
+    /// Bayesian network.
+    Bn,
+    /// Latent Dirichlet allocation.
+    Lda,
+}
+
+/// One row of Table I plus its Table II runtime breakdown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Workload name as printed in the paper.
+    pub name: &'static str,
+    /// Model family.
+    pub kind: ModelKind,
+    /// #Variables reported in Table I.
+    pub paper_variables: u64,
+    /// #Labels reported in Table I.
+    pub paper_labels: u32,
+    /// Table II CPU runtime breakdown `(PG%, SD%, PU%)`.
+    pub paper_breakdown: (f64, f64, f64),
+}
+
+/// A built, scaled instance of a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuiltWorkload {
+    /// An MRF application (with its clean reference field).
+    Mrf(MrfApp),
+    /// A Bayesian network (full size — they are tiny).
+    Bn(BayesNet),
+    /// An LDA model over a synthetic corpus.
+    Lda(Lda),
+}
+
+impl WorkloadSpec {
+    /// Build the default (CI-scale) instance seeded by `seed`.
+    pub fn build(&self, seed: u64) -> BuiltWorkload {
+        self.build_scaled(1.0, seed)
+    }
+
+    /// Build an instance scaled by `scale` relative to the CI default:
+    /// grid workloads grow in area, corpora in document count. `scale` up
+    /// to ~100 walks the MRFs toward their Table I sizes; the Bayesian
+    /// networks are already full size and ignore `scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not in `(0, 1000]`.
+    pub fn build_scaled(&self, scale: f64, seed: u64) -> BuiltWorkload {
+        assert!(scale > 0.0 && scale <= 1000.0, "scale must be in (0, 1000]");
+        let dim = |base: usize| ((base as f64 * scale.sqrt()).round() as usize).max(4);
+        let docs = |base: usize| ((base as f64 * scale).round() as usize).max(2);
+        match self.name {
+            "MRF-Image Restoration" => {
+                BuiltWorkload::Mrf(image_restoration(dim(40), dim(26), seed))
+            }
+            "MRF-Stereo Matching" => BuiltWorkload::Mrf(stereo_matching(dim(48), dim(32), seed)),
+            "MRF-Image Segmentation" => {
+                BuiltWorkload::Mrf(image_segmentation(dim(50), dim(30), seed))
+            }
+            "MRF-Sound Source Separation" => {
+                BuiltWorkload::Mrf(sound_source_separation(dim(40), dim(32), seed))
+            }
+            "BN-ASIA" => BuiltWorkload::Bn(asia()),
+            "BN-EARTHQUAKE" => BuiltWorkload::Bn(earthquake()),
+            "BN-SURVEY" => BuiltWorkload::Bn(survey()),
+            "LDA-NIPS" => BuiltWorkload::Lda(scaled_lda(docs(60), 256, 16, 80, 3, seed)),
+            "LDA-Enron" => BuiltWorkload::Lda(scaled_lda(docs(120), 192, 16, 40, 2, seed)),
+            "LDA-RNA" => BuiltWorkload::Lda(scaled_lda(docs(40), 64, 8, 100, 2, seed)),
+            other => unreachable!("unknown workload {other}"),
+        }
+    }
+}
+
+fn scaled_lda(
+    n_docs: usize,
+    n_vocab: usize,
+    n_topics: usize,
+    doc_len: usize,
+    topics_per_doc: usize,
+    seed: u64,
+) -> Lda {
+    let corpus = synthetic_corpus(&CorpusSpec {
+        n_docs,
+        n_vocab,
+        n_topics,
+        doc_len,
+        topics_per_doc,
+        seed,
+    });
+    let mut lda = Lda::new(&corpus, n_topics, 50.0 / n_topics as f64, 0.01);
+    lda.randomize_topics(seed ^ 0x1DA);
+    lda
+}
+
+/// All ten workloads of Table I, in the paper's order.
+pub fn all_workloads() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec {
+            name: "MRF-Image Restoration",
+            kind: ModelKind::Mrf,
+            paper_variables: 6_656,
+            paper_labels: 64,
+            paper_breakdown: (88.00, 9.20, 2.81),
+        },
+        WorkloadSpec {
+            name: "MRF-Stereo Matching",
+            kind: ModelKind::Mrf,
+            paper_variables: 110_592,
+            paper_labels: 16,
+            paper_breakdown: (76.49, 14.78, 8.73),
+        },
+        WorkloadSpec {
+            name: "MRF-Image Segmentation",
+            kind: ModelKind::Mrf,
+            paper_variables: 150_000,
+            paper_labels: 2,
+            paper_breakdown: (45.71, 31.69, 22.60),
+        },
+        WorkloadSpec {
+            name: "MRF-Sound Source Separation",
+            kind: ModelKind::Mrf,
+            paper_variables: 64_125,
+            paper_labels: 2,
+            paper_breakdown: (46.14, 31.63, 22.23),
+        },
+        WorkloadSpec {
+            name: "BN-ASIA",
+            kind: ModelKind::Bn,
+            paper_variables: 8,
+            paper_labels: 2,
+            paper_breakdown: (46.00, 52.37, 1.63),
+        },
+        WorkloadSpec {
+            name: "BN-EARTHQUAKE",
+            kind: ModelKind::Bn,
+            paper_variables: 5,
+            paper_labels: 2,
+            paper_breakdown: (44.97, 53.36, 1.68),
+        },
+        WorkloadSpec {
+            name: "BN-SURVEY",
+            kind: ModelKind::Bn,
+            paper_variables: 6,
+            paper_labels: 3,
+            paper_breakdown: (45.96, 52.45, 1.59),
+        },
+        WorkloadSpec {
+            name: "LDA-NIPS",
+            kind: ModelKind::Lda,
+            paper_variables: 1_932_365,
+            paper_labels: 128,
+            paper_breakdown: (40.26, 53.23, 6.50),
+        },
+        WorkloadSpec {
+            name: "LDA-Enron",
+            kind: ModelKind::Lda,
+            paper_variables: 6_412_172,
+            paper_labels: 128,
+            paper_breakdown: (42.84, 56.34, 0.83),
+        },
+        WorkloadSpec {
+            name: "LDA-RNA",
+            kind: ModelKind::Lda,
+            paper_variables: 540_393,
+            paper_labels: 128,
+            paper_breakdown: (39.14, 53.20, 7.66),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GibbsModel;
+
+    #[test]
+    fn ten_workloads_three_families() {
+        let all = all_workloads();
+        assert_eq!(all.len(), 10);
+        assert_eq!(all.iter().filter(|w| w.kind == ModelKind::Mrf).count(), 4);
+        assert_eq!(all.iter().filter(|w| w.kind == ModelKind::Bn).count(), 3);
+        assert_eq!(all.iter().filter(|w| w.kind == ModelKind::Lda).count(), 3);
+    }
+
+    #[test]
+    fn breakdowns_sum_to_about_100() {
+        for w in all_workloads() {
+            let (pg, sd, pu) = w.paper_breakdown;
+            let sum = pg + sd + pu;
+            assert!((99.0..101.0).contains(&sum), "{}: {sum}", w.name);
+        }
+    }
+
+    #[test]
+    fn every_workload_builds() {
+        for w in all_workloads() {
+            let built = w.build(1);
+            let vars = match &built {
+                BuiltWorkload::Mrf(app) => app.mrf.num_variables(),
+                BuiltWorkload::Bn(net) => net.num_variables(),
+                BuiltWorkload::Lda(lda) => lda.num_variables(),
+            };
+            assert!(vars > 0, "{} built empty", w.name);
+        }
+    }
+
+    #[test]
+    fn scaling_grows_mrf_and_lda_but_not_bn() {
+        let specs = all_workloads();
+        let stereo = &specs[1];
+        let small = match stereo.build_scaled(1.0, 0) {
+            BuiltWorkload::Mrf(app) => app.mrf.num_variables(),
+            _ => panic!(),
+        };
+        let big = match stereo.build_scaled(4.0, 0) {
+            BuiltWorkload::Mrf(app) => app.mrf.num_variables(),
+            _ => panic!(),
+        };
+        assert!((3..=5).contains(&(big / small)), "area should ~4x: {small} -> {big}");
+
+        let nips = &specs[7];
+        let t_small = match nips.build_scaled(1.0, 0) {
+            BuiltWorkload::Lda(l) => l.num_variables(),
+            _ => panic!(),
+        };
+        let t_big = match nips.build_scaled(3.0, 0) {
+            BuiltWorkload::Lda(l) => l.num_variables(),
+            _ => panic!(),
+        };
+        assert_eq!(t_big, 3 * t_small);
+
+        let asia_spec = &specs[4];
+        if let BuiltWorkload::Bn(net) = asia_spec.build_scaled(10.0, 0) {
+            assert_eq!(net.num_variables(), 8, "BNs ignore scale");
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in")]
+    fn zero_scale_panics() {
+        let _ = all_workloads()[0].build_scaled(0.0, 0);
+    }
+
+    #[test]
+    fn bn_workloads_are_full_size() {
+        for w in all_workloads().iter().filter(|w| w.kind == ModelKind::Bn) {
+            if let BuiltWorkload::Bn(net) = w.build(0) {
+                assert_eq!(net.num_variables() as u64, w.paper_variables, "{}", w.name);
+            } else {
+                panic!("expected BN");
+            }
+        }
+    }
+
+    #[test]
+    fn mrf_label_counts_match_table_1() {
+        for w in all_workloads().iter().filter(|w| w.kind == ModelKind::Mrf) {
+            if let BuiltWorkload::Mrf(app) = w.build(0) {
+                assert_eq!(app.mrf.num_labels(0) as u32, w.paper_labels, "{}", w.name);
+            } else {
+                panic!("expected MRF");
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Draw-counting RNG wrapper.
+
+use crate::HwRng;
+
+/// Wraps any [`HwRng`] and counts how many words were drawn.
+///
+/// The CoopMC instrumentation uses this to attribute random-number traffic to
+/// the Sampling-from-Distribution step when building the Table II runtime
+/// breakdown.
+///
+/// ```
+/// use coopmc_rng::{CountingRng, HwRng, SplitMix64};
+///
+/// let mut rng = CountingRng::new(SplitMix64::new(1));
+/// rng.next_f64();
+/// rng.next_u64();
+/// assert_eq!(rng.draws(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountingRng<R> {
+    inner: R,
+    draws: u64,
+}
+
+impl<R: HwRng> CountingRng<R> {
+    /// Wrap `inner`, starting the counter at zero.
+    pub fn new(inner: R) -> Self {
+        Self { inner, draws: 0 }
+    }
+
+    /// Number of 64-bit words drawn so far.
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+
+    /// Reset the counter to zero.
+    pub fn reset(&mut self) {
+        self.draws = 0;
+    }
+
+    /// Unwrap, returning the inner generator.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: HwRng> HwRng for CountingRng<R> {
+    fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
+        self.inner.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    #[test]
+    fn counts_every_word() {
+        let mut rng = CountingRng::new(SplitMix64::new(2));
+        for _ in 0..10 {
+            rng.next_u64();
+        }
+        assert_eq!(rng.draws(), 10);
+        rng.reset();
+        assert_eq!(rng.draws(), 0);
+    }
+
+    #[test]
+    fn passes_through_inner_stream() {
+        let mut plain = SplitMix64::new(4);
+        let mut counted = CountingRng::new(SplitMix64::new(4));
+        for _ in 0..5 {
+            assert_eq!(plain.next_u64(), counted.next_u64());
+        }
+    }
+
+    #[test]
+    fn into_inner_preserves_state() {
+        let mut counted = CountingRng::new(SplitMix64::new(4));
+        counted.next_u64();
+        let mut inner = counted.into_inner();
+        let mut reference = SplitMix64::new(4);
+        reference.next_u64();
+        assert_eq!(inner.next_u64(), reference.next_u64());
+    }
+}

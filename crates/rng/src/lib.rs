@@ -1,0 +1,134 @@
+//! Hardware-style pseudo-random number generators for MCMC accelerators.
+//!
+//! The CoopMC sampler (§III-D of the paper) draws its threshold from "a
+//! hardware Pseudo-random Number Generator (PRNG)". Accelerators of this
+//! class use linear-feedback shift registers or xorshift-family generators:
+//! a handful of XOR gates and a shift register, one fresh word per cycle.
+//! This crate provides bit-accurate software models of those generators
+//! behind the [`HwRng`] trait, plus a counting wrapper used by the
+//! instrumentation in `coopmc-core`.
+//!
+//! All generators are deterministic given a seed, which is what makes the
+//! paper's experiments reproducible here.
+//!
+//! # Example
+//!
+//! ```
+//! use coopmc_rng::{HwRng, XorShift64Star};
+//!
+//! let mut rng = XorShift64Star::new(42);
+//! let u = rng.next_f64();
+//! assert!((0.0..1.0).contains(&u));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counting;
+mod lfsr;
+mod philox;
+mod splitmix;
+mod xorshift;
+
+pub use counting::CountingRng;
+pub use lfsr::{FibonacciLfsr, GaloisLfsr};
+pub use philox::Philox4x32;
+pub use splitmix::SplitMix64;
+pub use xorshift::XorShift64Star;
+
+/// A deterministic hardware-style random number generator.
+///
+/// The trait is object-safe so heterogeneous sampler configurations can share
+/// a `&mut dyn HwRng`.
+pub trait HwRng {
+    /// Produce the next 64 raw bits of generator output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Produce the next 32 raw bits (upper half of [`HwRng::next_u64`] by
+    /// default; narrow LFSRs override this with native-width output).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform draw in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        // Take the top 53 bits, the mantissa width of f64.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform index in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    fn uniform_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "uniform_index requires n > 0");
+        // Floating-point scaling; bias is negligible for the label counts
+        // used here (n is at most a few thousand).
+        (self.next_f64() * n as f64) as usize % n
+    }
+}
+
+impl<R: HwRng + ?Sized> HwRng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+impl<R: HwRng + ?Sized> HwRng for Box<R> {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut rng: Box<dyn HwRng> = Box::new(SplitMix64::new(1));
+        let _ = rng.next_u64();
+        let _ = rng.next_f64();
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval_for_all_generators() {
+        let mut gens: Vec<Box<dyn HwRng>> = vec![
+            Box::new(SplitMix64::new(7)),
+            Box::new(XorShift64Star::new(7)),
+            Box::new(GaloisLfsr::new_32(7)),
+            Box::new(FibonacciLfsr::new_16(7)),
+        ];
+        for g in &mut gens {
+            for _ in 0..1000 {
+                let u = g.next_f64();
+                assert!((0.0..1.0).contains(&u), "u = {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_index_covers_range() {
+        let mut rng = SplitMix64::new(3);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.uniform_index(8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..8 should appear");
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 0")]
+    fn uniform_index_zero_panics() {
+        SplitMix64::new(1).uniform_index(0);
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        let mut rng = SplitMix64::new(9);
+        let direct = SplitMix64::new(9).next_u64();
+        let via_ref = HwRng::next_u64(&mut &mut rng);
+        assert_eq!(direct, via_ref);
+    }
+}

@@ -1,0 +1,71 @@
+//! Marsaglia xorshift64* generator.
+
+use crate::HwRng;
+
+/// The xorshift64* generator: three shifts, three XORs and one multiply.
+///
+/// A popular compromise in FPGA/ASIC designs when LFSR quality is not enough:
+/// still only a handful of gates plus one multiplier, with far better
+/// equidistribution than a plain LFSR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorShift64Star {
+    state: u64,
+}
+
+impl XorShift64Star {
+    /// Create a generator from `seed`. A zero seed (which would be a fixed
+    /// point) is remapped to a non-zero constant.
+    pub fn new(seed: u64) -> Self {
+        Self { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+    }
+}
+
+impl HwRng for XorShift64Star {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut rng = XorShift64Star::new(0);
+        assert_ne!(rng.next_u64(), 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = XorShift64Star::new(99);
+        let mut b = XorShift64Star::new(99);
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = XorShift64Star::new(1);
+        let mut b = XorShift64Star::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn bits_are_balanced() {
+        let mut rng = XorShift64Star::new(7);
+        let mut ones = 0u64;
+        let draws = 10_000;
+        for _ in 0..draws {
+            ones += rng.next_u64().count_ones() as u64;
+        }
+        let frac = ones as f64 / (64.0 * draws as f64);
+        assert!((frac - 0.5).abs() < 0.005, "one-bit fraction {frac}");
+    }
+}

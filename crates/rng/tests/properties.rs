@@ -1,0 +1,63 @@
+//! Property-based tests for the hardware RNG substrate.
+
+use coopmc_rng::{FibonacciLfsr, GaloisLfsr, HwRng, Philox4x32, SplitMix64, XorShift64Star};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every generator keeps its uniform draws in [0, 1) for any seed.
+    #[test]
+    fn unit_interval_for_all_generators(seed in any::<u64>()) {
+        let mut gens: Vec<Box<dyn HwRng>> = vec![
+            Box::new(SplitMix64::new(seed)),
+            Box::new(XorShift64Star::new(seed)),
+            Box::new(GaloisLfsr::new_32(seed)),
+            Box::new(FibonacciLfsr::new_16(seed)),
+            Box::new(Philox4x32::new(seed)),
+        ];
+        for g in &mut gens {
+            for _ in 0..50 {
+                let u = g.next_f64();
+                prop_assert!((0.0..1.0).contains(&u));
+            }
+        }
+    }
+
+    /// uniform_index stays in range for any n and seed.
+    #[test]
+    fn uniform_index_in_range(seed in any::<u64>(), n in 1usize..10_000) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..20 {
+            prop_assert!(rng.uniform_index(n) < n);
+        }
+    }
+
+    /// Identically seeded generators produce identical streams; different
+    /// Philox streams never collide on a prefix.
+    #[test]
+    fn determinism_and_stream_separation(seed in any::<u64>(), s1 in any::<u64>(), s2 in any::<u64>()) {
+        prop_assume!(s1 != s2);
+        let a: Vec<u64> = {
+            let mut g = Philox4x32::with_stream(seed, s1);
+            (0..8).map(|_| g.next_u64()).collect()
+        };
+        let a2: Vec<u64> = {
+            let mut g = Philox4x32::with_stream(seed, s1);
+            (0..8).map(|_| g.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut g = Philox4x32::with_stream(seed, s2);
+            (0..8).map(|_| g.next_u64()).collect()
+        };
+        prop_assert_eq!(&a, &a2);
+        prop_assert_ne!(a, b);
+    }
+
+    /// LFSR states never reach zero (the absorbing state) from any seed.
+    #[test]
+    fn lfsr_avoids_zero_state(seed in any::<u64>()) {
+        let mut g = GaloisLfsr::new_32(seed);
+        for _ in 0..200 {
+            prop_assert_ne!(g.step(), 0);
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Sampling-from-Distribution (SD) micro-architectures.
+//!
+//! Step 2 of the CoopMC computational flow draws a new label with probability
+//! proportional to the `P_x` vector produced by Probability Generation. The
+//! paper (§III-D) compares three hardware designs, all modelled here
+//! bit-faithfully with cycle-accurate latency accounting:
+//!
+//! - [`SequentialSampler`] — the prior-art cumulative scan, `2N + 1` cycles
+//!   per sample.
+//! - [`TreeSampler`] — the paper's contribution: *TreeSum* adder tree,
+//!   *ThresholdGen*, and *TraverseTree* comparator walk (Fig. 8),
+//!   `2⌈log₂N⌉ + 3` cycles per sample.
+//! - [`PipeTreeSampler`] — TreeSampler with inter-layer shift registers:
+//!   identical latency, but a steady-state throughput of one sample per
+//!   cycle.
+//!
+//! All three implement the same sampling rule — threshold
+//! `T = total · u, u ∼ U[0,1)`, new label = smallest `n` with
+//! `A_x(n) > T` — so they are *statistically identical*; they differ only in
+//! time and area. The equivalence is tested exhaustively in this crate.
+//!
+//! # Example
+//!
+//! ```
+//! use coopmc_rng::SplitMix64;
+//! use coopmc_sampler::{Sampler, TreeSampler};
+//!
+//! let sampler = TreeSampler::new();
+//! let mut rng = SplitMix64::new(7);
+//! let probs = [0.1, 0.7, 0.2];
+//! let result = sampler.sample(&probs, &mut rng);
+//! assert!(result.label < 3);
+//! assert_eq!(result.cycles, 2 * 2 + 3); // 2·⌈log₂(padded 4)⌉? see docs
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alias;
+mod pipe;
+mod sequential;
+mod tree;
+
+pub use alias::{AliasSampler, AliasTable};
+pub use pipe::PipeTreeSampler;
+pub use sequential::SequentialSampler;
+pub use tree::{TreeSampler, TreeSum};
+
+use coopmc_rng::HwRng;
+
+/// Outcome of drawing one sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleResult {
+    /// The sampled label index.
+    pub label: usize,
+    /// Latency of this draw in cycles.
+    pub cycles: u64,
+}
+
+/// A discrete-distribution sampler micro-architecture.
+///
+/// `probs` are **unnormalized, non-negative** weights — exactly what the PG
+/// step hands over; no hardware normalizes the vector. If every weight is
+/// zero (the low-precision flush failure mode of Fig. 2), the sampler falls
+/// back to a uniform random label, matching the paper's description of that
+/// degenerate regime.
+pub trait Sampler {
+    /// Draw one label from `probs` using `rng` for the threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs` is empty or contains a negative or non-finite
+    /// weight.
+    fn sample(&self, probs: &[f64], rng: &mut dyn HwRng) -> SampleResult;
+
+    /// Deterministic core: draw with an explicit threshold
+    /// `t ∈ [0, total)`. Exposed so different micro-architectures can be
+    /// proven equivalent under the same threshold.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Sampler::sample`]; additionally `t` must be in
+    /// `[0, total)`.
+    fn sample_with_threshold(&self, probs: &[f64], t: f64) -> SampleResult;
+
+    /// Latency in cycles of one sample for an `n`-label distribution.
+    fn latency_cycles(&self, n: usize) -> u64;
+
+    /// Steady-state throughput in samples per cycle for an `n`-label
+    /// distribution (`1 / latency` unless pipelined).
+    fn throughput(&self, n: usize) -> f64 {
+        1.0 / self.latency_cycles(n) as f64
+    }
+
+    /// Short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+impl<S: Sampler + ?Sized> Sampler for Box<S> {
+    fn sample(&self, probs: &[f64], rng: &mut dyn HwRng) -> SampleResult {
+        (**self).sample(probs, rng)
+    }
+
+    fn sample_with_threshold(&self, probs: &[f64], t: f64) -> SampleResult {
+        (**self).sample_with_threshold(probs, t)
+    }
+
+    fn latency_cycles(&self, n: usize) -> u64 {
+        (**self).latency_cycles(n)
+    }
+
+    fn throughput(&self, n: usize) -> f64 {
+        (**self).throughput(n)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Validate a probability vector and return its total mass.
+///
+/// # Panics
+///
+/// Panics if `probs` is empty or has a negative/non-finite element.
+pub(crate) fn validate(probs: &[f64]) -> f64 {
+    assert!(!probs.is_empty(), "sampler requires a non-empty distribution");
+    let mut total = 0.0;
+    for (i, &p) in probs.iter().enumerate() {
+        assert!(p.is_finite() && p >= 0.0, "invalid weight {p} at index {i}");
+        total += p;
+    }
+    total
+}
+
+/// Shared uniform-fallback for the all-zero distribution.
+pub(crate) fn uniform_fallback(n: usize, rng: &mut dyn HwRng) -> usize {
+    rng.uniform_index(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coopmc_rng::SplitMix64;
+
+    fn samplers() -> Vec<Box<dyn Sampler>> {
+        vec![
+            Box::new(SequentialSampler::new()),
+            Box::new(TreeSampler::new()),
+            Box::new(PipeTreeSampler::new()),
+        ]
+    }
+
+    #[test]
+    fn all_samplers_agree_under_same_threshold() {
+        let probs = [0.05, 0.3, 0.0, 0.15, 0.25, 0.25];
+        let total: f64 = probs.iter().sum();
+        for k in 0..200 {
+            let t = total * (k as f64 + 0.5) / 200.5;
+            let labels: Vec<usize> = samplers()
+                .iter()
+                .map(|s| s.sample_with_threshold(&probs, t).label)
+                .collect();
+            assert!(
+                labels.windows(2).all(|w| w[0] == w[1]),
+                "disagreement at t={t}: {labels:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_boundaries_select_correct_label() {
+        // A = [0.2, 0.5, 1.0]: T < 0.2 -> 0; 0.2 <= T < 0.5 -> 1; else 2.
+        let probs = [0.2, 0.3, 0.5];
+        for s in samplers() {
+            assert_eq!(s.sample_with_threshold(&probs, 0.0).label, 0);
+            assert_eq!(s.sample_with_threshold(&probs, 0.1999).label, 0);
+            assert_eq!(s.sample_with_threshold(&probs, 0.2).label, 1);
+            assert_eq!(s.sample_with_threshold(&probs, 0.4999).label, 1);
+            assert_eq!(s.sample_with_threshold(&probs, 0.5).label, 2);
+            assert_eq!(s.sample_with_threshold(&probs, 0.9999).label, 2);
+        }
+    }
+
+    #[test]
+    fn zero_weight_labels_are_never_selected() {
+        let probs = [0.0, 0.4, 0.0, 0.6, 0.0];
+        let mut rng = SplitMix64::new(11);
+        for s in samplers() {
+            for _ in 0..500 {
+                let l = s.sample(&probs, &mut rng).label;
+                assert!(l == 1 || l == 3, "{} selected zero-weight label {l}", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn all_zero_distribution_falls_back_to_uniform() {
+        let probs = [0.0; 8];
+        for s in samplers() {
+            let mut rng = SplitMix64::new(5);
+            let mut seen = [false; 8];
+            for _ in 0..400 {
+                seen[s.sample(&probs, &mut rng).label] = true;
+            }
+            assert!(seen.iter().all(|&b| b), "{} missed labels: {seen:?}", s.name());
+        }
+    }
+
+    #[test]
+    fn empirical_distribution_matches_weights_chi_square() {
+        let probs = [1.0, 2.0, 3.0, 4.0];
+        let total: f64 = probs.iter().sum();
+        let draws = 40_000;
+        for s in samplers() {
+            let mut rng = SplitMix64::new(77);
+            let mut counts = [0u64; 4];
+            for _ in 0..draws {
+                counts[s.sample(&probs, &mut rng).label] += 1;
+            }
+            let chi2: f64 = probs
+                .iter()
+                .zip(&counts)
+                .map(|(&p, &c)| {
+                    let e = draws as f64 * p / total;
+                    (c as f64 - e).powi(2) / e
+                })
+                .sum();
+            // 3 dof, 0.999 quantile ~ 16.3; generous deterministic bound.
+            assert!(chi2 < 20.0, "{}: chi2 = {chi2}, counts {counts:?}", s.name());
+        }
+    }
+
+    #[test]
+    fn single_label_distribution() {
+        let mut rng = SplitMix64::new(1);
+        for s in samplers() {
+            assert_eq!(s.sample(&[3.0], &mut rng).label, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_distribution_panics() {
+        let mut rng = SplitMix64::new(1);
+        SequentialSampler::new().sample(&[], &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid weight")]
+    fn negative_weight_panics() {
+        let mut rng = SplitMix64::new(1);
+        TreeSampler::new().sample(&[0.5, -0.1], &mut rng);
+    }
+
+    #[test]
+    fn latency_ordering_matches_paper() {
+        // Fig. 9: tree latency beats sequential for larger N, speedup grows.
+        let seq = SequentialSampler::new();
+        let tree = TreeSampler::new();
+        let s64 = seq.latency_cycles(64) as f64 / tree.latency_cycles(64) as f64;
+        let s128 = seq.latency_cycles(128) as f64 / tree.latency_cycles(128) as f64;
+        assert!(s64 > 8.0 && s64 < 10.0, "64-label speedup {s64} (paper: 8.7x)");
+        assert!(s128 > s64, "speedup must grow with label count");
+    }
+
+    #[test]
+    fn pipelined_throughput_is_one_per_cycle() {
+        let pipe = PipeTreeSampler::new();
+        assert_eq!(pipe.throughput(64), 1.0);
+        let tree = TreeSampler::new();
+        assert!(tree.throughput(64) < 1.0);
+    }
+}

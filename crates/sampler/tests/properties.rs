@@ -1,0 +1,118 @@
+//! Property-based tests: the three sampler micro-architectures are
+//! statistically identical implementations of CDF-inversion sampling.
+
+use coopmc_rng::SplitMix64;
+use coopmc_sampler::{PipeTreeSampler, Sampler, SequentialSampler, TreeSampler, TreeSum};
+use proptest::prelude::*;
+
+fn arb_probs() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..10.0, 1..130)
+        .prop_filter("need some mass", |v| v.iter().sum::<f64>() > 0.0)
+}
+
+proptest! {
+    /// Tree traversal equals the sequential scan for every threshold —
+    /// the micro-architectures implement the same function.
+    #[test]
+    fn tree_equals_sequential(probs in arb_probs(), u in 0.0f64..0.9999) {
+        let total: f64 = probs.iter().sum();
+        let t = u * total;
+        let seq = SequentialSampler::new().sample_with_threshold(&probs, t).label;
+        let tree = TreeSampler::new().sample_with_threshold(&probs, t).label;
+        let pipe = PipeTreeSampler::new().sample_with_threshold(&probs, t).label;
+        prop_assert_eq!(seq, tree);
+        prop_assert_eq!(seq, pipe);
+    }
+
+    /// The selected label always has positive weight.
+    #[test]
+    fn selected_label_has_mass(probs in arb_probs(), seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        for s in [&TreeSampler::new() as &dyn Sampler, &SequentialSampler::new()] {
+            let l = s.sample(&probs, &mut rng).label;
+            prop_assert!(probs[l] > 0.0, "label {l} has zero weight");
+        }
+    }
+
+    /// TreeSum's root equals the plain sum and every internal node equals
+    /// the sum of its children.
+    #[test]
+    fn tree_sum_is_consistent(probs in arb_probs()) {
+        let tree = TreeSum::build(&probs);
+        let total: f64 = probs.iter().sum();
+        prop_assert!((tree.total() - total).abs() < 1e-9 * total.max(1.0));
+        for level in 1..=tree.depth() {
+            let width = tree.leaf_count() >> level;
+            for i in 0..width {
+                let parent = tree.node(level, i);
+                let kids = tree.node(level - 1, 2 * i) + tree.node(level - 1, 2 * i + 1);
+                prop_assert!((parent - kids).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Latency laws: sequential is linear, tree is logarithmic, and the
+    /// crossover is monotone.
+    #[test]
+    fn latency_laws(n in 2usize..4096) {
+        let seq = SequentialSampler::new();
+        let tree = TreeSampler::new();
+        prop_assert_eq!(seq.latency_cycles(n), 2 * n as u64 + 1);
+        let depth = n.next_power_of_two().trailing_zeros() as u64;
+        prop_assert_eq!(tree.latency_cycles(n), 2 * depth + 3);
+        prop_assert!(tree.latency_cycles(n) <= seq.latency_cycles(n));
+    }
+
+    /// The alias table encodes exactly the input distribution, for any
+    /// positive weight vector.
+    #[test]
+    fn alias_table_encodes_exactly(
+        probs in prop::collection::vec(0.0f64..10.0, 2..64)
+            .prop_filter("mass", |v| v.iter().sum::<f64>() > 1e-6),
+    ) {
+        let table = coopmc_sampler::AliasTable::build(&probs);
+        let total: f64 = probs.iter().sum();
+        let encoded = table.encoded_distribution();
+        for (p, e) in probs.iter().zip(&encoded) {
+            prop_assert!((p / total - e).abs() < 1e-9, "want {} got {e}", p / total);
+        }
+    }
+
+    /// Thresholds inside a label's CDF segment always return that label.
+    #[test]
+    fn threshold_segment_consistency(
+        probs in prop::collection::vec(0.01f64..5.0, 2..40),
+        idx in any::<prop::sample::Index>(),
+        frac in 0.0f64..0.999,
+    ) {
+        let i = idx.index(probs.len());
+        let before: f64 = probs[..i].iter().sum();
+        let t = before + probs[i] * frac;
+        let got = TreeSampler::new().sample_with_threshold(&probs, t).label;
+        prop_assert_eq!(got, i);
+    }
+}
+
+/// A deterministic empirical check that the tree sampler's draws follow the
+/// distribution (Kolmogorov–Smirnov-style max deviation on the CDF).
+#[test]
+fn empirical_cdf_deviation_small() {
+    let probs: Vec<f64> = (1..=16).map(|i| i as f64).collect();
+    let total: f64 = probs.iter().sum();
+    let mut rng = SplitMix64::new(2024);
+    let sampler = TreeSampler::new();
+    let draws = 60_000;
+    let mut counts = vec![0u64; probs.len()];
+    for _ in 0..draws {
+        counts[sampler.sample(&probs, &mut rng).label] += 1;
+    }
+    let mut cdf_err: f64 = 0.0;
+    let mut emp = 0.0;
+    let mut exact = 0.0;
+    for (c, p) in counts.iter().zip(&probs) {
+        emp += *c as f64 / draws as f64;
+        exact += p / total;
+        cdf_err = cdf_err.max((emp - exact).abs());
+    }
+    assert!(cdf_err < 0.01, "max CDF deviation {cdf_err}");
+}

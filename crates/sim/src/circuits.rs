@@ -1,0 +1,542 @@
+//! Structural circuits for the paper's micro-architecture diagrams.
+
+use std::rc::Rc;
+
+use coopmc_kernels::exp::{ExpKernel, TableExp};
+
+use crate::netlist::{ComponentCensus, Netlist, Wire};
+
+/// Recursive binary mux selecting one of `candidates` by `bits`
+/// (most-significant selector first). `candidates.len()` must be
+/// `2^bits.len()`.
+fn mux_select(n: &mut Netlist, candidates: &[Wire], bits: &[Wire]) -> Wire {
+    assert_eq!(candidates.len(), 1 << bits.len(), "mux arity mismatch");
+    if bits.is_empty() {
+        return candidates[0];
+    }
+    let half = candidates.len() / 2;
+    let lo = mux_select(n, &candidates[..half], &bits[1..]);
+    let hi = mux_select(n, &candidates[half..], &bits[1..]);
+    n.mux(bits[0], lo, hi)
+}
+
+/// The pipelined NormTree (Fig. 3): a comparator tree with a register after
+/// every layer. A new input vector can enter every cycle; the maximum
+/// appears `depth` cycles later.
+#[derive(Debug)]
+pub struct NormTreeCircuit {
+    netlist: Netlist,
+    inputs: Vec<Wire>,
+    output: Wire,
+    depth: usize,
+}
+
+impl NormTreeCircuit {
+    /// Build a tree over `width` inputs (must be a power of two ≥ 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not a power of two or is below 2.
+    pub fn new(width: usize) -> Self {
+        assert!(width >= 2 && width.is_power_of_two(), "width must be a power of two >= 2");
+        let mut n = Netlist::new();
+        let inputs: Vec<Wire> = (0..width).map(|_| n.input()).collect();
+        let mut layer = inputs.clone();
+        let mut depth = 0;
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len() / 2);
+            for pair in layer.chunks(2) {
+                let m = n.max(pair[0], pair[1]);
+                next.push(n.register(m));
+            }
+            layer = next;
+            depth += 1;
+        }
+        Self { netlist: n, inputs, output: layer[0], depth }
+    }
+
+    /// Pipeline depth in cycles.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Component census (for area-model cross-checks).
+    pub fn census(&self) -> ComponentCensus {
+        self.netlist.census()
+    }
+
+    /// Clock one cycle with a fresh input vector; returns the tree output
+    /// registered this cycle (valid for the vector fed `depth` cycles ago).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` has the wrong width.
+    pub fn step(&mut self, values: &[f64]) -> f64 {
+        assert_eq!(values.len(), self.inputs.len(), "input width mismatch");
+        let inputs: Vec<(Wire, f64)> =
+            self.inputs.iter().copied().zip(values.iter().copied()).collect();
+        self.netlist.step(&inputs);
+        self.netlist.value(self.output)
+    }
+}
+
+/// The fused PG core (Fig. 6): per-lane factor adder chains, the shared
+/// NormTree, the broadcast subtract and the TableExp ROMs — combinational,
+/// for output-equivalence against the behavioral `LogFusion` datapath.
+#[derive(Debug)]
+pub struct PgCoreCircuit {
+    netlist: Netlist,
+    factor_inputs: Vec<Vec<Wire>>,
+    outputs: Vec<Wire>,
+}
+
+impl PgCoreCircuit {
+    /// Build a core with `lanes` parallel pipelines (power of two ≥ 2),
+    /// `factors` log-domain factor inputs per lane, and the given TableExp
+    /// parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is not a power of two ≥ 2 or `factors == 0`.
+    pub fn new(lanes: usize, factors: usize, size_lut: usize, bit_lut: u32) -> Self {
+        assert!(lanes >= 2 && lanes.is_power_of_two(), "lanes must be a power of two >= 2");
+        assert!(factors > 0, "need at least one factor per lane");
+        let table = Rc::new(TableExp::new(size_lut, bit_lut));
+        let mut n = Netlist::new();
+        let mut factor_inputs = Vec::with_capacity(lanes);
+        let mut scores = Vec::with_capacity(lanes);
+        for _ in 0..lanes {
+            let ins: Vec<Wire> = (0..factors).map(|_| n.input()).collect();
+            // Adder chain accumulating the lane's log-domain factors.
+            let mut acc = ins[0];
+            for &w in &ins[1..] {
+                acc = n.add(acc, w);
+            }
+            scores.push(acc);
+            factor_inputs.push(ins);
+        }
+        // NormTree (combinational here; the pipelined variant is the
+        // standalone NormTreeCircuit).
+        let mut layer = scores.clone();
+        while layer.len() > 1 {
+            layer = layer.chunks(2).map(|p| n.max(p[0], p[1])).collect();
+        }
+        let max = layer[0];
+        // Broadcast subtract + TableExp per lane.
+        let outputs = scores
+            .iter()
+            .map(|&s| {
+                let shifted = n.sub(s, max);
+                let t = Rc::clone(&table);
+                n.lut(shifted, Rc::new(move |x| t.exp(x)))
+            })
+            .collect();
+        Self { netlist: n, factor_inputs, outputs }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Component census.
+    pub fn census(&self) -> ComponentCensus {
+        self.netlist.census()
+    }
+
+    /// Evaluate one probability vector: `factors[lane][k]` are the
+    /// log-domain factor values. Returns the unnormalized probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn evaluate(&mut self, factors: &[Vec<f64>]) -> Vec<f64> {
+        assert_eq!(factors.len(), self.factor_inputs.len(), "lane count mismatch");
+        let mut inputs = Vec::new();
+        for (lane, vals) in self.factor_inputs.iter().zip(factors) {
+            assert_eq!(lane.len(), vals.len(), "factor count mismatch");
+            inputs.extend(lane.iter().copied().zip(vals.iter().copied()));
+        }
+        self.netlist.step(&inputs);
+        self.outputs.iter().map(|&w| self.netlist.value(w)).collect()
+    }
+}
+
+/// The TreeSampler datapath (Fig. 8): TreeSum adder tree plus the
+/// TraverseTree comparator walk, built structurally with explicit muxes.
+///
+/// The threshold is an external input (in the real design it comes from
+/// ThresholdGen = total × PRNG draw), which makes the circuit exactly
+/// comparable against the behavioral samplers' `sample_with_threshold`.
+#[derive(Debug)]
+pub struct TreeSamplerCircuit {
+    netlist: Netlist,
+    leaves: Vec<Wire>,
+    threshold: Wire,
+    label_out: Wire,
+    total_out: Wire,
+    n_labels: usize,
+}
+
+impl TreeSamplerCircuit {
+    /// Build a sampler over `n_labels` leaves (padded to a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_labels < 2`.
+    pub fn new(n_labels: usize) -> Self {
+        assert!(n_labels >= 2, "need at least two labels");
+        let padded = n_labels.next_power_of_two();
+        let depth = padded.trailing_zeros() as usize;
+        let mut n = Netlist::new();
+        let leaves: Vec<Wire> = (0..n_labels).map(|_| n.input()).collect();
+        let zero = n.constant(0.0);
+        let mut padded_leaves = leaves.clone();
+        padded_leaves.resize(padded, zero);
+
+        // TreeSum: sums[level][i] = sum of the 2^level-leaf block at i<<level.
+        let mut sums: Vec<Vec<Wire>> = vec![padded_leaves];
+        for _ in 0..depth {
+            let prev = sums.last().unwrap().clone();
+            let next: Vec<Wire> = prev.chunks(2).map(|p| n.add(p[0], p[1])).collect();
+            sums.push(next);
+        }
+        let total = sums[depth][0];
+        let threshold = n.input();
+
+        // TraverseTree: walk from the root, selecting the left-child sum
+        // through a mux tree addressed by the bits chosen so far.
+        let mut t = threshold;
+        let mut bits: Vec<Wire> = Vec::with_capacity(depth);
+        for k in 0..depth {
+            let level = depth - 1 - k; // children level of the current node
+            // Left children of the 2^k candidate nodes: even indices.
+            let candidates: Vec<Wire> =
+                (0..(1 << k)).map(|j| sums[level][2 * j]).collect();
+            let left = mux_select(&mut n, &candidates, &bits);
+            let go_right = n.ge(t, left);
+            let t_minus = n.sub(t, left);
+            t = n.mux(go_right, t, t_minus);
+            bits.push(go_right);
+        }
+        // Label = Σ bit_k · 2^(depth-1-k).
+        let mut label = zero;
+        for (k, &b) in bits.iter().enumerate() {
+            let weight = n.constant((1usize << (depth - 1 - k)) as f64);
+            let contrib = n.mux(b, zero, weight);
+            label = n.add(label, contrib);
+        }
+        Self { netlist: n, leaves, threshold, label_out: label, total_out: total, n_labels }
+    }
+
+    /// Component census.
+    pub fn census(&self) -> ComponentCensus {
+        self.netlist.census()
+    }
+
+    /// Evaluate: select the label for `probs` under threshold `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs` has the wrong length or `t` is outside
+    /// `[0, total)`.
+    pub fn sample(&mut self, probs: &[f64], t: f64) -> usize {
+        assert_eq!(probs.len(), self.n_labels, "distribution size mismatch");
+        let mut inputs: Vec<(Wire, f64)> =
+            self.leaves.iter().copied().zip(probs.iter().copied()).collect();
+        inputs.push((self.threshold, t));
+        self.netlist.step(&inputs);
+        let total = self.netlist.value(self.total_out);
+        assert!(t >= 0.0 && t < total, "threshold out of range");
+        let label = self.netlist.value(self.label_out) as usize;
+        label.min(self.n_labels - 1)
+    }
+
+    /// Total probability mass from the last evaluation.
+    pub fn total(&self) -> f64 {
+        self.netlist.value(self.total_out)
+    }
+}
+
+/// The pipelined TreeSampler (the PipeTreeSampler of §III-D): registers
+/// after every TreeSum level, shift registers carrying each level's sums to
+/// the traverse stage that consumes them, and a registered traverse chain —
+/// a new `(probs, threshold)` pair can enter **every cycle**, with labels
+/// emerging one per cycle after the pipeline fills.
+///
+/// Stage timing: the level-`L` sums are registered at stage `L + 1`;
+/// traverse step `k` (consuming the level `depth-1-k` sums) executes at
+/// stage `depth + 1 + k`, so each level's sums ride a shift register of
+/// `2·(depth - L)` stages. Total latency: `2·depth + 1` cycles.
+#[derive(Debug)]
+pub struct PipeTreeSamplerCircuit {
+    netlist: Netlist,
+    leaves: Vec<Wire>,
+    threshold: Wire,
+    label_out: Wire,
+    n_labels: usize,
+    latency: usize,
+}
+
+impl PipeTreeSamplerCircuit {
+    /// Build a pipelined sampler over `n_labels` leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_labels < 2`.
+    pub fn new(n_labels: usize) -> Self {
+        assert!(n_labels >= 2, "need at least two labels");
+        let padded = n_labels.next_power_of_two();
+        let depth = padded.trailing_zeros() as usize;
+        let mut n = Netlist::new();
+        let leaves: Vec<Wire> = (0..n_labels).map(|_| n.input()).collect();
+        let threshold = n.input();
+        let zero = n.constant(0.0);
+        let mut padded_leaves = leaves.clone();
+        padded_leaves.resize(padded, zero);
+
+        // Registered TreeSum: sums[L] are valid at stage L (leaves at 0).
+        let mut sums: Vec<Vec<Wire>> = vec![padded_leaves];
+        for _ in 0..depth {
+            let prev = sums.last().unwrap().clone();
+            let next: Vec<Wire> = prev
+                .chunks(2)
+                .map(|p| {
+                    let s = n.add(p[0], p[1]);
+                    n.register(s)
+                })
+                .collect();
+            sums.push(next);
+        }
+
+        // Helper: delay a wire by `k` register stages.
+        fn delay(n: &mut Netlist, mut w: Wire, k: usize) -> Wire {
+            for _ in 0..k {
+                w = n.register(w);
+            }
+            w
+        }
+
+        // Timing (stages counted in clock edges after a pair enters):
+        // level-L sums are usable by combinational logic at stage L; the
+        // traverse step k computes at stage depth+k, so the level
+        // (depth-1-k) sums ride 2k+1 extra shift-register stages and the
+        // threshold rides depth of them.
+        let mut t = delay(&mut n, threshold, depth);
+        let mut bits: Vec<Wire> = Vec::with_capacity(depth);
+        for k in 0..depth {
+            let level = depth - 1 - k;
+            let candidates: Vec<Wire> = (0..(1 << k))
+                .map(|j| {
+                    let w = sums[level][2 * j];
+                    delay(&mut n, w, 2 * k + 1)
+                })
+                .collect();
+            // Previously chosen bits, re-timed to this stage (bit i is
+            // already registered once at stage depth+i+1).
+            let bits_here: Vec<Wire> = bits
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| delay(&mut n, b, k - i - 1))
+                .collect();
+            let left = mux_select(&mut n, &candidates, &bits_here);
+            let go_right = n.ge(t, left);
+            let t_minus = n.sub(t, left);
+            let t_next = n.mux(go_right, t, t_minus);
+            t = n.register(t_next);
+            bits.push(n.register(go_right));
+        }
+        // Reconstruct the label at stage 2·depth, re-timing each bit.
+        let mut label = zero;
+        let n_bits = bits.len();
+        for (k, &b) in bits.iter().enumerate() {
+            let b_aligned = delay(&mut n, b, n_bits - 1 - k);
+            let weight = n.constant((1usize << (depth - 1 - k)) as f64);
+            let contrib = n.mux(b_aligned, zero, weight);
+            label = n.add(label, contrib);
+        }
+        let latency = 2 * depth;
+        Self { netlist: n, leaves, threshold, label_out: label, n_labels, latency }
+    }
+
+    /// Pipeline latency in cycles from input to label.
+    pub fn latency(&self) -> usize {
+        self.latency
+    }
+
+    /// Component census.
+    pub fn census(&self) -> ComponentCensus {
+        self.netlist.census()
+    }
+
+    /// Clock one cycle with a fresh `(probs, threshold)` pair; returns the
+    /// label wire's current value (valid for the pair fed [`Self::latency`]
+    /// steps earlier, see the streaming test).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs` has the wrong length.
+    pub fn step(&mut self, probs: &[f64], t: f64) -> usize {
+        assert_eq!(probs.len(), self.n_labels, "distribution size mismatch");
+        let mut inputs: Vec<(Wire, f64)> =
+            self.leaves.iter().copied().zip(probs.iter().copied()).collect();
+        inputs.push((self.threshold, t));
+        self.netlist.step(&inputs);
+        (self.netlist.value(self.label_out) as usize).min(self.n_labels - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coopmc_kernels::dynorm::dynorm_apply;
+    use coopmc_sampler::{Sampler, TreeSampler};
+
+    #[test]
+    fn normtree_pipeline_streams_maxima() {
+        let mut tree = NormTreeCircuit::new(4);
+        assert_eq!(tree.depth(), 2);
+        let vectors =
+            [[1.0, 5.0, 2.0, 3.0], [9.0, 0.0, 1.0, 2.0], [4.0, 4.0, 8.0, 7.0], [0.0; 4], [0.0; 4]];
+        let mut outputs = Vec::new();
+        for v in &vectors {
+            outputs.push(tree.step(v));
+        }
+        // `step` returns the post-edge value: after `depth` clock edges the
+        // first vector's maximum is registered at the root, so the reading
+        // taken at step k corresponds to the vector fed at step k-(depth-1).
+        assert_eq!(outputs[1], 5.0);
+        assert_eq!(outputs[2], 9.0);
+        assert_eq!(outputs[3], 8.0);
+    }
+
+    #[test]
+    fn normtree_census_matches_structure() {
+        let tree = NormTreeCircuit::new(8);
+        let c = tree.census();
+        assert_eq!(c.comparators, 7, "n-1 max units");
+        assert_eq!(c.registers, 7, "one register per tree node");
+    }
+
+    #[test]
+    fn pg_core_matches_behavioral_dynorm_tableexp() {
+        let mut core = PgCoreCircuit::new(4, 3, 64, 8);
+        let factors = vec![
+            vec![-1.0, -2.0, -0.5],
+            vec![-0.25, -3.0, -1.5],
+            vec![-2.0, -2.0, -2.0],
+            vec![-0.5, -0.5, -0.5],
+        ];
+        let structural = core.evaluate(&factors);
+        // Behavioral reference: sum, DyNorm, TableExp.
+        let mut scores: Vec<f64> = factors.iter().map(|f| f.iter().sum()).collect();
+        dynorm_apply(&mut scores, 4);
+        let table = TableExp::new(64, 8);
+        let behavioral: Vec<f64> = scores.iter().map(|&s| table.exp(s)).collect();
+        assert_eq!(structural, behavioral);
+        // the best lane is pinned at 1.0 by DyNorm
+        assert!(structural.contains(&1.0));
+    }
+
+    #[test]
+    fn pg_core_census() {
+        let core = PgCoreCircuit::new(4, 3, 64, 8);
+        let c = core.census();
+        // 4 lanes x 2 chain adders + 4 broadcast subtractors = 12 adders;
+        // 3 max units; 4 LUTs.
+        assert_eq!(c.adders, 12);
+        assert_eq!(c.comparators, 3);
+        assert_eq!(c.luts, 4);
+    }
+
+    #[test]
+    fn tree_sampler_circuit_matches_behavioral_sampler() {
+        let probs = [0.05, 0.3, 0.0, 0.15, 0.25, 0.25];
+        let behavioral = TreeSampler::new();
+        let mut circuit = TreeSamplerCircuit::new(probs.len());
+        let total: f64 = probs.iter().sum();
+        for k in 0..100 {
+            let t = total * (k as f64 + 0.5) / 100.5;
+            let want = behavioral.sample_with_threshold(&probs, t).label;
+            let got = circuit.sample(&probs, t);
+            assert_eq!(got, want, "mismatch at t={t}");
+        }
+    }
+
+    #[test]
+    fn tree_sampler_census_matches_area_model_counts() {
+        // The structural netlist and the hw area model must agree on the
+        // number of TreeSum adders for the same label count.
+        let circuit = TreeSamplerCircuit::new(64);
+        let census = circuit.census();
+        // TreeSum: 63 adders. Traverse: 6 subtractors (one per level).
+        // Label reconstruction: 6 adders.
+        assert_eq!(census.adders, 63 + 6 + 6);
+        // Traverse comparators: one per level.
+        assert_eq!(census.comparators, 6);
+    }
+
+    #[test]
+    fn pipelined_sampler_streams_one_label_per_cycle() {
+        // Feed a *different* distribution + threshold every cycle; every
+        // label must match the behavioral sampler for its own pair.
+        let n_labels = 8usize;
+        let mut circuit = PipeTreeSamplerCircuit::new(n_labels);
+        let behavioral = TreeSampler::new();
+        let latency = circuit.latency();
+        assert_eq!(latency, 6, "depth-3 tree: 2*depth cycles");
+
+        let pairs: Vec<(Vec<f64>, f64)> = (0..20)
+            .map(|k| {
+                let probs: Vec<f64> =
+                    (0..n_labels).map(|i| 0.5 + ((i * 7 + k * 3) % 11) as f64).collect();
+                let total: f64 = probs.iter().sum();
+                (probs, total * ((k * 13 % 17) as f64 + 0.5) / 17.5)
+            })
+            .collect();
+
+        let mut outputs = Vec::new();
+        for (probs, t) in &pairs {
+            outputs.push(circuit.step(probs, *t));
+        }
+        // Flush with copies of the last pair.
+        let (lp, lt) = pairs.last().unwrap().clone();
+        for _ in 0..latency {
+            outputs.push(circuit.step(&lp, lt));
+        }
+        for (k, (probs, t)) in pairs.iter().enumerate() {
+            let want = behavioral.sample_with_threshold(probs, *t).label;
+            assert_eq!(outputs[k + latency], want, "pair {k} mismatched");
+        }
+    }
+
+    #[test]
+    fn pipelined_sampler_has_more_registers_than_combinational() {
+        let pipe = PipeTreeSamplerCircuit::new(64);
+        let comb = TreeSamplerCircuit::new(64);
+        assert!(pipe.census().registers > 0);
+        assert_eq!(comb.census().registers, 0);
+        // Same arithmetic structure: adders and comparators match.
+        assert_eq!(pipe.census().comparators, comb.census().comparators);
+    }
+
+    #[test]
+    fn tree_sampler_total_is_exposed() {
+        let mut circuit = TreeSamplerCircuit::new(3);
+        let _ = circuit.sample(&[1.0, 2.0, 3.0], 0.5);
+        assert_eq!(circuit.total(), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold out of range")]
+    fn threshold_at_total_panics() {
+        let mut circuit = TreeSamplerCircuit::new(2);
+        let _ = circuit.sample(&[0.5, 0.5], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn odd_normtree_width_panics() {
+        let _ = NormTreeCircuit::new(6);
+    }
+}

@@ -1,0 +1,359 @@
+//! The synchronous netlist: wires, combinational components and registers.
+
+use std::rc::Rc;
+
+/// A wire index in a [`Netlist`]. Wires carry `f64` values that are always
+/// members of some fixed-point grid (the same bit-true-in-a-float-container
+//  convention as the behavioral models).
+pub type Wire = usize;
+
+/// A combinational component instance.
+#[derive(Clone)]
+pub enum Component {
+    /// Constant driver.
+    Const {
+        /// Output wire.
+        out: Wire,
+        /// Driven value.
+        value: f64,
+    },
+    /// Two-input adder: `out = a + b`.
+    Add {
+        /// Left operand.
+        a: Wire,
+        /// Right operand.
+        b: Wire,
+        /// Output wire.
+        out: Wire,
+    },
+    /// Two-input subtractor: `out = a - b`.
+    Sub {
+        /// Minuend.
+        a: Wire,
+        /// Subtrahend.
+        b: Wire,
+        /// Output wire.
+        out: Wire,
+    },
+    /// Two-input maximum (a comparator + mux pair in silicon).
+    Max {
+        /// Left operand.
+        a: Wire,
+        /// Right operand.
+        b: Wire,
+        /// Output wire.
+        out: Wire,
+    },
+    /// Comparator: `out = if a >= b { 1.0 } else { 0.0 }`.
+    Ge {
+        /// Left operand.
+        a: Wire,
+        /// Right operand.
+        b: Wire,
+        /// Output wire (boolean-valued).
+        out: Wire,
+    },
+    /// Two-way mux: `out = if sel >= 0.5 { hi } else { lo }`.
+    Mux {
+        /// Select wire (boolean-valued).
+        sel: Wire,
+        /// Value when `sel` is 0.
+        lo: Wire,
+        /// Value when `sel` is 1.
+        hi: Wire,
+        /// Output wire.
+        out: Wire,
+    },
+    /// Read-only lookup kernel (TableExp / TableLog): `out = f(input)`.
+    Lut {
+        /// Input wire.
+        input: Wire,
+        /// Output wire.
+        out: Wire,
+        /// The ROM's transfer function.
+        f: Rc<dyn Fn(f64) -> f64>,
+    },
+}
+
+impl std::fmt::Debug for Component {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Component::Const { .. } => "Const",
+            Component::Add { .. } => "Add",
+            Component::Sub { .. } => "Sub",
+            Component::Max { .. } => "Max",
+            Component::Ge { .. } => "Ge",
+            Component::Mux { .. } => "Mux",
+            Component::Lut { .. } => "Lut",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Census of component kinds (for cross-checking the area model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ComponentCensus {
+    /// Adders + subtractors.
+    pub adders: usize,
+    /// Max units and comparators.
+    pub comparators: usize,
+    /// Muxes.
+    pub muxes: usize,
+    /// LUT ROM instances.
+    pub luts: usize,
+    /// Registers.
+    pub registers: usize,
+}
+
+/// A synchronous netlist: combinational components evaluated in build
+/// order (construction guarantees topological order), plus registers
+/// clocked at the end of every [`Netlist::step`].
+#[derive(Debug, Default)]
+pub struct Netlist {
+    values: Vec<f64>,
+    components: Vec<Component>,
+    /// `(d, q)` register pairs: at each clock edge, `q := value(d)`.
+    registers: Vec<(Wire, Wire)>,
+    inputs: Vec<Wire>,
+}
+
+impl Netlist {
+    /// An empty netlist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a fresh wire (initial value 0).
+    pub fn wire(&mut self) -> Wire {
+        self.values.push(0.0);
+        self.values.len() - 1
+    }
+
+    /// Allocate an external input wire.
+    pub fn input(&mut self) -> Wire {
+        let w = self.wire();
+        self.inputs.push(w);
+        w
+    }
+
+    /// Drive a constant.
+    pub fn constant(&mut self, value: f64) -> Wire {
+        let out = self.wire();
+        self.components.push(Component::Const { out, value });
+        out
+    }
+
+    /// `a + b`.
+    pub fn add(&mut self, a: Wire, b: Wire) -> Wire {
+        let out = self.wire();
+        self.components.push(Component::Add { a, b, out });
+        out
+    }
+
+    /// `a - b`.
+    pub fn sub(&mut self, a: Wire, b: Wire) -> Wire {
+        let out = self.wire();
+        self.components.push(Component::Sub { a, b, out });
+        out
+    }
+
+    /// `max(a, b)`.
+    pub fn max(&mut self, a: Wire, b: Wire) -> Wire {
+        let out = self.wire();
+        self.components.push(Component::Max { a, b, out });
+        out
+    }
+
+    /// `a >= b` as 0/1.
+    pub fn ge(&mut self, a: Wire, b: Wire) -> Wire {
+        let out = self.wire();
+        self.components.push(Component::Ge { a, b, out });
+        out
+    }
+
+    /// `sel ? hi : lo`.
+    pub fn mux(&mut self, sel: Wire, lo: Wire, hi: Wire) -> Wire {
+        let out = self.wire();
+        self.components.push(Component::Mux { sel, lo, hi, out });
+        out
+    }
+
+    /// A LUT ROM with transfer function `f`.
+    pub fn lut(&mut self, input: Wire, f: Rc<dyn Fn(f64) -> f64>) -> Wire {
+        let out = self.wire();
+        self.components.push(Component::Lut { input, out, f });
+        out
+    }
+
+    /// A register: returns the `q` output; its `d` input is `d`.
+    /// `q` presents last cycle's `d` value (reset value 0).
+    pub fn register(&mut self, d: Wire) -> Wire {
+        let q = self.wire();
+        self.registers.push((d, q));
+        q
+    }
+
+    /// Census of instantiated components.
+    pub fn census(&self) -> ComponentCensus {
+        let mut c = ComponentCensus { registers: self.registers.len(), ..Default::default() };
+        for comp in &self.components {
+            match comp {
+                Component::Add { .. } | Component::Sub { .. } => c.adders += 1,
+                Component::Max { .. } | Component::Ge { .. } => c.comparators += 1,
+                Component::Mux { .. } => c.muxes += 1,
+                Component::Lut { .. } => c.luts += 1,
+                Component::Const { .. } => {}
+            }
+        }
+        c
+    }
+
+    /// Current value of a wire.
+    pub fn value(&self, w: Wire) -> f64 {
+        self.values[w]
+    }
+
+    /// Evaluate one clock cycle: set `inputs` (pairs of wire and value),
+    /// propagate combinational logic in build order, then clock the
+    /// registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input pair names a wire that was not declared with
+    /// [`Netlist::input`].
+    pub fn step(&mut self, inputs: &[(Wire, f64)]) {
+        for &(w, v) in inputs {
+            assert!(self.inputs.contains(&w), "wire {w} is not an input");
+            self.values[w] = v;
+        }
+        for comp in &self.components {
+            match comp {
+                Component::Const { out, value } => self.values[*out] = *value,
+                Component::Add { a, b, out } => {
+                    self.values[*out] = self.values[*a] + self.values[*b]
+                }
+                Component::Sub { a, b, out } => {
+                    self.values[*out] = self.values[*a] - self.values[*b]
+                }
+                Component::Max { a, b, out } => {
+                    self.values[*out] = self.values[*a].max(self.values[*b])
+                }
+                Component::Ge { a, b, out } => {
+                    self.values[*out] =
+                        if self.values[*a] >= self.values[*b] { 1.0 } else { 0.0 }
+                }
+                Component::Mux { sel, lo, hi, out } => {
+                    self.values[*out] = if self.values[*sel] >= 0.5 {
+                        self.values[*hi]
+                    } else {
+                        self.values[*lo]
+                    }
+                }
+                Component::Lut { input, out, f } => {
+                    self.values[*out] = f(self.values[*input])
+                }
+            }
+        }
+        // Clock edge: all registers latch simultaneously.
+        let latched: Vec<(Wire, f64)> =
+            self.registers.iter().map(|&(d, q)| (q, self.values[d])).collect();
+        for (q, v) in latched {
+            self.values[q] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combinational_chain_evaluates_in_one_step() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        let s = n.add(a, b);
+        let c = n.constant(10.0);
+        let t = n.sub(c, s);
+        n.step(&[(a, 3.0), (b, 4.0)]);
+        assert_eq!(n.value(s), 7.0);
+        assert_eq!(n.value(t), 3.0);
+    }
+
+    #[test]
+    fn register_delays_by_one_cycle() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let q = n.register(a);
+        n.step(&[(a, 5.0)]);
+        // q shows the value *after* the first edge
+        assert_eq!(n.value(q), 5.0);
+        n.step(&[(a, 9.0)]);
+        assert_eq!(n.value(q), 9.0);
+    }
+
+    #[test]
+    fn register_chain_forms_a_shift_register() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let q1 = n.register(a);
+        let q2 = n.register(q1);
+        n.step(&[(a, 1.0)]);
+        n.step(&[(a, 2.0)]);
+        n.step(&[(a, 3.0)]);
+        // After 3 edges: q1 = 3 (latest), q2 = value q1 had before edge = 2.
+        assert_eq!(n.value(q1), 3.0);
+        assert_eq!(n.value(q2), 2.0);
+    }
+
+    #[test]
+    fn mux_and_comparator() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        let sel = n.ge(a, b);
+        let out = n.mux(sel, a, b); // min(a, b) via (a>=b ? b : a)
+        n.step(&[(a, 7.0), (b, 2.0)]);
+        assert_eq!(n.value(sel), 1.0);
+        assert_eq!(n.value(out), 2.0);
+        n.step(&[(a, 1.0), (b, 2.0)]);
+        assert_eq!(n.value(out), 1.0);
+    }
+
+    #[test]
+    fn lut_applies_transfer_function() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let out = n.lut(a, Rc::new(|x| x * x));
+        n.step(&[(a, 3.0)]);
+        assert_eq!(n.value(out), 9.0);
+    }
+
+    #[test]
+    fn census_counts_components() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        let s = n.add(a, b);
+        let m = n.max(a, b);
+        let g = n.ge(s, m);
+        let x = n.mux(g, s, m);
+        let _ = n.register(x);
+        let _ = n.lut(x, Rc::new(|v| v));
+        let c = n.census();
+        assert_eq!(c.adders, 1);
+        assert_eq!(c.comparators, 2);
+        assert_eq!(c.muxes, 1);
+        assert_eq!(c.registers, 1);
+        assert_eq!(c.luts, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an input")]
+    fn driving_non_input_panics() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let s = n.add(a, a);
+        n.step(&[(s, 1.0)]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based equivalence: the structural circuits compute exactly what
+//! the behavioral models compute, for any input.
+
+use coopmc_kernels::dynorm::dynorm_apply;
+use coopmc_kernels::exp::{ExpKernel, TableExp};
+use coopmc_sampler::{Sampler, SequentialSampler, TreeSampler};
+use coopmc_sim::circuits::{NormTreeCircuit, PgCoreCircuit, TreeSamplerCircuit};
+use proptest::prelude::*;
+
+proptest! {
+    /// TreeSamplerCircuit ≡ TreeSampler ≡ SequentialSampler under every
+    /// threshold, for arbitrary label counts (including non-powers of two).
+    #[test]
+    fn tree_sampler_circuit_equivalence(
+        probs in prop::collection::vec(0.0f64..8.0, 2..40)
+            .prop_filter("mass", |v| v.iter().sum::<f64>() > 0.0),
+        u in 0.0f64..0.9999,
+    ) {
+        let total: f64 = probs.iter().sum();
+        let t = u * total;
+        let mut circuit = TreeSamplerCircuit::new(probs.len());
+        let structural = circuit.sample(&probs, t);
+        let tree = TreeSampler::new().sample_with_threshold(&probs, t).label;
+        let seq = SequentialSampler::new().sample_with_threshold(&probs, t).label;
+        prop_assert_eq!(structural, tree);
+        prop_assert_eq!(structural, seq);
+    }
+
+    /// PgCoreCircuit ≡ sum → DyNorm → TableExp for arbitrary factor inputs.
+    #[test]
+    fn pg_core_circuit_equivalence(
+        lanes_pow in 1u32..4,
+        factor_matrix in prop::collection::vec(
+            prop::collection::vec(-8.0f64..0.0, 3), 8),
+        size_pow in 3u32..8,
+        bits in 2u32..17,
+    ) {
+        let lanes = 1usize << lanes_pow.max(1);
+        let factors: Vec<Vec<f64>> = factor_matrix.into_iter().take(lanes).collect();
+        prop_assume!(factors.len() == lanes);
+        let size = 1usize << size_pow;
+        let mut core = PgCoreCircuit::new(lanes, 3, size, bits);
+        let structural = core.evaluate(&factors);
+        let mut scores: Vec<f64> = factors.iter().map(|f| f.iter().sum()).collect();
+        dynorm_apply(&mut scores, lanes);
+        let table = TableExp::new(size, bits);
+        let behavioral: Vec<f64> = scores.iter().map(|&s| table.exp(s)).collect();
+        prop_assert_eq!(structural, behavioral);
+    }
+
+    /// The pipelined NormTreeCircuit streams correct maxima at full rate.
+    #[test]
+    fn normtree_streaming_equivalence(
+        width_pow in 1u32..5,
+        stream in prop::collection::vec(
+            prop::collection::vec(-100.0f64..100.0, 16), 3..10),
+    ) {
+        let width = 1usize << width_pow;
+        let mut circuit = NormTreeCircuit::new(width);
+        let depth = circuit.depth();
+        let vectors: Vec<Vec<f64>> =
+            stream.iter().map(|v| v[..width].to_vec()).collect();
+        let mut outputs = Vec::new();
+        for v in &vectors {
+            outputs.push(circuit.step(v));
+        }
+        // flush the pipeline
+        for _ in 0..depth {
+            outputs.push(circuit.step(&vec![f64::MIN; width]));
+        }
+        for (k, v) in vectors.iter().enumerate() {
+            let want = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let got = outputs[k + depth - 1];
+            prop_assert_eq!(got, want, "vector {} mismatched", k);
+        }
+    }
+}
+
+/// The structural TreeSampler's adder census equals the count the hw area
+/// model charges for TreeSum, across sizes.
+#[test]
+fn structural_census_tracks_area_model() {
+    for n in [2usize, 4, 8, 16, 32, 64, 128] {
+        let circuit = TreeSamplerCircuit::new(n);
+        let census = circuit.census();
+        let padded = n.next_power_of_two();
+        let depth = padded.trailing_zeros() as usize;
+        // TreeSum adders (padded-1) + per-level traverse subtractor +
+        // per-level label adder.
+        assert_eq!(census.adders, (padded - 1) + 2 * depth, "n={n}");
+        assert_eq!(census.comparators, depth, "n={n}");
+    }
+}
+
+/// Driving the structural pipeline end to end: PG core feeding the sampler
+/// circuit reproduces the behavioral engine's chosen label.
+#[test]
+fn pg_to_sampler_structural_path() {
+    let mut core = PgCoreCircuit::new(8, 2, 64, 8);
+    let factors: Vec<Vec<f64>> = (0..8)
+        .map(|i| vec![-(i as f64) * 0.7, -0.3])
+        .collect();
+    let probs = core.evaluate(&factors);
+    let total: f64 = probs.iter().sum();
+    let mut sampler = TreeSamplerCircuit::new(8);
+    let behavioral = TreeSampler::new();
+    for k in 0..50 {
+        let t = total * (k as f64 + 0.5) / 50.5;
+        assert_eq!(
+            sampler.sample(&probs, t),
+            behavioral.sample_with_threshold(&probs, t).label
+        );
+    }
+}

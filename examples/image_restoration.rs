@@ -1,0 +1,74 @@
+//! Image restoration with a 64-label MRF: the paper's flagship workload
+//! (and the §IV-D case-study configuration).
+//!
+//! Restores a synthetic grayscale image corrupted by Gaussian noise and
+//! black occlusion boxes, sweeping exp-kernel precision to show the Fig. 2 /
+//! Fig. 10 effect: low-precision fixed point fails without DyNorm and
+//! matches float32 with it. Finishes with the hardware model's verdict on
+//! the corresponding accelerator core.
+//!
+//! Run with: `cargo run --release --example image_restoration`
+
+use coopmc::core::experiments::{mrf_golden, mrf_trace};
+use coopmc::core::pipeline::PipelineConfig;
+use coopmc::hw::accel::case_study_table;
+use coopmc::models::metrics::mse;
+use coopmc::models::mrf::image_restoration;
+use coopmc::models::GibbsModel;
+
+fn main() {
+    let app = image_restoration(48, 32, 7);
+    let noisy_mse = mse(&app.mrf.labels(), &app.clean);
+    println!("corrupted input MSE vs clean image: {noisy_mse:.2} (64 gray levels)");
+
+    let golden = mrf_golden(&app, 60, 4242);
+    println!("golden (float32, 60 sweeps) MSE vs clean: {:.2}", mse(&golden, &app.clean));
+
+    println!("\nconvergence of normalized MSE (lower is better):");
+    println!(
+        "{:<20} {:>8} {:>8} {:>8} {:>8}",
+        "datapath", "it=5", "it=10", "it=20", "it=30"
+    );
+    for config in [
+        PipelineConfig::float32(),
+        PipelineConfig::fixed(4),
+        PipelineConfig::fixed_dynorm(4),
+        PipelineConfig::fixed_dynorm(8),
+        PipelineConfig::coopmc(32, 8),
+        PipelineConfig::coopmc(1024, 32),
+    ] {
+        let trace = mrf_trace(&app, config, 30, 11, &golden);
+        let at = |it: u64| {
+            trace
+                .samples()
+                .iter()
+                .find(|&&(i, _)| i == it)
+                .map(|&(_, v)| v)
+                .unwrap_or(f64::NAN)
+        };
+        println!(
+            "{:<20} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            config.build().name(),
+            at(5),
+            at(10),
+            at(20),
+            at(30)
+        );
+    }
+
+    println!("\nhardware verdict for this 64-label workload (Table IV model):");
+    println!(
+        "{:<12} {:>12} {:>8} {:>8} {:>9}",
+        "version", "area (um2)", "area%", "power%", "speedup"
+    );
+    for (report, area, power, speedup) in case_study_table() {
+        println!(
+            "{:<12} {:>12.0} {:>7.0}% {:>7.0}% {:>8.2}x",
+            report.config.name,
+            report.area.total(),
+            100.0 * area,
+            100.0 * power,
+            speedup
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Topic modelling with collapsed-Gibbs LDA: the paper's LogFusion
+//! showcase, since every topic score is a multiply/divide factor expression
+//! (Eq. 6).
+//!
+//! Fits a synthetic corpus with planted topics, then checks how much of the
+//! planted structure the sampler recovered and how the LUT precision
+//! (Fig. 13's axes) affects the converged log-likelihood.
+//!
+//! Run with: `cargo run --release --example topic_modeling`
+
+use coopmc::core::experiments::{lda_converged_loglik, lda_trace};
+use coopmc::core::pipeline::PipelineConfig;
+use coopmc::models::lda::{synthetic_corpus, CorpusSpec, Lda};
+
+fn main() {
+    let spec = CorpusSpec {
+        n_docs: 80,
+        n_vocab: 200,
+        n_topics: 8,
+        doc_len: 60,
+        topics_per_doc: 2,
+        seed: 17,
+    };
+    let corpus = synthetic_corpus(&spec);
+    let mut lda = Lda::new(&corpus, spec.n_topics, 50.0 / spec.n_topics as f64, 0.01);
+    lda.randomize_topics(5);
+    println!(
+        "corpus: {} docs, {} tokens, vocab {}, {} planted topics",
+        spec.n_docs,
+        corpus.tokens.len(),
+        spec.n_vocab,
+        spec.n_topics
+    );
+    println!("initial log-likelihood: {:.0}", lda.log_likelihood());
+
+    // Convergence under the float reference.
+    let trace = lda_trace(&lda, PipelineConfig::float32(), 30, 3);
+    println!("\nfloat32 log-likelihood trace:");
+    for &(it, ll) in trace.samples().iter().filter(|&&(it, _)| it % 5 == 0) {
+        println!("  sweep {it:>3}: {ll:>10.0}");
+    }
+
+    // The Fig. 13 axes: converged quality vs LUT precision.
+    println!("\nconverged log-likelihood vs TableExp parameters (30 sweeps):");
+    println!("{:<10} {:>12} {:>12} {:>12}", "size_lut", "4-bit", "8-bit", "16-bit");
+    for size in [16usize, 64, 256] {
+        let row: Vec<f64> = [4u32, 8, 16]
+            .iter()
+            .map(|&bits| {
+                lda_converged_loglik(&lda, PipelineConfig::coopmc(size, bits), 30, 3)
+            })
+            .collect();
+        println!("{:<10} {:>12.0} {:>12.0} {:>12.0}", size, row[0], row[1], row[2]);
+    }
+    let float_ll = lda_converged_loglik(&lda, PipelineConfig::float32(), 30, 3);
+    println!("{:<10} {:>38.0}", "float32", float_ll);
+
+    println!(
+        "\nhigher is better; expect the high-precision LUT rows to approach the float32 line."
+    );
+}

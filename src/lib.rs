@@ -1,0 +1,36 @@
+//! # CoopMC
+//!
+//! A from-scratch Rust reproduction of *CoopMC: Algorithm-Architecture
+//! Co-Optimization for Markov Chain Monte Carlo Accelerators* (HPCA 2022).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! - [`fixed`] — bit-true fixed-point arithmetic ([`coopmc_fixed`])
+//! - [`rng`] — hardware-style PRNGs ([`coopmc_rng`])
+//! - [`kernels`] — DyNorm, TableExp, LogFusion and baseline datapaths
+//!   ([`coopmc_kernels`])
+//! - [`sampler`] — sequential / tree / pipelined-tree samplers
+//!   ([`coopmc_sampler`])
+//! - [`hw`] — area, power, cycle and roofline models ([`coopmc_hw`])
+//! - [`models`] — MRF, Bayesian-network and LDA substrates
+//!   ([`coopmc_models`])
+//! - [`core`] — probability-generation pipelines and the Gibbs engine
+//!   ([`coopmc_core`])
+//! - [`sim`] — structural (netlist-level) circuits of the paper's
+//!   micro-architecture diagrams ([`coopmc_sim`])
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `crates/bench` for the binaries that regenerate every table and figure of
+//! the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use coopmc_core as core;
+pub use coopmc_fixed as fixed;
+pub use coopmc_hw as hw;
+pub use coopmc_kernels as kernels;
+pub use coopmc_models as models;
+pub use coopmc_rng as rng;
+pub use coopmc_sampler as sampler;
+pub use coopmc_sim as sim;

@@ -1,0 +1,298 @@
+//! `coopmc` — command-line front end for the CoopMC reproduction.
+//!
+//! ```text
+//! coopmc list
+//! coopmc run <workload> [--pipeline SPEC] [--sampler KIND] [--sweeps N]
+//!                       [--seed S] [--threads T]
+//! coopmc hw [--labels N]
+//! ```
+//!
+//! Pipeline SPECs: `float32`, `fixed:<bits>`, `fixed+dn:<bits>`,
+//! `coopmc:<size>x<bits>`. Sampler KINDs: `seq`, `tree`, `pipe`, `alias`.
+
+use std::process::ExitCode;
+
+use coopmc::core::engine::GibbsEngine;
+use coopmc::core::parallel::ChromaticEngine;
+use coopmc::core::pipeline::{CoopMcPipeline, PipelineConfig};
+use coopmc::hw::accel::case_study_table;
+use coopmc::hw::area::{sampler_area, SamplerKind};
+use coopmc::hw::roofline::roofline;
+use coopmc::models::workloads::{all_workloads, BuiltWorkload, WorkloadSpec};
+use coopmc::models::GibbsModel;
+use coopmc::rng::SplitMix64;
+use coopmc::sampler::{AliasSampler, PipeTreeSampler, Sampler, SequentialSampler, TreeSampler};
+
+/// Parsed `run` subcommand options.
+#[derive(Debug, Clone, PartialEq)]
+struct RunArgs {
+    workload: String,
+    pipeline: PipelineConfig,
+    sampler: String,
+    sweeps: u64,
+    seed: u64,
+    threads: usize,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        Self {
+            workload: String::new(),
+            pipeline: PipelineConfig::coopmc(64, 8),
+            sampler: "tree".to_owned(),
+            sweeps: 20,
+            seed: 2022,
+            threads: 1,
+        }
+    }
+}
+
+/// Parse a pipeline spec string.
+fn parse_pipeline(spec: &str) -> Result<PipelineConfig, String> {
+    if spec == "float32" {
+        return Ok(PipelineConfig::float32());
+    }
+    if let Some(bits) = spec.strip_prefix("fixed+dn:") {
+        let b: u32 = bits.parse().map_err(|_| format!("bad bits in '{spec}'"))?;
+        return Ok(PipelineConfig::fixed_dynorm(b));
+    }
+    if let Some(bits) = spec.strip_prefix("fixed:") {
+        let b: u32 = bits.parse().map_err(|_| format!("bad bits in '{spec}'"))?;
+        return Ok(PipelineConfig::fixed(b));
+    }
+    if let Some(rest) = spec.strip_prefix("coopmc:") {
+        let (size, bits) = rest
+            .split_once('x')
+            .ok_or_else(|| format!("expected coopmc:<size>x<bits>, got '{spec}'"))?;
+        let s: usize = size.parse().map_err(|_| format!("bad size in '{spec}'"))?;
+        let b: u32 = bits.parse().map_err(|_| format!("bad bits in '{spec}'"))?;
+        return Ok(PipelineConfig::coopmc(s, b));
+    }
+    Err(format!(
+        "unknown pipeline '{spec}' (try float32, fixed:8, fixed+dn:8, coopmc:64x8)"
+    ))
+}
+
+/// Parse the argument list of `run`.
+fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let mut out = RunArgs::default();
+    let mut it = args.iter();
+    out.workload = it.next().ok_or("missing workload name (see `coopmc list`)")?.clone();
+    while let Some(flag) = it.next() {
+        let value = |it: &mut std::slice::Iter<String>| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--pipeline" => out.pipeline = parse_pipeline(&value(&mut it)?)?,
+            "--sampler" => {
+                let v = value(&mut it)?;
+                if !["seq", "tree", "pipe", "alias"].contains(&v.as_str()) {
+                    return Err(format!("unknown sampler '{v}'"));
+                }
+                out.sampler = v;
+            }
+            "--sweeps" => {
+                out.sweeps =
+                    value(&mut it)?.parse().map_err(|_| "bad --sweeps value".to_owned())?
+            }
+            "--seed" => {
+                out.seed = value(&mut it)?.parse().map_err(|_| "bad --seed value".to_owned())?
+            }
+            "--threads" => {
+                out.threads =
+                    value(&mut it)?.parse().map_err(|_| "bad --threads value".to_owned())?;
+                if out.threads == 0 {
+                    return Err("--threads must be at least 1".to_owned());
+                }
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(out)
+}
+
+fn find_workload(name: &str) -> Option<WorkloadSpec> {
+    all_workloads()
+        .into_iter()
+        .find(|w| w.name.eq_ignore_ascii_case(name) || w.name.to_lowercase().contains(&name.to_lowercase()))
+}
+
+fn build_sampler(kind: &str) -> Box<dyn Sampler> {
+    match kind {
+        "seq" => Box::new(SequentialSampler::new()),
+        "pipe" => Box::new(PipeTreeSampler::new()),
+        "alias" => Box::new(AliasSampler::new()),
+        _ => Box::new(TreeSampler::new()),
+    }
+}
+
+fn cmd_list() {
+    println!("{:<30} {:>12} {:>8}  (paper scale)", "workload", "#variables", "#labels");
+    for w in all_workloads() {
+        println!("{:<30} {:>12} {:>8}", w.name, w.paper_variables, w.paper_labels);
+    }
+}
+
+fn cmd_run(args: RunArgs) -> Result<(), String> {
+    let spec = find_workload(&args.workload)
+        .ok_or_else(|| format!("no workload matches '{}'", args.workload))?;
+    println!(
+        "running {} | pipeline {:?} | sampler {} | {} sweeps | seed {} | {} thread(s)",
+        spec.name, args.pipeline, args.sampler, args.sweeps, args.seed, args.threads
+    );
+    let built = spec.build(args.seed);
+    match built {
+        BuiltWorkload::Mrf(mut app) => {
+            let e0 = app.mrf.energy();
+            if args.threads > 1 {
+                let (size, bits) = match args.pipeline {
+                    PipelineConfig::CoopMc { size_lut, bit_lut } => (size_lut, bit_lut),
+                    _ => {
+                        return Err(
+                            "--threads > 1 currently supports only coopmc pipelines".to_owned()
+                        )
+                    }
+                };
+                ChromaticEngine::new(CoopMcPipeline::new(size, bits), args.threads, args.seed)
+                    .run(&mut app.mrf, args.sweeps);
+            } else {
+                let mut engine = GibbsEngine::new(
+                    args.pipeline.build(),
+                    TreeSampler::new(),
+                    SplitMix64::new(args.seed),
+                );
+                engine.run(&mut app.mrf, args.sweeps);
+            }
+            println!("energy: {e0:.1} -> {:.1}", app.mrf.energy());
+        }
+        BuiltWorkload::Bn(mut net) => {
+            let mut engine = GibbsEngine::new(
+                args.pipeline.build(),
+                build_sampler(&args.sampler),
+                SplitMix64::new(args.seed),
+            );
+            let mut counter = coopmc::models::bn::MarginalCounter::new(&net);
+            let mut stats = coopmc::core::engine::RunStats::default();
+            for _ in 0..args.sweeps {
+                engine.sweep(&mut net, &mut stats);
+                counter.record(&net);
+            }
+            println!("{:<14} {:>10}", "node", "P(label 0)");
+            for v in 0..net.num_variables() {
+                println!("{:<14} {:>10.4}", net.nodes()[v].name, counter.marginal(v)[0]);
+            }
+        }
+        BuiltWorkload::Lda(mut lda) => {
+            let ll0 = lda.log_likelihood();
+            let mut engine = GibbsEngine::new(
+                args.pipeline.build(),
+                build_sampler(&args.sampler),
+                SplitMix64::new(args.seed),
+            );
+            engine.run(&mut lda, args.sweeps);
+            println!("log-likelihood: {ll0:.0} -> {:.0}", lda.log_likelihood());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_hw(labels: usize) {
+    println!("end-to-end case study at {labels} labels (Table IV model):");
+    println!("{:<12} {:>12} {:>8} {:>8} {:>9}", "version", "area um2", "area%", "power%", "speedup");
+    for (report, area, power, speedup) in case_study_table() {
+        println!(
+            "{:<12} {:>12.0} {:>7.0}% {:>7.0}% {:>8.2}x",
+            report.config.name,
+            report.area.total(),
+            100.0 * area,
+            100.0 * power,
+            speedup
+        );
+        let r = roofline(report.cycles_per_variable);
+        assert!(r.compute_bound);
+    }
+    println!("\nsampler areas at {labels} labels:");
+    for kind in [SamplerKind::Sequential, SamplerKind::Tree, SamplerKind::PipeTree] {
+        println!("  {:<11} {:>10.0} um2", kind.name(), sampler_area(kind, labels, 32).total());
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:\n  coopmc list\n  coopmc run <workload> [--pipeline SPEC] [--sampler seq|tree|pipe|alias] [--sweeps N] [--seed S] [--threads T]\n  coopmc hw [--labels N]"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => {
+            cmd_list();
+            Ok(())
+        }
+        Some("run") => parse_run_args(&args[1..]).and_then(cmd_run),
+        Some("hw") => {
+            let labels = args
+                .iter()
+                .position(|a| a == "--labels")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            cmd_hw(labels);
+            Ok(())
+        }
+        _ => Err(usage().to_owned()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_specs_parse() {
+        assert_eq!(parse_pipeline("float32").unwrap(), PipelineConfig::float32());
+        assert_eq!(parse_pipeline("fixed:8").unwrap(), PipelineConfig::fixed(8));
+        assert_eq!(parse_pipeline("fixed+dn:4").unwrap(), PipelineConfig::fixed_dynorm(4));
+        assert_eq!(parse_pipeline("coopmc:64x8").unwrap(), PipelineConfig::coopmc(64, 8));
+        assert!(parse_pipeline("magic").is_err());
+        assert!(parse_pipeline("coopmc:64").is_err());
+        assert!(parse_pipeline("fixed:x").is_err());
+    }
+
+    #[test]
+    fn run_args_parse_with_defaults_and_flags() {
+        let args: Vec<String> = ["BN-ASIA", "--sweeps", "100", "--seed", "7", "--sampler", "seq"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let parsed = parse_run_args(&args).unwrap();
+        assert_eq!(parsed.workload, "BN-ASIA");
+        assert_eq!(parsed.sweeps, 100);
+        assert_eq!(parsed.seed, 7);
+        assert_eq!(parsed.sampler, "seq");
+        assert_eq!(parsed.threads, 1);
+    }
+
+    #[test]
+    fn run_args_reject_bad_input() {
+        let to_vec = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        assert!(parse_run_args(&to_vec(&[])).is_err());
+        assert!(parse_run_args(&to_vec(&["w", "--sampler", "magic"])).is_err());
+        assert!(parse_run_args(&to_vec(&["w", "--threads", "0"])).is_err());
+        assert!(parse_run_args(&to_vec(&["w", "--sweeps"])).is_err());
+        assert!(parse_run_args(&to_vec(&["w", "--whatever", "1"])).is_err());
+    }
+
+    #[test]
+    fn workload_lookup_is_fuzzy() {
+        assert_eq!(find_workload("bn-asia").unwrap().name, "BN-ASIA");
+        assert_eq!(find_workload("stereo").unwrap().name, "MRF-Stereo Matching");
+        assert!(find_workload("nonexistent-model").is_none());
+    }
+}

@@ -1,0 +1,116 @@
+//! End-to-end LDA integration: collapsed Gibbs through the CoopMC datapath
+//! recovers planted topic structure (the Fig. 13 claims).
+
+use coopmc::core::experiments::{lda_converged_loglik, lda_trace};
+use coopmc::core::pipeline::PipelineConfig;
+use coopmc::models::lda::{synthetic_corpus, Corpus, CorpusSpec, Lda};
+
+fn workload() -> (Corpus, Lda) {
+    let spec = CorpusSpec {
+        n_docs: 40,
+        n_vocab: 120,
+        n_topics: 6,
+        doc_len: 40,
+        topics_per_doc: 2,
+        seed: 13,
+    };
+    let corpus = synthetic_corpus(&spec);
+    // Low alpha: small corpora need a sparse doc-topic prior for the
+    // planted structure to crystallize.
+    let mut lda = Lda::new(&corpus, 6, 0.5, 0.01);
+    lda.randomize_topics(7);
+    (corpus, lda)
+}
+
+/// Float collapsed Gibbs improves the log-likelihood substantially from the
+/// random initialization.
+#[test]
+fn float_lda_improves_loglik() {
+    let (_, lda) = workload();
+    let trace = lda_trace(&lda, PipelineConfig::float32(), 25, 3);
+    let first = trace.samples()[0].1;
+    let last = trace.last_value().unwrap();
+    assert!(last > first + 0.05 * first.abs(), "{first} -> {last}");
+}
+
+/// Fig. 13's saturation: size_lut 128 with 16-bit entries reaches the float
+/// likelihood; a starved LUT does not.
+#[test]
+fn lut_precision_ordering_matches_fig13() {
+    let (_, lda) = workload();
+    let float = lda_converged_loglik(&lda, PipelineConfig::float32(), 25, 5);
+    let good = lda_converged_loglik(&lda, PipelineConfig::coopmc(128, 16), 25, 5);
+    let starved = lda_converged_loglik(&lda, PipelineConfig::coopmc(8, 2), 25, 5);
+    let slack = 0.03 * float.abs();
+    assert!(good > float - slack, "lut128x16 {good} vs float {float}");
+    assert!(starved < good - slack / 3.0, "starved LUT must trail: {starved} vs {good}");
+}
+
+/// The planted band structure is recovered: after training, each planted
+/// band's tokens concentrate in few inferred topics (purity check).
+#[test]
+fn planted_topics_are_recovered() {
+    use coopmc::core::engine::GibbsEngine;
+    use coopmc::models::GibbsModel;
+    use coopmc::rng::SplitMix64;
+    use coopmc::sampler::TreeSampler;
+
+    let (corpus, mut lda) = workload();
+    let mut engine = GibbsEngine::new(
+        PipelineConfig::coopmc(128, 16).build(),
+        TreeSampler::new(),
+        SplitMix64::new(99),
+    );
+    engine.run(&mut lda, 30);
+
+    // For each vocabulary band, find the dominant inferred topic and compute
+    // the fraction of the band's tokens assigned to it.
+    let band = 120usize.div_ceil(6);
+    let mut purity_sum = 0.0;
+    for b in 0..6 {
+        let mut counts = [0usize; 6];
+        let mut total = 0usize;
+        for (i, &(_, w)) in corpus.tokens.iter().enumerate() {
+            if (w as usize) / band == b {
+                counts[lda.label(i)] += 1;
+                total += 1;
+            }
+        }
+        purity_sum += *counts.iter().max().unwrap() as f64 / total.max(1) as f64;
+    }
+    let mean_purity = purity_sum / 6.0;
+    assert!(
+        mean_purity > 0.55,
+        "planted bands should map to dominant topics; purity {mean_purity}"
+    );
+}
+
+/// Count-table invariants hold through a full engine run.
+#[test]
+fn count_tables_remain_consistent() {
+    use coopmc::core::engine::GibbsEngine;
+    use coopmc::rng::SplitMix64;
+    use coopmc::sampler::SequentialSampler;
+
+    let (corpus, mut lda) = workload();
+    let mut engine = GibbsEngine::new(
+        PipelineConfig::float32().build(),
+        SequentialSampler::new(),
+        SplitMix64::new(4),
+    );
+    engine.run(&mut lda, 5);
+
+    let total: u32 = (0..lda.n_topics()).map(|k| lda.topic_total(k)).sum();
+    assert_eq!(total as usize, corpus.tokens.len());
+    for k in 0..lda.n_topics() {
+        let vt_sum: u32 = (0..lda.n_vocab()).map(|v| lda.vt(k, v)).sum();
+        assert_eq!(vt_sum, lda.topic_total(k), "VT column sum mismatch for topic {k}");
+    }
+    let mut dt_sum: u32 = 0;
+    for d in 0..lda.n_docs() {
+        for k in 0..lda.n_topics() {
+            dt_sum += lda.dt(d, k);
+        }
+    }
+    assert_eq!(dt_sum as usize, corpus.tokens.len());
+}

@@ -1,0 +1,77 @@
+//! End-to-end MRF integration: the Fig. 2 / Fig. 10 claims across crates —
+//! model → pipeline → sampler → metrics.
+
+use coopmc::core::experiments::{mrf_converged_nmse, mrf_golden, mrf_trace};
+use coopmc::core::pipeline::PipelineConfig;
+use coopmc::models::mrf::{image_restoration, stereo_matching};
+
+/// Fig. 2: at 64 labels, a 4-bit exp kernel without DyNorm cannot converge
+/// (the sampler degenerates to uniform choice), while the same kernel with
+/// DyNorm matches float32.
+#[test]
+fn dynorm_rescues_low_precision_restoration() {
+    let app = image_restoration(32, 24, 21);
+    let golden = mrf_golden(&app, 50, 500);
+
+    let float = mrf_converged_nmse(&app, PipelineConfig::float32(), 25, 9, &golden);
+    let fixed4 = mrf_converged_nmse(&app, PipelineConfig::fixed(4), 25, 9, &golden);
+    let fixed4_dn = mrf_converged_nmse(&app, PipelineConfig::fixed_dynorm(4), 25, 9, &golden);
+    let fixed8_dn = mrf_converged_nmse(&app, PipelineConfig::fixed_dynorm(8), 25, 9, &golden);
+
+    assert!(
+        fixed4 > 10.0 * float.max(0.05),
+        "4-bit without DyNorm must fail: {fixed4} vs float {float}"
+    );
+    assert!(
+        fixed4_dn < 2.0 * float.max(0.05),
+        "4-bit with DyNorm must track float: {fixed4_dn} vs {float}"
+    );
+    assert!(
+        (fixed8_dn - float).abs() < 0.15,
+        "8-bit with DyNorm must match float: {fixed8_dn} vs {float}"
+    );
+}
+
+/// Fig. 7: on stereo matching, the full CoopMC datapath with a modest LUT
+/// (size 32, 8-bit) reaches float-level quality.
+#[test]
+fn coopmc_lut_matches_float_on_stereo() {
+    let app = stereo_matching(32, 24, 31);
+    let golden = mrf_golden(&app, 50, 501);
+
+    let float = mrf_converged_nmse(&app, PipelineConfig::float32(), 25, 3, &golden);
+    let coop = mrf_converged_nmse(&app, PipelineConfig::coopmc(32, 8), 25, 3, &golden);
+    let coop_big = mrf_converged_nmse(&app, PipelineConfig::coopmc(1024, 32), 25, 3, &golden);
+
+    assert!((coop - float).abs() < 0.15, "lut32x8 {coop} vs float {float}");
+    assert!((coop_big - float).abs() < 0.15, "lut1024x32 {coop_big} vs float {float}");
+}
+
+/// A tiny LUT (size 4) cannot resolve the cost structure and must be
+/// measurably worse than the float reference — the left edge of Fig. 7.
+#[test]
+fn tiny_lut_degrades_quality() {
+    let app = stereo_matching(32, 24, 41);
+    let golden = mrf_golden(&app, 50, 502);
+    let float = mrf_converged_nmse(&app, PipelineConfig::float32(), 25, 5, &golden);
+    let tiny = mrf_converged_nmse(&app, PipelineConfig::coopmc(4, 2), 25, 5, &golden);
+    assert!(tiny > float + 0.05, "size-4 LUT should degrade: {tiny} vs {float}");
+}
+
+/// Convergence is monotone-ish: the normalized MSE at iteration 20 must be
+/// well below iteration 1 for every viable datapath.
+#[test]
+fn traces_descend_for_viable_datapaths() {
+    let app = stereo_matching(24, 24, 51);
+    let golden = mrf_golden(&app, 40, 503);
+    for config in [
+        PipelineConfig::float32(),
+        PipelineConfig::fixed_dynorm(8),
+        PipelineConfig::coopmc(64, 8),
+    ] {
+        let trace = mrf_trace(&app, config, 20, 1, &golden);
+        let early = trace.samples()[1].1;
+        let late = trace.last_value().unwrap();
+        assert!(late < early, "{:?}: {early} -> {late}", config);
+    }
+}

@@ -1,0 +1,115 @@
+//! Integration checks of the paper's headline hardware claims against the
+//! calibrated models.
+
+use coopmc::hw::accel::case_study_table;
+use coopmc::hw::area::{pg_alu_area, sampler_area, PgAluDesign, SamplerKind};
+use coopmc::hw::roofline::roofline;
+use coopmc::sampler::{PipeTreeSampler, Sampler, SequentialSampler, TreeSampler};
+
+/// Abstract §1: "shrink ALU area by 7.5×".
+#[test]
+fn alu_area_reduction_headline() {
+    let baseline = pg_alu_area(PgAluDesign::DividerBaseline { bits: 32 }).total();
+    let coopmc = pg_alu_area(PgAluDesign::DynormLogFusionTableExp {
+        bits: 32,
+        pipelines: 8,
+        size_lut: 1024,
+        bit_lut: 32,
+    })
+    .total();
+    let reduction = baseline / coopmc;
+    assert!((7.0..8.2).contains(&reduction), "ALU reduction {reduction} (paper: 7.5x)");
+}
+
+/// Abstract: "O(N) to O(log N), an 8.7× speedup" at 64 labels.
+#[test]
+fn sampler_speedup_headline() {
+    let seq = SequentialSampler::new().latency_cycles(64) as f64;
+    let tree = TreeSampler::new().latency_cycles(64) as f64;
+    let speedup = seq / tree;
+    assert!((8.0..9.5).contains(&speedup), "sampler speedup {speedup} (paper: 8.7x)");
+}
+
+/// Abstract: "1.9× better area efficiency than the existing state-of-the-art
+/// Gibbs sampling architecture" at 64 labels.
+#[test]
+fn sampler_area_efficiency_headline() {
+    let seq_area = sampler_area(SamplerKind::Sequential, 64, 32).total();
+    let tree_area = sampler_area(SamplerKind::Tree, 64, 32).total();
+    let speedup = SequentialSampler::new().latency_cycles(64) as f64
+        / TreeSampler::new().latency_cycles(64) as f64;
+    let efficiency_gain = speedup / (tree_area / seq_area);
+    assert!(
+        (1.5..2.4).contains(&efficiency_gain),
+        "area-efficiency gain {efficiency_gain} (paper: 1.9x)"
+    );
+}
+
+/// Abstract: "33% logic area reduction, 62% power reduction" for V_PG, and
+/// "1.53× speedup" for the combined design.
+#[test]
+fn table4_shape() {
+    let rows = case_study_table();
+    let names: Vec<&str> = rows.iter().map(|(r, _, _, _)| r.config.name).collect();
+    assert_eq!(names, vec!["V_Baseline", "V_PG", "V_TS", "V_PG+TS"]);
+
+    let (_, vpg_area, vpg_power, _) = rows[1];
+    assert!(vpg_area < 0.75, "V_PG area ratio {vpg_area} (paper: 0.67)");
+    assert!(vpg_power < 0.65, "V_PG power ratio {vpg_power} (paper prose: 0.38)");
+
+    let (_, vts_area, _, vts_speed) = rows[2];
+    assert!(vts_area > 1.5, "V_TS area ratio {vts_area} (paper: 1.77)");
+    assert!(vts_speed > 1.4, "V_TS speedup {vts_speed} (paper: 1.59)");
+
+    let (_, combo_area, combo_power, combo_speed) = rows[3];
+    assert!(combo_speed > 1.4, "V_PG+TS speedup {combo_speed} (paper: 1.53)");
+    assert!(combo_area < vts_area, "combined design must shrink versus V_TS");
+    assert!(combo_power < rows[2].2, "combined design must use less power than V_TS");
+}
+
+/// §IV-D: every modelled core stays under the 32-bit SRAM bandwidth roof.
+#[test]
+fn all_cores_compute_bound() {
+    for (report, _, _, speedup) in case_study_table() {
+        let r = roofline(report.cycles_per_variable);
+        assert!(r.compute_bound, "{} ({speedup}x) must be compute-bound", report.config.name);
+        assert!(r.threshold_bits_per_cycle < 32.0);
+    }
+}
+
+/// Fig. 15: the pipelined tree sampler dominates throughput per area at
+/// every label count, and the plain tree sampler beats sequential at the
+/// paper's 64-label design point.
+#[test]
+fn fig15_efficiency_ordering() {
+    for n in [4usize, 8, 16, 32, 64, 128] {
+        let seq = SequentialSampler::new();
+        let tree = TreeSampler::new();
+        let pipe = PipeTreeSampler::new();
+        let eff = |thr: f64, area: f64| thr / area;
+        let e_seq = eff(seq.throughput(n), sampler_area(SamplerKind::Sequential, n, 32).total());
+        let e_tree = eff(tree.throughput(n), sampler_area(SamplerKind::Tree, n, 32).total());
+        let e_pipe = eff(pipe.throughput(n), sampler_area(SamplerKind::PipeTree, n, 32).total());
+        assert!(e_pipe > e_tree && e_pipe > e_seq, "pipe must lead at n={n}");
+        if n == 64 {
+            assert!(e_tree > e_seq, "tree must beat sequential at the 64-label design point");
+        }
+    }
+}
+
+/// Fig. 9: speedup grows with label count and is a step function between
+/// powers of two.
+#[test]
+fn fig9_speedup_scaling() {
+    let speedup = |n: usize| {
+        SequentialSampler::new().latency_cycles(n) as f64
+            / TreeSampler::new().latency_cycles(n) as f64
+    };
+    let mut prev = 0.0;
+    for n in [2usize, 4, 8, 16, 32, 64, 128] {
+        let s = speedup(n);
+        assert!(s >= prev, "speedup must be non-decreasing at n={n}");
+        prev = s;
+    }
+    assert!(speedup(128) > 14.0, "128-label speedup {}", speedup(128));
+}
