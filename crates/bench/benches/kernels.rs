@@ -1,55 +1,45 @@
-//! Criterion microbenchmarks for the PG kernels: exp variants, DyNorm,
-//! and the fused versus direct factor datapaths.
+//! Microbenchmarks for the PG kernels: exp variants, DyNorm, and the fused
+//! versus direct factor datapaths.
+//!
+//! Run with `cargo bench -p coopmc-bench --bench kernels`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use coopmc_bench::harness::{black_box, Harness};
 use coopmc_fixed::QFormat;
 use coopmc_kernels::dynorm::dynorm_apply;
 use coopmc_kernels::exp::{ExpKernel, FixedExp, FloatExp, TableExp};
 use coopmc_kernels::fusion::{DirectDatapath, FactorExpr, LogFusion};
 use coopmc_kernels::log::TableLog;
 
-fn bench_exp_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("exp_kernel");
+fn bench_exp_kernels(h: &Harness) {
     let inputs: Vec<f64> = (0..256).map(|i| -(i as f64) * 0.0625).collect();
     let float = FloatExp::new();
     let fixed = FixedExp::new(16);
     let table = TableExp::new(1024, 32);
-    group.bench_function("float", |b| {
-        b.iter(|| inputs.iter().map(|&x| float.exp(black_box(x))).sum::<f64>())
+    h.run("exp_kernel/float", || {
+        inputs.iter().map(|&x| float.exp(black_box(x))).sum::<f64>()
     });
-    group.bench_function("fixed_approx_16", |b| {
-        b.iter(|| inputs.iter().map(|&x| fixed.exp(black_box(x))).sum::<f64>())
+    h.run("exp_kernel/fixed_approx_16", || {
+        inputs.iter().map(|&x| fixed.exp(black_box(x))).sum::<f64>()
     });
-    group.bench_function("table_1024x32", |b| {
-        b.iter(|| inputs.iter().map(|&x| table.exp(black_box(x))).sum::<f64>())
+    h.run("exp_kernel/table_1024x32", || {
+        inputs.iter().map(|&x| table.exp(black_box(x))).sum::<f64>()
     });
-    group.finish();
 }
 
-fn bench_dynorm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dynorm");
+fn bench_dynorm(h: &Harness) {
     for n in [16usize, 64, 256] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let base: Vec<f64> = (0..n).map(|i| -(i as f64)).collect();
-            b.iter(|| {
-                let mut v = base.clone();
-                dynorm_apply(black_box(&mut v), 8)
-            })
+        let base: Vec<f64> = (0..n).map(|i| -(i as f64)).collect();
+        let mut v = base.clone();
+        h.run(&format!("dynorm/{n}"), || {
+            v.copy_from_slice(&base);
+            dynorm_apply(black_box(&mut v), 8)
         });
     }
-    group.finish();
 }
 
-fn bench_factor_datapaths(c: &mut Criterion) {
-    let mut group = c.benchmark_group("factor_datapath");
+fn bench_factor_datapaths(h: &Harness) {
     let exprs: Vec<FactorExpr> = (0..64)
-        .map(|i| {
-            FactorExpr::ratio(
-                vec![0.1 + 0.01 * i as f64, 0.5],
-                vec![0.9],
-            )
-        })
+        .map(|i| FactorExpr::ratio(vec![0.1 + 0.01 * i as f64, 0.5], vec![0.9]))
         .collect();
     let direct = DirectDatapath::new(QFormat::baseline32());
     let fused = LogFusion::new(
@@ -58,14 +48,17 @@ fn bench_factor_datapaths(c: &mut Criterion) {
         QFormat::baseline32(),
         8,
     );
-    group.bench_function("direct_mul_div", |b| {
-        b.iter(|| direct.evaluate_factors(black_box(&exprs)))
+    h.run("factor_datapath/direct_mul_div", || {
+        direct.evaluate_factors(black_box(&exprs))
     });
-    group.bench_function("logfusion_lut", |b| {
-        b.iter(|| fused.evaluate_factors(black_box(&exprs)))
+    h.run("factor_datapath/logfusion_lut", || {
+        fused.evaluate_factors(black_box(&exprs))
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_exp_kernels, bench_dynorm, bench_factor_datapaths);
-criterion_main!(benches);
+fn main() {
+    let h = Harness::new();
+    bench_exp_kernels(&h);
+    bench_dynorm(&h);
+    bench_factor_datapaths(&h);
+}

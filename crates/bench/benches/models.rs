@@ -1,8 +1,9 @@
-//! Criterion benchmarks for full Gibbs sweeps on each model family, under
-//! the float reference and the CoopMC datapath.
+//! Benchmarks for full Gibbs sweeps on each model family, under the float
+//! reference and the CoopMC datapath.
+//!
+//! Run with `cargo bench -p coopmc-bench --bench models`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-
+use coopmc_bench::harness::{black_box, Harness};
 use coopmc_core::engine::GibbsEngine;
 use coopmc_core::pipeline::PipelineConfig;
 use coopmc_models::bn::asia;
@@ -11,52 +12,34 @@ use coopmc_models::mrf::stereo_matching;
 use coopmc_rng::SplitMix64;
 use coopmc_sampler::TreeSampler;
 
-fn bench_mrf_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mrf_sweep_48x32x16");
+fn bench_mrf_sweep(h: &Harness) {
     for config in [PipelineConfig::float32(), PipelineConfig::coopmc(64, 8)] {
         let name = config.build().name();
-        group.bench_function(&name, |b| {
-            let app = stereo_matching(48, 32, 3);
-            let mut engine = GibbsEngine::new(
-                config.build(),
-                TreeSampler::new(),
-                SplitMix64::new(1),
-            );
-            let mut model = app.mrf.clone();
-            b.iter(|| {
-                let mut stats = coopmc_core::engine::RunStats::default();
-                engine.sweep(black_box(&mut model), &mut stats);
-                stats.updates
-            })
+        let app = stereo_matching(48, 32, 3);
+        let mut engine = GibbsEngine::new(config.build(), TreeSampler::new(), SplitMix64::new(1));
+        let mut model = app.mrf.clone();
+        h.run(&format!("mrf_sweep_48x32x16/{name}"), || {
+            let mut stats = coopmc_core::engine::RunStats::default();
+            engine.sweep(black_box(&mut model), &mut stats);
+            stats.updates
         });
     }
-    group.finish();
 }
 
-fn bench_bn_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bn_sweep_asia");
+fn bench_bn_sweep(h: &Harness) {
     for config in [PipelineConfig::float32(), PipelineConfig::coopmc(128, 16)] {
         let name = config.build().name();
-        group.bench_function(&name, |b| {
-            let mut net = asia();
-            let mut engine = GibbsEngine::new(
-                config.build(),
-                TreeSampler::new(),
-                SplitMix64::new(1),
-            );
-            b.iter(|| {
-                let mut stats = coopmc_core::engine::RunStats::default();
-                engine.sweep(black_box(&mut net), &mut stats);
-                stats.updates
-            })
+        let mut net = asia();
+        let mut engine = GibbsEngine::new(config.build(), TreeSampler::new(), SplitMix64::new(1));
+        h.run(&format!("bn_sweep_asia/{name}"), || {
+            let mut stats = coopmc_core::engine::RunStats::default();
+            engine.sweep(black_box(&mut net), &mut stats);
+            stats.updates
         });
     }
-    group.finish();
 }
 
-fn bench_lda_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lda_sweep_2400tok_8topics");
-    group.sample_size(20);
+fn bench_lda_sweep(h: &Harness) {
     let corpus = synthetic_corpus(&CorpusSpec {
         n_docs: 40,
         n_vocab: 120,
@@ -67,23 +50,20 @@ fn bench_lda_sweep(c: &mut Criterion) {
     });
     for config in [PipelineConfig::float32(), PipelineConfig::coopmc(128, 16)] {
         let name = config.build().name();
-        group.bench_function(&name, |b| {
-            let mut lda = Lda::new(&corpus, 8, 1.0, 0.01);
-            lda.randomize_topics(2);
-            let mut engine = GibbsEngine::new(
-                config.build(),
-                TreeSampler::new(),
-                SplitMix64::new(1),
-            );
-            b.iter(|| {
-                let mut stats = coopmc_core::engine::RunStats::default();
-                engine.sweep(black_box(&mut lda), &mut stats);
-                stats.updates
-            })
+        let mut lda = Lda::new(&corpus, 8, 1.0, 0.01);
+        lda.randomize_topics(2);
+        let mut engine = GibbsEngine::new(config.build(), TreeSampler::new(), SplitMix64::new(1));
+        h.run(&format!("lda_sweep_2400tok_8topics/{name}"), || {
+            let mut stats = coopmc_core::engine::RunStats::default();
+            engine.sweep(black_box(&mut lda), &mut stats);
+            stats.updates
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_mrf_sweep, bench_bn_sweep, bench_lda_sweep);
-criterion_main!(benches);
+fn main() {
+    let h = Harness::quick();
+    bench_mrf_sweep(&h);
+    bench_bn_sweep(&h);
+    bench_lda_sweep(&h);
+}

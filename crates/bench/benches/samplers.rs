@@ -1,55 +1,68 @@
-//! Criterion microbenchmarks for the three sampler micro-architectures,
-//! plus the modelled-hardware cycle counts they correspond to (Fig. 9's
+//! Microbenchmarks for the three sampler micro-architectures, plus the
+//! modelled-hardware cycle counts they correspond to (Fig. 9's
 //! software-side companion).
+//!
+//! Run with `cargo bench -p coopmc-bench --bench samplers`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use coopmc_bench::harness::{black_box, Harness};
 use coopmc_rng::SplitMix64;
 use coopmc_sampler::{
-    AliasSampler, AliasTable, PipeTreeSampler, Sampler, SequentialSampler, TreeSampler,
+    AliasSampler, AliasTable, PipeTreeSampler, SampleScratch, Sampler, SequentialSampler,
+    TreeSampler,
 };
 
-fn bench_samplers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sampler_draw");
+fn bench_samplers(h: &Harness) {
     for n in [4usize, 16, 64, 128] {
         let probs: Vec<f64> = (1..=n).map(|i| i as f64).collect();
-        group.bench_with_input(BenchmarkId::new("sequential", n), &probs, |b, probs| {
-            let s = SequentialSampler::new();
-            let mut rng = SplitMix64::new(1);
-            b.iter(|| s.sample(black_box(probs), &mut rng))
+
+        let s = SequentialSampler::new();
+        let mut rng = SplitMix64::new(1);
+        h.run(&format!("sampler_draw/sequential/{n}"), || {
+            s.sample(black_box(&probs), &mut rng)
         });
-        group.bench_with_input(BenchmarkId::new("tree", n), &probs, |b, probs| {
-            let s = TreeSampler::new();
-            let mut rng = SplitMix64::new(1);
-            b.iter(|| s.sample(black_box(probs), &mut rng))
+
+        let s = TreeSampler::new();
+        let mut rng = SplitMix64::new(1);
+        h.run(&format!("sampler_draw/tree/{n}"), || {
+            s.sample(black_box(&probs), &mut rng)
         });
+
+        // tree sampler with a caller-held scratch: the warm Gibbs-loop cost
+        let s = TreeSampler::new();
+        let mut rng = SplitMix64::new(1);
+        let mut scratch = SampleScratch::new();
+        h.run(&format!("sampler_draw/tree_scratch/{n}"), || {
+            s.sample_into(black_box(&probs), &mut rng, &mut scratch)
+        });
+
         // alias method: full rebuild per draw (the honest Gibbs-loop cost)
-        group.bench_with_input(BenchmarkId::new("alias_rebuild", n), &probs, |b, probs| {
-            let s = AliasSampler::new();
-            let mut rng = SplitMix64::new(1);
-            b.iter(|| s.sample(black_box(probs), &mut rng))
+        let s = AliasSampler::new();
+        let mut rng = SplitMix64::new(1);
+        h.run(&format!("sampler_draw/alias_rebuild/{n}"), || {
+            s.sample(black_box(&probs), &mut rng)
         });
+
         // alias method: amortized draws from a static distribution
-        group.bench_with_input(BenchmarkId::new("alias_amortized", n), &probs, |b, probs| {
-            let table = AliasTable::build(probs);
-            let mut rng = SplitMix64::new(1);
-            b.iter(|| table.sample(&mut rng))
+        let table = AliasTable::build(&probs);
+        let mut rng = SplitMix64::new(1);
+        h.run(&format!("sampler_draw/alias_amortized/{n}"), || {
+            table.sample(&mut rng)
         });
     }
-    group.finish();
 }
 
-fn bench_pipelined_batches(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sampler_batch64");
+fn bench_pipelined_batches(h: &Harness) {
     let probs: Vec<f64> = (1..=64).map(|i| i as f64).collect();
     let batch: Vec<&[f64]> = (0..32).map(|_| probs.as_slice()).collect();
-    group.bench_function("pipe_tree_batch32", |b| {
-        let s = PipeTreeSampler::new();
-        let mut rng = SplitMix64::new(2);
-        b.iter(|| s.sample_batch(black_box(&batch), &mut rng))
+    let s = PipeTreeSampler::new();
+    let mut rng = SplitMix64::new(2);
+    h.run("sampler_batch64/pipe_tree_batch32", || {
+        s.sample_batch(black_box(&batch), &mut rng)
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_samplers, bench_pipelined_batches);
-criterion_main!(benches);
+fn main() {
+    let h = Harness::new();
+    bench_samplers(&h);
+    bench_pipelined_batches(&h);
+}

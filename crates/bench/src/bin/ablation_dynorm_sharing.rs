@@ -7,7 +7,10 @@ use coopmc_hw::area::{dynorm_amortized_area, pg_alu_area, PgAluDesign};
 use coopmc_kernels::dynorm::NormTree;
 
 fn main() {
-    header("Ablation", "DyNorm cost amortization vs parallel pipeline count");
+    header(
+        "Ablation",
+        "DyNorm cost amortization vs parallel pipeline count",
+    );
     println!(
         "{:<10} {:>16} {:>14} {:>16}",
         "pipelines", "DN area/pipe", "tree latency", "ALU total (TE)"

@@ -4,20 +4,27 @@
 //! conversions, log-domain computation is still faster").
 
 use coopmc_bench::{header, paper_note};
+use coopmc_fixed::QFormat;
 use coopmc_kernels::cost::{ADD_CYCLES, DIV_CYCLES, LUT_CYCLES, MUL_CYCLES};
 use coopmc_kernels::exp::TableExp;
 use coopmc_kernels::fusion::{DirectDatapath, FactorExpr, LogFusion};
 use coopmc_kernels::log::TableLog;
-use coopmc_fixed::QFormat;
 
 fn main() {
-    header("Ablation", "LogFusion gain vs multiply/divide sequence depth");
+    header(
+        "Ablation",
+        "LogFusion gain vs multiply/divide sequence depth",
+    );
     println!(
         "{:<8} {:>14} {:>14} {:>9} | {:>12} {:>12}",
         "#factors", "direct cycles", "fused cycles", "gain", "direct val", "fused val"
     );
-    let fusion = LogFusion::new(TableLog::new(1024, 24), TableExp::new(1024, 24),
-        QFormat::baseline32(), 1);
+    let fusion = LogFusion::new(
+        TableLog::new(1024, 24),
+        TableExp::new(1024, 24),
+        QFormat::baseline32(),
+        1,
+    );
     let direct = DirectDatapath::new(QFormat::baseline32());
     for depth in [1usize, 2, 4, 8, 16, 32] {
         // cycle model: (depth-1) muls + 1 div directly, vs depth log-LUT
@@ -26,10 +33,7 @@ fn main() {
         let fused_cycles = depth as u64 * (ADD_CYCLES + LUT_CYCLES) + LUT_CYCLES;
         // numeric check on a representative expression
         let nums: Vec<f64> = (0..depth - 1).map(|i| 0.4 + 0.02 * i as f64).collect();
-        let expr = FactorExpr::ratio(
-            if nums.is_empty() { vec![0.5] } else { nums },
-            vec![0.7],
-        );
+        let expr = FactorExpr::ratio(if nums.is_empty() { vec![0.5] } else { nums }, vec![0.7]);
         let dval = direct.evaluate_factors(std::slice::from_ref(&expr)).probs[0];
         let fval = fusion.evaluate_factors(std::slice::from_ref(&expr)).probs[0];
         println!(

@@ -18,11 +18,17 @@ use coopmc_rng::SplitMix64;
 use coopmc_sampler::TreeSampler;
 
 fn main() {
-    header("Ablation", "CoopMC datapath under sequential / chromatic / Hogwild PU");
+    header(
+        "Ablation",
+        "CoopMC datapath under sequential / chromatic / Hogwild PU",
+    );
     let app = stereo_matching(96, 64, seeds::WORKLOAD);
     let sweeps = 20u64;
     println!("workload: stereo matching 96x64 (6144 variables), {sweeps} sweeps\n");
-    println!("{:<22} {:>12} {:>14}", "scheduler", "time (ms)", "final energy");
+    println!(
+        "{:<22} {:>12} {:>14}",
+        "scheduler", "time (ms)", "final energy"
+    );
 
     // Sequential reference.
     let mut model = app.mrf.clone();

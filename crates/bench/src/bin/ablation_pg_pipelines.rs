@@ -12,7 +12,10 @@ use coopmc_hw::area::SamplerKind;
 use coopmc_hw::pgpipe::{simulate, PipeKind, PipeSimConfig};
 
 fn main() {
-    header("Ablation", "parallel PG pipelines in the V_PG+TS core (64-label MRF)");
+    header(
+        "Ablation",
+        "parallel PG pipelines in the V_PG+TS core (64-label MRF)",
+    );
     let base = CoreConfig::case_study()[0].evaluate();
     println!(
         "{:<10} {:>10} {:>12} {:>10} {:>12} {:>9} {:>12}",
@@ -27,7 +30,10 @@ fn main() {
         });
         let cfg = CoreConfig {
             name: "V_PG+TS",
-            pg: PgDatapath::CoopMc { size_lut: 1024, bit_lut: 32 },
+            pg: PgDatapath::CoopMc {
+                size_lut: 1024,
+                bit_lut: 32,
+            },
             sampler: SamplerKind::Tree,
             n_labels: 64,
             bits: 32,

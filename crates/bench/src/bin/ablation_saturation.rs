@@ -74,7 +74,10 @@ impl ProbabilityPipeline for NarrowAccPipeline {
             dynorm_apply(&mut log_scores, 1);
         }
         let probs = log_scores.iter().map(|&s| self.table.exp(s)).collect();
-        PgOutput { probs, ops: OpCounts::new() }
+        PgOutput {
+            probs,
+            ops: OpCounts::new(),
+        }
     }
 
     fn name(&self) -> String {
@@ -82,7 +85,11 @@ impl ProbabilityPipeline for NarrowAccPipeline {
     }
 }
 
-fn run(pipeline: &dyn ProbabilityPipeline, app: &coopmc_models::mrf::MrfApp, golden: &[usize]) -> f64 {
+fn run(
+    pipeline: &dyn ProbabilityPipeline,
+    app: &coopmc_models::mrf::MrfApp,
+    golden: &[usize],
+) -> f64 {
     let untrained = app.mrf.labels();
     let mut model = app.mrf.clone();
     let sampler = TreeSampler::new();
@@ -104,7 +111,10 @@ fn run(pipeline: &dyn ProbabilityPipeline, app: &coopmc_models::mrf::MrfApp, gol
 }
 
 fn main() {
-    header("Ablation", "saturating vs wrapping accumulator on 64-label restoration");
+    header(
+        "Ablation",
+        "saturating vs wrapping accumulator on 64-label restoration",
+    );
     let app = image_restoration(32, 24, seeds::WORKLOAD);
     let golden = mrf_golden(&app, 60, seeds::GOLDEN);
 

@@ -16,11 +16,17 @@ use coopmc_models::mrf::stereo_matching;
 /// public `PipelineConfig`; measure the kernel-level effect directly and
 /// the end-to-end effect via the nearest configurable equivalents.
 fn main() {
-    header("Ablation", "TableExp input-range (step_lut * size_lut) sensitivity");
+    header(
+        "Ablation",
+        "TableExp input-range (step_lut * size_lut) sensitivity",
+    );
     let size = 64usize;
 
     println!("kernel-level: fraction of probability mass truncated to zero");
-    println!("{:<8} {:>10} {:>22}", "range", "step_lut", "exp(-range) mass lost");
+    println!(
+        "{:<8} {:>10} {:>22}",
+        "range", "step_lut", "exp(-range) mass lost"
+    );
     for range in [4.0f64, 8.0, 16.0, 32.0, 64.0] {
         let t = TableExp::with_range(size, 16, range);
         println!(
@@ -34,13 +40,28 @@ fn main() {
     let app = stereo_matching(48, 32, seeds::WORKLOAD);
     let golden = mrf_golden(&app, 60, seeds::GOLDEN);
     // The paper's range-16 default corresponds to PipelineConfig::coopmc.
-    let default_nmse =
-        mrf_converged_nmse(&app, PipelineConfig::coopmc(size, 16), 25, seeds::CHAIN, &golden);
+    let default_nmse = mrf_converged_nmse(
+        &app,
+        PipelineConfig::coopmc(size, 16),
+        25,
+        seeds::CHAIN,
+        &golden,
+    );
     // Halving/doubling size at fixed step emulates range 8 and 32.
-    let narrow =
-        mrf_converged_nmse(&app, PipelineConfig::coopmc(size / 2, 16), 25, seeds::CHAIN, &golden);
-    let wide =
-        mrf_converged_nmse(&app, PipelineConfig::coopmc(size * 2, 16), 25, seeds::CHAIN, &golden);
+    let narrow = mrf_converged_nmse(
+        &app,
+        PipelineConfig::coopmc(size / 2, 16),
+        25,
+        seeds::CHAIN,
+        &golden,
+    );
+    let wide = mrf_converged_nmse(
+        &app,
+        PipelineConfig::coopmc(size * 2, 16),
+        25,
+        seeds::CHAIN,
+        &golden,
+    );
     println!("{:<24} {:>8.3}", "range 8  (32 entries)", narrow);
     println!("{:<24} {:>8.3}", "range 16 (64 entries)", default_nmse);
     println!("{:<24} {:>8.3}", "range 32 (128 entries)", wide);

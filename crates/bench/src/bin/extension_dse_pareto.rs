@@ -11,15 +11,25 @@ use coopmc_hw::accel::{CoreConfig, PgDatapath};
 use coopmc_hw::area::SamplerKind;
 
 fn main() {
-    header("DSE", "area vs cycles/variable frontier for the 64-label MRF core");
+    header(
+        "DSE",
+        "area vs cycles/variable frontier for the 64-label MRF core",
+    );
 
     let mut points = Vec::new();
     for &pipelines in &[1usize, 2, 4, 8] {
-        for &sampler in &[SamplerKind::Sequential, SamplerKind::Tree, SamplerKind::PipeTree] {
+        for &sampler in &[
+            SamplerKind::Sequential,
+            SamplerKind::Tree,
+            SamplerKind::PipeTree,
+        ] {
             for &(size, bits) in &[(64usize, 8u32), (1024, 32)] {
                 let cfg = CoreConfig {
                     name: "dse",
-                    pg: PgDatapath::CoopMc { size_lut: size, bit_lut: bits },
+                    pg: PgDatapath::CoopMc {
+                        size_lut: size,
+                        bit_lut: bits,
+                    },
                     sampler,
                     n_labels: 64,
                     bits: 32,
@@ -55,9 +65,9 @@ fn main() {
     let pareto: Vec<bool> = points
         .iter()
         .map(|(_, a, c)| {
-            !points.iter().any(|(_, a2, c2)| {
-                (a2 <= a && c2 < c) || (a2 < a && c2 <= c)
-            })
+            !points
+                .iter()
+                .any(|(_, a2, c2)| (a2 <= a && c2 < c) || (a2 < a && c2 <= c))
         })
         .collect();
 

@@ -20,7 +20,11 @@ use coopmc_sampler::{Sampler, TreeSampler};
 
 /// Run Gibbs with faults injected into every probability vector between PG
 /// and SD; returns the converged normalized MSE.
-fn run_with_faults(model_src: &coopmc_models::mrf::GridMrf, golden: &[usize], injector: Option<FaultInjector>) -> f64 {
+fn run_with_faults(
+    model_src: &coopmc_models::mrf::GridMrf,
+    golden: &[usize],
+    injector: Option<FaultInjector>,
+) -> f64 {
     let untrained = model_src.labels();
     let mut model = model_src.clone();
     let pipeline = PipelineConfig::coopmc(64, 8).build();
@@ -47,7 +51,10 @@ fn run_with_faults(model_src: &coopmc_models::mrf::GridMrf, golden: &[usize], in
 }
 
 fn main() {
-    header("Fault injection", "ProbReg corruption tolerance of Gibbs inference");
+    header(
+        "Fault injection",
+        "ProbReg corruption tolerance of Gibbs inference",
+    );
     let app = stereo_matching(40, 28, seeds::WORKLOAD);
     let golden = mrf_golden(&app, 60, seeds::GOLDEN);
     let fmt = QFormat::probability(16).expect("valid probability format");

@@ -9,8 +9,8 @@
 use coopmc_bench::{header, paper_note, seeds};
 use coopmc_core::engine::GibbsEngine;
 use coopmc_core::pipeline::PipelineConfig;
-use coopmc_hw::cycles::{sd_cycles, CoreTiming, PgTiming};
 use coopmc_hw::area::SamplerKind;
+use coopmc_hw::cycles::{sd_cycles, CoreTiming, PgTiming};
 use coopmc_models::workloads::{all_workloads, BuiltWorkload};
 use coopmc_models::GibbsModel;
 use coopmc_rng::SplitMix64;

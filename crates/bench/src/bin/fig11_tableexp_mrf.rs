@@ -9,7 +9,10 @@ use coopmc_models::mrf::{
 };
 
 fn main() {
-    header("Figure 11", "TableExp parameter sweep on four MRF applications");
+    header(
+        "Figure 11",
+        "TableExp parameter sweep on four MRF applications",
+    );
     let apps: Vec<MrfApp> = vec![
         image_restoration(40, 26, seeds::WORKLOAD),
         stereo_matching(48, 32, seeds::WORKLOAD),

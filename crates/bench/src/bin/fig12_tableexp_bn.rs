@@ -9,8 +9,11 @@ use coopmc_models::bn::{asia, earthquake, survey};
 
 fn main() {
     header("Figure 12", "TableExp parameter sweep on Bayesian networks");
-    let nets =
-        [("BN-ASIA", asia()), ("BN-EARTHQUAKE", earthquake()), ("BN-SURVEY", survey())];
+    let nets = [
+        ("BN-ASIA", asia()),
+        ("BN-EARTHQUAKE", earthquake()),
+        ("BN-SURVEY", survey()),
+    ];
     let sizes = [8usize, 32, 128, 512];
     let bits = [2u32, 4, 8, 16];
     let iters = 6000u64;
@@ -37,8 +40,7 @@ fn main() {
             }
             println!();
         }
-        let float =
-            bn_marginal_mse(net, PipelineConfig::float32(), iters, burn, seeds::CHAIN);
+        let float = bn_marginal_mse(net, PipelineConfig::float32(), iters, burn, seeds::CHAIN);
         println!("{:<10}{float:>11.5}  (reference)", "float32");
     }
     paper_note(

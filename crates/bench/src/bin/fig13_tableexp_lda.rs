@@ -36,8 +36,7 @@ fn main() {
             }
             println!();
         }
-        let float =
-            lda_converged_loglik(&lda, PipelineConfig::float32(), iters, seeds::CHAIN);
+        let float = lda_converged_loglik(&lda, PipelineConfig::float32(), iters, seeds::CHAIN);
         println!("{:<10}{float:>12.0}  (reference)", "float32");
     }
     paper_note(

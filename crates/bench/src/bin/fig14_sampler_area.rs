@@ -20,10 +20,17 @@ fn main() {
     }
 
     println!("\nbreakdown at 64 labels:");
-    for kind in [SamplerKind::Sequential, SamplerKind::Tree, SamplerKind::PipeTree] {
+    for kind in [
+        SamplerKind::Sequential,
+        SamplerKind::Tree,
+        SamplerKind::PipeTree,
+    ] {
         let a = sampler_area(kind, 64, 32);
-        let parts: Vec<String> =
-            a.components.iter().map(|(k, v)| format!("{k}={v:.0}")).collect();
+        let parts: Vec<String> = a
+            .components
+            .iter()
+            .map(|(k, v)| format!("{k}={v:.0}"))
+            .collect();
         println!("  {:<11} {}", kind.name(), parts.join("  "));
     }
     paper_note(

@@ -7,7 +7,10 @@ use coopmc_hw::area::{sampler_area, SamplerKind};
 use coopmc_sampler::{PipeTreeSampler, Sampler, SequentialSampler, TreeSampler};
 
 fn main() {
-    header("Figure 15", "sampler throughput and area efficiency vs #labels");
+    header(
+        "Figure 15",
+        "sampler throughput and area efficiency vs #labels",
+    );
     let seq = SequentialSampler::new();
     let tree = TreeSampler::new();
     let pipe = PipeTreeSampler::new();

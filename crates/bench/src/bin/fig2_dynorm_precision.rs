@@ -12,7 +12,10 @@ use coopmc_core::pipeline::PipelineConfig;
 use coopmc_models::mrf::stereo_matching;
 
 fn main() {
-    header("Figure 2", "precision tolerance of MRF stereo matching, +/- DyNorm");
+    header(
+        "Figure 2",
+        "precision tolerance of MRF stereo matching, +/- DyNorm",
+    );
     let app = stereo_matching(48, 32, seeds::WORKLOAD);
     let golden = mrf_golden(&app, 60, seeds::GOLDEN);
     let iters = 30u64;
@@ -22,7 +25,11 @@ fn main() {
     for dynorm in [false, true] {
         println!(
             "\n--- {} ---",
-            if dynorm { "with DyNorm" } else { "without DyNorm (baseline)" }
+            if dynorm {
+                "with DyNorm"
+            } else {
+                "without DyNorm (baseline)"
+            }
         );
         print!("{:<12}", "bits");
         for it in checkpoints {

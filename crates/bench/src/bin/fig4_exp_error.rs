@@ -7,7 +7,10 @@ use coopmc_kernels::error::{summarize, sweep_exp_error};
 use coopmc_kernels::exp::{FixedExp, TableExp};
 
 fn main() {
-    header("Figure 4", "exp-kernel output error: approximation vs TableExp");
+    header(
+        "Figure 4",
+        "exp-kernel output error: approximation vs TableExp",
+    );
     let approx = FixedExp::new(16);
     let table = TableExp::new(1024, 32);
 

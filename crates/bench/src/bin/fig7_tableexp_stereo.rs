@@ -35,8 +35,13 @@ fn main() {
         }
         println!();
     }
-    let float =
-        mrf_converged_nmse(&app, PipelineConfig::float32(), iters, seeds::CHAIN, &golden);
+    let float = mrf_converged_nmse(
+        &app,
+        PipelineConfig::float32(),
+        iters,
+        seeds::CHAIN,
+        &golden,
+    );
     println!("{:<10}{:>10.3}  (reference)", "float32", float);
     paper_note(
         "Figure 7. Expect near-float quality once size_lut >= 32 and \

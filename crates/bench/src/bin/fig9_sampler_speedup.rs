@@ -7,7 +7,10 @@ use coopmc_rng::SplitMix64;
 use coopmc_sampler::{Sampler, SequentialSampler, TreeSampler};
 
 fn main() {
-    header("Figure 9", "TreeSampler runtime speedup vs number of labels");
+    header(
+        "Figure 9",
+        "TreeSampler runtime speedup vs number of labels",
+    );
     let seq = SequentialSampler::new();
     let tree = TreeSampler::new();
 

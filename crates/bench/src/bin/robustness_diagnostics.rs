@@ -13,9 +13,7 @@ use coopmc_bench::{header, paper_note, seeds};
 use coopmc_core::engine::{GibbsEngine, RunStats};
 use coopmc_core::pipeline::PipelineConfig;
 use coopmc_models::bn::{earthquake, exact_marginal, MarginalCounter};
-use coopmc_models::diagnostics::{
-    effective_sample_size, gelman_rubin, total_variation,
-};
+use coopmc_models::diagnostics::{effective_sample_size, gelman_rubin, total_variation};
 use coopmc_models::mrf::stereo_matching;
 use coopmc_rng::SplitMix64;
 use coopmc_sampler::TreeSampler;
@@ -23,8 +21,7 @@ use coopmc_sampler::TreeSampler;
 fn mrf_energy_chain(config: PipelineConfig, seed: u64, sweeps: u64) -> Vec<f64> {
     let app = stereo_matching(32, 24, seeds::WORKLOAD);
     let mut model = app.mrf.clone();
-    let mut engine =
-        GibbsEngine::new(config.build(), TreeSampler::new(), SplitMix64::new(seed));
+    let mut engine = GibbsEngine::new(config.build(), TreeSampler::new(), SplitMix64::new(seed));
     let mut chain = Vec::with_capacity(sweeps as usize);
     let mut stats = RunStats::default();
     for _ in 0..sweeps {

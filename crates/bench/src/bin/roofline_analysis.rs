@@ -9,7 +9,10 @@ use coopmc_hw::roofline::{
 };
 
 fn main() {
-    header("Roofline (§IV-D)", "memory-bandwidth feasibility of each core version");
+    header(
+        "Roofline (§IV-D)",
+        "memory-bandwidth feasibility of each core version",
+    );
     println!(
         "per-variable traffic: {} bits read + {} bits written",
         READ_BITS_PER_VARIABLE, WRITE_BITS_PER_VARIABLE
@@ -38,7 +41,10 @@ fn main() {
     );
     let fastest = case_study_table().last().unwrap().0.cycles_per_variable;
     for (width, banks) in [(8u32, 1u32), (16, 1), (32, 1), (32, 2), (64, 2)] {
-        let sram = coopmc_hw::mem::SramConfig { width_bits: width, banks };
+        let sram = coopmc_hw::mem::SramConfig {
+            width_bits: width,
+            banks,
+        };
         let sys = coopmc_hw::mem::system_throughput(fastest, sram);
         println!(
             "{:<18} {:>12.0} {:>14.1} {:>10.1} {:>10}",
@@ -46,7 +52,11 @@ fn main() {
             sram.bits_per_cycle(),
             sys.memory_cycles,
             sram.power_mw(),
-            if sys.compute_bound { "compute" } else { "MEMORY" }
+            if sys.compute_bound {
+                "compute"
+            } else {
+                "MEMORY"
+            }
         );
     }
     paper_note(

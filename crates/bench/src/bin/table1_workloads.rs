@@ -19,7 +19,10 @@ fn main() {
             BuiltWorkload::Mrf(app) => (app.mrf.num_variables(), app.mrf.num_labels(0)),
             BuiltWorkload::Bn(net) => (
                 net.num_variables(),
-                (0..net.num_variables()).map(|v| net.num_labels(v)).max().unwrap(),
+                (0..net.num_variables())
+                    .map(|v| net.num_labels(v))
+                    .max()
+                    .unwrap(),
             ),
             BuiltWorkload::Lda(lda) => (lda.num_variables(), lda.n_topics()),
         };

@@ -11,7 +11,10 @@ use coopmc_rng::SplitMix64;
 use coopmc_sampler::SequentialSampler;
 
 fn main() {
-    header("Table II", "runtime percentage breakdown of benchmark workloads");
+    header(
+        "Table II",
+        "runtime percentage breakdown of benchmark workloads",
+    );
     println!(
         "{:<30} {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7}",
         "Workload", "PG%", "SD%", "PU%", "paper", "paper", "paper"

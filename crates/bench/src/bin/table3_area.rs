@@ -5,10 +5,22 @@ use coopmc_bench::{header, paper_note};
 use coopmc_hw::area::{pg_alu_area, PgAluDesign};
 
 fn main() {
-    header("Table III", "PG ALU area comparison (um2, calibrated 12nm model)");
+    header(
+        "Table III",
+        "PG ALU area comparison (um2, calibrated 12nm model)",
+    );
     let designs = [
-        ("Baseline (divider)", PgAluDesign::DividerBaseline { bits: 32 }),
-        ("DN+LF", PgAluDesign::DynormLogFusion { bits: 32, pipelines: 8 }),
+        (
+            "Baseline (divider)",
+            PgAluDesign::DividerBaseline { bits: 32 },
+        ),
+        (
+            "DN+LF",
+            PgAluDesign::DynormLogFusion {
+                bits: 32,
+                pipelines: 8,
+            },
+        ),
         (
             "DN+LF+TE",
             PgAluDesign::DynormLogFusionTableExp {
@@ -27,7 +39,11 @@ fn main() {
     );
     for (name, design) in designs {
         let a = pg_alu_area(design);
-        let get = |k: &str| a.component(k).map(|v| format!("{v:.0}")).unwrap_or("-".into());
+        let get = |k: &str| {
+            a.component(k)
+                .map(|v| format!("{v:.0}"))
+                .unwrap_or("-".into())
+        };
         println!(
             "{:<20} {:>7} {:>7} {:>7} {:>7} {:>8.0} {:>9.2}x",
             name,

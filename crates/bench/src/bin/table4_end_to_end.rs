@@ -5,7 +5,10 @@ use coopmc_bench::{header, paper_note};
 use coopmc_hw::accel::case_study_table;
 
 fn main() {
-    header("Table IV", "end-to-end case study: V_Baseline / V_PG / V_TS / V_PG+TS");
+    header(
+        "Table IV",
+        "end-to-end case study: V_Baseline / V_PG / V_TS / V_PG+TS",
+    );
     println!(
         "{:<12} {:>14} {:>8} {:>8} {:>9} {:>12}",
         "Version", "LogicArea(um2)", "Area%", "Power%", "Speedup", "cycles/var"

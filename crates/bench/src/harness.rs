@@ -1,0 +1,239 @@
+//! A small self-contained timing harness for the `benches/` targets.
+//!
+//! The container this repo builds in is offline, so the benches cannot pull
+//! an external benchmarking framework; this module provides the pieces they
+//! need: optimizer-barrier [`black_box`], automatic iteration calibration,
+//! multi-sample measurement with median reporting, and throughput
+//! conversion. Deterministic-ish and dependency-free by design.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the optimizer barrier: forces the compiler to materialize
+/// `x` without letting it optimize the producing computation away.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One benchmark measurement: several timed samples of a calibrated
+/// iteration count.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark id, e.g. `"tree_sample/n=64"`.
+    pub name: String,
+    /// Iterations per sample.
+    pub iters: u64,
+    /// Nanoseconds per iteration, one entry per sample.
+    pub samples_ns: Vec<f64>,
+}
+
+impl Measurement {
+    /// Median nanoseconds per iteration.
+    pub fn median_ns(&self) -> f64 {
+        let mut s = self.samples_ns.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s[s.len() / 2]
+    }
+
+    /// Best (minimum) nanoseconds per iteration.
+    pub fn min_ns(&self) -> f64 {
+        self.samples_ns
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Iterations per second at the median sample.
+    pub fn per_second(&self) -> f64 {
+        1e9 / self.median_ns()
+    }
+
+    /// Print a one-line `name  median  (min)` report.
+    pub fn report(&self) {
+        println!(
+            "{:<44} {:>12}  (min {:>10})",
+            self.name,
+            format_ns(self.median_ns()),
+            format_ns(self.min_ns())
+        );
+    }
+}
+
+/// Human-readable time per iteration.
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Benchmark runner with calibrated per-sample iteration counts.
+#[derive(Debug, Clone)]
+pub struct Harness {
+    warmup: Duration,
+    sample_time: Duration,
+    samples: usize,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Harness {
+    /// Standard settings: 50 ms warm-up, 9 samples of ≈40 ms each.
+    pub fn new() -> Self {
+        Self {
+            warmup: Duration::from_millis(50),
+            sample_time: Duration::from_millis(40),
+            samples: 9,
+        }
+    }
+
+    /// Faster, less precise settings for long-running workloads.
+    pub fn quick() -> Self {
+        Self {
+            warmup: Duration::from_millis(10),
+            sample_time: Duration::from_millis(15),
+            samples: 5,
+        }
+    }
+
+    /// Time `f`, returning the calibrated multi-sample measurement and
+    /// printing a one-line report.
+    pub fn run<R>(&self, name: &str, mut f: impl FnMut() -> R) -> Measurement {
+        // Warm-up + calibration: count how many iterations fit the warm-up
+        // window, then scale to the per-sample target.
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < self.warmup || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
+        let iters = ((self.sample_time.as_secs_f64() / per_iter).ceil() as u64).clamp(1, u64::MAX);
+
+        let samples_ns: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t.elapsed().as_secs_f64() * 1e9 / iters as f64
+            })
+            .collect();
+        let m = Measurement {
+            name: name.to_owned(),
+            iters,
+            samples_ns,
+        };
+        m.report();
+        m
+    }
+}
+
+/// Minimal JSON writer for benchmark emission (the repo is offline: no
+/// serde). Only what `BENCH_*.json` files need — objects, arrays, strings,
+/// and finite numbers.
+#[derive(Debug, Default, Clone)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    /// Empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a string field.
+    pub fn string(mut self, key: &str, value: &str) -> Self {
+        self.fields
+            .push((key.to_owned(), format!("\"{}\"", escape(value))));
+        self
+    }
+
+    /// Add a finite-number field.
+    pub fn number(mut self, key: &str, value: f64) -> Self {
+        assert!(value.is_finite(), "JSON numbers must be finite");
+        self.fields.push((key.to_owned(), format_number(value)));
+        self
+    }
+
+    /// Add an already-rendered JSON value (object or array).
+    pub fn raw(mut self, key: &str, value: String) -> Self {
+        self.fields.push((key.to_owned(), value));
+        self
+    }
+
+    /// Render to a JSON object string.
+    pub fn render(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{}\": {v}", escape(k)))
+            .collect();
+        format!("{{{}}}", body.join(", "))
+    }
+}
+
+/// Render a list of rendered JSON values as an array.
+pub fn json_array(values: &[String]) -> String {
+    format!("[{}]", values.join(", "))
+}
+
+fn format_number(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_and_stats() {
+        let h = Harness {
+            warmup: Duration::from_millis(2),
+            sample_time: Duration::from_millis(1),
+            samples: 3,
+        };
+        let m = h.run("noop", || 1 + 1);
+        assert!(m.iters >= 1);
+        assert_eq!(m.samples_ns.len(), 3);
+        assert!(m.median_ns() >= m.min_ns());
+        assert!(m.per_second() > 0.0);
+    }
+
+    #[test]
+    fn json_rendering() {
+        let obj = JsonObject::new()
+            .string("name", "a \"b\"")
+            .number("x", 2.0)
+            .number("y", 2.5)
+            .raw("list", json_array(&["1".into(), "2".into()]));
+        assert_eq!(
+            obj.render(),
+            "{\"name\": \"a \\\"b\\\"\", \"x\": 2, \"y\": 2.5, \"list\": [1, 2]}"
+        );
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(format_ns(12.34), "12.3 ns");
+        assert_eq!(format_ns(12_340.0), "12.34 us");
+        assert_eq!(format_ns(12_340_000.0), "12.34 ms");
+    }
+}

@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
 /// Print a report header with the experiment id and a short description.
 pub fn header(id: &str, description: &str) {
     println!("================================================================");

@@ -5,9 +5,9 @@ use std::time::{Duration, Instant};
 use coopmc_kernels::cost::OpCounts;
 use coopmc_models::{GibbsModel, LabelScore};
 use coopmc_rng::HwRng;
-use coopmc_sampler::Sampler;
+use coopmc_sampler::{SampleScratch, Sampler};
 
-use crate::pipeline::ProbabilityPipeline;
+use crate::pipeline::{PgOutput, ProbabilityPipeline};
 
 /// Cumulative statistics of an engine run.
 #[derive(Debug, Clone, Default)]
@@ -57,18 +57,31 @@ impl RunStats {
 }
 
 /// Drives a [`GibbsModel`] through PG → SD → PU sweeps.
+///
+/// The engine owns every hot-path buffer (score vector, PG output, sampler
+/// scratch), so after a warm-up sweep has grown them to the model's label
+/// count, a steady-state sweep performs **zero heap allocations**.
 #[derive(Debug, Clone)]
 pub struct GibbsEngine<P, S, R> {
     pipeline: P,
     sampler: S,
     rng: R,
     scores: Vec<LabelScore>,
+    pg: PgOutput,
+    sd_scratch: SampleScratch,
 }
 
 impl<P: ProbabilityPipeline, S: Sampler, R: HwRng> GibbsEngine<P, S, R> {
     /// Assemble an engine from a pipeline, a sampler and an RNG.
     pub fn new(pipeline: P, sampler: S, rng: R) -> Self {
-        Self { pipeline, sampler, rng, scores: Vec::new() }
+        Self {
+            pipeline,
+            sampler,
+            rng,
+            scores: Vec::new(),
+            pg: PgOutput::new(),
+            sd_scratch: SampleScratch::new(),
+        }
     }
 
     /// The pipeline.
@@ -78,16 +91,23 @@ impl<P: ProbabilityPipeline, S: Sampler, R: HwRng> GibbsEngine<P, S, R> {
 
     /// Resample a single variable; returns its new label, or `None` if the
     /// variable is clamped.
-    pub fn step(&mut self, model: &mut dyn GibbsModel, var: usize, stats: &mut RunStats) -> Option<usize> {
+    pub fn step(
+        &mut self,
+        model: &mut dyn GibbsModel,
+        var: usize,
+        stats: &mut RunStats,
+    ) -> Option<usize> {
         if model.is_clamped(var) {
             return None;
         }
         let t0 = Instant::now();
         model.begin_resample(var);
-        model.scores(var, &mut self.scores);
-        let pg = self.pipeline.generate(&self.scores);
+        model.scores_into(var, &mut self.scores);
+        self.pipeline.generate_into(&self.scores, &mut self.pg);
         let t1 = Instant::now();
-        let sample = self.sampler.sample(&pg.probs, &mut self.rng);
+        let sample = self
+            .sampler
+            .sample_into(&self.pg.probs, &mut self.rng, &mut self.sd_scratch);
         let t2 = Instant::now();
         model.update(var, sample.label);
         let t3 = Instant::now();
@@ -95,8 +115,8 @@ impl<P: ProbabilityPipeline, S: Sampler, R: HwRng> GibbsEngine<P, S, R> {
         stats.pg_time += t1 - t0;
         stats.sd_time += t2 - t1;
         stats.pu_time += t3 - t2;
-        stats.pg_cycles += pg.ops.sequential_cycles();
-        stats.ops.merge(&pg.ops);
+        stats.pg_cycles += self.pg.ops.sequential_cycles();
+        stats.ops.merge(&self.pg.ops);
         stats.sd_cycles += sample.cycles;
         stats.updates += 1;
         Some(sample.label)
@@ -162,8 +182,11 @@ mod tests {
         let mut net = asia();
         let d = net.node_index("dysp").unwrap();
         net.set_evidence(d, 0);
-        let mut engine =
-            GibbsEngine::new(FloatPipeline::new(), SequentialSampler::new(), SplitMix64::new(2));
+        let mut engine = GibbsEngine::new(
+            FloatPipeline::new(),
+            SequentialSampler::new(),
+            SplitMix64::new(2),
+        );
         let stats = engine.run(&mut net, 10);
         assert_eq!(stats.updates, 10 * 7, "evidence node must not be resampled");
         assert_eq!(net.label(d), 0);
@@ -226,8 +249,11 @@ mod tests {
     fn deterministic_given_seed() {
         let run = |seed| {
             let mut app = image_segmentation(10, 10, 7);
-            let mut engine =
-                GibbsEngine::new(FloatPipeline::new(), TreeSampler::new(), SplitMix64::new(seed));
+            let mut engine = GibbsEngine::new(
+                FloatPipeline::new(),
+                TreeSampler::new(),
+                SplitMix64::new(seed),
+            );
             engine.run(&mut app.mrf, 3);
             app.mrf.labels()
         };

@@ -44,8 +44,7 @@ pub fn mrf_trace(
 ) -> Trace {
     let untrained = app.mrf.labels();
     let mut model = app.mrf.clone();
-    let mut engine =
-        GibbsEngine::new(config.build(), TreeSampler::new(), SplitMix64::new(seed));
+    let mut engine = GibbsEngine::new(config.build(), TreeSampler::new(), SplitMix64::new(seed));
     let mut trace = Trace::new();
     trace.push(0, normalized_mse(&untrained, golden, &untrained));
     engine.run_observed(&mut model, iterations, |it, m| {
@@ -90,8 +89,7 @@ pub fn bn_marginal_mse(
         })
         .collect();
     let mut model = net.clone();
-    let mut engine =
-        GibbsEngine::new(config.build(), TreeSampler::new(), SplitMix64::new(seed));
+    let mut engine = GibbsEngine::new(config.build(), TreeSampler::new(), SplitMix64::new(seed));
     let mut counter = MarginalCounter::new(&model);
     let mut stats = crate::engine::RunStats::default();
     for it in 0..iterations {
@@ -107,8 +105,7 @@ pub fn bn_marginal_mse(
 /// log-likelihood after every sweep.
 pub fn lda_trace(lda: &Lda, config: PipelineConfig, iterations: u64, seed: u64) -> Trace {
     let mut model = lda.clone();
-    let mut engine =
-        GibbsEngine::new(config.build(), TreeSampler::new(), SplitMix64::new(seed));
+    let mut engine = GibbsEngine::new(config.build(), TreeSampler::new(), SplitMix64::new(seed));
     let mut trace = Trace::new();
     trace.push(0, model.log_likelihood());
     let mut stats = crate::engine::RunStats::default();
@@ -140,7 +137,10 @@ mod tests {
         let first = trace.samples()[0].1;
         let last = trace.last_value().unwrap();
         assert!(last < first, "normalized MSE must drop: {first} -> {last}");
-        assert!(last < 0.5, "float run should approach the golden result: {last}");
+        assert!(
+            last < 0.5,
+            "float run should approach the golden result: {last}"
+        );
     }
 
     #[test]
@@ -177,7 +177,10 @@ mod tests {
         let trace = lda_trace(&lda, PipelineConfig::float32(), 15, 21);
         let first = trace.samples()[0].1;
         let last = trace.last_value().unwrap();
-        assert!(last > first, "log-likelihood must improve: {first} -> {last}");
+        assert!(
+            last > first,
+            "log-likelihood must improve: {first} -> {last}"
+        );
     }
 
     #[test]

@@ -33,7 +33,9 @@
 //! assert_eq!(stats.iterations, 5);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the worker pool (`pool`) contains one
+// documented, locally-allowed unsafe block for lifetime-erased job dispatch.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
@@ -41,3 +43,4 @@ pub mod experiments;
 pub mod metropolis;
 pub mod parallel;
 pub mod pipeline;
+pub mod pool;

@@ -30,7 +30,11 @@ pub struct MetropolisEngine<P, R> {
 impl<P: ProbabilityPipeline, R: HwRng> MetropolisEngine<P, R> {
     /// Assemble a driver from a pipeline and an RNG.
     pub fn new(pipeline: P, rng: R) -> Self {
-        Self { pipeline, rng, scores: Vec::new() }
+        Self {
+            pipeline,
+            rng,
+            scores: Vec::new(),
+        }
     }
 
     /// One MH update of `var`; returns true if the proposal was accepted.
@@ -92,10 +96,7 @@ impl<P: ProbabilityPipeline, R: HwRng> MetropolisEngine<P, R> {
 /// Iterated conditional modes: the deterministic greedy baseline — each
 /// variable takes its argmax label under the pipeline's probabilities.
 /// Converges fast to a local optimum; returns the number of label changes.
-pub fn icm_sweep<P: ProbabilityPipeline>(
-    model: &mut dyn GibbsModel,
-    pipeline: &P,
-) -> usize {
+pub fn icm_sweep<P: ProbabilityPipeline>(model: &mut dyn GibbsModel, pipeline: &P) -> usize {
     let mut scores = Vec::new();
     let mut changes = 0usize;
     for var in 0..model.num_variables() {
@@ -197,11 +198,8 @@ mod tests {
                     count += u64::from(net.label(2) == 0);
                 }
             } else {
-                let mut g = GibbsEngine::new(
-                    FloatPipeline::new(),
-                    TreeSampler::new(),
-                    SplitMix64::new(5),
-                );
+                let mut g =
+                    GibbsEngine::new(FloatPipeline::new(), TreeSampler::new(), SplitMix64::new(5));
                 let mut stats = RunStats::default();
                 for _ in 0..sweeps {
                     g.sweep(&mut net, &mut stats);
@@ -247,7 +245,10 @@ mod tests {
         loop {
             let changes = icm_sweep(&mut app.mrf, &pipeline);
             let e = app.mrf.energy();
-            assert!(e <= prev + 1e-9, "ICM must never raise energy: {prev} -> {e}");
+            assert!(
+                e <= prev + 1e-9,
+                "ICM must never raise energy: {prev} -> {e}"
+            );
             prev = e;
             if changes == 0 {
                 break;
@@ -263,7 +264,11 @@ mod tests {
         // Gibbs at fixed beta followed by nothing.
         let app = image_segmentation(24, 20, 7);
         let mut annealed = app.mrf.clone();
-        let schedule = AnnealingSchedule { beta0: 0.3, rate: 1.25, beta_max: 6.0 };
+        let schedule = AnnealingSchedule {
+            beta0: 0.3,
+            rate: 1.25,
+            beta_max: 6.0,
+        };
         let e_anneal = anneal_mrf(
             &mut annealed,
             FloatPipeline::new(),
@@ -272,11 +277,8 @@ mod tests {
             SplitMix64::new(8),
         );
         let mut plain = app.mrf.clone();
-        let mut engine = GibbsEngine::new(
-            FloatPipeline::new(),
-            TreeSampler::new(),
-            SplitMix64::new(8),
-        );
+        let mut engine =
+            GibbsEngine::new(FloatPipeline::new(), TreeSampler::new(), SplitMix64::new(8));
         engine.run(&mut plain, 20);
         let e_plain = plain.energy();
         assert!(
@@ -287,7 +289,11 @@ mod tests {
 
     #[test]
     fn annealing_schedule_is_monotone_and_capped() {
-        let s = AnnealingSchedule { beta0: 0.5, rate: 1.2, beta_max: 4.0 };
+        let s = AnnealingSchedule {
+            beta0: 0.5,
+            rate: 1.2,
+            beta_max: 4.0,
+        };
         let mut prev = 0.0;
         for sweep in 0..40 {
             let b = s.beta_at(sweep);

@@ -17,37 +17,76 @@ use coopmc_models::coloring::ChromaticModel;
 use coopmc_models::mrf::GridMrf;
 use coopmc_models::{GibbsModel, LabelScore};
 use coopmc_rng::SplitMix64;
-use coopmc_sampler::{Sampler, TreeSampler};
+use coopmc_sampler::{SampleScratch, Sampler, TreeSampler};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-use crate::pipeline::ProbabilityPipeline;
+use crate::pipeline::{PgOutput, ProbabilityPipeline};
+use crate::pool::WorkerPool;
 
 /// Derive the per-variable RNG for a chromatic draw. SplitMix64's finalizer
 /// decorrelates the structured seeds.
 fn draw_rng(seed: u64, iteration: u64, var: usize) -> SplitMix64 {
     let mut mixer = SplitMix64::new(
-        seed ^ iteration.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (var as u64).wrapping_mul(0xDEAD_BEEF_CAFE_F00D),
+        seed ^ iteration.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (var as u64).wrapping_mul(0xDEAD_BEEF_CAFE_F00D),
     );
     SplitMix64::new(mixer.derive())
 }
 
+/// Per-worker-slot hot-path buffers for the chromatic engine. Each dispatch
+/// slot keeps its own, so steady-state sweeps reuse warm memory.
+#[derive(Debug, Default)]
+struct SweepScratch {
+    scores: Vec<LabelScore>,
+    pg: PgOutput,
+    sd: SampleScratch,
+    /// `(var, label)` draws of this slot's chunk, committed after the class
+    /// barrier.
+    out: Vec<(usize, usize)>,
+}
+
 /// Chromatic parallel Gibbs engine.
-#[derive(Debug, Clone)]
+///
+/// Worker threads are spawned **once** (at construction) into a persistent
+/// [`WorkerPool`] and fed one job per chunk per color class — no per-sweep
+/// thread spawning. Despite the pool, the engine stays deterministic
+/// independent of thread count: every draw's RNG is derived from
+/// `(seed, iteration, var)` alone, and draws of a class are committed only
+/// after the whole class finishes, so neither chunking nor scheduling order
+/// can leak into the chain.
+#[derive(Debug)]
 pub struct ChromaticEngine<P> {
     pipeline: P,
     n_threads: usize,
     seed: u64,
+    pool: WorkerPool,
+    scratch: Vec<Mutex<SweepScratch>>,
 }
 
 impl<P: ProbabilityPipeline + Sync> ChromaticEngine<P> {
-    /// Build an engine running `n_threads` worker threads.
+    /// Build an engine running `n_threads` persistent worker threads.
     ///
     /// # Panics
     ///
     /// Panics if `n_threads == 0`.
     pub fn new(pipeline: P, n_threads: usize, seed: u64) -> Self {
         assert!(n_threads > 0, "need at least one thread");
-        Self { pipeline, n_threads, seed }
+        let scratch = (0..n_threads)
+            .map(|_| Mutex::new(SweepScratch::default()))
+            .collect();
+        Self {
+            pipeline,
+            n_threads,
+            seed,
+            pool: WorkerPool::new(n_threads),
+            scratch,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
     }
 
     /// One full sweep: each color class is resampled concurrently from the
@@ -56,47 +95,88 @@ impl<P: ProbabilityPipeline + Sync> ChromaticEngine<P> {
     /// Returns the number of variables updated.
     pub fn sweep<M: ChromaticModel + Sync>(&self, model: &mut M, iteration: u64) -> usize {
         let classes = model.color_classes();
+        self.sweep_classes(model, &classes, iteration)
+    }
+
+    /// Resample one chunk of a color class against an immutable snapshot.
+    fn resample_chunk<M: ChromaticModel>(
+        &self,
+        model: &M,
+        vars: &[usize],
+        iteration: u64,
+        scratch: &mut SweepScratch,
+    ) {
+        let sampler = TreeSampler::new();
+        scratch.out.clear();
+        for &var in vars {
+            if model.is_clamped(var) {
+                continue;
+            }
+            model.scores_into(var, &mut scratch.scores);
+            self.pipeline
+                .generate_into(&scratch.scores, &mut scratch.pg);
+            let mut rng = draw_rng(self.seed, iteration, var);
+            let label = sampler
+                .sample_into(&scratch.pg.probs, &mut rng, &mut scratch.sd)
+                .label;
+            scratch.out.push((var, label));
+        }
+    }
+
+    /// Sweep with precomputed color classes (lets `run` compute them once).
+    fn sweep_classes<M: ChromaticModel + Sync>(
+        &self,
+        model: &mut M,
+        classes: &[Vec<usize>],
+        iteration: u64,
+    ) -> usize {
         let mut updated = 0usize;
         for class in classes {
             let chunk = class.len().div_ceil(self.n_threads).max(1);
-            let results: Vec<(usize, usize)> = std::thread::scope(|scope| {
-                let handles: Vec<_> = class
-                    .chunks(chunk)
-                    .map(|vars| {
-                        let model_ref: &M = &*model;
-                        let pipeline = &self.pipeline;
-                        let seed = self.seed;
-                        scope.spawn(move || {
-                            let sampler = TreeSampler::new();
-                            let mut scores: Vec<LabelScore> = Vec::new();
-                            let mut out = Vec::with_capacity(vars.len());
-                            for &var in vars {
-                                if model_ref.is_clamped(var) {
-                                    continue;
-                                }
-                                model_ref.scores(var, &mut scores);
-                                let pg = pipeline.generate(&scores);
-                                let mut rng = draw_rng(seed, iteration, var);
-                                let label = sampler.sample(&pg.probs, &mut rng).label;
-                                out.push((var, label));
-                            }
-                            out
-                        })
-                    })
-                    .collect();
-                handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
-            });
-            updated += results.len();
-            for (var, label) in results {
-                model.update(var, label);
+            if self.n_threads == 1 || class.len() <= chunk {
+                // Single chunk: run inline, skip the dispatch round-trip.
+                let scratch = &mut *self.scratch[0].lock().unwrap();
+                self.resample_chunk(&*model, class, iteration, scratch);
+                updated += scratch.out.len();
+                for &(var, label) in &scratch.out {
+                    model.update(var, label);
+                }
+                continue;
+            }
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = class
+                .chunks(chunk)
+                .zip(&self.scratch)
+                .map(|(vars, slot)| {
+                    let model_ref: &M = &*model;
+                    Box::new(move || {
+                        let scratch = &mut *slot.lock().unwrap();
+                        self.resample_chunk(model_ref, vars, iteration, scratch);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            let n_jobs = jobs.len();
+            self.pool.execute(jobs);
+            // Commit after the class barrier. Commit order is irrelevant to
+            // the chain (each var appears once), so chunking cannot change
+            // the result.
+            for slot in &self.scratch[..n_jobs] {
+                let scratch = slot.lock().unwrap();
+                updated += scratch.out.len();
+                for &(var, label) in &scratch.out {
+                    model.update(var, label);
+                }
             }
         }
         updated
     }
 
-    /// Run `iterations` sweeps.
+    /// Run `iterations` sweeps. Color classes are computed once and reused
+    /// across all sweeps.
     pub fn run<M: ChromaticModel + Sync>(&self, model: &mut M, iterations: u64) -> usize {
-        (0..iterations).map(|it| self.sweep(model, it)).sum()
+        let classes = model.color_classes();
+        (0..iterations)
+            .map(|it| self.sweep_classes(model, &classes, it))
+            .sum()
     }
 }
 
@@ -118,8 +198,7 @@ pub fn hogwild_mrf_sweeps<P: ProbabilityPipeline + Sync>(
     seed: u64,
 ) {
     assert!(n_threads > 0, "need at least one thread");
-    let shared: Vec<AtomicUsize> =
-        mrf.labels().into_iter().map(AtomicUsize::new).collect();
+    let shared: Vec<AtomicUsize> = mrf.labels().into_iter().map(AtomicUsize::new).collect();
     let n = shared.len();
     let n_labels = mrf.num_labels(0);
 
@@ -128,21 +207,24 @@ pub fn hogwild_mrf_sweeps<P: ProbabilityPipeline + Sync>(
             let shared = &shared;
             let mrf_ref: &GridMrf = &*mrf;
             scope.spawn(move || {
+                // All hot-path buffers live for the whole worker: steady-
+                // state iterations allocate nothing.
                 let sampler = TreeSampler::new();
                 let mut probs_in: Vec<LabelScore> = Vec::with_capacity(n_labels);
+                let mut pg = PgOutput::new();
+                let mut sd = SampleScratch::new();
                 for it in 0..sweeps {
                     let mut var = t;
                     while var < n {
                         probs_in.clear();
                         for l in 0..n_labels {
-                            let cost = mrf_ref.total_cost_at(var, l, |j| {
-                                shared[j].load(Ordering::Relaxed)
-                            });
+                            let cost = mrf_ref
+                                .total_cost_at(var, l, |j| shared[j].load(Ordering::Relaxed));
                             probs_in.push(LabelScore::LogDomain(-mrf_ref.beta() * cost));
                         }
-                        let pg = pipeline.generate(&probs_in);
+                        pipeline.generate_into(&probs_in, &mut pg);
                         let mut rng = draw_rng(seed ^ 0x5150, it, var);
-                        let label = sampler.sample(&pg.probs, &mut rng).label;
+                        let label = sampler.sample_into(&pg.probs, &mut rng, &mut sd).label;
                         shared[var].store(label, Ordering::Relaxed);
                         var += n_threads;
                     }
@@ -183,7 +265,10 @@ mod tests {
         let engine = ChromaticEngine::new(CoopMcPipeline::new(64, 8), 4, 3);
         engine.run(&mut app.mrf, 10);
         let after = app.mrf.energy();
-        assert!(after < before, "chromatic sweeps must lower energy: {before} -> {after}");
+        assert!(
+            after < before,
+            "chromatic sweeps must lower energy: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -201,11 +286,8 @@ mod tests {
         // stationary behaviour: compare final energies.
         let app = image_segmentation(24, 20, 10);
         let mut seq_model = app.mrf.clone();
-        let mut engine = GibbsEngine::new(
-            FloatPipeline::new(),
-            TreeSampler::new(),
-            SplitMix64::new(3),
-        );
+        let mut engine =
+            GibbsEngine::new(FloatPipeline::new(), TreeSampler::new(), SplitMix64::new(3));
         engine.run(&mut seq_model, 15);
         let mut par_model = app.mrf.clone();
         let par = ChromaticEngine::new(FloatPipeline::new(), 4, 3);
@@ -213,7 +295,10 @@ mod tests {
         let e_seq = seq_model.energy();
         let e_par = par_model.energy();
         let rel = (e_seq - e_par).abs() / e_seq.abs().max(1.0);
-        assert!(rel < 0.1, "energies should agree within 10%: {e_seq} vs {e_par}");
+        assert!(
+            rel < 0.1,
+            "energies should agree within 10%: {e_seq} vs {e_par}"
+        );
     }
 
     #[test]
@@ -222,7 +307,10 @@ mod tests {
         let before = app.mrf.energy();
         hogwild_mrf_sweeps(&mut app.mrf, &FloatPipeline::new(), 10, 4, 9);
         let after = app.mrf.energy();
-        assert!(after < before, "hogwild must lower energy: {before} -> {after}");
+        assert!(
+            after < before,
+            "hogwild must lower energy: {before} -> {after}"
+        );
         assert!(app.mrf.labels().iter().all(|&l| l < 2));
     }
 
@@ -241,8 +329,14 @@ mod tests {
         hogwild_mrf_sweeps(&mut eight, &FloatPipeline::new(), 12, 8, 4);
         let e1 = one.energy();
         let e8 = eight.energy();
-        assert!(e1 < 0.7 * initial, "1-thread must converge: {initial} -> {e1}");
-        assert!(e8 < 0.7 * initial, "8-thread must converge: {initial} -> {e8}");
+        assert!(
+            e1 < 0.7 * initial,
+            "1-thread must converge: {initial} -> {e1}"
+        );
+        assert!(
+            e8 < 0.7 * initial,
+            "8-thread must converge: {initial} -> {e8}"
+        );
         let rel = (e1 - e8).abs() / e1.abs().max(1.0);
         assert!(rel < 0.6, "equilibria should share a band: {e1} vs {e8}");
     }

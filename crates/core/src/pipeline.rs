@@ -6,6 +6,8 @@
 //! exp-kernel implementation (approximation vs LUT), and direct vs
 //! log-domain (LogFusion) factor evaluation.
 
+use std::cell::RefCell;
+
 use coopmc_fixed::{Fixed, QFormat, Rounding};
 use coopmc_kernels::cost::OpCounts;
 use coopmc_kernels::dynorm::dynorm_apply;
@@ -23,10 +25,80 @@ pub struct PgOutput {
     pub ops: OpCounts,
 }
 
+impl PgOutput {
+    /// An empty output whose buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Per-thread working memory shared by the pipeline implementations.
+///
+/// Living in a `thread_local` (rather than inside each pipeline) keeps the
+/// pipelines `Sync` — the parallel engines share one pipeline across worker
+/// threads — while still letting every thread's hot path reuse warm buffers.
+#[derive(Debug, Default)]
+struct PgScratch {
+    /// Quantized/accumulated log-domain scores.
+    log_scores: Vec<f64>,
+    /// Secondary work buffer handed to the fused kernels.
+    work: Vec<f64>,
+    /// Factor expressions rebuilt from `LabelScore::Factors` inputs; inner
+    /// vectors are recycled across calls.
+    exprs: Vec<FactorExpr>,
+}
+
+thread_local! {
+    static PG_SCRATCH: RefCell<PgScratch> = RefCell::new(PgScratch::default());
+}
+
+/// Rebuild `exprs` from `scores`, recycling every inner factor vector.
+fn refill_exprs(scores: &[LabelScore], exprs: &mut Vec<FactorExpr>) {
+    exprs.truncate(scores.len());
+    exprs.resize_with(scores.len(), FactorExpr::default);
+    for (s, e) in scores.iter().zip(exprs.iter_mut()) {
+        e.numerators.clear();
+        e.denominators.clear();
+        match s {
+            LabelScore::Factors {
+                numerators,
+                denominators,
+            } => {
+                e.numerators.extend_from_slice(numerators);
+                e.denominators.extend_from_slice(denominators);
+            }
+            LabelScore::LogDomain(v) => e.numerators.push(v.exp()),
+        }
+    }
+}
+
 /// A Probability Generation datapath.
+///
+/// Implementors must override at least one of
+/// [`ProbabilityPipeline::generate`] /
+/// [`ProbabilityPipeline::generate_into`] — each default delegates to the
+/// other.
 pub trait ProbabilityPipeline {
     /// Evaluate the label scores into unnormalized probabilities.
-    fn generate(&self, scores: &[LabelScore]) -> PgOutput;
+    fn generate(&self, scores: &[LabelScore]) -> PgOutput {
+        let mut out = PgOutput::new();
+        self.generate_into(scores, &mut out);
+        out
+    }
+
+    /// Evaluate into a caller-owned [`PgOutput`], overwriting its previous
+    /// contents.
+    ///
+    /// Identical results to [`ProbabilityPipeline::generate`]; the
+    /// difference is allocation behaviour. The built-in pipelines reuse
+    /// `out.probs` and per-thread scratch buffers, so a warm steady-state
+    /// call performs **zero heap allocations** — the property the Gibbs
+    /// engine's hot path is built on. The default implementation delegates
+    /// to `generate` (custom pipelines only need to override one of the
+    /// two).
+    fn generate_into(&self, scores: &[LabelScore], out: &mut PgOutput) {
+        *out = self.generate(scores);
+    }
 
     /// Short human-readable name for reports.
     fn name(&self) -> String;
@@ -43,26 +115,54 @@ impl FloatPipeline {
     }
 }
 
+/// Common log-domain value of a score: `LogDomain` scores directly, factor
+/// scores via the log of their reference value (`-∞` for zero/negative).
+fn score_log_value(s: &LabelScore) -> f64 {
+    match s {
+        LabelScore::LogDomain(v) => *v,
+        factors => {
+            let r = factors.reference_value();
+            if r > 0.0 {
+                r.ln()
+            } else {
+                f64::NEG_INFINITY
+            }
+        }
+    }
+}
+
 impl ProbabilityPipeline for FloatPipeline {
-    fn generate(&self, scores: &[LabelScore]) -> PgOutput {
-        // Numerically stable reference: shift log-domain scores by their
-        // maximum before exponentiation (the mathematical identity DyNorm
-        // exploits — exact at float precision, Eq. 8).
+    fn generate_into(&self, scores: &[LabelScore], out: &mut PgOutput) {
+        // Numerically stable reference: shift *every* score by the common
+        // maximum log value before exponentiation (the mathematical
+        // identity DyNorm exploits — exact at float precision, Eq. 8).
+        // Factor scores participate through the log of their reference
+        // value, so mixed log/factor vectors keep a single consistent
+        // scale — shifting only the log-domain entries would distort their
+        // weight relative to the factor entries.
+        out.ops = OpCounts::new();
+        out.probs.clear();
+        if scores.is_empty() {
+            return;
+        }
         let max_log = scores
             .iter()
-            .filter_map(|s| match s {
-                LabelScore::LogDomain(v) => Some(*v),
-                _ => None,
-            })
+            .map(score_log_value)
             .fold(f64::NEG_INFINITY, f64::max);
-        let probs = scores
-            .iter()
-            .map(|s| match s {
-                LabelScore::LogDomain(v) => (v - max_log).exp(),
-                factors => factors.reference_value(),
-            })
-            .collect();
-        PgOutput { probs, ops: OpCounts::new() }
+        if max_log == f64::NEG_INFINITY {
+            // Every label carries zero mass; emit a well-defined all-zero
+            // vector (samplers treat it as the uniform-fallback regime).
+            out.probs.resize(scores.len(), 0.0);
+            return;
+        }
+        out.probs.extend(scores.iter().map(|s| {
+            let lv = score_log_value(s);
+            if lv == f64::NEG_INFINITY {
+                0.0
+            } else {
+                (lv - max_log).exp()
+            }
+        }));
     }
 
     fn name(&self) -> String {
@@ -91,7 +191,12 @@ impl FixedPipeline {
     pub fn new(frac_bits: u32, dynorm: bool) -> Self {
         assert!((1..=46).contains(&frac_bits), "frac_bits must be in 1..=46");
         let fmt = QFormat::new(15, frac_bits).expect("valid datapath format");
-        Self { exp: FixedExp::new(frac_bits), fmt, direct: DirectDatapath::new(fmt), dynorm }
+        Self {
+            exp: FixedExp::new(frac_bits),
+            fmt,
+            direct: DirectDatapath::new(fmt),
+            dynorm,
+        }
     }
 
     /// Fractional bits of the datapath.
@@ -101,51 +206,47 @@ impl FixedPipeline {
 }
 
 impl ProbabilityPipeline for FixedPipeline {
-    fn generate(&self, scores: &[LabelScore]) -> PgOutput {
-        let mut ops = OpCounts::new();
-        // Split evaluation: log-domain scores run through the exp ALU
-        // (optionally normalized); factor scores run the direct
-        // multiplier/divider datapath.
-        let mut log_scores: Vec<f64> = Vec::with_capacity(scores.len());
-        let mut is_log = true;
-        for s in scores {
-            match s {
-                LabelScore::LogDomain(v) => {
-                    log_scores.push(Fixed::from_f64(*v, self.fmt, Rounding::Nearest).to_f64())
-                }
-                LabelScore::Factors { .. } => {
-                    is_log = false;
-                    break;
+    fn generate_into(&self, scores: &[LabelScore], out: &mut PgOutput) {
+        PG_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let mut ops = OpCounts::new();
+            // Split evaluation: log-domain scores run through the exp ALU
+            // (optionally normalized); factor scores run the direct
+            // multiplier/divider datapath.
+            let log_scores = &mut scratch.log_scores;
+            log_scores.clear();
+            let mut is_log = true;
+            for s in scores {
+                match s {
+                    LabelScore::LogDomain(v) => {
+                        log_scores.push(Fixed::from_f64(*v, self.fmt, Rounding::Nearest).to_f64())
+                    }
+                    LabelScore::Factors { .. } => {
+                        is_log = false;
+                        break;
+                    }
                 }
             }
-        }
-        if is_log && !scores.is_empty() {
-            if self.dynorm {
-                let report = dynorm_apply(&mut log_scores, 1);
-                ops.cmp += report.comparisons;
-                ops.add += log_scores.len() as u64;
-            }
-            let probs = log_scores
-                .iter()
-                .map(|&s| {
+            if is_log && !scores.is_empty() {
+                if self.dynorm {
+                    let report = dynorm_apply(log_scores, 1);
+                    ops.cmp += report.comparisons;
+                    ops.add += log_scores.len() as u64;
+                }
+                out.probs.clear();
+                out.probs.extend(log_scores.iter().map(|&s| {
                     ops.approx += 1;
                     self.exp.exp(s)
-                })
-                .collect();
-            return PgOutput { probs, ops };
-        }
-        // Factor form: direct fixed-point multiply/divide.
-        let exprs: Vec<FactorExpr> = scores
-            .iter()
-            .map(|s| match s {
-                LabelScore::Factors { numerators, denominators } => {
-                    FactorExpr::ratio(numerators.clone(), denominators.clone())
-                }
-                LabelScore::LogDomain(v) => FactorExpr::product(vec![v.exp()]),
-            })
-            .collect();
-        let result = self.direct.evaluate_factors(&exprs);
-        PgOutput { probs: result.probs, ops: result.ops }
+                }));
+                out.ops = ops;
+                return;
+            }
+            // Factor form: direct fixed-point multiply/divide.
+            refill_exprs(scores, &mut scratch.exprs);
+            out.ops = self
+                .direct
+                .evaluate_factors_into(&scratch.exprs, &mut out.probs);
+        });
     }
 
     fn name(&self) -> String {
@@ -187,7 +288,11 @@ impl CoopMcPipeline {
             QFormat::baseline32(),
             pipelines,
         );
-        Self { fusion, size_lut, bit_lut }
+        Self {
+            fusion,
+            size_lut,
+            bit_lut,
+        }
     }
 
     /// TableExp entries.
@@ -202,30 +307,27 @@ impl CoopMcPipeline {
 }
 
 impl ProbabilityPipeline for CoopMcPipeline {
-    fn generate(&self, scores: &[LabelScore]) -> PgOutput {
-        let all_log = scores.iter().all(|s| matches!(s, LabelScore::LogDomain(_)));
-        let result = if all_log {
-            let log_scores: Vec<f64> = scores
-                .iter()
-                .map(|s| match s {
+    fn generate_into(&self, scores: &[LabelScore], out: &mut PgOutput) {
+        PG_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let all_log = scores.iter().all(|s| matches!(s, LabelScore::LogDomain(_)));
+            out.ops = if all_log {
+                scratch.log_scores.clear();
+                scratch.log_scores.extend(scores.iter().map(|s| match s {
                     LabelScore::LogDomain(v) => *v,
                     _ => unreachable!(),
-                })
-                .collect();
-            self.fusion.evaluate_log_scores(&log_scores)
-        } else {
-            let exprs: Vec<FactorExpr> = scores
-                .iter()
-                .map(|s| match s {
-                    LabelScore::Factors { numerators, denominators } => {
-                        FactorExpr::ratio(numerators.clone(), denominators.clone())
-                    }
-                    LabelScore::LogDomain(v) => FactorExpr::product(vec![v.exp()]),
-                })
-                .collect();
-            self.fusion.evaluate_factors(&exprs)
-        };
-        PgOutput { probs: result.probs, ops: result.ops }
+                }));
+                self.fusion.evaluate_log_scores_into(
+                    &scratch.log_scores,
+                    &mut scratch.work,
+                    &mut out.probs,
+                )
+            } else {
+                refill_exprs(scores, &mut scratch.exprs);
+                self.fusion
+                    .evaluate_factors_into(&scratch.exprs, &mut scratch.work, &mut out.probs)
+            };
+        });
     }
 
     fn name(&self) -> String {
@@ -262,12 +364,18 @@ impl PipelineConfig {
 
     /// Plain fixed point (no DyNorm) — the prior-art baseline.
     pub fn fixed(frac_bits: u32) -> Self {
-        PipelineConfig::Fixed { frac_bits, dynorm: false }
+        PipelineConfig::Fixed {
+            frac_bits,
+            dynorm: false,
+        }
     }
 
     /// Fixed point with DyNorm.
     pub fn fixed_dynorm(frac_bits: u32) -> Self {
-        PipelineConfig::Fixed { frac_bits, dynorm: true }
+        PipelineConfig::Fixed {
+            frac_bits,
+            dynorm: true,
+        }
     }
 
     /// The full CoopMC datapath.
@@ -294,6 +402,10 @@ impl<P: ProbabilityPipeline + ?Sized> ProbabilityPipeline for Box<P> {
         (**self).generate(scores)
     }
 
+    fn generate_into(&self, scores: &[LabelScore], out: &mut PgOutput) {
+        (**self).generate_into(scores, out)
+    }
+
     fn name(&self) -> String {
         (**self).name()
     }
@@ -313,7 +425,10 @@ mod tests {
         let out = p.generate(&log_scores(&[-3.0, -1.0, -2.0]));
         let r = out.probs[1] / out.probs[0];
         assert!((r - (2.0f64).exp()).abs() < 1e-12);
-        assert_eq!(out.probs[1], 1.0, "max score maps to 1 after the stability shift");
+        assert_eq!(
+            out.probs[1], 1.0,
+            "max score maps to 1 after the stability shift"
+        );
     }
 
     #[test]
@@ -338,8 +453,14 @@ mod tests {
         let log_out = p.generate(&log_scores(&[-9.0, -8.0]));
         assert_eq!(log_out.probs[1], 1.0);
         let factor_out = p.generate(&[
-            LabelScore::Factors { numerators: vec![0.2, 0.5], denominators: vec![0.8] },
-            LabelScore::Factors { numerators: vec![0.4, 0.5], denominators: vec![0.8] },
+            LabelScore::Factors {
+                numerators: vec![0.2, 0.5],
+                denominators: vec![0.8],
+            },
+            LabelScore::Factors {
+                numerators: vec![0.4, 0.5],
+                denominators: vec![0.8],
+            },
         ]);
         assert!(factor_out.probs[1] > factor_out.probs[0]);
     }
@@ -348,8 +469,14 @@ mod tests {
     fn config_builds_expected_variants() {
         assert_eq!(PipelineConfig::float32().build().name(), "float32");
         assert_eq!(PipelineConfig::fixed(8).build().name(), "fixed8");
-        assert_eq!(PipelineConfig::fixed_dynorm(8).build().name(), "fixed8+dynorm");
-        assert_eq!(PipelineConfig::coopmc(64, 8).build().name(), "coopmc-lut64x8");
+        assert_eq!(
+            PipelineConfig::fixed_dynorm(8).build().name(),
+            "fixed8+dynorm"
+        );
+        assert_eq!(
+            PipelineConfig::coopmc(64, 8).build().name(),
+            "coopmc-lut64x8"
+        );
     }
 
     #[test]
@@ -369,6 +496,86 @@ mod tests {
         assert_eq!(argmax(&f.probs), 1);
         assert_eq!(argmax(&x.probs), 1);
         assert_eq!(argmax(&c.probs), 1);
+    }
+
+    #[test]
+    fn float_pipeline_mixed_scores_share_one_scale() {
+        // Regression: log-domain and factor scores in one vector must be
+        // shifted by the SAME constant, or their relative weights distort.
+        let p = FloatPipeline::new();
+        let out = p.generate(&[
+            LabelScore::LogDomain(0.25_f64.ln()),
+            LabelScore::Factors {
+                numerators: vec![0.5, 0.5],
+                denominators: vec![],
+            },
+            LabelScore::LogDomain(0.5_f64.ln()),
+        ]);
+        // All three labels carry probability 0.25/0.25/0.5 — equal scores
+        // must come out equal regardless of representation.
+        assert!(
+            (out.probs[0] - out.probs[1]).abs() < 1e-12,
+            "{:?}",
+            out.probs
+        );
+        assert!((out.probs[2] / out.probs[0] - 2.0).abs() < 1e-12);
+        assert_eq!(out.probs[2], 1.0, "max score maps to 1 after the shift");
+    }
+
+    #[test]
+    fn float_pipeline_degenerate_cases_are_well_defined() {
+        let p = FloatPipeline::new();
+        assert!(p.generate(&[]).probs.is_empty());
+        // All labels carry zero mass: emit zeros (uniform-fallback regime),
+        // never NaN.
+        let out = p.generate(&[
+            LabelScore::Factors {
+                numerators: vec![0.0],
+                denominators: vec![],
+            },
+            LabelScore::LogDomain(f64::NEG_INFINITY),
+        ]);
+        assert_eq!(out.probs, vec![0.0, 0.0]);
+        // A zero-mass factor label among live ones stays exactly zero.
+        let out = p.generate(&[
+            LabelScore::Factors {
+                numerators: vec![0.0],
+                denominators: vec![],
+            },
+            LabelScore::LogDomain(-1.0),
+        ]);
+        assert_eq!(out.probs[0], 0.0);
+        assert_eq!(out.probs[1], 1.0);
+    }
+
+    #[test]
+    fn generate_into_matches_generate_for_all_pipelines() {
+        let log = log_scores(&[-4.0, -2.5, -3.1]);
+        let factors = vec![
+            LabelScore::Factors {
+                numerators: vec![0.2, 0.5],
+                denominators: vec![0.8],
+            },
+            LabelScore::Factors {
+                numerators: vec![0.4, 0.5],
+                denominators: vec![0.8],
+            },
+        ];
+        let pipelines: Vec<Box<dyn ProbabilityPipeline>> = vec![
+            Box::new(FloatPipeline::new()),
+            Box::new(FixedPipeline::new(8, true)),
+            Box::new(FixedPipeline::new(8, false)),
+            Box::new(CoopMcPipeline::new(64, 8)),
+        ];
+        // One dirty reused output across pipelines and score forms.
+        let mut out = PgOutput::new();
+        for p in &pipelines {
+            for scores in [&log, &factors] {
+                let fresh = p.generate(scores);
+                p.generate_into(scores, &mut out);
+                assert_eq!(fresh, out, "{} diverged", p.name());
+            }
+        }
     }
 
     #[test]

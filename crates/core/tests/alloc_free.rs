@@ -1,0 +1,85 @@
+//! The zero-allocation guarantee of the Gibbs hot path.
+//!
+//! A counting `#[global_allocator]` wrapper measures heap traffic during a
+//! warm steady-state sweep of [`GibbsEngine`] with the fixed-point pipeline
+//! and the tree sampler: after a warm-up run has grown every scratch buffer
+//! (engine score/PG/sampler buffers, per-thread pipeline scratch), a full
+//! sweep must allocate **nothing**.
+//!
+//! This file deliberately contains a single `#[test]`: the counter is
+//! process-global, and a concurrently running sibling test would pollute
+//! the measurement window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use coopmc_core::engine::GibbsEngine;
+use coopmc_core::pipeline::FixedPipeline;
+use coopmc_models::mrf::image_segmentation;
+use coopmc_rng::SplitMix64;
+use coopmc_sampler::TreeSampler;
+
+/// Forwards to the system allocator, counting allocations while armed.
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_steady_state_sweep_allocates_nothing() {
+    let mut app = image_segmentation(32, 32, 21);
+    let mut engine = GibbsEngine::new(
+        FixedPipeline::new(8, true),
+        TreeSampler::new(),
+        SplitMix64::new(7),
+    );
+    let mut stats = coopmc_core::engine::RunStats::default();
+
+    // Warm-up: grows the engine's score/PG/sampler buffers and the
+    // pipeline's per-thread scratch to this model's label count.
+    engine.sweep(&mut app.mrf, &mut stats);
+    engine.sweep(&mut app.mrf, &mut stats);
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    engine.sweep(&mut app.mrf, &mut stats);
+    ARMED.store(false, Ordering::SeqCst);
+
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        allocs, 0,
+        "a warm Gibbs sweep must not touch the heap ({allocs} allocations observed)"
+    );
+    assert_eq!(stats.iterations, 3);
+    assert_eq!(stats.updates, 3 * 32 * 32);
+}

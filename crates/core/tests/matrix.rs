@@ -36,8 +36,7 @@ fn full_matrix_on_mrf() {
     for config in pipelines() {
         for sampler in samplers() {
             let mut app = image_segmentation(10, 8, 3);
-            let mut engine =
-                GibbsEngine::new(config.build(), sampler, SplitMix64::new(1));
+            let mut engine = GibbsEngine::new(config.build(), sampler, SplitMix64::new(1));
             let stats = engine.run(&mut app.mrf, 2);
             assert_eq!(stats.updates, 2 * 80, "{config:?}");
             assert!(app.mrf.labels().iter().all(|&l| l < 2));
@@ -52,8 +51,7 @@ fn full_matrix_on_bn() {
         for sampler in samplers() {
             let mut net = earthquake();
             net.set_evidence(2, 0);
-            let mut engine =
-                GibbsEngine::new(config.build(), sampler, SplitMix64::new(2));
+            let mut engine = GibbsEngine::new(config.build(), sampler, SplitMix64::new(2));
             let stats = engine.run(&mut net, 20);
             assert_eq!(stats.updates, 20 * 4, "{config:?}");
             assert_eq!(net.label(2), 0);
@@ -77,8 +75,7 @@ fn full_matrix_on_lda() {
         for sampler in samplers() {
             let mut lda = Lda::new(&corpus, 3, 0.5, 0.05);
             lda.randomize_topics(5);
-            let mut engine =
-                GibbsEngine::new(config.build(), sampler, SplitMix64::new(3));
+            let mut engine = GibbsEngine::new(config.build(), sampler, SplitMix64::new(3));
             engine.run(&mut lda, 3);
             let total: u32 = (0..3).map(|k| lda.topic_total(k)).sum();
             assert_eq!(total, 60, "{config:?}");

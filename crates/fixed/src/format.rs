@@ -59,19 +59,29 @@ impl QFormat {
     ///
     /// Returns [`FormatError`] if `int_bits + frac_bits` is 0 or exceeds 62.
     pub fn new(int_bits: u32, frac_bits: u32) -> Result<Self, FormatError> {
-        let total = int_bits
-            .checked_add(frac_bits)
-            .ok_or(FormatError { int_bits, frac_bits })?;
+        let total = int_bits.checked_add(frac_bits).ok_or(FormatError {
+            int_bits,
+            frac_bits,
+        })?;
         if total == 0 || total > 62 {
-            return Err(FormatError { int_bits, frac_bits });
+            return Err(FormatError {
+                int_bits,
+                frac_bits,
+            });
         }
-        Ok(Self { int_bits, frac_bits })
+        Ok(Self {
+            int_bits,
+            frac_bits,
+        })
     }
 
     /// The paper's 32-bit baseline datapath format: Q15.16
     /// ("16 bits each, for the integer and fractional parts" plus sign).
     pub fn baseline32() -> Self {
-        Self { int_bits: 15, frac_bits: 16 }
+        Self {
+            int_bits: 15,
+            frac_bits: 16,
+        }
     }
 
     /// A probability format with `frac_bits` fractional bits and a single

@@ -116,7 +116,7 @@ mod tests {
     #[test]
     fn stochastic_rounding_picks_neighbouring_grid_points() {
         let fmt = QFormat::new(4, 2).unwrap(); // grid 0.25
-        // x = 0.6 sits between 0.5 and 0.75 with frac 0.4.
+                                               // x = 0.6 sits between 0.5 and 0.75 with frac 0.4.
         assert_eq!(quantize_stochastic(0.6, fmt, 0.39).to_f64(), 0.75);
         assert_eq!(quantize_stochastic(0.6, fmt, 0.41).to_f64(), 0.5);
         // On-grid values never move.

@@ -37,14 +37,20 @@ impl Fixed {
             Rounding::Floor => scaled.floor(),
             Rounding::Truncate => scaled.trunc(),
         };
-        Self { raw: fmt.saturate_raw(raw as i128), fmt }
+        Self {
+            raw: fmt.saturate_raw(raw as i128),
+            fmt,
+        }
     }
 
     /// Build from a raw two's-complement integer representation.
     ///
     /// The raw value is saturated into the representable range of `fmt`.
     pub fn from_raw(raw: i64, fmt: QFormat) -> Self {
-        Self { raw: fmt.saturate_raw(raw as i128), fmt }
+        Self {
+            raw: fmt.saturate_raw(raw as i128),
+            fmt,
+        }
     }
 
     /// Zero in format `fmt`.
@@ -59,12 +65,18 @@ impl Fixed {
 
     /// The largest representable value of `fmt`.
     pub fn max(fmt: QFormat) -> Self {
-        Self { raw: fmt.max_raw(), fmt }
+        Self {
+            raw: fmt.max_raw(),
+            fmt,
+        }
     }
 
     /// The smallest (most negative) representable value of `fmt`.
     pub fn min(fmt: QFormat) -> Self {
-        Self { raw: fmt.min_raw(), fmt }
+        Self {
+            raw: fmt.min_raw(),
+            fmt,
+        }
     }
 
     /// Convert back to `f64` (exact: every fixed-point value is a dyadic
@@ -117,7 +129,10 @@ impl Fixed {
                 }
             }
         };
-        Self { raw: fmt.saturate_raw(raw), fmt }
+        Self {
+            raw: fmt.saturate_raw(raw),
+            fmt,
+        }
     }
 
     /// Saturating addition. Panics on format mismatch.
@@ -145,7 +160,10 @@ impl Fixed {
         self.check_fmt(rhs, "mul");
         let prod = self.raw as i128 * rhs.raw as i128;
         let shifted = prod >> self.fmt.frac_bits();
-        Self { raw: self.fmt.saturate_raw(shifted), fmt: self.fmt }
+        Self {
+            raw: self.fmt.saturate_raw(shifted),
+            fmt: self.fmt,
+        }
     }
 
     /// Saturating division. Division by zero saturates to the signed extreme
@@ -154,11 +172,18 @@ impl Fixed {
     pub fn saturating_div(self, rhs: Self) -> Self {
         self.check_fmt(rhs, "div");
         if rhs.raw == 0 {
-            let raw = if self.raw >= 0 { self.fmt.max_raw() } else { self.fmt.min_raw() };
+            let raw = if self.raw >= 0 {
+                self.fmt.max_raw()
+            } else {
+                self.fmt.min_raw()
+            };
             return Self { raw, fmt: self.fmt };
         }
         let num = (self.raw as i128) << self.fmt.frac_bits();
-        Self { raw: self.fmt.saturate_raw(num / rhs.raw as i128), fmt: self.fmt }
+        Self {
+            raw: self.fmt.saturate_raw(num / rhs.raw as i128),
+            fmt: self.fmt,
+        }
     }
 
     /// Two's-complement **wrapping** addition — what a datapath without
@@ -167,20 +192,29 @@ impl Fixed {
     /// should use [`Fixed::saturating_add`].
     pub fn wrapping_add(self, rhs: Self) -> Self {
         self.check_fmt(rhs, "wrapping_add");
-        Self { raw: self.wrap(self.raw as i128 + rhs.raw as i128), fmt: self.fmt }
+        Self {
+            raw: self.wrap(self.raw as i128 + rhs.raw as i128),
+            fmt: self.fmt,
+        }
     }
 
     /// Two's-complement wrapping subtraction.
     pub fn wrapping_sub(self, rhs: Self) -> Self {
         self.check_fmt(rhs, "wrapping_sub");
-        Self { raw: self.wrap(self.raw as i128 - rhs.raw as i128), fmt: self.fmt }
+        Self {
+            raw: self.wrap(self.raw as i128 - rhs.raw as i128),
+            fmt: self.fmt,
+        }
     }
 
     /// Two's-complement wrapping multiplication (low product bits kept).
     pub fn wrapping_mul(self, rhs: Self) -> Self {
         self.check_fmt(rhs, "wrapping_mul");
         let prod = (self.raw as i128 * rhs.raw as i128) >> self.fmt.frac_bits();
-        Self { raw: self.wrap(prod), fmt: self.fmt }
+        Self {
+            raw: self.wrap(prod),
+            fmt: self.fmt,
+        }
     }
 
     /// Reduce a wide raw value into the format's range by discarding high
@@ -200,7 +234,10 @@ impl Fixed {
         if self.raw >= 0 {
             self
         } else {
-            Self { raw: self.fmt.saturate_raw(-(self.raw as i128)), fmt: self.fmt }
+            Self {
+                raw: self.fmt.saturate_raw(-(self.raw as i128)),
+                fmt: self.fmt,
+            }
         }
     }
 
@@ -268,7 +305,10 @@ impl Div for Fixed {
 impl Neg for Fixed {
     type Output = Fixed;
     fn neg(self) -> Self {
-        Self { raw: self.fmt.saturate_raw(-(self.raw as i128)), fmt: self.fmt }
+        Self {
+            raw: self.fmt.saturate_raw(-(self.raw as i128)),
+            fmt: self.fmt,
+        }
     }
 }
 
@@ -448,7 +488,10 @@ mod tests {
     #[test]
     fn quantization_error_accounts_for_saturation() {
         let fmt = q(2, 2);
-        assert_eq!(Fixed::quantization_error(100.0, fmt, Rounding::Nearest), 100.0 - 3.75);
+        assert_eq!(
+            Fixed::quantization_error(100.0, fmt, Rounding::Nearest),
+            100.0 - 3.75
+        );
         assert!(Fixed::quantization_error(1.25, fmt, Rounding::Nearest) == 0.0);
     }
 }

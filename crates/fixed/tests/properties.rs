@@ -1,118 +1,149 @@
-//! Property-based tests for the fixed-point substrate.
+//! Property-based tests for the fixed-point substrate (deterministic
+//! generator harness from `coopmc-testkit`).
 
 use coopmc_fixed::{Fixed, QFormat, Rounding};
-use proptest::prelude::*;
+use coopmc_testkit::{check, Gen};
 
-fn arb_format() -> impl Strategy<Value = QFormat> {
-    (0u32..=16, 0u32..=24)
-        .prop_filter("need at least one bit", |(i, f)| i + f > 0)
-        .prop_map(|(i, f)| QFormat::new(i, f).unwrap())
-}
-
-#[allow(dead_code)]
-fn arb_value(fmt: QFormat) -> impl Strategy<Value = Fixed> {
-    (fmt.min_raw()..=fmt.max_raw()).prop_map(move |raw| Fixed::from_raw(raw, fmt))
-}
-
-proptest! {
-    /// Quantizing any finite f64 lands inside the representable range.
-    #[test]
-    fn from_f64_stays_in_range(
-        fmt in arb_format(),
-        x in -1.0e12f64..1.0e12,
-        mode in prop_oneof![Just(Rounding::Nearest), Just(Rounding::Floor), Just(Rounding::Truncate)],
-    ) {
-        let v = Fixed::from_f64(x, fmt, mode);
-        prop_assert!(v.to_f64() <= fmt.max_value());
-        prop_assert!(v.to_f64() >= fmt.min_value());
-    }
-
-    /// Nearest-rounding error is bounded by half the resolution for
-    /// in-range inputs.
-    #[test]
-    fn nearest_error_bounded(fmt in arb_format(), frac in -0.999f64..0.999) {
-        let x = frac * fmt.max_value().min(1.0e9);
-        let err = Fixed::quantization_error(x, fmt, Rounding::Nearest);
-        prop_assert!(err <= fmt.resolution() / 2.0 + 1e-12, "err {err} > res/2");
-    }
-
-    /// Round-tripping a value already on the grid is lossless.
-    #[test]
-    fn grid_round_trip(fmt in arb_format(), raw in any::<i32>()) {
-        let fmt2 = fmt;
-        let raw = (raw as i64).clamp(fmt.min_raw(), fmt.max_raw());
-        let v = Fixed::from_raw(raw, fmt);
-        let back = Fixed::from_f64(v.to_f64(), fmt2, Rounding::Nearest);
-        prop_assert_eq!(v, back);
-    }
-
-    /// Addition is commutative and zero is its identity.
-    #[test]
-    fn add_commutative_with_identity(fmt in arb_format(), a_raw in any::<i32>(), b_raw in any::<i32>()) {
-        let a = Fixed::from_raw((a_raw as i64).clamp(fmt.min_raw(), fmt.max_raw()), fmt);
-        let b = Fixed::from_raw((b_raw as i64).clamp(fmt.min_raw(), fmt.max_raw()), fmt);
-        prop_assert_eq!(a + b, b + a);
-        prop_assert_eq!(a + Fixed::zero(fmt), a);
-    }
-
-    /// `x - x` is exactly zero and `x + (-x)` is zero unless negation
-    /// saturated (raw == min_raw).
-    #[test]
-    fn sub_self_is_zero(fmt in arb_format(), raw in any::<i32>()) {
-        let raw = (raw as i64).clamp(fmt.min_raw(), fmt.max_raw());
-        let x = Fixed::from_raw(raw, fmt);
-        prop_assert!((x - x).is_zero());
-        if raw != fmt.min_raw() {
-            prop_assert!((x + (-x)).is_zero());
+fn arb_format(g: &mut Gen) -> QFormat {
+    loop {
+        let i = g.u32_in(0, 17);
+        let f = g.u32_in(0, 25);
+        if i + f > 0 {
+            return QFormat::new(i, f).unwrap();
         }
     }
+}
 
-    /// Multiplication result never exceeds the exact real product
-    /// in magnitude by more than one resolution step (truncation bound),
-    /// for products that stay in range.
-    #[test]
-    fn mul_truncation_bound(fmt in arb_format(), a in -100i64..100, b in -100i64..100) {
-        prop_assume!(fmt.frac_bits() >= 2 && fmt.int_bits() >= 2);
-        let a = Fixed::from_raw(a.clamp(fmt.min_raw(), fmt.max_raw()), fmt);
-        let b = Fixed::from_raw(b.clamp(fmt.min_raw(), fmt.max_raw()), fmt);
+fn arb_raw(g: &mut Gen, fmt: QFormat) -> i64 {
+    g.i64_in(i32::MIN as i64, i32::MAX as i64 + 1)
+        .clamp(fmt.min_raw(), fmt.max_raw())
+}
+
+#[test]
+fn from_f64_stays_in_range() {
+    check("from_f64_stays_in_range", 256, |g| {
+        let fmt = arb_format(g);
+        let x = g.f64_in(-1.0e12, 1.0e12);
+        let mode = [Rounding::Nearest, Rounding::Floor, Rounding::Truncate][g.index(3)];
+        let v = Fixed::from_f64(x, fmt, mode);
+        assert!(v.to_f64() <= fmt.max_value());
+        assert!(v.to_f64() >= fmt.min_value());
+    });
+}
+
+#[test]
+fn nearest_error_bounded() {
+    check("nearest_error_bounded", 256, |g| {
+        let fmt = arb_format(g);
+        let frac = g.f64_in(-0.999, 0.999);
+        let x = frac * fmt.max_value().min(1.0e9);
+        let err = Fixed::quantization_error(x, fmt, Rounding::Nearest);
+        assert!(err <= fmt.resolution() / 2.0 + 1e-12, "err {err} > res/2");
+    });
+}
+
+#[test]
+fn grid_round_trip() {
+    check("grid_round_trip", 256, |g| {
+        let fmt = arb_format(g);
+        let raw = arb_raw(g, fmt);
+        let v = Fixed::from_raw(raw, fmt);
+        let back = Fixed::from_f64(v.to_f64(), fmt, Rounding::Nearest);
+        assert_eq!(v, back);
+    });
+}
+
+#[test]
+fn add_commutative_with_identity() {
+    check("add_commutative_with_identity", 256, |g| {
+        let fmt = arb_format(g);
+        let a = Fixed::from_raw(arb_raw(g, fmt), fmt);
+        let b = Fixed::from_raw(arb_raw(g, fmt), fmt);
+        assert_eq!(a + b, b + a);
+        assert_eq!(a + Fixed::zero(fmt), a);
+    });
+}
+
+#[test]
+fn sub_self_is_zero() {
+    check("sub_self_is_zero", 256, |g| {
+        let fmt = arb_format(g);
+        let raw = arb_raw(g, fmt);
+        let x = Fixed::from_raw(raw, fmt);
+        assert!((x - x).is_zero());
+        if raw != fmt.min_raw() {
+            assert!((x + (-x)).is_zero());
+        }
+    });
+}
+
+#[test]
+fn mul_truncation_bound() {
+    check("mul_truncation_bound", 512, |g| {
+        let fmt = arb_format(g);
+        if fmt.frac_bits() < 2 || fmt.int_bits() < 2 {
+            return;
+        }
+        let a = Fixed::from_raw(g.i64_in(-100, 100).clamp(fmt.min_raw(), fmt.max_raw()), fmt);
+        let b = Fixed::from_raw(g.i64_in(-100, 100).clamp(fmt.min_raw(), fmt.max_raw()), fmt);
         let exact = a.to_f64() * b.to_f64();
-        prop_assume!(exact.abs() < fmt.max_value());
+        if exact.abs() >= fmt.max_value() {
+            return;
+        }
         let got = (a * b).to_f64();
-        prop_assert!((exact - got).abs() <= fmt.resolution(), "exact {exact} got {got}");
-    }
+        assert!(
+            (exact - got).abs() <= fmt.resolution(),
+            "exact {exact} got {got}"
+        );
+    });
+}
 
-    /// Rescaling to a wider format and back is the identity.
-    #[test]
-    fn rescale_round_trip(raw in any::<i16>()) {
+#[test]
+fn rescale_round_trip() {
+    check("rescale_round_trip", 256, |g| {
         let narrow = QFormat::new(8, 4).unwrap();
         let wide = QFormat::new(16, 16).unwrap();
-        let v = Fixed::from_raw((raw as i64).clamp(narrow.min_raw(), narrow.max_raw()), narrow);
-        let back = v.rescale(wide, Rounding::Nearest).rescale(narrow, Rounding::Nearest);
-        prop_assert_eq!(v, back);
-    }
+        let raw = g
+            .i64_in(i16::MIN as i64, i16::MAX as i64 + 1)
+            .clamp(narrow.min_raw(), narrow.max_raw());
+        let v = Fixed::from_raw(raw, narrow);
+        let back = v
+            .rescale(wide, Rounding::Nearest)
+            .rescale(narrow, Rounding::Nearest);
+        assert_eq!(v, back);
+    });
+}
 
-    /// Saturating ops agree with f64 reference arithmetic when the reference
-    /// result is exactly representable and in range.
-    #[test]
-    fn add_matches_reference_in_range(fmt in arb_format(), a in -1000i64..1000, b in -1000i64..1000) {
-        let a = Fixed::from_raw(a.clamp(fmt.min_raw(), fmt.max_raw()), fmt);
-        let b = Fixed::from_raw(b.clamp(fmt.min_raw(), fmt.max_raw()), fmt);
+#[test]
+fn add_matches_reference_in_range() {
+    check("add_matches_reference_in_range", 256, |g| {
+        let fmt = arb_format(g);
+        let a = Fixed::from_raw(
+            g.i64_in(-1000, 1000).clamp(fmt.min_raw(), fmt.max_raw()),
+            fmt,
+        );
+        let b = Fixed::from_raw(
+            g.i64_in(-1000, 1000).clamp(fmt.min_raw(), fmt.max_raw()),
+            fmt,
+        );
         let exact = a.to_f64() + b.to_f64();
-        prop_assume!(exact <= fmt.max_value() && exact >= fmt.min_value());
-        prop_assert_eq!((a + b).to_f64(), exact);
-    }
+        if exact > fmt.max_value() || exact < fmt.min_value() {
+            return;
+        }
+        assert_eq!((a + b).to_f64(), exact);
+    });
+}
 
-    /// Division followed by multiplication recovers the dividend to within
-    /// a couple of quantization steps (for well-conditioned operands).
-    #[test]
-    fn div_mul_round_trip(a in 1i64..500, b in 1i64..500) {
+#[test]
+fn div_mul_round_trip() {
+    check("div_mul_round_trip", 256, |g| {
         let fmt = QFormat::new(12, 12).unwrap();
-        let a = Fixed::from_raw(a << 12, fmt); // integer values
-        let b = Fixed::from_raw(b << 12, fmt);
+        let a = Fixed::from_raw(g.i64_in(1, 500) << 12, fmt); // integer values
+        let b = Fixed::from_raw(g.i64_in(1, 500) << 12, fmt);
         let q = a / b;
         let back = q * b;
         let err = (back.to_f64() - a.to_f64()).abs();
         // one step from the division truncation amplified by |b|
-        prop_assert!(err <= b.to_f64() * fmt.resolution() + fmt.resolution());
-    }
+        assert!(err <= b.to_f64() * fmt.resolution() + fmt.resolution());
+    });
 }

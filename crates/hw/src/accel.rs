@@ -14,13 +14,11 @@
 
 use crate::area::{
     add_area, cmp_area, div_area, dynorm_amortized_area, exp_approx_area, log_approx_area,
-    lut_area, mul_area, regfile_area, AreaBreakdown, SamplerKind, CORE_COMMON_UM2,
-    PRNG32_UM2, SAMPLER_CTRL_UM2,
+    lut_area, mul_area, regfile_area, AreaBreakdown, SamplerKind, CORE_COMMON_UM2, PRNG32_UM2,
+    SAMPLER_CTRL_UM2,
 };
 use crate::cycles::{CoreTiming, PgTiming};
-use crate::power::{
-    PowerEstimate, ALPHA_ALU, ALPHA_COMMON, ALPHA_REG, ALPHA_ROM, ALPHA_TREE,
-};
+use crate::power::{PowerEstimate, ALPHA_ALU, ALPHA_COMMON, ALPHA_REG, ALPHA_ROM, ALPHA_TREE};
 
 /// Number of additive factor accumulations per label for the 4-connected
 /// MRF of the case study (data cost + 4 smooth costs).
@@ -75,7 +73,10 @@ pub struct CoreReport {
 impl CoreConfig {
     /// The four §IV-D versions at 64 labels, 32-bit, one PG pipeline.
     pub fn case_study() -> [CoreConfig; 4] {
-        let lut = PgDatapath::CoopMc { size_lut: 1024, bit_lut: 32 };
+        let lut = PgDatapath::CoopMc {
+            size_lut: 1024,
+            bit_lut: 32,
+        };
         [
             CoreConfig {
                 name: "V_Baseline",
@@ -117,15 +118,24 @@ impl CoreConfig {
         let p = self.pipelines as f64;
         match self.pg {
             PgDatapath::Baseline32 => vec![
-                ("PG.factor-adders", p * MRF_FACTOR_OPS as f64 * add_area(self.bits)),
+                (
+                    "PG.factor-adders",
+                    p * MRF_FACTOR_OPS as f64 * add_area(self.bits),
+                ),
                 ("PG.multiplier", p * mul_area(self.bits)),
                 ("PG.divider", p * div_area(self.bits)),
                 ("PG.exp-approx", p * exp_approx_area(self.bits)),
             ],
             PgDatapath::CoopMc { size_lut, bit_lut } => vec![
                 ("PG.log", p * log_approx_area(self.bits)),
-                ("PG.factor-adders", p * MRF_FACTOR_OPS as f64 * add_area(self.bits)),
-                ("PG.dynorm", p * dynorm_amortized_area(self.pipelines, self.bits)),
+                (
+                    "PG.factor-adders",
+                    p * MRF_FACTOR_OPS as f64 * add_area(self.bits),
+                ),
+                (
+                    "PG.dynorm",
+                    p * dynorm_amortized_area(self.pipelines, self.bits),
+                ),
                 ("PG.table-exp", p * lut_area(size_lut, bit_lut)),
             ],
         }
@@ -154,10 +164,7 @@ impl CoreConfig {
                     ("SD.control", SAMPLER_CTRL_UM2),
                 ];
                 if self.sampler == SamplerKind::PipeTree {
-                    v.push((
-                        "SD.pipeline-regs",
-                        regfile_area(2 * padded - 1, self.bits),
-                    ));
+                    v.push(("SD.pipeline-regs", regfile_area(2 * padded - 1, self.bits)));
                 }
                 v
             }
@@ -170,7 +177,10 @@ impl CoreConfig {
         assert!(self.n_labels >= 2, "need at least two labels");
 
         let mut components = self.pg_components();
-        components.push(("ProbReg", regfile_area(self.n_labels.next_power_of_two(), self.bits)));
+        components.push((
+            "ProbReg",
+            regfile_area(self.n_labels.next_power_of_two(), self.bits),
+        ));
         components.extend(self.sampler_components());
         components.push(("Common", CORE_COMMON_UM2));
         let area = AreaBreakdown { components };
@@ -192,8 +202,12 @@ impl CoreConfig {
         }
 
         let pg_timing = match self.pg {
-            PgDatapath::Baseline32 => PgTiming::Baseline { pipelines: self.pipelines },
-            PgDatapath::CoopMc { .. } => PgTiming::CoopMc { pipelines: self.pipelines },
+            PgDatapath::Baseline32 => PgTiming::Baseline {
+                pipelines: self.pipelines,
+            },
+            PgDatapath::CoopMc { .. } => PgTiming::CoopMc {
+                pipelines: self.pipelines,
+            },
         };
         let mut timing = CoreTiming::new(pg_timing, self.sampler, self.n_labels, MRF_FACTOR_OPS);
         // The CoopMC PG is two-phase; consecutive variables overlap the
@@ -204,7 +218,13 @@ impl CoreConfig {
         }
         let cycles_per_variable = timing.pipelined();
 
-        CoreReport { config: *self, area, power, timing, cycles_per_variable }
+        CoreReport {
+            config: *self,
+            area,
+            power,
+            timing,
+            cycles_per_variable,
+        }
     }
 }
 
@@ -247,7 +267,10 @@ mod tests {
         let (_, area, power, _) = rows[1];
         // Paper: 33% logic area reduction, 62% power reduction.
         assert!((0.55..0.75).contains(&area), "V_PG area ratio {area}");
-        assert!(power < 0.7, "V_PG power ratio {power} must drop substantially");
+        assert!(
+            power < 0.7,
+            "V_PG power ratio {power} must drop substantially"
+        );
     }
 
     #[test]
@@ -284,7 +307,10 @@ mod tests {
         let r = CoreConfig::case_study()[3].evaluate();
         assert!(r.area.component("PG.table-exp").is_some());
         assert!(r.area.component("SD.tree-sum").is_some());
-        assert!(r.area.component("PG.divider").is_none(), "LogFusion removes the divider");
+        assert!(
+            r.area.component("PG.divider").is_none(),
+            "LogFusion removes the divider"
+        );
     }
 
     #[test]
@@ -293,6 +319,9 @@ mod tests {
         let one = cfg.evaluate().cycles_per_variable;
         cfg.pipelines = 4;
         let four = cfg.evaluate().cycles_per_variable;
-        assert!(four < one, "PG-bound core must benefit from pipelines: {one} -> {four}");
+        assert!(
+            four < one,
+            "PG-bound core must benefit from pipelines: {one} -> {four}"
+        );
     }
 }

@@ -144,7 +144,10 @@ impl AreaBreakdown {
 
     /// Area of a named component (`None` if absent).
     pub fn component(&self, name: &str) -> Option<f64> {
-        self.components.iter().find(|(n, _)| *n == name).map(|(_, a)| *a)
+        self.components
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, a)| *a)
     }
 }
 
@@ -190,16 +193,19 @@ pub fn pg_alu_area(design: PgAluDesign) -> AreaBreakdown {
                 ("EXP", exp_approx_area(bits)),
             ],
         },
-        PgAluDesign::DynormLogFusionTableExp { bits, pipelines, size_lut, bit_lut } => {
-            AreaBreakdown {
-                components: vec![
-                    ("LOG", log_approx_area(bits)),
-                    ("ADD", add_area(bits)),
-                    ("DN", dynorm_amortized_area(pipelines, bits)),
-                    ("EXP", lut_area(size_lut, bit_lut)),
-                ],
-            }
-        }
+        PgAluDesign::DynormLogFusionTableExp {
+            bits,
+            pipelines,
+            size_lut,
+            bit_lut,
+        } => AreaBreakdown {
+            components: vec![
+                ("LOG", log_approx_area(bits)),
+                ("ADD", add_area(bits)),
+                ("DN", dynorm_amortized_area(pipelines, bits)),
+                ("EXP", lut_area(size_lut, bit_lut)),
+            ],
+        },
     }
 }
 
@@ -285,7 +291,10 @@ mod tests {
     #[test]
     fn table3_dn_lf_close_to_paper() {
         // Paper: LOG 267, ADD 76, DN 84, EXP 830, total 1257 (3.05x).
-        let a = pg_alu_area(PgAluDesign::DynormLogFusion { bits: 32, pipelines: 8 });
+        let a = pg_alu_area(PgAluDesign::DynormLogFusion {
+            bits: 32,
+            pipelines: 8,
+        });
         assert_eq!(a.component("LOG"), Some(267.0));
         assert_eq!(a.component("ADD"), Some(76.0));
         let dn = a.component("DN").unwrap();

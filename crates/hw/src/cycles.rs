@@ -96,7 +96,12 @@ pub struct CoreTiming {
 
 impl CoreTiming {
     /// Compose the stage costs for an `n_labels` workload.
-    pub fn new(pg_timing: PgTiming, sampler: SamplerKind, n_labels: usize, factor_ops: u64) -> Self {
+    pub fn new(
+        pg_timing: PgTiming,
+        sampler: SamplerKind,
+        n_labels: usize,
+        factor_ops: u64,
+    ) -> Self {
         Self {
             pg: pg_timing.cycles(n_labels, factor_ops),
             sd: sd_cycles(sampler, n_labels),
@@ -118,7 +123,11 @@ impl CoreTiming {
     /// Fraction of non-overlapped time spent in each stage `(pg, sd, pu)`.
     pub fn fractions(&self) -> (f64, f64, f64) {
         let total = (self.pg + self.sd + self.pu) as f64;
-        (self.pg as f64 / total, self.sd as f64 / total, self.pu as f64 / total)
+        (
+            self.pg as f64 / total,
+            self.sd as f64 / total,
+            self.pu as f64 / total,
+        )
     }
 }
 
@@ -150,22 +159,41 @@ mod tests {
 
     #[test]
     fn pipelined_is_bottleneck_bound() {
-        let t = CoreTiming { pg: 81, sd: 129, pu: 4 };
+        let t = CoreTiming {
+            pg: 81,
+            sd: 129,
+            pu: 4,
+        };
         assert_eq!(t.pipelined(), 129 + SYNC_CYCLES);
         assert_eq!(t.sequential(), 81 + 129 + 4 + SYNC_CYCLES);
     }
 
     #[test]
     fn tree_sampler_shifts_bottleneck_to_pg() {
-        let base = CoreTiming::new(PgTiming::Baseline { pipelines: 1 }, SamplerKind::Sequential, 64, 5);
-        let ts = CoreTiming::new(PgTiming::Baseline { pipelines: 1 }, SamplerKind::Tree, 64, 5);
+        let base = CoreTiming::new(
+            PgTiming::Baseline { pipelines: 1 },
+            SamplerKind::Sequential,
+            64,
+            5,
+        );
+        let ts = CoreTiming::new(
+            PgTiming::Baseline { pipelines: 1 },
+            SamplerKind::Tree,
+            64,
+            5,
+        );
         assert!(base.pipelined() > ts.pipelined());
         assert_eq!(ts.pipelined(), ts.pg + SYNC_CYCLES);
     }
 
     #[test]
     fn fractions_sum_to_one() {
-        let t = CoreTiming::new(PgTiming::Baseline { pipelines: 2 }, SamplerKind::Sequential, 16, 5);
+        let t = CoreTiming::new(
+            PgTiming::Baseline { pipelines: 2 },
+            SamplerKind::Sequential,
+            16,
+            5,
+        );
         let (a, b, c) = t.fractions();
         assert!((a + b + c - 1.0).abs() < 1e-12);
     }

@@ -20,7 +20,10 @@ pub struct SramConfig {
 impl SramConfig {
     /// The paper's 32-bit single-bank interface.
     pub fn paper_baseline() -> Self {
-        Self { width_bits: 32, banks: 1 }
+        Self {
+            width_bits: 32,
+            banks: 1,
+        }
     }
 
     /// Deliverable bits per cycle.
@@ -61,7 +64,10 @@ pub struct SystemThroughput {
 ///
 /// Panics if `compute_cycles_per_variable == 0`.
 pub fn system_throughput(compute_cycles_per_variable: u64, sram: SramConfig) -> SystemThroughput {
-    assert!(compute_cycles_per_variable > 0, "compute cycles must be positive");
+    assert!(
+        compute_cycles_per_variable > 0,
+        "compute cycles must be positive"
+    );
     let compute = compute_cycles_per_variable as f64;
     let memory = sram.cycles_per_variable();
     SystemThroughput {
@@ -87,8 +93,14 @@ mod tests {
 
     #[test]
     fn banking_scales_bandwidth_linearly() {
-        let one = SramConfig { width_bits: 32, banks: 1 };
-        let four = SramConfig { width_bits: 32, banks: 4 };
+        let one = SramConfig {
+            width_bits: 32,
+            banks: 1,
+        };
+        let four = SramConfig {
+            width_bits: 32,
+            banks: 4,
+        };
         assert_eq!(four.bits_per_cycle(), 4.0 * one.bits_per_cycle());
         assert_eq!(four.cycles_per_variable(), one.cycles_per_variable() / 4.0);
         assert_eq!(four.power_mw(), 4.0 * one.power_mw());
@@ -99,7 +111,11 @@ mod tests {
         let sram = SramConfig::paper_baseline();
         for (report, _, _, _) in case_study_table() {
             let sys = system_throughput(report.cycles_per_variable, sram);
-            assert!(sys.compute_bound, "{} must be compute-bound", report.config.name);
+            assert!(
+                sys.compute_bound,
+                "{} must be compute-bound",
+                report.config.name
+            );
             assert_eq!(sys.effective_cycles, sys.compute_cycles);
         }
     }
@@ -108,7 +124,10 @@ mod tests {
     fn narrow_interfaces_become_the_bottleneck() {
         // An 8-bit interface needs ~260 cycles/variable: slower than every
         // core version, so memory binds.
-        let sram = SramConfig { width_bits: 8, banks: 1 };
+        let sram = SramConfig {
+            width_bits: 8,
+            banks: 1,
+        };
         let sys = system_throughput(71, sram);
         assert!(!sys.compute_bound);
         assert!(sys.effective_cycles > 200.0);

@@ -63,7 +63,10 @@ pub fn simulate(cfg: PipeSimConfig) -> PipeSimReport {
             let last_issue = per_lane - 1;
             let cycles = last_issue + depth + 1;
             let utilization = cfg.n_labels as f64 / (lanes * cycles) as f64;
-            PipeSimReport { cycles, utilization }
+            PipeSimReport {
+                cycles,
+                utilization,
+            }
         }
         PipeKind::CoopMc => {
             // Phase 1: score accumulation (adds + log LUT).
@@ -77,7 +80,10 @@ pub fn simulate(cfg: PipeSimConfig) -> PipeSimReport {
             let cycles = phase1_end + norm + phase2;
             // Two issue passes over the label vector.
             let utilization = 2.0 * cfg.n_labels as f64 / (lanes * cycles) as f64;
-            PipeSimReport { cycles, utilization }
+            PipeSimReport {
+                cycles,
+                utilization,
+            }
         }
     }
 }
@@ -103,7 +109,12 @@ mod tests {
 
     #[test]
     fn coopmc_simulation_matches_analytic_model() {
-        for (n, p, f) in [(64usize, 1usize, 5u64), (64, 4, 5), (32, 8, 5), (128, 16, 3)] {
+        for (n, p, f) in [
+            (64usize, 1usize, 5u64),
+            (64, 4, 5),
+            (32, 8, 5),
+            (128, 16, 3),
+        ] {
             let sim = simulate(PipeSimConfig {
                 kind: PipeKind::CoopMc,
                 pipelines: p,

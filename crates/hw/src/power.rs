@@ -41,14 +41,20 @@ impl PowerEstimate {
 
     /// Add a block of `area` µm² switching with activity `alpha`.
     pub fn add(&mut self, area_um2: f64, alpha: f64) -> &mut Self {
-        assert!(area_um2 >= 0.0 && (0.0..=1.0).contains(&alpha), "invalid power inputs");
+        assert!(
+            area_um2 >= 0.0 && (0.0..=1.0).contains(&alpha),
+            "invalid power inputs"
+        );
         self.weighted_area += area_um2 * alpha;
         self
     }
 
     /// Power of `self` relative to `baseline` (1.0 = equal).
     pub fn relative_to(&self, baseline: &PowerEstimate) -> f64 {
-        assert!(baseline.weighted_area > 0.0, "baseline power must be positive");
+        assert!(
+            baseline.weighted_area > 0.0,
+            "baseline power must be positive"
+        );
         self.weighted_area / baseline.weighted_area
     }
 

@@ -40,7 +40,10 @@ pub struct RooflineReport {
 ///
 /// Panics if `cycles_per_variable == 0`.
 pub fn roofline(cycles_per_variable: u64) -> RooflineReport {
-    assert!(cycles_per_variable > 0, "cycles per variable must be positive");
+    assert!(
+        cycles_per_variable > 0,
+        "cycles per variable must be positive"
+    );
     let total_bits = (READ_BITS_PER_VARIABLE + WRITE_BITS_PER_VARIABLE) as f64;
     let threshold = total_bits / cycles_per_variable as f64;
     RooflineReport {
@@ -61,7 +64,10 @@ mod tests {
         // Paper: baseline threshold 15 bits/cycle, optimized 22 bits/cycle.
         // Those correspond to ~138 and ~94 cycles/variable respectively.
         let base = roofline(138);
-        assert!((base.threshold_bits_per_cycle - 15.0).abs() < 1.0, "{base:?}");
+        assert!(
+            (base.threshold_bits_per_cycle - 15.0).abs() < 1.0,
+            "{base:?}"
+        );
         let opt = roofline(94);
         assert!((opt.threshold_bits_per_cycle - 22.0).abs() < 1.0, "{opt:?}");
     }

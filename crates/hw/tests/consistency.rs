@@ -13,7 +13,11 @@ use coopmc_hw::roofline::roofline;
 /// the PG ALU grows with LUT capacity.
 #[test]
 fn area_models_are_monotone() {
-    for kind in [SamplerKind::Sequential, SamplerKind::Tree, SamplerKind::PipeTree] {
+    for kind in [
+        SamplerKind::Sequential,
+        SamplerKind::Tree,
+        SamplerKind::PipeTree,
+    ] {
         let mut prev = 0.0;
         for n in [2usize, 4, 8, 16, 32, 64, 128, 256] {
             let a = sampler_area(kind, n, 32).total();
@@ -43,7 +47,12 @@ fn analytic_and_simulated_pg_timing_agree_everywhere() {
         for n_labels in [2usize, 3, 16, 17, 64, 100, 128] {
             for pipelines in [1usize, 2, 3, 4, 8, 16] {
                 for factor_ops in [1u64, 3, 5, 9] {
-                    let sim = simulate(PipeSimConfig { kind, pipelines, n_labels, factor_ops });
+                    let sim = simulate(PipeSimConfig {
+                        kind,
+                        pipelines,
+                        n_labels,
+                        factor_ops,
+                    });
                     let analytic = match kind {
                         PipeKind::Baseline => PgTiming::Baseline { pipelines },
                         PipeKind::CoopMc => PgTiming::CoopMc { pipelines },
@@ -65,12 +74,19 @@ fn analytic_and_simulated_pg_timing_agree_everywhere() {
 /// pipelined timing never exceeds the sequential timing.
 #[test]
 fn core_configurations_behave_sanely() {
-    for &sampler in &[SamplerKind::Sequential, SamplerKind::Tree, SamplerKind::PipeTree] {
+    for &sampler in &[
+        SamplerKind::Sequential,
+        SamplerKind::Tree,
+        SamplerKind::PipeTree,
+    ] {
         for &pipelines in &[1usize, 2, 4, 8] {
             for &n_labels in &[4usize, 16, 64, 128] {
                 let cfg = CoreConfig {
                     name: "grid",
-                    pg: PgDatapath::CoopMc { size_lut: 64, bit_lut: 8 },
+                    pg: PgDatapath::CoopMc {
+                        size_lut: 64,
+                        bit_lut: 8,
+                    },
                     sampler,
                     n_labels,
                     bits: 32,

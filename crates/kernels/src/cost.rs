@@ -98,14 +98,31 @@ mod tests {
 
     #[test]
     fn sequential_cycles_weights_ops() {
-        let c = OpCounts { add: 2, mul: 1, div: 0, lut: 3, approx: 0, cmp: 0 };
-        assert_eq!(c.sequential_cycles(), 2 * ADD_CYCLES + MUL_CYCLES + 3 * LUT_CYCLES);
+        let c = OpCounts {
+            add: 2,
+            mul: 1,
+            div: 0,
+            lut: 3,
+            approx: 0,
+            cmp: 0,
+        };
+        assert_eq!(
+            c.sequential_cycles(),
+            2 * ADD_CYCLES + MUL_CYCLES + 3 * LUT_CYCLES
+        );
     }
 
     #[test]
     fn merge_accumulates() {
-        let mut a = OpCounts { add: 1, ..OpCounts::new() };
-        let b = OpCounts { add: 2, mul: 5, ..OpCounts::new() };
+        let mut a = OpCounts {
+            add: 1,
+            ..OpCounts::new()
+        };
+        let b = OpCounts {
+            add: 2,
+            mul: 5,
+            ..OpCounts::new()
+        };
         a.merge(&b);
         assert_eq!(a.add, 3);
         assert_eq!(a.mul, 5);

@@ -71,23 +71,21 @@ impl NormTree {
         let mut comparisons = 0u64;
         let mut passes = 0u64;
         for chunk in values.chunks(self.width) {
-            // One tree pass: pairwise reduction layer by layer.
-            let mut layer: Vec<f64> = chunk.to_vec();
-            while layer.len() > 1 {
-                let mut next = Vec::with_capacity(layer.len().div_ceil(2));
-                for pair in layer.chunks(2) {
-                    if pair.len() == 2 {
-                        comparisons += 1;
-                        next.push(if pair[0] >= pair[1] { pair[0] } else { pair[1] });
-                    } else {
-                        next.push(pair[0]);
-                    }
+            // One tree pass. The physical tree performs `len - 1` pairwise
+            // comparator visits plus one merge with the running-maximum
+            // register — `len` comparisons per pass. A linear fold visits
+            // the same maxima in a different association order, which is
+            // irrelevant for max, so no per-layer buffers are needed: this
+            // runs on the Gibbs engine's allocation-free hot path.
+            let mut pass_best = f64::NEG_INFINITY;
+            for &v in chunk {
+                if v > pass_best {
+                    pass_best = v;
                 }
-                layer = next;
             }
-            comparisons += 1; // merge with the running maximum register
-            if layer[0] > best {
-                best = layer[0];
+            comparisons += chunk.len() as u64;
+            if pass_best > best {
+                best = pass_best;
             }
             passes += 1;
         }
@@ -115,7 +113,11 @@ pub fn dynorm_apply(values: &mut [f64], pipelines: usize) -> DyNormReport {
     }
     // The subtraction is one add-layer across all pipelines (parallel).
     let cycles = tree_cycles + crate::cost::ADD_CYCLES;
-    DyNormReport { max, cycles, comparisons }
+    DyNormReport {
+        max,
+        cycles,
+        comparisons,
+    }
 }
 
 #[cfg(test)]

@@ -34,14 +34,23 @@ pub struct ErrorSummary {
 /// # Panics
 ///
 /// Panics if `steps < 2` or `lo >= hi`.
-pub fn sweep_exp_error<E: ExpKernel>(kernel: &E, lo: f64, hi: f64, steps: usize) -> Vec<ErrorSample> {
+pub fn sweep_exp_error<E: ExpKernel>(
+    kernel: &E,
+    lo: f64,
+    hi: f64,
+    steps: usize,
+) -> Vec<ErrorSample> {
     assert!(steps >= 2, "need at least two sweep points");
     assert!(lo < hi, "lo must be below hi");
     (0..steps)
         .map(|i| {
             let x = lo + (hi - lo) * i as f64 / (steps - 1) as f64;
             let y = kernel.exp(x);
-            ErrorSample { x, y, abs_error: (y - x.exp()).abs() }
+            ErrorSample {
+                x,
+                y,
+                abs_error: (y - x.exp()).abs(),
+            }
         })
         .collect()
 }
@@ -56,8 +65,17 @@ pub fn summarize(samples: &[ErrorSample]) -> ErrorSummary {
     let n = samples.len() as f64;
     let max_abs = samples.iter().map(|s| s.abs_error).fold(0.0, f64::max);
     let mean_abs = samples.iter().map(|s| s.abs_error).sum::<f64>() / n;
-    let rms = (samples.iter().map(|s| s.abs_error * s.abs_error).sum::<f64>() / n).sqrt();
-    ErrorSummary { max_abs, mean_abs, rms }
+    let rms = (samples
+        .iter()
+        .map(|s| s.abs_error * s.abs_error)
+        .sum::<f64>()
+        / n)
+        .sqrt();
+    ErrorSummary {
+        max_abs,
+        mean_abs,
+        rms,
+    }
 }
 
 #[cfg(test)]

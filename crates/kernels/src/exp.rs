@@ -78,7 +78,10 @@ impl FixedExp {
     /// Panics if `frac_bits` is 0 or `frac_bits + 15` exceeds 62.
     pub fn new(frac_bits: u32) -> Self {
         let in_fmt = QFormat::new(15, frac_bits).expect("valid exp input format");
-        Self { in_fmt, out_frac_bits: frac_bits }
+        Self {
+            in_fmt,
+            out_frac_bits: frac_bits,
+        }
     }
 
     /// Fractional bits of the output grid.
@@ -158,7 +161,11 @@ impl TableExp {
         let entries = (0..size_lut)
             .map(|k| quantize_unsigned((-(k as f64) * step).exp(), bit_lut, max_raw))
             .collect();
-        Self { entries, step, bit_lut }
+        Self {
+            entries,
+            step,
+            bit_lut,
+        }
     }
 
     /// Number of ROM entries.

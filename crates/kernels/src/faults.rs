@@ -116,7 +116,10 @@ mod tests {
             let mut v = vec![0.5];
             changed += inj.corrupt_vector(&mut v, &mut rng);
         }
-        assert!(changed > 150, "rate-1 flips must usually change the word: {changed}");
+        assert!(
+            changed > 150,
+            "rate-1 flips must usually change the word: {changed}"
+        );
     }
 
     #[test]

@@ -38,12 +38,18 @@ pub struct FactorExpr {
 impl FactorExpr {
     /// A score that is a plain product of `numerators`.
     pub fn product(numerators: Vec<f64>) -> Self {
-        Self { numerators, denominators: Vec::new() }
+        Self {
+            numerators,
+            denominators: Vec::new(),
+        }
     }
 
     /// A score with both numerator and denominator factors.
     pub fn ratio(numerators: Vec<f64>, denominators: Vec<f64>) -> Self {
-        Self { numerators, denominators }
+        Self {
+            numerators,
+            denominators,
+        }
     }
 
     /// Exact real value of the expression (float reference).
@@ -92,7 +98,13 @@ impl<L: LogKernel, E: ExpKernel> LogFusion<L, E> {
     /// Panics if `pipelines == 0`.
     pub fn new(log: L, exp: E, acc_fmt: QFormat, pipelines: usize) -> Self {
         assert!(pipelines > 0, "pipeline count must be positive");
-        Self { log, exp, acc_fmt, pipelines, dynorm: true }
+        Self {
+            log,
+            exp,
+            acc_fmt,
+            pipelines,
+            dynorm: true,
+        }
     }
 
     /// Disable DyNorm (used by the ablation showing LogFusion alone fails at
@@ -119,54 +131,86 @@ impl<L: LogKernel, E: ExpKernel> LogFusion<L, E> {
 
     /// Evaluate a full label vector of factor expressions (Eq. 11).
     pub fn evaluate_factors(&self, exprs: &[FactorExpr]) -> PgResult {
+        let mut work = Vec::new();
+        let mut probs = Vec::new();
+        let ops = self.evaluate_factors_into(exprs, &mut work, &mut probs);
+        PgResult { probs, ops }
+    }
+
+    /// [`LogFusion::evaluate_factors`] writing into caller-owned buffers.
+    ///
+    /// `work` holds the log-domain accumulator values between accumulation
+    /// and the exp stage; `probs` receives the output vector. Both are
+    /// cleared first and only grow if shorter than `exprs` — with warmed
+    /// buffers the evaluation is allocation-free.
+    pub fn evaluate_factors_into(
+        &self,
+        exprs: &[FactorExpr],
+        work: &mut Vec<f64>,
+        probs: &mut Vec<f64>,
+    ) -> OpCounts {
         let mut ops = OpCounts::new();
-        let scores: Vec<f64> = exprs
-            .iter()
-            .map(|e| {
-                let mut acc = Fixed::zero(self.acc_fmt);
-                for &a in &e.numerators {
-                    ops.lut += 1;
-                    acc = acc + Fixed::from_f64(self.log.log(a), self.acc_fmt, Rounding::Nearest);
-                    ops.add += 1;
-                }
-                for &b in &e.denominators {
-                    ops.lut += 1;
-                    acc = acc - Fixed::from_f64(self.log.log(b), self.acc_fmt, Rounding::Nearest);
-                    ops.add += 1;
-                }
-                acc.to_f64()
-            })
-            .collect();
-        self.finish(scores, ops)
+        work.clear();
+        for e in exprs {
+            let mut acc = Fixed::zero(self.acc_fmt);
+            for &a in &e.numerators {
+                ops.lut += 1;
+                acc = acc + Fixed::from_f64(self.log.log(a), self.acc_fmt, Rounding::Nearest);
+                ops.add += 1;
+            }
+            for &b in &e.denominators {
+                ops.lut += 1;
+                acc = acc - Fixed::from_f64(self.log.log(b), self.acc_fmt, Rounding::Nearest);
+                ops.add += 1;
+            }
+            work.push(acc.to_f64());
+        }
+        self.finish_into(work, probs, &mut ops);
+        ops
     }
 
     /// Evaluate a label vector whose scores are already in the log domain
     /// (e.g. MRF energies `-β·TC`): skips the log kernels.
     pub fn evaluate_log_scores(&self, scores: &[f64]) -> PgResult {
-        let quantized: Vec<f64> = scores
-            .iter()
-            .map(|&s| Fixed::from_f64(s, self.acc_fmt, Rounding::Nearest).to_f64())
-            .collect();
-        self.finish(quantized, OpCounts::new())
+        let mut work = Vec::new();
+        let mut probs = Vec::new();
+        let ops = self.evaluate_log_scores_into(scores, &mut work, &mut probs);
+        PgResult { probs, ops }
     }
 
-    fn finish(&self, mut scores: Vec<f64>, mut ops: OpCounts) -> PgResult {
+    /// [`LogFusion::evaluate_log_scores`] writing into caller-owned
+    /// buffers; same contract as [`LogFusion::evaluate_factors_into`].
+    pub fn evaluate_log_scores_into(
+        &self,
+        scores: &[f64],
+        work: &mut Vec<f64>,
+        probs: &mut Vec<f64>,
+    ) -> OpCounts {
+        let mut ops = OpCounts::new();
+        work.clear();
+        work.extend(
+            scores
+                .iter()
+                .map(|&s| Fixed::from_f64(s, self.acc_fmt, Rounding::Nearest).to_f64()),
+        );
+        self.finish_into(work, probs, &mut ops);
+        ops
+    }
+
+    fn finish_into(&self, scores: &mut [f64], probs: &mut Vec<f64>, ops: &mut OpCounts) {
+        probs.clear();
         if scores.is_empty() {
-            return PgResult { probs: Vec::new(), ops };
+            return;
         }
         if self.dynorm {
-            let report = dynorm_apply(&mut scores, self.pipelines);
+            let report = dynorm_apply(scores, self.pipelines);
             ops.cmp += report.comparisons;
             ops.add += scores.len() as u64; // the broadcast subtraction
         }
-        let probs = scores
-            .iter()
-            .map(|&s| {
-                ops.lut += 1;
-                self.exp.exp(s)
-            })
-            .collect();
-        PgResult { probs, ops }
+        probs.extend(scores.iter().map(|&s| {
+            ops.lut += 1;
+            self.exp.exp(s)
+        }));
     }
 }
 
@@ -192,23 +236,30 @@ impl DirectDatapath {
     /// Evaluate a label vector of factor expressions with explicit
     /// multiply/divide sequences.
     pub fn evaluate_factors(&self, exprs: &[FactorExpr]) -> PgResult {
-        let mut ops = OpCounts::new();
-        let probs = exprs
-            .iter()
-            .map(|e| {
-                let mut acc = Fixed::one(self.fmt);
-                for &a in &e.numerators {
-                    acc = acc * Fixed::from_f64(a, self.fmt, Rounding::Nearest);
-                    ops.mul += 1;
-                }
-                for &b in &e.denominators {
-                    acc = acc / Fixed::from_f64(b, self.fmt, Rounding::Nearest);
-                    ops.div += 1;
-                }
-                acc.to_f64().max(0.0)
-            })
-            .collect();
+        let mut probs = Vec::new();
+        let ops = self.evaluate_factors_into(exprs, &mut probs);
         PgResult { probs, ops }
+    }
+
+    /// [`DirectDatapath::evaluate_factors`] writing into a caller-owned
+    /// output buffer (cleared first); allocation-free once `probs` has
+    /// capacity for `exprs.len()` values.
+    pub fn evaluate_factors_into(&self, exprs: &[FactorExpr], probs: &mut Vec<f64>) -> OpCounts {
+        let mut ops = OpCounts::new();
+        probs.clear();
+        for e in exprs {
+            let mut acc = Fixed::one(self.fmt);
+            for &a in &e.numerators {
+                acc = acc * Fixed::from_f64(a, self.fmt, Rounding::Nearest);
+                ops.mul += 1;
+            }
+            for &b in &e.denominators {
+                acc = acc / Fixed::from_f64(b, self.fmt, Rounding::Nearest);
+                ops.div += 1;
+            }
+            probs.push(acc.to_f64().max(0.0));
+        }
+        ops
     }
 }
 
@@ -226,7 +277,10 @@ mod tests {
     fn factor_expr_reference_value() {
         let e = FactorExpr::ratio(vec![0.5, 0.4], vec![0.1]);
         assert!((e.reference_value() - 2.0).abs() < 1e-12);
-        assert_eq!(FactorExpr::ratio(vec![1.0], vec![0.0]).reference_value(), 0.0);
+        assert_eq!(
+            FactorExpr::ratio(vec![1.0], vec![0.0]).reference_value(),
+            0.0
+        );
     }
 
     #[test]
@@ -247,8 +301,7 @@ mod tests {
 
     #[test]
     fn fused_lut_kernels_preserve_argmax_and_ordering() {
-        let fusion =
-            LogFusion::new(TableLog::new(128, 16), TableExp::new(128, 16), acc(), 4);
+        let fusion = LogFusion::new(TableLog::new(128, 16), TableExp::new(128, 16), acc(), 4);
         let exprs: Vec<FactorExpr> = [0.02, 0.5, 0.1, 0.31]
             .iter()
             .map(|&p| FactorExpr::product(vec![p, 0.7]))
@@ -281,8 +334,8 @@ mod tests {
 
     #[test]
     fn without_dynorm_low_precision_flushes_everything() {
-        let fusion = LogFusion::new(TableLog::new(64, 8), TableExp::new(64, 8), acc(), 4)
-            .without_dynorm();
+        let fusion =
+            LogFusion::new(TableLog::new(64, 8), TableExp::new(64, 8), acc(), 4).without_dynorm();
         let exprs: Vec<FactorExpr> = [1e-6, 3e-6, 2e-6]
             .iter()
             .map(|&p| FactorExpr::product(vec![p]))

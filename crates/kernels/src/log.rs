@@ -71,7 +71,9 @@ impl FixedLog {
     ///
     /// Panics if `frac_bits` is 0 or `frac_bits + 15` exceeds 62.
     pub fn new(frac_bits: u32) -> Self {
-        Self { fmt: QFormat::new(15, frac_bits).expect("valid log bus format") }
+        Self {
+            fmt: QFormat::new(15, frac_bits).expect("valid log bus format"),
+        }
     }
 }
 
@@ -91,8 +93,8 @@ impl LogKernel for FixedLog {
             e += 1.0;
         }
         let t = m - 1.0; // in [-0.25, 0.5)
-        // Degree-5 Taylor of ln(1+t): max error ~1.8e-3 at t=0.5, below the
-        // output quantization for the bus widths the paper sweeps.
+                         // Degree-5 Taylor of ln(1+t): max error ~1.8e-3 at t=0.5, below the
+                         // output quantization for the bus widths the paper sweeps.
         let poly = t - t * t / 2.0 + t.powi(3) / 3.0 - t.powi(4) / 4.0 + t.powi(5) / 5.0;
         let val = e * std::f64::consts::LN_2 + poly;
         Fixed::from_f64(val, self.fmt, Rounding::Nearest).to_f64()
@@ -139,7 +141,11 @@ impl TableLog {
             })
             .collect();
         let out_fmt = QFormat::new(15, bit_lut.min(46)).expect("valid log output format");
-        Self { entries, bit_lut, out_fmt }
+        Self {
+            entries,
+            bit_lut,
+            out_fmt,
+        }
     }
 
     /// Number of ROM entries.

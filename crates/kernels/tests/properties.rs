@@ -1,110 +1,128 @@
-//! Property-based tests for the CoopMC kernels.
+//! Property-based tests for the CoopMC kernels (deterministic generator
+//! harness from `coopmc-testkit`).
 
 use coopmc_fixed::QFormat;
 use coopmc_kernels::dynorm::{dynorm_apply, NormTree};
-use coopmc_kernels::exp::{ExpKernel, FixedExp, TableExp};
+use coopmc_kernels::exp::{ExpKernel, FixedExp, FloatExp, TableExp};
 use coopmc_kernels::fusion::{DirectDatapath, FactorExpr, LogFusion};
 use coopmc_kernels::log::{FloatLog, LogKernel, TableLog};
-use coopmc_kernels::exp::FloatExp;
-use proptest::prelude::*;
+use coopmc_testkit::{check, Gen};
 
-fn arb_scores() -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-60.0f64..0.0, 1..65)
+fn arb_scores(g: &mut Gen) -> Vec<f64> {
+    g.vec_f64(1, 65, -60.0, 0.0)
 }
 
-proptest! {
-    /// DyNorm always leaves max == 0 and preserves pairwise differences.
-    #[test]
-    fn dynorm_invariants(mut v in arb_scores(), pipes in 1usize..17) {
+#[test]
+fn dynorm_invariants() {
+    check("dynorm_invariants", 256, |g| {
+        let mut v = arb_scores(g);
+        let pipes = g.usize_in(1, 17);
         let orig = v.clone();
         let r = dynorm_apply(&mut v, pipes);
         let max = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!((max - 0.0).abs() < 1e-12);
-        prop_assert_eq!(r.max, orig.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+        assert!((max - 0.0).abs() < 1e-12);
+        assert_eq!(
+            r.max,
+            orig.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        );
         for (a, b) in orig.iter().zip(&v) {
-            prop_assert!(((a - r.max) - b).abs() < 1e-12);
+            assert!(((a - r.max) - b).abs() < 1e-12);
         }
-    }
+    });
+}
 
-    /// NormTree agrees with the naive maximum for any width.
-    #[test]
-    fn normtree_matches_iterator_max(v in arb_scores(), width in 1usize..33) {
+#[test]
+fn normtree_matches_iterator_max() {
+    check("normtree_matches_iterator_max", 256, |g| {
+        let v = arb_scores(g);
+        let width = g.usize_in(1, 33);
         let (m, _, _) = NormTree::new(width).max(&v);
         let naive = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert_eq!(m, naive);
-    }
+        assert_eq!(m, naive);
+    });
+}
 
-    /// TableExp is bounded by [0, 1] and monotone along its input.
-    #[test]
-    fn table_exp_bounds(size_pow in 2u32..11, bits in 1u32..33, x in -40.0f64..0.0) {
-        let t = TableExp::new(1 << size_pow, bits);
+#[test]
+fn table_exp_bounds() {
+    check("table_exp_bounds", 256, |g| {
+        let t = TableExp::new(1 << g.u32_in(2, 11), g.u32_in(1, 33));
+        let x = g.f64_in(-40.0, 0.0);
         let y = t.exp(x);
-        prop_assert!((0.0..=1.0).contains(&y));
+        assert!((0.0..=1.0).contains(&y));
         // monotone: a smaller (more negative) input never yields more.
         let y2 = t.exp(x - 1.0);
-        prop_assert!(y2 <= y + 1e-12);
-    }
+        assert!(y2 <= y + 1e-12);
+    });
+}
 
-    /// TableExp error against the reference exp is bounded by the input
-    /// quantization step plus the output quantization step.
-    #[test]
-    fn table_exp_error_bound(size_pow in 4u32..11, bits in 4u32..33, x in -15.9f64..0.0) {
-        let size = 1usize << size_pow;
+#[test]
+fn table_exp_error_bound() {
+    check("table_exp_error_bound", 256, |g| {
+        let size = 1usize << g.u32_in(4, 11);
+        let bits = g.u32_in(4, 33);
+        let x = g.f64_in(-15.9, 0.0);
         let t = TableExp::new(size, bits);
         let err = (t.exp(x) - x.exp()).abs();
         let bound = t.step_lut() + 1.0 / (1u64 << bits) as f64;
-        prop_assert!(err <= bound, "err {err} > bound {bound}");
-    }
+        assert!(err <= bound, "err {err} > bound {bound}");
+    });
+}
 
-    /// FixedExp never produces a value below the quantization floor except 0.
-    #[test]
-    fn fixed_exp_grid(bits in 1u32..25, x in -30.0f64..0.0) {
+#[test]
+fn fixed_exp_grid() {
+    check("fixed_exp_grid", 256, |g| {
+        let bits = g.u32_in(1, 25);
+        let x = g.f64_in(-30.0, 0.0);
         let k = FixedExp::new(bits);
         let y = k.exp(x);
         let step = 1.0 / (1u64 << bits) as f64;
-        prop_assert!(y == 0.0 || y >= step - 1e-15);
+        assert!(y == 0.0 || y >= step - 1e-15);
         let scaled = y / step;
-        prop_assert!((scaled - scaled.round()).abs() < 1e-9, "output off-grid");
-    }
+        assert!((scaled - scaled.round()).abs() < 1e-9, "output off-grid");
+    });
+}
 
-    /// TableLog error is within a coarse bound set by its table resolution.
-    #[test]
-    fn table_log_error_bound(size_pow in 6u32..11, x in 0.001f64..100.0) {
-        let size = 1usize << size_pow;
+#[test]
+fn table_log_error_bound() {
+    check("table_log_error_bound", 256, |g| {
+        let size = 1usize << g.u32_in(6, 11);
+        let x = g.f64_in(0.001, 100.0);
         let t = TableLog::new(size, 24);
         let err = (t.log(x) - x.ln()).abs();
         // Mantissa step is 1/size; d(ln m)/dm <= 1 on [1,2).
-        prop_assert!(err <= 1.0 / size as f64 + 1e-6, "err {err}");
-    }
+        assert!(err <= 1.0 / size as f64 + 1e-6, "err {err}");
+    });
+}
 
-    /// LogFusion with float kernels preserves probability *ratios* of a
-    /// factor vector (DyNorm only rescales).
-    #[test]
-    fn fusion_preserves_ratios(
-        ps in prop::collection::vec(0.01f64..1.0, 2..10),
-    ) {
-        let fusion = LogFusion::new(FloatLog::new(), FloatExp::new(), QFormat::new(15, 30).unwrap(), 4);
-        let exprs: Vec<FactorExpr> =
-            ps.iter().map(|&p| FactorExpr::product(vec![p])).collect();
+#[test]
+fn fusion_preserves_ratios() {
+    check("fusion_preserves_ratios", 128, |g| {
+        let ps = g.vec_f64(2, 10, 0.01, 1.0);
+        let fusion = LogFusion::new(
+            FloatLog::new(),
+            FloatExp::new(),
+            QFormat::new(15, 30).unwrap(),
+            4,
+        );
+        let exprs: Vec<FactorExpr> = ps.iter().map(|&p| FactorExpr::product(vec![p])).collect();
         let r = fusion.evaluate_factors(&exprs);
         for i in 1..ps.len() {
             let want = ps[i] / ps[0];
             let got = r.probs[i] / r.probs[0];
-            prop_assert!((got - want).abs() / want < 1e-4, "want {want} got {got}");
+            assert!((got - want).abs() / want < 1e-4, "want {want} got {got}");
         }
-    }
+    });
+}
 
-    /// Fault injection never produces a value outside the probability
-    /// format's range, for any fault model, value or seed.
-    #[test]
-    fn faults_stay_in_range(
-        value in 0.0f64..1.0,
-        seed in any::<u64>(),
-        rate in 0.0f64..1.0,
-        bit in 0u32..16,
-    ) {
+#[test]
+fn faults_stay_in_range() {
+    check("faults_stay_in_range", 256, |g| {
         use coopmc_kernels::faults::{FaultInjector, FaultModel};
         use coopmc_rng::SplitMix64;
+        let value = g.unit_f64();
+        let seed = g.u64();
+        let rate = g.unit_f64();
+        let bit = g.u32_in(0, 16);
         let fmt = QFormat::probability(16).unwrap();
         let mut rng = SplitMix64::new(seed);
         for model in [
@@ -114,18 +132,20 @@ proptest! {
         ] {
             let inj = FaultInjector::new(model, fmt);
             let v = inj.corrupt(value, &mut rng);
-            prop_assert!(v >= 0.0 && v <= fmt.max_value(), "{model:?} produced {v}");
+            assert!(v >= 0.0 && v <= fmt.max_value(), "{model:?} produced {v}");
         }
-    }
+    });
+}
 
-    /// Stuck-at faults are idempotent: corrupting twice equals corrupting
-    /// once.
-    #[test]
-    fn stuck_faults_idempotent(value in 0.0f64..1.0, bit in 0u32..16, one in any::<bool>()) {
+#[test]
+fn stuck_faults_idempotent() {
+    check("stuck_faults_idempotent", 256, |g| {
         use coopmc_kernels::faults::{FaultInjector, FaultModel};
         use coopmc_rng::SplitMix64;
+        let value = g.unit_f64();
+        let bit = g.u32_in(0, 16);
         let fmt = QFormat::probability(16).unwrap();
-        let model = if one {
+        let model = if g.bool() {
             FaultModel::StuckAtOne { bit }
         } else {
             FaultModel::StuckAtZero { bit }
@@ -134,28 +154,40 @@ proptest! {
         let mut rng = SplitMix64::new(1);
         let once = inj.corrupt(value, &mut rng);
         let twice = inj.corrupt(once, &mut rng);
-        prop_assert_eq!(once, twice);
-    }
+        assert_eq!(once, twice);
+    });
+}
 
-    /// The direct datapath and the fused datapath agree on the argmax for
-    /// well-scaled inputs (both are valid PG implementations).
-    #[test]
-    fn direct_and_fused_agree_on_argmax(
-        ps in prop::collection::vec(0.05f64..1.0, 2..8),
-    ) {
-        let exprs: Vec<FactorExpr> =
-            ps.iter().map(|&p| FactorExpr::ratio(vec![p, 0.5], vec![0.9])).collect();
-        let direct = DirectDatapath::new(QFormat::baseline32()).evaluate_factors(&exprs);
-        let fused = LogFusion::new(TableLog::new(1024, 24), TableExp::new(1024, 24), QFormat::new(15, 24).unwrap(), 4)
-            .evaluate_factors(&exprs);
-        let argmax = |v: &[f64]| {
-            v.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
-        };
+#[test]
+fn direct_and_fused_agree_on_argmax() {
+    check("direct_and_fused_agree_on_argmax", 128, |g| {
+        let ps = g.vec_f64(2, 8, 0.05, 1.0);
         // Only require agreement when the winner is unambiguous at the
         // direct datapath's resolution.
         let mut sorted = ps.clone();
         sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
-        prop_assume!(sorted[0] - sorted[1] > 0.02);
-        prop_assert_eq!(argmax(&direct.probs), argmax(&fused.probs));
-    }
+        if sorted[0] - sorted[1] <= 0.02 {
+            return;
+        }
+        let exprs: Vec<FactorExpr> = ps
+            .iter()
+            .map(|&p| FactorExpr::ratio(vec![p, 0.5], vec![0.9]))
+            .collect();
+        let direct = DirectDatapath::new(QFormat::baseline32()).evaluate_factors(&exprs);
+        let fused = LogFusion::new(
+            TableLog::new(1024, 24),
+            TableExp::new(1024, 24),
+            QFormat::new(15, 24).unwrap(),
+            4,
+        )
+        .evaluate_factors(&exprs);
+        let argmax = |v: &[f64]| {
+            v.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0
+        };
+        assert_eq!(argmax(&direct.probs), argmax(&fused.probs));
+    });
 }

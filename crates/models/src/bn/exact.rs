@@ -122,7 +122,10 @@ impl Factor {
 /// Panics if `target` is an evidence node or the evidence has probability
 /// zero.
 pub fn exact_marginal(net: &BayesNet, target: usize) -> Vec<f64> {
-    assert!(net.evidence()[target].is_none(), "target must not be evidence");
+    assert!(
+        net.evidence()[target].is_none(),
+        "target must not be evidence"
+    );
     let n = net.nodes().len();
 
     // One factor per CPT, restricted by evidence.
@@ -169,7 +172,11 @@ pub fn exact_marginal(net: &BayesNet, target: usize) -> Vec<f64> {
         let mut product = involved
             .into_iter()
             .reduce(|a, b| a.multiply(&b, n))
-            .unwrap_or(Factor { vars: vec![], cards: vec![], table: vec![1.0] });
+            .unwrap_or(Factor {
+                vars: vec![],
+                cards: vec![],
+                table: vec![1.0],
+            });
         product = product.sum_out(v, n);
         factors = rest;
         factors.push(product);
@@ -199,8 +206,18 @@ mod tests {
 
     fn chain() -> BayesNet {
         BayesNet::new(vec![
-            Node { name: "A", card: 2, parents: vec![], cpt: vec![0.7, 0.3] },
-            Node { name: "B", card: 2, parents: vec![0], cpt: vec![0.9, 0.1, 0.2, 0.8] },
+            Node {
+                name: "A",
+                card: 2,
+                parents: vec![],
+                cpt: vec![0.7, 0.3],
+            },
+            Node {
+                name: "B",
+                card: 2,
+                parents: vec![0],
+                cpt: vec![0.9, 0.1, 0.2, 0.8],
+            },
         ])
     }
 
@@ -232,8 +249,18 @@ mod tests {
     fn v_structure_explaining_away() {
         // A, B independent causes; C = noisy-OR-ish child.
         let mut net = BayesNet::new(vec![
-            Node { name: "A", card: 2, parents: vec![], cpt: vec![0.8, 0.2] },
-            Node { name: "B", card: 2, parents: vec![], cpt: vec![0.8, 0.2] },
+            Node {
+                name: "A",
+                card: 2,
+                parents: vec![],
+                cpt: vec![0.8, 0.2],
+            },
+            Node {
+                name: "B",
+                card: 2,
+                parents: vec![],
+                cpt: vec![0.8, 0.2],
+            },
             Node {
                 name: "C",
                 card: 2,

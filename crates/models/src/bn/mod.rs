@@ -50,10 +50,18 @@ impl BayesNet {
     pub fn new(nodes: Vec<Node>) -> Self {
         let mut children = vec![Vec::new(); nodes.len()];
         for (i, node) in nodes.iter().enumerate() {
-            assert!(node.card >= 2, "node {} needs at least two labels", node.name);
+            assert!(
+                node.card >= 2,
+                "node {} needs at least two labels",
+                node.name
+            );
             let mut combos = 1usize;
             for &p in &node.parents {
-                assert!(p < i, "parents must precede node {} (topological order)", node.name);
+                assert!(
+                    p < i,
+                    "parents must precede node {} (topological order)",
+                    node.name
+                );
                 combos *= nodes[p].card;
                 children[p].push(i);
             }
@@ -70,12 +78,20 @@ impl BayesNet {
                     "CPT row of {} sums to {sum}, expected 1",
                     node.name
                 );
-                assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)), "invalid probability");
+                assert!(
+                    row.iter().all(|&p| (0.0..=1.0).contains(&p)),
+                    "invalid probability"
+                );
             }
         }
         let labels = vec![0; nodes.len()];
         let evidence = vec![None; nodes.len()];
-        Self { nodes, children, labels, evidence }
+        Self {
+            nodes,
+            children,
+            labels,
+            evidence,
+        }
     }
 
     /// The nodes, in topological order.
@@ -115,7 +131,11 @@ impl BayesNet {
     fn parent_combo(&self, var: usize, override_var: usize, label_override: usize) -> usize {
         let mut idx = 0usize;
         for &p in &self.nodes[var].parents {
-            let lp = if p == override_var { label_override } else { self.labels[p] };
+            let lp = if p == override_var {
+                label_override
+            } else {
+                self.labels[p]
+            };
             idx = idx * self.nodes[p].card + lp;
         }
         idx
@@ -137,7 +157,9 @@ impl BayesNet {
     /// Joint probability of the current full assignment (reference tool for
     /// tests).
     pub fn joint_prob(&self) -> f64 {
-        (0..self.nodes.len()).map(|v| self.local_prob(v, self.labels[v])).product()
+        (0..self.nodes.len())
+            .map(|v| self.local_prob(v, self.labels[v]))
+            .product()
     }
 
     /// Overwrite the full assignment (evidence nodes keep their clamped
@@ -147,7 +169,11 @@ impl BayesNet {
     ///
     /// Panics on length or range mismatch.
     pub fn set_labels(&mut self, labels: Vec<usize>) {
-        assert_eq!(labels.len(), self.labels.len(), "label vector size mismatch");
+        assert_eq!(
+            labels.len(),
+            self.labels.len(),
+            "label vector size mismatch"
+        );
         for (v, &l) in labels.iter().enumerate() {
             assert!(l < self.nodes[v].card, "label out of range for node {v}");
             if self.evidence[v].is_none() {
@@ -177,8 +203,10 @@ impl crate::coloring::ChromaticModel for BayesNet {
                 }
             }
         }
-        let adjacency: Vec<Vec<usize>> =
-            adjacency.into_iter().map(|s| s.into_iter().collect()).collect();
+        let adjacency: Vec<Vec<usize>> = adjacency
+            .into_iter()
+            .map(|s| s.into_iter().collect())
+            .collect();
         crate::coloring::greedy_coloring(&adjacency)
     }
 }
@@ -204,7 +232,40 @@ impl GibbsModel for BayesNet {
             for &c in &self.children[var] {
                 numerators.push(self.child_prob_given(c, var, label));
             }
-            out.push(LabelScore::Factors { numerators, denominators: Vec::new() });
+            out.push(LabelScore::Factors {
+                numerators,
+                denominators: Vec::new(),
+            });
+        }
+    }
+
+    fn scores_into(&self, var: usize, out: &mut Vec<LabelScore>) {
+        let card = self.nodes[var].card;
+        out.truncate(card);
+        out.resize_with(card, || LabelScore::Factors {
+            numerators: Vec::new(),
+            denominators: Vec::new(),
+        });
+        for (label, slot) in out.iter_mut().enumerate() {
+            if !matches!(slot, LabelScore::Factors { .. }) {
+                *slot = LabelScore::Factors {
+                    numerators: Vec::new(),
+                    denominators: Vec::new(),
+                };
+            }
+            let LabelScore::Factors {
+                numerators,
+                denominators,
+            } = slot
+            else {
+                unreachable!()
+            };
+            numerators.clear();
+            denominators.clear();
+            numerators.push(self.local_prob(var, label));
+            for &c in &self.children[var] {
+                numerators.push(self.child_prob_given(c, var, label));
+            }
         }
     }
 
@@ -231,7 +292,10 @@ pub struct MarginalCounter {
 impl MarginalCounter {
     /// A counter shaped for `net`.
     pub fn new(net: &BayesNet) -> Self {
-        Self { counts: net.nodes.iter().map(|n| vec![0; n.card]).collect(), samples: 0 }
+        Self {
+            counts: net.nodes.iter().map(|n| vec![0; n.card]).collect(),
+            samples: 0,
+        }
     }
 
     /// Record the current assignment of `net`.
@@ -254,7 +318,10 @@ impl MarginalCounter {
     /// Panics if no samples were recorded.
     pub fn marginal(&self, var: usize) -> Vec<f64> {
         assert!(self.samples > 0, "no samples recorded");
-        self.counts[var].iter().map(|&c| c as f64 / self.samples as f64).collect()
+        self.counts[var]
+            .iter()
+            .map(|&c| c as f64 / self.samples as f64)
+            .collect()
     }
 
     /// Mean-square error of all non-evidence marginals against exact
@@ -283,7 +350,12 @@ mod tests {
     /// A tiny chain A -> B used across tests.
     fn chain() -> BayesNet {
         BayesNet::new(vec![
-            Node { name: "A", card: 2, parents: vec![], cpt: vec![0.7, 0.3] },
+            Node {
+                name: "A",
+                card: 2,
+                parents: vec![],
+                cpt: vec![0.7, 0.3],
+            },
             Node {
                 name: "B",
                 card: 2,

@@ -15,7 +15,12 @@ use super::{BayesNet, Node};
 pub fn asia() -> BayesNet {
     BayesNet::new(vec![
         // 0: visit to Asia
-        Node { name: "asia", card: 2, parents: vec![], cpt: vec![0.01, 0.99] },
+        Node {
+            name: "asia",
+            card: 2,
+            parents: vec![],
+            cpt: vec![0.01, 0.99],
+        },
         // 1: tuberculosis | asia
         Node {
             name: "tub",
@@ -27,7 +32,12 @@ pub fn asia() -> BayesNet {
             ],
         },
         // 2: smoker
-        Node { name: "smoke", card: 2, parents: vec![], cpt: vec![0.5, 0.5] },
+        Node {
+            name: "smoke",
+            card: 2,
+            parents: vec![],
+            cpt: vec![0.5, 0.5],
+        },
         // 3: lung cancer | smoke
         Node {
             name: "lung",
@@ -98,8 +108,18 @@ pub fn asia() -> BayesNet {
 /// Label convention: 0 = true, 1 = false.
 pub fn earthquake() -> BayesNet {
     BayesNet::new(vec![
-        Node { name: "burglary", card: 2, parents: vec![], cpt: vec![0.01, 0.99] },
-        Node { name: "earthquake", card: 2, parents: vec![], cpt: vec![0.02, 0.98] },
+        Node {
+            name: "burglary",
+            card: 2,
+            parents: vec![],
+            cpt: vec![0.01, 0.99],
+        },
+        Node {
+            name: "earthquake",
+            card: 2,
+            parents: vec![],
+            cpt: vec![0.02, 0.98],
+        },
         Node {
             name: "alarm",
             card: 2,
@@ -136,8 +156,18 @@ pub fn earthquake() -> BayesNet {
 /// travel 3 (car/train/other).
 pub fn survey() -> BayesNet {
     BayesNet::new(vec![
-        Node { name: "age", card: 3, parents: vec![], cpt: vec![0.30, 0.50, 0.20] },
-        Node { name: "sex", card: 2, parents: vec![], cpt: vec![0.60, 0.40] },
+        Node {
+            name: "age",
+            card: 3,
+            parents: vec![],
+            cpt: vec![0.30, 0.50, 0.20],
+        },
+        Node {
+            name: "sex",
+            card: 2,
+            parents: vec![],
+            cpt: vec![0.60, 0.40],
+        },
         Node {
             name: "education",
             card: 2,
@@ -183,8 +213,18 @@ pub fn survey() -> BayesNet {
 /// Label convention: 0 = true/high, 1 = false/low.
 pub fn cancer() -> BayesNet {
     BayesNet::new(vec![
-        Node { name: "pollution", card: 2, parents: vec![], cpt: vec![0.10, 0.90] },
-        Node { name: "smoker", card: 2, parents: vec![], cpt: vec![0.30, 0.70] },
+        Node {
+            name: "pollution",
+            card: 2,
+            parents: vec![],
+            cpt: vec![0.10, 0.90],
+        },
+        Node {
+            name: "smoker",
+            card: 2,
+            parents: vec![],
+            cpt: vec![0.30, 0.70],
+        },
         Node {
             name: "cancer",
             card: 2,
@@ -196,7 +236,12 @@ pub fn cancer() -> BayesNet {
                 0.001, 0.999, // low pollution, non-smoker
             ],
         },
-        Node { name: "xray", card: 2, parents: vec![2], cpt: vec![0.90, 0.10, 0.20, 0.80] },
+        Node {
+            name: "xray",
+            card: 2,
+            parents: vec![2],
+            cpt: vec![0.90, 0.10, 0.20, 0.80],
+        },
         Node {
             name: "dyspnoea",
             card: 2,
@@ -212,14 +257,24 @@ pub fn cancer() -> BayesNet {
 /// Label convention: 0 = true, 1 = false.
 pub fn sprinkler() -> BayesNet {
     BayesNet::new(vec![
-        Node { name: "cloudy", card: 2, parents: vec![], cpt: vec![0.5, 0.5] },
+        Node {
+            name: "cloudy",
+            card: 2,
+            parents: vec![],
+            cpt: vec![0.5, 0.5],
+        },
         Node {
             name: "sprinkler",
             card: 2,
             parents: vec![0],
             cpt: vec![0.10, 0.90, 0.50, 0.50],
         },
-        Node { name: "rain", card: 2, parents: vec![0], cpt: vec![0.80, 0.20, 0.20, 0.80] },
+        Node {
+            name: "rain",
+            card: 2,
+            parents: vec![0],
+            cpt: vec![0.80, 0.20, 0.20, 0.80],
+        },
         Node {
             name: "wetgrass",
             card: 2,
@@ -290,7 +345,10 @@ mod tests {
         let p_b_given_alarm = exact_marginal(&net, b)[0];
         net.set_evidence(e, 0);
         let p_b_given_both = exact_marginal(&net, b)[0];
-        assert!(p_b_given_both < p_b_given_alarm, "earthquake must explain away burglary");
+        assert!(
+            p_b_given_both < p_b_given_alarm,
+            "earthquake must explain away burglary"
+        );
     }
 
     #[test]

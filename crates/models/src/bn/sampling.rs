@@ -48,7 +48,10 @@ pub fn likelihood_weighting(
     samples: u64,
     rng: &mut dyn HwRng,
 ) -> Vec<f64> {
-    assert!(net.evidence()[target].is_none(), "target must not be evidence");
+    assert!(
+        net.evidence()[target].is_none(),
+        "target must not be evidence"
+    );
     assert!(samples > 0, "need at least one sample");
     let mut weighted = vec![0.0; net.nodes()[target].card];
     let mut total_weight = 0.0;
@@ -102,7 +105,10 @@ mod tests {
         }
         let est = alarm_true as f64 / n as f64;
         let exact = exact_marginal(&net, 2)[0];
-        assert!((est - exact).abs() < 0.005, "forward {est} vs exact {exact}");
+        assert!(
+            (est - exact).abs() < 0.005,
+            "forward {est} vs exact {exact}"
+        );
     }
 
     #[test]
@@ -114,7 +120,10 @@ mod tests {
         let exact = exact_marginal(&net, burglary);
         let mut rng = SplitMix64::new(7);
         let lw = likelihood_weighting(&net, burglary, 200_000, &mut rng);
-        assert!((lw[0] - exact[0]).abs() < 0.02, "LW {lw:?} vs exact {exact:?}");
+        assert!(
+            (lw[0] - exact[0]).abs() < 0.02,
+            "LW {lw:?} vs exact {exact:?}"
+        );
     }
 
     #[test]

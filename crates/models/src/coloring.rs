@@ -115,8 +115,9 @@ mod tests {
     #[test]
     fn complete_graph_needs_n_colors() {
         let n = 5;
-        let adj: Vec<Vec<usize>> =
-            (0..n).map(|v| (0..n).filter(|&u| u != v).collect()).collect();
+        let adj: Vec<Vec<usize>> = (0..n)
+            .map(|v| (0..n).filter(|&u| u != v).collect())
+            .collect();
         let classes = greedy_coloring(&adj);
         assert_eq!(classes.len(), n);
         assert!(verify_coloring(&adj, &classes));

@@ -29,21 +29,27 @@ pub fn gelman_rubin(chains: &[Vec<f64>]) -> f64 {
     assert!(m >= 2, "Gelman-Rubin needs at least two chains");
     let n = chains[0].len();
     assert!(n >= 4, "chains must have at least 4 samples");
-    assert!(chains.iter().all(|c| c.len() == n), "chains must share a length");
+    assert!(
+        chains.iter().all(|c| c.len() == n),
+        "chains must share a length"
+    );
 
-    let chain_means: Vec<f64> =
-        chains.iter().map(|c| c.iter().sum::<f64>() / n as f64).collect();
+    let chain_means: Vec<f64> = chains
+        .iter()
+        .map(|c| c.iter().sum::<f64>() / n as f64)
+        .collect();
     let grand_mean = chain_means.iter().sum::<f64>() / m as f64;
     // Between-chain variance.
     let b = n as f64 / (m as f64 - 1.0)
-        * chain_means.iter().map(|&mu| (mu - grand_mean).powi(2)).sum::<f64>();
+        * chain_means
+            .iter()
+            .map(|&mu| (mu - grand_mean).powi(2))
+            .sum::<f64>();
     // Within-chain variance.
     let w = chains
         .iter()
         .zip(&chain_means)
-        .map(|(c, &mu)| {
-            c.iter().map(|&x| (x - mu).powi(2)).sum::<f64>() / (n as f64 - 1.0)
-        })
+        .map(|(c, &mu)| c.iter().map(|&x| (x - mu).powi(2)).sum::<f64>() / (n as f64 - 1.0))
         .sum::<f64>()
         / m as f64;
     if w == 0.0 {
@@ -118,7 +124,12 @@ pub fn autocorrelation(series: &[f64], lag: usize) -> f64 {
 /// Panics if `stride == 0`.
 pub fn thin(series: &[f64], burn_in: usize, stride: usize) -> Vec<f64> {
     assert!(stride > 0, "stride must be positive");
-    series.iter().skip(burn_in).step_by(stride).copied().collect()
+    series
+        .iter()
+        .skip(burn_in)
+        .step_by(stride)
+        .copied()
+        .collect()
 }
 
 /// Geweke convergence z-score: compares the mean of the first `10%` of a
@@ -173,7 +184,10 @@ pub fn empirical_distribution(samples: &[usize], n_labels: usize) -> Vec<f64> {
         assert!(s < n_labels, "label {s} out of range");
         counts[s] += 1;
     }
-    counts.into_iter().map(|c| c as f64 / samples.len() as f64).collect()
+    counts
+        .into_iter()
+        .map(|c| c as f64 / samples.len() as f64)
+        .collect()
 }
 
 #[cfg(test)]
@@ -233,7 +247,9 @@ mod tests {
     fn ess_is_capped_at_n() {
         // Strong negative autocorrelation would push the naive formula
         // above n; the estimator caps it.
-        let series: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let series: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(effective_sample_size(&series) <= 100.0);
     }
 
@@ -263,9 +279,14 @@ mod tests {
     fn autocorrelation_basics() {
         let iid = noise_chain(7, 2000, 0.0);
         assert!((autocorrelation(&iid, 0) - 1.0).abs() < 1e-12);
-        assert!(autocorrelation(&iid, 1).abs() < 0.1, "iid lag-1 must be small");
+        assert!(
+            autocorrelation(&iid, 1).abs() < 0.1,
+            "iid lag-1 must be small"
+        );
         // A perfectly alternating series has lag-1 autocorrelation ~ -1.
-        let alt: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let alt: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(autocorrelation(&alt, 1) < -0.9);
         assert!(autocorrelation(&alt, 2) > 0.9);
     }

@@ -92,7 +92,11 @@ pub fn synthetic_corpus(spec: &CorpusSpec) -> Corpus {
             tokens.push((d as u32, word as u32));
         }
     }
-    Corpus { n_docs: spec.n_docs, n_vocab: spec.n_vocab, tokens }
+    Corpus {
+        n_docs: spec.n_docs,
+        n_vocab: spec.n_vocab,
+        tokens,
+    }
 }
 
 #[cfg(test)]
@@ -114,7 +118,10 @@ mod tests {
     fn corpus_has_expected_shape() {
         let c = synthetic_corpus(&spec());
         assert_eq!(c.tokens.len(), 20 * 50);
-        assert!(c.tokens.iter().all(|&(d, w)| (d as usize) < 20 && (w as usize) < 100));
+        assert!(c
+            .tokens
+            .iter()
+            .all(|&(d, w)| (d as usize) < 20 && (w as usize) < 100));
     }
 
     #[test]

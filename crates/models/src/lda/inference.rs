@@ -28,10 +28,16 @@ impl TopicModel {
         let phi = (0..lda.n_topics())
             .map(|t| {
                 let denom = lda.topic_total(t) as f64 + 0.01 * v as f64;
-                (0..v).map(|w| (lda.vt(t, w) as f64 + 0.01) / denom).collect()
+                (0..v)
+                    .map(|w| (lda.vt(t, w) as f64 + 0.01) / denom)
+                    .collect()
             })
             .collect();
-        Self { phi, alpha, n_vocab: v }
+        Self {
+            phi,
+            alpha,
+            n_vocab: v,
+        }
     }
 
     /// Number of topics.
@@ -75,7 +81,10 @@ impl TopicModel {
         rng: &mut dyn HwRng,
     ) -> Vec<f64> {
         assert!(!words.is_empty(), "document must contain words");
-        assert!(words.iter().all(|&w| w < self.n_vocab), "word out of vocabulary");
+        assert!(
+            words.iter().all(|&w| w < self.n_vocab),
+            "word out of vocabulary"
+        );
         let k = self.n_topics();
         let mut z: Vec<usize> = words.iter().map(|_| rng.uniform_index(k)).collect();
         let mut counts = vec![0usize; k];
@@ -104,7 +113,10 @@ impl TopicModel {
             }
         }
         let denom = words.len() as f64 + self.alpha * k as f64;
-        counts.iter().map(|&c| (c as f64 + self.alpha) / denom).collect()
+        counts
+            .iter()
+            .map(|&c| (c as f64 + self.alpha) / denom)
+            .collect()
     }
 
     /// Held-out perplexity of a set of documents:
@@ -120,8 +132,11 @@ impl TopicModel {
         for doc in docs {
             let theta = self.infer_document(doc, iterations, rng);
             for &w in doc {
-                let p: f64 =
-                    theta.iter().enumerate().map(|(t, &th)| th * self.phi[t][w]).sum();
+                let p: f64 = theta
+                    .iter()
+                    .enumerate()
+                    .map(|(t, &th)| th * self.phi[t][w])
+                    .sum();
                 log_sum += p.max(1e-300).ln();
                 n_words += 1;
             }
@@ -216,7 +231,10 @@ mod tests {
         assert!(*best.1 > 0.6, "dominant topic weight {:?}", theta);
         // the dominant topic's top words should live in the same band
         let top = model.top_words(best.0, 5);
-        assert!(top.iter().filter(|&&w| w / band == 1).count() >= 4, "{top:?}");
+        assert!(
+            top.iter().filter(|&&w| w / band == 1).count() >= 4,
+            "{top:?}"
+        );
     }
 
     #[test]
@@ -224,8 +242,9 @@ mod tests {
         let (model, n_vocab) = trained_model();
         let band = n_vocab / 3;
         let mut rng = SplitMix64::new(10);
-        let in_dist: Vec<Vec<usize>> =
-            (0..4).map(|d| (0..30).map(|i| ((d + i) % band) + band).collect()).collect();
+        let in_dist: Vec<Vec<usize>> = (0..4)
+            .map(|d| (0..30).map(|i| ((d + i) % band) + band).collect())
+            .collect();
         // scrambled documents: uniform over vocabulary
         let mut rng2 = SplitMix64::new(11);
         let scrambled: Vec<Vec<usize>> = (0..4)

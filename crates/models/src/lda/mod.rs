@@ -55,7 +55,10 @@ impl Lda {
     pub fn new(corpus: &Corpus, n_topics: usize, alpha: f64, beta: f64) -> Self {
         assert!(!corpus.tokens.is_empty(), "corpus must contain tokens");
         assert!(n_topics >= 2, "need at least two topics");
-        assert!(alpha > 0.0 && beta > 0.0, "hyper-parameters must be positive");
+        assert!(
+            alpha > 0.0 && beta > 0.0,
+            "hyper-parameters must be positive"
+        );
         let mut model = Self {
             n_docs: corpus.n_docs,
             n_vocab: corpus.n_vocab,
@@ -190,6 +193,38 @@ impl GibbsModel for Lda {
                 numerators: vec![dt + self.alpha, vt + self.beta],
                 denominators: vec![total + self.beta * self.n_vocab as f64],
             });
+        }
+    }
+
+    fn scores_into(&self, var: usize, out: &mut Vec<LabelScore>) {
+        let (d, v) = self.tokens[var];
+        out.truncate(self.n_topics);
+        out.resize_with(self.n_topics, || LabelScore::Factors {
+            numerators: Vec::new(),
+            denominators: Vec::new(),
+        });
+        for (k, slot) in out.iter_mut().enumerate() {
+            if !matches!(slot, LabelScore::Factors { .. }) {
+                *slot = LabelScore::Factors {
+                    numerators: Vec::new(),
+                    denominators: Vec::new(),
+                };
+            }
+            let LabelScore::Factors {
+                numerators,
+                denominators,
+            } = slot
+            else {
+                unreachable!()
+            };
+            let dt = self.dt[d as usize * self.n_topics + k] as f64;
+            let vt = self.vt[k * self.n_vocab + v as usize] as f64;
+            let total = self.topic_total[k] as f64;
+            numerators.clear();
+            numerators.push(dt + self.alpha);
+            numerators.push(vt + self.beta);
+            denominators.clear();
+            denominators.push(total + self.beta * self.n_vocab as f64);
         }
     }
 

@@ -59,7 +59,10 @@ impl LabelScore {
     pub fn reference_value(&self) -> f64 {
         match self {
             LabelScore::LogDomain(s) => s.exp(),
-            LabelScore::Factors { numerators, denominators } => {
+            LabelScore::Factors {
+                numerators,
+                denominators,
+            } => {
                 let num: f64 = numerators.iter().product();
                 let den: f64 = denominators.iter().product();
                 if den == 0.0 {
@@ -98,6 +101,21 @@ pub trait GibbsModel {
     /// current state of every other variable (the PG input).
     fn scores(&self, var: usize, out: &mut Vec<LabelScore>);
 
+    /// Like [`GibbsModel::scores`], but allowed to **recycle the existing
+    /// contents of `out`** — in particular the inner numerator/denominator
+    /// vectors of [`LabelScore::Factors`] entries left over from a previous
+    /// call — instead of rebuilding them.
+    ///
+    /// The result must be identical to `scores`; only allocation behaviour
+    /// may differ. The engine's hot path calls this with a long-lived
+    /// buffer, so models whose `scores` builds per-label `Factors` should
+    /// override it to be allocation-free in steady state. The default
+    /// simply delegates to `scores` (already allocation-free for log-domain
+    /// models such as the grid MRF).
+    fn scores_into(&self, var: usize, out: &mut Vec<LabelScore>) {
+        self.scores(var, out);
+    }
+
     /// Commit the sampled label for `var` (the PU step).
     fn update(&mut self, var: usize, label: usize);
 
@@ -117,9 +135,15 @@ mod tests {
     #[test]
     fn label_score_reference_values() {
         assert!((LabelScore::LogDomain(0.0).reference_value() - 1.0).abs() < 1e-15);
-        let f = LabelScore::Factors { numerators: vec![0.5, 0.5], denominators: vec![0.25] };
+        let f = LabelScore::Factors {
+            numerators: vec![0.5, 0.5],
+            denominators: vec![0.25],
+        };
         assert!((f.reference_value() - 1.0).abs() < 1e-15);
-        let z = LabelScore::Factors { numerators: vec![1.0], denominators: vec![0.0] };
+        let z = LabelScore::Factors {
+            numerators: vec![1.0],
+            denominators: vec![0.0],
+        };
         assert_eq!(z.reference_value(), 0.0);
     }
 }

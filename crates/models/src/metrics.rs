@@ -11,7 +11,11 @@
 ///
 /// Panics if the fields differ in length or are empty.
 pub fn mse(labels: &[usize], golden: &[usize]) -> f64 {
-    assert_eq!(labels.len(), golden.len(), "label fields must match in length");
+    assert_eq!(
+        labels.len(),
+        golden.len(),
+        "label fields must match in length"
+    );
     assert!(!labels.is_empty(), "label fields must be non-empty");
     labels
         .iter()
@@ -34,7 +38,10 @@ pub fn mse(labels: &[usize], golden: &[usize]) -> f64 {
 /// field, so normalization is undefined) or the fields mismatch.
 pub fn normalized_mse(labels: &[usize], golden: &[usize], untrained: &[usize]) -> f64 {
     let base = mse(untrained, golden);
-    assert!(base > 0.0, "untrained MSE must be positive for normalization");
+    assert!(
+        base > 0.0,
+        "untrained MSE must be positive for normalization"
+    );
     mse(labels, golden) / base
 }
 

@@ -99,7 +99,11 @@ pub fn image_restoration(width: usize, height: usize, seed: u64) -> MrfApp {
         1.5,
     );
     mrf.set_data_mask(mask);
-    MrfApp { name: "image-restoration", mrf, clean }
+    MrfApp {
+        name: "image-restoration",
+        mrf,
+        clean,
+    }
 }
 
 /// **Stereo Matching** (16 labels): recover the disparity field of a scene
@@ -135,7 +139,11 @@ pub fn stereo_matching(width: usize, height: usize, seed: u64) -> MrfApp {
         1.0,
         1.2,
     );
-    MrfApp { name: "stereo-matching", mrf, clean }
+    MrfApp {
+        name: "stereo-matching",
+        mrf,
+        clean,
+    }
 }
 
 /// **Image Segmentation** (2 labels): separate a foreground blob from the
@@ -152,8 +160,10 @@ pub fn image_segmentation(width: usize, height: usize, seed: u64) -> MrfApp {
             usize::from((x - cx).powi(2) + (y - cy).powi(2) < (r * wobble).powi(2))
         })
         .collect();
-    let observed: Vec<f64> =
-        clean.iter().map(|&l| (l as f64 + 0.45 * gaussian(&mut rng)).clamp(0.0, 1.0)).collect();
+    let observed: Vec<f64> = clean
+        .iter()
+        .map(|&l| (l as f64 + 0.45 * gaussian(&mut rng)).clamp(0.0, 1.0))
+        .collect();
     let mrf = GridMrf::new(
         width,
         height,
@@ -164,7 +174,11 @@ pub fn image_segmentation(width: usize, height: usize, seed: u64) -> MrfApp {
         2.0,
         0.9,
     );
-    MrfApp { name: "image-segmentation", mrf, clean }
+    MrfApp {
+        name: "image-segmentation",
+        mrf,
+        clean,
+    }
 }
 
 /// **Sound Source Separation** (2 labels): label each time–frequency bin of
@@ -209,7 +223,11 @@ pub fn sound_source_separation(frames: usize, bins: usize, seed: u64) -> MrfApp 
         2.0,
         0.8,
     );
-    MrfApp { name: "sound-source-separation", mrf, clean }
+    MrfApp {
+        name: "sound-source-separation",
+        mrf,
+        clean,
+    }
 }
 
 #[cfg(test)]

@@ -111,7 +111,11 @@ impl GridMrf {
         lambda: f64,
     ) -> Self {
         assert!(width > 0 && height > 0, "grid dimensions must be positive");
-        assert_eq!(observed.len(), width * height, "observation field size mismatch");
+        assert_eq!(
+            observed.len(),
+            width * height,
+            "observation field size mismatch"
+        );
         assert!(n_labels >= 2, "need at least two labels");
         assert!(beta > 0.0, "beta must be positive");
         let labels = observed
@@ -202,7 +206,10 @@ impl GridMrf {
     /// label.
     pub fn set_labels(&mut self, labels: Vec<usize>) {
         assert_eq!(labels.len(), self.labels.len(), "label field size mismatch");
-        assert!(labels.iter().all(|&l| l < self.n_labels), "label out of range");
+        assert!(
+            labels.iter().all(|&l| l < self.n_labels),
+            "label out of range"
+        );
         self.labels = labels;
     }
 
@@ -258,7 +265,9 @@ impl GridMrf {
             let (x, y) = (i % self.width, i / self.width);
             if x + 1 < self.width {
                 e += self.lambda
-                    * self.smooth_cost.cost(self.labels[i] as f64, self.labels[i + 1] as f64);
+                    * self
+                        .smooth_cost
+                        .cost(self.labels[i] as f64, self.labels[i + 1] as f64);
             }
             if y + 1 < self.height {
                 e += self.lambda
@@ -359,8 +368,14 @@ mod tests {
     fn cost_functions() {
         assert_eq!(CostFn::TruncatedLinear { trunc: 2.0 }.cost(5.0, 1.0), 2.0);
         assert_eq!(CostFn::TruncatedLinear { trunc: 2.0 }.cost(1.5, 1.0), 0.5);
-        assert_eq!(CostFn::TruncatedQuadratic { trunc: 5.0 }.cost(3.0, 1.0), 4.0);
-        assert_eq!(CostFn::TruncatedQuadratic { trunc: 3.0 }.cost(3.0, 0.0), 3.0);
+        assert_eq!(
+            CostFn::TruncatedQuadratic { trunc: 5.0 }.cost(3.0, 1.0),
+            4.0
+        );
+        assert_eq!(
+            CostFn::TruncatedQuadratic { trunc: 3.0 }.cost(3.0, 0.0),
+            3.0
+        );
         assert_eq!(CostFn::Potts { penalty: 1.5 }.cost(2.0, 2.0), 0.0);
         assert_eq!(CostFn::Potts { penalty: 1.5 }.cost(2.0, 1.0), 1.5);
     }
@@ -519,8 +534,7 @@ mod tests {
         .with_connectivity(Connectivity::Eight);
         let classes = m.color_classes();
         assert_eq!(classes.len(), 4);
-        let adjacency: Vec<Vec<usize>> =
-            (0..20).map(|i| m.neighbours(i).collect()).collect();
+        let adjacency: Vec<Vec<usize>> = (0..20).map(|i| m.neighbours(i).collect()).collect();
         assert!(verify_coloring(&adjacency, &classes));
     }
 

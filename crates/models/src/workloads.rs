@@ -233,7 +233,10 @@ mod tests {
             BuiltWorkload::Mrf(app) => app.mrf.num_variables(),
             _ => panic!(),
         };
-        assert!((3..=5).contains(&(big / small)), "area should ~4x: {small} -> {big}");
+        assert!(
+            (3..=5).contains(&(big / small)),
+            "area should ~4x: {small} -> {big}"
+        );
 
         let nips = &specs[7];
         let t_small = match nips.build_scaled(1.0, 0) {

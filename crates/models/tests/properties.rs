@@ -1,126 +1,124 @@
-//! Property-based tests for the model substrates.
+//! Property-based tests for the model substrates (deterministic generator
+//! harness from `coopmc-testkit`).
 
 use coopmc_models::coloring::{greedy_coloring, verify_coloring, ChromaticModel};
 use coopmc_models::lda::{synthetic_corpus, CorpusSpec, Lda};
 use coopmc_models::mrf::{CostFn, GridMrf};
 use coopmc_models::{GibbsModel, LabelScore};
-use proptest::prelude::*;
+use coopmc_testkit::{check, Gen};
 
-fn arb_grid() -> impl Strategy<Value = GridMrf> {
-    (2usize..12, 2usize..12, 2usize..8, any::<u64>()).prop_map(|(w, h, l, seed)| {
-        let mut x = seed;
-        let observed: Vec<f64> = (0..w * h)
-            .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                ((x >> 33) % l as u64) as f64
-            })
-            .collect();
-        GridMrf::new(
-            w,
-            h,
-            l,
-            observed,
-            CostFn::TruncatedLinear { trunc: 3.0 },
-            CostFn::TruncatedLinear { trunc: 2.0 },
-            1.0,
-            1.0,
-        )
-    })
+fn arb_grid(g: &mut Gen) -> GridMrf {
+    let w = g.usize_in(2, 12);
+    let h = g.usize_in(2, 12);
+    let l = g.usize_in(2, 8);
+    let observed: Vec<f64> = (0..w * h).map(|_| g.index(l) as f64).collect();
+    GridMrf::new(
+        w,
+        h,
+        l,
+        observed,
+        CostFn::TruncatedLinear { trunc: 3.0 },
+        CostFn::TruncatedLinear { trunc: 2.0 },
+        1.0,
+        1.0,
+    )
 }
 
-proptest! {
-    /// Neighbourhood relation is symmetric and within bounds.
-    #[test]
-    fn mrf_neighbours_symmetric(mrf in arb_grid()) {
+#[test]
+fn mrf_neighbours_symmetric() {
+    check("mrf_neighbours_symmetric", 64, |g| {
+        let mrf = arb_grid(g);
         let n = mrf.num_variables();
         for i in 0..n {
             for j in mrf.neighbours(i) {
-                prop_assert!(j < n);
-                prop_assert!(mrf.neighbours(j).any(|k| k == i), "asymmetric edge {i}-{j}");
+                assert!(j < n);
+                assert!(mrf.neighbours(j).any(|k| k == i), "asymmetric edge {i}-{j}");
             }
         }
-    }
+    });
+}
 
-    /// The red-black coloring is a valid chromatic partition of the grid.
-    #[test]
-    fn mrf_coloring_is_valid(mrf in arb_grid()) {
+#[test]
+fn mrf_coloring_is_valid() {
+    check("mrf_coloring_is_valid", 64, |g| {
+        let mrf = arb_grid(g);
         let classes = mrf.color_classes();
-        let adjacency: Vec<Vec<usize>> =
-            (0..mrf.num_variables()).map(|i| mrf.neighbours(i).collect()).collect();
-        prop_assert!(verify_coloring(&adjacency, &classes));
-        prop_assert!(classes.len() <= 2);
-    }
+        let adjacency: Vec<Vec<usize>> = (0..mrf.num_variables())
+            .map(|i| mrf.neighbours(i).collect())
+            .collect();
+        assert!(verify_coloring(&adjacency, &classes));
+        assert!(classes.len() <= 2);
+    });
+}
 
-    /// Energy equals the sum over variables of data costs plus each edge's
-    /// smooth cost counted once: recomputing from scratch after random
-    /// updates stays consistent with incremental expectations.
-    #[test]
-    fn mrf_energy_consistent_under_updates(
-        mut mrf in arb_grid(),
-        updates in prop::collection::vec((any::<prop::sample::Index>(), any::<prop::sample::Index>()), 1..20),
-    ) {
-        for (vi, li) in updates {
-            let var = vi.index(mrf.num_variables());
-            let label = li.index(mrf.num_labels(0));
+#[test]
+fn mrf_energy_consistent_under_updates() {
+    check("mrf_energy_consistent_under_updates", 64, |g| {
+        let mut mrf = arb_grid(g);
+        for _ in 0..g.usize_in(1, 20) {
+            let var = g.index(mrf.num_variables());
+            let label = g.index(mrf.num_labels(0));
             let before = mrf.energy();
             let old = mrf.label(var);
             mrf.update(var, label);
             let after = mrf.energy();
             // Reverting must restore the exact energy.
             mrf.update(var, old);
-            prop_assert!((mrf.energy() - before).abs() < 1e-9);
+            assert!((mrf.energy() - before).abs() < 1e-9);
             mrf.update(var, label);
-            prop_assert!((mrf.energy() - after).abs() < 1e-9);
+            assert!((mrf.energy() - after).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    /// MRF scores are finite, non-positive log-probabilities.
-    #[test]
-    fn mrf_scores_are_valid_log_domain(mrf in arb_grid(), vi in any::<prop::sample::Index>()) {
-        let var = vi.index(mrf.num_variables());
+#[test]
+fn mrf_scores_are_valid_log_domain() {
+    check("mrf_scores_are_valid_log_domain", 128, |g| {
+        let mrf = arb_grid(g);
+        let var = g.index(mrf.num_variables());
         let mut out = Vec::new();
         mrf.scores(var, &mut out);
-        prop_assert_eq!(out.len(), mrf.num_labels(var));
+        assert_eq!(out.len(), mrf.num_labels(var));
         for s in &out {
             match s {
                 LabelScore::LogDomain(v) => {
-                    prop_assert!(v.is_finite());
-                    prop_assert!(*v <= 0.0, "MRF scores are -beta*cost <= 0");
+                    assert!(v.is_finite());
+                    assert!(*v <= 0.0, "MRF scores are -beta*cost <= 0");
                 }
-                _ => prop_assert!(false, "MRF must emit log-domain scores"),
+                _ => panic!("MRF must emit log-domain scores"),
             }
         }
-    }
+    });
+}
 
-    /// Greedy coloring always yields a valid partition with at most
-    /// max-degree + 1 colors.
-    #[test]
-    fn greedy_coloring_is_proper(
-        edges in prop::collection::vec((0usize..20, 0usize..20), 0..60),
-    ) {
+#[test]
+fn greedy_coloring_is_proper() {
+    check("greedy_coloring_is_proper", 128, |g| {
         let n = 20;
         let mut adjacency = vec![std::collections::BTreeSet::new(); n];
-        for (a, b) in edges {
+        for _ in 0..g.usize_in(0, 60) {
+            let a = g.index(n);
+            let b = g.index(n);
             if a != b {
                 adjacency[a].insert(b);
                 adjacency[b].insert(a);
             }
         }
-        let adjacency: Vec<Vec<usize>> =
-            adjacency.into_iter().map(|s| s.into_iter().collect()).collect();
+        let adjacency: Vec<Vec<usize>> = adjacency
+            .into_iter()
+            .map(|s| s.into_iter().collect())
+            .collect();
         let classes = greedy_coloring(&adjacency);
-        prop_assert!(verify_coloring(&adjacency, &classes));
+        assert!(verify_coloring(&adjacency, &classes));
         let max_degree = adjacency.iter().map(|a| a.len()).max().unwrap_or(0);
-        prop_assert!(classes.len() <= max_degree + 1);
-    }
+        assert!(classes.len() <= max_degree + 1);
+    });
+}
 
-    /// LDA count tables conserve token counts through arbitrary resample
-    /// sequences.
-    #[test]
-    fn lda_counts_conserved(
-        seed in any::<u64>(),
-        moves in prop::collection::vec((any::<prop::sample::Index>(), any::<prop::sample::Index>()), 1..40),
-    ) {
+#[test]
+fn lda_counts_conserved() {
+    check("lda_counts_conserved", 32, |g| {
+        let seed = g.u64();
         let corpus = synthetic_corpus(&CorpusSpec {
             n_docs: 5,
             n_vocab: 20,
@@ -132,44 +130,77 @@ proptest! {
         let mut lda = Lda::new(&corpus, 3, 0.5, 0.1);
         lda.randomize_topics(seed ^ 1);
         let n_tokens = corpus.tokens.len() as u32;
-        for (ti, ki) in moves {
-            let tok = ti.index(lda.num_variables());
-            let topic = ki.index(lda.n_topics());
+        for _ in 0..g.usize_in(1, 40) {
+            let tok = g.index(lda.num_variables());
+            let topic = g.index(lda.n_topics());
             lda.begin_resample(tok);
             lda.update(tok, topic);
             let total: u32 = (0..3).map(|k| lda.topic_total(k)).sum();
-            prop_assert_eq!(total, n_tokens);
-            prop_assert_eq!(lda.label(tok), topic);
+            assert_eq!(total, n_tokens);
+            assert_eq!(lda.label(tok), topic);
         }
         // Per-topic VT column sums must equal topic totals.
         for k in 0..3 {
             let vt_sum: u32 = (0..20).map(|v| lda.vt(k, v)).sum();
-            prop_assert_eq!(vt_sum, lda.topic_total(k));
+            assert_eq!(vt_sum, lda.topic_total(k));
         }
-    }
+    });
+}
 
-    /// LDA scores are valid positive factor expressions whose reference
-    /// values are finite.
-    #[test]
-    fn lda_scores_are_positive_factors(seed in any::<u64>(), ti in any::<prop::sample::Index>()) {
+/// `scores_into` (the buffer-recycling hot-path API) produces exactly what
+/// `scores` produces, for every model family, even when the output buffer
+/// holds stale entries from a different variable or model.
+#[test]
+fn scores_into_matches_scores() {
+    check("scores_into_matches_scores", 48, |g| {
+        let mrf = arb_grid(g);
+        let bn = coopmc_models::bn::asia();
+        let corpus = synthetic_corpus(&CorpusSpec {
+            n_docs: 4,
+            n_vocab: 16,
+            n_topics: 3,
+            doc_len: 8,
+            topics_per_doc: 2,
+            seed: g.u64(),
+        });
+        let mut lda = Lda::new(&corpus, 3, 0.5, 0.1);
+        lda.randomize_topics(g.u64());
+        let models: Vec<&dyn GibbsModel> = vec![&mrf, &bn, &lda];
+        // One reused (deliberately dirty) buffer across all models/vars.
+        let mut recycled = Vec::new();
+        for m in models {
+            for _ in 0..6 {
+                let var = g.index(m.num_variables());
+                let mut fresh = Vec::new();
+                m.scores(var, &mut fresh);
+                m.scores_into(var, &mut recycled);
+                assert_eq!(fresh, recycled);
+            }
+        }
+    });
+}
+
+#[test]
+fn lda_scores_are_positive_factors() {
+    check("lda_scores_are_positive_factors", 64, |g| {
         let corpus = synthetic_corpus(&CorpusSpec {
             n_docs: 4,
             n_vocab: 16,
             n_topics: 4,
             doc_len: 8,
             topics_per_doc: 2,
-            seed,
+            seed: g.u64(),
         });
         let mut lda = Lda::new(&corpus, 4, 0.5, 0.1);
-        let tok = ti.index(lda.num_variables());
+        let tok = g.index(lda.num_variables());
         lda.begin_resample(tok);
         let mut out = Vec::new();
         lda.scores(tok, &mut out);
         lda.update(tok, 0);
-        prop_assert_eq!(out.len(), 4);
+        assert_eq!(out.len(), 4);
         for s in &out {
             let v = s.reference_value();
-            prop_assert!(v.is_finite() && v > 0.0, "score {v}");
+            assert!(v.is_finite() && v > 0.0, "score {v}");
         }
-    }
+    });
 }

@@ -31,11 +31,20 @@ impl GaloisLfsr {
     /// `width`.
     pub fn new(width: u32, taps: u64, seed: u64) -> Self {
         assert!((2..=64).contains(&width), "LFSR width must be in 2..=64");
-        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         assert_eq!(taps & !mask, 0, "taps exceed LFSR width");
         assert_ne!(taps & mask, 0, "taps must be non-empty");
         let state = seed & mask;
-        Self { state: if state == 0 { 1 } else { state }, mask, taps, width }
+        Self {
+            state: if state == 0 { 1 } else { state },
+            mask,
+            taps,
+            width,
+        }
     }
 
     /// A 32-bit maximal-length Galois LFSR (polynomial
@@ -75,7 +84,8 @@ impl HwRng for GaloisLfsr {
         let mut out = 0u64;
         let mut filled = 0;
         while filled < 64 {
-            out = (out << self.width.min(64 - filled)) | (self.step() >> (self.width - self.width.min(64 - filled)));
+            out = (out << self.width.min(64 - filled))
+                | (self.step() >> (self.width - self.width.min(64 - filled)));
             filled += self.width.min(64 - filled);
         }
         out
@@ -105,11 +115,20 @@ impl FibonacciLfsr {
     /// `width`.
     pub fn new(width: u32, taps: u64, seed: u64) -> Self {
         assert!((2..=64).contains(&width), "LFSR width must be in 2..=64");
-        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         assert_eq!(taps & !mask, 0, "taps exceed LFSR width");
         assert_ne!(taps & mask, 0, "taps must be non-empty");
         let state = seed & mask;
-        Self { state: if state == 0 { 1 } else { state }, taps, mask, width }
+        Self {
+            state: if state == 0 { 1 } else { state },
+            taps,
+            mask,
+            width,
+        }
     }
 
     /// A 16-bit maximal-length Fibonacci LFSR (taps at 16, 15, 13, 4 —

@@ -109,7 +109,12 @@ mod tests {
     /// key.
     #[test]
     fn known_answer_zero_inputs() {
-        let rng = Philox4x32 { counter: [0; 4], key: [0; 2], buffer: [0; 4], cursor: 4 };
+        let rng = Philox4x32 {
+            counter: [0; 4],
+            key: [0; 2],
+            buffer: [0; 4],
+            cursor: 4,
+        };
         let block = rng.block();
         assert_eq!(block, [0x6627_E8D5, 0xE169_C58D, 0xBC57_AC4C, 0x9B00_DBD8]);
     }

@@ -64,8 +64,10 @@ mod tests {
             counts[(rng.next_f64() * bins as f64) as usize] += 1;
         }
         let expected = draws as f64 / bins as f64;
-        let chi2: f64 =
-            counts.iter().map(|&c| (c as f64 - expected).powi(2) / expected).sum();
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| (c as f64 - expected).powi(2) / expected)
+            .sum();
         // 15 degrees of freedom; 0.999 quantile ~ 37.7. Generous bound to
         // stay deterministic and non-flaky.
         assert!(chi2 < 45.0, "chi-square {chi2} too large");

@@ -16,7 +16,13 @@ impl XorShift64Star {
     /// Create a generator from `seed`. A zero seed (which would be a fixed
     /// point) is remapped to a non-zero constant.
     pub fn new(seed: u64) -> Self {
-        Self { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+        Self {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
     }
 }
 

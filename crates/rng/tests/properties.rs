@@ -1,12 +1,13 @@
-//! Property-based tests for the hardware RNG substrate.
+//! Property-based tests for the hardware RNG substrate (deterministic
+//! generator harness from `coopmc-testkit`).
 
 use coopmc_rng::{FibonacciLfsr, GaloisLfsr, HwRng, Philox4x32, SplitMix64, XorShift64Star};
-use proptest::prelude::*;
+use coopmc_testkit::check;
 
-proptest! {
-    /// Every generator keeps its uniform draws in [0, 1) for any seed.
-    #[test]
-    fn unit_interval_for_all_generators(seed in any::<u64>()) {
+#[test]
+fn unit_interval_for_all_generators() {
+    check("unit_interval_for_all_generators", 64, |g| {
+        let seed = g.u64();
         let mut gens: Vec<Box<dyn HwRng>> = vec![
             Box::new(SplitMix64::new(seed)),
             Box::new(XorShift64Star::new(seed)),
@@ -14,50 +15,51 @@ proptest! {
             Box::new(FibonacciLfsr::new_16(seed)),
             Box::new(Philox4x32::new(seed)),
         ];
-        for g in &mut gens {
+        for r in &mut gens {
             for _ in 0..50 {
-                let u = g.next_f64();
-                prop_assert!((0.0..1.0).contains(&u));
+                let u = r.next_f64();
+                assert!((0.0..1.0).contains(&u));
             }
         }
-    }
+    });
+}
 
-    /// uniform_index stays in range for any n and seed.
-    #[test]
-    fn uniform_index_in_range(seed in any::<u64>(), n in 1usize..10_000) {
+#[test]
+fn uniform_index_in_range() {
+    check("uniform_index_in_range", 128, |g| {
+        let seed = g.u64();
+        let n = g.usize_in(1, 10_000);
         let mut rng = SplitMix64::new(seed);
         for _ in 0..20 {
-            prop_assert!(rng.uniform_index(n) < n);
+            assert!(rng.uniform_index(n) < n);
         }
-    }
+    });
+}
 
-    /// Identically seeded generators produce identical streams; different
-    /// Philox streams never collide on a prefix.
-    #[test]
-    fn determinism_and_stream_separation(seed in any::<u64>(), s1 in any::<u64>(), s2 in any::<u64>()) {
-        prop_assume!(s1 != s2);
-        let a: Vec<u64> = {
-            let mut g = Philox4x32::with_stream(seed, s1);
-            (0..8).map(|_| g.next_u64()).collect()
+#[test]
+fn determinism_and_stream_separation() {
+    check("determinism_and_stream_separation", 128, |g| {
+        let seed = g.u64();
+        let s1 = g.u64();
+        let s2 = g.u64();
+        if s1 == s2 {
+            return;
+        }
+        let run = |stream: u64| -> Vec<u64> {
+            let mut r = Philox4x32::with_stream(seed, stream);
+            (0..8).map(|_| r.next_u64()).collect()
         };
-        let a2: Vec<u64> = {
-            let mut g = Philox4x32::with_stream(seed, s1);
-            (0..8).map(|_| g.next_u64()).collect()
-        };
-        let b: Vec<u64> = {
-            let mut g = Philox4x32::with_stream(seed, s2);
-            (0..8).map(|_| g.next_u64()).collect()
-        };
-        prop_assert_eq!(&a, &a2);
-        prop_assert_ne!(a, b);
-    }
+        assert_eq!(run(s1), run(s1));
+        assert_ne!(run(s1), run(s2));
+    });
+}
 
-    /// LFSR states never reach zero (the absorbing state) from any seed.
-    #[test]
-    fn lfsr_avoids_zero_state(seed in any::<u64>()) {
-        let mut g = GaloisLfsr::new_32(seed);
+#[test]
+fn lfsr_avoids_zero_state() {
+    check("lfsr_avoids_zero_state", 128, |g| {
+        let mut r = GaloisLfsr::new_32(g.u64());
         for _ in 0..200 {
-            prop_assert_ne!(g.step(), 0);
+            assert_ne!(r.step(), 0);
         }
-    }
+    });
 }

@@ -130,7 +130,10 @@ impl Sampler for AliasSampler {
             };
         }
         let table = AliasTable::build(probs);
-        SampleResult { label: table.sample(rng), cycles: self.latency_cycles(probs.len()) }
+        SampleResult {
+            label: table.sample(rng),
+            cycles: self.latency_cycles(probs.len()),
+        }
     }
 
     fn sample_with_threshold(&self, probs: &[f64], t: f64) -> SampleResult {

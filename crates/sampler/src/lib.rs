@@ -57,6 +57,30 @@ pub struct SampleResult {
     pub cycles: u64,
 }
 
+/// Reusable per-draw working memory for [`Sampler::sample_into`].
+///
+/// The scratch owns whatever buffers a sampler micro-architecture needs to
+/// rebuild per draw (for the tree samplers, the flat [`TreeSum`] node
+/// buffer). Once warmed to the largest distribution seen, subsequent draws
+/// through the same scratch perform **zero heap allocations** — the property
+/// the Gibbs engine's hot path relies on.
+///
+/// A scratch is plain data: create one per sampling thread and pass it to
+/// every draw on that thread. It is not tied to a particular sampler; the
+/// same scratch can serve different `Sampler` impls interchangeably.
+#[derive(Debug, Clone, Default)]
+pub struct SampleScratch {
+    /// Reusable adder-tree storage for the tree-based samplers.
+    pub(crate) tree: TreeSum,
+}
+
+impl SampleScratch {
+    /// Create an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A discrete-distribution sampler micro-architecture.
 ///
 /// `probs` are **unnormalized, non-negative** weights — exactly what the PG
@@ -72,6 +96,27 @@ pub trait Sampler {
     /// Panics if `probs` is empty or contains a negative or non-finite
     /// weight.
     fn sample(&self, probs: &[f64], rng: &mut dyn HwRng) -> SampleResult;
+
+    /// Draw one label, reusing `scratch` for any per-draw working memory.
+    ///
+    /// Statistically and bit-for-bit identical to [`Sampler::sample`] under
+    /// the same RNG state; the only difference is allocation behaviour —
+    /// a warmed scratch makes the draw allocation-free. The default
+    /// implementation simply delegates to `sample` (correct for samplers
+    /// that need no working memory).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Sampler::sample`].
+    fn sample_into(
+        &self,
+        probs: &[f64],
+        rng: &mut dyn HwRng,
+        scratch: &mut SampleScratch,
+    ) -> SampleResult {
+        let _ = scratch;
+        self.sample(probs, rng)
+    }
 
     /// Deterministic core: draw with an explicit threshold
     /// `t ∈ [0, total)`. Exposed so different micro-architectures can be
@@ -101,6 +146,15 @@ impl<S: Sampler + ?Sized> Sampler for Box<S> {
         (**self).sample(probs, rng)
     }
 
+    fn sample_into(
+        &self,
+        probs: &[f64],
+        rng: &mut dyn HwRng,
+        scratch: &mut SampleScratch,
+    ) -> SampleResult {
+        (**self).sample_into(probs, rng, scratch)
+    }
+
     fn sample_with_threshold(&self, probs: &[f64], t: f64) -> SampleResult {
         (**self).sample_with_threshold(probs, t)
     }
@@ -124,7 +178,10 @@ impl<S: Sampler + ?Sized> Sampler for Box<S> {
 ///
 /// Panics if `probs` is empty or has a negative/non-finite element.
 pub(crate) fn validate(probs: &[f64]) -> f64 {
-    assert!(!probs.is_empty(), "sampler requires a non-empty distribution");
+    assert!(
+        !probs.is_empty(),
+        "sampler requires a non-empty distribution"
+    );
     let mut total = 0.0;
     for (i, &p) in probs.iter().enumerate() {
         assert!(p.is_finite() && p >= 0.0, "invalid weight {p} at index {i}");
@@ -189,7 +246,11 @@ mod tests {
         for s in samplers() {
             for _ in 0..500 {
                 let l = s.sample(&probs, &mut rng).label;
-                assert!(l == 1 || l == 3, "{} selected zero-weight label {l}", s.name());
+                assert!(
+                    l == 1 || l == 3,
+                    "{} selected zero-weight label {l}",
+                    s.name()
+                );
             }
         }
     }
@@ -203,7 +264,11 @@ mod tests {
             for _ in 0..400 {
                 seen[s.sample(&probs, &mut rng).label] = true;
             }
-            assert!(seen.iter().all(|&b| b), "{} missed labels: {seen:?}", s.name());
+            assert!(
+                seen.iter().all(|&b| b),
+                "{} missed labels: {seen:?}",
+                s.name()
+            );
         }
     }
 
@@ -227,7 +292,11 @@ mod tests {
                 })
                 .sum();
             // 3 dof, 0.999 quantile ~ 16.3; generous deterministic bound.
-            assert!(chi2 < 20.0, "{}: chi2 = {chi2}, counts {counts:?}", s.name());
+            assert!(
+                chi2 < 20.0,
+                "{}: chi2 = {chi2}, counts {counts:?}",
+                s.name()
+            );
         }
     }
 
@@ -260,7 +329,10 @@ mod tests {
         let tree = TreeSampler::new();
         let s64 = seq.latency_cycles(64) as f64 / tree.latency_cycles(64) as f64;
         let s128 = seq.latency_cycles(128) as f64 / tree.latency_cycles(128) as f64;
-        assert!(s64 > 8.0 && s64 < 10.0, "64-label speedup {s64} (paper: 8.7x)");
+        assert!(
+            s64 > 8.0 && s64 < 10.0,
+            "64-label speedup {s64} (paper: 8.7x)"
+        );
         assert!(s128 > s64, "speedup must grow with label count");
     }
 

@@ -2,7 +2,9 @@
 
 use coopmc_rng::HwRng;
 
-use crate::{uniform_fallback, validate, SampleResult, Sampler, TreeSampler, TreeSum};
+use crate::{
+    uniform_fallback, validate, SampleResult, SampleScratch, Sampler, TreeSampler, TreeSum,
+};
 
 /// TreeSampler with shift registers between corresponding TreeSum and
 /// TraverseTree layers (paper §III-D, last paragraph).
@@ -20,7 +22,9 @@ pub struct PipeTreeSampler {
 impl PipeTreeSampler {
     /// Create a pipelined tree sampler.
     pub fn new() -> Self {
-        Self { inner: TreeSampler::new() }
+        Self {
+            inner: TreeSampler::new(),
+        }
     }
 
     /// Sample one label from each distribution in `batch`, modelling the
@@ -31,14 +35,12 @@ impl PipeTreeSampler {
     /// # Panics
     ///
     /// Panics if `batch` is empty or any distribution is invalid.
-    pub fn sample_batch(
-        &self,
-        batch: &[&[f64]],
-        rng: &mut dyn HwRng,
-    ) -> (Vec<usize>, u64) {
+    pub fn sample_batch(&self, batch: &[&[f64]], rng: &mut dyn HwRng) -> (Vec<usize>, u64) {
         assert!(!batch.is_empty(), "batch must be non-empty");
-        let labels: Vec<usize> =
-            batch.iter().map(|probs| self.sample(probs, rng).label).collect();
+        let labels: Vec<usize> = batch
+            .iter()
+            .map(|probs| self.sample(probs, rng).label)
+            .collect();
         let n_max = batch.iter().map(|p| p.len()).max().unwrap();
         let cycles = self.latency_cycles(n_max) + (batch.len() as u64 - 1);
         (labels, cycles)
@@ -58,12 +60,40 @@ impl Sampler for PipeTreeSampler {
         self.sample_with_threshold(probs, t)
     }
 
+    fn sample_into(
+        &self,
+        probs: &[f64],
+        rng: &mut dyn HwRng,
+        scratch: &mut SampleScratch,
+    ) -> SampleResult {
+        let total = validate(probs);
+        if total == 0.0 {
+            return SampleResult {
+                label: uniform_fallback(probs.len(), rng),
+                cycles: self.latency_cycles(probs.len()),
+            };
+        }
+        let t = total * rng.next_f64();
+        scratch.tree.rebuild(probs);
+        let label = scratch.tree.traverse(t).min(probs.len() - 1);
+        SampleResult {
+            label,
+            cycles: self.latency_cycles(probs.len()),
+        }
+    }
+
     fn sample_with_threshold(&self, probs: &[f64], t: f64) -> SampleResult {
         let total = validate(probs);
-        assert!((0.0..total.max(f64::MIN_POSITIVE)).contains(&t), "threshold out of range");
+        assert!(
+            (0.0..total.max(f64::MIN_POSITIVE)).contains(&t),
+            "threshold out of range"
+        );
         let tree = TreeSum::build(probs);
         let label = tree.traverse(t).min(probs.len() - 1);
-        SampleResult { label, cycles: self.latency_cycles(probs.len()) }
+        SampleResult {
+            label,
+            cycles: self.latency_cycles(probs.len()),
+        }
     }
 
     fn latency_cycles(&self, n: usize) -> u64 {

@@ -37,7 +37,10 @@ impl Sampler for SequentialSampler {
 
     fn sample_with_threshold(&self, probs: &[f64], t: f64) -> SampleResult {
         let total = validate(probs);
-        assert!((0.0..total.max(f64::MIN_POSITIVE)).contains(&t), "threshold out of range");
+        assert!(
+            (0.0..total.max(f64::MIN_POSITIVE)).contains(&t),
+            "threshold out of range"
+        );
         let mut acc = 0.0;
         let mut label = probs.len() - 1;
         for (i, &p) in probs.iter().enumerate() {
@@ -47,7 +50,10 @@ impl Sampler for SequentialSampler {
                 break;
             }
         }
-        SampleResult { label, cycles: self.latency_cycles(probs.len()) }
+        SampleResult {
+            label,
+            cycles: self.latency_cycles(probs.len()),
+        }
     }
 
     fn latency_cycles(&self, n: usize) -> u64 {

@@ -2,7 +2,7 @@
 
 use coopmc_rng::HwRng;
 
-use crate::{uniform_fallback, validate, SampleResult, Sampler};
+use crate::{uniform_fallback, validate, SampleResult, SampleScratch, Sampler};
 
 /// The *TreeSum* module: a binary adder tree holding the partial sums of a
 /// probability vector.
@@ -11,46 +11,86 @@ use crate::{uniform_fallback, validate, SampleResult, Sampler};
 /// sums of `2^d` consecutive leaves; the root is the total mass. The layout
 /// is the classic implicit heap used by the RTL: node `(level, i)` sums
 /// leaves `[i·2^level, (i+1)·2^level)`.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// All levels live in **one flat buffer** (leaves first, then each level in
+/// ascending order), so a tree can be [`TreeSum::rebuild`]-ed over a new
+/// probability vector without touching the allocator — the hot-path
+/// requirement of the Gibbs inner loop. A default-constructed `TreeSum` is
+/// empty and must be `rebuild`-ed before use.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TreeSum {
-    /// `levels[d][i]` = sum of the `2^d`-leaf block starting at `i << d`.
-    levels: Vec<Vec<f64>>,
+    /// Flat node storage: `2·padded − 1` values. Leaves occupy
+    /// `[0, padded)`; level `d ≥ 1` starts at `2·padded − (padded >> (d−1))`.
+    nodes: Vec<f64>,
+    /// Number of physical leaf slots (the probability vector zero-padded to
+    /// the next power of two, exactly as the hardware ties off unused
+    /// leaves). Zero only for the empty default tree.
+    padded: usize,
 }
 
 impl TreeSum {
-    /// Build the adder tree over `probs`, zero-padding to the next power of
-    /// two exactly as the hardware ties off unused leaves.
+    /// Build the adder tree over `probs`.
     ///
     /// # Panics
     ///
     /// Panics if `probs` is empty.
     pub fn build(probs: &[f64]) -> Self {
+        let mut tree = TreeSum::default();
+        tree.rebuild(probs);
+        tree
+    }
+
+    /// Recompute the tree over a new probability vector, reusing the node
+    /// buffer. Allocates only when `probs` needs a larger padded size than
+    /// any vector seen before.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs` is empty.
+    pub fn rebuild(&mut self, probs: &[f64]) {
         assert!(!probs.is_empty(), "TreeSum requires at least one leaf");
         let padded = probs.len().next_power_of_two();
-        let mut leaves = probs.to_vec();
-        leaves.resize(padded, 0.0);
-        let mut levels = vec![leaves];
-        while levels.last().unwrap().len() > 1 {
-            let prev = levels.last().unwrap();
-            let next: Vec<f64> = prev.chunks(2).map(|c| c[0] + c[1]).collect();
-            levels.push(next);
+        self.padded = padded;
+        self.nodes.resize(2 * padded - 1, 0.0);
+        self.nodes[..probs.len()].copy_from_slice(probs);
+        self.nodes[probs.len()..padded].fill(0.0);
+        let mut src = 0usize;
+        for level in 1..=self.depth() {
+            let dst = self.level_offset(level);
+            let width = padded >> level;
+            for i in 0..width {
+                self.nodes[dst + i] = self.nodes[src + 2 * i] + self.nodes[src + 2 * i + 1];
+            }
+            src = dst;
         }
-        Self { levels }
+    }
+
+    /// Start of `level` within the flat node buffer.
+    fn level_offset(&self, level: usize) -> usize {
+        if level == 0 {
+            0
+        } else {
+            2 * self.padded - (self.padded >> (level - 1))
+        }
     }
 
     /// Total probability mass (the root node).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty (default-constructed, never rebuilt) tree.
     pub fn total(&self) -> f64 {
-        *self.levels.last().unwrap().first().unwrap()
+        *self.nodes.last().expect("empty TreeSum")
     }
 
     /// Number of tree levels above the leaves (`⌈log₂ N⌉`).
     pub fn depth(&self) -> usize {
-        self.levels.len() - 1
+        self.padded.trailing_zeros() as usize
     }
 
     /// Number of physical leaf slots (padded size).
     pub fn leaf_count(&self) -> usize {
-        self.levels[0].len()
+        self.padded
     }
 
     /// Number of adder nodes (`leaf_count - 1`).
@@ -64,7 +104,12 @@ impl TreeSum {
     ///
     /// Panics if `level` or `index` is out of range.
     pub fn node(&self, level: usize, index: usize) -> f64 {
-        self.levels[level][index]
+        assert!(level <= self.depth(), "level {level} out of range");
+        assert!(
+            index < self.padded >> level,
+            "index {index} out of range at level {level}"
+        );
+        self.nodes[self.level_offset(level) + index]
     }
 
     /// The *TraverseTree* walk: descend from the root comparing the carried
@@ -72,8 +117,8 @@ impl TreeSum {
     /// subtract `left` and go right (Fig. 8). Returns the selected leaf.
     pub fn traverse(&self, mut t: f64) -> usize {
         let mut index = 0usize;
-        for level in (1..self.levels.len()).rev() {
-            let left = self.levels[level - 1][index * 2];
+        for level in (1..=self.depth()).rev() {
+            let left = self.nodes[self.level_offset(level - 1) + index * 2];
             if t < left {
                 index *= 2;
             } else {
@@ -104,6 +149,17 @@ impl TreeSampler {
 
 impl Sampler for TreeSampler {
     fn sample(&self, probs: &[f64], rng: &mut dyn HwRng) -> SampleResult {
+        // Thin wrapper over the scratch-reusing hot path.
+        let mut scratch = SampleScratch::new();
+        self.sample_into(probs, rng, &mut scratch)
+    }
+
+    fn sample_into(
+        &self,
+        probs: &[f64],
+        rng: &mut dyn HwRng,
+        scratch: &mut SampleScratch,
+    ) -> SampleResult {
         let total = validate(probs);
         if total == 0.0 {
             return SampleResult {
@@ -113,15 +169,26 @@ impl Sampler for TreeSampler {
         }
         // ThresholdGen: total mass times a uniform draw from the PRNG.
         let t = total * rng.next_f64();
-        self.sample_with_threshold(probs, t)
+        scratch.tree.rebuild(probs);
+        let label = scratch.tree.traverse(t).min(probs.len() - 1);
+        SampleResult {
+            label,
+            cycles: self.latency_cycles(probs.len()),
+        }
     }
 
     fn sample_with_threshold(&self, probs: &[f64], t: f64) -> SampleResult {
         let total = validate(probs);
-        assert!((0.0..total.max(f64::MIN_POSITIVE)).contains(&t), "threshold out of range");
+        assert!(
+            (0.0..total.max(f64::MIN_POSITIVE)).contains(&t),
+            "threshold out of range"
+        );
         let tree = TreeSum::build(probs);
         let label = tree.traverse(t).min(probs.len() - 1);
-        SampleResult { label, cycles: self.latency_cycles(probs.len()) }
+        SampleResult {
+            label,
+            cycles: self.latency_cycles(probs.len()),
+        }
     }
 
     fn latency_cycles(&self, n: usize) -> u64 {
@@ -137,6 +204,7 @@ impl Sampler for TreeSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use coopmc_rng::SplitMix64;
 
     #[test]
     fn tree_sum_totals_and_structure() {
@@ -154,6 +222,28 @@ mod tests {
         assert_eq!(t.leaf_count(), 4);
         assert_eq!(t.node(0, 3), 0.0);
         assert_eq!(t.total(), 6.0);
+    }
+
+    #[test]
+    fn rebuild_reuses_buffer_and_matches_build() {
+        let mut tree = TreeSum::build(&[0.5; 64]);
+        let cap = {
+            tree.rebuild(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+            tree.nodes.capacity()
+        };
+        // A same-or-smaller vector must not grow the buffer.
+        tree.rebuild(&[0.2, 0.3, 0.5]);
+        assert_eq!(tree.nodes.capacity(), cap);
+        assert_eq!(tree, TreeSum::build(&[0.2, 0.3, 0.5]));
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let t = TreeSum::build(&[3.5]);
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.leaf_count(), 1);
+        assert_eq!(t.total(), 3.5);
+        assert_eq!(t.traverse(1.0), 0);
     }
 
     #[test]
@@ -175,6 +265,20 @@ mod tests {
         for k in 0..100 {
             let t = 0.999999 * (k as f64) / 100.0;
             assert!(tree.traverse(t) < 3, "landed on padding for t={t}");
+        }
+    }
+
+    #[test]
+    fn sample_into_agrees_with_threshold_core() {
+        let probs = [0.05, 0.3, 0.15, 0.25, 0.25];
+        let sampler = TreeSampler::new();
+        let mut scratch = SampleScratch::new();
+        let mut rng_a = SplitMix64::new(99);
+        let mut rng_b = SplitMix64::new(99);
+        for _ in 0..100 {
+            let a = sampler.sample(&probs, &mut rng_a);
+            let b = sampler.sample_into(&probs, &mut rng_b, &mut scratch);
+            assert_eq!(a, b);
         }
     }
 

@@ -1,96 +1,140 @@
 //! Property-based tests: the three sampler micro-architectures are
-//! statistically identical implementations of CDF-inversion sampling.
+//! statistically identical implementations of CDF-inversion sampling
+//! (deterministic generator harness from `coopmc-testkit`).
 
 use coopmc_rng::SplitMix64;
-use coopmc_sampler::{PipeTreeSampler, Sampler, SequentialSampler, TreeSampler, TreeSum};
-use proptest::prelude::*;
+use coopmc_sampler::{
+    PipeTreeSampler, SampleScratch, Sampler, SequentialSampler, TreeSampler, TreeSum,
+};
+use coopmc_testkit::{check, Gen};
 
-fn arb_probs() -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(0.0f64..10.0, 1..130)
-        .prop_filter("need some mass", |v| v.iter().sum::<f64>() > 0.0)
-}
-
-proptest! {
-    /// Tree traversal equals the sequential scan for every threshold —
-    /// the micro-architectures implement the same function.
-    #[test]
-    fn tree_equals_sequential(probs in arb_probs(), u in 0.0f64..0.9999) {
-        let total: f64 = probs.iter().sum();
-        let t = u * total;
-        let seq = SequentialSampler::new().sample_with_threshold(&probs, t).label;
-        let tree = TreeSampler::new().sample_with_threshold(&probs, t).label;
-        let pipe = PipeTreeSampler::new().sample_with_threshold(&probs, t).label;
-        prop_assert_eq!(seq, tree);
-        prop_assert_eq!(seq, pipe);
-    }
-
-    /// The selected label always has positive weight.
-    #[test]
-    fn selected_label_has_mass(probs in arb_probs(), seed in any::<u64>()) {
-        let mut rng = SplitMix64::new(seed);
-        for s in [&TreeSampler::new() as &dyn Sampler, &SequentialSampler::new()] {
-            let l = s.sample(&probs, &mut rng).label;
-            prop_assert!(probs[l] > 0.0, "label {l} has zero weight");
+fn arb_probs(g: &mut Gen) -> Vec<f64> {
+    loop {
+        let v = g.vec_f64(1, 130, 0.0, 10.0);
+        if v.iter().sum::<f64>() > 0.0 {
+            return v;
         }
     }
+}
 
-    /// TreeSum's root equals the plain sum and every internal node equals
-    /// the sum of its children.
-    #[test]
-    fn tree_sum_is_consistent(probs in arb_probs()) {
+#[test]
+fn tree_equals_sequential() {
+    check("tree_equals_sequential", 256, |g| {
+        let probs = arb_probs(g);
+        let total: f64 = probs.iter().sum();
+        let t = g.f64_in(0.0, 0.9999) * total;
+        let seq = SequentialSampler::new()
+            .sample_with_threshold(&probs, t)
+            .label;
+        let tree = TreeSampler::new().sample_with_threshold(&probs, t).label;
+        let pipe = PipeTreeSampler::new()
+            .sample_with_threshold(&probs, t)
+            .label;
+        assert_eq!(seq, tree);
+        assert_eq!(seq, pipe);
+    });
+}
+
+#[test]
+fn selected_label_has_mass() {
+    check("selected_label_has_mass", 256, |g| {
+        let probs = arb_probs(g);
+        let mut rng = SplitMix64::new(g.u64());
+        for s in [
+            &TreeSampler::new() as &dyn Sampler,
+            &SequentialSampler::new(),
+        ] {
+            let l = s.sample(&probs, &mut rng).label;
+            assert!(probs[l] > 0.0, "label {l} has zero weight");
+        }
+    });
+}
+
+#[test]
+fn tree_sum_is_consistent() {
+    check("tree_sum_is_consistent", 256, |g| {
+        let probs = arb_probs(g);
         let tree = TreeSum::build(&probs);
         let total: f64 = probs.iter().sum();
-        prop_assert!((tree.total() - total).abs() < 1e-9 * total.max(1.0));
+        assert!((tree.total() - total).abs() < 1e-9 * total.max(1.0));
         for level in 1..=tree.depth() {
             let width = tree.leaf_count() >> level;
             for i in 0..width {
                 let parent = tree.node(level, i);
                 let kids = tree.node(level - 1, 2 * i) + tree.node(level - 1, 2 * i + 1);
-                prop_assert!((parent - kids).abs() < 1e-9);
+                assert!((parent - kids).abs() < 1e-9);
             }
         }
-    }
+    });
+}
 
-    /// Latency laws: sequential is linear, tree is logarithmic, and the
-    /// crossover is monotone.
-    #[test]
-    fn latency_laws(n in 2usize..4096) {
+#[test]
+fn latency_laws() {
+    check("latency_laws", 256, |g| {
+        let n = g.usize_in(2, 4096);
         let seq = SequentialSampler::new();
         let tree = TreeSampler::new();
-        prop_assert_eq!(seq.latency_cycles(n), 2 * n as u64 + 1);
+        assert_eq!(seq.latency_cycles(n), 2 * n as u64 + 1);
         let depth = n.next_power_of_two().trailing_zeros() as u64;
-        prop_assert_eq!(tree.latency_cycles(n), 2 * depth + 3);
-        prop_assert!(tree.latency_cycles(n) <= seq.latency_cycles(n));
-    }
+        assert_eq!(tree.latency_cycles(n), 2 * depth + 3);
+        assert!(tree.latency_cycles(n) <= seq.latency_cycles(n));
+    });
+}
 
-    /// The alias table encodes exactly the input distribution, for any
-    /// positive weight vector.
-    #[test]
-    fn alias_table_encodes_exactly(
-        probs in prop::collection::vec(0.0f64..10.0, 2..64)
-            .prop_filter("mass", |v| v.iter().sum::<f64>() > 1e-6),
-    ) {
+#[test]
+fn alias_table_encodes_exactly() {
+    check("alias_table_encodes_exactly", 128, |g| {
+        let probs = {
+            let v = g.vec_f64(2, 64, 0.0, 10.0);
+            if v.iter().sum::<f64>() <= 1e-6 {
+                return;
+            }
+            v
+        };
         let table = coopmc_sampler::AliasTable::build(&probs);
         let total: f64 = probs.iter().sum();
         let encoded = table.encoded_distribution();
         for (p, e) in probs.iter().zip(&encoded) {
-            prop_assert!((p / total - e).abs() < 1e-9, "want {} got {e}", p / total);
+            assert!((p / total - e).abs() < 1e-9, "want {} got {e}", p / total);
         }
-    }
+    });
+}
 
-    /// Thresholds inside a label's CDF segment always return that label.
-    #[test]
-    fn threshold_segment_consistency(
-        probs in prop::collection::vec(0.01f64..5.0, 2..40),
-        idx in any::<prop::sample::Index>(),
-        frac in 0.0f64..0.999,
-    ) {
-        let i = idx.index(probs.len());
+#[test]
+fn threshold_segment_consistency() {
+    check("threshold_segment_consistency", 256, |g| {
+        let probs = g.vec_f64(2, 40, 0.01, 5.0);
+        let i = g.index(probs.len());
+        let frac = g.f64_in(0.0, 0.999);
         let before: f64 = probs[..i].iter().sum();
         let t = before + probs[i] * frac;
         let got = TreeSampler::new().sample_with_threshold(&probs, t).label;
-        prop_assert_eq!(got, i);
-    }
+        assert_eq!(got, i);
+    });
+}
+
+/// `sample_into` (the scratch-reusing hot-path API) draws exactly the same
+/// label stream as the allocating `sample` under identical RNG state.
+#[test]
+fn sample_into_matches_sample() {
+    check("sample_into_matches_sample", 128, |g| {
+        let probs = arb_probs(g);
+        let seed = g.u64();
+        let mut scratch = SampleScratch::new();
+        for s in [
+            &TreeSampler::new() as &dyn Sampler,
+            &SequentialSampler::new(),
+            &PipeTreeSampler::new(),
+        ] {
+            let mut rng_a = SplitMix64::new(seed);
+            let mut rng_b = SplitMix64::new(seed);
+            for _ in 0..16 {
+                let plain = s.sample(&probs, &mut rng_a);
+                let scratched = s.sample_into(&probs, &mut rng_b, &mut scratch);
+                assert_eq!(plain, scratched, "{} diverged", s.name());
+            }
+        }
+    });
 }
 
 /// A deterministic empirical check that the tree sampler's draws follow the

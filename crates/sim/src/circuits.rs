@@ -38,7 +38,10 @@ impl NormTreeCircuit {
     ///
     /// Panics if `width` is not a power of two or is below 2.
     pub fn new(width: usize) -> Self {
-        assert!(width >= 2 && width.is_power_of_two(), "width must be a power of two >= 2");
+        assert!(
+            width >= 2 && width.is_power_of_two(),
+            "width must be a power of two >= 2"
+        );
         let mut n = Netlist::new();
         let inputs: Vec<Wire> = (0..width).map(|_| n.input()).collect();
         let mut layer = inputs.clone();
@@ -52,7 +55,12 @@ impl NormTreeCircuit {
             layer = next;
             depth += 1;
         }
-        Self { netlist: n, inputs, output: layer[0], depth }
+        Self {
+            netlist: n,
+            inputs,
+            output: layer[0],
+            depth,
+        }
     }
 
     /// Pipeline depth in cycles.
@@ -73,8 +81,12 @@ impl NormTreeCircuit {
     /// Panics if `values` has the wrong width.
     pub fn step(&mut self, values: &[f64]) -> f64 {
         assert_eq!(values.len(), self.inputs.len(), "input width mismatch");
-        let inputs: Vec<(Wire, f64)> =
-            self.inputs.iter().copied().zip(values.iter().copied()).collect();
+        let inputs: Vec<(Wire, f64)> = self
+            .inputs
+            .iter()
+            .copied()
+            .zip(values.iter().copied())
+            .collect();
         self.netlist.step(&inputs);
         self.netlist.value(self.output)
     }
@@ -99,7 +111,10 @@ impl PgCoreCircuit {
     ///
     /// Panics if `lanes` is not a power of two ≥ 2 or `factors == 0`.
     pub fn new(lanes: usize, factors: usize, size_lut: usize, bit_lut: u32) -> Self {
-        assert!(lanes >= 2 && lanes.is_power_of_two(), "lanes must be a power of two >= 2");
+        assert!(
+            lanes >= 2 && lanes.is_power_of_two(),
+            "lanes must be a power of two >= 2"
+        );
         assert!(factors > 0, "need at least one factor per lane");
         let table = Rc::new(TableExp::new(size_lut, bit_lut));
         let mut n = Netlist::new();
@@ -131,7 +146,11 @@ impl PgCoreCircuit {
                 n.lut(shifted, Rc::new(move |x| t.exp(x)))
             })
             .collect();
-        Self { netlist: n, factor_inputs, outputs }
+        Self {
+            netlist: n,
+            factor_inputs,
+            outputs,
+        }
     }
 
     /// Number of lanes.
@@ -151,14 +170,21 @@ impl PgCoreCircuit {
     ///
     /// Panics on shape mismatch.
     pub fn evaluate(&mut self, factors: &[Vec<f64>]) -> Vec<f64> {
-        assert_eq!(factors.len(), self.factor_inputs.len(), "lane count mismatch");
+        assert_eq!(
+            factors.len(),
+            self.factor_inputs.len(),
+            "lane count mismatch"
+        );
         let mut inputs = Vec::new();
         for (lane, vals) in self.factor_inputs.iter().zip(factors) {
             assert_eq!(lane.len(), vals.len(), "factor count mismatch");
             inputs.extend(lane.iter().copied().zip(vals.iter().copied()));
         }
         self.netlist.step(&inputs);
-        self.outputs.iter().map(|&w| self.netlist.value(w)).collect()
+        self.outputs
+            .iter()
+            .map(|&w| self.netlist.value(w))
+            .collect()
     }
 }
 
@@ -210,9 +236,8 @@ impl TreeSamplerCircuit {
         let mut bits: Vec<Wire> = Vec::with_capacity(depth);
         for k in 0..depth {
             let level = depth - 1 - k; // children level of the current node
-            // Left children of the 2^k candidate nodes: even indices.
-            let candidates: Vec<Wire> =
-                (0..(1 << k)).map(|j| sums[level][2 * j]).collect();
+                                       // Left children of the 2^k candidate nodes: even indices.
+            let candidates: Vec<Wire> = (0..(1 << k)).map(|j| sums[level][2 * j]).collect();
             let left = mux_select(&mut n, &candidates, &bits);
             let go_right = n.ge(t, left);
             let t_minus = n.sub(t, left);
@@ -226,7 +251,14 @@ impl TreeSamplerCircuit {
             let contrib = n.mux(b, zero, weight);
             label = n.add(label, contrib);
         }
-        Self { netlist: n, leaves, threshold, label_out: label, total_out: total, n_labels }
+        Self {
+            netlist: n,
+            leaves,
+            threshold,
+            label_out: label,
+            total_out: total,
+            n_labels,
+        }
     }
 
     /// Component census.
@@ -242,8 +274,12 @@ impl TreeSamplerCircuit {
     /// `[0, total)`.
     pub fn sample(&mut self, probs: &[f64], t: f64) -> usize {
         assert_eq!(probs.len(), self.n_labels, "distribution size mismatch");
-        let mut inputs: Vec<(Wire, f64)> =
-            self.leaves.iter().copied().zip(probs.iter().copied()).collect();
+        let mut inputs: Vec<(Wire, f64)> = self
+            .leaves
+            .iter()
+            .copied()
+            .zip(probs.iter().copied())
+            .collect();
         inputs.push((self.threshold, t));
         self.netlist.step(&inputs);
         let total = self.netlist.value(self.total_out);
@@ -356,7 +392,14 @@ impl PipeTreeSamplerCircuit {
             label = n.add(label, contrib);
         }
         let latency = 2 * depth;
-        Self { netlist: n, leaves, threshold, label_out: label, n_labels, latency }
+        Self {
+            netlist: n,
+            leaves,
+            threshold,
+            label_out: label,
+            n_labels,
+            latency,
+        }
     }
 
     /// Pipeline latency in cycles from input to label.
@@ -378,8 +421,12 @@ impl PipeTreeSamplerCircuit {
     /// Panics if `probs` has the wrong length.
     pub fn step(&mut self, probs: &[f64], t: f64) -> usize {
         assert_eq!(probs.len(), self.n_labels, "distribution size mismatch");
-        let mut inputs: Vec<(Wire, f64)> =
-            self.leaves.iter().copied().zip(probs.iter().copied()).collect();
+        let mut inputs: Vec<(Wire, f64)> = self
+            .leaves
+            .iter()
+            .copied()
+            .zip(probs.iter().copied())
+            .collect();
         inputs.push((self.threshold, t));
         self.netlist.step(&inputs);
         (self.netlist.value(self.label_out) as usize).min(self.n_labels - 1)
@@ -396,8 +443,13 @@ mod tests {
     fn normtree_pipeline_streams_maxima() {
         let mut tree = NormTreeCircuit::new(4);
         assert_eq!(tree.depth(), 2);
-        let vectors =
-            [[1.0, 5.0, 2.0, 3.0], [9.0, 0.0, 1.0, 2.0], [4.0, 4.0, 8.0, 7.0], [0.0; 4], [0.0; 4]];
+        let vectors = [
+            [1.0, 5.0, 2.0, 3.0],
+            [9.0, 0.0, 1.0, 2.0],
+            [4.0, 4.0, 8.0, 7.0],
+            [0.0; 4],
+            [0.0; 4],
+        ];
         let mut outputs = Vec::new();
         for v in &vectors {
             outputs.push(tree.step(v));
@@ -488,8 +540,9 @@ mod tests {
 
         let pairs: Vec<(Vec<f64>, f64)> = (0..20)
             .map(|k| {
-                let probs: Vec<f64> =
-                    (0..n_labels).map(|i| 0.5 + ((i * 7 + k * 3) % 11) as f64).collect();
+                let probs: Vec<f64> = (0..n_labels)
+                    .map(|i| 0.5 + ((i * 7 + k * 3) % 11) as f64)
+                    .collect();
                 let total: f64 = probs.iter().sum();
                 (probs, total * ((k * 13 % 17) as f64 + 0.5) / 17.5)
             })

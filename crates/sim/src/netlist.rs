@@ -195,7 +195,10 @@ impl Netlist {
 
     /// Census of instantiated components.
     pub fn census(&self) -> ComponentCensus {
-        let mut c = ComponentCensus { registers: self.registers.len(), ..Default::default() };
+        let mut c = ComponentCensus {
+            registers: self.registers.len(),
+            ..Default::default()
+        };
         for comp in &self.components {
             match comp {
                 Component::Add { .. } | Component::Sub { .. } => c.adders += 1,
@@ -239,8 +242,11 @@ impl Netlist {
                     self.values[*out] = self.values[*a].max(self.values[*b])
                 }
                 Component::Ge { a, b, out } => {
-                    self.values[*out] =
-                        if self.values[*a] >= self.values[*b] { 1.0 } else { 0.0 }
+                    self.values[*out] = if self.values[*a] >= self.values[*b] {
+                        1.0
+                    } else {
+                        0.0
+                    }
                 }
                 Component::Mux { sel, lo, hi, out } => {
                     self.values[*out] = if self.values[*sel] >= 0.5 {
@@ -249,14 +255,15 @@ impl Netlist {
                         self.values[*lo]
                     }
                 }
-                Component::Lut { input, out, f } => {
-                    self.values[*out] = f(self.values[*input])
-                }
+                Component::Lut { input, out, f } => self.values[*out] = f(self.values[*input]),
             }
         }
         // Clock edge: all registers latch simultaneously.
-        let latched: Vec<(Wire, f64)> =
-            self.registers.iter().map(|&(d, q)| (q, self.values[d])).collect();
+        let latched: Vec<(Wire, f64)> = self
+            .registers
+            .iter()
+            .map(|&(d, q)| (q, self.values[d]))
+            .collect();
         for (q, v) in latched {
             self.values[q] = v;
         }

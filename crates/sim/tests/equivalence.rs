@@ -1,65 +1,62 @@
 //! Property-based equivalence: the structural circuits compute exactly what
-//! the behavioral models compute, for any input.
+//! the behavioral models compute, for any input (deterministic generator
+//! harness from `coopmc-testkit`).
 
 use coopmc_kernels::dynorm::dynorm_apply;
 use coopmc_kernels::exp::{ExpKernel, TableExp};
 use coopmc_sampler::{Sampler, SequentialSampler, TreeSampler};
 use coopmc_sim::circuits::{NormTreeCircuit, PgCoreCircuit, TreeSamplerCircuit};
-use proptest::prelude::*;
+use coopmc_testkit::check;
 
-proptest! {
-    /// TreeSamplerCircuit ≡ TreeSampler ≡ SequentialSampler under every
-    /// threshold, for arbitrary label counts (including non-powers of two).
-    #[test]
-    fn tree_sampler_circuit_equivalence(
-        probs in prop::collection::vec(0.0f64..8.0, 2..40)
-            .prop_filter("mass", |v| v.iter().sum::<f64>() > 0.0),
-        u in 0.0f64..0.9999,
-    ) {
+#[test]
+fn tree_sampler_circuit_equivalence() {
+    check("tree_sampler_circuit_equivalence", 256, |g| {
+        let probs = g.vec_f64(2, 40, 0.0, 8.0);
         let total: f64 = probs.iter().sum();
-        let t = u * total;
+        if total <= 0.0 {
+            return;
+        }
+        let t = g.f64_in(0.0, 0.9999) * total;
         let mut circuit = TreeSamplerCircuit::new(probs.len());
         let structural = circuit.sample(&probs, t);
         let tree = TreeSampler::new().sample_with_threshold(&probs, t).label;
-        let seq = SequentialSampler::new().sample_with_threshold(&probs, t).label;
-        prop_assert_eq!(structural, tree);
-        prop_assert_eq!(structural, seq);
-    }
+        let seq = SequentialSampler::new()
+            .sample_with_threshold(&probs, t)
+            .label;
+        assert_eq!(structural, tree);
+        assert_eq!(structural, seq);
+    });
+}
 
-    /// PgCoreCircuit ≡ sum → DyNorm → TableExp for arbitrary factor inputs.
-    #[test]
-    fn pg_core_circuit_equivalence(
-        lanes_pow in 1u32..4,
-        factor_matrix in prop::collection::vec(
-            prop::collection::vec(-8.0f64..0.0, 3), 8),
-        size_pow in 3u32..8,
-        bits in 2u32..17,
-    ) {
-        let lanes = 1usize << lanes_pow.max(1);
-        let factors: Vec<Vec<f64>> = factor_matrix.into_iter().take(lanes).collect();
-        prop_assume!(factors.len() == lanes);
-        let size = 1usize << size_pow;
+#[test]
+fn pg_core_circuit_equivalence() {
+    check("pg_core_circuit_equivalence", 128, |g| {
+        let lanes = 1usize << g.u32_in(1, 4);
+        let factors: Vec<Vec<f64>> = (0..lanes)
+            .map(|_| (0..3).map(|_| g.f64_in(-8.0, 0.0)).collect())
+            .collect();
+        let size = 1usize << g.u32_in(3, 8);
+        let bits = g.u32_in(2, 17);
         let mut core = PgCoreCircuit::new(lanes, 3, size, bits);
         let structural = core.evaluate(&factors);
         let mut scores: Vec<f64> = factors.iter().map(|f| f.iter().sum()).collect();
         dynorm_apply(&mut scores, lanes);
         let table = TableExp::new(size, bits);
         let behavioral: Vec<f64> = scores.iter().map(|&s| table.exp(s)).collect();
-        prop_assert_eq!(structural, behavioral);
-    }
+        assert_eq!(structural, behavioral);
+    });
+}
 
-    /// The pipelined NormTreeCircuit streams correct maxima at full rate.
-    #[test]
-    fn normtree_streaming_equivalence(
-        width_pow in 1u32..5,
-        stream in prop::collection::vec(
-            prop::collection::vec(-100.0f64..100.0, 16), 3..10),
-    ) {
-        let width = 1usize << width_pow;
+#[test]
+fn normtree_streaming_equivalence() {
+    check("normtree_streaming_equivalence", 128, |g| {
+        let width = 1usize << g.u32_in(1, 5);
+        let n_vectors = g.usize_in(3, 10);
+        let vectors: Vec<Vec<f64>> = (0..n_vectors)
+            .map(|_| g.vec_f64(width, width + 1, -100.0, 100.0))
+            .collect();
         let mut circuit = NormTreeCircuit::new(width);
         let depth = circuit.depth();
-        let vectors: Vec<Vec<f64>> =
-            stream.iter().map(|v| v[..width].to_vec()).collect();
         let mut outputs = Vec::new();
         for v in &vectors {
             outputs.push(circuit.step(v));
@@ -71,9 +68,9 @@ proptest! {
         for (k, v) in vectors.iter().enumerate() {
             let want = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let got = outputs[k + depth - 1];
-            prop_assert_eq!(got, want, "vector {} mismatched", k);
+            assert_eq!(got, want, "vector {k} mismatched");
         }
-    }
+    });
 }
 
 /// The structural TreeSampler's adder census equals the count the hw area
@@ -97,9 +94,7 @@ fn structural_census_tracks_area_model() {
 #[test]
 fn pg_to_sampler_structural_path() {
     let mut core = PgCoreCircuit::new(8, 2, 64, 8);
-    let factors: Vec<Vec<f64>> = (0..8)
-        .map(|i| vec![-(i as f64) * 0.7, -0.3])
-        .collect();
+    let factors: Vec<Vec<f64>> = (0..8).map(|i| vec![-(i as f64) * 0.7, -0.3]).collect();
     let probs = core.evaluate(&factors);
     let total: f64 = probs.iter().sum();
     let mut sampler = TreeSamplerCircuit::new(8);

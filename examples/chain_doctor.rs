@@ -19,8 +19,7 @@ use coopmc::sampler::TreeSampler;
 fn energy_chain(config: PipelineConfig, seed: u64, sweeps: u64) -> Vec<f64> {
     let app = stereo_matching(32, 24, 7);
     let mut model = app.mrf.clone();
-    let mut engine =
-        GibbsEngine::new(config.build(), TreeSampler::new(), SplitMix64::new(seed));
+    let mut engine = GibbsEngine::new(config.build(), TreeSampler::new(), SplitMix64::new(seed));
     let mut stats = RunStats::default();
     let mut chain = Vec::new();
     for _ in 0..sweeps {
@@ -32,13 +31,13 @@ fn energy_chain(config: PipelineConfig, seed: u64, sweeps: u64) -> Vec<f64> {
 
 fn examine(name: &str, config: PipelineConfig) {
     println!("--- {name} ---");
-    let chains: Vec<Vec<f64>> =
-        (0..4).map(|c| thin(&energy_chain(config, 100 + c, 60), 15, 1)).collect();
+    let chains: Vec<Vec<f64>> = (0..4)
+        .map(|c| thin(&energy_chain(config, 100 + c, 60), 15, 1))
+        .collect();
     let rhat = gelman_rubin(&chains);
     let ess: f64 =
         chains.iter().map(|c| effective_sample_size(c)).sum::<f64>() / chains.len() as f64;
-    let acf1: f64 =
-        chains.iter().map(|c| autocorrelation(c, 1)).sum::<f64>() / chains.len() as f64;
+    let acf1: f64 = chains.iter().map(|c| autocorrelation(c, 1)).sum::<f64>() / chains.len() as f64;
     let geweke: f64 = chains.iter().map(|c| geweke_z(c).abs()).sum::<f64>() / chains.len() as f64;
     println!("  R-hat (4 chains):        {rhat:.3}   (want ~1.0, flag > 1.1)");
     println!("  ESS per 45-sample chain: {ess:.1}");
@@ -53,7 +52,10 @@ fn main() {
         32 * 24
     );
     examine("float32 reference", PipelineConfig::float32());
-    examine("CoopMC 64x8 (the paper's design point)", PipelineConfig::coopmc(64, 8));
+    examine(
+        "CoopMC 64x8 (the paper's design point)",
+        PipelineConfig::coopmc(64, 8),
+    );
     examine("CoopMC 8x2 (starved LUT)", PipelineConfig::coopmc(8, 2));
     println!(
         "\nreading: the paper-point datapath is statistically \

@@ -28,8 +28,7 @@ fn write_pgm(path: &str, labels: &[usize], width: usize, height: usize, n_labels
 
 fn restore(mrf: &GridMrf, config: PipelineConfig, sweeps: u64) -> Vec<usize> {
     let mut model = mrf.clone();
-    let mut engine =
-        GibbsEngine::new(config.build(), TreeSampler::new(), SplitMix64::new(7));
+    let mut engine = GibbsEngine::new(config.build(), TreeSampler::new(), SplitMix64::new(7));
     engine.run(&mut model, sweeps);
     model.labels()
 }
@@ -40,10 +39,20 @@ fn main() {
     fs::create_dir_all("target").expect("target dir");
 
     write_pgm("target/denoise_clean.pgm", &app.clean, w, h, n_labels);
-    write_pgm("target/denoise_noisy.pgm", &app.mrf.labels(), w, h, n_labels);
+    write_pgm(
+        "target/denoise_noisy.pgm",
+        &app.mrf.labels(),
+        w,
+        h,
+        n_labels,
+    );
 
     println!("{:<26} {:>14}", "variant", "MSE vs clean");
-    println!("{:<26} {:>14.1}", "corrupted input", mse(&app.mrf.labels(), &app.clean));
+    println!(
+        "{:<26} {:>14.1}",
+        "corrupted input",
+        mse(&app.mrf.labels(), &app.clean)
+    );
 
     let float = restore(&app.mrf, PipelineConfig::float32(), 120);
     write_pgm("target/denoise_float32.pgm", &float, w, h, n_labels);
@@ -51,11 +60,19 @@ fn main() {
 
     let coop = restore(&app.mrf, PipelineConfig::coopmc(64, 8), 120);
     write_pgm("target/denoise_coopmc.pgm", &coop, w, h, n_labels);
-    println!("{:<26} {:>14.1}", "CoopMC 64x8 Gibbs", mse(&coop, &app.clean));
+    println!(
+        "{:<26} {:>14.1}",
+        "CoopMC 64x8 Gibbs",
+        mse(&coop, &app.clean)
+    );
 
     // Annealed MAP: sharper restoration of the piecewise-smooth scene.
     let mut annealed = app.mrf.clone();
-    let schedule = AnnealingSchedule { beta0: 0.2, rate: 1.08, beta_max: 3.0 };
+    let schedule = AnnealingSchedule {
+        beta0: 0.2,
+        rate: 1.08,
+        beta_max: 3.0,
+    };
     let energy = anneal_mrf(
         &mut annealed,
         PipelineConfig::coopmc(64, 8).build(),
@@ -63,7 +80,13 @@ fn main() {
         120,
         SplitMix64::new(7),
     );
-    write_pgm("target/denoise_annealed.pgm", &annealed.labels(), w, h, n_labels);
+    write_pgm(
+        "target/denoise_annealed.pgm",
+        &annealed.labels(),
+        w,
+        h,
+        n_labels,
+    );
     println!(
         "{:<26} {:>14.1}   (final energy {energy:.0})",
         "CoopMC annealed MAP",

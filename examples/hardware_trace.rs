@@ -39,8 +39,9 @@ fn main() {
     println!("pipelined NormTree (8 lanes) streaming maxima:");
     let mut tree = NormTreeCircuit::new(8);
     let depth = tree.depth();
-    let vectors: Vec<Vec<f64>> =
-        (0..6).map(|k| (0..8).map(|i| -(((i * 5 + k * 3) % 13) as f64)).collect()).collect();
+    let vectors: Vec<Vec<f64>> = (0..6)
+        .map(|k| (0..8).map(|i| -(((i * 5 + k * 3) % 13) as f64)).collect())
+        .collect();
     let mut outs = Vec::new();
     for v in &vectors {
         outs.push(tree.step(v));
@@ -50,7 +51,10 @@ fn main() {
     }
     for (k, v) in vectors.iter().enumerate() {
         let want = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        println!("  cycle {k}: vector max {want:>5}  tree output {:>5}", outs[k + depth - 1]);
+        println!(
+            "  cycle {k}: vector max {want:>5}  tree output {:>5}",
+            outs[k + depth - 1]
+        );
         assert_eq!(outs[k + depth - 1], want);
     }
 
@@ -63,8 +67,9 @@ fn main() {
     println!("  latency: {latency} cycles; steady-state throughput: 1 label/cycle");
     let pairs: Vec<(Vec<f64>, f64)> = (0..8)
         .map(|k| {
-            let probs: Vec<f64> =
-                (0..n_labels).map(|i| 1.0 + ((i * 3 + k) % 7) as f64).collect();
+            let probs: Vec<f64> = (0..n_labels)
+                .map(|i| 1.0 + ((i * 3 + k) % 7) as f64)
+                .collect();
             let total: f64 = probs.iter().sum();
             (probs, total * (k as f64 + 0.5) / 8.5)
         })

@@ -22,7 +22,10 @@ fn main() {
     println!("corrupted input MSE vs clean image: {noisy_mse:.2} (64 gray levels)");
 
     let golden = mrf_golden(&app, 60, 4242);
-    println!("golden (float32, 60 sweeps) MSE vs clean: {:.2}", mse(&golden, &app.clean));
+    println!(
+        "golden (float32, 60 sweeps) MSE vs clean: {:.2}",
+        mse(&golden, &app.clean)
+    );
 
     println!("\nconvergence of normalized MSE (lower is better):");
     println!(

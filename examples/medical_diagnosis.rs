@@ -21,7 +21,10 @@ fn main() {
     println!("evidence: visited Asia = yes, dyspnoea = yes\n");
 
     // Exact posteriors by variable elimination.
-    println!("{:<10} {:>12} {:>12} {:>10}", "node", "exact P(yes)", "gibbs P(yes)", "error");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10}",
+        "node", "exact P(yes)", "gibbs P(yes)", "error"
+    );
     let targets = ["tub", "lung", "bronc", "either", "xray", "smoke"];
 
     // Gibbs estimate through the full CoopMC datapath.

@@ -14,7 +14,12 @@ use coopmc::sampler::{Sampler, TreeSampler};
 fn main() {
     // 1. Build a workload: a 48x32 foreground/background segmentation MRF.
     let app = image_segmentation(48, 32, 42);
-    println!("workload: {} ({} variables, {} labels)", app.name, 48 * 32, 2);
+    println!(
+        "workload: {} ({} variables, {} labels)",
+        app.name,
+        48 * 32,
+        2
+    );
 
     // 2. Produce the golden reference with the vanilla float algorithm.
     let golden = mrf_golden(&app, 60, 999);
@@ -23,9 +28,9 @@ fn main() {
     println!("\n{:<22} {:>16}", "datapath", "normalized MSE");
     for config in [
         PipelineConfig::float32(),
-        PipelineConfig::fixed(8),         // plain 8-bit fixed point: degrades
-        PipelineConfig::fixed_dynorm(8),  // DyNorm rescues it
-        PipelineConfig::coopmc(64, 8),    // full CoopMC: LUT-based kernels
+        PipelineConfig::fixed(8),        // plain 8-bit fixed point: degrades
+        PipelineConfig::fixed_dynorm(8), // DyNorm rescues it
+        PipelineConfig::coopmc(64, 8),   // full CoopMC: LUT-based kernels
     ] {
         let nmse = mrf_converged_nmse(&app, config, 30, 7, &golden);
         println!("{:<22} {:>16.4}", config.build().name(), nmse);

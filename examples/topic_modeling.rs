@@ -42,15 +42,19 @@ fn main() {
 
     // The Fig. 13 axes: converged quality vs LUT precision.
     println!("\nconverged log-likelihood vs TableExp parameters (30 sweeps):");
-    println!("{:<10} {:>12} {:>12} {:>12}", "size_lut", "4-bit", "8-bit", "16-bit");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "size_lut", "4-bit", "8-bit", "16-bit"
+    );
     for size in [16usize, 64, 256] {
         let row: Vec<f64> = [4u32, 8, 16]
             .iter()
-            .map(|&bits| {
-                lda_converged_loglik(&lda, PipelineConfig::coopmc(size, bits), 30, 3)
-            })
+            .map(|&bits| lda_converged_loglik(&lda, PipelineConfig::coopmc(size, bits), 30, 3))
             .collect();
-        println!("{:<10} {:>12.0} {:>12.0} {:>12.0}", size, row[0], row[1], row[2]);
+        println!(
+            "{:<10} {:>12.0} {:>12.0} {:>12.0}",
+            size, row[0], row[1], row[2]
+        );
     }
     let float_ll = lda_converged_loglik(&lda, PipelineConfig::float32(), 30, 3);
     println!("{:<10} {:>38.0}", "float32", float_ll);

@@ -77,10 +77,15 @@ fn parse_pipeline(spec: &str) -> Result<PipelineConfig, String> {
 fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     let mut out = RunArgs::default();
     let mut it = args.iter();
-    out.workload = it.next().ok_or("missing workload name (see `coopmc list`)")?.clone();
+    out.workload = it
+        .next()
+        .ok_or("missing workload name (see `coopmc list`)")?
+        .clone();
     while let Some(flag) = it.next() {
         let value = |it: &mut std::slice::Iter<String>| -> Result<String, String> {
-            it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
         };
         match flag.as_str() {
             "--pipeline" => out.pipeline = parse_pipeline(&value(&mut it)?)?,
@@ -92,15 +97,19 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                 out.sampler = v;
             }
             "--sweeps" => {
-                out.sweeps =
-                    value(&mut it)?.parse().map_err(|_| "bad --sweeps value".to_owned())?
+                out.sweeps = value(&mut it)?
+                    .parse()
+                    .map_err(|_| "bad --sweeps value".to_owned())?
             }
             "--seed" => {
-                out.seed = value(&mut it)?.parse().map_err(|_| "bad --seed value".to_owned())?
+                out.seed = value(&mut it)?
+                    .parse()
+                    .map_err(|_| "bad --seed value".to_owned())?
             }
             "--threads" => {
-                out.threads =
-                    value(&mut it)?.parse().map_err(|_| "bad --threads value".to_owned())?;
+                out.threads = value(&mut it)?
+                    .parse()
+                    .map_err(|_| "bad --threads value".to_owned())?;
                 if out.threads == 0 {
                     return Err("--threads must be at least 1".to_owned());
                 }
@@ -112,9 +121,9 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
 }
 
 fn find_workload(name: &str) -> Option<WorkloadSpec> {
-    all_workloads()
-        .into_iter()
-        .find(|w| w.name.eq_ignore_ascii_case(name) || w.name.to_lowercase().contains(&name.to_lowercase()))
+    all_workloads().into_iter().find(|w| {
+        w.name.eq_ignore_ascii_case(name) || w.name.to_lowercase().contains(&name.to_lowercase())
+    })
 }
 
 fn build_sampler(kind: &str) -> Box<dyn Sampler> {
@@ -127,9 +136,15 @@ fn build_sampler(kind: &str) -> Box<dyn Sampler> {
 }
 
 fn cmd_list() {
-    println!("{:<30} {:>12} {:>8}  (paper scale)", "workload", "#variables", "#labels");
+    println!(
+        "{:<30} {:>12} {:>8}  (paper scale)",
+        "workload", "#variables", "#labels"
+    );
     for w in all_workloads() {
-        println!("{:<30} {:>12} {:>8}", w.name, w.paper_variables, w.paper_labels);
+        println!(
+            "{:<30} {:>12} {:>8}",
+            w.name, w.paper_variables, w.paper_labels
+        );
     }
 }
 
@@ -179,7 +194,11 @@ fn cmd_run(args: RunArgs) -> Result<(), String> {
             }
             println!("{:<14} {:>10}", "node", "P(label 0)");
             for v in 0..net.num_variables() {
-                println!("{:<14} {:>10.4}", net.nodes()[v].name, counter.marginal(v)[0]);
+                println!(
+                    "{:<14} {:>10.4}",
+                    net.nodes()[v].name,
+                    counter.marginal(v)[0]
+                );
             }
         }
         BuiltWorkload::Lda(mut lda) => {
@@ -198,7 +217,10 @@ fn cmd_run(args: RunArgs) -> Result<(), String> {
 
 fn cmd_hw(labels: usize) {
     println!("end-to-end case study at {labels} labels (Table IV model):");
-    println!("{:<12} {:>12} {:>8} {:>8} {:>9}", "version", "area um2", "area%", "power%", "speedup");
+    println!(
+        "{:<12} {:>12} {:>8} {:>8} {:>9}",
+        "version", "area um2", "area%", "power%", "speedup"
+    );
     for (report, area, power, speedup) in case_study_table() {
         println!(
             "{:<12} {:>12.0} {:>7.0}% {:>7.0}% {:>8.2}x",
@@ -212,8 +234,16 @@ fn cmd_hw(labels: usize) {
         assert!(r.compute_bound);
     }
     println!("\nsampler areas at {labels} labels:");
-    for kind in [SamplerKind::Sequential, SamplerKind::Tree, SamplerKind::PipeTree] {
-        println!("  {:<11} {:>10.0} um2", kind.name(), sampler_area(kind, labels, 32).total());
+    for kind in [
+        SamplerKind::Sequential,
+        SamplerKind::Tree,
+        SamplerKind::PipeTree,
+    ] {
+        println!(
+            "  {:<11} {:>10.0} um2",
+            kind.name(),
+            sampler_area(kind, labels, 32).total()
+        );
     }
 }
 
@@ -256,10 +286,19 @@ mod tests {
 
     #[test]
     fn pipeline_specs_parse() {
-        assert_eq!(parse_pipeline("float32").unwrap(), PipelineConfig::float32());
+        assert_eq!(
+            parse_pipeline("float32").unwrap(),
+            PipelineConfig::float32()
+        );
         assert_eq!(parse_pipeline("fixed:8").unwrap(), PipelineConfig::fixed(8));
-        assert_eq!(parse_pipeline("fixed+dn:4").unwrap(), PipelineConfig::fixed_dynorm(4));
-        assert_eq!(parse_pipeline("coopmc:64x8").unwrap(), PipelineConfig::coopmc(64, 8));
+        assert_eq!(
+            parse_pipeline("fixed+dn:4").unwrap(),
+            PipelineConfig::fixed_dynorm(4)
+        );
+        assert_eq!(
+            parse_pipeline("coopmc:64x8").unwrap(),
+            PipelineConfig::coopmc(64, 8)
+        );
         assert!(parse_pipeline("magic").is_err());
         assert!(parse_pipeline("coopmc:64").is_err());
         assert!(parse_pipeline("fixed:x").is_err());
@@ -267,10 +306,18 @@ mod tests {
 
     #[test]
     fn run_args_parse_with_defaults_and_flags() {
-        let args: Vec<String> = ["BN-ASIA", "--sweeps", "100", "--seed", "7", "--sampler", "seq"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args: Vec<String> = [
+            "BN-ASIA",
+            "--sweeps",
+            "100",
+            "--seed",
+            "7",
+            "--sampler",
+            "seq",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let parsed = parse_run_args(&args).unwrap();
         assert_eq!(parsed.workload, "BN-ASIA");
         assert_eq!(parsed.sweeps, 100);

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_dynorm_sharing-bc4663d036f42308.d: crates/bench/src/bin/ablation_dynorm_sharing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_dynorm_sharing-bc4663d036f42308.rmeta: crates/bench/src/bin/ablation_dynorm_sharing.rs Cargo.toml
+
+crates/bench/src/bin/ablation_dynorm_sharing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

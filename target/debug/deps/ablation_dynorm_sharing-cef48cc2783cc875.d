@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_dynorm_sharing-cef48cc2783cc875.d: crates/bench/src/bin/ablation_dynorm_sharing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_dynorm_sharing-cef48cc2783cc875.rmeta: crates/bench/src/bin/ablation_dynorm_sharing.rs Cargo.toml
+
+crates/bench/src/bin/ablation_dynorm_sharing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

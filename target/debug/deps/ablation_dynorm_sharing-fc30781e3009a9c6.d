@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_dynorm_sharing-fc30781e3009a9c6.d: crates/bench/src/bin/ablation_dynorm_sharing.rs
+
+/root/repo/target/debug/deps/ablation_dynorm_sharing-fc30781e3009a9c6: crates/bench/src/bin/ablation_dynorm_sharing.rs
+
+crates/bench/src/bin/ablation_dynorm_sharing.rs:

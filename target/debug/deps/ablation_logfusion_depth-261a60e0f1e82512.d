@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_logfusion_depth-261a60e0f1e82512.d: crates/bench/src/bin/ablation_logfusion_depth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_logfusion_depth-261a60e0f1e82512.rmeta: crates/bench/src/bin/ablation_logfusion_depth.rs Cargo.toml
+
+crates/bench/src/bin/ablation_logfusion_depth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_logfusion_depth-f1c0a4fdcf554d3f.d: crates/bench/src/bin/ablation_logfusion_depth.rs
+
+/root/repo/target/debug/deps/ablation_logfusion_depth-f1c0a4fdcf554d3f: crates/bench/src/bin/ablation_logfusion_depth.rs
+
+crates/bench/src/bin/ablation_logfusion_depth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_parallel_gibbs-427a63b2817a75a6.d: crates/bench/src/bin/ablation_parallel_gibbs.rs
+
+/root/repo/target/debug/deps/ablation_parallel_gibbs-427a63b2817a75a6: crates/bench/src/bin/ablation_parallel_gibbs.rs
+
+crates/bench/src/bin/ablation_parallel_gibbs.rs:

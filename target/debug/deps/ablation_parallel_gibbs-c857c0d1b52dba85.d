@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_parallel_gibbs-c857c0d1b52dba85.d: crates/bench/src/bin/ablation_parallel_gibbs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_parallel_gibbs-c857c0d1b52dba85.rmeta: crates/bench/src/bin/ablation_parallel_gibbs.rs Cargo.toml
+
+crates/bench/src/bin/ablation_parallel_gibbs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_parallel_gibbs-eb58251ec74a00a0.d: crates/bench/src/bin/ablation_parallel_gibbs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_parallel_gibbs-eb58251ec74a00a0.rmeta: crates/bench/src/bin/ablation_parallel_gibbs.rs Cargo.toml
+
+crates/bench/src/bin/ablation_parallel_gibbs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

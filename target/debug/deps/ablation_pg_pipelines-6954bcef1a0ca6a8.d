@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_pg_pipelines-6954bcef1a0ca6a8.d: crates/bench/src/bin/ablation_pg_pipelines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_pg_pipelines-6954bcef1a0ca6a8.rmeta: crates/bench/src/bin/ablation_pg_pipelines.rs Cargo.toml
+
+crates/bench/src/bin/ablation_pg_pipelines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_pg_pipelines-fc1f0255d72ac3d7.d: crates/bench/src/bin/ablation_pg_pipelines.rs
+
+/root/repo/target/debug/deps/ablation_pg_pipelines-fc1f0255d72ac3d7: crates/bench/src/bin/ablation_pg_pipelines.rs
+
+crates/bench/src/bin/ablation_pg_pipelines.rs:

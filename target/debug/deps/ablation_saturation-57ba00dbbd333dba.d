@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_saturation-57ba00dbbd333dba.d: crates/bench/src/bin/ablation_saturation.rs
+
+/root/repo/target/debug/deps/ablation_saturation-57ba00dbbd333dba: crates/bench/src/bin/ablation_saturation.rs
+
+crates/bench/src/bin/ablation_saturation.rs:

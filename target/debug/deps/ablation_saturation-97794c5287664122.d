@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_saturation-97794c5287664122.d: crates/bench/src/bin/ablation_saturation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_saturation-97794c5287664122.rmeta: crates/bench/src/bin/ablation_saturation.rs Cargo.toml
+
+crates/bench/src/bin/ablation_saturation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_step_lut-02cdf8dc122cc233.d: crates/bench/src/bin/ablation_step_lut.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_step_lut-02cdf8dc122cc233.rmeta: crates/bench/src/bin/ablation_step_lut.rs Cargo.toml
+
+crates/bench/src/bin/ablation_step_lut.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

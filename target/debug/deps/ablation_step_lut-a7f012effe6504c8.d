@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_step_lut-a7f012effe6504c8.d: crates/bench/src/bin/ablation_step_lut.rs
+
+/root/repo/target/debug/deps/ablation_step_lut-a7f012effe6504c8: crates/bench/src/bin/ablation_step_lut.rs
+
+crates/bench/src/bin/ablation_step_lut.rs:

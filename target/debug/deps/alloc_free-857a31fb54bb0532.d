@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alloc_free-857a31fb54bb0532.d: crates/core/tests/alloc_free.rs
+
+/root/repo/target/debug/deps/alloc_free-857a31fb54bb0532: crates/core/tests/alloc_free.rs
+
+crates/core/tests/alloc_free.rs:

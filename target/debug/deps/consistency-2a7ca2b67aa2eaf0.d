@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/consistency-2a7ca2b67aa2eaf0.d: crates/hw/tests/consistency.rs
+
+/root/repo/target/debug/deps/consistency-2a7ca2b67aa2eaf0: crates/hw/tests/consistency.rs
+
+crates/hw/tests/consistency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/consistency-2bf0d8d27bc0e21a.d: crates/hw/tests/consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconsistency-2bf0d8d27bc0e21a.rmeta: crates/hw/tests/consistency.rs Cargo.toml
+
+crates/hw/tests/consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

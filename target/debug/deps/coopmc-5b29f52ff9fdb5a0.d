@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coopmc-5b29f52ff9fdb5a0.d: src/main.rs
+
+/root/repo/target/debug/deps/coopmc-5b29f52ff9fdb5a0: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coopmc-698295fa4daa9654.d: src/main.rs
+
+/root/repo/target/debug/deps/coopmc-698295fa4daa9654: src/main.rs
+
+src/main.rs:

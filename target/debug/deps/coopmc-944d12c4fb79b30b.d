@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/coopmc-944d12c4fb79b30b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcoopmc-944d12c4fb79b30b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcoopmc-944d12c4fb79b30b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coopmc-aafefb37414afe90.d: src/lib.rs
+
+/root/repo/target/debug/deps/coopmc-aafefb37414afe90: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coopmc-ba023778209a89ee.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoopmc-ba023778209a89ee.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/coopmc_bench-5f6f15d2ff6c4a0c.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/coopmc_bench-5f6f15d2ff6c4a0c: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/coopmc_bench-702c4f50e15f70ba.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libcoopmc_bench-702c4f50e15f70ba.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libcoopmc_bench-702c4f50e15f70ba.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/coopmc_core-354895d666c9f346.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/experiments.rs crates/core/src/metropolis.rs crates/core/src/parallel.rs crates/core/src/pipeline.rs crates/core/src/pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoopmc_core-354895d666c9f346.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/experiments.rs crates/core/src/metropolis.rs crates/core/src/parallel.rs crates/core/src/pipeline.rs crates/core/src/pool.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/experiments.rs:
+crates/core/src/metropolis.rs:
+crates/core/src/parallel.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

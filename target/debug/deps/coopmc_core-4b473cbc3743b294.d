@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/coopmc_core-4b473cbc3743b294.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/experiments.rs crates/core/src/metropolis.rs crates/core/src/parallel.rs crates/core/src/pipeline.rs crates/core/src/pool.rs
+
+/root/repo/target/debug/deps/libcoopmc_core-4b473cbc3743b294.rlib: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/experiments.rs crates/core/src/metropolis.rs crates/core/src/parallel.rs crates/core/src/pipeline.rs crates/core/src/pool.rs
+
+/root/repo/target/debug/deps/libcoopmc_core-4b473cbc3743b294.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/experiments.rs crates/core/src/metropolis.rs crates/core/src/parallel.rs crates/core/src/pipeline.rs crates/core/src/pool.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/experiments.rs:
+crates/core/src/metropolis.rs:
+crates/core/src/parallel.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/pool.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/coopmc_core-aab134270b690334.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/experiments.rs crates/core/src/metropolis.rs crates/core/src/parallel.rs crates/core/src/pipeline.rs crates/core/src/pool.rs
+
+/root/repo/target/debug/deps/coopmc_core-aab134270b690334: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/experiments.rs crates/core/src/metropolis.rs crates/core/src/parallel.rs crates/core/src/pipeline.rs crates/core/src/pool.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/experiments.rs:
+crates/core/src/metropolis.rs:
+crates/core/src/parallel.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/pool.rs:

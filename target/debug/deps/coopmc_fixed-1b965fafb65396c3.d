@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/coopmc_fixed-1b965fafb65396c3.d: crates/fixed/src/lib.rs crates/fixed/src/format.rs crates/fixed/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoopmc_fixed-1b965fafb65396c3.rmeta: crates/fixed/src/lib.rs crates/fixed/src/format.rs crates/fixed/src/value.rs Cargo.toml
+
+crates/fixed/src/lib.rs:
+crates/fixed/src/format.rs:
+crates/fixed/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/coopmc_fixed-61374023e6077db7.d: crates/fixed/src/lib.rs crates/fixed/src/format.rs crates/fixed/src/value.rs
+
+/root/repo/target/debug/deps/coopmc_fixed-61374023e6077db7: crates/fixed/src/lib.rs crates/fixed/src/format.rs crates/fixed/src/value.rs
+
+crates/fixed/src/lib.rs:
+crates/fixed/src/format.rs:
+crates/fixed/src/value.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coopmc_fixed-6551cbf55cc1f158.d: crates/fixed/src/lib.rs crates/fixed/src/format.rs crates/fixed/src/value.rs
+
+/root/repo/target/debug/deps/libcoopmc_fixed-6551cbf55cc1f158.rlib: crates/fixed/src/lib.rs crates/fixed/src/format.rs crates/fixed/src/value.rs
+
+/root/repo/target/debug/deps/libcoopmc_fixed-6551cbf55cc1f158.rmeta: crates/fixed/src/lib.rs crates/fixed/src/format.rs crates/fixed/src/value.rs
+
+crates/fixed/src/lib.rs:
+crates/fixed/src/format.rs:
+crates/fixed/src/value.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/coopmc_hw-4e59a3ec8e94cbd5.d: crates/hw/src/lib.rs crates/hw/src/accel.rs crates/hw/src/area.rs crates/hw/src/cycles.rs crates/hw/src/mem.rs crates/hw/src/pgpipe.rs crates/hw/src/power.rs crates/hw/src/roofline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoopmc_hw-4e59a3ec8e94cbd5.rmeta: crates/hw/src/lib.rs crates/hw/src/accel.rs crates/hw/src/area.rs crates/hw/src/cycles.rs crates/hw/src/mem.rs crates/hw/src/pgpipe.rs crates/hw/src/power.rs crates/hw/src/roofline.rs Cargo.toml
+
+crates/hw/src/lib.rs:
+crates/hw/src/accel.rs:
+crates/hw/src/area.rs:
+crates/hw/src/cycles.rs:
+crates/hw/src/mem.rs:
+crates/hw/src/pgpipe.rs:
+crates/hw/src/power.rs:
+crates/hw/src/roofline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/coopmc_hw-d46625bd2e5c1110.d: crates/hw/src/lib.rs crates/hw/src/accel.rs crates/hw/src/area.rs crates/hw/src/cycles.rs crates/hw/src/mem.rs crates/hw/src/pgpipe.rs crates/hw/src/power.rs crates/hw/src/roofline.rs
+
+/root/repo/target/debug/deps/coopmc_hw-d46625bd2e5c1110: crates/hw/src/lib.rs crates/hw/src/accel.rs crates/hw/src/area.rs crates/hw/src/cycles.rs crates/hw/src/mem.rs crates/hw/src/pgpipe.rs crates/hw/src/power.rs crates/hw/src/roofline.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/accel.rs:
+crates/hw/src/area.rs:
+crates/hw/src/cycles.rs:
+crates/hw/src/mem.rs:
+crates/hw/src/pgpipe.rs:
+crates/hw/src/power.rs:
+crates/hw/src/roofline.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/coopmc_hw-e9539d029c1c2850.d: crates/hw/src/lib.rs crates/hw/src/accel.rs crates/hw/src/area.rs crates/hw/src/cycles.rs crates/hw/src/mem.rs crates/hw/src/pgpipe.rs crates/hw/src/power.rs crates/hw/src/roofline.rs
+
+/root/repo/target/debug/deps/libcoopmc_hw-e9539d029c1c2850.rlib: crates/hw/src/lib.rs crates/hw/src/accel.rs crates/hw/src/area.rs crates/hw/src/cycles.rs crates/hw/src/mem.rs crates/hw/src/pgpipe.rs crates/hw/src/power.rs crates/hw/src/roofline.rs
+
+/root/repo/target/debug/deps/libcoopmc_hw-e9539d029c1c2850.rmeta: crates/hw/src/lib.rs crates/hw/src/accel.rs crates/hw/src/area.rs crates/hw/src/cycles.rs crates/hw/src/mem.rs crates/hw/src/pgpipe.rs crates/hw/src/power.rs crates/hw/src/roofline.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/accel.rs:
+crates/hw/src/area.rs:
+crates/hw/src/cycles.rs:
+crates/hw/src/mem.rs:
+crates/hw/src/pgpipe.rs:
+crates/hw/src/power.rs:
+crates/hw/src/roofline.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/coopmc_kernels-67e574212565eff5.d: crates/kernels/src/lib.rs crates/kernels/src/cost.rs crates/kernels/src/dynorm.rs crates/kernels/src/error.rs crates/kernels/src/exp.rs crates/kernels/src/faults.rs crates/kernels/src/fusion.rs crates/kernels/src/log.rs
+
+/root/repo/target/debug/deps/coopmc_kernels-67e574212565eff5: crates/kernels/src/lib.rs crates/kernels/src/cost.rs crates/kernels/src/dynorm.rs crates/kernels/src/error.rs crates/kernels/src/exp.rs crates/kernels/src/faults.rs crates/kernels/src/fusion.rs crates/kernels/src/log.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/cost.rs:
+crates/kernels/src/dynorm.rs:
+crates/kernels/src/error.rs:
+crates/kernels/src/exp.rs:
+crates/kernels/src/faults.rs:
+crates/kernels/src/fusion.rs:
+crates/kernels/src/log.rs:

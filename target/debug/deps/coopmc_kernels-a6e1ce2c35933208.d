@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/coopmc_kernels-a6e1ce2c35933208.d: crates/kernels/src/lib.rs crates/kernels/src/cost.rs crates/kernels/src/dynorm.rs crates/kernels/src/error.rs crates/kernels/src/exp.rs crates/kernels/src/faults.rs crates/kernels/src/fusion.rs crates/kernels/src/log.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoopmc_kernels-a6e1ce2c35933208.rmeta: crates/kernels/src/lib.rs crates/kernels/src/cost.rs crates/kernels/src/dynorm.rs crates/kernels/src/error.rs crates/kernels/src/exp.rs crates/kernels/src/faults.rs crates/kernels/src/fusion.rs crates/kernels/src/log.rs Cargo.toml
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/cost.rs:
+crates/kernels/src/dynorm.rs:
+crates/kernels/src/error.rs:
+crates/kernels/src/exp.rs:
+crates/kernels/src/faults.rs:
+crates/kernels/src/fusion.rs:
+crates/kernels/src/log.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

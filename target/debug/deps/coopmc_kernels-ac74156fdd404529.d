@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/coopmc_kernels-ac74156fdd404529.d: crates/kernels/src/lib.rs crates/kernels/src/cost.rs crates/kernels/src/dynorm.rs crates/kernels/src/error.rs crates/kernels/src/exp.rs crates/kernels/src/faults.rs crates/kernels/src/fusion.rs crates/kernels/src/log.rs
+
+/root/repo/target/debug/deps/libcoopmc_kernels-ac74156fdd404529.rlib: crates/kernels/src/lib.rs crates/kernels/src/cost.rs crates/kernels/src/dynorm.rs crates/kernels/src/error.rs crates/kernels/src/exp.rs crates/kernels/src/faults.rs crates/kernels/src/fusion.rs crates/kernels/src/log.rs
+
+/root/repo/target/debug/deps/libcoopmc_kernels-ac74156fdd404529.rmeta: crates/kernels/src/lib.rs crates/kernels/src/cost.rs crates/kernels/src/dynorm.rs crates/kernels/src/error.rs crates/kernels/src/exp.rs crates/kernels/src/faults.rs crates/kernels/src/fusion.rs crates/kernels/src/log.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/cost.rs:
+crates/kernels/src/dynorm.rs:
+crates/kernels/src/error.rs:
+crates/kernels/src/exp.rs:
+crates/kernels/src/faults.rs:
+crates/kernels/src/fusion.rs:
+crates/kernels/src/log.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/coopmc_models-fc2005d1d6d9bc6c.d: crates/models/src/lib.rs crates/models/src/bn/mod.rs crates/models/src/bn/exact.rs crates/models/src/bn/networks.rs crates/models/src/bn/sampling.rs crates/models/src/coloring.rs crates/models/src/diagnostics.rs crates/models/src/lda/mod.rs crates/models/src/lda/corpus.rs crates/models/src/lda/inference.rs crates/models/src/lda/sparse.rs crates/models/src/metrics.rs crates/models/src/mrf/mod.rs crates/models/src/mrf/apps.rs crates/models/src/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoopmc_models-fc2005d1d6d9bc6c.rmeta: crates/models/src/lib.rs crates/models/src/bn/mod.rs crates/models/src/bn/exact.rs crates/models/src/bn/networks.rs crates/models/src/bn/sampling.rs crates/models/src/coloring.rs crates/models/src/diagnostics.rs crates/models/src/lda/mod.rs crates/models/src/lda/corpus.rs crates/models/src/lda/inference.rs crates/models/src/lda/sparse.rs crates/models/src/metrics.rs crates/models/src/mrf/mod.rs crates/models/src/mrf/apps.rs crates/models/src/workloads.rs Cargo.toml
+
+crates/models/src/lib.rs:
+crates/models/src/bn/mod.rs:
+crates/models/src/bn/exact.rs:
+crates/models/src/bn/networks.rs:
+crates/models/src/bn/sampling.rs:
+crates/models/src/coloring.rs:
+crates/models/src/diagnostics.rs:
+crates/models/src/lda/mod.rs:
+crates/models/src/lda/corpus.rs:
+crates/models/src/lda/inference.rs:
+crates/models/src/lda/sparse.rs:
+crates/models/src/metrics.rs:
+crates/models/src/mrf/mod.rs:
+crates/models/src/mrf/apps.rs:
+crates/models/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/coopmc_rng-449d436a14ea0e40.d: crates/rng/src/lib.rs crates/rng/src/counting.rs crates/rng/src/lfsr.rs crates/rng/src/philox.rs crates/rng/src/splitmix.rs crates/rng/src/xorshift.rs
+
+/root/repo/target/debug/deps/libcoopmc_rng-449d436a14ea0e40.rlib: crates/rng/src/lib.rs crates/rng/src/counting.rs crates/rng/src/lfsr.rs crates/rng/src/philox.rs crates/rng/src/splitmix.rs crates/rng/src/xorshift.rs
+
+/root/repo/target/debug/deps/libcoopmc_rng-449d436a14ea0e40.rmeta: crates/rng/src/lib.rs crates/rng/src/counting.rs crates/rng/src/lfsr.rs crates/rng/src/philox.rs crates/rng/src/splitmix.rs crates/rng/src/xorshift.rs
+
+crates/rng/src/lib.rs:
+crates/rng/src/counting.rs:
+crates/rng/src/lfsr.rs:
+crates/rng/src/philox.rs:
+crates/rng/src/splitmix.rs:
+crates/rng/src/xorshift.rs:

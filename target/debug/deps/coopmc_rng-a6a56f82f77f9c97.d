@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/coopmc_rng-a6a56f82f77f9c97.d: crates/rng/src/lib.rs crates/rng/src/counting.rs crates/rng/src/lfsr.rs crates/rng/src/philox.rs crates/rng/src/splitmix.rs crates/rng/src/xorshift.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoopmc_rng-a6a56f82f77f9c97.rmeta: crates/rng/src/lib.rs crates/rng/src/counting.rs crates/rng/src/lfsr.rs crates/rng/src/philox.rs crates/rng/src/splitmix.rs crates/rng/src/xorshift.rs Cargo.toml
+
+crates/rng/src/lib.rs:
+crates/rng/src/counting.rs:
+crates/rng/src/lfsr.rs:
+crates/rng/src/philox.rs:
+crates/rng/src/splitmix.rs:
+crates/rng/src/xorshift.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

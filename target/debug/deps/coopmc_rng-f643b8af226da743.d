@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/coopmc_rng-f643b8af226da743.d: crates/rng/src/lib.rs crates/rng/src/counting.rs crates/rng/src/lfsr.rs crates/rng/src/philox.rs crates/rng/src/splitmix.rs crates/rng/src/xorshift.rs
+
+/root/repo/target/debug/deps/coopmc_rng-f643b8af226da743: crates/rng/src/lib.rs crates/rng/src/counting.rs crates/rng/src/lfsr.rs crates/rng/src/philox.rs crates/rng/src/splitmix.rs crates/rng/src/xorshift.rs
+
+crates/rng/src/lib.rs:
+crates/rng/src/counting.rs:
+crates/rng/src/lfsr.rs:
+crates/rng/src/philox.rs:
+crates/rng/src/splitmix.rs:
+crates/rng/src/xorshift.rs:

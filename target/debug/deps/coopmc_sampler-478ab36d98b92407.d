@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/coopmc_sampler-478ab36d98b92407.d: crates/sampler/src/lib.rs crates/sampler/src/alias.rs crates/sampler/src/pipe.rs crates/sampler/src/sequential.rs crates/sampler/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoopmc_sampler-478ab36d98b92407.rmeta: crates/sampler/src/lib.rs crates/sampler/src/alias.rs crates/sampler/src/pipe.rs crates/sampler/src/sequential.rs crates/sampler/src/tree.rs Cargo.toml
+
+crates/sampler/src/lib.rs:
+crates/sampler/src/alias.rs:
+crates/sampler/src/pipe.rs:
+crates/sampler/src/sequential.rs:
+crates/sampler/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/coopmc_sampler-9f504f5daf0b7444.d: crates/sampler/src/lib.rs crates/sampler/src/alias.rs crates/sampler/src/pipe.rs crates/sampler/src/sequential.rs crates/sampler/src/tree.rs
+
+/root/repo/target/debug/deps/libcoopmc_sampler-9f504f5daf0b7444.rlib: crates/sampler/src/lib.rs crates/sampler/src/alias.rs crates/sampler/src/pipe.rs crates/sampler/src/sequential.rs crates/sampler/src/tree.rs
+
+/root/repo/target/debug/deps/libcoopmc_sampler-9f504f5daf0b7444.rmeta: crates/sampler/src/lib.rs crates/sampler/src/alias.rs crates/sampler/src/pipe.rs crates/sampler/src/sequential.rs crates/sampler/src/tree.rs
+
+crates/sampler/src/lib.rs:
+crates/sampler/src/alias.rs:
+crates/sampler/src/pipe.rs:
+crates/sampler/src/sequential.rs:
+crates/sampler/src/tree.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/coopmc_sampler-c2e8bb4413fe0fed.d: crates/sampler/src/lib.rs crates/sampler/src/alias.rs crates/sampler/src/pipe.rs crates/sampler/src/sequential.rs crates/sampler/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoopmc_sampler-c2e8bb4413fe0fed.rmeta: crates/sampler/src/lib.rs crates/sampler/src/alias.rs crates/sampler/src/pipe.rs crates/sampler/src/sequential.rs crates/sampler/src/tree.rs Cargo.toml
+
+crates/sampler/src/lib.rs:
+crates/sampler/src/alias.rs:
+crates/sampler/src/pipe.rs:
+crates/sampler/src/sequential.rs:
+crates/sampler/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/coopmc_sim-0896f0d3a2003300.d: crates/sim/src/lib.rs crates/sim/src/circuits.rs crates/sim/src/netlist.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoopmc_sim-0896f0d3a2003300.rmeta: crates/sim/src/lib.rs crates/sim/src/circuits.rs crates/sim/src/netlist.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/circuits.rs:
+crates/sim/src/netlist.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/coopmc_sim-199cfd8691f8d2de.d: crates/sim/src/lib.rs crates/sim/src/circuits.rs crates/sim/src/netlist.rs
+
+/root/repo/target/debug/deps/coopmc_sim-199cfd8691f8d2de: crates/sim/src/lib.rs crates/sim/src/circuits.rs crates/sim/src/netlist.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/circuits.rs:
+crates/sim/src/netlist.rs:

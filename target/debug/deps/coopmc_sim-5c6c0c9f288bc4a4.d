@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coopmc_sim-5c6c0c9f288bc4a4.d: crates/sim/src/lib.rs crates/sim/src/circuits.rs crates/sim/src/netlist.rs
+
+/root/repo/target/debug/deps/libcoopmc_sim-5c6c0c9f288bc4a4.rlib: crates/sim/src/lib.rs crates/sim/src/circuits.rs crates/sim/src/netlist.rs
+
+/root/repo/target/debug/deps/libcoopmc_sim-5c6c0c9f288bc4a4.rmeta: crates/sim/src/lib.rs crates/sim/src/circuits.rs crates/sim/src/netlist.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/circuits.rs:
+crates/sim/src/netlist.rs:

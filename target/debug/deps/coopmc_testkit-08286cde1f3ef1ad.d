@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coopmc_testkit-08286cde1f3ef1ad.d: crates/testkit/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoopmc_testkit-08286cde1f3ef1ad.rmeta: crates/testkit/src/lib.rs Cargo.toml
+
+crates/testkit/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coopmc_testkit-724f5ed83bdd371e.d: crates/testkit/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoopmc_testkit-724f5ed83bdd371e.rmeta: crates/testkit/src/lib.rs Cargo.toml
+
+crates/testkit/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

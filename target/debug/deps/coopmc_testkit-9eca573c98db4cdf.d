@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/coopmc_testkit-9eca573c98db4cdf.d: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/libcoopmc_testkit-9eca573c98db4cdf.rlib: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/libcoopmc_testkit-9eca573c98db4cdf.rmeta: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coopmc_testkit-a930a1e317e39bad.d: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/coopmc_testkit-a930a1e317e39bad: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_bn-792719a128e8da68.d: tests/end_to_end_bn.rs
+
+/root/repo/target/debug/deps/end_to_end_bn-792719a128e8da68: tests/end_to_end_bn.rs
+
+tests/end_to_end_bn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_lda-27a69665c12b78be.d: tests/end_to_end_lda.rs
+
+/root/repo/target/debug/deps/end_to_end_lda-27a69665c12b78be: tests/end_to_end_lda.rs
+
+tests/end_to_end_lda.rs:

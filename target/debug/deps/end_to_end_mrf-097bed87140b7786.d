@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_mrf-097bed87140b7786.d: tests/end_to_end_mrf.rs
+
+/root/repo/target/debug/deps/end_to_end_mrf-097bed87140b7786: tests/end_to_end_mrf.rs
+
+tests/end_to_end_mrf.rs:

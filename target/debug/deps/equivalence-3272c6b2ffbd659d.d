@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-3272c6b2ffbd659d.d: crates/sim/tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-3272c6b2ffbd659d: crates/sim/tests/equivalence.rs
+
+crates/sim/tests/equivalence.rs:

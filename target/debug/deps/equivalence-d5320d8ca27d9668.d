@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence-d5320d8ca27d9668.d: crates/sim/tests/equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence-d5320d8ca27d9668.rmeta: crates/sim/tests/equivalence.rs Cargo.toml
+
+crates/sim/tests/equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

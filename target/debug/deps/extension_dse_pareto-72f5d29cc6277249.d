@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extension_dse_pareto-72f5d29cc6277249.d: crates/bench/src/bin/extension_dse_pareto.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextension_dse_pareto-72f5d29cc6277249.rmeta: crates/bench/src/bin/extension_dse_pareto.rs Cargo.toml
+
+crates/bench/src/bin/extension_dse_pareto.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

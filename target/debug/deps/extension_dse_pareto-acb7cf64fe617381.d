@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extension_dse_pareto-acb7cf64fe617381.d: crates/bench/src/bin/extension_dse_pareto.rs
+
+/root/repo/target/debug/deps/extension_dse_pareto-acb7cf64fe617381: crates/bench/src/bin/extension_dse_pareto.rs
+
+crates/bench/src/bin/extension_dse_pareto.rs:

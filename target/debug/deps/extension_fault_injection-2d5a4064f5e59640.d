@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extension_fault_injection-2d5a4064f5e59640.d: crates/bench/src/bin/extension_fault_injection.rs
+
+/root/repo/target/debug/deps/extension_fault_injection-2d5a4064f5e59640: crates/bench/src/bin/extension_fault_injection.rs
+
+crates/bench/src/bin/extension_fault_injection.rs:

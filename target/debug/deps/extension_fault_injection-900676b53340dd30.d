@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extension_fault_injection-900676b53340dd30.d: crates/bench/src/bin/extension_fault_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextension_fault_injection-900676b53340dd30.rmeta: crates/bench/src/bin/extension_fault_injection.rs Cargo.toml
+
+crates/bench/src/bin/extension_fault_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extension_sparse_lda-9b5a2e9444a11a0c.d: crates/bench/src/bin/extension_sparse_lda.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextension_sparse_lda-9b5a2e9444a11a0c.rmeta: crates/bench/src/bin/extension_sparse_lda.rs Cargo.toml
+
+crates/bench/src/bin/extension_sparse_lda.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

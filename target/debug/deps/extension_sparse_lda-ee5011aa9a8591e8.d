@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extension_sparse_lda-ee5011aa9a8591e8.d: crates/bench/src/bin/extension_sparse_lda.rs
+
+/root/repo/target/debug/deps/extension_sparse_lda-ee5011aa9a8591e8: crates/bench/src/bin/extension_sparse_lda.rs
+
+crates/bench/src/bin/extension_sparse_lda.rs:

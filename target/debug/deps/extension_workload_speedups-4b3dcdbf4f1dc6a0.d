@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extension_workload_speedups-4b3dcdbf4f1dc6a0.d: crates/bench/src/bin/extension_workload_speedups.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextension_workload_speedups-4b3dcdbf4f1dc6a0.rmeta: crates/bench/src/bin/extension_workload_speedups.rs Cargo.toml
+
+crates/bench/src/bin/extension_workload_speedups.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

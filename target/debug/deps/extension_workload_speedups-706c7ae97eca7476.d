@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extension_workload_speedups-706c7ae97eca7476.d: crates/bench/src/bin/extension_workload_speedups.rs
+
+/root/repo/target/debug/deps/extension_workload_speedups-706c7ae97eca7476: crates/bench/src/bin/extension_workload_speedups.rs
+
+crates/bench/src/bin/extension_workload_speedups.rs:

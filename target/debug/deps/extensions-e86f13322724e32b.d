@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-e86f13322724e32b.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-e86f13322724e32b: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_dynorm_mrf-37486dc49486c1e6.d: crates/bench/src/bin/fig10_dynorm_mrf.rs
+
+/root/repo/target/debug/deps/fig10_dynorm_mrf-37486dc49486c1e6: crates/bench/src/bin/fig10_dynorm_mrf.rs
+
+crates/bench/src/bin/fig10_dynorm_mrf.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_dynorm_mrf-ef50b4e4e26dabeb.d: crates/bench/src/bin/fig10_dynorm_mrf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_dynorm_mrf-ef50b4e4e26dabeb.rmeta: crates/bench/src/bin/fig10_dynorm_mrf.rs Cargo.toml
+
+crates/bench/src/bin/fig10_dynorm_mrf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

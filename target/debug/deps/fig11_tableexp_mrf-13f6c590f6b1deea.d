@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_tableexp_mrf-13f6c590f6b1deea.d: crates/bench/src/bin/fig11_tableexp_mrf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_tableexp_mrf-13f6c590f6b1deea.rmeta: crates/bench/src/bin/fig11_tableexp_mrf.rs Cargo.toml
+
+crates/bench/src/bin/fig11_tableexp_mrf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

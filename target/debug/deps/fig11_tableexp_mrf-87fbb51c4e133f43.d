@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_tableexp_mrf-87fbb51c4e133f43.d: crates/bench/src/bin/fig11_tableexp_mrf.rs
+
+/root/repo/target/debug/deps/fig11_tableexp_mrf-87fbb51c4e133f43: crates/bench/src/bin/fig11_tableexp_mrf.rs
+
+crates/bench/src/bin/fig11_tableexp_mrf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_tableexp_bn-973d03ca203e4976.d: crates/bench/src/bin/fig12_tableexp_bn.rs
+
+/root/repo/target/debug/deps/fig12_tableexp_bn-973d03ca203e4976: crates/bench/src/bin/fig12_tableexp_bn.rs
+
+crates/bench/src/bin/fig12_tableexp_bn.rs:

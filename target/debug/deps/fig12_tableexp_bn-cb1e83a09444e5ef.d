@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_tableexp_bn-cb1e83a09444e5ef.d: crates/bench/src/bin/fig12_tableexp_bn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_tableexp_bn-cb1e83a09444e5ef.rmeta: crates/bench/src/bin/fig12_tableexp_bn.rs Cargo.toml
+
+crates/bench/src/bin/fig12_tableexp_bn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

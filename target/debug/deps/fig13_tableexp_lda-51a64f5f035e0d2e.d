@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_tableexp_lda-51a64f5f035e0d2e.d: crates/bench/src/bin/fig13_tableexp_lda.rs
+
+/root/repo/target/debug/deps/fig13_tableexp_lda-51a64f5f035e0d2e: crates/bench/src/bin/fig13_tableexp_lda.rs
+
+crates/bench/src/bin/fig13_tableexp_lda.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_tableexp_lda-8a4b35e915c9999f.d: crates/bench/src/bin/fig13_tableexp_lda.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_tableexp_lda-8a4b35e915c9999f.rmeta: crates/bench/src/bin/fig13_tableexp_lda.rs Cargo.toml
+
+crates/bench/src/bin/fig13_tableexp_lda.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

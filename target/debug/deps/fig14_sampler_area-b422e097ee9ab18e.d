@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_sampler_area-b422e097ee9ab18e.d: crates/bench/src/bin/fig14_sampler_area.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_sampler_area-b422e097ee9ab18e.rmeta: crates/bench/src/bin/fig14_sampler_area.rs Cargo.toml
+
+crates/bench/src/bin/fig14_sampler_area.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_sampler_area-d4ce2bcbb0e06a73.d: crates/bench/src/bin/fig14_sampler_area.rs
+
+/root/repo/target/debug/deps/fig14_sampler_area-d4ce2bcbb0e06a73: crates/bench/src/bin/fig14_sampler_area.rs
+
+crates/bench/src/bin/fig14_sampler_area.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_sampler_efficiency-441ae7d6a0686170.d: crates/bench/src/bin/fig15_sampler_efficiency.rs
+
+/root/repo/target/debug/deps/fig15_sampler_efficiency-441ae7d6a0686170: crates/bench/src/bin/fig15_sampler_efficiency.rs
+
+crates/bench/src/bin/fig15_sampler_efficiency.rs:

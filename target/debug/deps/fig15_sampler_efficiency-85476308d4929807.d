@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_sampler_efficiency-85476308d4929807.d: crates/bench/src/bin/fig15_sampler_efficiency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_sampler_efficiency-85476308d4929807.rmeta: crates/bench/src/bin/fig15_sampler_efficiency.rs Cargo.toml
+
+crates/bench/src/bin/fig15_sampler_efficiency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

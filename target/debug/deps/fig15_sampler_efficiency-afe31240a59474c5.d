@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_sampler_efficiency-afe31240a59474c5.d: crates/bench/src/bin/fig15_sampler_efficiency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_sampler_efficiency-afe31240a59474c5.rmeta: crates/bench/src/bin/fig15_sampler_efficiency.rs Cargo.toml
+
+crates/bench/src/bin/fig15_sampler_efficiency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

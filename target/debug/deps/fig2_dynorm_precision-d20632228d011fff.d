@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_dynorm_precision-d20632228d011fff.d: crates/bench/src/bin/fig2_dynorm_precision.rs
+
+/root/repo/target/debug/deps/fig2_dynorm_precision-d20632228d011fff: crates/bench/src/bin/fig2_dynorm_precision.rs
+
+crates/bench/src/bin/fig2_dynorm_precision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_exp_error-56721558521c77bb.d: crates/bench/src/bin/fig4_exp_error.rs
+
+/root/repo/target/debug/deps/fig4_exp_error-56721558521c77bb: crates/bench/src/bin/fig4_exp_error.rs
+
+crates/bench/src/bin/fig4_exp_error.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_exp_error-7e8d48f13d727691.d: crates/bench/src/bin/fig4_exp_error.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_exp_error-7e8d48f13d727691.rmeta: crates/bench/src/bin/fig4_exp_error.rs Cargo.toml
+
+crates/bench/src/bin/fig4_exp_error.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

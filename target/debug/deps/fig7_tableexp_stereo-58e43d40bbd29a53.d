@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_tableexp_stereo-58e43d40bbd29a53.d: crates/bench/src/bin/fig7_tableexp_stereo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_tableexp_stereo-58e43d40bbd29a53.rmeta: crates/bench/src/bin/fig7_tableexp_stereo.rs Cargo.toml
+
+crates/bench/src/bin/fig7_tableexp_stereo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_tableexp_stereo-e1582b7efd70df8f.d: crates/bench/src/bin/fig7_tableexp_stereo.rs
+
+/root/repo/target/debug/deps/fig7_tableexp_stereo-e1582b7efd70df8f: crates/bench/src/bin/fig7_tableexp_stereo.rs
+
+crates/bench/src/bin/fig7_tableexp_stereo.rs:

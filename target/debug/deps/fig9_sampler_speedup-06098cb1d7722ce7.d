@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_sampler_speedup-06098cb1d7722ce7.d: crates/bench/src/bin/fig9_sampler_speedup.rs
+
+/root/repo/target/debug/deps/fig9_sampler_speedup-06098cb1d7722ce7: crates/bench/src/bin/fig9_sampler_speedup.rs
+
+crates/bench/src/bin/fig9_sampler_speedup.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_sampler_speedup-124e4f8c4edc3960.d: crates/bench/src/bin/fig9_sampler_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_sampler_speedup-124e4f8c4edc3960.rmeta: crates/bench/src/bin/fig9_sampler_speedup.rs Cargo.toml
+
+crates/bench/src/bin/fig9_sampler_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hardware_claims-83c4f32da2449ba1.d: tests/hardware_claims.rs
+
+/root/repo/target/debug/deps/hardware_claims-83c4f32da2449ba1: tests/hardware_claims.rs
+
+tests/hardware_claims.rs:

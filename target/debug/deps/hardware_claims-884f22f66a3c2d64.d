@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hardware_claims-884f22f66a3c2d64.d: tests/hardware_claims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhardware_claims-884f22f66a3c2d64.rmeta: tests/hardware_claims.rs Cargo.toml
+
+tests/hardware_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

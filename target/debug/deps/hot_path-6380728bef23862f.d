@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hot_path-6380728bef23862f.d: crates/bench/benches/hot_path.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhot_path-6380728bef23862f.rmeta: crates/bench/benches/hot_path.rs Cargo.toml
+
+crates/bench/benches/hot_path.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/matrix-7894061491824f1e.d: crates/core/tests/matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmatrix-7894061491824f1e.rmeta: crates/core/tests/matrix.rs Cargo.toml
+
+crates/core/tests/matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

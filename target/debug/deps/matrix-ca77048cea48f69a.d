@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/matrix-ca77048cea48f69a.d: crates/core/tests/matrix.rs
+
+/root/repo/target/debug/deps/matrix-ca77048cea48f69a: crates/core/tests/matrix.rs
+
+crates/core/tests/matrix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pooled_determinism-22cf64e66051e1c9.d: crates/core/tests/pooled_determinism.rs
+
+/root/repo/target/debug/deps/pooled_determinism-22cf64e66051e1c9: crates/core/tests/pooled_determinism.rs
+
+crates/core/tests/pooled_determinism.rs:

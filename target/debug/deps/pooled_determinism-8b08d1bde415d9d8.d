@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pooled_determinism-8b08d1bde415d9d8.d: crates/core/tests/pooled_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpooled_determinism-8b08d1bde415d9d8.rmeta: crates/core/tests/pooled_determinism.rs Cargo.toml
+
+crates/core/tests/pooled_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

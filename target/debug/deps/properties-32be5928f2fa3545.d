@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-32be5928f2fa3545.d: crates/sampler/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-32be5928f2fa3545.rmeta: crates/sampler/tests/properties.rs Cargo.toml
+
+crates/sampler/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

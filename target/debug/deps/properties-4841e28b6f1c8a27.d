@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-4841e28b6f1c8a27.d: crates/kernels/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-4841e28b6f1c8a27.rmeta: crates/kernels/tests/properties.rs Cargo.toml
+
+crates/kernels/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

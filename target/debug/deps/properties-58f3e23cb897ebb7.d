@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-58f3e23cb897ebb7.d: crates/fixed/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-58f3e23cb897ebb7.rmeta: crates/fixed/tests/properties.rs Cargo.toml
+
+crates/fixed/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

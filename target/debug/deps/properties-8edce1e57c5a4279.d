@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-8edce1e57c5a4279.d: crates/rng/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-8edce1e57c5a4279: crates/rng/tests/properties.rs
+
+crates/rng/tests/properties.rs:

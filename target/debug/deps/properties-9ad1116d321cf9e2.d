@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-9ad1116d321cf9e2.d: crates/sampler/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-9ad1116d321cf9e2: crates/sampler/tests/properties.rs
+
+crates/sampler/tests/properties.rs:

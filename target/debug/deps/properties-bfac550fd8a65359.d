@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-bfac550fd8a65359.d: crates/rng/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-bfac550fd8a65359.rmeta: crates/rng/tests/properties.rs Cargo.toml
+
+crates/rng/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-dab01ff658563def.d: crates/models/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-dab01ff658563def: crates/models/tests/properties.rs
+
+crates/models/tests/properties.rs:

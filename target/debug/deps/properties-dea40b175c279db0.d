@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-dea40b175c279db0.d: crates/fixed/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-dea40b175c279db0: crates/fixed/tests/properties.rs
+
+crates/fixed/tests/properties.rs:

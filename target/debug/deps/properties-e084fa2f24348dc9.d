@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-e084fa2f24348dc9.d: crates/models/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-e084fa2f24348dc9.rmeta: crates/models/tests/properties.rs Cargo.toml
+
+crates/models/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-efe23ee395dd3151.d: crates/kernels/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-efe23ee395dd3151: crates/kernels/tests/properties.rs
+
+crates/kernels/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness_diagnostics-d5dbce1d30eba72c.d: crates/bench/src/bin/robustness_diagnostics.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness_diagnostics-d5dbce1d30eba72c.rmeta: crates/bench/src/bin/robustness_diagnostics.rs Cargo.toml
+
+crates/bench/src/bin/robustness_diagnostics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

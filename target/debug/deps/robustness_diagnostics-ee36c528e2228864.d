@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness_diagnostics-ee36c528e2228864.d: crates/bench/src/bin/robustness_diagnostics.rs
+
+/root/repo/target/debug/deps/robustness_diagnostics-ee36c528e2228864: crates/bench/src/bin/robustness_diagnostics.rs
+
+crates/bench/src/bin/robustness_diagnostics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/roofline_analysis-1b25a765e76a9565.d: crates/bench/src/bin/roofline_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroofline_analysis-1b25a765e76a9565.rmeta: crates/bench/src/bin/roofline_analysis.rs Cargo.toml
+
+crates/bench/src/bin/roofline_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roofline_analysis-bb29c5c36b2ccc23.d: crates/bench/src/bin/roofline_analysis.rs
+
+/root/repo/target/debug/deps/roofline_analysis-bb29c5c36b2ccc23: crates/bench/src/bin/roofline_analysis.rs
+
+crates/bench/src/bin/roofline_analysis.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/samplers-6bdbc70976c4a63d.d: crates/bench/benches/samplers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsamplers-6bdbc70976c4a63d.rmeta: crates/bench/benches/samplers.rs Cargo.toml
+
+crates/bench/benches/samplers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/structural_inference-c0de0fc974c84ed2.d: tests/structural_inference.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstructural_inference-c0de0fc974c84ed2.rmeta: tests/structural_inference.rs Cargo.toml
+
+tests/structural_inference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

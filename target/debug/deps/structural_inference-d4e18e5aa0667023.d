@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/structural_inference-d4e18e5aa0667023.d: tests/structural_inference.rs
+
+/root/repo/target/debug/deps/structural_inference-d4e18e5aa0667023: tests/structural_inference.rs
+
+tests/structural_inference.rs:

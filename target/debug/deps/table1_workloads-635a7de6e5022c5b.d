@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_workloads-635a7de6e5022c5b.d: crates/bench/src/bin/table1_workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_workloads-635a7de6e5022c5b.rmeta: crates/bench/src/bin/table1_workloads.rs Cargo.toml
+
+crates/bench/src/bin/table1_workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

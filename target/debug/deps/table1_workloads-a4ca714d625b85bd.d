@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_workloads-a4ca714d625b85bd.d: crates/bench/src/bin/table1_workloads.rs
+
+/root/repo/target/debug/deps/table1_workloads-a4ca714d625b85bd: crates/bench/src/bin/table1_workloads.rs
+
+crates/bench/src/bin/table1_workloads.rs:

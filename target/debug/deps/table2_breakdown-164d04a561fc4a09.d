@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_breakdown-164d04a561fc4a09.d: crates/bench/src/bin/table2_breakdown.rs
+
+/root/repo/target/debug/deps/table2_breakdown-164d04a561fc4a09: crates/bench/src/bin/table2_breakdown.rs
+
+crates/bench/src/bin/table2_breakdown.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_breakdown-56ff3d77cebe8740.d: crates/bench/src/bin/table2_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_breakdown-56ff3d77cebe8740.rmeta: crates/bench/src/bin/table2_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/table2_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

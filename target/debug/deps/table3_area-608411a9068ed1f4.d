@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_area-608411a9068ed1f4.d: crates/bench/src/bin/table3_area.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_area-608411a9068ed1f4.rmeta: crates/bench/src/bin/table3_area.rs Cargo.toml
+
+crates/bench/src/bin/table3_area.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

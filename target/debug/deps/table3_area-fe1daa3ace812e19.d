@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_area-fe1daa3ace812e19.d: crates/bench/src/bin/table3_area.rs
+
+/root/repo/target/debug/deps/table3_area-fe1daa3ace812e19: crates/bench/src/bin/table3_area.rs
+
+crates/bench/src/bin/table3_area.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_end_to_end-154deba7303f222a.d: crates/bench/src/bin/table4_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_end_to_end-154deba7303f222a.rmeta: crates/bench/src/bin/table4_end_to_end.rs Cargo.toml
+
+crates/bench/src/bin/table4_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_end_to_end-8cc7620a53ad0a5a.d: crates/bench/src/bin/table4_end_to_end.rs
+
+/root/repo/target/debug/deps/table4_end_to_end-8cc7620a53ad0a5a: crates/bench/src/bin/table4_end_to_end.rs
+
+crates/bench/src/bin/table4_end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/chain_doctor-606a93f3a5b2c8e3.d: examples/chain_doctor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libchain_doctor-606a93f3a5b2c8e3.rmeta: examples/chain_doctor.rs Cargo.toml
+
+examples/chain_doctor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

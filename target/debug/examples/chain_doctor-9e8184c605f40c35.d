@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chain_doctor-9e8184c605f40c35.d: examples/chain_doctor.rs
+
+/root/repo/target/debug/examples/chain_doctor-9e8184c605f40c35: examples/chain_doctor.rs
+
+examples/chain_doctor.rs:

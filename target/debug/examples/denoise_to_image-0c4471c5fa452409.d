@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/denoise_to_image-0c4471c5fa452409.d: examples/denoise_to_image.rs
+
+/root/repo/target/debug/examples/denoise_to_image-0c4471c5fa452409: examples/denoise_to_image.rs
+
+examples/denoise_to_image.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/denoise_to_image-161f780ee602a9e2.d: examples/denoise_to_image.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdenoise_to_image-161f780ee602a9e2.rmeta: examples/denoise_to_image.rs Cargo.toml
+
+examples/denoise_to_image.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

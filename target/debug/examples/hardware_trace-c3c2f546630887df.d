@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hardware_trace-c3c2f546630887df.d: examples/hardware_trace.rs
+
+/root/repo/target/debug/examples/hardware_trace-c3c2f546630887df: examples/hardware_trace.rs
+
+examples/hardware_trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hardware_trace-de75368d3328056d.d: examples/hardware_trace.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhardware_trace-de75368d3328056d.rmeta: examples/hardware_trace.rs Cargo.toml
+
+examples/hardware_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

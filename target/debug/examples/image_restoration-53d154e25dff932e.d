@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/image_restoration-53d154e25dff932e.d: examples/image_restoration.rs
+
+/root/repo/target/debug/examples/image_restoration-53d154e25dff932e: examples/image_restoration.rs
+
+examples/image_restoration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/image_restoration-d4cae4a3c58ffe37.d: examples/image_restoration.rs Cargo.toml
+
+/root/repo/target/debug/examples/libimage_restoration-d4cae4a3c58ffe37.rmeta: examples/image_restoration.rs Cargo.toml
+
+examples/image_restoration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

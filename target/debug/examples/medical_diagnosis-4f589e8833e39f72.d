@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/medical_diagnosis-4f589e8833e39f72.d: examples/medical_diagnosis.rs
+
+/root/repo/target/debug/examples/medical_diagnosis-4f589e8833e39f72: examples/medical_diagnosis.rs
+
+examples/medical_diagnosis.rs:

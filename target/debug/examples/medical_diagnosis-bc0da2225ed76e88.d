@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/medical_diagnosis-bc0da2225ed76e88.d: examples/medical_diagnosis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmedical_diagnosis-bc0da2225ed76e88.rmeta: examples/medical_diagnosis.rs Cargo.toml
+
+examples/medical_diagnosis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

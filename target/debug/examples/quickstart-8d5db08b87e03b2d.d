@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8d5db08b87e03b2d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8d5db08b87e03b2d: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/topic_modeling-3c033011f5f11504.d: examples/topic_modeling.rs
+
+/root/repo/target/debug/examples/topic_modeling-3c033011f5f11504: examples/topic_modeling.rs
+
+examples/topic_modeling.rs:

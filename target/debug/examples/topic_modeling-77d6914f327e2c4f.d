@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/topic_modeling-77d6914f327e2c4f.d: examples/topic_modeling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtopic_modeling-77d6914f327e2c4f.rmeta: examples/topic_modeling.rs Cargo.toml
+
+examples/topic_modeling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

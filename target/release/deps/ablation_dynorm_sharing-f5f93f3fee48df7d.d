@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_dynorm_sharing-f5f93f3fee48df7d.d: crates/bench/src/bin/ablation_dynorm_sharing.rs
+
+/root/repo/target/release/deps/ablation_dynorm_sharing-f5f93f3fee48df7d: crates/bench/src/bin/ablation_dynorm_sharing.rs
+
+crates/bench/src/bin/ablation_dynorm_sharing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_logfusion_depth-afa3f443bf67cb8e.d: crates/bench/src/bin/ablation_logfusion_depth.rs
+
+/root/repo/target/release/deps/ablation_logfusion_depth-afa3f443bf67cb8e: crates/bench/src/bin/ablation_logfusion_depth.rs
+
+crates/bench/src/bin/ablation_logfusion_depth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_parallel_gibbs-86a18f65c0446bae.d: crates/bench/src/bin/ablation_parallel_gibbs.rs
+
+/root/repo/target/release/deps/ablation_parallel_gibbs-86a18f65c0446bae: crates/bench/src/bin/ablation_parallel_gibbs.rs
+
+crates/bench/src/bin/ablation_parallel_gibbs.rs:

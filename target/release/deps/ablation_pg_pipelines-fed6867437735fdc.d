@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_pg_pipelines-fed6867437735fdc.d: crates/bench/src/bin/ablation_pg_pipelines.rs
+
+/root/repo/target/release/deps/ablation_pg_pipelines-fed6867437735fdc: crates/bench/src/bin/ablation_pg_pipelines.rs
+
+crates/bench/src/bin/ablation_pg_pipelines.rs:

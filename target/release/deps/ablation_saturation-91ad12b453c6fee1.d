@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_saturation-91ad12b453c6fee1.d: crates/bench/src/bin/ablation_saturation.rs
+
+/root/repo/target/release/deps/ablation_saturation-91ad12b453c6fee1: crates/bench/src/bin/ablation_saturation.rs
+
+crates/bench/src/bin/ablation_saturation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_step_lut-87444d7165ff0e5f.d: crates/bench/src/bin/ablation_step_lut.rs
+
+/root/repo/target/release/deps/ablation_step_lut-87444d7165ff0e5f: crates/bench/src/bin/ablation_step_lut.rs
+
+crates/bench/src/bin/ablation_step_lut.rs:

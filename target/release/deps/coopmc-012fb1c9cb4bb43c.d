@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/coopmc-012fb1c9cb4bb43c.d: src/lib.rs
+
+/root/repo/target/release/deps/coopmc-012fb1c9cb4bb43c: src/lib.rs
+
+src/lib.rs:

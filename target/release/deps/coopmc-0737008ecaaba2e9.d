@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/coopmc-0737008ecaaba2e9.d: src/main.rs
+
+/root/repo/target/release/deps/coopmc-0737008ecaaba2e9: src/main.rs
+
+src/main.rs:

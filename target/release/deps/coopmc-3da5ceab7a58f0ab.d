@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/coopmc-3da5ceab7a58f0ab.d: src/main.rs
+
+/root/repo/target/release/deps/coopmc-3da5ceab7a58f0ab: src/main.rs
+
+src/main.rs:

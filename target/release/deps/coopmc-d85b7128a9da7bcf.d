@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/coopmc-d85b7128a9da7bcf.d: src/lib.rs
+
+/root/repo/target/release/deps/libcoopmc-d85b7128a9da7bcf.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcoopmc-d85b7128a9da7bcf.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/coopmc_bench-a6472b9b1e96ff8e.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libcoopmc_bench-a6472b9b1e96ff8e.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libcoopmc_bench-a6472b9b1e96ff8e.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

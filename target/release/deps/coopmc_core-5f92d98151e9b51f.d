@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/coopmc_core-5f92d98151e9b51f.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/experiments.rs crates/core/src/metropolis.rs crates/core/src/parallel.rs crates/core/src/pipeline.rs crates/core/src/pool.rs
+
+/root/repo/target/release/deps/libcoopmc_core-5f92d98151e9b51f.rlib: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/experiments.rs crates/core/src/metropolis.rs crates/core/src/parallel.rs crates/core/src/pipeline.rs crates/core/src/pool.rs
+
+/root/repo/target/release/deps/libcoopmc_core-5f92d98151e9b51f.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/experiments.rs crates/core/src/metropolis.rs crates/core/src/parallel.rs crates/core/src/pipeline.rs crates/core/src/pool.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/experiments.rs:
+crates/core/src/metropolis.rs:
+crates/core/src/parallel.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/pool.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/coopmc_fixed-587b7e9e6a300201.d: crates/fixed/src/lib.rs crates/fixed/src/format.rs crates/fixed/src/value.rs
+
+/root/repo/target/release/deps/libcoopmc_fixed-587b7e9e6a300201.rlib: crates/fixed/src/lib.rs crates/fixed/src/format.rs crates/fixed/src/value.rs
+
+/root/repo/target/release/deps/libcoopmc_fixed-587b7e9e6a300201.rmeta: crates/fixed/src/lib.rs crates/fixed/src/format.rs crates/fixed/src/value.rs
+
+crates/fixed/src/lib.rs:
+crates/fixed/src/format.rs:
+crates/fixed/src/value.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/coopmc_hw-1a855bf4dfb605eb.d: crates/hw/src/lib.rs crates/hw/src/accel.rs crates/hw/src/area.rs crates/hw/src/cycles.rs crates/hw/src/mem.rs crates/hw/src/pgpipe.rs crates/hw/src/power.rs crates/hw/src/roofline.rs
+
+/root/repo/target/release/deps/libcoopmc_hw-1a855bf4dfb605eb.rlib: crates/hw/src/lib.rs crates/hw/src/accel.rs crates/hw/src/area.rs crates/hw/src/cycles.rs crates/hw/src/mem.rs crates/hw/src/pgpipe.rs crates/hw/src/power.rs crates/hw/src/roofline.rs
+
+/root/repo/target/release/deps/libcoopmc_hw-1a855bf4dfb605eb.rmeta: crates/hw/src/lib.rs crates/hw/src/accel.rs crates/hw/src/area.rs crates/hw/src/cycles.rs crates/hw/src/mem.rs crates/hw/src/pgpipe.rs crates/hw/src/power.rs crates/hw/src/roofline.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/accel.rs:
+crates/hw/src/area.rs:
+crates/hw/src/cycles.rs:
+crates/hw/src/mem.rs:
+crates/hw/src/pgpipe.rs:
+crates/hw/src/power.rs:
+crates/hw/src/roofline.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/coopmc_kernels-f5f6c4ded69a6bc9.d: crates/kernels/src/lib.rs crates/kernels/src/cost.rs crates/kernels/src/dynorm.rs crates/kernels/src/error.rs crates/kernels/src/exp.rs crates/kernels/src/faults.rs crates/kernels/src/fusion.rs crates/kernels/src/log.rs
+
+/root/repo/target/release/deps/libcoopmc_kernels-f5f6c4ded69a6bc9.rlib: crates/kernels/src/lib.rs crates/kernels/src/cost.rs crates/kernels/src/dynorm.rs crates/kernels/src/error.rs crates/kernels/src/exp.rs crates/kernels/src/faults.rs crates/kernels/src/fusion.rs crates/kernels/src/log.rs
+
+/root/repo/target/release/deps/libcoopmc_kernels-f5f6c4ded69a6bc9.rmeta: crates/kernels/src/lib.rs crates/kernels/src/cost.rs crates/kernels/src/dynorm.rs crates/kernels/src/error.rs crates/kernels/src/exp.rs crates/kernels/src/faults.rs crates/kernels/src/fusion.rs crates/kernels/src/log.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/cost.rs:
+crates/kernels/src/dynorm.rs:
+crates/kernels/src/error.rs:
+crates/kernels/src/exp.rs:
+crates/kernels/src/faults.rs:
+crates/kernels/src/fusion.rs:
+crates/kernels/src/log.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/coopmc_rng-1d0ce7d7421cb9a4.d: crates/rng/src/lib.rs crates/rng/src/counting.rs crates/rng/src/lfsr.rs crates/rng/src/philox.rs crates/rng/src/splitmix.rs crates/rng/src/xorshift.rs
+
+/root/repo/target/release/deps/libcoopmc_rng-1d0ce7d7421cb9a4.rlib: crates/rng/src/lib.rs crates/rng/src/counting.rs crates/rng/src/lfsr.rs crates/rng/src/philox.rs crates/rng/src/splitmix.rs crates/rng/src/xorshift.rs
+
+/root/repo/target/release/deps/libcoopmc_rng-1d0ce7d7421cb9a4.rmeta: crates/rng/src/lib.rs crates/rng/src/counting.rs crates/rng/src/lfsr.rs crates/rng/src/philox.rs crates/rng/src/splitmix.rs crates/rng/src/xorshift.rs
+
+crates/rng/src/lib.rs:
+crates/rng/src/counting.rs:
+crates/rng/src/lfsr.rs:
+crates/rng/src/philox.rs:
+crates/rng/src/splitmix.rs:
+crates/rng/src/xorshift.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/coopmc_sampler-c636eeda963f01f3.d: crates/sampler/src/lib.rs crates/sampler/src/alias.rs crates/sampler/src/pipe.rs crates/sampler/src/sequential.rs crates/sampler/src/tree.rs
+
+/root/repo/target/release/deps/libcoopmc_sampler-c636eeda963f01f3.rlib: crates/sampler/src/lib.rs crates/sampler/src/alias.rs crates/sampler/src/pipe.rs crates/sampler/src/sequential.rs crates/sampler/src/tree.rs
+
+/root/repo/target/release/deps/libcoopmc_sampler-c636eeda963f01f3.rmeta: crates/sampler/src/lib.rs crates/sampler/src/alias.rs crates/sampler/src/pipe.rs crates/sampler/src/sequential.rs crates/sampler/src/tree.rs
+
+crates/sampler/src/lib.rs:
+crates/sampler/src/alias.rs:
+crates/sampler/src/pipe.rs:
+crates/sampler/src/sequential.rs:
+crates/sampler/src/tree.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/coopmc_sim-ee2f4435289b948e.d: crates/sim/src/lib.rs crates/sim/src/circuits.rs crates/sim/src/netlist.rs
+
+/root/repo/target/release/deps/libcoopmc_sim-ee2f4435289b948e.rlib: crates/sim/src/lib.rs crates/sim/src/circuits.rs crates/sim/src/netlist.rs
+
+/root/repo/target/release/deps/libcoopmc_sim-ee2f4435289b948e.rmeta: crates/sim/src/lib.rs crates/sim/src/circuits.rs crates/sim/src/netlist.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/circuits.rs:
+crates/sim/src/netlist.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/coopmc_testkit-197233624d03cc43.d: crates/testkit/src/lib.rs
+
+/root/repo/target/release/deps/libcoopmc_testkit-197233624d03cc43.rlib: crates/testkit/src/lib.rs
+
+/root/repo/target/release/deps/libcoopmc_testkit-197233624d03cc43.rmeta: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

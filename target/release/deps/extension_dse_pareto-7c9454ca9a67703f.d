@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extension_dse_pareto-7c9454ca9a67703f.d: crates/bench/src/bin/extension_dse_pareto.rs
+
+/root/repo/target/release/deps/extension_dse_pareto-7c9454ca9a67703f: crates/bench/src/bin/extension_dse_pareto.rs
+
+crates/bench/src/bin/extension_dse_pareto.rs:

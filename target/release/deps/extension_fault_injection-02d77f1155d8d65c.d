@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extension_fault_injection-02d77f1155d8d65c.d: crates/bench/src/bin/extension_fault_injection.rs
+
+/root/repo/target/release/deps/extension_fault_injection-02d77f1155d8d65c: crates/bench/src/bin/extension_fault_injection.rs
+
+crates/bench/src/bin/extension_fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extension_sparse_lda-020b9282a0655f62.d: crates/bench/src/bin/extension_sparse_lda.rs
+
+/root/repo/target/release/deps/extension_sparse_lda-020b9282a0655f62: crates/bench/src/bin/extension_sparse_lda.rs
+
+crates/bench/src/bin/extension_sparse_lda.rs:

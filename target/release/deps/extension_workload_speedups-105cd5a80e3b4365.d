@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extension_workload_speedups-105cd5a80e3b4365.d: crates/bench/src/bin/extension_workload_speedups.rs
+
+/root/repo/target/release/deps/extension_workload_speedups-105cd5a80e3b4365: crates/bench/src/bin/extension_workload_speedups.rs
+
+crates/bench/src/bin/extension_workload_speedups.rs:

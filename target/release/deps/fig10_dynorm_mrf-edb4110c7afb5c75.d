@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_dynorm_mrf-edb4110c7afb5c75.d: crates/bench/src/bin/fig10_dynorm_mrf.rs
+
+/root/repo/target/release/deps/fig10_dynorm_mrf-edb4110c7afb5c75: crates/bench/src/bin/fig10_dynorm_mrf.rs
+
+crates/bench/src/bin/fig10_dynorm_mrf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_tableexp_mrf-3bd46bc20342fb82.d: crates/bench/src/bin/fig11_tableexp_mrf.rs
+
+/root/repo/target/release/deps/fig11_tableexp_mrf-3bd46bc20342fb82: crates/bench/src/bin/fig11_tableexp_mrf.rs
+
+crates/bench/src/bin/fig11_tableexp_mrf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_tableexp_bn-988f0c2676594a05.d: crates/bench/src/bin/fig12_tableexp_bn.rs
+
+/root/repo/target/release/deps/fig12_tableexp_bn-988f0c2676594a05: crates/bench/src/bin/fig12_tableexp_bn.rs
+
+crates/bench/src/bin/fig12_tableexp_bn.rs:

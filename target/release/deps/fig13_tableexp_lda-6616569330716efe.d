@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_tableexp_lda-6616569330716efe.d: crates/bench/src/bin/fig13_tableexp_lda.rs
+
+/root/repo/target/release/deps/fig13_tableexp_lda-6616569330716efe: crates/bench/src/bin/fig13_tableexp_lda.rs
+
+crates/bench/src/bin/fig13_tableexp_lda.rs:

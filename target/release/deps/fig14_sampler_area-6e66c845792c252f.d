@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_sampler_area-6e66c845792c252f.d: crates/bench/src/bin/fig14_sampler_area.rs
+
+/root/repo/target/release/deps/fig14_sampler_area-6e66c845792c252f: crates/bench/src/bin/fig14_sampler_area.rs
+
+crates/bench/src/bin/fig14_sampler_area.rs:

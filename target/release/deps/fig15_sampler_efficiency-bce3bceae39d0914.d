@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_sampler_efficiency-bce3bceae39d0914.d: crates/bench/src/bin/fig15_sampler_efficiency.rs
+
+/root/repo/target/release/deps/fig15_sampler_efficiency-bce3bceae39d0914: crates/bench/src/bin/fig15_sampler_efficiency.rs
+
+crates/bench/src/bin/fig15_sampler_efficiency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_dynorm_precision-1ce148dc010d09e4.d: crates/bench/src/bin/fig2_dynorm_precision.rs
+
+/root/repo/target/release/deps/fig2_dynorm_precision-1ce148dc010d09e4: crates/bench/src/bin/fig2_dynorm_precision.rs
+
+crates/bench/src/bin/fig2_dynorm_precision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_exp_error-365b83b02e32c58c.d: crates/bench/src/bin/fig4_exp_error.rs
+
+/root/repo/target/release/deps/fig4_exp_error-365b83b02e32c58c: crates/bench/src/bin/fig4_exp_error.rs
+
+crates/bench/src/bin/fig4_exp_error.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_tableexp_stereo-a0abf922d9d0c073.d: crates/bench/src/bin/fig7_tableexp_stereo.rs
+
+/root/repo/target/release/deps/fig7_tableexp_stereo-a0abf922d9d0c073: crates/bench/src/bin/fig7_tableexp_stereo.rs
+
+crates/bench/src/bin/fig7_tableexp_stereo.rs:

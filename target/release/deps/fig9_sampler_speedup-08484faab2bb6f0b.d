@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_sampler_speedup-08484faab2bb6f0b.d: crates/bench/src/bin/fig9_sampler_speedup.rs
+
+/root/repo/target/release/deps/fig9_sampler_speedup-08484faab2bb6f0b: crates/bench/src/bin/fig9_sampler_speedup.rs
+
+crates/bench/src/bin/fig9_sampler_speedup.rs:

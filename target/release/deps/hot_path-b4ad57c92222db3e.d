@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hot_path-b4ad57c92222db3e.d: crates/bench/benches/hot_path.rs
+
+/root/repo/target/release/deps/hot_path-b4ad57c92222db3e: crates/bench/benches/hot_path.rs
+
+crates/bench/benches/hot_path.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

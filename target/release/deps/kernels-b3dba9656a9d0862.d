@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernels-b3dba9656a9d0862.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/release/deps/kernels-b3dba9656a9d0862: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

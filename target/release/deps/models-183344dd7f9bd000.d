@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/models-183344dd7f9bd000.d: crates/bench/benches/models.rs
+
+/root/repo/target/release/deps/models-183344dd7f9bd000: crates/bench/benches/models.rs
+
+crates/bench/benches/models.rs:

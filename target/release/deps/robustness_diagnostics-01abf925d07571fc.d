@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness_diagnostics-01abf925d07571fc.d: crates/bench/src/bin/robustness_diagnostics.rs
+
+/root/repo/target/release/deps/robustness_diagnostics-01abf925d07571fc: crates/bench/src/bin/robustness_diagnostics.rs
+
+crates/bench/src/bin/robustness_diagnostics.rs:

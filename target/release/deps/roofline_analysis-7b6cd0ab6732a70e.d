@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/roofline_analysis-7b6cd0ab6732a70e.d: crates/bench/src/bin/roofline_analysis.rs
+
+/root/repo/target/release/deps/roofline_analysis-7b6cd0ab6732a70e: crates/bench/src/bin/roofline_analysis.rs
+
+crates/bench/src/bin/roofline_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/samplers-dfc0552b08c163f5.d: crates/bench/benches/samplers.rs
+
+/root/repo/target/release/deps/samplers-dfc0552b08c163f5: crates/bench/benches/samplers.rs
+
+crates/bench/benches/samplers.rs:

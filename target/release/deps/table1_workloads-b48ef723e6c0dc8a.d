@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_workloads-b48ef723e6c0dc8a.d: crates/bench/src/bin/table1_workloads.rs
+
+/root/repo/target/release/deps/table1_workloads-b48ef723e6c0dc8a: crates/bench/src/bin/table1_workloads.rs
+
+crates/bench/src/bin/table1_workloads.rs:

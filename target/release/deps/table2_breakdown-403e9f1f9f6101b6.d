@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_breakdown-403e9f1f9f6101b6.d: crates/bench/src/bin/table2_breakdown.rs
+
+/root/repo/target/release/deps/table2_breakdown-403e9f1f9f6101b6: crates/bench/src/bin/table2_breakdown.rs
+
+crates/bench/src/bin/table2_breakdown.rs:

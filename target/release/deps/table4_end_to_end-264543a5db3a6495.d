@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_end_to_end-264543a5db3a6495.d: crates/bench/src/bin/table4_end_to_end.rs
+
+/root/repo/target/release/deps/table4_end_to_end-264543a5db3a6495: crates/bench/src/bin/table4_end_to_end.rs
+
+crates/bench/src/bin/table4_end_to_end.rs:

@@ -6,7 +6,11 @@ use coopmc::core::pipeline::PipelineConfig;
 use coopmc::models::bn::{asia, earthquake, survey, BayesNet};
 
 fn networks() -> Vec<(&'static str, BayesNet)> {
-    vec![("asia", asia()), ("earthquake", earthquake()), ("survey", survey())]
+    vec![
+        ("asia", asia()),
+        ("earthquake", earthquake()),
+        ("survey", survey()),
+    ]
 }
 
 /// Float Gibbs converges to the exact marginals on every network.
@@ -40,7 +44,10 @@ fn starved_lut_degrades_bn_inference() {
     let net = earthquake();
     let good = bn_marginal_mse(&net, PipelineConfig::coopmc(128, 16), 5000, 500, 5);
     let bad = bn_marginal_mse(&net, PipelineConfig::coopmc(4, 1), 5000, 500, 5);
-    assert!(bad > 2.0 * good + 1e-3, "size-4/1-bit LUT must hurt: {bad} vs {good}");
+    assert!(
+        bad > 2.0 * good + 1e-3,
+        "size-4/1-bit LUT must hurt: {bad} vs {good}"
+    );
 }
 
 /// Evidence propagates end to end: clamping a symptom shifts the estimated
@@ -59,7 +66,10 @@ fn evidence_shifts_marginals_in_the_right_direction() {
 
     let exact = exact_marginal(&net, burglary)[0];
     let prior = 0.01;
-    assert!(exact > 10.0 * prior, "alarm evidence must raise P(burglary)");
+    assert!(
+        exact > 10.0 * prior,
+        "alarm evidence must raise P(burglary)"
+    );
 
     let mut engine = GibbsEngine::new(
         PipelineConfig::coopmc(256, 16).build(),
@@ -75,5 +85,8 @@ fn evidence_shifts_marginals_in_the_right_direction() {
         }
     }
     let gibbs = counter.marginal(burglary)[0];
-    assert!((gibbs - exact).abs() < 0.05, "gibbs {gibbs} vs exact {exact}");
+    assert!(
+        (gibbs - exact).abs() < 0.05,
+        "gibbs {gibbs} vs exact {exact}"
+    );
 }

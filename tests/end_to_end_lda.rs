@@ -43,7 +43,10 @@ fn lut_precision_ordering_matches_fig13() {
     let starved = lda_converged_loglik(&lda, PipelineConfig::coopmc(8, 2), 25, 5);
     let slack = 0.03 * float.abs();
     assert!(good > float - slack, "lut128x16 {good} vs float {float}");
-    assert!(starved < good - slack / 3.0, "starved LUT must trail: {starved} vs {good}");
+    assert!(
+        starved < good - slack / 3.0,
+        "starved LUT must trail: {starved} vs {good}"
+    );
 }
 
 /// The planted band structure is recovered: after training, each planted
@@ -104,7 +107,11 @@ fn count_tables_remain_consistent() {
     assert_eq!(total as usize, corpus.tokens.len());
     for k in 0..lda.n_topics() {
         let vt_sum: u32 = (0..lda.n_vocab()).map(|v| lda.vt(k, v)).sum();
-        assert_eq!(vt_sum, lda.topic_total(k), "VT column sum mismatch for topic {k}");
+        assert_eq!(
+            vt_sum,
+            lda.topic_total(k),
+            "VT column sum mismatch for topic {k}"
+        );
     }
     let mut dt_sum: u32 = 0;
     for d in 0..lda.n_docs() {

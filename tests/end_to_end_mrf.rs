@@ -43,8 +43,14 @@ fn coopmc_lut_matches_float_on_stereo() {
     let coop = mrf_converged_nmse(&app, PipelineConfig::coopmc(32, 8), 25, 3, &golden);
     let coop_big = mrf_converged_nmse(&app, PipelineConfig::coopmc(1024, 32), 25, 3, &golden);
 
-    assert!((coop - float).abs() < 0.15, "lut32x8 {coop} vs float {float}");
-    assert!((coop_big - float).abs() < 0.15, "lut1024x32 {coop_big} vs float {float}");
+    assert!(
+        (coop - float).abs() < 0.15,
+        "lut32x8 {coop} vs float {float}"
+    );
+    assert!(
+        (coop_big - float).abs() < 0.15,
+        "lut1024x32 {coop_big} vs float {float}"
+    );
 }
 
 /// A tiny LUT (size 4) cannot resolve the cost structure and must be
@@ -55,7 +61,10 @@ fn tiny_lut_degrades_quality() {
     let golden = mrf_golden(&app, 50, 502);
     let float = mrf_converged_nmse(&app, PipelineConfig::float32(), 25, 5, &golden);
     let tiny = mrf_converged_nmse(&app, PipelineConfig::coopmc(4, 2), 25, 5, &golden);
-    assert!(tiny > float + 0.05, "size-4 LUT should degrade: {tiny} vs {float}");
+    assert!(
+        tiny > float + 0.05,
+        "size-4 LUT should degrade: {tiny} vs {float}"
+    );
 }
 
 /// Convergence is monotone-ish: the normalized MSE at iteration 20 must be

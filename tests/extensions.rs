@@ -61,8 +61,10 @@ fn bn_moral_colorings_are_valid() {
                 }
             }
         }
-        let adjacency: Vec<Vec<usize>> =
-            adjacency.into_iter().map(|s| s.into_iter().collect()).collect();
+        let adjacency: Vec<Vec<usize>> = adjacency
+            .into_iter()
+            .map(|s| s.into_iter().collect())
+            .collect();
         assert!(verify_coloring(&adjacency, &classes));
     }
 }
@@ -143,8 +145,9 @@ fn alias_and_tree_samplers_are_statistically_equal() {
     let draws = 30_000;
     let run = |sampler: &dyn Sampler, seed: u64| {
         let mut rng = SplitMix64::new(seed);
-        let samples: Vec<usize> =
-            (0..draws).map(|_| sampler.sample(&probs, &mut rng).label).collect();
+        let samples: Vec<usize> = (0..draws)
+            .map(|_| sampler.sample(&probs, &mut rng).label)
+            .collect();
         empirical_distribution(&samples, 4)
     };
     let tree = run(&TreeSampler::new(), 11);

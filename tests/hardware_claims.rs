@@ -18,7 +18,10 @@ fn alu_area_reduction_headline() {
     })
     .total();
     let reduction = baseline / coopmc;
-    assert!((7.0..8.2).contains(&reduction), "ALU reduction {reduction} (paper: 7.5x)");
+    assert!(
+        (7.0..8.2).contains(&reduction),
+        "ALU reduction {reduction} (paper: 7.5x)"
+    );
 }
 
 /// Abstract: "O(N) to O(log N), an 8.7× speedup" at 64 labels.
@@ -27,7 +30,10 @@ fn sampler_speedup_headline() {
     let seq = SequentialSampler::new().latency_cycles(64) as f64;
     let tree = TreeSampler::new().latency_cycles(64) as f64;
     let speedup = seq / tree;
-    assert!((8.0..9.5).contains(&speedup), "sampler speedup {speedup} (paper: 8.7x)");
+    assert!(
+        (8.0..9.5).contains(&speedup),
+        "sampler speedup {speedup} (paper: 8.7x)"
+    );
 }
 
 /// Abstract: "1.9× better area efficiency than the existing state-of-the-art
@@ -55,16 +61,28 @@ fn table4_shape() {
 
     let (_, vpg_area, vpg_power, _) = rows[1];
     assert!(vpg_area < 0.75, "V_PG area ratio {vpg_area} (paper: 0.67)");
-    assert!(vpg_power < 0.65, "V_PG power ratio {vpg_power} (paper prose: 0.38)");
+    assert!(
+        vpg_power < 0.65,
+        "V_PG power ratio {vpg_power} (paper prose: 0.38)"
+    );
 
     let (_, vts_area, _, vts_speed) = rows[2];
     assert!(vts_area > 1.5, "V_TS area ratio {vts_area} (paper: 1.77)");
     assert!(vts_speed > 1.4, "V_TS speedup {vts_speed} (paper: 1.59)");
 
     let (_, combo_area, combo_power, combo_speed) = rows[3];
-    assert!(combo_speed > 1.4, "V_PG+TS speedup {combo_speed} (paper: 1.53)");
-    assert!(combo_area < vts_area, "combined design must shrink versus V_TS");
-    assert!(combo_power < rows[2].2, "combined design must use less power than V_TS");
+    assert!(
+        combo_speed > 1.4,
+        "V_PG+TS speedup {combo_speed} (paper: 1.53)"
+    );
+    assert!(
+        combo_area < vts_area,
+        "combined design must shrink versus V_TS"
+    );
+    assert!(
+        combo_power < rows[2].2,
+        "combined design must use less power than V_TS"
+    );
 }
 
 /// §IV-D: every modelled core stays under the 32-bit SRAM bandwidth roof.
@@ -72,7 +90,11 @@ fn table4_shape() {
 fn all_cores_compute_bound() {
     for (report, _, _, speedup) in case_study_table() {
         let r = roofline(report.cycles_per_variable);
-        assert!(r.compute_bound, "{} ({speedup}x) must be compute-bound", report.config.name);
+        assert!(
+            r.compute_bound,
+            "{} ({speedup}x) must be compute-bound",
+            report.config.name
+        );
         assert!(r.threshold_bits_per_cycle < 32.0);
     }
 }
@@ -87,12 +109,24 @@ fn fig15_efficiency_ordering() {
         let tree = TreeSampler::new();
         let pipe = PipeTreeSampler::new();
         let eff = |thr: f64, area: f64| thr / area;
-        let e_seq = eff(seq.throughput(n), sampler_area(SamplerKind::Sequential, n, 32).total());
-        let e_tree = eff(tree.throughput(n), sampler_area(SamplerKind::Tree, n, 32).total());
-        let e_pipe = eff(pipe.throughput(n), sampler_area(SamplerKind::PipeTree, n, 32).total());
+        let e_seq = eff(
+            seq.throughput(n),
+            sampler_area(SamplerKind::Sequential, n, 32).total(),
+        );
+        let e_tree = eff(
+            tree.throughput(n),
+            sampler_area(SamplerKind::Tree, n, 32).total(),
+        );
+        let e_pipe = eff(
+            pipe.throughput(n),
+            sampler_area(SamplerKind::PipeTree, n, 32).total(),
+        );
         assert!(e_pipe > e_tree && e_pipe > e_seq, "pipe must lead at n={n}");
         if n == 64 {
-            assert!(e_tree > e_seq, "tree must beat sequential at the 64-label design point");
+            assert!(
+                e_tree > e_seq,
+                "tree must beat sequential at the 64-label design point"
+            );
         }
     }
 }
