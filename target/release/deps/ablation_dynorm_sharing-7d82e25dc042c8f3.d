@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_dynorm_sharing-7d82e25dc042c8f3.d: crates/bench/src/bin/ablation_dynorm_sharing.rs
+
+/root/repo/target/release/deps/ablation_dynorm_sharing-7d82e25dc042c8f3: crates/bench/src/bin/ablation_dynorm_sharing.rs
+
+crates/bench/src/bin/ablation_dynorm_sharing.rs:

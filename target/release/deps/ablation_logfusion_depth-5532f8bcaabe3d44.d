@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_logfusion_depth-5532f8bcaabe3d44.d: crates/bench/src/bin/ablation_logfusion_depth.rs
+
+/root/repo/target/release/deps/ablation_logfusion_depth-5532f8bcaabe3d44: crates/bench/src/bin/ablation_logfusion_depth.rs
+
+crates/bench/src/bin/ablation_logfusion_depth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_parallel_gibbs-a066270a6c62e0b5.d: crates/bench/src/bin/ablation_parallel_gibbs.rs
+
+/root/repo/target/release/deps/ablation_parallel_gibbs-a066270a6c62e0b5: crates/bench/src/bin/ablation_parallel_gibbs.rs
+
+crates/bench/src/bin/ablation_parallel_gibbs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_pg_pipelines-607c07fca432759d.d: crates/bench/src/bin/ablation_pg_pipelines.rs
+
+/root/repo/target/release/deps/ablation_pg_pipelines-607c07fca432759d: crates/bench/src/bin/ablation_pg_pipelines.rs
+
+crates/bench/src/bin/ablation_pg_pipelines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_saturation-16f09d0480102566.d: crates/bench/src/bin/ablation_saturation.rs
+
+/root/repo/target/release/deps/ablation_saturation-16f09d0480102566: crates/bench/src/bin/ablation_saturation.rs
+
+crates/bench/src/bin/ablation_saturation.rs:

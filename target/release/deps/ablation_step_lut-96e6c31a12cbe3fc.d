@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_step_lut-96e6c31a12cbe3fc.d: crates/bench/src/bin/ablation_step_lut.rs
+
+/root/repo/target/release/deps/ablation_step_lut-96e6c31a12cbe3fc: crates/bench/src/bin/ablation_step_lut.rs
+
+crates/bench/src/bin/ablation_step_lut.rs:

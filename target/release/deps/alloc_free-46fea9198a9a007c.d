@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/alloc_free-46fea9198a9a007c.d: crates/core/tests/alloc_free.rs
+
+/root/repo/target/release/deps/alloc_free-46fea9198a9a007c: crates/core/tests/alloc_free.rs
+
+crates/core/tests/alloc_free.rs:

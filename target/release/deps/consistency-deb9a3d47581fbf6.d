@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/consistency-deb9a3d47581fbf6.d: crates/hw/tests/consistency.rs
+
+/root/repo/target/release/deps/consistency-deb9a3d47581fbf6: crates/hw/tests/consistency.rs
+
+crates/hw/tests/consistency.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/coopmc_bench-4cac4d50a2ef6d65.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/coopmc_bench-4cac4d50a2ef6d65: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

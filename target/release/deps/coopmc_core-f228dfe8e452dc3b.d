@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/coopmc_core-f228dfe8e452dc3b.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/experiments.rs crates/core/src/metropolis.rs crates/core/src/parallel.rs crates/core/src/pipeline.rs crates/core/src/pool.rs
+
+/root/repo/target/release/deps/coopmc_core-f228dfe8e452dc3b: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/experiments.rs crates/core/src/metropolis.rs crates/core/src/parallel.rs crates/core/src/pipeline.rs crates/core/src/pool.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/experiments.rs:
+crates/core/src/metropolis.rs:
+crates/core/src/parallel.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/pool.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/coopmc_fixed-d736b54ced29ef60.d: crates/fixed/src/lib.rs crates/fixed/src/format.rs crates/fixed/src/value.rs
+
+/root/repo/target/release/deps/coopmc_fixed-d736b54ced29ef60: crates/fixed/src/lib.rs crates/fixed/src/format.rs crates/fixed/src/value.rs
+
+crates/fixed/src/lib.rs:
+crates/fixed/src/format.rs:
+crates/fixed/src/value.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/coopmc_hw-4943df9dc10dedfa.d: crates/hw/src/lib.rs crates/hw/src/accel.rs crates/hw/src/area.rs crates/hw/src/cycles.rs crates/hw/src/mem.rs crates/hw/src/pgpipe.rs crates/hw/src/power.rs crates/hw/src/roofline.rs
+
+/root/repo/target/release/deps/coopmc_hw-4943df9dc10dedfa: crates/hw/src/lib.rs crates/hw/src/accel.rs crates/hw/src/area.rs crates/hw/src/cycles.rs crates/hw/src/mem.rs crates/hw/src/pgpipe.rs crates/hw/src/power.rs crates/hw/src/roofline.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/accel.rs:
+crates/hw/src/area.rs:
+crates/hw/src/cycles.rs:
+crates/hw/src/mem.rs:
+crates/hw/src/pgpipe.rs:
+crates/hw/src/power.rs:
+crates/hw/src/roofline.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/coopmc_kernels-22dae4bb2fa90741.d: crates/kernels/src/lib.rs crates/kernels/src/cost.rs crates/kernels/src/dynorm.rs crates/kernels/src/error.rs crates/kernels/src/exp.rs crates/kernels/src/faults.rs crates/kernels/src/fusion.rs crates/kernels/src/log.rs
+
+/root/repo/target/release/deps/coopmc_kernels-22dae4bb2fa90741: crates/kernels/src/lib.rs crates/kernels/src/cost.rs crates/kernels/src/dynorm.rs crates/kernels/src/error.rs crates/kernels/src/exp.rs crates/kernels/src/faults.rs crates/kernels/src/fusion.rs crates/kernels/src/log.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/cost.rs:
+crates/kernels/src/dynorm.rs:
+crates/kernels/src/error.rs:
+crates/kernels/src/exp.rs:
+crates/kernels/src/faults.rs:
+crates/kernels/src/fusion.rs:
+crates/kernels/src/log.rs:

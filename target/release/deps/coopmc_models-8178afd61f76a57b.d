@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/coopmc_models-8178afd61f76a57b.d: crates/models/src/lib.rs crates/models/src/bn/mod.rs crates/models/src/bn/exact.rs crates/models/src/bn/networks.rs crates/models/src/bn/sampling.rs crates/models/src/coloring.rs crates/models/src/diagnostics.rs crates/models/src/lda/mod.rs crates/models/src/lda/corpus.rs crates/models/src/lda/inference.rs crates/models/src/lda/sparse.rs crates/models/src/metrics.rs crates/models/src/mrf/mod.rs crates/models/src/mrf/apps.rs crates/models/src/workloads.rs
+
+/root/repo/target/release/deps/coopmc_models-8178afd61f76a57b: crates/models/src/lib.rs crates/models/src/bn/mod.rs crates/models/src/bn/exact.rs crates/models/src/bn/networks.rs crates/models/src/bn/sampling.rs crates/models/src/coloring.rs crates/models/src/diagnostics.rs crates/models/src/lda/mod.rs crates/models/src/lda/corpus.rs crates/models/src/lda/inference.rs crates/models/src/lda/sparse.rs crates/models/src/metrics.rs crates/models/src/mrf/mod.rs crates/models/src/mrf/apps.rs crates/models/src/workloads.rs
+
+crates/models/src/lib.rs:
+crates/models/src/bn/mod.rs:
+crates/models/src/bn/exact.rs:
+crates/models/src/bn/networks.rs:
+crates/models/src/bn/sampling.rs:
+crates/models/src/coloring.rs:
+crates/models/src/diagnostics.rs:
+crates/models/src/lda/mod.rs:
+crates/models/src/lda/corpus.rs:
+crates/models/src/lda/inference.rs:
+crates/models/src/lda/sparse.rs:
+crates/models/src/metrics.rs:
+crates/models/src/mrf/mod.rs:
+crates/models/src/mrf/apps.rs:
+crates/models/src/workloads.rs:

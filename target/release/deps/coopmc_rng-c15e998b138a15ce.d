@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/coopmc_rng-c15e998b138a15ce.d: crates/rng/src/lib.rs crates/rng/src/counting.rs crates/rng/src/lfsr.rs crates/rng/src/philox.rs crates/rng/src/splitmix.rs crates/rng/src/xorshift.rs
+
+/root/repo/target/release/deps/coopmc_rng-c15e998b138a15ce: crates/rng/src/lib.rs crates/rng/src/counting.rs crates/rng/src/lfsr.rs crates/rng/src/philox.rs crates/rng/src/splitmix.rs crates/rng/src/xorshift.rs
+
+crates/rng/src/lib.rs:
+crates/rng/src/counting.rs:
+crates/rng/src/lfsr.rs:
+crates/rng/src/philox.rs:
+crates/rng/src/splitmix.rs:
+crates/rng/src/xorshift.rs:

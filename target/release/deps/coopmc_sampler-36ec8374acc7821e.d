@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/coopmc_sampler-36ec8374acc7821e.d: crates/sampler/src/lib.rs crates/sampler/src/alias.rs crates/sampler/src/pipe.rs crates/sampler/src/sequential.rs crates/sampler/src/tree.rs
+
+/root/repo/target/release/deps/coopmc_sampler-36ec8374acc7821e: crates/sampler/src/lib.rs crates/sampler/src/alias.rs crates/sampler/src/pipe.rs crates/sampler/src/sequential.rs crates/sampler/src/tree.rs
+
+crates/sampler/src/lib.rs:
+crates/sampler/src/alias.rs:
+crates/sampler/src/pipe.rs:
+crates/sampler/src/sequential.rs:
+crates/sampler/src/tree.rs:

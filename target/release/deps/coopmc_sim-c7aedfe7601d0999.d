@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/coopmc_sim-c7aedfe7601d0999.d: crates/sim/src/lib.rs crates/sim/src/circuits.rs crates/sim/src/netlist.rs
+
+/root/repo/target/release/deps/coopmc_sim-c7aedfe7601d0999: crates/sim/src/lib.rs crates/sim/src/circuits.rs crates/sim/src/netlist.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/circuits.rs:
+crates/sim/src/netlist.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/coopmc_testkit-42db618ece1aa4bc.d: crates/testkit/src/lib.rs
+
+/root/repo/target/release/deps/coopmc_testkit-42db618ece1aa4bc: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end_bn-aba4dbb145a22d43.d: tests/end_to_end_bn.rs
+
+/root/repo/target/release/deps/end_to_end_bn-aba4dbb145a22d43: tests/end_to_end_bn.rs
+
+tests/end_to_end_bn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end_lda-3c9d0a739d0e6ecd.d: tests/end_to_end_lda.rs
+
+/root/repo/target/release/deps/end_to_end_lda-3c9d0a739d0e6ecd: tests/end_to_end_lda.rs
+
+tests/end_to_end_lda.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end_mrf-4a8e889120cc4671.d: tests/end_to_end_mrf.rs
+
+/root/repo/target/release/deps/end_to_end_mrf-4a8e889120cc4671: tests/end_to_end_mrf.rs
+
+tests/end_to_end_mrf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/equivalence-640ad9c18fdb8788.d: crates/sim/tests/equivalence.rs
+
+/root/repo/target/release/deps/equivalence-640ad9c18fdb8788: crates/sim/tests/equivalence.rs
+
+crates/sim/tests/equivalence.rs:

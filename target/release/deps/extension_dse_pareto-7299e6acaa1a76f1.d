@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extension_dse_pareto-7299e6acaa1a76f1.d: crates/bench/src/bin/extension_dse_pareto.rs
+
+/root/repo/target/release/deps/extension_dse_pareto-7299e6acaa1a76f1: crates/bench/src/bin/extension_dse_pareto.rs
+
+crates/bench/src/bin/extension_dse_pareto.rs:

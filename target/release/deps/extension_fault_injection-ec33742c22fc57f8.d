@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extension_fault_injection-ec33742c22fc57f8.d: crates/bench/src/bin/extension_fault_injection.rs
+
+/root/repo/target/release/deps/extension_fault_injection-ec33742c22fc57f8: crates/bench/src/bin/extension_fault_injection.rs
+
+crates/bench/src/bin/extension_fault_injection.rs:

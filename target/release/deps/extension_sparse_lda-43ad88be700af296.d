@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extension_sparse_lda-43ad88be700af296.d: crates/bench/src/bin/extension_sparse_lda.rs
+
+/root/repo/target/release/deps/extension_sparse_lda-43ad88be700af296: crates/bench/src/bin/extension_sparse_lda.rs
+
+crates/bench/src/bin/extension_sparse_lda.rs:

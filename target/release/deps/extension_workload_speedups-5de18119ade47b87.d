@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extension_workload_speedups-5de18119ade47b87.d: crates/bench/src/bin/extension_workload_speedups.rs
+
+/root/repo/target/release/deps/extension_workload_speedups-5de18119ade47b87: crates/bench/src/bin/extension_workload_speedups.rs
+
+crates/bench/src/bin/extension_workload_speedups.rs:

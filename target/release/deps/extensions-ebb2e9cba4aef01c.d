@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-ebb2e9cba4aef01c.d: tests/extensions.rs
+
+/root/repo/target/release/deps/extensions-ebb2e9cba4aef01c: tests/extensions.rs
+
+tests/extensions.rs:

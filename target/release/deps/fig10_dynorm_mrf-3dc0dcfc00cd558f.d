@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_dynorm_mrf-3dc0dcfc00cd558f.d: crates/bench/src/bin/fig10_dynorm_mrf.rs
+
+/root/repo/target/release/deps/fig10_dynorm_mrf-3dc0dcfc00cd558f: crates/bench/src/bin/fig10_dynorm_mrf.rs
+
+crates/bench/src/bin/fig10_dynorm_mrf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_tableexp_mrf-6d9a34d9fbf5a711.d: crates/bench/src/bin/fig11_tableexp_mrf.rs
+
+/root/repo/target/release/deps/fig11_tableexp_mrf-6d9a34d9fbf5a711: crates/bench/src/bin/fig11_tableexp_mrf.rs
+
+crates/bench/src/bin/fig11_tableexp_mrf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_tableexp_bn-048403595b64845c.d: crates/bench/src/bin/fig12_tableexp_bn.rs
+
+/root/repo/target/release/deps/fig12_tableexp_bn-048403595b64845c: crates/bench/src/bin/fig12_tableexp_bn.rs
+
+crates/bench/src/bin/fig12_tableexp_bn.rs:

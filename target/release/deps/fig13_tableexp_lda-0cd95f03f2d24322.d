@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_tableexp_lda-0cd95f03f2d24322.d: crates/bench/src/bin/fig13_tableexp_lda.rs
+
+/root/repo/target/release/deps/fig13_tableexp_lda-0cd95f03f2d24322: crates/bench/src/bin/fig13_tableexp_lda.rs
+
+crates/bench/src/bin/fig13_tableexp_lda.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_sampler_area-9d31f3d8eddfd9e0.d: crates/bench/src/bin/fig14_sampler_area.rs
+
+/root/repo/target/release/deps/fig14_sampler_area-9d31f3d8eddfd9e0: crates/bench/src/bin/fig14_sampler_area.rs
+
+crates/bench/src/bin/fig14_sampler_area.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_sampler_efficiency-5b42e9a296bbbf44.d: crates/bench/src/bin/fig15_sampler_efficiency.rs
+
+/root/repo/target/release/deps/fig15_sampler_efficiency-5b42e9a296bbbf44: crates/bench/src/bin/fig15_sampler_efficiency.rs
+
+crates/bench/src/bin/fig15_sampler_efficiency.rs:

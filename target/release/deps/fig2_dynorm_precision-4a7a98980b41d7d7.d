@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_dynorm_precision-4a7a98980b41d7d7.d: crates/bench/src/bin/fig2_dynorm_precision.rs
+
+/root/repo/target/release/deps/fig2_dynorm_precision-4a7a98980b41d7d7: crates/bench/src/bin/fig2_dynorm_precision.rs
+
+crates/bench/src/bin/fig2_dynorm_precision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_exp_error-2396707d8a69af60.d: crates/bench/src/bin/fig4_exp_error.rs
+
+/root/repo/target/release/deps/fig4_exp_error-2396707d8a69af60: crates/bench/src/bin/fig4_exp_error.rs
+
+crates/bench/src/bin/fig4_exp_error.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_tableexp_stereo-c9bf0bc04cc57841.d: crates/bench/src/bin/fig7_tableexp_stereo.rs
+
+/root/repo/target/release/deps/fig7_tableexp_stereo-c9bf0bc04cc57841: crates/bench/src/bin/fig7_tableexp_stereo.rs
+
+crates/bench/src/bin/fig7_tableexp_stereo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_sampler_speedup-f7927c8b2a42dec1.d: crates/bench/src/bin/fig9_sampler_speedup.rs
+
+/root/repo/target/release/deps/fig9_sampler_speedup-f7927c8b2a42dec1: crates/bench/src/bin/fig9_sampler_speedup.rs
+
+crates/bench/src/bin/fig9_sampler_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hardware_claims-46263ecb23e17eb8.d: tests/hardware_claims.rs
+
+/root/repo/target/release/deps/hardware_claims-46263ecb23e17eb8: tests/hardware_claims.rs
+
+tests/hardware_claims.rs:

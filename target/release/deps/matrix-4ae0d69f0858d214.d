@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/matrix-4ae0d69f0858d214.d: crates/core/tests/matrix.rs
+
+/root/repo/target/release/deps/matrix-4ae0d69f0858d214: crates/core/tests/matrix.rs
+
+crates/core/tests/matrix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pooled_determinism-eb4ca138a3c2dfc7.d: crates/core/tests/pooled_determinism.rs
+
+/root/repo/target/release/deps/pooled_determinism-eb4ca138a3c2dfc7: crates/core/tests/pooled_determinism.rs
+
+crates/core/tests/pooled_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-22b1a403566a7107.d: crates/models/tests/properties.rs
+
+/root/repo/target/release/deps/properties-22b1a403566a7107: crates/models/tests/properties.rs
+
+crates/models/tests/properties.rs:

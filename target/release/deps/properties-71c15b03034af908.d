@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-71c15b03034af908.d: crates/kernels/tests/properties.rs
+
+/root/repo/target/release/deps/properties-71c15b03034af908: crates/kernels/tests/properties.rs
+
+crates/kernels/tests/properties.rs:

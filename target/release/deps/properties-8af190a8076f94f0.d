@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-8af190a8076f94f0.d: crates/sampler/tests/properties.rs
+
+/root/repo/target/release/deps/properties-8af190a8076f94f0: crates/sampler/tests/properties.rs
+
+crates/sampler/tests/properties.rs:

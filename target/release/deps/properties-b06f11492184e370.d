@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-b06f11492184e370.d: crates/fixed/tests/properties.rs
+
+/root/repo/target/release/deps/properties-b06f11492184e370: crates/fixed/tests/properties.rs
+
+crates/fixed/tests/properties.rs:

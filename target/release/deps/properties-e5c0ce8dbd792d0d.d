@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-e5c0ce8dbd792d0d.d: crates/rng/tests/properties.rs
+
+/root/repo/target/release/deps/properties-e5c0ce8dbd792d0d: crates/rng/tests/properties.rs
+
+crates/rng/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness_diagnostics-b8f4913f30a73897.d: crates/bench/src/bin/robustness_diagnostics.rs
+
+/root/repo/target/release/deps/robustness_diagnostics-b8f4913f30a73897: crates/bench/src/bin/robustness_diagnostics.rs
+
+crates/bench/src/bin/robustness_diagnostics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/roofline_analysis-15aa3396bb3daff1.d: crates/bench/src/bin/roofline_analysis.rs
+
+/root/repo/target/release/deps/roofline_analysis-15aa3396bb3daff1: crates/bench/src/bin/roofline_analysis.rs
+
+crates/bench/src/bin/roofline_analysis.rs:

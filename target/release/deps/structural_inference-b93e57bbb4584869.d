@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/structural_inference-b93e57bbb4584869.d: tests/structural_inference.rs
+
+/root/repo/target/release/deps/structural_inference-b93e57bbb4584869: tests/structural_inference.rs
+
+tests/structural_inference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_workloads-8c52052883db89e5.d: crates/bench/src/bin/table1_workloads.rs
+
+/root/repo/target/release/deps/table1_workloads-8c52052883db89e5: crates/bench/src/bin/table1_workloads.rs
+
+crates/bench/src/bin/table1_workloads.rs:

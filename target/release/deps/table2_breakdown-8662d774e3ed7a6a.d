@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_breakdown-8662d774e3ed7a6a.d: crates/bench/src/bin/table2_breakdown.rs
+
+/root/repo/target/release/deps/table2_breakdown-8662d774e3ed7a6a: crates/bench/src/bin/table2_breakdown.rs
+
+crates/bench/src/bin/table2_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_area-753dc0532f84ed41.d: crates/bench/src/bin/table3_area.rs
+
+/root/repo/target/release/deps/table3_area-753dc0532f84ed41: crates/bench/src/bin/table3_area.rs
+
+crates/bench/src/bin/table3_area.rs:

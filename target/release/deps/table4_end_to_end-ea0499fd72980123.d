@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_end_to_end-ea0499fd72980123.d: crates/bench/src/bin/table4_end_to_end.rs
+
+/root/repo/target/release/deps/table4_end_to_end-ea0499fd72980123: crates/bench/src/bin/table4_end_to_end.rs
+
+crates/bench/src/bin/table4_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/chain_doctor-bb436bb3c258635f.d: examples/chain_doctor.rs
+
+/root/repo/target/release/examples/chain_doctor-bb436bb3c258635f: examples/chain_doctor.rs
+
+examples/chain_doctor.rs:

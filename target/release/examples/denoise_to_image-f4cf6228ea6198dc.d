@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/denoise_to_image-f4cf6228ea6198dc.d: examples/denoise_to_image.rs
+
+/root/repo/target/release/examples/denoise_to_image-f4cf6228ea6198dc: examples/denoise_to_image.rs
+
+examples/denoise_to_image.rs:

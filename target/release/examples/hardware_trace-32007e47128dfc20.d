@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/hardware_trace-32007e47128dfc20.d: examples/hardware_trace.rs
+
+/root/repo/target/release/examples/hardware_trace-32007e47128dfc20: examples/hardware_trace.rs
+
+examples/hardware_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/image_restoration-a8840779efe2219a.d: examples/image_restoration.rs
+
+/root/repo/target/release/examples/image_restoration-a8840779efe2219a: examples/image_restoration.rs
+
+examples/image_restoration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/medical_diagnosis-cbd218b34c24dd76.d: examples/medical_diagnosis.rs
+
+/root/repo/target/release/examples/medical_diagnosis-cbd218b34c24dd76: examples/medical_diagnosis.rs
+
+examples/medical_diagnosis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-661b8252cb062afd.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-661b8252cb062afd: examples/quickstart.rs
+
+examples/quickstart.rs:

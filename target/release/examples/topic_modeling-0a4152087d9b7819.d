@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/topic_modeling-0a4152087d9b7819.d: examples/topic_modeling.rs
+
+/root/repo/target/release/examples/topic_modeling-0a4152087d9b7819: examples/topic_modeling.rs
+
+examples/topic_modeling.rs:
