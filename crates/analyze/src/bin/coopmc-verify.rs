@@ -1,0 +1,23 @@
+//! The `coopmc-verify` gate: statically verify every in-tree netlist,
+//! datapath configuration and chromatic schedule. Exits nonzero on any
+//! contract violation, so CI can run it as a hard gate.
+//!
+//! `--demo-broken` verifies a deliberately broken configuration instead,
+//! demonstrating (and letting CI assert) that the gate actually fails.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let demo = std::env::args().any(|a| a == "--demo-broken");
+    let report = if demo {
+        coopmc_analyze::verify::run_broken_demo()
+    } else {
+        coopmc_analyze::verify::run_all()
+    };
+    print!("{}", report.render());
+    if report.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

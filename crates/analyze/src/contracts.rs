@@ -1,0 +1,378 @@
+//! Closed-form datapath contract checks.
+//!
+//! The CoopMC datapath is only correct when its three stages agree on the
+//! number ranges flowing between them: DyNorm promises the exp stage
+//! non-positive inputs, TableExp promises that everything in `(-range, 0]`
+//! resolves to a ROM entry, and LogFusion promises that a zero-probability
+//! factor (the `LOG_ZERO` sentinel) still flushes to probability zero
+//! after the exp stage. [`check_datapath`] verifies those promises for an
+//! arbitrary [`DatapathConfig`] without simulating anything, and
+//! [`in_tree_configs`] enumerates every configuration the repository
+//! actually instantiates (the PG pipeline defaults, the CLI default and
+//! all figure-reproduction sweeps) so the `coopmc-verify` gate covers the
+//! whole tree.
+
+use coopmc_fixed::QFormat;
+use coopmc_kernels::exp::{ExpKernel, TableExp};
+use coopmc_kernels::log::LOG_ZERO;
+
+use crate::netcheck::Severity;
+
+/// Probability mass the flush-to-zero edge of the LUT may discard before
+/// the configuration is considered broken (an error, not a warning). The
+/// paper's default range 16 loses `e^-16 ≈ 1.1e-7`, far below this; a
+/// range-2 table loses `e^-2 ≈ 0.135` and fails.
+pub const TAIL_MASS_TOLERANCE: f64 = 1e-4;
+
+/// One (accumulator format, TableExp geometry, DyNorm, NormTree width)
+/// combination to verify.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatapathConfig {
+    /// Where the configuration comes from (CLI default, figure bin, …).
+    pub name: String,
+    /// The log-accumulator / comparator bus format.
+    pub acc: QFormat,
+    /// TableExp ROM entries.
+    pub size_lut: usize,
+    /// Fractional bits per ROM entry.
+    pub bit_lut: u32,
+    /// TableExp input coverage: the ROM resolves inputs in `(-lut_range, 0]`.
+    pub lut_range: f64,
+    /// Whether DyNorm normalizes scores before the exp stage.
+    pub dynorm: bool,
+    /// Parallel PG lanes (NormTree width).
+    pub pipelines: usize,
+    /// Most negative *genuine* (non-`LOG_ZERO`) per-label accumulator score
+    /// the workload envelope can produce.
+    pub score_floor: f64,
+    /// Most positive per-label accumulator score (LDA numerator factors
+    /// can exceed 1, so log scores can be positive).
+    pub score_ceiling: f64,
+}
+
+impl DatapathConfig {
+    /// The paper's CoopMC datapath with a Q15.16 accumulator bus, the
+    /// default LUT range 16, DyNorm on, 4 lanes and the default workload
+    /// envelope (scores in `[-1024, 64]`).
+    pub fn coopmc(name: impl Into<String>, size_lut: usize, bit_lut: u32) -> Self {
+        Self {
+            name: name.into(),
+            acc: QFormat::baseline32(),
+            size_lut,
+            bit_lut,
+            lut_range: 16.0,
+            dynorm: true,
+            pipelines: 4,
+            score_floor: -1024.0,
+            score_ceiling: 64.0,
+        }
+    }
+}
+
+/// A violated (or suspicious) datapath contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContractViolation {
+    /// The configuration's [`DatapathConfig::name`].
+    pub config: String,
+    /// Stable identifier of the violated contract.
+    pub contract: &'static str,
+    /// Errors fail the gate; warnings and notes do not.
+    pub severity: Severity,
+    /// Human-readable explanation with the concrete numbers.
+    pub message: String,
+}
+
+impl std::fmt::Display for ContractViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}: {}", self.config, self.contract, self.message)
+    }
+}
+
+/// Statically verify the CoopMC datapath invariants for one configuration.
+///
+/// Checks, in order:
+///
+/// 1. **`dynorm-required`** — without DyNorm the exp input range is the
+///    whole accumulator range, which a range-`lut_range` LUT cannot cover.
+/// 2. **`dynorm-pins-unity`** — DyNorm maps the best label to input 0,
+///    which must resolve to exactly 1.0 (ROM entry 0).
+/// 3. **`lut-covers-dynorm-range`** — mass beyond the LUT edge flushes to
+///    zero; the discarded mass `e^-lut_range` must be negligible.
+/// 4. **`log-zero-survives-exp`** — a `LOG_ZERO` (zero-probability) label
+///    must still flush to 0 after the subtract: every genuine score must
+///    clear the sentinel by at least `lut_range`.
+/// 5. **`normtree-comparator-width`** — the comparator/subtractor bus must
+///    represent the whole workload score envelope and the LUT domain.
+/// 6. **`lut-step-addressable`** — ROM entries narrower than the bus
+///    resolution can never be addressed (wasted area).
+/// 7. **`normtree-width`** — lane counts are padded to a power of two; the
+///    padding is reported as a note.
+pub fn check_datapath(cfg: &DatapathConfig) -> Vec<ContractViolation> {
+    let mut out = Vec::new();
+    let mut push = |contract: &'static str, severity: Severity, message: String| {
+        out.push(ContractViolation {
+            config: cfg.name.clone(),
+            contract,
+            severity,
+            message,
+        })
+    };
+    let table = TableExp::with_range(cfg.size_lut, cfg.bit_lut, cfg.lut_range);
+
+    // 1. DyNorm is what makes a small LUT domain sufficient at all.
+    if !cfg.dynorm {
+        if cfg.score_floor < -cfg.lut_range {
+            push(
+                "dynorm-required",
+                Severity::Error,
+                format!(
+                    "DyNorm is off but scores reach down to {}: inputs below -{} flush to zero \
+                     (the Fig. 2 failure mode)",
+                    cfg.score_floor, cfg.lut_range
+                ),
+            );
+        }
+        if cfg.score_ceiling > 0.0 {
+            push(
+                "dynorm-required",
+                Severity::Error,
+                format!(
+                    "DyNorm is off but scores reach up to {}: positive exp inputs saturate to \
+                     entry 0 and every such label reports probability {}",
+                    cfg.score_ceiling,
+                    table.exp(0.0)
+                ),
+            );
+        }
+    }
+
+    // 2. The best label must map to exactly 1.0.
+    let unity = table.exp(0.0);
+    if unity != 1.0 {
+        push(
+            "dynorm-pins-unity",
+            Severity::Error,
+            format!(
+                "exp(0) resolves to {unity}, not 1.0: the DyNorm-pinned best label is mis-scaled \
+                 ({} entries of {} bits)",
+                cfg.size_lut, cfg.bit_lut
+            ),
+        );
+    }
+
+    // 3. Flush-to-zero tail mass at the LUT edge.
+    let tail = (-cfg.lut_range).exp();
+    if tail > TAIL_MASS_TOLERANCE {
+        push(
+            "lut-covers-dynorm-range",
+            Severity::Error,
+            format!(
+                "the LUT resolves only (-{}, 0]; labels below that flush to zero while still \
+                 carrying up to {tail:.3e} relative probability mass (tolerance {TAIL_MASS_TOLERANCE:.0e})",
+                cfg.lut_range
+            ),
+        );
+    } else {
+        // The flush edge is also a discontinuity on the output grid: the
+        // last ROM entry drops to 0. Harmless unless the grid could have
+        // represented the discarded values.
+        let ulp = (2.0f64).powi(-(cfg.bit_lut as i32));
+        if tail > ulp / 2.0 {
+            push(
+                "lut-covers-dynorm-range",
+                Severity::Warning,
+                format!(
+                    "flush-to-zero at -{} discards {tail:.3e} of mass, which the {}-bit output \
+                     grid (ulp {ulp:.3e}) could still have represented: a wider table or coarser \
+                     entries would be consistent",
+                    cfg.lut_range, cfg.bit_lut
+                ),
+            );
+        }
+    }
+
+    // 4. LOG_ZERO must keep flushing after the broadcast subtract. The
+    //    sentinel saturates onto the accumulator bus; a genuine score
+    //    within `lut_range` of the saturated sentinel would let a
+    //    zero-probability label survive the exp stage.
+    let sentinel = LOG_ZERO.clamp(cfg.acc.min_value(), cfg.acc.max_value());
+    if cfg.score_floor < sentinel + cfg.lut_range {
+        push(
+            "log-zero-survives-exp",
+            Severity::Error,
+            format!(
+                "LOG_ZERO saturates to {sentinel} on {}, and genuine scores reach down to {}: \
+                 a zero-probability label is within the LUT range {} of real scores, so it can \
+                 survive the exp stage with nonzero probability",
+                cfg.acc, cfg.score_floor, cfg.lut_range
+            ),
+        );
+    }
+
+    // 5. Comparator/subtractor bus width.
+    if !cfg.acc.covers(cfg.score_floor, cfg.score_ceiling) {
+        let (lo, hi) = cfg.acc.range();
+        push(
+            "normtree-comparator-width",
+            Severity::Error,
+            format!(
+                "the NormTree comparator bus {} = [{lo}, {hi}] cannot represent the workload \
+                 score envelope [{}, {}]",
+                cfg.acc, cfg.score_floor, cfg.score_ceiling
+            ),
+        );
+    }
+    if !cfg.acc.contains(-cfg.lut_range) {
+        push(
+            "normtree-comparator-width",
+            Severity::Error,
+            format!(
+                "the broadcast-subtract output bus {} cannot represent -{} (the live edge of \
+                 the LUT domain)",
+                cfg.acc, cfg.lut_range
+            ),
+        );
+    }
+
+    // 6. ROM entries must be addressable from the bus grid.
+    if table.step_lut() < cfg.acc.resolution() {
+        push(
+            "lut-step-addressable",
+            Severity::Warning,
+            format!(
+                "step_lut {} is finer than the {} resolution {}: adjacent ROM entries cannot \
+                 be distinguished by any on-grid input (wasted ROM area)",
+                table.step_lut(),
+                cfg.acc,
+                cfg.acc.resolution()
+            ),
+        );
+    }
+
+    // 7. NormTree width padding.
+    if !cfg.pipelines.is_power_of_two() {
+        push(
+            "normtree-width",
+            Severity::Note,
+            format!(
+                "{} lanes pad to a {}-wide NormTree; {} comparator inputs idle",
+                cfg.pipelines,
+                cfg.pipelines.next_power_of_two(),
+                cfg.pipelines.next_power_of_two() - cfg.pipelines
+            ),
+        );
+    }
+
+    out
+}
+
+/// Every TableExp/DyNorm configuration instantiated somewhere in the tree:
+/// the PG-pipe and CLI defaults, the area-model configuration and the full
+/// cross products swept by the figure-reproduction bins (Figs. 7, 11, 12,
+/// 13) and the LogFusion ablation.
+///
+/// The `ablation_step_lut` bin deliberately sweeps *broken* ranges
+/// (down to 4, losing 1.8% of mass) to demonstrate the failure mode; those
+/// are intentionally not part of this registry.
+pub fn in_tree_configs() -> Vec<DatapathConfig> {
+    let mut out = vec![
+        DatapathConfig::coopmc("pgcore-default:64x8", 64, 8),
+        DatapathConfig::coopmc("cli-default:64x8", 64, 8),
+        DatapathConfig::coopmc("table3-area:1024x32", 1024, 32),
+        DatapathConfig::coopmc("ablation-logfusion:1024x24", 1024, 24),
+        DatapathConfig::coopmc("ablation-dynorm-sharing:1024x16", 1024, 16),
+    ];
+    let sweeps: [(&str, &[usize], &[u32]); 4] = [
+        ("fig7", &[16, 32, 64, 128, 256, 1024], &[4, 8, 16, 32]),
+        ("fig11", &[8, 16, 32, 64, 256], &[4, 8, 16]),
+        ("fig12", &[8, 32, 128, 512], &[2, 4, 8, 16]),
+        ("fig13", &[16, 64, 128, 512], &[4, 8, 16, 32]),
+    ];
+    for (fig, sizes, bits) in sweeps {
+        for &size in sizes {
+            for &bit in bits {
+                out.push(DatapathConfig::coopmc(
+                    format!("{fig}:{size}x{bit}"),
+                    size,
+                    bit,
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn errors(v: &[ContractViolation]) -> Vec<&ContractViolation> {
+        v.iter().filter(|c| c.severity == Severity::Error).collect()
+    }
+
+    #[test]
+    fn every_in_tree_config_is_error_free() {
+        for cfg in in_tree_configs() {
+            let violations = check_datapath(&cfg);
+            assert!(
+                errors(&violations).is_empty(),
+                "{}: {:?}",
+                cfg.name,
+                violations
+            );
+        }
+    }
+
+    #[test]
+    fn narrow_lut_range_is_an_error() {
+        let mut cfg = DatapathConfig::coopmc("broken-range", 64, 8);
+        cfg.lut_range = 2.0;
+        let v = check_datapath(&cfg);
+        assert!(v
+            .iter()
+            .any(|c| c.contract == "lut-covers-dynorm-range" && c.severity == Severity::Error));
+    }
+
+    #[test]
+    fn narrow_accumulator_defeats_log_zero_flush() {
+        let mut cfg = DatapathConfig::coopmc("broken-acc", 64, 8);
+        cfg.acc = QFormat::new(5, 10).unwrap(); // [-32, 31.97]
+        let v = check_datapath(&cfg);
+        // The sentinel saturates to -32, within lut_range of real scores.
+        assert!(v
+            .iter()
+            .any(|c| c.contract == "log-zero-survives-exp" && c.severity == Severity::Error));
+        // And the bus cannot hold the score envelope either.
+        assert!(v
+            .iter()
+            .any(|c| c.contract == "normtree-comparator-width" && c.severity == Severity::Error));
+    }
+
+    #[test]
+    fn disabling_dynorm_is_an_error_for_wide_envelopes() {
+        let mut cfg = DatapathConfig::coopmc("no-dynorm", 1024, 32);
+        cfg.dynorm = false;
+        let v = check_datapath(&cfg);
+        let e = errors(&v);
+        assert!(e.iter().any(|c| c.contract == "dynorm-required"));
+    }
+
+    #[test]
+    fn fine_grained_rom_is_flagged_as_unaddressable() {
+        let mut cfg = DatapathConfig::coopmc("fine-rom", 1 << 21, 8);
+        cfg.lut_range = 16.0; // step 16/2^21 = 2^-17 < 2^-16
+        let v = check_datapath(&cfg);
+        assert!(v
+            .iter()
+            .any(|c| c.contract == "lut-step-addressable" && c.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn registry_covers_the_figure_sweeps() {
+        let names: Vec<String> = in_tree_configs().into_iter().map(|c| c.name).collect();
+        for probe in ["fig7:1024x32", "fig11:8x4", "fig12:8x2", "fig13:512x32"] {
+            assert!(names.iter().any(|n| n == probe), "missing {probe}");
+        }
+        assert!(names.len() > 40);
+    }
+}

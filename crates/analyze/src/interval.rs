@@ -1,0 +1,226 @@
+//! The interval abstract domain.
+//!
+//! A wire's abstract value is a closed interval `[lo, hi]` enclosing every
+//! concrete value the wire can carry. The transfer functions below mirror
+//! the seven [`coopmc_sim::Component`] kinds exactly: interval addition for
+//! `Add`, interval subtraction for `Sub`, and so on.
+//!
+//! # Soundness and rounding
+//!
+//! Netlist wires carry `f64` values that are by convention members of a
+//! fixed-point grid (dyadic rationals of bounded magnitude), and on such
+//! values the `f64` additions/subtractions the simulator performs are
+//! *exact*. Interval endpoints computed with the same operations are
+//! therefore exact enclosures — no outward rounding is needed. Endpoint
+//! arithmetic that produces NaN (only possible from `∞ - ∞` on already
+//! unbounded intervals) is widened to the surrounding infinity, never
+//! narrowed.
+
+use std::fmt;
+
+/// A closed interval `[lo, hi]` of `f64` values. Invariant: `lo <= hi` and
+/// neither endpoint is NaN (infinities are allowed and mean "unbounded").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound (may be `-∞`).
+    pub lo: f64,
+    /// Upper bound (may be `+∞`).
+    pub hi: f64,
+}
+
+/// Replace a NaN produced by endpoint arithmetic with the given infinity.
+fn denan(x: f64, inf: f64) -> f64 {
+    if x.is_nan() {
+        inf
+    } else {
+        x
+    }
+}
+
+impl Interval {
+    /// The interval `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is NaN.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(!lo.is_nan() && !hi.is_nan(), "NaN interval bound");
+        assert!(lo <= hi, "backwards interval [{lo}, {hi}]");
+        Self { lo, hi }
+    }
+
+    /// The singleton interval `[v, v]`.
+    pub fn point(v: f64) -> Self {
+        Self::new(v, v)
+    }
+
+    /// The unbounded interval `(-∞, +∞)` — "no information".
+    pub fn top() -> Self {
+        Self {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+        }
+    }
+
+    /// True if both endpoints are finite.
+    pub fn is_finite(&self) -> bool {
+        self.lo.is_finite() && self.hi.is_finite()
+    }
+
+    /// True if `x` lies inside the interval.
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo && x <= self.hi
+    }
+
+    /// Interval width (`∞` for unbounded intervals).
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// `Max` transfer function: `[max(a,c), max(b,d)]` (exact — max is
+    /// monotone in both arguments).
+    pub fn max(self, o: Self) -> Self {
+        Self {
+            lo: self.lo.max(o.lo),
+            hi: self.hi.max(o.hi),
+        }
+    }
+
+    /// `Ge` transfer function: `[1,1]` / `[0,0]` when the comparison is
+    /// decided by the bounds, `[0,1]` otherwise.
+    pub fn ge(self, o: Self) -> Self {
+        if self.lo >= o.hi {
+            Self::point(1.0)
+        } else if self.hi < o.lo {
+            Self::point(0.0)
+        } else {
+            Self::new(0.0, 1.0)
+        }
+    }
+
+    /// `Mux` transfer function: the taken branch when `sel` is decided,
+    /// the hull of both branches otherwise.
+    pub fn mux(sel: Self, lo_branch: Self, hi_branch: Self) -> Self {
+        if sel.lo >= 0.5 {
+            hi_branch
+        } else if sel.hi < 0.5 {
+            lo_branch
+        } else {
+            lo_branch.hull(hi_branch)
+        }
+    }
+
+    /// Smallest interval containing both (the join of the domain).
+    pub fn hull(self, o: Self) -> Self {
+        Self {
+            lo: self.lo.min(o.lo),
+            hi: self.hi.max(o.hi),
+        }
+    }
+
+    /// `Lut` transfer function: bound `f` over the interval by sampling the
+    /// endpoints plus `samples` interior points.
+    ///
+    /// Sound for monotone (or piecewise-monotone with pieces wider than the
+    /// sampling grid) transfer functions — which covers every in-tree ROM:
+    /// `TableExp` and `TableLog` are monotone staircase functions. A LUT
+    /// fed an unbounded interval yields [`Interval::top`].
+    pub fn lut(self, f: &dyn Fn(f64) -> f64, samples: usize) -> Self {
+        if !self.is_finite() {
+            return Self::top();
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let n = samples.max(1);
+        for k in 0..=n {
+            let x = self.lo + (self.hi - self.lo) * k as f64 / n as f64;
+            let y = f(x);
+            if y.is_nan() {
+                return Self::top();
+            }
+            lo = lo.min(y);
+            hi = hi.max(y);
+        }
+        Self::new(lo, hi)
+    }
+}
+
+/// `Add` transfer function: `[a+c, b+d]`.
+impl std::ops::Add for Interval {
+    type Output = Self;
+
+    fn add(self, o: Self) -> Self {
+        Self {
+            lo: denan(self.lo + o.lo, f64::NEG_INFINITY),
+            hi: denan(self.hi + o.hi, f64::INFINITY),
+        }
+    }
+}
+
+/// `Sub` transfer function: `[a-d, b-c]`.
+impl std::ops::Sub for Interval {
+    type Output = Self;
+
+    fn sub(self, o: Self) -> Self {
+        Self {
+            lo: denan(self.lo - o.hi, f64::NEG_INFINITY),
+            hi: denan(self.hi - o.lo, f64::INFINITY),
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_transfer_functions() {
+        let a = Interval::new(-2.0, 3.0);
+        let b = Interval::new(1.0, 4.0);
+        assert_eq!(a + b, Interval::new(-1.0, 7.0));
+        assert_eq!(a - b, Interval::new(-6.0, 2.0));
+        assert_eq!(a.max(b), Interval::new(1.0, 4.0));
+    }
+
+    #[test]
+    fn comparator_decides_only_when_bounds_do() {
+        let lo = Interval::new(-3.0, -1.0);
+        let hi = Interval::new(0.0, 2.0);
+        assert_eq!(hi.ge(lo), Interval::point(1.0));
+        assert_eq!(lo.ge(hi), Interval::point(0.0));
+        assert_eq!(hi.ge(hi), Interval::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn mux_takes_hull_on_undecided_select() {
+        let sel = Interval::new(0.0, 1.0);
+        let a = Interval::new(-1.0, 0.0);
+        let b = Interval::new(5.0, 6.0);
+        assert_eq!(Interval::mux(sel, a, b), Interval::new(-1.0, 6.0));
+        assert_eq!(Interval::mux(Interval::point(1.0), a, b), b);
+        assert_eq!(Interval::mux(Interval::point(0.0), a, b), a);
+    }
+
+    #[test]
+    fn lut_bounds_monotone_functions_exactly() {
+        let f = |x: f64| (-x.abs()).exp();
+        let i = Interval::new(-4.0, 0.0).lut(&f, 64);
+        assert!((i.hi - 1.0).abs() < 1e-12);
+        assert!((i.lo - (-4.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unbounded_operands_stay_sound() {
+        let top = Interval::top();
+        let a = Interval::new(0.0, 1.0);
+        assert_eq!(top + a, top);
+        assert_eq!(top - top, top);
+        assert!(top.lut(&|x| x, 4).contains(1e300));
+    }
+}

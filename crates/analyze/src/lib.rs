@@ -1,0 +1,35 @@
+//! Static verification for the CoopMC accelerator model.
+//!
+//! Everything in this crate analyzes the hardware model *without executing
+//! it*:
+//!
+//! - [`interval`] — the abstract domain: closed `f64` intervals with the
+//!   outward-rounding arithmetic the analyzer propagates.
+//! - [`netcheck`] — abstract interpretation of a [`coopmc_sim::Netlist`]:
+//!   every wire gets a sound `[lo, hi]` enclosure of the values it can ever
+//!   carry, which is then checked against the wire's intended
+//!   [`coopmc_fixed::QFormat`] (overflow, precision loss, unreachable
+//!   saturation), with component-level provenance traces.
+//! - [`contracts`] — closed-form checks of the paper's datapath invariants
+//!   for any (accumulator format, TableExp geometry, DyNorm) combination:
+//!   the DyNorm output range must sit inside the LUT domain, the LogFusion
+//!   `LOG_ZERO` sentinel must still flush after the exp stage, and the
+//!   NormTree comparator bus must span the workload envelope.
+//! - [`races`] — the chromatic race detector: a
+//!   [`coopmc_models::coloring::ChromaticModel`]'s color classes must be
+//!   independent sets of its dependency graph, else two "parallel"
+//!   variables race under chromatic scheduling.
+//! - [`verify`] — the full in-tree sweep behind the `coopmc-verify` binary
+//!   and the `coopmc verify` CLI subcommand; exits nonzero on any error.
+
+pub mod contracts;
+pub mod interval;
+pub mod netcheck;
+pub mod races;
+pub mod verify;
+
+pub use contracts::{check_datapath, in_tree_configs, ContractViolation, DatapathConfig};
+pub use interval::Interval;
+pub use netcheck::{AnalysisOptions, RangeAnalysis, Severity, WireDiagnostic};
+pub use races::{check_chromatic, check_classes, ChromaticError, ColoringAudit};
+pub use verify::{run_all, VerifyReport};

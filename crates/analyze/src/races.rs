@@ -1,0 +1,246 @@
+//! The chromatic race detector.
+//!
+//! `coopmc-core`'s chromatic engine resamples a whole color class in
+//! parallel from one snapshot, *assuming* the class is an independent set
+//! of the model's dependency graph. Nothing at runtime checks that
+//! assumption — a bad coloring silently produces samples from the wrong
+//! distribution (a data race in the statistical sense, even when the
+//! memory accesses are clean). This module verifies the assumption
+//! statically: [`check_chromatic`] audits any
+//! [`ChromaticModel`](coopmc_models::coloring::ChromaticModel) against its
+//! own [`dependency_graph`](coopmc_models::coloring::ChromaticModel::dependency_graph),
+//! and [`check_classes`] does the same for a raw (graph, classes) pair.
+
+use std::fmt;
+
+use coopmc_models::coloring::ChromaticModel;
+
+/// Why a coloring is not a sound chromatic schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChromaticError {
+    /// Two statistically dependent variables share a color class: they
+    /// would be resampled concurrently from the same snapshot.
+    Race {
+        /// The color class containing both variables.
+        class: usize,
+        /// First variable of the offending adjacent pair.
+        var_a: usize,
+        /// Second variable of the offending adjacent pair.
+        var_b: usize,
+    },
+    /// A variable appears in no class (it would never be resampled).
+    Missing {
+        /// The uncovered variable.
+        var: usize,
+    },
+    /// A variable appears in more than one class (it would be resampled
+    /// twice per sweep, biasing the chain).
+    Duplicated {
+        /// The doubly-covered variable.
+        var: usize,
+    },
+    /// A class names a variable the model does not have.
+    OutOfRange {
+        /// The out-of-range variable index.
+        var: usize,
+        /// Number of variables in the model.
+        n_variables: usize,
+    },
+    /// The dependency graph itself names a nonexistent variable.
+    BadGraph {
+        /// The vertex whose adjacency is malformed.
+        var: usize,
+        /// The out-of-range neighbour it names.
+        neighbour: usize,
+    },
+}
+
+impl fmt::Display for ChromaticError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ChromaticError::Race { class, var_a, var_b } => write!(
+                f,
+                "race: variables {var_a} and {var_b} are statistically dependent but share color class {class}"
+            ),
+            ChromaticError::Missing { var } => {
+                write!(f, "variable {var} is in no color class and would never be resampled")
+            }
+            ChromaticError::Duplicated { var } => {
+                write!(f, "variable {var} appears in more than one color class")
+            }
+            ChromaticError::OutOfRange { var, n_variables } => write!(
+                f,
+                "color class names variable {var}, but the model has only {n_variables} variables"
+            ),
+            ChromaticError::BadGraph { var, neighbour } => write!(
+                f,
+                "dependency graph of variable {var} names nonexistent neighbour {neighbour}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ChromaticError {}
+
+/// Summary statistics of a verified coloring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColoringAudit {
+    /// Number of variables covered.
+    pub n_variables: usize,
+    /// Number of color classes.
+    pub n_classes: usize,
+    /// Size of the largest class (the parallelism the schedule exposes).
+    pub max_class: usize,
+    /// Number of dependency edges checked.
+    pub n_edges: usize,
+}
+
+/// Verify that `classes` is a race-free chromatic schedule for the
+/// dependency graph `adjacency`.
+///
+/// Self-loops in the graph are ignored (a variable trivially "depends on
+/// itself"); duplicate edges are harmless.
+///
+/// # Errors
+///
+/// Returns the first [`ChromaticError`] found, scanning classes in order
+/// and variables in index order — deterministic, so diagnostics are
+/// stable across runs.
+pub fn check_classes(
+    adjacency: &[Vec<usize>],
+    classes: &[Vec<usize>],
+) -> Result<ColoringAudit, ChromaticError> {
+    let n = adjacency.len();
+    let mut color_of = vec![usize::MAX; n];
+    for (c, class) in classes.iter().enumerate() {
+        for &v in class {
+            if v >= n {
+                return Err(ChromaticError::OutOfRange {
+                    var: v,
+                    n_variables: n,
+                });
+            }
+            if color_of[v] != usize::MAX {
+                return Err(ChromaticError::Duplicated { var: v });
+            }
+            color_of[v] = c;
+        }
+    }
+    if let Some(var) = color_of.iter().position(|&c| c == usize::MAX) {
+        return Err(ChromaticError::Missing { var });
+    }
+    let mut n_edges = 0usize;
+    for (v, adj) in adjacency.iter().enumerate() {
+        for &u in adj {
+            if u >= n {
+                return Err(ChromaticError::BadGraph {
+                    var: v,
+                    neighbour: u,
+                });
+            }
+            if u == v {
+                continue;
+            }
+            n_edges += 1;
+            if color_of[u] == color_of[v] {
+                let (var_a, var_b) = (v.min(u), v.max(u));
+                return Err(ChromaticError::Race {
+                    class: color_of[v],
+                    var_a,
+                    var_b,
+                });
+            }
+        }
+    }
+    Ok(ColoringAudit {
+        n_variables: n,
+        n_classes: classes.len(),
+        max_class: classes.iter().map(Vec::len).max().unwrap_or(0),
+        n_edges: n_edges / 2,
+    })
+}
+
+/// Verify a model's own coloring against its own dependency graph.
+///
+/// # Errors
+///
+/// Returns the first [`ChromaticError`] found (see [`check_classes`]).
+pub fn check_chromatic<M: ChromaticModel + ?Sized>(
+    model: &M,
+) -> Result<ColoringAudit, ChromaticError> {
+    check_classes(&model.dependency_graph(), &model.color_classes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Vec<Vec<usize>> {
+        vec![vec![1], vec![0, 2], vec![1, 3], vec![2]]
+    }
+
+    #[test]
+    fn accepts_proper_colorings() {
+        let audit = check_classes(&path4(), &[vec![0, 2], vec![1, 3]]).unwrap();
+        assert_eq!(audit.n_classes, 2);
+        assert_eq!(audit.n_edges, 3);
+        assert_eq!(audit.max_class, 2);
+    }
+
+    #[test]
+    fn reports_the_offending_pair() {
+        let err = check_classes(&path4(), &[vec![0, 1], vec![2, 3]]).unwrap_err();
+        assert_eq!(
+            err,
+            ChromaticError::Race {
+                class: 0,
+                var_a: 0,
+                var_b: 1
+            }
+        );
+        assert!(err.to_string().contains("variables 0 and 1"));
+    }
+
+    #[test]
+    fn reports_coverage_defects() {
+        assert_eq!(
+            check_classes(&path4(), &[vec![0, 2], vec![1]]),
+            Err(ChromaticError::Missing { var: 3 })
+        );
+        assert_eq!(
+            check_classes(&path4(), &[vec![0, 2], vec![1, 3, 0]]),
+            Err(ChromaticError::Duplicated { var: 0 })
+        );
+        assert_eq!(
+            check_classes(&path4(), &[vec![0, 2], vec![1, 9]]),
+            Err(ChromaticError::OutOfRange {
+                var: 9,
+                n_variables: 4
+            })
+        );
+    }
+
+    #[test]
+    fn tolerates_self_loops() {
+        let adj = vec![vec![0, 1], vec![1, 0]];
+        assert!(check_classes(&adj, &[vec![0], vec![1]]).is_ok());
+    }
+
+    #[test]
+    fn in_tree_grid_mrf_is_race_free() {
+        use coopmc_models::mrf::{CostFn, GridMrf};
+        let mrf = GridMrf::new(
+            6,
+            5,
+            4,
+            vec![0.0; 30],
+            CostFn::TruncatedLinear { trunc: 2.0 },
+            CostFn::Potts { penalty: 1.0 },
+            1.0,
+            1.0,
+        );
+        let audit = check_chromatic(&mrf).unwrap();
+        assert_eq!(audit.n_variables, 30);
+        assert_eq!(audit.n_classes, 2, "4-connected grids are 2-colorable");
+    }
+}

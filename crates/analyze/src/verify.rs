@@ -1,0 +1,402 @@
+//! The full in-tree verification sweep behind `coopmc-verify`.
+//!
+//! [`run_all`] runs four sections and collects their findings into a
+//! [`VerifyReport`]:
+//!
+//! 1. **netlist-ranges** — abstract interpretation of every structural
+//!    circuit the tree instantiates (NormTree, PG core, TreeSampler,
+//!    PipeTreeSampler) under the default workload envelope, checking each
+//!    wire against the fixed-point format of the bus it models.
+//! 2. **datapath-contracts** — the closed-form DyNorm/TableExp/LogFusion
+//!    invariants for every in-tree configuration.
+//! 3. **pgpipe-configs** — the same contracts for the lane counts used by
+//!    `coopmc-hw::pgpipe`'s reference configurations.
+//! 4. **chromatic-schedules** — the race detector over every in-tree
+//!    [`ChromaticModel`](coopmc_models::coloring::ChromaticModel).
+//!
+//! Errors fail the gate (nonzero exit); warnings and notes never do.
+
+use coopmc_fixed::QFormat;
+use coopmc_hw::pgpipe::{self, PipeKind};
+use coopmc_models::bn;
+use coopmc_models::coloring::ChromaticModel;
+use coopmc_models::mrf::{self as mrf, Connectivity};
+use coopmc_sim::circuits::{
+    NormTreeCircuit, PgCoreCircuit, PipeTreeSamplerCircuit, TreeSamplerCircuit,
+};
+use coopmc_sim::{Component, Netlist, Wire};
+
+use crate::contracts::{check_datapath, in_tree_configs, DatapathConfig};
+use crate::interval::Interval;
+use crate::netcheck::{analyze, AnalysisOptions, Severity};
+use crate::races::check_chromatic;
+
+/// The findings of one verification section.
+#[derive(Debug, Default)]
+pub struct SectionReport {
+    /// Section name (stable, used in CI logs).
+    pub title: String,
+    /// Number of individual checks performed.
+    pub checks: usize,
+    /// Gate-failing findings.
+    pub errors: Vec<String>,
+    /// Suspicious but non-failing findings.
+    pub warnings: Vec<String>,
+    /// Informational findings (reported as a count only).
+    pub notes: usize,
+}
+
+/// The aggregated result of a verification run.
+#[derive(Debug, Default)]
+pub struct VerifyReport {
+    /// One report per section, in execution order.
+    pub sections: Vec<SectionReport>,
+}
+
+impl VerifyReport {
+    /// True if any section recorded an error (the gate must fail).
+    pub fn has_errors(&self) -> bool {
+        self.sections.iter().any(|s| !s.errors.is_empty())
+    }
+
+    /// Render the report as the text `coopmc-verify` prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut checks = 0;
+        let mut errors = 0;
+        let mut warnings = 0;
+        for s in &self.sections {
+            checks += s.checks;
+            errors += s.errors.len();
+            warnings += s.warnings.len();
+            let status = if !s.errors.is_empty() {
+                "FAIL"
+            } else if !s.warnings.is_empty() {
+                "warn"
+            } else {
+                "ok"
+            };
+            out.push_str(&format!(
+                "[{status}] {} — {} checks, {} errors, {} warnings, {} notes\n",
+                s.title,
+                s.checks,
+                s.errors.len(),
+                s.warnings.len(),
+                s.notes
+            ));
+            for e in &s.errors {
+                out.push_str(&format!("  error: {e}\n"));
+            }
+            for w in &s.warnings {
+                out.push_str(&format!("  warning: {w}\n"));
+            }
+        }
+        out.push_str(&format!(
+            "{}: {checks} checks, {errors} errors, {warnings} warnings\n",
+            if errors > 0 { "FAILED" } else { "PASSED" }
+        ));
+        out
+    }
+}
+
+/// Sort findings from a list of wire diagnostics into a section.
+fn absorb_diagnostics(
+    section: &mut SectionReport,
+    circuit: &str,
+    diags: Vec<crate::netcheck::WireDiagnostic>,
+) {
+    for d in diags {
+        match d.severity {
+            Severity::Error => section.errors.push(format!("{circuit}: {d}")),
+            Severity::Warning => section.warnings.push(format!("{circuit}: {d}")),
+            Severity::Note => section.notes += 1,
+        }
+    }
+}
+
+/// Format checks for a score-domain netlist: arithmetic wires against the
+/// accumulator bus, LUT outputs against the probability grid.
+fn score_domain_checks(
+    netlist: &Netlist,
+    acc: QFormat,
+    prob: QFormat,
+    extra_inputs: &[Wire],
+) -> Vec<(Wire, QFormat)> {
+    let mut checks: Vec<(Wire, QFormat)> = extra_inputs.iter().map(|&w| (w, acc)).collect();
+    for comp in netlist.components() {
+        match comp {
+            Component::Add { out, .. }
+            | Component::Sub { out, .. }
+            | Component::Max { out, .. }
+            | Component::Mux { out, .. } => checks.push((*out, acc)),
+            Component::Lut { out, .. } => checks.push((*out, prob)),
+            Component::Const { .. } | Component::Ge { .. } => {}
+        }
+    }
+    checks
+}
+
+/// Section 1: abstract interpretation of the structural circuits.
+fn netlist_ranges(envelope: Interval) -> SectionReport {
+    let mut section = SectionReport {
+        title: "netlist-ranges".into(),
+        ..Default::default()
+    };
+    let opts = AnalysisOptions::default();
+    let acc = QFormat::baseline32();
+    let prob = QFormat::probability(16).expect("valid probability format");
+
+    // NormTree: score maxima must stay on the accumulator bus.
+    for width in [2usize, 4, 8, 16, 64] {
+        let tree = NormTreeCircuit::new(width);
+        let inputs: Vec<(Wire, Interval)> =
+            tree.input_wires().iter().map(|&w| (w, envelope)).collect();
+        let ra = analyze(tree.netlist(), &inputs, &opts);
+        let checks = score_domain_checks(tree.netlist(), acc, prob, tree.input_wires());
+        section.checks += checks.len();
+        absorb_diagnostics(
+            &mut section,
+            &format!("NormTreeCircuit({width})"),
+            ra.check_wires(tree.netlist(), &checks),
+        );
+        if ra.widened() {
+            section.errors.push(format!(
+                "NormTreeCircuit({width}): register analysis widened"
+            ));
+        }
+    }
+
+    // PG core: factor sums, the DyNorm subtract and the TableExp outputs.
+    for (lanes, factors, size_lut, bit_lut) in [(4usize, 3usize, 64usize, 8u32), (8, 5, 128, 16)] {
+        let core = PgCoreCircuit::new(lanes, factors, size_lut, bit_lut);
+        // Per-factor envelope chosen so lane sums span the full score
+        // envelope: factors of the per-label score.
+        let per_factor = Interval::new(envelope.lo / factors as f64, envelope.hi / factors as f64);
+        let inputs: Vec<(Wire, Interval)> = core
+            .factor_wires()
+            .iter()
+            .flatten()
+            .map(|&w| (w, per_factor))
+            .collect();
+        let ra = analyze(core.netlist(), &inputs, &opts);
+        let flat: Vec<Wire> = core.factor_wires().iter().flatten().copied().collect();
+        let lane_prob = QFormat::probability(bit_lut).expect("valid probability format");
+        let checks = score_domain_checks(core.netlist(), acc, lane_prob, &flat);
+        section.checks += checks.len();
+        absorb_diagnostics(
+            &mut section,
+            &format!("PgCoreCircuit({lanes}x{factors},{size_lut}x{bit_lut})"),
+            ra.check_wires(core.netlist(), &checks),
+        );
+        // The exp-stage inputs must have a provably non-positive range —
+        // this is DyNorm's invariant, visible only through the relational
+        // (max-dominance) refinement.
+        for comp in core.netlist().components() {
+            if let Component::Lut { input, .. } = comp {
+                section.checks += 1;
+                let iv = ra.interval(*input);
+                if iv.hi > 0.0 {
+                    section.errors.push(format!(
+                        "PgCoreCircuit({lanes}x{factors}): exp input w{input} has range {iv}; \
+                         DyNorm must pin it at <= 0"
+                    ));
+                }
+            }
+        }
+    }
+
+    // TreeSampler (combinational + pipelined): probability sums, the
+    // traverse walk and the label reconstruction on a Q8.16 sampler bus.
+    let sampler_fmt = QFormat::new(8, 16).expect("valid sampler format");
+    for n_labels in [6usize, 64] {
+        let tree = TreeSamplerCircuit::new(n_labels);
+        let mut inputs: Vec<(Wire, Interval)> = tree
+            .leaf_wires()
+            .iter()
+            .map(|&w| (w, Interval::new(0.0, 1.0)))
+            .collect();
+        inputs.push((tree.threshold_wire(), Interval::new(0.0, n_labels as f64)));
+        let ra = analyze(tree.netlist(), &inputs, &opts);
+        let checks: Vec<(Wire, QFormat)> = tree
+            .netlist()
+            .components()
+            .iter()
+            .filter(|c| !matches!(c, Component::Const { .. } | Component::Ge { .. }))
+            .map(|c| (c.out(), sampler_fmt))
+            .collect();
+        section.checks += checks.len();
+        absorb_diagnostics(
+            &mut section,
+            &format!("TreeSamplerCircuit({n_labels})"),
+            ra.check_wires(tree.netlist(), &checks),
+        );
+    }
+    for n_labels in [8usize, 16] {
+        let pipe = PipeTreeSamplerCircuit::new(n_labels);
+        let mut inputs: Vec<(Wire, Interval)> = pipe
+            .leaf_wires()
+            .iter()
+            .map(|&w| (w, Interval::new(0.0, 1.0)))
+            .collect();
+        inputs.push((pipe.threshold_wire(), Interval::new(0.0, n_labels as f64)));
+        let ra = analyze(pipe.netlist(), &inputs, &opts);
+        let checks: Vec<(Wire, QFormat)> = pipe
+            .netlist()
+            .components()
+            .iter()
+            .filter(|c| !matches!(c, Component::Const { .. } | Component::Ge { .. }))
+            .map(|c| (c.out(), sampler_fmt))
+            .collect();
+        section.checks += checks.len();
+        absorb_diagnostics(
+            &mut section,
+            &format!("PipeTreeSamplerCircuit({n_labels})"),
+            ra.check_wires(pipe.netlist(), &checks),
+        );
+        if ra.widened() {
+            section.errors.push(format!(
+                "PipeTreeSamplerCircuit({n_labels}): register analysis widened"
+            ));
+        }
+    }
+    section
+}
+
+/// Absorb contract violations for a list of configs into a section.
+fn contract_section(title: &str, configs: &[DatapathConfig]) -> SectionReport {
+    let mut section = SectionReport {
+        title: title.into(),
+        ..Default::default()
+    };
+    for cfg in configs {
+        // check_datapath runs 7 contract families per config.
+        section.checks += 7;
+        for v in check_datapath(cfg) {
+            match v.severity {
+                Severity::Error => section.errors.push(v.to_string()),
+                Severity::Warning => section.warnings.push(v.to_string()),
+                Severity::Note => section.notes += 1,
+            }
+        }
+    }
+    section
+}
+
+/// Section 3: contracts for the PG-pipe reference lane counts.
+fn pgpipe_section() -> SectionReport {
+    let configs: Vec<DatapathConfig> = pgpipe::reference_configs()
+        .into_iter()
+        .filter(|c| c.kind == PipeKind::CoopMc)
+        .map(|c| {
+            let mut cfg = DatapathConfig::coopmc(
+                format!("pgpipe:{}lanes-{}labels", c.pipelines, c.n_labels),
+                64,
+                8,
+            );
+            cfg.pipelines = c.pipelines;
+            cfg
+        })
+        .collect();
+    contract_section("pgpipe-configs", &configs)
+}
+
+/// Section 4: race-detect every in-tree chromatic model.
+fn chromatic_section() -> SectionReport {
+    let mut section = SectionReport {
+        title: "chromatic-schedules".into(),
+        ..Default::default()
+    };
+    let seed = 7u64;
+    let four = mrf::image_segmentation(16, 12, seed).mrf;
+    let eight = mrf::image_restoration(12, 10, seed)
+        .mrf
+        .with_connectivity(Connectivity::Eight);
+    let stereo = mrf::stereo_matching(14, 10, seed).mrf;
+    let sound = mrf::sound_source_separation(12, 10, seed).mrf;
+    let models: Vec<(&str, &dyn ChromaticModel)> = vec![
+        ("mrf-segmentation-4conn", &four),
+        ("mrf-restoration-8conn", &eight),
+        ("mrf-stereo-4conn", &stereo),
+        ("mrf-soundsep-4conn", &sound),
+    ];
+    let nets = [
+        ("bn-asia", bn::asia()),
+        ("bn-earthquake", bn::earthquake()),
+        ("bn-survey", bn::survey()),
+        ("bn-cancer", bn::cancer()),
+        ("bn-sprinkler", bn::sprinkler()),
+    ];
+    for (name, model) in models
+        .into_iter()
+        .chain(nets.iter().map(|(n, m)| (*n, m as &dyn ChromaticModel)))
+    {
+        section.checks += 1;
+        match check_chromatic(model) {
+            Ok(audit) => {
+                if audit.n_classes > audit.n_variables {
+                    section
+                        .warnings
+                        .push(format!("{name}: degenerate coloring ({audit:?})"));
+                }
+            }
+            Err(e) => section.errors.push(format!("{name}: {e}")),
+        }
+    }
+    section
+}
+
+/// Run every verification section over the in-tree circuits, configs and
+/// models. The default workload envelope (scores in `[-1024, 64]`) matches
+/// [`DatapathConfig::coopmc`].
+pub fn run_all() -> VerifyReport {
+    let envelope = Interval::new(-1024.0, 64.0);
+    VerifyReport {
+        sections: vec![
+            netlist_ranges(envelope),
+            contract_section("datapath-contracts", &in_tree_configs()),
+            pgpipe_section(),
+            chromatic_section(),
+        ],
+    }
+}
+
+/// Run the sweep with a deliberately broken configuration injected — the
+/// `coopmc-verify --demo-broken` mode CI uses to prove the gate actually
+/// fails (a TableExp whose range covers a fraction of the DyNorm output
+/// range, plus an accumulator too narrow for the `LOG_ZERO` sentinel).
+pub fn run_broken_demo() -> VerifyReport {
+    let mut broken = DatapathConfig::coopmc("demo-broken:64x8-range2", 64, 8);
+    broken.lut_range = 2.0;
+    let mut narrow = DatapathConfig::coopmc("demo-broken:narrow-acc", 1024, 16);
+    narrow.acc = QFormat::new(5, 10).expect("valid format");
+    VerifyReport {
+        sections: vec![contract_section("datapath-contracts", &[broken, narrow])],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_tree_verifies_clean() {
+        let report = run_all();
+        assert!(
+            !report.has_errors(),
+            "in-tree configuration must verify:\n{}",
+            report.render()
+        );
+        let total: usize = report.sections.iter().map(|s| s.checks).sum();
+        assert!(total > 100, "expected a substantive sweep, got {total}");
+    }
+
+    #[test]
+    fn broken_demo_fails_with_wire_level_diagnostics() {
+        let report = run_broken_demo();
+        assert!(report.has_errors());
+        let rendered = report.render();
+        assert!(rendered.contains("lut-covers-dynorm-range"));
+        assert!(rendered.contains("log-zero-survives-exp"));
+        assert!(rendered.contains("FAILED"));
+    }
+}

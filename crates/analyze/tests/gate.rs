@@ -1,0 +1,37 @@
+//! End-to-end tests of the `coopmc-verify` gate binary: exit codes and
+//! diagnostics, exactly as CI consumes them.
+
+use std::process::Command;
+
+#[test]
+fn gate_passes_on_the_current_tree() {
+    let out = Command::new(env!("CARGO_BIN_EXE_coopmc-verify"))
+        .output()
+        .expect("run coopmc-verify");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "gate must pass on the in-tree configuration:\n{stdout}"
+    );
+    assert!(stdout.contains("PASSED"));
+    assert!(stdout.contains("netlist-ranges"));
+    assert!(stdout.contains("datapath-contracts"));
+    assert!(stdout.contains("chromatic-schedules"));
+}
+
+#[test]
+fn gate_fails_on_a_broken_config_with_diagnostics() {
+    let out = Command::new(env!("CARGO_BIN_EXE_coopmc-verify"))
+        .arg("--demo-broken")
+        .output()
+        .expect("run coopmc-verify --demo-broken");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !out.status.success(),
+        "gate must fail on the broken demo config:\n{stdout}"
+    );
+    // The diagnostic names the violated contract and the concrete numbers.
+    assert!(stdout.contains("lut-covers-dynorm-range"));
+    assert!(stdout.contains("demo-broken"));
+    assert!(stdout.contains("FAILED"));
+}

@@ -5,9 +5,6 @@
 //! series the paper reports. Run them with
 //! `cargo run -p coopmc-bench --release --bin <name>`.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod harness;
 
 /// Print a report header with the experiment id and a short description.

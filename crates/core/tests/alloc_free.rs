@@ -10,6 +10,9 @@
 //! process-global, and a concurrently running sibling test would pollute
 //! the measurement window.
 
+// The counting allocator must implement the unsafe `GlobalAlloc` trait;
+// every unsafe block merely forwards to `System`.
+#![allow(unsafe_code)]
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 

@@ -141,6 +141,38 @@ impl QFormat {
         let min = self.min_raw() as i128;
         raw.clamp(min, max) as i64
     }
+
+    /// The closed representable interval `[min_value, max_value]`.
+    ///
+    /// This is the contract a wire annotated with this format promises to
+    /// the static range analyzer: every value it can carry lies inside.
+    pub fn range(&self) -> (f64, f64) {
+        (self.min_value(), self.max_value())
+    }
+
+    /// True if `x` lies inside the representable range (grid membership is
+    /// not required — a mid-grid value still *fits* the format).
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.min_value() && x <= self.max_value()
+    }
+
+    /// True if the whole closed interval `[lo, hi]` is representable, i.e.
+    /// a datapath of this format never saturates on values from it.
+    pub fn covers(&self, lo: f64, hi: f64) -> bool {
+        self.contains(lo) && self.contains(hi)
+    }
+
+    /// Fraction of the representable span actually used by `[lo, hi]`
+    /// (0 for an empty/backwards interval). Low occupancy means the
+    /// saturation logic is unreachable and integer bits are wasted — the
+    /// analyzer reports it as an over-provisioning note.
+    pub fn occupancy(&self, lo: f64, hi: f64) -> f64 {
+        if hi < lo {
+            return 0.0;
+        }
+        let reach = lo.abs().max(hi.abs());
+        (reach / self.max_value().abs().max(self.min_value().abs())).min(1.0)
+    }
 }
 
 impl fmt::Display for QFormat {
@@ -183,6 +215,19 @@ mod tests {
         let q = QFormat::baseline32();
         assert_eq!(q.total_bits(), 32);
         assert_eq!(q.frac_bits(), 16);
+    }
+
+    #[test]
+    fn range_helpers_agree_with_bounds() {
+        let q = QFormat::new(3, 2).unwrap(); // [-8, 7.75]
+        assert_eq!(q.range(), (-8.0, 7.75));
+        assert!(q.contains(7.75) && q.contains(-8.0) && q.contains(0.1));
+        assert!(!q.contains(7.76) && !q.contains(-8.25));
+        assert!(q.covers(-8.0, 7.75));
+        assert!(!q.covers(-8.0, 8.0));
+        assert!(q.occupancy(-8.0, 0.0) > 0.99);
+        assert!(q.occupancy(-0.5, 0.5) < 0.1);
+        assert_eq!(q.occupancy(1.0, 0.0), 0.0);
     }
 
     #[test]

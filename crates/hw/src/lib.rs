@@ -19,9 +19,6 @@
 //!   `V_TS`, `V_PG+TS` of the §IV-D case study (Table IV).
 //! - [`roofline`] — the §IV-D memory-bandwidth feasibility analysis.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod accel;
 pub mod area;
 pub mod cycles;

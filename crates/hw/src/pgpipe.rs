@@ -44,6 +44,31 @@ pub struct PipeSimReport {
     pub utilization: f64,
 }
 
+/// The PG pipeline configurations exercised by the in-tree tests and
+/// figure bins — the set `coopmc-analyze`'s `coopmc-verify` gate proves
+/// safe (NormTree width and schedule sanity) on every run.
+pub fn reference_configs() -> Vec<PipeSimConfig> {
+    let mut out = Vec::new();
+    for kind in [PipeKind::Baseline, PipeKind::CoopMc] {
+        for (n_labels, pipelines, factor_ops) in [
+            (64usize, 1usize, 5u64),
+            (64, 4, 5),
+            (16, 2, 5),
+            (32, 8, 5),
+            (128, 8, 3),
+            (128, 16, 3),
+        ] {
+            out.push(PipeSimConfig {
+                kind,
+                pipelines,
+                n_labels,
+                factor_ops,
+            });
+        }
+    }
+    out
+}
+
 /// Simulate one PG invocation.
 ///
 /// # Panics

@@ -33,9 +33,6 @@
 //! assert_eq!(table.exp(scores[1]), 1.0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod cost;
 pub mod dynorm;
 pub mod error;

@@ -189,6 +189,12 @@ impl crate::coloring::ChromaticModel for BayesNet {
     /// blanket, so any proper coloring of the moral graph yields
     /// conditionally independent classes.
     fn color_classes(&self) -> Vec<Vec<usize>> {
+        crate::coloring::greedy_coloring(&self.dependency_graph())
+            .expect("moral-graph adjacency indices are node indices by construction")
+    }
+
+    /// The moral graph as an adjacency list.
+    fn dependency_graph(&self) -> Vec<Vec<usize>> {
         let n = self.nodes.len();
         let mut adjacency = vec![std::collections::BTreeSet::new(); n];
         for (i, node) in self.nodes.iter().enumerate() {
@@ -203,11 +209,10 @@ impl crate::coloring::ChromaticModel for BayesNet {
                 }
             }
         }
-        let adjacency: Vec<Vec<usize>> = adjacency
+        adjacency
             .into_iter()
             .map(|s| s.into_iter().collect())
-            .collect();
-        crate::coloring::greedy_coloring(&adjacency)
+            .collect()
     }
 }
 

@@ -7,6 +7,8 @@
 //! optimizations compose with that scheduling — this module provides the
 //! coloring substrate, and `coopmc-core::parallel` the engine.
 
+use std::fmt;
+
 use crate::GibbsModel;
 
 /// A model whose variables can be partitioned into conditionally
@@ -19,24 +21,68 @@ pub trait ChromaticModel: GibbsModel {
     /// The color classes, each a list of variable indices. Every variable
     /// appears in exactly one class.
     fn color_classes(&self) -> Vec<Vec<usize>>;
+
+    /// The statistical dependency graph as an adjacency list:
+    /// `adjacency[v]` names every variable whose current label can change
+    /// `v`'s conditional distribution (the Markov blanket, symmetrized).
+    ///
+    /// This is the ground truth [`ChromaticModel::color_classes`] must
+    /// respect — two adjacent variables in one class is a data race under
+    /// chromatic scheduling. `coopmc-analyze`'s race detector checks
+    /// exactly that property, so any model implementing this trait gets a
+    /// static scheduling-soundness check for free.
+    fn dependency_graph(&self) -> Vec<Vec<usize>>;
 }
+
+/// Error returned by [`greedy_coloring`] on a malformed adjacency list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ColoringError {
+    /// The vertex whose adjacency list is malformed.
+    pub vertex: usize,
+    /// The out-of-range neighbour index it names.
+    pub neighbour: usize,
+    /// Number of vertices in the graph.
+    pub n_vertices: usize,
+}
+
+impl fmt::Display for ColoringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "adjacency of vertex {} names neighbour {}, but the graph has only {} vertices",
+            self.vertex, self.neighbour, self.n_vertices
+        )
+    }
+}
+
+impl std::error::Error for ColoringError {}
 
 /// Greedy graph coloring over an adjacency list; returns one class per
 /// color. Deterministic (first-fit in index order), which keeps parallel
 /// runs reproducible.
 ///
-/// # Panics
+/// Duplicate edges are harmless and self-loops are ignored — a variable
+/// trivially "depends on itself" through its own label, which says nothing
+/// about cross-variable scheduling.
 ///
-/// Panics if any adjacency index is out of range.
-pub fn greedy_coloring(adjacency: &[Vec<usize>]) -> Vec<Vec<usize>> {
+/// # Errors
+///
+/// Returns [`ColoringError`] if any adjacency index is out of range.
+pub fn greedy_coloring(adjacency: &[Vec<usize>]) -> Result<Vec<Vec<usize>>, ColoringError> {
     let n = adjacency.len();
     let mut color = vec![usize::MAX; n];
     let mut n_colors = 0usize;
     for v in 0..n {
         let mut used = vec![false; n_colors];
         for &u in &adjacency[v] {
-            assert!(u < n, "adjacency index {u} out of range");
-            if color[u] != usize::MAX {
+            if u >= n {
+                return Err(ColoringError {
+                    vertex: v,
+                    neighbour: u,
+                    n_vertices: n,
+                });
+            }
+            if u != v && color[u] != usize::MAX {
                 used[color[u]] = true;
             }
         }
@@ -50,11 +96,12 @@ pub fn greedy_coloring(adjacency: &[Vec<usize>]) -> Vec<Vec<usize>> {
     for (v, &c) in color.iter().enumerate() {
         classes[c].push(v);
     }
-    classes
+    Ok(classes)
 }
 
 /// Check that `classes` is a valid chromatic partition of `adjacency`:
-/// covers every vertex exactly once and contains no intra-class edge.
+/// covers every vertex exactly once and contains no intra-class edge
+/// (self-loops are ignored, as in [`greedy_coloring`]).
 pub fn verify_coloring(adjacency: &[Vec<usize>], classes: &[Vec<usize>]) -> bool {
     let n = adjacency.len();
     let mut seen = vec![false; n];
@@ -77,7 +124,7 @@ pub fn verify_coloring(adjacency: &[Vec<usize>], classes: &[Vec<usize>]) -> bool
     }
     for (v, adj) in adjacency.iter().enumerate() {
         for &u in adj {
-            if color_of[v] == color_of[u] {
+            if u != v && color_of[v] == color_of[u] {
                 return false;
             }
         }
@@ -107,7 +154,7 @@ mod tests {
     #[test]
     fn path_graph_is_two_colorable() {
         let adj = path_graph(7);
-        let classes = greedy_coloring(&adj);
+        let classes = greedy_coloring(&adj).unwrap();
         assert_eq!(classes.len(), 2);
         assert!(verify_coloring(&adj, &classes));
     }
@@ -118,7 +165,7 @@ mod tests {
         let adj: Vec<Vec<usize>> = (0..n)
             .map(|v| (0..n).filter(|&u| u != v).collect())
             .collect();
-        let classes = greedy_coloring(&adj);
+        let classes = greedy_coloring(&adj).unwrap();
         assert_eq!(classes.len(), n);
         assert!(verify_coloring(&adj, &classes));
     }
@@ -126,9 +173,34 @@ mod tests {
     #[test]
     fn empty_graph_single_color() {
         let adj = vec![vec![], vec![], vec![]];
-        let classes = greedy_coloring(&adj);
+        let classes = greedy_coloring(&adj).unwrap();
         assert_eq!(classes.len(), 1);
         assert_eq!(classes[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn out_of_range_adjacency_is_an_error_not_a_panic() {
+        let adj = vec![vec![1], vec![0, 9]];
+        let err = greedy_coloring(&adj).unwrap_err();
+        assert_eq!(
+            err,
+            ColoringError {
+                vertex: 1,
+                neighbour: 9,
+                n_vertices: 2
+            }
+        );
+        assert!(err.to_string().contains("neighbour 9"));
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_are_tolerated() {
+        // 0-1 edge listed twice plus self-loops everywhere: still a clean
+        // 2-coloring of the underlying simple graph.
+        let adj = vec![vec![1, 1, 0], vec![0, 0, 1], vec![2]];
+        let classes = greedy_coloring(&adj).unwrap();
+        assert!(verify_coloring(&adj, &classes));
+        assert_eq!(classes.len(), 2);
     }
 
     #[test]

@@ -21,9 +21,6 @@
 //! - [`metrics`] — the evaluation metrics of §II-A (normalized MSE,
 //!   convergence traces).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod bn;
 pub mod coloring;
 pub mod diagnostics;

@@ -319,6 +319,13 @@ impl crate::coloring::ChromaticModel for GridMrf {
         }
         classes
     }
+
+    /// Grid adjacency: the 4- or 8-connected neighbourhood of every pixel.
+    fn dependency_graph(&self) -> Vec<Vec<usize>> {
+        (0..self.labels.len())
+            .map(|i| self.neighbours(i).collect())
+            .collect()
+    }
 }
 
 impl GibbsModel for GridMrf {

@@ -108,7 +108,7 @@ fn greedy_coloring_is_proper() {
             .into_iter()
             .map(|s| s.into_iter().collect())
             .collect();
-        let classes = greedy_coloring(&adjacency);
+        let classes = greedy_coloring(&adjacency).expect("indices in range");
         assert!(verify_coloring(&adjacency, &classes));
         let max_degree = adjacency.iter().map(|a| a.len()).max().unwrap_or(0);
         assert!(classes.len() <= max_degree + 1);

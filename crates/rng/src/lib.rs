@@ -21,9 +21,6 @@
 //! assert!((0.0..1.0).contains(&u));
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod counting;
 mod lfsr;
 mod philox;

@@ -33,9 +33,6 @@
 //! assert_eq!(result.cycles, 2 * 2 + 3); // 2·⌈log₂(padded 4)⌉? see docs
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod alias;
 mod pipe;
 mod sequential;

@@ -68,6 +68,21 @@ impl NormTreeCircuit {
         self.depth
     }
 
+    /// The underlying netlist (read-only, for static analysis).
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The leaf input wires.
+    pub fn input_wires(&self) -> &[Wire] {
+        &self.inputs
+    }
+
+    /// The registered root (maximum) wire.
+    pub fn output_wire(&self) -> Wire {
+        self.output
+    }
+
     /// Component census (for area-model cross-checks).
     pub fn census(&self) -> ComponentCensus {
         self.netlist.census()
@@ -156,6 +171,21 @@ impl PgCoreCircuit {
     /// Number of lanes.
     pub fn lanes(&self) -> usize {
         self.outputs.len()
+    }
+
+    /// The underlying netlist (read-only, for static analysis).
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Per-lane factor input wires.
+    pub fn factor_wires(&self) -> &[Vec<Wire>] {
+        &self.factor_inputs
+    }
+
+    /// Per-lane unnormalized-probability output wires.
+    pub fn output_wires(&self) -> &[Wire] {
+        &self.outputs
     }
 
     /// Component census.
@@ -259,6 +289,31 @@ impl TreeSamplerCircuit {
             total_out: total,
             n_labels,
         }
+    }
+
+    /// The underlying netlist (read-only, for static analysis).
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The probability leaf input wires.
+    pub fn leaf_wires(&self) -> &[Wire] {
+        &self.leaves
+    }
+
+    /// The external threshold input wire.
+    pub fn threshold_wire(&self) -> Wire {
+        self.threshold
+    }
+
+    /// The selected-label output wire.
+    pub fn label_wire(&self) -> Wire {
+        self.label_out
+    }
+
+    /// The total-mass (TreeSum root) wire.
+    pub fn total_wire(&self) -> Wire {
+        self.total_out
     }
 
     /// Component census.
@@ -405,6 +460,26 @@ impl PipeTreeSamplerCircuit {
     /// Pipeline latency in cycles from input to label.
     pub fn latency(&self) -> usize {
         self.latency
+    }
+
+    /// The underlying netlist (read-only, for static analysis).
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The probability leaf input wires.
+    pub fn leaf_wires(&self) -> &[Wire] {
+        &self.leaves
+    }
+
+    /// The external threshold input wire.
+    pub fn threshold_wire(&self) -> Wire {
+        self.threshold
+    }
+
+    /// The selected-label output wire.
+    pub fn label_wire(&self) -> Wire {
+        self.label_out
     }
 
     /// Component census.

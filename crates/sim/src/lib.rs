@@ -28,9 +28,6 @@
 //! assert_eq!(label, 2); // CDF: .1, .3, .6, 1.0 → first bucket > 0.6
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod circuits;
 mod netlist;
 

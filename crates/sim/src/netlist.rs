@@ -75,9 +75,10 @@ pub enum Component {
     },
 }
 
-impl std::fmt::Debug for Component {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let name = match self {
+impl Component {
+    /// Kind name (for diagnostics and provenance traces).
+    pub fn kind(&self) -> &'static str {
+        match self {
             Component::Const { .. } => "Const",
             Component::Add { .. } => "Add",
             Component::Sub { .. } => "Sub",
@@ -85,8 +86,39 @@ impl std::fmt::Debug for Component {
             Component::Ge { .. } => "Ge",
             Component::Mux { .. } => "Mux",
             Component::Lut { .. } => "Lut",
-        };
-        write!(f, "{name}")
+        }
+    }
+
+    /// The wire this component drives.
+    pub fn out(&self) -> Wire {
+        match *self {
+            Component::Const { out, .. }
+            | Component::Add { out, .. }
+            | Component::Sub { out, .. }
+            | Component::Max { out, .. }
+            | Component::Ge { out, .. }
+            | Component::Mux { out, .. }
+            | Component::Lut { out, .. } => out,
+        }
+    }
+
+    /// The wires this component reads (empty for constants).
+    pub fn operands(&self) -> Vec<Wire> {
+        match *self {
+            Component::Const { .. } => vec![],
+            Component::Add { a, b, .. }
+            | Component::Sub { a, b, .. }
+            | Component::Max { a, b, .. }
+            | Component::Ge { a, b, .. } => vec![a, b],
+            Component::Mux { sel, lo, hi, .. } => vec![sel, lo, hi],
+            Component::Lut { input, .. } => vec![input],
+        }
+    }
+}
+
+impl std::fmt::Debug for Component {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.kind())
     }
 }
 
@@ -214,6 +246,31 @@ impl Netlist {
     /// Current value of a wire.
     pub fn value(&self, w: Wire) -> f64 {
         self.values[w]
+    }
+
+    /// Number of wires allocated so far.
+    pub fn n_wires(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The combinational components in evaluation (topological) order.
+    ///
+    /// Together with [`Netlist::registers`] and [`Netlist::inputs`] this
+    /// exposes the full netlist topology, which is what the static range
+    /// analyzer in `coopmc-analyze` walks — it interprets the same
+    /// structure [`Netlist::step`] executes, without executing it.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// The `(d, q)` register pairs clocked at the end of every step.
+    pub fn registers(&self) -> &[(Wire, Wire)] {
+        &self.registers
+    }
+
+    /// The declared external input wires.
+    pub fn inputs(&self) -> &[Wire] {
+        &self.inputs
     }
 
     /// Evaluate one clock cycle: set `inputs` (pairs of wire and value),

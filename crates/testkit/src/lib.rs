@@ -23,9 +23,6 @@
 //! });
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use coopmc_rng::{HwRng, SplitMix64};
 
 /// Default number of cases run by [`check`]'s convenience wrappers.

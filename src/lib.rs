@@ -18,14 +18,14 @@
 //!   ([`coopmc_core`])
 //! - [`sim`] — structural (netlist-level) circuits of the paper's
 //!   micro-architecture diagrams ([`coopmc_sim`])
+//! - [`analyze`] — static range/bit-width verification and the chromatic
+//!   race detector ([`coopmc_analyze`])
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! `crates/bench` for the binaries that regenerate every table and figure of
 //! the paper.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
+pub use coopmc_analyze as analyze;
 pub use coopmc_core as core;
 pub use coopmc_fixed as fixed;
 pub use coopmc_hw as hw;

@@ -5,6 +5,7 @@
 //! coopmc run <workload> [--pipeline SPEC] [--sampler KIND] [--sweeps N]
 //!                       [--seed S] [--threads T]
 //! coopmc hw [--labels N]
+//! coopmc verify [--demo-broken]
 //! ```
 //!
 //! Pipeline SPECs: `float32`, `fixed:<bits>`, `fixed+dn:<bits>`,
@@ -247,8 +248,24 @@ fn cmd_hw(labels: usize) {
     }
 }
 
+/// Run the static verifier (same sweep as the `coopmc-verify` binary) and
+/// report success as an exit-code-style `Result`.
+fn cmd_verify(demo_broken: bool) -> Result<(), String> {
+    let report = if demo_broken {
+        coopmc::analyze::verify::run_broken_demo()
+    } else {
+        coopmc::analyze::verify::run_all()
+    };
+    print!("{}", report.render());
+    if report.has_errors() {
+        Err("static verification failed".to_owned())
+    } else {
+        Ok(())
+    }
+}
+
 fn usage() -> &'static str {
-    "usage:\n  coopmc list\n  coopmc run <workload> [--pipeline SPEC] [--sampler seq|tree|pipe|alias] [--sweeps N] [--seed S] [--threads T]\n  coopmc hw [--labels N]"
+    "usage:\n  coopmc list\n  coopmc run <workload> [--pipeline SPEC] [--sampler seq|tree|pipe|alias] [--sweeps N] [--seed S] [--threads T]\n  coopmc hw [--labels N]\n  coopmc verify [--demo-broken]"
 }
 
 fn main() -> ExitCode {
@@ -269,6 +286,7 @@ fn main() -> ExitCode {
             cmd_hw(labels);
             Ok(())
         }
+        Some("verify") => cmd_verify(args.iter().any(|a| a == "--demo-broken")),
         _ => Err(usage().to_owned()),
     };
     match result {
