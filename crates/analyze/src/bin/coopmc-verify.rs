@@ -1,20 +1,29 @@
 //! The `coopmc-verify` gate: statically verify every in-tree netlist,
-//! datapath configuration and chromatic schedule. Exits nonzero on any
-//! contract violation, so CI can run it as a hard gate.
+//! datapath configuration, error budget, pipeline schedule and chromatic
+//! schedule. Exits nonzero on any contract violation, so CI can run it as
+//! a hard gate.
 //!
-//! `--demo-broken` verifies a deliberately broken configuration instead,
-//! demonstrating (and letting CI assert) that the gate actually fails.
+//! `--json` emits the structured report (contract names, bound versus
+//! limit, wire provenance) instead of text — CI archives it as an
+//! artifact. `--demo-broken` verifies deliberately broken configurations
+//! instead, demonstrating (and letting CI assert) that the gate actually
+//! fails. The flags combine.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let demo = std::env::args().any(|a| a == "--demo-broken");
+    let json = std::env::args().any(|a| a == "--json");
     let report = if demo {
         coopmc_analyze::verify::run_broken_demo()
     } else {
         coopmc_analyze::verify::run_all()
     };
-    print!("{}", report.render());
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
     if report.has_errors() {
         ExitCode::FAILURE
     } else {

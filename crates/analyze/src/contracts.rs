@@ -161,7 +161,7 @@ pub fn check_datapath(cfg: &DatapathConfig) -> Vec<ContractViolation> {
     }
 
     // 3. Flush-to-zero tail mass at the LUT edge.
-    let tail = (-cfg.lut_range).exp();
+    let tail = table.flush_tail_mass();
     if tail > TAIL_MASS_TOLERANCE {
         push(
             "lut-covers-dynorm-range",
@@ -176,8 +176,8 @@ pub fn check_datapath(cfg: &DatapathConfig) -> Vec<ContractViolation> {
         // The flush edge is also a discontinuity on the output grid: the
         // last ROM entry drops to 0. Harmless unless the grid could have
         // represented the discarded values.
-        let ulp = (2.0f64).powi(-(cfg.bit_lut as i32));
-        if tail > ulp / 2.0 {
+        let ulp = table.output_ulp();
+        if tail > table.output_quantization_error() {
             push(
                 "lut-covers-dynorm-range",
                 Severity::Warning,

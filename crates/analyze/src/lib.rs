@@ -15,21 +15,42 @@
 //!   the DyNorm output range must sit inside the LUT domain, the LogFusion
 //!   `LOG_ZERO` sentinel must still flush after the exp stage, and the
 //!   NormTree comparator bus must span the workload envelope.
+//! - [`errprop`] — static quantization-error propagation: per-wire
+//!   `(range, worst_case_abs_error)` pairs through the netlist, plus the
+//!   closed-form DyNorm → TableExp error budget composing rounding, LUT
+//!   step, output quantization and flush-tail contributions into a
+//!   total-variation bound on the sampled distribution, checked against
+//!   declared per-configuration quality contracts.
 //! - [`races`] — the chromatic race detector: a
 //!   [`coopmc_models::coloring::ChromaticModel`]'s color classes must be
 //!   independent sets of its dependency graph, else two "parallel"
 //!   variables race under chromatic scheduling.
+//! - [`schedule`] — static dependence-DAG schedule verification: rebuild
+//!   the PG/SD pipelines from the [`coopmc_hw::cycles::LatencyTable`]
+//!   primitives, list-schedule them under unit-capacity resources and
+//!   check every closed-form latency formula, the pipelined sampler's
+//!   II = 1 claim and the SRAM roofline.
 //! - [`verify`] — the full in-tree sweep behind the `coopmc-verify` binary
 //!   and the `coopmc verify` CLI subcommand; exits nonzero on any error.
 
 pub mod contracts;
+pub mod errprop;
 pub mod interval;
 pub mod netcheck;
 pub mod races;
+pub mod schedule;
 pub mod verify;
 
 pub use contracts::{check_datapath, in_tree_configs, ContractViolation, DatapathConfig};
+pub use errprop::{
+    analyze_errors, check_quality, declared_contract, propagate_datapath, ErrorAnalysis,
+    ErrorBudget, LutErrorModel, QualityContract,
+};
 pub use interval::Interval;
 pub use netcheck::{AnalysisOptions, RangeAnalysis, Severity, WireDiagnostic};
 pub use races::{check_chromatic, check_classes, ChromaticError, ColoringAudit};
-pub use verify::{run_all, VerifyReport};
+pub use schedule::{
+    check_claim, normtree_dag, pg_invocation_cycles, sequential_sampler_dag, tree_sampler_dag,
+    verify_schedules, DepDag, ScheduleFinding,
+};
+pub use verify::{run_all, run_broken_demo, VerifyReport};

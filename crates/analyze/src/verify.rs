@@ -1,6 +1,6 @@
 //! The full in-tree verification sweep behind `coopmc-verify`.
 //!
-//! [`run_all`] runs four sections and collects their findings into a
+//! [`run_all`] runs six sections and collects their findings into a
 //! [`VerifyReport`]:
 //!
 //! 1. **netlist-ranges** — abstract interpretation of every structural
@@ -11,13 +11,27 @@
 //!    invariants for every in-tree configuration.
 //! 3. **pgpipe-configs** — the same contracts for the lane counts used by
 //!    `coopmc-hw::pgpipe`'s reference configurations.
-//! 4. **chromatic-schedules** — the race detector over every in-tree
+//! 4. **error-propagation** — the static quantization-error budgets of
+//!    [`crate::errprop`]: every in-tree configuration's total-variation
+//!    bound against its declared quality contract, plus the wire-level
+//!    error pass over the PG core netlists cross-checked against the
+//!    closed form.
+//! 5. **pipeline-schedules** — the dependence-DAG schedule checks of
+//!    [`crate::schedule`]: sampler/PG latency formulas versus
+//!    list-scheduled critical paths, II = 1 for the pipelined sampler,
+//!    structural-hazard freedom and the SRAM roofline.
+//! 6. **chromatic-schedules** — the race detector over every in-tree
 //!    [`ChromaticModel`](coopmc_models::coloring::ChromaticModel).
 //!
 //! Errors fail the gate (nonzero exit); warnings and notes never do.
+//! [`VerifyReport::to_json`] renders the same findings as a machine-readable
+//! document (contract name, bound versus limit, wire provenance) for the CI
+//! artifact.
 
-use coopmc_fixed::QFormat;
+use coopmc_fixed::{QFormat, Rounding};
+use coopmc_hw::cycles::LatencyTable;
 use coopmc_hw::pgpipe::{self, PipeKind};
+use coopmc_kernels::exp::TableExp;
 use coopmc_models::bn;
 use coopmc_models::coloring::ChromaticModel;
 use coopmc_models::mrf::{self as mrf, Connectivity};
@@ -26,10 +40,37 @@ use coopmc_sim::circuits::{
 };
 use coopmc_sim::{Component, Netlist, Wire};
 
-use crate::contracts::{check_datapath, in_tree_configs, DatapathConfig};
+use crate::contracts::{check_datapath, in_tree_configs, ContractViolation, DatapathConfig};
+use crate::errprop::{analyze_errors, check_quality, declared_contract, LutErrorModel};
 use crate::interval::Interval;
-use crate::netcheck::{analyze, AnalysisOptions, Severity};
+use crate::netcheck::{analyze, AnalysisOptions, DiagnosticKind, Severity};
 use crate::races::check_chromatic;
+use crate::schedule::{check_claim, tree_sampler_dag, verify_schedules};
+
+/// Labels per variable of the reference workload (the §IV MRF case study)
+/// the error budgets are stated for.
+const WORKLOAD_LABELS: usize = 64;
+
+/// Factor accumulations per label of the reference workload (data cost +
+/// four smoothness costs of a 4-connected MRF).
+const WORKLOAD_FACTOR_OPS: u64 = 5;
+
+/// One structured finding of a verification section.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Errors fail the gate; warnings and notes never do.
+    pub severity: Severity,
+    /// Stable identifier of the violated check/contract.
+    pub check: String,
+    /// Human-readable explanation with the concrete numbers.
+    pub message: String,
+    /// Wire-level or critical-path provenance lines (may be empty).
+    pub provenance: Vec<String>,
+    /// The computed bound, for checks that compare a bound to a limit.
+    pub bound: Option<f64>,
+    /// The declared limit, for checks that compare a bound to a limit.
+    pub limit: Option<f64>,
+}
 
 /// The findings of one verification section.
 #[derive(Debug, Default)]
@@ -38,12 +79,62 @@ pub struct SectionReport {
     pub title: String,
     /// Number of individual checks performed.
     pub checks: usize,
-    /// Gate-failing findings.
-    pub errors: Vec<String>,
-    /// Suspicious but non-failing findings.
-    pub warnings: Vec<String>,
+    /// Structured findings (errors and warnings).
+    pub findings: Vec<Finding>,
     /// Informational findings (reported as a count only).
     pub notes: usize,
+}
+
+impl SectionReport {
+    fn new(title: &str) -> Self {
+        Self {
+            title: title.into(),
+            ..Default::default()
+        }
+    }
+
+    /// The gate-failing findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+    }
+
+    /// The non-failing suspicious findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warning)
+    }
+
+    fn push(&mut self, finding: Finding) {
+        match finding.severity {
+            Severity::Note => self.notes += 1,
+            _ => self.findings.push(finding),
+        }
+    }
+
+    fn error(&mut self, check: &str, message: String) {
+        self.push(Finding {
+            severity: Severity::Error,
+            check: check.into(),
+            message,
+            provenance: vec![],
+            bound: None,
+            limit: None,
+        });
+    }
+
+    fn absorb_violation(&mut self, v: ContractViolation, provenance: Vec<String>) {
+        self.push(Finding {
+            severity: v.severity,
+            check: v.contract.into(),
+            message: v.to_string(),
+            provenance,
+            bound: None,
+            limit: None,
+        });
+    }
 }
 
 /// The aggregated result of a verification run.
@@ -56,7 +147,7 @@ pub struct VerifyReport {
 impl VerifyReport {
     /// True if any section recorded an error (the gate must fail).
     pub fn has_errors(&self) -> bool {
-        self.sections.iter().any(|s| !s.errors.is_empty())
+        self.sections.iter().any(|s| s.errors().next().is_some())
     }
 
     /// Render the report as the text `coopmc-verify` prints.
@@ -66,29 +157,32 @@ impl VerifyReport {
         let mut errors = 0;
         let mut warnings = 0;
         for s in &self.sections {
+            let n_err = s.errors().count();
+            let n_warn = s.warnings().count();
             checks += s.checks;
-            errors += s.errors.len();
-            warnings += s.warnings.len();
-            let status = if !s.errors.is_empty() {
+            errors += n_err;
+            warnings += n_warn;
+            let status = if n_err > 0 {
                 "FAIL"
-            } else if !s.warnings.is_empty() {
+            } else if n_warn > 0 {
                 "warn"
             } else {
                 "ok"
             };
             out.push_str(&format!(
                 "[{status}] {} — {} checks, {} errors, {} warnings, {} notes\n",
-                s.title,
-                s.checks,
-                s.errors.len(),
-                s.warnings.len(),
-                s.notes
+                s.title, s.checks, n_err, n_warn, s.notes
             ));
-            for e in &s.errors {
-                out.push_str(&format!("  error: {e}\n"));
-            }
-            for w in &s.warnings {
-                out.push_str(&format!("  warning: {w}\n"));
+            for f in s.errors().chain(s.warnings()) {
+                let label = if f.severity == Severity::Error {
+                    "error"
+                } else {
+                    "warning"
+                };
+                out.push_str(&format!("  {label}: {}\n", f.message));
+                for line in &f.provenance {
+                    out.push_str(&format!("    {line}\n"));
+                }
             }
         }
         out.push_str(&format!(
@@ -96,6 +190,87 @@ impl VerifyReport {
             if errors > 0 { "FAILED" } else { "PASSED" }
         ));
         out
+    }
+
+    /// Render the report as a JSON document (the `--json` output and the
+    /// CI artifact): overall status plus, per section, every finding with
+    /// its check identifier, bound versus limit and provenance trace.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let checks: usize = self.sections.iter().map(|s| s.checks).sum();
+        let errors: usize = self.sections.iter().map(|s| s.errors().count()).sum();
+        let warnings: usize = self.sections.iter().map(|s| s.warnings().count()).sum();
+        let notes: usize = self.sections.iter().map(|s| s.notes).sum();
+        out.push_str(&format!(
+            "\"status\":\"{}\",\"checks\":{checks},\"errors\":{errors},\
+             \"warnings\":{warnings},\"notes\":{notes},\"sections\":[",
+            if errors > 0 { "failed" } else { "passed" }
+        ));
+        for (i, s) in self.sections.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"title\":\"{}\",\"checks\":{},\"notes\":{},\"findings\":[",
+                json_escape(&s.title),
+                s.checks,
+                s.notes
+            ));
+            for (j, f) in s.findings.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let severity = match f.severity {
+                    Severity::Error => "error",
+                    Severity::Warning => "warning",
+                    Severity::Note => "note",
+                };
+                out.push_str(&format!(
+                    "{{\"severity\":\"{severity}\",\"check\":\"{}\",\"message\":\"{}\"",
+                    json_escape(&f.check),
+                    json_escape(&f.message)
+                ));
+                out.push_str(&format!(",\"bound\":{}", json_number(f.bound)));
+                out.push_str(&format!(",\"limit\":{}", json_number(f.limit)));
+                out.push_str(",\"provenance\":[");
+                for (k, line) in f.provenance.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("\"{}\"", json_escape(line)));
+                }
+                out.push_str("]}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escape a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an optional f64 as a JSON value (`null` when absent or
+/// non-finite — JSON has no infinities).
+fn json_number(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x}"),
+        _ => "null".into(),
     }
 }
 
@@ -106,11 +281,20 @@ fn absorb_diagnostics(
     diags: Vec<crate::netcheck::WireDiagnostic>,
 ) {
     for d in diags {
-        match d.severity {
-            Severity::Error => section.errors.push(format!("{circuit}: {d}")),
-            Severity::Warning => section.warnings.push(format!("{circuit}: {d}")),
-            Severity::Note => section.notes += 1,
-        }
+        let check = match d.kind {
+            DiagnosticKind::Overflow => "wire-overflow",
+            DiagnosticKind::Unbounded => "wire-unbounded",
+            DiagnosticKind::PrecisionLoss => "wire-precision-loss",
+            DiagnosticKind::UnreachableSaturation => "wire-occupancy",
+        };
+        section.push(Finding {
+            severity: d.severity,
+            check: check.into(),
+            message: format!("{circuit}: w{}: {}", d.wire, d.message),
+            provenance: d.trace,
+            bound: None,
+            limit: None,
+        });
     }
 }
 
@@ -138,10 +322,7 @@ fn score_domain_checks(
 
 /// Section 1: abstract interpretation of the structural circuits.
 fn netlist_ranges(envelope: Interval) -> SectionReport {
-    let mut section = SectionReport {
-        title: "netlist-ranges".into(),
-        ..Default::default()
-    };
+    let mut section = SectionReport::new("netlist-ranges");
     let opts = AnalysisOptions::default();
     let acc = QFormat::baseline32();
     let prob = QFormat::probability(16).expect("valid probability format");
@@ -160,9 +341,10 @@ fn netlist_ranges(envelope: Interval) -> SectionReport {
             ra.check_wires(tree.netlist(), &checks),
         );
         if ra.widened() {
-            section.errors.push(format!(
-                "NormTreeCircuit({width}): register analysis widened"
-            ));
+            section.error(
+                "analysis-widened",
+                format!("NormTreeCircuit({width}): register analysis widened"),
+            );
         }
     }
 
@@ -196,10 +378,13 @@ fn netlist_ranges(envelope: Interval) -> SectionReport {
                 section.checks += 1;
                 let iv = ra.interval(*input);
                 if iv.hi > 0.0 {
-                    section.errors.push(format!(
-                        "PgCoreCircuit({lanes}x{factors}): exp input w{input} has range {iv}; \
-                         DyNorm must pin it at <= 0"
-                    ));
+                    section.error(
+                        "dynorm-nonpositive",
+                        format!(
+                            "PgCoreCircuit({lanes}x{factors}): exp input w{input} has range {iv}; \
+                             DyNorm must pin it at <= 0"
+                        ),
+                    );
                 }
             }
         }
@@ -254,9 +439,10 @@ fn netlist_ranges(envelope: Interval) -> SectionReport {
             ra.check_wires(pipe.netlist(), &checks),
         );
         if ra.widened() {
-            section.errors.push(format!(
-                "PipeTreeSamplerCircuit({n_labels}): register analysis widened"
-            ));
+            section.error(
+                "analysis-widened",
+                format!("PipeTreeSamplerCircuit({n_labels}): register analysis widened"),
+            );
         }
     }
     section
@@ -264,19 +450,12 @@ fn netlist_ranges(envelope: Interval) -> SectionReport {
 
 /// Absorb contract violations for a list of configs into a section.
 fn contract_section(title: &str, configs: &[DatapathConfig]) -> SectionReport {
-    let mut section = SectionReport {
-        title: title.into(),
-        ..Default::default()
-    };
+    let mut section = SectionReport::new(title);
     for cfg in configs {
         // check_datapath runs 7 contract families per config.
         section.checks += 7;
         for v in check_datapath(cfg) {
-            match v.severity {
-                Severity::Error => section.errors.push(v.to_string()),
-                Severity::Warning => section.warnings.push(v.to_string()),
-                Severity::Note => section.notes += 1,
-            }
+            section.absorb_violation(v, vec![]);
         }
     }
     section
@@ -300,12 +479,127 @@ fn pgpipe_section() -> SectionReport {
     contract_section("pgpipe-configs", &configs)
 }
 
-/// Section 4: race-detect every in-tree chromatic model.
+/// Section 4: static quantization-error budgets and the wire-level error
+/// pass over the PG core netlists.
+fn errprop_section() -> SectionReport {
+    let mut section = SectionReport::new("error-propagation");
+
+    // Closed-form budgets against declared quality contracts. Sweep
+    // configurations deliberately explore broken geometries and declare no
+    // contract; their budgets are computed but only counted as notes.
+    for cfg in in_tree_configs() {
+        section.checks += 1;
+        match declared_contract(&cfg.name) {
+            Some(contract) => {
+                let (budget, violations) =
+                    check_quality(&cfg, &contract, WORKLOAD_LABELS, WORKLOAD_FACTOR_OPS);
+                for v in violations {
+                    let severity = v.severity;
+                    let check = v.contract;
+                    section.push(Finding {
+                        severity,
+                        check: check.into(),
+                        message: v.to_string(),
+                        provenance: budget.trace(),
+                        bound: Some(budget.tv_bound),
+                        limit: Some(contract.tv_limit),
+                    });
+                }
+            }
+            None => section.notes += 1,
+        }
+    }
+
+    // Wire-level pass: propagate per-factor quantization errors through
+    // the actual PG core netlists and require the per-output error to stay
+    // inside the closed-form per-label bound (the two models must agree).
+    for (lanes, factors, size_lut, bit_lut) in [(4usize, 3usize, 64usize, 8u32), (8, 5, 128, 16)] {
+        let core = PgCoreCircuit::new(lanes, factors, size_lut, bit_lut);
+        let cfg = DatapathConfig::coopmc(
+            format!("pgcore-netlist:{lanes}x{factors},{size_lut}x{bit_lut}"),
+            size_lut,
+            bit_lut,
+        );
+        let envelope = Interval::new(cfg.score_floor, cfg.score_ceiling);
+        let per_factor = Interval::new(envelope.lo / factors as f64, envelope.hi / factors as f64);
+        let inputs: Vec<(Wire, Interval)> = core
+            .factor_wires()
+            .iter()
+            .flatten()
+            .map(|&w| (w, per_factor))
+            .collect();
+        let ra = analyze(core.netlist(), &inputs, &AnalysisOptions::default());
+        let q = cfg.acc.rounding_error_bound(Rounding::Nearest);
+        let input_errors: Vec<(Wire, f64)> = core
+            .factor_wires()
+            .iter()
+            .flatten()
+            .map(|&w| (w, q))
+            .collect();
+        let table = TableExp::with_range(size_lut, bit_lut, cfg.lut_range);
+        let lut_models: Vec<(usize, LutErrorModel)> = core
+            .netlist()
+            .components()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| matches!(c, Component::Lut { .. }))
+            .map(|(i, _)| (i, LutErrorModel::TableExp(table.clone())))
+            .collect();
+        let ea = analyze_errors(core.netlist(), &ra, &input_errors, &lut_models, 64);
+        let budget = crate::errprop::propagate_datapath(&cfg, WORKLOAD_LABELS, factors as u64);
+        let closed_form = budget.rel_factor + budget.abs_floor;
+        for &out in core.output_wires() {
+            section.checks += 1;
+            let wire_err = ea.error(out);
+            if wire_err > closed_form || wire_err.is_nan() {
+                section.push(Finding {
+                    severity: Severity::Error,
+                    check: "errprop-wire-vs-closed-form".into(),
+                    message: format!(
+                        "[{}] wire-level error {wire_err:.3e} on output w{out} exceeds the \
+                         closed-form per-label bound {closed_form:.3e}",
+                        cfg.name
+                    ),
+                    provenance: ea.provenance(core.netlist(), out, 4),
+                    bound: Some(wire_err),
+                    limit: Some(closed_form),
+                });
+            }
+        }
+        section.checks += 1;
+        if ea.widened() {
+            section.error(
+                "analysis-widened",
+                format!("[{}] error analysis widened", cfg.name),
+            );
+        }
+    }
+    section
+}
+
+/// Section 5: schedule/hazard verification against the reference latency
+/// table.
+fn schedule_section() -> SectionReport {
+    let mut section = SectionReport::new("pipeline-schedules");
+    let lt = LatencyTable::reference();
+    let (checks, findings) = verify_schedules(&lt);
+    section.checks = checks;
+    for f in findings {
+        section.push(Finding {
+            severity: f.severity,
+            check: f.check.into(),
+            message: format!("[{}] {}", f.subject, f.message),
+            provenance: f.provenance,
+            bound: f.computed.map(|c| c as f64),
+            limit: f.claimed.map(|c| c as f64),
+        });
+    }
+    section
+}
+
+/// Section 6: race-detect every in-tree chromatic model.
 fn chromatic_section() -> SectionReport {
-    let mut section = SectionReport {
-        title: "chromatic-schedules".into(),
-        ..Default::default()
-    };
+    let mut section = SectionReport::new("chromatic-schedules");
     let seed = 7u64;
     let four = mrf::image_segmentation(16, 12, seed).mrf;
     let eight = mrf::image_restoration(12, 10, seed)
@@ -334,12 +628,17 @@ fn chromatic_section() -> SectionReport {
         match check_chromatic(model) {
             Ok(audit) => {
                 if audit.n_classes > audit.n_variables {
-                    section
-                        .warnings
-                        .push(format!("{name}: degenerate coloring ({audit:?})"));
+                    section.push(Finding {
+                        severity: Severity::Warning,
+                        check: "chromatic-degenerate".into(),
+                        message: format!("{name}: degenerate coloring ({audit:?})"),
+                        provenance: vec![],
+                        bound: None,
+                        limit: None,
+                    });
                 }
             }
-            Err(e) => section.errors.push(format!("{name}: {e}")),
+            Err(e) => section.error("chromatic-race", format!("{name}: {e}")),
         }
     }
     section
@@ -355,22 +654,132 @@ pub fn run_all() -> VerifyReport {
             netlist_ranges(envelope),
             contract_section("datapath-contracts", &in_tree_configs()),
             pgpipe_section(),
+            errprop_section(),
+            schedule_section(),
             chromatic_section(),
         ],
     }
 }
 
-/// Run the sweep with a deliberately broken configuration injected — the
+/// Run the sweep with deliberately broken configurations injected — the
 /// `coopmc-verify --demo-broken` mode CI uses to prove the gate actually
-/// fails (a TableExp whose range covers a fraction of the DyNorm output
-/// range, plus an accumulator too narrow for the `LOG_ZERO` sentinel).
+/// fails:
+///
+/// - a TableExp whose range covers a fraction of the DyNorm output range,
+/// - an accumulator too narrow for the `LOG_ZERO` sentinel,
+/// - a 4-entry LUT whose error budget blows the paper-tolerance quality
+///   contract (the finding names the dominant error source with a
+///   wire-level provenance trace), and
+/// - a sampler latency formula under-claiming its critical path, plus a
+///   shared traverse comparator that breaks the II = 1 claim.
 pub fn run_broken_demo() -> VerifyReport {
     let mut broken = DatapathConfig::coopmc("demo-broken:64x8-range2", 64, 8);
     broken.lut_range = 2.0;
     let mut narrow = DatapathConfig::coopmc("demo-broken:narrow-acc", 1024, 16);
     narrow.acc = QFormat::new(5, 10).expect("valid format");
+
+    // Error-propagation demo: a 4-entry LUT (step 4.0) against the paper's
+    // quality contract, with the wire-level trace of a matching PG core.
+    let mut errsec = SectionReport::new("error-propagation");
+    let coarse = DatapathConfig::coopmc("demo-broken:4-entry-lut", 4, 8);
+    let contract = crate::errprop::QualityContract::paper_tolerance();
+    errsec.checks += 1;
+    let (budget, violations) =
+        check_quality(&coarse, &contract, WORKLOAD_LABELS, WORKLOAD_FACTOR_OPS);
+    let core = PgCoreCircuit::new(4, 3, coarse.size_lut, coarse.bit_lut);
+    let per_factor = Interval::new(coarse.score_floor / 3.0, coarse.score_ceiling / 3.0);
+    let inputs: Vec<(Wire, Interval)> = core
+        .factor_wires()
+        .iter()
+        .flatten()
+        .map(|&w| (w, per_factor))
+        .collect();
+    let ra = analyze(core.netlist(), &inputs, &AnalysisOptions::default());
+    let q = coarse.acc.rounding_error_bound(Rounding::Nearest);
+    let input_errors: Vec<(Wire, f64)> = core
+        .factor_wires()
+        .iter()
+        .flatten()
+        .map(|&w| (w, q))
+        .collect();
+    let table = TableExp::with_range(coarse.size_lut, coarse.bit_lut, coarse.lut_range);
+    let lut_models: Vec<(usize, LutErrorModel)> = core
+        .netlist()
+        .components()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| matches!(c, Component::Lut { .. }))
+        .map(|(i, _)| (i, LutErrorModel::TableExp(table.clone())))
+        .collect();
+    let ea = analyze_errors(core.netlist(), &ra, &input_errors, &lut_models, 64);
+    let worst = core
+        .output_wires()
+        .iter()
+        .copied()
+        .max_by(|&a, &b| ea.error(a).total_cmp(&ea.error(b)))
+        .expect("core has outputs");
+    for v in violations {
+        let mut provenance = budget.trace();
+        provenance.extend(ea.provenance(core.netlist(), worst, 4));
+        let severity = v.severity;
+        let check = v.contract;
+        errsec.push(Finding {
+            severity,
+            check: check.into(),
+            message: v.to_string(),
+            provenance,
+            bound: Some(budget.tv_bound),
+            limit: Some(contract.tv_limit),
+        });
+    }
+
+    // Schedule demo: a formula that under-claims the tree sampler's
+    // critical path by one cycle, and a shared traverse comparator that
+    // cannot sustain II = 1.
+    let mut schedsec = SectionReport::new("pipeline-schedules");
+    let lt = LatencyTable::reference();
+    let dag = tree_sampler_dag(64, &lt, false);
+    let computed = dag.list_schedule().makespan;
+    schedsec.checks += 1;
+    if let Some(f) = check_claim(
+        "tree-latency",
+        "demo-broken:underclaimed-formula",
+        computed - 1,
+        computed,
+        dag.describe(&dag.critical_path()),
+    ) {
+        schedsec.push(Finding {
+            severity: f.severity,
+            check: f.check.into(),
+            message: format!("[{}] {}", f.subject, f.message),
+            provenance: f.provenance,
+            bound: f.computed.map(|c| c as f64),
+            limit: f.claimed.map(|c| c as f64),
+        });
+    }
+    schedsec.checks += 1;
+    let shared = tree_sampler_dag(64, &lt, true);
+    let ii = shared.min_initiation_interval();
+    if ii != 1 {
+        schedsec.push(Finding {
+            severity: Severity::Error,
+            check: "pipe-tree-ii".into(),
+            message: format!(
+                "[demo-broken:shared-traverse-comparator] pipelined sampler cannot sustain \
+                 II = 1: the shared comparator is busy {ii} cycles per sample"
+            ),
+            provenance: vec![],
+            bound: Some(ii as f64),
+            limit: Some(1.0),
+        });
+    }
+
     VerifyReport {
-        sections: vec![contract_section("datapath-contracts", &[broken, narrow])],
+        sections: vec![
+            contract_section("datapath-contracts", &[broken, narrow]),
+            errsec,
+            schedsec,
+        ],
     }
 }
 
@@ -387,7 +796,10 @@ mod tests {
             report.render()
         );
         let total: usize = report.sections.iter().map(|s| s.checks).sum();
-        assert!(total > 100, "expected a substantive sweep, got {total}");
+        assert!(total > 150, "expected a substantive sweep, got {total}");
+        let titles: Vec<&str> = report.sections.iter().map(|s| s.title.as_str()).collect();
+        assert!(titles.contains(&"error-propagation"));
+        assert!(titles.contains(&"pipeline-schedules"));
     }
 
     #[test]
@@ -397,6 +809,72 @@ mod tests {
         let rendered = report.render();
         assert!(rendered.contains("lut-covers-dynorm-range"));
         assert!(rendered.contains("log-zero-survives-exp"));
+        assert!(rendered.contains("error-tv-bound"));
+        assert!(rendered.contains("lut-step"));
+        assert!(rendered.contains("under-claims"));
+        assert!(rendered.contains("II = 1"));
         assert!(rendered.contains("FAILED"));
+        // The error-propagation finding carries a wire-level trace.
+        let errsec = report
+            .sections
+            .iter()
+            .find(|s| s.title == "error-propagation")
+            .expect("section present");
+        let tv = errsec
+            .errors()
+            .find(|f| f.check == "error-tv-bound")
+            .expect("tv finding present");
+        assert!(tv.provenance.iter().any(|l| l.starts_with("lut-step")));
+        assert!(tv.provenance.iter().any(|l| l.contains("Lut(")));
+        assert!(tv.bound.unwrap() > tv.limit.unwrap());
+    }
+
+    #[test]
+    fn json_report_is_well_formed_and_structured() {
+        let report = run_broken_demo();
+        let json = report.to_json();
+        // Structural sanity without a JSON parser: balanced braces and
+        // brackets outside string literals, and the structured fields
+        // present.
+        let skeleton: String = {
+            let mut out = String::new();
+            let mut in_str = false;
+            let mut esc = false;
+            for c in json.chars() {
+                match (in_str, esc, c) {
+                    (true, true, _) => esc = false,
+                    (true, false, '\\') => esc = true,
+                    (true, false, '"') => in_str = false,
+                    (true, false, _) => {}
+                    (false, _, '"') => in_str = true,
+                    (false, _, c) => out.push(c),
+                }
+            }
+            out
+        };
+        let balance = |open: char, close: char| {
+            skeleton.chars().filter(|&c| c == open).count()
+                == skeleton.chars().filter(|&c| c == close).count()
+        };
+        assert!(balance('{', '}'));
+        assert!(balance('[', ']'));
+        assert!(json.starts_with("{\"status\":\"failed\""));
+        assert!(json.contains("\"check\":\"error-tv-bound\""));
+        assert!(json.contains("\"bound\":"));
+        assert!(json.contains("\"limit\":0.02"));
+        assert!(json.contains("\"provenance\":["));
+        // No raw control characters survive escaping.
+        assert!(!json.chars().any(|c| (c as u32) < 0x20));
+
+        let clean = run_all().to_json();
+        assert!(clean.starts_with("{\"status\":\"passed\""));
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes_and_newlines() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_number(Some(0.25)), "0.25");
+        assert_eq!(json_number(Some(f64::INFINITY)), "null");
+        assert_eq!(json_number(None), "null");
     }
 }

@@ -16,7 +16,36 @@ fn gate_passes_on_the_current_tree() {
     assert!(stdout.contains("PASSED"));
     assert!(stdout.contains("netlist-ranges"));
     assert!(stdout.contains("datapath-contracts"));
+    assert!(stdout.contains("error-propagation"));
+    assert!(stdout.contains("pipeline-schedules"));
     assert!(stdout.contains("chromatic-schedules"));
+}
+
+#[test]
+fn gate_emits_structured_json_for_ci() {
+    let out = Command::new(env!("CARGO_BIN_EXE_coopmc-verify"))
+        .arg("--json")
+        .output()
+        .expect("run coopmc-verify --json");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "gate must pass:\n{stdout}");
+    let json = stdout.trim();
+    assert!(json.starts_with("{\"status\":\"passed\""));
+    assert!(json.ends_with("]}"));
+    assert!(json.contains("\"sections\":["));
+    for title in [
+        "netlist-ranges",
+        "datapath-contracts",
+        "pgpipe-configs",
+        "error-propagation",
+        "pipeline-schedules",
+        "chromatic-schedules",
+    ] {
+        assert!(
+            json.contains(&format!("\"title\":\"{title}\"")),
+            "missing section {title} in JSON output"
+        );
+    }
 }
 
 #[test]
@@ -34,4 +63,27 @@ fn gate_fails_on_a_broken_config_with_diagnostics() {
     assert!(stdout.contains("lut-covers-dynorm-range"));
     assert!(stdout.contains("demo-broken"));
     assert!(stdout.contains("FAILED"));
+    // The error-propagation demo names the dominant error source, the
+    // schedule demo flags the under-claimed formula and the broken II.
+    assert!(stdout.contains("lut-step"));
+    assert!(stdout.contains("under-claims"));
+    assert!(stdout.contains("II = 1"));
+}
+
+#[test]
+fn broken_json_carries_bounds_limits_and_provenance() {
+    let out = Command::new(env!("CARGO_BIN_EXE_coopmc-verify"))
+        .args(["--demo-broken", "--json"])
+        .output()
+        .expect("run coopmc-verify --demo-broken --json");
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json = stdout.trim();
+    assert!(json.starts_with("{\"status\":\"failed\""));
+    assert!(json.contains("\"check\":\"error-tv-bound\""));
+    assert!(json.contains("\"limit\":0.02"));
+    assert!(json.contains("\"check\":\"tree-latency\""));
+    assert!(json.contains("\"check\":\"pipe-tree-ii\""));
+    // Wire-level provenance survives into the artifact.
+    assert!(json.contains("\"provenance\":[\"lut-step"));
 }

@@ -115,6 +115,18 @@ impl QFormat {
         1.0 / (1i64 << self.frac_bits) as f64
     }
 
+    /// Worst-case absolute quantization error `mode` can introduce on an
+    /// in-range value: half a grid step for [`Rounding::Nearest`], a full
+    /// step for the directed modes. Saturation error (values outside
+    /// [`QFormat::range`]) is unbounded and not covered — pair this with a
+    /// range proof, as `coopmc-analyze`'s error-propagation pass does.
+    pub fn rounding_error_bound(&self, mode: Rounding) -> f64 {
+        match mode {
+            Rounding::Nearest => self.resolution() / 2.0,
+            Rounding::Floor | Rounding::Truncate => self.resolution(),
+        }
+    }
+
     /// Largest representable value, `2^int_bits - 2^-frac_bits`.
     pub fn max_value(&self) -> f64 {
         self.max_raw() as f64 * self.resolution()
@@ -234,5 +246,13 @@ mod tests {
     fn display_formats() {
         assert_eq!(QFormat::new(8, 8).unwrap().to_string(), "Q8.8");
         assert!(!format!("{:?}", QFormat::baseline32()).is_empty());
+    }
+
+    #[test]
+    fn rounding_error_bound_is_half_or_full_step() {
+        let q = QFormat::new(4, 3).unwrap(); // grid 0.125
+        assert_eq!(q.rounding_error_bound(Rounding::Nearest), 0.0625);
+        assert_eq!(q.rounding_error_bound(Rounding::Floor), 0.125);
+        assert_eq!(q.rounding_error_bound(Rounding::Truncate), 0.125);
     }
 }

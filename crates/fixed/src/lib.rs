@@ -57,6 +57,16 @@ pub fn unsigned_resolution(frac_bits: u32) -> f64 {
     1.0 / (1u64 << frac_bits) as f64
 }
 
+/// Worst-case absolute error of [`quantize_unsigned`]'s round-to-nearest
+/// grid snap for non-saturating inputs: half of [`unsigned_resolution`].
+///
+/// ROM-entry error bounds (TableExp/TableLog output quantization) are built
+/// from this single constant rather than re-deriving `2^-frac_bits / 2`
+/// at each use site.
+pub fn unsigned_rounding_error(frac_bits: u32) -> f64 {
+    unsigned_resolution(frac_bits) / 2.0
+}
+
 /// Stochastically round `x` onto the grid of `fmt`: the value quantizes up
 /// or down with probability proportional to its distance from each
 /// neighbouring grid point, driven by `u ∈ [0, 1)`.
@@ -108,6 +118,17 @@ mod tests {
     fn unsigned_resolution_is_power_of_two() {
         assert_eq!(unsigned_resolution(0), 1.0);
         assert_eq!(unsigned_resolution(3), 0.125);
+    }
+
+    #[test]
+    fn unsigned_rounding_error_bounds_the_grid_snap() {
+        assert_eq!(unsigned_rounding_error(3), 0.0625);
+        // Every in-range quantization stays within the bound.
+        for i in 0..100 {
+            let x = 0.005 + i as f64 * 0.01;
+            let err = (quantize_unsigned(x, 3, 1 << 3) - x).abs();
+            assert!(err <= unsigned_rounding_error(3));
+        }
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! cost per variable is the *bottleneck* stage ([`CoreTiming::pipelined`]);
 //! the non-overlapped latency ([`CoreTiming::sequential`]) is the sum.
 
-use coopmc_kernels::cost::{ADD_CYCLES, EXP_APPROX_CYCLES, LUT_CYCLES, MUL_CYCLES};
+use coopmc_kernels::cost::{
+    ADD_CYCLES, DIV_CYCLES, EXP_APPROX_CYCLES, LOG_APPROX_CYCLES, LUT_CYCLES, MUL_CYCLES,
+    STAGE_REG_CYCLES, THRESHOLD_MUL_CYCLES, TREE_LAYER_CYCLES,
+};
 use coopmc_sampler::{PipeTreeSampler, Sampler, SequentialSampler, TreeSampler};
 
 use crate::area::SamplerKind;
@@ -71,6 +74,70 @@ impl PgTiming {
                 stream + fill1 + norm + stream + fill2
             }
         }
+    }
+}
+
+/// The per-primitive latencies every closed-form cycle model in this crate
+/// is built from, gathered into one introspectable value.
+///
+/// The static schedule verifier (`coopmc-analyze`'s schedule pass) rebuilds
+/// the PG/SD dependence DAGs from this table and checks the closed-form
+/// latencies ([`PgTiming::cycles`], the sampler `latency_cycles` formulas)
+/// against list-scheduled critical paths — so the table is the single
+/// source of truth linking the paper's §III-C latency assumptions to the
+/// verified pipeline schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyTable {
+    /// Fixed-point add/subtract (one comparator-or-adder cycle).
+    pub add: u64,
+    /// 32-bit DSP multiply.
+    pub mul: u64,
+    /// Pipelined 32-bit divide.
+    pub div: u64,
+    /// ROM lookup (TableExp / TableLog).
+    pub lut: u64,
+    /// Approximation-based exp ALU.
+    pub exp_approx: u64,
+    /// Approximation-based log ALU.
+    pub log_approx: u64,
+    /// One NormTree / TreeSampler comparator or adder layer.
+    pub tree_layer: u64,
+    /// The narrow ThresholdGen multiply (total × uniform draw).
+    pub threshold_mul: u64,
+    /// One pipeline stage register boundary.
+    pub stage_reg: u64,
+}
+
+impl LatencyTable {
+    /// The reference table: the §III-C constants from
+    /// [`coopmc_kernels::cost`].
+    pub fn reference() -> Self {
+        Self {
+            add: ADD_CYCLES,
+            mul: MUL_CYCLES,
+            div: DIV_CYCLES,
+            lut: LUT_CYCLES,
+            exp_approx: EXP_APPROX_CYCLES,
+            log_approx: LOG_APPROX_CYCLES,
+            tree_layer: TREE_LAYER_CYCLES,
+            threshold_mul: THRESHOLD_MUL_CYCLES,
+            stage_reg: STAGE_REG_CYCLES,
+        }
+    }
+
+    /// All entries as `(name, cycles)` pairs, for reports and diagnostics.
+    pub fn entries(&self) -> [(&'static str, u64); 9] {
+        [
+            ("add", self.add),
+            ("mul", self.mul),
+            ("div", self.div),
+            ("lut", self.lut),
+            ("exp-approx", self.exp_approx),
+            ("log-approx", self.log_approx),
+            ("tree-layer", self.tree_layer),
+            ("threshold-mul", self.threshold_mul),
+            ("stage-reg", self.stage_reg),
+        ]
     }
 }
 

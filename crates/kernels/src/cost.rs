@@ -42,8 +42,22 @@ pub const LOG_APPROX_CYCLES: u64 = 8;
 /// TreeSampler.
 pub const TREE_LAYER_CYCLES: u64 = 1;
 
-/// Cycles for the ThresholdGen multiply (total-sum × uniform draw).
-pub const THRESHOLD_GEN_CYCLES: u64 = 2;
+/// Cycles for the bare ThresholdGen multiply (total-sum × uniform draw).
+///
+/// The uniform draw is a narrow PRNG word, so the threshold product is a
+/// single-cycle narrow multiply, not a full [`MUL_CYCLES`] DSP multiply.
+/// The *sequential* sampler consumes the product combinationally in its
+/// scan FSM (its `2N + 1` latency contains exactly this one cycle); the
+/// tree samplers latch it into a pipeline stage register first, which is
+/// where [`THRESHOLD_GEN_CYCLES`]'s second cycle comes from.
+pub const THRESHOLD_MUL_CYCLES: u64 = 1;
+
+/// Cycles for one pipeline stage register boundary (a plain flop stage).
+pub const STAGE_REG_CYCLES: u64 = 1;
+
+/// Cycles for the ThresholdGen unit of the tree samplers: the narrow
+/// multiply plus the stage register that launches the TraverseTree walk.
+pub const THRESHOLD_GEN_CYCLES: u64 = THRESHOLD_MUL_CYCLES + STAGE_REG_CYCLES;
 
 /// An additive tally of datapath operations, used by the instrumented
 /// pipelines to report how many of each primitive they executed.

@@ -92,12 +92,37 @@ mod tests {
 
     #[test]
     fn table_exp_error_bounded_by_step_and_quantization() {
-        // Fig. 4 configuration: size 1024, 32-bit entries.
+        // Fig. 4 configuration: size 1024, 32-bit entries. The kernel's own
+        // closed-form worst case (step error + output quantization) must
+        // dominate the measured sweep — zero tolerance.
         let t = TableExp::new(1024, 32);
         let s = summarize(&sweep_exp_error(&t, -16.0, 0.0, 4001));
-        // Worst case: derivative 1 at x=0 times the step (16/1024).
-        assert!(s.max_abs <= 16.0 / 1024.0 + 1e-9, "max {}", s.max_abs);
+        assert!(s.max_abs <= t.worst_case_abs_error(), "max {}", s.max_abs);
         assert!(s.mean_abs < s.max_abs);
+    }
+
+    #[test]
+    fn table_exp_static_bound_is_sound_across_geometries() {
+        // The static bound must dominate the measured error for every
+        // geometry, including coarse/broken ones, with zero tolerance.
+        for (size, bit, range) in [
+            (4usize, 8u32, 16.0f64),
+            (8, 2, 16.0),
+            (64, 8, 16.0),
+            (1024, 32, 16.0),
+            (64, 8, 2.0),
+            (256, 16, 32.0),
+        ] {
+            let t = TableExp::with_range(size, bit, range);
+            // Sweep past the flush edge so the tail branch is exercised.
+            let s = summarize(&sweep_exp_error(&t, -(range + 4.0), 0.0, 4001));
+            assert!(
+                s.max_abs <= t.worst_case_abs_error(),
+                "{size}x{bit} range {range}: measured {} > bound {}",
+                s.max_abs,
+                t.worst_case_abs_error()
+            );
+        }
     }
 
     #[test]

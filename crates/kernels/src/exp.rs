@@ -192,6 +192,57 @@ impl TableExp {
     pub fn entry(&self, k: usize) -> Option<f64> {
         self.entries.get(k).copied()
     }
+
+    /// The input coverage of the ROM: inputs in `(-lut_range, 0]` resolve
+    /// to an entry, anything below flushes to zero. Equals
+    /// `step_lut · size_lut`.
+    pub fn lut_range(&self) -> f64 {
+        self.step * self.entries.len() as f64
+    }
+
+    /// Output-grid step of the ROM entries, `2^-bit_lut`.
+    pub fn output_ulp(&self) -> f64 {
+        coopmc_fixed::unsigned_resolution(self.bit_lut)
+    }
+
+    /// Worst-case error from quantizing an ideal entry value onto the
+    /// `bit_lut`-bit output grid (round-to-nearest: half an ulp).
+    pub fn output_quantization_error(&self) -> f64 {
+        coopmc_fixed::unsigned_rounding_error(self.bit_lut)
+    }
+
+    /// Worst-case *absolute* error of the step (floor-index) addressing
+    /// against the true exponential, before output quantization:
+    /// `sup_{x ≤ 0} |e^{-⌊-x/step⌋·step} - e^x| = 1 - e^{-step}`,
+    /// attained as `x` approaches the first knot from below.
+    pub fn step_error_bound(&self) -> f64 {
+        -(-self.step).exp_m1()
+    }
+
+    /// Worst-case *relative* step error against the true exponential:
+    /// the selected entry over-reads `e^x` by at most the factor
+    /// `e^step - 1` (`entry/e^x - 1 ≤ e^step - 1`). The error-propagation
+    /// pass scales this by each label's probability mass, which is what
+    /// makes the end-to-end total-variation bound independent of how many
+    /// labels carry negligible mass.
+    pub fn step_error_factor(&self) -> f64 {
+        self.step.exp_m1()
+    }
+
+    /// Probability mass at the flush-to-zero edge: inputs below
+    /// `-lut_range` read 0 while the true exponential still carries up to
+    /// `e^-lut_range`.
+    pub fn flush_tail_mass(&self) -> f64 {
+        (-self.lut_range()).exp()
+    }
+
+    /// Worst-case absolute error of the full kernel against `e^x` over all
+    /// `x ≤ 0`: the step error plus output quantization inside the domain,
+    /// or the discarded tail mass beyond it (the flushed output 0 is
+    /// on-grid, so no quantization error applies there).
+    pub fn worst_case_abs_error(&self) -> f64 {
+        (self.step_error_bound() + self.output_quantization_error()).max(self.flush_tail_mass())
+    }
 }
 
 impl ExpKernel for TableExp {
@@ -302,6 +353,31 @@ mod tests {
             assert_eq!(scaled, scaled.round(), "entry {k} off-grid");
         }
         assert_eq!(t.entry(16), None);
+    }
+
+    #[test]
+    fn error_model_constants_are_consistent() {
+        let t = TableExp::new(1024, 32);
+        assert_eq!(t.lut_range(), 16.0);
+        assert_eq!(t.output_ulp(), (2.0f64).powi(-32));
+        assert_eq!(t.output_quantization_error(), t.output_ulp() / 2.0);
+        // 1 - e^-step < step < e^step - 1: the absolute bound is tighter
+        // than the raw step, the relative factor looser.
+        assert!(t.step_error_bound() < t.step_lut());
+        assert!(t.step_error_factor() > t.step_error_bound());
+        assert!((t.flush_tail_mass() - (-16.0f64).exp()).abs() < 1e-22);
+        assert_eq!(
+            t.worst_case_abs_error(),
+            t.step_error_bound() + t.output_quantization_error()
+        );
+    }
+
+    #[test]
+    fn worst_case_error_switches_to_tail_mass_for_narrow_ranges() {
+        // A range-2 table discards e^-2 ≈ 0.135 of mass at the flush edge,
+        // which dwarfs its fine step error.
+        let t = TableExp::with_range(1024, 32, 2.0);
+        assert_eq!(t.worst_case_abs_error(), t.flush_tail_mass());
     }
 
     #[test]

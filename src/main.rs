@@ -5,7 +5,7 @@
 //! coopmc run <workload> [--pipeline SPEC] [--sampler KIND] [--sweeps N]
 //!                       [--seed S] [--threads T]
 //! coopmc hw [--labels N]
-//! coopmc verify [--demo-broken]
+//! coopmc verify [--json] [--demo-broken]
 //! ```
 //!
 //! Pipeline SPECs: `float32`, `fixed:<bits>`, `fixed+dn:<bits>`,
@@ -250,13 +250,17 @@ fn cmd_hw(labels: usize) {
 
 /// Run the static verifier (same sweep as the `coopmc-verify` binary) and
 /// report success as an exit-code-style `Result`.
-fn cmd_verify(demo_broken: bool) -> Result<(), String> {
+fn cmd_verify(demo_broken: bool, json: bool) -> Result<(), String> {
     let report = if demo_broken {
         coopmc::analyze::verify::run_broken_demo()
     } else {
         coopmc::analyze::verify::run_all()
     };
-    print!("{}", report.render());
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
     if report.has_errors() {
         Err("static verification failed".to_owned())
     } else {
@@ -265,7 +269,7 @@ fn cmd_verify(demo_broken: bool) -> Result<(), String> {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  coopmc list\n  coopmc run <workload> [--pipeline SPEC] [--sampler seq|tree|pipe|alias] [--sweeps N] [--seed S] [--threads T]\n  coopmc hw [--labels N]\n  coopmc verify [--demo-broken]"
+    "usage:\n  coopmc list\n  coopmc run <workload> [--pipeline SPEC] [--sampler seq|tree|pipe|alias] [--sweeps N] [--seed S] [--threads T]\n  coopmc hw [--labels N]\n  coopmc verify [--json] [--demo-broken]"
 }
 
 fn main() -> ExitCode {
@@ -286,7 +290,10 @@ fn main() -> ExitCode {
             cmd_hw(labels);
             Ok(())
         }
-        Some("verify") => cmd_verify(args.iter().any(|a| a == "--demo-broken")),
+        Some("verify") => cmd_verify(
+            args.iter().any(|a| a == "--demo-broken"),
+            args.iter().any(|a| a == "--json"),
+        ),
         _ => Err(usage().to_owned()),
     };
     match result {
