@@ -13,7 +13,7 @@
 //! Emits `BENCH_hotpath.json` (samples/sec) at the repo root. Run with
 //! `cargo bench -p coopmc-bench --bench hot_path`.
 
-use coopmc_bench::harness::{black_box, json_array, Harness, JsonObject, Measurement};
+use coopmc_bench::harness::{black_box, git_commit, json_array, Harness, JsonObject, Measurement};
 use coopmc_core::parallel::ChromaticEngine;
 use coopmc_core::pipeline::{CoopMcPipeline, FixedPipeline, PgOutput, ProbabilityPipeline};
 use coopmc_models::coloring::ChromaticModel;
@@ -206,6 +206,9 @@ fn main() {
     println!("\n1-thread sweep throughput: scoped {scoped_1t:.0}/s, pooled {pooled_1t:.0}/s ({speedup:.2}x)");
 
     let doc = JsonObject::new()
+        .string("schema", "coopmc-bench-hotpath/1")
+        .string("version", env!("CARGO_PKG_VERSION"))
+        .string("git_commit", &git_commit())
         .string("bench", "hot_path")
         .string("model", &format!("image_segmentation_{WIDTH}x{HEIGHT}"))
         .number("variables", (WIDTH * HEIGHT) as f64)

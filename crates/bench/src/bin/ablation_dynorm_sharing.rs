@@ -2,19 +2,22 @@
 //! PG pipelines sharing it (the DESIGN.md §4 ablation of the paper's claim
 //! that DyNorm's hardware cost is "minuscule" once amortized).
 
-use coopmc_bench::{header, paper_note};
+use coopmc_bench::harness::{Cell, Report, Table};
 use coopmc_hw::area::{dynorm_amortized_area, pg_alu_area, PgAluDesign};
 use coopmc_kernels::dynorm::NormTree;
 
 fn main() {
-    header(
+    let mut report = Report::new(
+        "ablation_dynorm_sharing",
         "Ablation",
         "DyNorm cost amortization vs parallel pipeline count",
     );
-    println!(
-        "{:<10} {:>16} {:>14} {:>16}",
-        "pipelines", "DN area/pipe", "tree latency", "ALU total (TE)"
-    );
+    let mut table = Table::new(&[
+        "pipelines",
+        "DN area/pipe (um2)",
+        "tree latency (cyc)",
+        "ALU total TE (um2)",
+    ]);
     for p in [1usize, 2, 4, 8, 16, 32, 64] {
         let dn = dynorm_amortized_area(p, 32);
         let tree = NormTree::new(p);
@@ -27,11 +30,18 @@ fn main() {
             bit_lut: 32,
         })
         .total();
-        println!("{p:<10} {dn:>13.1} um2 {latency:>11} cyc {total:>13.0} um2");
+        table.row(vec![
+            Cell::int(p as i64),
+            Cell::num(dn, 1),
+            Cell::int(latency as i64),
+            Cell::num(total, 0),
+        ]);
     }
-    paper_note(
+    report.push(table);
+    report.note(
         "§III-A: the NormTree's cost is amortized by the pipeline count and \
          its latency grows as O(log P) + 1 — sharing it across pipelines is \
          what makes DyNorm essentially free.",
     );
+    report.finish();
 }

@@ -3,7 +3,7 @@
 //! only 1 cycle for 32-bit addition; even accounting for log and exp
 //! conversions, log-domain computation is still faster").
 
-use coopmc_bench::{header, paper_note};
+use coopmc_bench::harness::{Cell, Report, Table};
 use coopmc_fixed::QFormat;
 use coopmc_kernels::cost::{ADD_CYCLES, DIV_CYCLES, LUT_CYCLES, MUL_CYCLES};
 use coopmc_kernels::exp::TableExp;
@@ -11,14 +11,19 @@ use coopmc_kernels::fusion::{DirectDatapath, FactorExpr, LogFusion};
 use coopmc_kernels::log::TableLog;
 
 fn main() {
-    header(
+    let mut report = Report::new(
+        "ablation_logfusion_depth",
         "Ablation",
         "LogFusion gain vs multiply/divide sequence depth",
     );
-    println!(
-        "{:<8} {:>14} {:>14} {:>9} | {:>12} {:>12}",
-        "#factors", "direct cycles", "fused cycles", "gain", "direct val", "fused val"
-    );
+    let mut table = Table::new(&[
+        "#factors",
+        "direct cycles",
+        "fused cycles",
+        "gain",
+        "direct val",
+        "fused val",
+    ]);
     let fusion = LogFusion::new(
         TableLog::new(1024, 24),
         TableExp::new(1024, 24),
@@ -36,15 +41,21 @@ fn main() {
         let expr = FactorExpr::ratio(if nums.is_empty() { vec![0.5] } else { nums }, vec![0.7]);
         let dval = direct.evaluate_factors(std::slice::from_ref(&expr)).probs[0];
         let fval = fusion.evaluate_factors(std::slice::from_ref(&expr)).probs[0];
-        println!(
-            "{depth:<8} {direct_cycles:>14} {fused_cycles:>14} {:>8.2}x | {dval:>12.4e} {fval:>12.4e}",
-            direct_cycles as f64 / fused_cycles as f64
-        );
+        table.row(vec![
+            Cell::int(depth as i64),
+            Cell::int(direct_cycles as i64),
+            Cell::int(fused_cycles as i64),
+            Cell::unit(direct_cycles as f64 / fused_cycles as f64, 2, "x"),
+            Cell::num(dval, 8),
+            Cell::num(fval, 8),
+        ]);
     }
-    paper_note(
+    report.push(table);
+    report.note(
         "§III-C. The gain grows with factor depth; note the direct datapath \
          underflowing to 0 at large depths (fixed-point products of \
          probabilities), which LogFusion+DyNorm avoids entirely. Fused \
          values are relative (DyNorm rescales the vector).",
     );
+    report.finish();
 }

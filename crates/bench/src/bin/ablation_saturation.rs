@@ -8,13 +8,15 @@
 //! inference with both accumulator behaviours on a deliberately narrow
 //! accumulator and reports converged quality.
 
-use coopmc_bench::{header, paper_note, seeds};
+use coopmc_bench::harness::{Cell, Report, Table};
+use coopmc_bench::seeds;
 use coopmc_core::experiments::mrf_golden;
 use coopmc_core::pipeline::{PgOutput, ProbabilityPipeline};
 use coopmc_fixed::{Fixed, QFormat, Rounding};
 use coopmc_kernels::cost::OpCounts;
 use coopmc_kernels::dynorm::dynorm_apply;
 use coopmc_kernels::exp::{ExpKernel, TableExp};
+use coopmc_kernels::telemetry::PgTelemetry;
 use coopmc_models::metrics::normalized_mse;
 use coopmc_models::mrf::image_restoration;
 use coopmc_models::{GibbsModel, LabelScore};
@@ -77,6 +79,7 @@ impl ProbabilityPipeline for NarrowAccPipeline {
         PgOutput {
             probs,
             ops: OpCounts::new(),
+            telemetry: PgTelemetry::new(),
         }
     }
 
@@ -111,14 +114,15 @@ fn run(
 }
 
 fn main() {
-    header(
+    let mut report = Report::new(
+        "ablation_saturation",
         "Ablation",
         "saturating vs wrapping accumulator on 64-label restoration",
     );
     let app = image_restoration(32, 24, seeds::WORKLOAD);
     let golden = mrf_golden(&app, 60, seeds::GOLDEN);
 
-    println!("{:<30} {:>16}", "accumulator", "converged NMSE");
+    let mut table = Table::new(&["accumulator", "converged NMSE"]);
     // Restoration scores reach ~ -beta * (16 + 4*8*1.5) ≈ -32: a Q6.4
     // accumulator holds them, Q4.4 wraps once, Q3.4 wraps repeatedly.
     for (int_bits, label) in [
@@ -129,14 +133,17 @@ fn main() {
         for wrap in [false, true] {
             let p = NarrowAccPipeline::new(int_bits, 4, wrap);
             let nmse = run(&p, &app, &golden);
-            println!(
-                "{:<30} {:>16.3}",
-                format!("{label} {}", if wrap { "wrap" } else { "saturate" }),
-                nmse
-            );
+            table.row(vec![
+                Cell::text(format!(
+                    "{label} {}",
+                    if wrap { "wrap" } else { "saturate" }
+                )),
+                Cell::num(nmse, 3),
+            ]);
         }
     }
-    paper_note(
+    report.push(table);
+    report.note(
         "Design-choice ablation (DESIGN.md §4): with headroom the two are \
          identical. Under overflow, saturation degrades *predictably* \
          (overflowing labels tie at the clip value); wraparound is \
@@ -145,4 +152,5 @@ fn main() {
          ordering-inversion unit test in coopmc-fixed). Predictability \
          under overflow is why probability datapaths saturate.",
     );
+    report.finish();
 }

@@ -6,7 +6,8 @@
 //! stereo matching, validating that 16 is a sweet spot: too small a range
 //! truncates real mass, too large wastes resolution.
 
-use coopmc_bench::{header, paper_note, seeds};
+use coopmc_bench::harness::{Cell, Report, Table};
+use coopmc_bench::seeds;
 use coopmc_core::experiments::{mrf_converged_nmse, mrf_golden};
 use coopmc_core::pipeline::PipelineConfig;
 use coopmc_kernels::exp::TableExp;
@@ -16,58 +17,54 @@ use coopmc_models::mrf::stereo_matching;
 /// public `PipelineConfig`; measure the kernel-level effect directly and
 /// the end-to-end effect via the nearest configurable equivalents.
 fn main() {
-    header(
+    let mut report = Report::new(
+        "ablation_step_lut",
         "Ablation",
         "TableExp input-range (step_lut * size_lut) sensitivity",
     );
     let size = 64usize;
 
-    println!("kernel-level: fraction of probability mass truncated to zero");
-    println!(
-        "{:<8} {:>10} {:>22}",
-        "range", "step_lut", "exp(-range) mass lost"
+    let mut kernel = Table::titled(
+        "kernel-level: fraction of probability mass truncated to zero",
+        &["range", "step_lut", "exp(-range) mass lost"],
     );
     for range in [4.0f64, 8.0, 16.0, 32.0, 64.0] {
         let t = TableExp::with_range(size, 16, range);
-        println!(
-            "{range:<8} {:>10.4} {:>22.3e}",
-            t.step_lut(),
-            (-range).exp()
-        );
+        kernel.row(vec![
+            Cell::num(range, 0),
+            Cell::num(t.step_lut(), 4),
+            Cell::num((-range).exp(), 9),
+        ]);
     }
+    report.push(kernel);
 
-    println!("\nend-to-end stereo matching (64-entry LUT, 16-bit):");
+    let mut e2e = Table::titled(
+        "end-to-end stereo matching (64-entry LUT, 16-bit):",
+        &["range", "NMSE"],
+    );
     let app = stereo_matching(48, 32, seeds::WORKLOAD);
     let golden = mrf_golden(&app, 60, seeds::GOLDEN);
     // The paper's range-16 default corresponds to PipelineConfig::coopmc.
-    let default_nmse = mrf_converged_nmse(
-        &app,
-        PipelineConfig::coopmc(size, 16),
-        25,
-        seeds::CHAIN,
-        &golden,
-    );
     // Halving/doubling size at fixed step emulates range 8 and 32.
-    let narrow = mrf_converged_nmse(
-        &app,
-        PipelineConfig::coopmc(size / 2, 16),
-        25,
-        seeds::CHAIN,
-        &golden,
-    );
-    let wide = mrf_converged_nmse(
-        &app,
-        PipelineConfig::coopmc(size * 2, 16),
-        25,
-        seeds::CHAIN,
-        &golden,
-    );
-    println!("{:<24} {:>8.3}", "range 8  (32 entries)", narrow);
-    println!("{:<24} {:>8.3}", "range 16 (64 entries)", default_nmse);
-    println!("{:<24} {:>8.3}", "range 32 (128 entries)", wide);
-    paper_note(
+    for (label, lut_size) in [
+        ("range 8  (32 entries)", size / 2),
+        ("range 16 (64 entries)", size),
+        ("range 32 (128 entries)", size * 2),
+    ] {
+        let nmse = mrf_converged_nmse(
+            &app,
+            PipelineConfig::coopmc(lut_size, 16),
+            25,
+            seeds::CHAIN,
+            &golden,
+        );
+        e2e.row(vec![Cell::text(label), Cell::num(nmse, 3)]);
+    }
+    report.push(e2e);
+    report.note(
         "§III-B: 'we rarely found x_in to be smaller than -16 after \
          DyNorm. Thus, we fixed step_lut to 16/size_lut.' Expect range 16 \
          to be at or near the quality plateau.",
     );
+    report.finish();
 }

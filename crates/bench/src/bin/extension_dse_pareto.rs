@@ -6,12 +6,13 @@
 //! adopter wants the frontier. Every point reuses the same calibrated
 //! area/cycle models, so the frontier is consistent with Tables III/IV.
 
-use coopmc_bench::{header, paper_note};
+use coopmc_bench::harness::{Cell, Report, Table};
 use coopmc_hw::accel::{CoreConfig, PgDatapath};
 use coopmc_hw::area::SamplerKind;
 
 fn main() {
-    header(
+    let mut report = Report::new(
+        "extension_dse_pareto",
         "DSE",
         "area vs cycles/variable frontier for the 64-label MRF core",
     );
@@ -71,22 +72,23 @@ fn main() {
         })
         .collect();
 
-    println!(
-        "{:<28} {:>12} {:>10} {:>8}",
-        "configuration", "area (um2)", "cyc/var", "pareto"
-    );
+    let mut table = Table::new(&["configuration", "area (um2)", "cyc/var", "pareto"]);
     let mut sorted: Vec<usize> = (0..points.len()).collect();
     sorted.sort_by(|&i, &j| points[i].1.partial_cmp(&points[j].1).unwrap());
     for i in sorted {
         let (name, area, cycles) = &points[i];
-        println!(
-            "{name:<28} {area:>12.0} {cycles:>10} {:>8}",
-            if pareto[i] { "*" } else { "" }
-        );
+        table.row(vec![
+            Cell::text(name.clone()),
+            Cell::num(*area, 0),
+            Cell::int(*cycles as i64),
+            Cell::text(if pareto[i] { "*" } else { "" }),
+        ]);
     }
-    paper_note(
+    report.push(table);
+    report.note(
         "Extension of Table IV. Expect every Pareto point to use the CoopMC \
          PG datapath (the baseline PG is dominated), with the sampler choice \
          and pipeline count trading area for cycles.",
     );
+    report.finish();
 }

@@ -10,7 +10,8 @@
 
 use std::time::Instant;
 
-use coopmc_bench::{header, paper_note, seeds};
+use coopmc_bench::harness::{Cell, Report, Table};
+use coopmc_bench::seeds;
 use coopmc_core::engine::GibbsEngine;
 use coopmc_core::pipeline::PipelineConfig;
 use coopmc_models::lda::sparse::sparse_sweep;
@@ -19,11 +20,19 @@ use coopmc_rng::SplitMix64;
 use coopmc_sampler::SequentialSampler;
 
 fn main() {
-    header("SparseLDA", "dense vs bucket-decomposition Gibbs sampling");
-    println!(
-        "{:<10} {:>12} {:>12} {:>9} | {:>12} {:>12}",
-        "topics", "dense (ms)", "sparse (ms)", "speedup", "dense LL", "sparse LL"
+    let mut report = Report::new(
+        "extension_sparse_lda",
+        "SparseLDA",
+        "dense vs bucket-decomposition Gibbs sampling",
     );
+    let mut table = Table::new(&[
+        "topics",
+        "dense (ms)",
+        "sparse (ms)",
+        "speedup",
+        "dense LL",
+        "sparse LL",
+    ]);
     for n_topics in [8usize, 16, 32, 64] {
         let corpus = synthetic_corpus(&CorpusSpec {
             n_docs: 60,
@@ -55,20 +64,21 @@ fn main() {
         }
         let sparse_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-        println!(
-            "{:<10} {:>12.1} {:>12.1} {:>8.2}x | {:>12.0} {:>12.0}",
-            n_topics,
-            dense_ms,
-            sparse_ms,
-            dense_ms / sparse_ms,
-            dense.log_likelihood(),
-            sparse.log_likelihood()
-        );
+        table.row(vec![
+            Cell::int(n_topics as i64),
+            Cell::num(dense_ms, 1),
+            Cell::num(sparse_ms, 1),
+            Cell::unit(dense_ms / sparse_ms, 2, "x"),
+            Cell::num(dense.log_likelihood(), 0),
+            Cell::num(sparse.log_likelihood(), 0),
+        ]);
     }
-    paper_note(
+    report.push(table);
+    report.note(
         "Reference [29] (SparseLDA). Expect growing speedups with topic \
          count (the dense path is O(K), the buckets are O(topics-in-doc + \
          topics-of-word)) at statistically identical log-likelihoods. The \
          hardware TreeSampler attacks the same O(K) from the other side.",
     );
+    report.finish();
 }

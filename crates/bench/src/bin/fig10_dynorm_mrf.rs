@@ -2,7 +2,8 @@
 //! applications — 4-bit and 8-bit fixed point, with and without DyNorm,
 //! against the floating-point reference.
 
-use coopmc_bench::{header, paper_note, seeds};
+use coopmc_bench::harness::{Cell, Report, Table};
+use coopmc_bench::seeds;
 use coopmc_core::experiments::{mrf_converged_nmse, mrf_golden};
 use coopmc_core::pipeline::PipelineConfig;
 use coopmc_models::mrf::{
@@ -10,7 +11,11 @@ use coopmc_models::mrf::{
 };
 
 fn main() {
-    header("Figure 10", "DyNorm on four MRF applications");
+    let mut report = Report::new(
+        "fig10_dynorm_mrf",
+        "Figure 10",
+        "DyNorm on four MRF applications",
+    );
     let apps: Vec<MrfApp> = vec![
         image_restoration(40, 26, seeds::WORKLOAD),
         stereo_matching(48, 32, seeds::WORKLOAD),
@@ -19,26 +24,24 @@ fn main() {
     ];
     let iters = 30u64;
 
-    println!(
-        "{:<26} {:>9} {:>9} {:>9} {:>9} {:>9}",
-        "application", "fx4", "fx4+DN", "fx8", "fx8+DN", "float32"
-    );
+    let mut table = Table::new(&["application", "fx4", "fx4+DN", "fx8", "fx8+DN", "float32"]);
     for app in &apps {
         let golden = mrf_golden(app, 60, seeds::GOLDEN);
         let run = |cfg| mrf_converged_nmse(app, cfg, iters, seeds::CHAIN, &golden);
-        println!(
-            "{:<26} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
-            app.name,
-            run(PipelineConfig::fixed(4)),
-            run(PipelineConfig::fixed_dynorm(4)),
-            run(PipelineConfig::fixed(8)),
-            run(PipelineConfig::fixed_dynorm(8)),
-            run(PipelineConfig::float32()),
-        );
+        table.row(vec![
+            Cell::text(app.name),
+            Cell::num(run(PipelineConfig::fixed(4)), 3),
+            Cell::num(run(PipelineConfig::fixed_dynorm(4)), 3),
+            Cell::num(run(PipelineConfig::fixed(8)), 3),
+            Cell::num(run(PipelineConfig::fixed_dynorm(8)), 3),
+            Cell::num(run(PipelineConfig::float32()), 3),
+        ]);
     }
-    paper_note(
+    report.push(table);
+    report.note(
         "Figure 10. Expect: plain fixed point degrades (dramatically for \
          the 64-label restoration), +DN columns match float32; 8-bit+DN \
          reaches float quality on all four applications.",
     );
+    report.finish();
 }

@@ -1,7 +1,8 @@
 //! Regenerates **Figure 11**: TableExp design-parameter sweep on all four
 //! MRF applications (converged normalized MSE; Float32 as reference).
 
-use coopmc_bench::{header, paper_note, seeds};
+use coopmc_bench::harness::{Cell, Report, Table};
+use coopmc_bench::seeds;
 use coopmc_core::experiments::{mrf_converged_nmse, mrf_golden};
 use coopmc_core::pipeline::PipelineConfig;
 use coopmc_models::mrf::{
@@ -9,9 +10,10 @@ use coopmc_models::mrf::{
 };
 
 fn main() {
-    header(
+    let mut report = Report::new(
+        "fig11_tableexp_mrf",
         "Figure 11",
-        "TableExp parameter sweep on four MRF applications",
+        "TableExp parameter sweep on four MRF applications (converged NMSE)",
     );
     let apps: Vec<MrfApp> = vec![
         image_restoration(40, 26, seeds::WORKLOAD),
@@ -25,14 +27,12 @@ fn main() {
 
     for app in &apps {
         let golden = mrf_golden(app, 60, seeds::GOLDEN);
-        println!("\n--- {} ---", app.name);
-        print!("{:<10}", "size_lut");
-        for b in bits {
-            print!("{:>10}", format!("{b}-bit"));
-        }
-        println!();
+        let mut table = Table::titled(
+            &format!("--- {} ---", app.name),
+            &["size_lut", "4-bit", "8-bit", "16-bit"],
+        );
         for size in sizes {
-            print!("{size:<10}");
+            let mut row = vec![Cell::int(size as i64)];
             for b in bits {
                 let nmse = mrf_converged_nmse(
                     app,
@@ -41,16 +41,18 @@ fn main() {
                     seeds::CHAIN,
                     &golden,
                 );
-                print!("{nmse:>10.3}");
+                row.push(Cell::num(nmse, 3));
             }
-            println!();
+            table.row(row);
         }
         let float =
             mrf_converged_nmse(app, PipelineConfig::float32(), iters, seeds::CHAIN, &golden);
-        println!("{:<10}{float:>10.3}  (reference)", "float32");
+        table.row(vec![Cell::text("float32 (ref)"), Cell::num(float, 3)]);
+        report.push(table);
     }
-    paper_note(
+    report.note(
         "Figure 11. Expect: size_lut >= 32 suffices on every application; \
          #bit_lut has only a small effect (8 bits for full convergence speed).",
     );
+    report.finish();
 }

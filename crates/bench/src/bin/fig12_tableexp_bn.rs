@@ -2,13 +2,18 @@
 //! Bayesian networks (marginal MSE against exact posteriors; Float32 as
 //! reference).
 
-use coopmc_bench::{header, paper_note, seeds};
+use coopmc_bench::harness::{Cell, Report, Table};
+use coopmc_bench::seeds;
 use coopmc_core::experiments::bn_marginal_mse;
 use coopmc_core::pipeline::PipelineConfig;
 use coopmc_models::bn::{asia, earthquake, survey};
 
 fn main() {
-    header("Figure 12", "TableExp parameter sweep on Bayesian networks");
+    let mut report = Report::new(
+        "fig12_tableexp_bn",
+        "Figure 12",
+        "TableExp parameter sweep on Bayesian networks (marginal MSE vs exact)",
+    );
     let nets = [
         ("BN-ASIA", asia()),
         ("BN-EARTHQUAKE", earthquake()),
@@ -20,14 +25,12 @@ fn main() {
     let burn = 600u64;
 
     for (name, net) in &nets {
-        println!("\n--- {name} ---");
-        print!("{:<10}", "size_lut");
-        for b in bits {
-            print!("{:>11}", format!("{b}-bit"));
-        }
-        println!("  (marginal MSE vs exact)");
+        let mut table = Table::titled(
+            &format!("--- {name} ---"),
+            &["size_lut", "2-bit", "4-bit", "8-bit", "16-bit"],
+        );
         for size in sizes {
-            print!("{size:<10}");
+            let mut row = vec![Cell::int(size as i64)];
             for b in bits {
                 let mse = bn_marginal_mse(
                     net,
@@ -36,16 +39,18 @@ fn main() {
                     burn,
                     seeds::CHAIN,
                 );
-                print!("{mse:>11.5}");
+                row.push(Cell::num(mse, 5));
             }
-            println!();
+            table.row(row);
         }
         let float = bn_marginal_mse(net, PipelineConfig::float32(), iters, burn, seeds::CHAIN);
-        println!("{:<10}{float:>11.5}  (reference)", "float32");
+        table.row(vec![Cell::text("float32 (ref)"), Cell::num(float, 5)]);
+        report.push(table);
     }
-    paper_note(
+    report.note(
         "Figure 12. Expect: both axes matter for BNs (small models are \
          precision-sensitive); results saturate near float once \
          size_lut >= 128 with adequate #bit_lut.",
     );
+    report.finish();
 }

@@ -2,13 +2,18 @@
 //! LDA workloads (converged log-likelihood; Float32 as reference; higher is
 //! better).
 
-use coopmc_bench::{header, paper_note, seeds};
+use coopmc_bench::harness::{Cell, Report, Table};
+use coopmc_bench::seeds;
 use coopmc_core::experiments::lda_converged_loglik;
 use coopmc_core::pipeline::PipelineConfig;
 use coopmc_models::workloads::{all_workloads, BuiltWorkload, ModelKind};
 
 fn main() {
-    header("Figure 13", "TableExp parameter sweep on LDA workloads");
+    let mut report = Report::new(
+        "fig13_tableexp_lda",
+        "Figure 13",
+        "TableExp parameter sweep on LDA workloads (log-likelihood)",
+    );
     let sizes = [16usize, 64, 128, 512];
     let bits = [4u32, 8, 16, 32];
     let iters = 25u64;
@@ -17,14 +22,12 @@ fn main() {
         let BuiltWorkload::Lda(lda) = spec.build(seeds::WORKLOAD) else {
             unreachable!()
         };
-        println!("\n--- {} (scaled synthetic) ---", spec.name);
-        print!("{:<10}", "size_lut");
-        for b in bits {
-            print!("{:>12}", format!("{b}-bit"));
-        }
-        println!("  (log-likelihood)");
+        let mut table = Table::titled(
+            &format!("--- {} (scaled synthetic) ---", spec.name),
+            &["size_lut", "4-bit", "8-bit", "16-bit", "32-bit"],
+        );
         for size in sizes {
-            print!("{size:<10}");
+            let mut row = vec![Cell::int(size as i64)];
             for b in bits {
                 let ll = lda_converged_loglik(
                     &lda,
@@ -32,16 +35,18 @@ fn main() {
                     iters,
                     seeds::CHAIN,
                 );
-                print!("{ll:>12.0}");
+                row.push(Cell::num(ll, 0));
             }
-            println!();
+            table.row(row);
         }
         let float = lda_converged_loglik(&lda, PipelineConfig::float32(), iters, seeds::CHAIN);
-        println!("{:<10}{float:>12.0}  (reference)", "float32");
+        table.row(vec![Cell::text("float32 (ref)"), Cell::num(float, 0)]);
+        report.push(table);
     }
-    paper_note(
+    report.note(
         "Figure 13. Expect: clear separation between #bit_lut lines (LDA is \
          the most precision-hungry family) and saturation in size_lut; \
          size_lut >= 128 with 16-bit entries reaches float parity.",
     );
+    report.finish();
 }

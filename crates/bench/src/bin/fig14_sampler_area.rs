@@ -1,25 +1,29 @@
 //! Regenerates **Figure 14**: hardware area of the three sampler designs
 //! as the number of labels grows.
 
-use coopmc_bench::{header, paper_note};
+use coopmc_bench::harness::{Cell, Report, Table};
 use coopmc_hw::area::{sampler_area, SamplerKind};
 
 fn main() {
-    header("Figure 14", "sampler area vs number of labels (um2)");
-    println!(
-        "{:<9} {:>12} {:>12} {:>12}",
-        "#labels", "sequential", "tree", "pipe-tree"
+    let mut report = Report::new(
+        "fig14_sampler_area",
+        "Figure 14",
+        "sampler area vs number of labels (um2)",
     );
+    let mut scaling = Table::new(&["#labels", "sequential", "tree", "pipe-tree"]);
     let mut n = 2usize;
     while n <= 128 {
-        let seq = sampler_area(SamplerKind::Sequential, n, 32).total();
-        let tree = sampler_area(SamplerKind::Tree, n, 32).total();
-        let pipe = sampler_area(SamplerKind::PipeTree, n, 32).total();
-        println!("{n:<9} {seq:>12.0} {tree:>12.0} {pipe:>12.0}");
+        scaling.row(vec![
+            Cell::int(n as i64),
+            Cell::num(sampler_area(SamplerKind::Sequential, n, 32).total(), 0),
+            Cell::num(sampler_area(SamplerKind::Tree, n, 32).total(), 0),
+            Cell::num(sampler_area(SamplerKind::PipeTree, n, 32).total(), 0),
+        ]);
         n *= 2;
     }
+    report.push(scaling);
 
-    println!("\nbreakdown at 64 labels:");
+    let mut breakdown = Table::titled("breakdown at 64 labels:", &["sampler", "components"]);
     for kind in [
         SamplerKind::Sequential,
         SamplerKind::Tree,
@@ -31,11 +35,13 @@ fn main() {
             .iter()
             .map(|(k, v)| format!("{k}={v:.0}"))
             .collect();
-        println!("  {:<11} {}", kind.name(), parts.join("  "));
+        breakdown.row(vec![Cell::text(kind.name()), Cell::text(parts.join("  "))]);
     }
-    paper_note(
+    report.push(breakdown);
+    report.note(
         "Figure 14. Expect: sequential nearly flat (register file only), \
          tree/pipe-tree growing linearly in padded label count, pipe-tree \
          the largest at every point.",
     );
+    report.finish();
 }

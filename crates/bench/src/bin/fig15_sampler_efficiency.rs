@@ -2,12 +2,13 @@
 //! throughput per unit area (right plot), both normalized to the sequential
 //! sampler, as the number of labels grows.
 
-use coopmc_bench::{header, paper_note};
+use coopmc_bench::harness::{Cell, Report, Table};
 use coopmc_hw::area::{sampler_area, SamplerKind};
 use coopmc_sampler::{PipeTreeSampler, Sampler, SequentialSampler, TreeSampler};
 
 fn main() {
-    header(
+    let mut report = Report::new(
+        "fig15_sampler_efficiency",
         "Figure 15",
         "sampler throughput and area efficiency vs #labels",
     );
@@ -15,37 +16,54 @@ fn main() {
     let tree = TreeSampler::new();
     let pipe = PipeTreeSampler::new();
 
-    println!("left plot — throughput speedup over sequential:");
-    println!("{:<9} {:>12} {:>12}", "#labels", "tree", "pipe-tree");
+    let mut left = Table::titled(
+        "left plot — throughput speedup over sequential:",
+        &["#labels", "tree", "pipe-tree"],
+    );
     for n in [2usize, 4, 8, 16, 24, 32, 48, 64, 96, 128] {
         let base = seq.throughput(n);
-        println!(
-            "{n:<9} {:>11.2}x {:>11.2}x",
-            tree.throughput(n) / base,
-            pipe.throughput(n) / base
-        );
+        left.row(vec![
+            Cell::int(n as i64),
+            Cell::unit(tree.throughput(n) / base, 2, "x"),
+            Cell::unit(pipe.throughput(n) / base, 2, "x"),
+        ]);
     }
+    report.push(left);
 
-    println!("\nright plot — throughput/area normalized to sequential:");
-    println!("{:<9} {:>12} {:>12}", "#labels", "tree", "pipe-tree");
+    let mut right = Table::titled(
+        "right plot — throughput/area normalized to sequential:",
+        &["#labels", "tree", "pipe-tree"],
+    );
     for n in [2usize, 4, 8, 16, 24, 32, 48, 64, 96, 128] {
         let eff = |t: f64, kind| t / sampler_area(kind, n, 32).total();
         let base = eff(seq.throughput(n), SamplerKind::Sequential);
-        println!(
-            "{n:<9} {:>11.2}x {:>11.2}x",
-            eff(tree.throughput(n), SamplerKind::Tree) / base,
-            eff(pipe.throughput(n), SamplerKind::PipeTree) / base
-        );
+        right.row(vec![
+            Cell::int(n as i64),
+            Cell::unit(eff(tree.throughput(n), SamplerKind::Tree) / base, 2, "x"),
+            Cell::unit(
+                eff(pipe.throughput(n), SamplerKind::PipeTree) / base,
+                2,
+                "x",
+            ),
+        ]);
     }
+    report.push(right);
 
     let s64 = seq.latency_cycles(64) as f64 / tree.latency_cycles(64) as f64;
     let eff64 = (s64)
         / (sampler_area(SamplerKind::Tree, 64, 32).total()
             / sampler_area(SamplerKind::Sequential, 64, 32).total());
-    println!("\nheadline at 64 labels: {s64:.1}x speedup, {eff64:.2}x area efficiency");
-    paper_note(
+    let mut headline = Table::titled("headline at 64 labels:", &["metric", "value"]);
+    headline.row(vec![Cell::text("tree speedup"), Cell::unit(s64, 1, "x")]);
+    headline.row(vec![
+        Cell::text("area efficiency"),
+        Cell::unit(eff64, 2, "x"),
+    ]);
+    report.push(headline);
+    report.note(
         "Figure 15 / §IV-C. Paper: 8.7x speedup and 1.9x better area \
          efficiency at 64 labels; PipeTreeSampler always leads; tree \
          speedup is a step function between powers of two.",
     );
+    report.finish();
 }

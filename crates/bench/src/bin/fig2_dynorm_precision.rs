@@ -6,15 +6,17 @@
 //! without DyNorm; with DyNorm even 1 bit retains partial capability and
 //! 8 bits matches the 31-bit result.
 
-use coopmc_bench::{header, paper_note, seeds};
+use coopmc_bench::harness::{Cell, Report, Table};
+use coopmc_bench::seeds;
 use coopmc_core::experiments::{mrf_golden, mrf_trace};
 use coopmc_core::pipeline::PipelineConfig;
 use coopmc_models::mrf::stereo_matching;
 
 fn main() {
-    header(
+    let mut report = Report::new(
+        "fig2_dynorm_precision",
         "Figure 2",
-        "precision tolerance of MRF stereo matching, +/- DyNorm",
+        "precision tolerance of MRF stereo matching, +/- DyNorm (NMSE, lower = better)",
     );
     let app = stereo_matching(48, 32, seeds::WORKLOAD);
     let golden = mrf_golden(&app, 60, seeds::GOLDEN);
@@ -23,19 +25,14 @@ fn main() {
     let checkpoints = [2u64, 5, 10, 20, 30];
 
     for dynorm in [false, true] {
-        println!(
-            "\n--- {} ---",
+        let mut table = Table::titled(
             if dynorm {
-                "with DyNorm"
+                "--- with DyNorm ---"
             } else {
-                "without DyNorm (baseline)"
-            }
+                "--- without DyNorm (baseline) ---"
+            },
+            &["bits", "it=2", "it=5", "it=10", "it=20", "it=30"],
         );
-        print!("{:<12}", "bits");
-        for it in checkpoints {
-            print!("{:>9}", format!("it={it}"));
-        }
-        println!("  (normalized MSE, lower = better)");
         let mut configs: Vec<(String, PipelineConfig)> = bits_sweep
             .iter()
             .map(|&b| {
@@ -50,7 +47,7 @@ fn main() {
         configs.push(("float32".to_owned(), PipelineConfig::float32()));
         for (name, cfg) in configs {
             let trace = mrf_trace(&app, cfg, iters, seeds::CHAIN, &golden);
-            print!("{name:<12}");
+            let mut row = vec![Cell::text(name)];
             for it in checkpoints {
                 let v = trace
                     .samples()
@@ -58,14 +55,16 @@ fn main() {
                     .find(|&&(i, _)| i == it)
                     .map(|&(_, v)| v)
                     .unwrap_or(f64::NAN);
-                print!("{v:>9.3}");
+                row.push(Cell::num(v, 3));
             }
-            println!();
+            table.row(row);
         }
+        report.push(table);
     }
-    paper_note(
+    report.note(
         "Figure 2. Expect: without DyNorm, <=8-bit rows stay flat/high \
          (uniform-sampling degeneracy); with DyNorm, 8-bit matches float32 \
          and even 1-bit shows partial inference.",
     );
+    report.finish();
 }

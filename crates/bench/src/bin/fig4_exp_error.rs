@@ -2,39 +2,50 @@
 //! exp kernel versus TableExp (size 1024, 32-bit entries) over the
 //! post-DyNorm input range [-16, 0].
 
-use coopmc_bench::{header, paper_note};
+use coopmc_bench::harness::{Cell, Report, Table};
 use coopmc_kernels::error::{summarize, sweep_exp_error};
 use coopmc_kernels::exp::{FixedExp, TableExp};
 
 fn main() {
-    header(
+    let mut report = Report::new(
+        "fig4_exp_error",
         "Figure 4",
         "exp-kernel output error: approximation vs TableExp",
     );
     let approx = FixedExp::new(16);
     let table = TableExp::new(1024, 32);
 
-    println!("{:<8} {:>14} {:>14}", "x", "approx |err|", "tableexp |err|");
+    let mut sweep = Table::new(&["x", "approx |err|", "tableexp |err|"]);
     let a_sweep = sweep_exp_error(&approx, -16.0, 0.0, 33);
     let t_sweep = sweep_exp_error(&table, -16.0, 0.0, 33);
     for (a, t) in a_sweep.iter().zip(&t_sweep).step_by(4) {
-        println!("{:<8.2} {:>14.3e} {:>14.3e}", a.x, a.abs_error, t.abs_error);
+        sweep.row(vec![
+            Cell::num(a.x, 2),
+            Cell::num(a.abs_error, 9),
+            Cell::num(t.abs_error, 9),
+        ]);
     }
+    report.push(sweep);
 
+    let mut summary = Table::titled(
+        "summary over 4001 points in [-16, 0]:",
+        &["kernel", "max", "mean", "rms"],
+    );
     let a_sum = summarize(&sweep_exp_error(&approx, -16.0, 0.0, 4001));
     let t_sum = summarize(&sweep_exp_error(&table, -16.0, 0.0, 4001));
-    println!("\nsummary over 4001 points in [-16, 0]:");
-    println!(
-        "{:<22} max {:>10.3e}  mean {:>10.3e}  rms {:>10.3e}",
-        "approximation-based", a_sum.max_abs, a_sum.mean_abs, a_sum.rms
-    );
-    println!(
-        "{:<22} max {:>10.3e}  mean {:>10.3e}  rms {:>10.3e}",
-        "TableExp 1024x32", t_sum.max_abs, t_sum.mean_abs, t_sum.rms
-    );
-    paper_note(
+    for (name, s) in [("approximation-based", a_sum), ("TableExp 1024x32", t_sum)] {
+        summary.row(vec![
+            Cell::text(name),
+            Cell::num(s.max_abs, 9),
+            Cell::num(s.mean_abs, 9),
+            Cell::num(s.rms, 9),
+        ]);
+    }
+    report.push(summary);
+    report.note(
         "Figure 4. TableExp trades a bounded staircase error (<= step_lut) \
          for a 10x smaller circuit; the approximation kernel is more \
          accurate but 10x larger (Table III).",
     );
+    report.finish();
 }

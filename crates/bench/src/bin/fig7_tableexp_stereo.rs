@@ -2,13 +2,18 @@
 //! (`size_lut` × `#bit_lut`) on MRF stereo matching, converged normalized
 //! MSE against the Float32 baseline.
 
-use coopmc_bench::{header, paper_note, seeds};
+use coopmc_bench::harness::{Cell, Report, Table};
+use coopmc_bench::seeds;
 use coopmc_core::experiments::{mrf_converged_nmse, mrf_golden};
 use coopmc_core::pipeline::PipelineConfig;
 use coopmc_models::mrf::stereo_matching;
 
 fn main() {
-    header("Figure 7", "TableExp parameter sweep on stereo matching");
+    let mut report = Report::new(
+        "fig7_tableexp_stereo",
+        "Figure 7",
+        "TableExp parameter sweep on stereo matching (converged NMSE)",
+    );
     let app = stereo_matching(48, 32, seeds::WORKLOAD);
     let golden = mrf_golden(&app, 60, seeds::GOLDEN);
     let iters = 30u64;
@@ -16,13 +21,9 @@ fn main() {
     let sizes = [16usize, 32, 64, 128, 256, 1024];
     let bits = [4u32, 8, 16, 32];
 
-    print!("{:<10}", "size_lut");
-    for b in bits {
-        print!("{:>10}", format!("{b}-bit"));
-    }
-    println!("  (converged normalized MSE)");
+    let mut table = Table::new(&["size_lut", "4-bit", "8-bit", "16-bit", "32-bit"]);
     for size in sizes {
-        print!("{size:<10}");
+        let mut row = vec![Cell::int(size as i64)];
         for b in bits {
             let nmse = mrf_converged_nmse(
                 &app,
@@ -31,9 +32,9 @@ fn main() {
                 seeds::CHAIN,
                 &golden,
             );
-            print!("{nmse:>10.3}");
+            row.push(Cell::num(nmse, 3));
         }
-        println!();
+        table.row(row);
     }
     let float = mrf_converged_nmse(
         &app,
@@ -42,9 +43,11 @@ fn main() {
         seeds::CHAIN,
         &golden,
     );
-    println!("{:<10}{:>10.3}  (reference)", "float32", float);
-    paper_note(
+    table.row(vec![Cell::text("float32 (ref)"), Cell::num(float, 3)]);
+    report.push(table);
+    report.note(
         "Figure 7. Expect near-float quality once size_lut >= 32 and \
          8-bit entries; #bit_lut matters little for MRF.",
     );
+    report.finish();
 }

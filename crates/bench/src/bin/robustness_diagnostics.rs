@@ -9,7 +9,8 @@
 //! statistics* intact? (The paper claims the latter: "takes advantage of
 //! statistical robustness".)
 
-use coopmc_bench::{header, paper_note, seeds};
+use coopmc_bench::harness::{Cell, Report, Table};
+use coopmc_bench::seeds;
 use coopmc_core::engine::{GibbsEngine, RunStats};
 use coopmc_core::pipeline::PipelineConfig;
 use coopmc_models::bn::{earthquake, exact_marginal, MarginalCounter};
@@ -32,7 +33,8 @@ fn mrf_energy_chain(config: PipelineConfig, seed: u64, sweeps: u64) -> Vec<f64> 
 }
 
 fn main() {
-    header(
+    let mut report = Report::new(
+        "robustness_diagnostics",
         "Robustness diagnostics",
         "R-hat / ESS / TV across precision configurations (after [36])",
     );
@@ -44,9 +46,11 @@ fn main() {
         ("coopmc 16x4", PipelineConfig::coopmc(16, 4)),
     ];
 
-    println!("MRF stereo matching — energy-chain statistics (4 chains x 40 sweeps,");
-    println!("first 10 discarded as burn-in):");
-    println!("{:<16} {:>8} {:>10}", "datapath", "R-hat", "ESS/chain");
+    let mut mrf_table = Table::titled(
+        "MRF stereo matching — energy-chain statistics (4 chains x 40 \
+         sweeps, first 10 discarded as burn-in):",
+        &["datapath", "R-hat", "ESS/chain"],
+    );
     for (name, config) in configs {
         let chains: Vec<Vec<f64>> = (0..4)
             .map(|c| {
@@ -57,12 +61,19 @@ fn main() {
         let rhat = gelman_rubin(&chains);
         let ess: f64 =
             chains.iter().map(|c| effective_sample_size(c)).sum::<f64>() / chains.len() as f64;
-        println!("{name:<16} {rhat:>8.3} {ess:>10.1}");
+        mrf_table.row(vec![
+            Cell::text(name),
+            Cell::num(rhat, 3),
+            Cell::num(ess, 1),
+        ]);
     }
+    report.push(mrf_table);
 
-    println!("\nBN earthquake — total variation of estimated vs exact marginals");
-    println!("(6000 sweeps, 600 burn-in):");
-    println!("{:<16} {:>10}", "datapath", "max TV");
+    let mut bn_table = Table::titled(
+        "BN earthquake — total variation of estimated vs exact marginals \
+         (6000 sweeps, 600 burn-in):",
+        &["datapath", "max TV"],
+    );
     let net = earthquake();
     for (name, config) in configs {
         let mut model = net.clone();
@@ -84,11 +95,13 @@ fn main() {
             let exact = exact_marginal(&net, v);
             max_tv = max_tv.max(total_variation(&counter.marginal(v), &exact));
         }
-        println!("{name:<16} {max_tv:>10.4}");
+        bn_table.row(vec![Cell::text(name), Cell::num(max_tv, 4)]);
     }
-    paper_note(
+    report.push(bn_table);
+    report.note(
         "Reference [36]'s evaluation axes applied to CoopMC: well-provisioned \
          LUTs should match the float chain statistics (R-hat ~ 1, similar \
          ESS, small TV); a starved LUT (16x4) should visibly degrade them.",
     );
+    report.finish();
 }

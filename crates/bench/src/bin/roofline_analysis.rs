@@ -2,42 +2,55 @@
 //! versus compute time for each core version, and whether a 32-bit SRAM
 //! interface keeps the accelerator compute-bound.
 
-use coopmc_bench::{header, paper_note};
+use coopmc_bench::harness::{Cell, Report, Table};
 use coopmc_hw::accel::case_study_table;
 use coopmc_hw::roofline::{
     roofline, READ_BITS_PER_VARIABLE, SRAM_POWER_MW, WRITE_BITS_PER_VARIABLE,
 };
 
 fn main() {
-    header(
+    let mut report = Report::new(
+        "roofline_analysis",
         "Roofline (§IV-D)",
         "memory-bandwidth feasibility of each core version",
     );
-    println!(
-        "per-variable traffic: {} bits read + {} bits written",
-        READ_BITS_PER_VARIABLE, WRITE_BITS_PER_VARIABLE
+    let mut cores = Table::titled(
+        &format!(
+            "per-variable traffic: {READ_BITS_PER_VARIABLE} bits read + \
+             {WRITE_BITS_PER_VARIABLE} bits written"
+        ),
+        &[
+            "Version",
+            "cycles/var",
+            "threshold (b/cyc)",
+            "SRAM (b/cyc)",
+            "verdict",
+        ],
     );
-    println!(
-        "\n{:<12} {:>12} {:>18} {:>14} {:>10}",
-        "Version", "cycles/var", "threshold (b/cyc)", "SRAM (b/cyc)", "verdict"
-    );
-    for (report, _, _, _) in case_study_table() {
-        let r = roofline(report.cycles_per_variable);
-        println!(
-            "{:<12} {:>12} {:>18.1} {:>14.0} {:>10}",
-            report.config.name,
-            r.cycles_per_variable,
-            r.threshold_bits_per_cycle,
-            r.available_bits_per_cycle,
-            if r.compute_bound { "compute" } else { "MEMORY" }
-        );
+    for (rep, _, _, _) in case_study_table() {
+        let r = roofline(rep.cycles_per_variable);
+        cores.row(vec![
+            Cell::text(rep.config.name),
+            Cell::int(r.cycles_per_variable as i64),
+            Cell::num(r.threshold_bits_per_cycle, 1),
+            Cell::num(r.available_bits_per_cycle, 0),
+            Cell::text(if r.compute_bound { "compute" } else { "MEMORY" }),
+        ]);
     }
-    println!("\n32-bit SRAM interface power (paper): {SRAM_POWER_MW} mW");
+    report.push(cores);
 
-    println!("\ninterface sweep for the fastest core (V_PG+TS):");
-    println!(
-        "{:<18} {:>12} {:>14} {:>10} {:>10}",
-        "interface", "bits/cycle", "mem cyc/var", "power mW", "verdict"
+    let mut sweep = Table::titled(
+        &format!(
+            "interface sweep for the fastest core (V_PG+TS); 32-bit SRAM \
+             interface power (paper): {SRAM_POWER_MW} mW"
+        ),
+        &[
+            "interface",
+            "bits/cycle",
+            "mem cyc/var",
+            "power mW",
+            "verdict",
+        ],
     );
     let fastest = case_study_table().last().unwrap().0.cycles_per_variable;
     for (width, banks) in [(8u32, 1u32), (16, 1), (32, 1), (32, 2), (64, 2)] {
@@ -46,22 +59,23 @@ fn main() {
             banks,
         };
         let sys = coopmc_hw::mem::system_throughput(fastest, sram);
-        println!(
-            "{:<18} {:>12.0} {:>14.1} {:>10.1} {:>10}",
-            format!("{width}-bit x{banks}"),
-            sram.bits_per_cycle(),
-            sys.memory_cycles,
-            sram.power_mw(),
-            if sys.compute_bound {
+        sweep.row(vec![
+            Cell::text(format!("{width}-bit x{banks}")),
+            Cell::num(sram.bits_per_cycle(), 0),
+            Cell::num(sys.memory_cycles, 1),
+            Cell::num(sram.power_mw(), 1),
+            Cell::text(if sys.compute_bound {
                 "compute"
             } else {
                 "MEMORY"
-            }
-        );
+            }),
+        ]);
     }
-    paper_note(
+    report.push(sweep);
+    report.note(
         "§IV-D. Paper: baseline threshold 15 bits/cycle, fully optimized 22 \
          bits/cycle — both under the 32-bit SRAM roof, so the PG/SD \
          optimizations translate directly to end-to-end speedup.",
     );
+    report.finish();
 }

@@ -3,16 +3,24 @@
 //! Prints both the paper-scale dimensions and the scaled synthetic
 //! configuration this repository builds for each workload.
 
-use coopmc_bench::{header, paper_note, seeds};
+use coopmc_bench::harness::{Cell, Report, Table};
+use coopmc_bench::seeds;
 use coopmc_models::workloads::{all_workloads, BuiltWorkload};
 use coopmc_models::GibbsModel;
 
 fn main() {
-    header("Table I", "summary of various benchmark workloads");
-    println!(
-        "{:<30} {:>12} {:>8} | {:>12} {:>8}",
-        "Workload", "#Variables", "#Labels", "scaled #vars", "#labels"
+    let mut report = Report::new(
+        "table1_workloads",
+        "Table I",
+        "summary of various benchmark workloads",
     );
+    let mut table = Table::new(&[
+        "Workload",
+        "#Variables",
+        "#Labels",
+        "scaled #vars",
+        "#labels",
+    ]);
     for spec in all_workloads() {
         let built = spec.build(seeds::WORKLOAD);
         let (vars, labels) = match &built {
@@ -26,13 +34,18 @@ fn main() {
             ),
             BuiltWorkload::Lda(lda) => (lda.num_variables(), lda.n_topics()),
         };
-        println!(
-            "{:<30} {:>12} {:>8} | {:>12} {:>8}",
-            spec.name, spec.paper_variables, spec.paper_labels, vars, labels
-        );
+        table.row(vec![
+            Cell::text(spec.name),
+            Cell::int(spec.paper_variables as i64),
+            Cell::int(spec.paper_labels as i64),
+            Cell::int(vars as i64),
+            Cell::int(labels as i64),
+        ]);
     }
-    paper_note(
+    report.push(table);
+    report.note(
         "Table I. Paper-scale corpora/images are replaced by synthetic \
          generators with the same structure (DESIGN.md §2); BNs are full size.",
     );
+    report.finish();
 }

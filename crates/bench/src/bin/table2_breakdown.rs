@@ -3,7 +3,8 @@
 //! the vanilla float datapath and sequential sampler (the CPU baseline the
 //! paper profiles).
 
-use coopmc_bench::{header, paper_note, seeds};
+use coopmc_bench::harness::{Cell, Report, Table};
+use coopmc_bench::seeds;
 use coopmc_core::engine::GibbsEngine;
 use coopmc_core::pipeline::PipelineConfig;
 use coopmc_models::workloads::{all_workloads, BuiltWorkload};
@@ -11,14 +12,20 @@ use coopmc_rng::SplitMix64;
 use coopmc_sampler::SequentialSampler;
 
 fn main() {
-    header(
+    let mut report = Report::new(
+        "table2_breakdown",
         "Table II",
         "runtime percentage breakdown of benchmark workloads",
     );
-    println!(
-        "{:<30} {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7}",
-        "Workload", "PG%", "SD%", "PU%", "paper", "paper", "paper"
-    );
+    let mut table = Table::new(&[
+        "Workload",
+        "PG%",
+        "SD%",
+        "PU%",
+        "paper PG%",
+        "paper SD%",
+        "paper PU%",
+    ]);
     for spec in all_workloads() {
         let mut engine = GibbsEngine::new(
             PipelineConfig::float32().build(),
@@ -36,14 +43,21 @@ fn main() {
         };
         let (pg, sd, pu) = stats.breakdown_percent();
         let (ppg, psd, ppu) = spec.paper_breakdown;
-        println!(
-            "{:<30} {:>6.1}% {:>6.1}% {:>6.1}% | {:>6.1}% {:>6.1}% {:>6.1}%",
-            spec.name, pg, sd, pu, ppg, psd, ppu
-        );
+        table.row(vec![
+            Cell::text(spec.name),
+            Cell::unit(pg, 1, "%"),
+            Cell::unit(sd, 1, "%"),
+            Cell::unit(pu, 1, "%"),
+            Cell::unit(ppg, 1, "%"),
+            Cell::unit(psd, 1, "%"),
+            Cell::unit(ppu, 1, "%"),
+        ]);
     }
-    paper_note(
+    report.push(table);
+    report.note(
         "Table II. Measured on this host's software engine; absolute splits \
          differ from the paper's CPU, but PG+SD should dominate everywhere \
          and PU should be small.",
     );
+    report.finish();
 }

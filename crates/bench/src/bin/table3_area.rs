@@ -1,11 +1,12 @@
 //! Regenerates **Table III**: hardware area comparison between the 32-bit
 //! divider baseline, DyNorm+LogFusion, and DyNorm+LogFusion+TableExp.
 
-use coopmc_bench::{header, paper_note};
+use coopmc_bench::harness::{Cell, Report, Table};
 use coopmc_hw::area::{pg_alu_area, PgAluDesign};
 
 fn main() {
-    header(
+    let mut report = Report::new(
+        "table3_area",
         "Table III",
         "PG ALU area comparison (um2, calibrated 12nm model)",
     );
@@ -33,30 +34,27 @@ fn main() {
     ];
     let baseline_total = pg_alu_area(designs[0].1).total();
 
-    println!(
-        "{:<20} {:>7} {:>7} {:>7} {:>7} {:>8} {:>10}",
-        "Type", "LOG", "ADD", "DN", "EXP", "Total", "Reduction"
-    );
+    let mut table = Table::new(&["Type", "LOG", "ADD", "DN", "EXP", "Total", "Reduction"]);
     for (name, design) in designs {
         let a = pg_alu_area(design);
-        let get = |k: &str| {
-            a.component(k)
-                .map(|v| format!("{v:.0}"))
-                .unwrap_or("-".into())
+        let get = |k: &str| match a.component(k) {
+            Some(v) => Cell::num(v, 0),
+            None => Cell::text("-"),
         };
-        println!(
-            "{:<20} {:>7} {:>7} {:>7} {:>7} {:>8.0} {:>9.2}x",
-            name,
+        table.row(vec![
+            Cell::text(name),
             get("LOG"),
             get("ADD"),
             get("DN"),
             get("EXP"),
-            a.total(),
-            baseline_total / a.total()
-        );
+            Cell::num(a.total(), 0),
+            Cell::unit(baseline_total / a.total(), 2, "x"),
+        ]);
     }
-    paper_note(
+    report.push(table);
+    report.note(
         "Table III. Paper: baseline 3831; DN+LF 1257 (3.05x); DN+LF+TE 507 \
          (7.56x) with LOG 267, ADD 76, DN 84, EXP 830/80.",
     );
+    report.finish();
 }

@@ -1,43 +1,54 @@
 //! Regenerates **Table IV**: logic area, estimated power and speedup of the
 //! four end-to-end core versions (§IV-D case study, 64-label MRF).
 
-use coopmc_bench::{header, paper_note};
+use coopmc_bench::harness::{Cell, Report, Table};
 use coopmc_hw::accel::case_study_table;
 
 fn main() {
-    header(
+    let mut report = Report::new(
+        "table4_end_to_end",
         "Table IV",
         "end-to-end case study: V_Baseline / V_PG / V_TS / V_PG+TS",
     );
-    println!(
-        "{:<12} {:>14} {:>8} {:>8} {:>9} {:>12}",
-        "Version", "LogicArea(um2)", "Area%", "Power%", "Speedup", "cycles/var"
-    );
-    for (report, area, power, speedup) in case_study_table() {
-        println!(
-            "{:<12} {:>14.0} {:>7.0}% {:>7.0}% {:>8.2}x {:>12}",
-            report.config.name,
-            report.area.total(),
-            100.0 * area,
-            100.0 * power,
-            speedup,
-            report.cycles_per_variable
-        );
+    let mut main_table = Table::new(&[
+        "Version",
+        "LogicArea(um2)",
+        "Area%",
+        "Power%",
+        "Speedup",
+        "cycles/var",
+    ]);
+    for (rep, area, power, speedup) in case_study_table() {
+        main_table.row(vec![
+            Cell::text(rep.config.name),
+            Cell::num(rep.area.total(), 0),
+            Cell::unit(100.0 * area, 0, "%"),
+            Cell::unit(100.0 * power, 0, "%"),
+            Cell::unit(speedup, 2, "x"),
+            Cell::int(rep.cycles_per_variable as i64),
+        ]);
     }
+    report.push(main_table);
 
-    println!("\nstage timing (cycles per variable):");
-    println!("{:<12} {:>6} {:>6} {:>6}", "Version", "PG", "SD", "PU");
-    for (report, _, _, _) in case_study_table() {
-        println!(
-            "{:<12} {:>6} {:>6} {:>6}",
-            report.config.name, report.timing.pg, report.timing.sd, report.timing.pu
-        );
+    let mut timing = Table::titled(
+        "stage timing (cycles per variable):",
+        &["Version", "PG", "SD", "PU"],
+    );
+    for (rep, _, _, _) in case_study_table() {
+        timing.row(vec![
+            Cell::text(rep.config.name),
+            Cell::int(rep.timing.pg as i64),
+            Cell::int(rep.timing.sd as i64),
+            Cell::int(rep.timing.pu as i64),
+        ]);
     }
-    paper_note(
+    report.push(timing);
+    report.note(
         "Table IV. Paper: V_Baseline 14491 um2; V_PG 9719 (67% area, 38% \
          power per prose); V_TS 25657 (177%); V_PG+TS 19874 (137%, +20% \
          power, 1.53x speedup; V_TS alone 1.59x). The paper's printed \
          Speedup column (3.08/14.9/9.53) is inconsistent with its prose; \
          EXPERIMENTS.md discusses the discrepancy.",
     );
+    report.finish();
 }

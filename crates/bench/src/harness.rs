@@ -196,7 +196,356 @@ fn format_number(v: f64) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One cell of a [`Table`] row.
+///
+/// Text cells render left-aligned; numeric cells right-aligned with a fixed
+/// number of decimals. In the JSON emission, text cells become strings and
+/// numeric cells become numbers (non-finite values become `null`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// Left-aligned text.
+    Text(String),
+    /// Right-aligned number rendered with the given decimal count.
+    Num(f64, usize),
+    /// Right-aligned number rendered with the given decimal count and a
+    /// unit suffix (e.g. `"%"`, `"x"`, `" um2"`) appended on stdout only.
+    Unit(f64, usize, &'static str),
+    /// Right-aligned integer.
+    Int(i64),
+}
+
+impl Cell {
+    /// Text cell from anything string-like.
+    pub fn text(s: impl Into<String>) -> Self {
+        Cell::Text(s.into())
+    }
+
+    /// Number cell with `decimals` digits after the point.
+    pub fn num(v: f64, decimals: usize) -> Self {
+        Cell::Num(v, decimals)
+    }
+
+    /// Number cell rendered with a trailing unit on stdout.
+    pub fn unit(v: f64, decimals: usize, suffix: &'static str) -> Self {
+        Cell::Unit(v, decimals, suffix)
+    }
+
+    /// Integer cell.
+    pub fn int(v: i64) -> Self {
+        Cell::Int(v)
+    }
+
+    /// Stdout rendering (no padding).
+    fn render_text(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Num(v, d) => format!("{v:.d$}"),
+            Cell::Unit(v, d, suffix) => format!("{v:.d$}{suffix}"),
+            Cell::Int(v) => format!("{v}"),
+        }
+    }
+
+    /// JSON value rendering.
+    fn render_json(&self) -> String {
+        match self {
+            Cell::Text(s) => format!("\"{}\"", escape(s)),
+            Cell::Num(v, _) | Cell::Unit(v, _, _) => {
+                if v.is_finite() {
+                    format!("{v}")
+                } else {
+                    "null".to_owned()
+                }
+            }
+            Cell::Int(v) => format!("{v}"),
+        }
+    }
+
+    fn is_text(&self) -> bool {
+        matches!(self, Cell::Text(_))
+    }
+}
+
+/// A column-aligned results table collected by a [`Report`].
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: Option<String>,
+    columns: Vec<String>,
+    rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new(columns: &[&str]) -> Self {
+        Self {
+            title: None,
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// New table with a title line printed above the header row.
+    pub fn titled(title: &str, columns: &[&str]) -> Self {
+        Self {
+            title: Some(title.to_owned()),
+            ..Self::new(columns)
+        }
+    }
+
+    /// Append a row. Shorter rows are padded with empty text cells; extra
+    /// cells are a caller bug and panic.
+    pub fn row(&mut self, cells: Vec<Cell>) -> &mut Self {
+        assert!(
+            cells.len() <= self.columns.len(),
+            "row has {} cells but the table has {} columns",
+            cells.len(),
+            self.columns.len()
+        );
+        let mut cells = cells;
+        cells.resize(self.columns.len(), Cell::text(""));
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render the aligned stdout view.
+    fn render_stdout(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| row.iter().map(Cell::render_text).collect())
+            .collect();
+        for row in &rendered {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if let Some(title) = &self.title {
+            out.push_str(title);
+            out.push('\n');
+        }
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .enumerate()
+            .map(|(i, (c, w))| {
+                if i == 0 {
+                    format!("{c:<w$}")
+                } else {
+                    format!("{c:>w$}")
+                }
+            })
+            .collect();
+        out.push_str(header.join("  ").trim_end());
+        out.push('\n');
+        for (row, cells) in self.rows.iter().zip(&rendered) {
+            let line: Vec<String> = row
+                .iter()
+                .zip(cells)
+                .zip(&widths)
+                .enumerate()
+                .map(|(i, ((cell, text), w))| {
+                    if cell.is_text() && i == 0 {
+                        format!("{text:<w$}")
+                    } else {
+                        format!("{text:>w$}")
+                    }
+                })
+                .collect();
+            out.push_str(line.join("  ").trim_end());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render the JSON view.
+    fn render_json(&self) -> String {
+        let columns: Vec<String> = self
+            .columns
+            .iter()
+            .map(|c| format!("\"{}\"", escape(c)))
+            .collect();
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let cells: Vec<String> = row.iter().map(Cell::render_json).collect();
+                json_array(&cells)
+            })
+            .collect();
+        let title = match &self.title {
+            Some(t) => format!("\"{}\"", escape(t)),
+            None => "null".to_owned(),
+        };
+        format!(
+            "{{\"title\": {title}, \"columns\": {}, \"rows\": {}}}",
+            json_array(&columns),
+            json_array(&rows)
+        )
+    }
+}
+
+/// Schema identifier embedded in every report JSON file.
+pub const REPORT_SCHEMA: &str = "coopmc-report/1";
+
+/// Resolve the git commit to stamp into emitted artifacts: the
+/// `COOPMC_GIT_COMMIT` env var if set (CI passes it), else
+/// `git rev-parse --short HEAD`, else `"unknown"`.
+pub fn git_commit() -> String {
+    if let Ok(c) = std::env::var("COOPMC_GIT_COMMIT") {
+        let c = c.trim().to_owned();
+        if !c.is_empty() {
+            return c;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// A structured experiment report: the shared replacement for the ad-hoc
+/// `println!` dumping the regeneration bins used to do.
+///
+/// Collect tables and notes, then call [`Report::finish`] once: it prints
+/// the banner, every table and every note to stdout **and** writes the same
+/// content as `results/<id>.json` (directory overridable with
+/// `COOPMC_REPORT_DIR`) with schema/version/git-commit provenance, so runs
+/// are diffable across machines and commits.
+#[derive(Debug, Clone)]
+pub struct Report {
+    id: String,
+    title: String,
+    description: String,
+    tables: Vec<Table>,
+    notes: Vec<String>,
+    metrics: Option<String>,
+}
+
+impl Report {
+    /// New report. `id` names the JSON file (`results/<id>.json`); `title`
+    /// is the paper artifact ("Table II", "Figure 10", ...).
+    pub fn new(id: &str, title: &str, description: &str) -> Self {
+        Self {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            description: description.to_owned(),
+            tables: Vec::new(),
+            notes: Vec::new(),
+            metrics: None,
+        }
+    }
+
+    /// Attach a finished table.
+    pub fn push(&mut self, table: Table) -> &mut Self {
+        self.tables.push(table);
+        self
+    }
+
+    /// Attach a free-form note (printed after the tables; the paper
+    /// cross-reference goes here).
+    pub fn note(&mut self, note: &str) -> &mut Self {
+        self.notes.push(note.to_owned());
+        self
+    }
+
+    /// Snapshot the process-global [`coopmc_obs`] metrics registry into the
+    /// report. Call after the measured work: the Prometheus-style exposition
+    /// text is embedded in the JSON emission (key `"metrics"`), so a bin
+    /// that drove an instrumented engine ships its phase counters and pool
+    /// gauges alongside its tables.
+    pub fn attach_metrics(&mut self) -> &mut Self {
+        self.metrics = Some(coopmc_obs::render());
+        self
+    }
+
+    /// Render the stdout view (banner, tables, notes).
+    pub fn render_stdout(&self) -> String {
+        let mut out = String::new();
+        out.push_str("================================================================\n");
+        out.push_str(&format!("{}: {}\n", self.title, self.description));
+        out.push_str("================================================================\n");
+        for table in &self.tables {
+            out.push('\n');
+            out.push_str(&table.render_stdout());
+        }
+        for note in &self.notes {
+            out.push_str(&format!("\npaper reference: {note}\n"));
+        }
+        out
+    }
+
+    /// Render the JSON emission, including provenance fields.
+    pub fn render_json(&self) -> String {
+        let tables: Vec<String> = self.tables.iter().map(Table::render_json).collect();
+        let notes: Vec<String> = self
+            .notes
+            .iter()
+            .map(|n| format!("\"{}\"", escape(n)))
+            .collect();
+        let mut obj = JsonObject::new()
+            .string("schema", REPORT_SCHEMA)
+            .string("id", &self.id)
+            .string("title", &self.title)
+            .string("description", &self.description)
+            .string("version", env!("CARGO_PKG_VERSION"))
+            .string("git_commit", &git_commit())
+            .raw("tables", json_array(&tables))
+            .raw("notes", json_array(&notes));
+        if let Some(m) = &self.metrics {
+            obj = obj.string("metrics", m);
+        }
+        obj.render()
+    }
+
+    /// Print the report to stdout and write `results/<id>.json`.
+    ///
+    /// The output directory defaults to `results/` under the current
+    /// directory and can be overridden with `COOPMC_REPORT_DIR`. A failure
+    /// to write the JSON file is reported on stderr but does not kill the
+    /// bin — the stdout view already happened.
+    pub fn finish(&self) {
+        print!("{}", self.render_stdout());
+        let dir = std::env::var("COOPMC_REPORT_DIR").unwrap_or_else(|_| "results".to_owned());
+        let path = std::path::Path::new(&dir).join(format!("{}.json", self.id));
+        let write = std::fs::create_dir_all(&dir)
+            .and_then(|()| std::fs::write(&path, self.render_json() + "\n"));
+        match write {
+            Ok(()) => println!("\nreport JSON: {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -235,5 +584,43 @@ mod tests {
         assert_eq!(format_ns(12.34), "12.3 ns");
         assert_eq!(format_ns(12_340.0), "12.34 us");
         assert_eq!(format_ns(12_340_000.0), "12.34 ms");
+    }
+
+    #[test]
+    fn table_aligns_columns_to_content() {
+        let mut t = Table::new(&["name", "v"]);
+        t.row(vec![Cell::text("a-long-label"), Cell::num(1.25, 2)]);
+        t.row(vec![Cell::text("b"), Cell::unit(50.0, 0, "%")]);
+        let s = t.render_stdout();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "name             v");
+        assert_eq!(lines[1], "a-long-label  1.25");
+        assert_eq!(lines[2], "b              50%");
+    }
+
+    #[test]
+    fn report_json_has_provenance_and_round_trips() {
+        let mut report = Report::new("unit_test", "Table T", "a test");
+        let mut t = Table::titled("sub", &["k", "x"]);
+        t.row(vec![Cell::text("row"), Cell::num(f64::NAN, 1)]);
+        report.push(t).note("compare against nothing");
+        let json = report.render_json();
+        assert!(json.contains("\"schema\": \"coopmc-report/1\""));
+        assert!(json.contains("\"git_commit\": \""));
+        assert!(json.contains("\"version\": \""));
+        // NaN must not leak into the JSON.
+        assert!(json.contains("null"));
+        assert!(!json.contains("NaN"));
+        let parsed = coopmc_obs::json::parse(&json).expect("report JSON parses");
+        assert!(parsed.get("tables").is_some());
+        assert_eq!(parsed.get("id").unwrap().as_str(), Some("unit_test"));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(&["a", "b", "c"]);
+        t.row(vec![Cell::int(1)]);
+        assert_eq!(t.len(), 1);
+        assert!(t.render_json().contains("[1, \"\", \"\"]"));
     }
 }

@@ -3,11 +3,21 @@
 use std::time::{Duration, Instant};
 
 use coopmc_kernels::cost::OpCounts;
+use coopmc_kernels::telemetry::PgTelemetry;
 use coopmc_models::{GibbsModel, LabelScore};
+use coopmc_obs::journal::SweepSample;
+use coopmc_obs::{NoopRecorder, Recorder};
 use coopmc_rng::HwRng;
 use coopmc_sampler::{SampleScratch, Sampler};
 
 use crate::pipeline::{PgOutput, ProbabilityPipeline};
+
+/// Modeled Parameter Update cost per variable commit, in cycles.
+///
+/// Must stay equal to `coopmc_hw::cycles::PU_CYCLES` — the journal's
+/// per-sweep `pu_cycles` and [`RunStats::simulated_hw_cycles`] both price
+/// PU with this constant, and a cross-crate test pins the two together.
+pub const PU_CYCLES: u64 = 4;
 
 /// Cumulative statistics of an engine run.
 #[derive(Debug, Clone, Default)]
@@ -16,6 +26,11 @@ pub struct RunStats {
     pub iterations: u64,
     /// Variables resampled (clamped variables are skipped).
     pub updates: u64,
+    /// Resampled variables whose label changed.
+    pub flips: u64,
+    /// Draws that hit the all-zero-mass uniform fallback (the Fig. 2 flush
+    /// regime).
+    pub uniform_fallbacks: u64,
     /// Wall time in Probability Generation.
     pub pg_time: Duration,
     /// Wall time in Sampling from Distribution.
@@ -32,11 +47,12 @@ pub struct RunStats {
 }
 
 impl RunStats {
-    /// Total simulated hardware cycles (PG + SD + a 4-cycle PU per update),
-    /// the per-workload analogue of the Table IV cycle accounting measured
-    /// on the actual executed chain rather than the closed-form model.
+    /// Total simulated hardware cycles (PG + SD + a [`PU_CYCLES`]-cycle PU
+    /// per update), the per-workload analogue of the Table IV cycle
+    /// accounting measured on the actual executed chain rather than the
+    /// closed-form model.
     pub fn simulated_hw_cycles(&self) -> u64 {
-        self.pg_cycles + self.sd_cycles + 4 * self.updates
+        self.pg_cycles + self.sd_cycles + PU_CYCLES * self.updates
     }
 
     /// Runtime percentages `(PG%, SD%, PU%)` — the Table II breakdown.
@@ -61,32 +77,76 @@ impl RunStats {
 /// The engine owns every hot-path buffer (score vector, PG output, sampler
 /// scratch), so after a warm-up sweep has grown them to the model's label
 /// count, a steady-state sweep performs **zero heap allocations**.
+///
+/// The engine is generic over a [`Recorder`]; the default [`NoopRecorder`]
+/// is statically dispatched into nothing, so the counting-allocator test in
+/// `tests/alloc_free.rs` proves instrumented-but-disabled sweeps keep the
+/// zero-allocation guarantee. Construct with
+/// [`GibbsEngine::with_recorder`] (typically over `&TraceRecorder`, so the
+/// caller keeps ownership for export) to emit one journal record per sweep.
 #[derive(Debug, Clone)]
-pub struct GibbsEngine<P, S, R> {
+pub struct GibbsEngine<P, S, R, Rec = NoopRecorder> {
     pipeline: P,
     sampler: S,
     rng: R,
+    recorder: Rec,
+    /// Chain identifier stamped into journal records.
+    chain: u64,
+    /// 1-based journal iteration, monotone for the engine's lifetime (so
+    /// repeated `run` calls on one engine keep a valid journal).
+    journal_iteration: u64,
+    /// Per-sweep PG telemetry aggregate (recording only).
+    sweep_telemetry: PgTelemetry,
     scores: Vec<LabelScore>,
     pg: PgOutput,
     sd_scratch: SampleScratch,
 }
 
 impl<P: ProbabilityPipeline, S: Sampler, R: HwRng> GibbsEngine<P, S, R> {
-    /// Assemble an engine from a pipeline, a sampler and an RNG.
+    /// Assemble an engine from a pipeline, a sampler and an RNG, with
+    /// recording disabled (the zero-overhead [`NoopRecorder`]).
     pub fn new(pipeline: P, sampler: S, rng: R) -> Self {
+        Self::with_recorder(pipeline, sampler, rng, NoopRecorder)
+    }
+}
+
+impl<P: ProbabilityPipeline, S: Sampler, R: HwRng, Rec: Recorder> GibbsEngine<P, S, R, Rec> {
+    /// Assemble an engine that reports every sweep to `recorder`.
+    pub fn with_recorder(pipeline: P, sampler: S, rng: R, recorder: Rec) -> Self {
         Self {
             pipeline,
             sampler,
             rng,
+            recorder,
+            chain: 0,
+            journal_iteration: 0,
+            sweep_telemetry: PgTelemetry::new(),
             scores: Vec::new(),
             pg: PgOutput::new(),
             sd_scratch: SampleScratch::new(),
         }
     }
 
+    /// Set the chain identifier stamped into journal records.
+    pub fn with_chain(mut self, chain: u64) -> Self {
+        self.chain = chain;
+        self
+    }
+
     /// The pipeline.
     pub fn pipeline(&self) -> &P {
         &self.pipeline
+    }
+
+    /// The recorder.
+    pub fn recorder(&self) -> &Rec {
+        &self.recorder
+    }
+
+    /// The 1-based iteration number journal records carry; monotone across
+    /// repeated `run` calls on the same engine.
+    pub fn journal_iteration(&self) -> u64 {
+        self.journal_iteration
     }
 
     /// Resample a single variable; returns its new label, or `None` if the
@@ -100,6 +160,7 @@ impl<P: ProbabilityPipeline, S: Sampler, R: HwRng> GibbsEngine<P, S, R> {
         if model.is_clamped(var) {
             return None;
         }
+        let old_label = model.label(var);
         let t0 = Instant::now();
         model.begin_resample(var);
         model.scores_into(var, &mut self.scores);
@@ -119,15 +180,53 @@ impl<P: ProbabilityPipeline, S: Sampler, R: HwRng> GibbsEngine<P, S, R> {
         stats.ops.merge(&self.pg.ops);
         stats.sd_cycles += sample.cycles;
         stats.updates += 1;
+        stats.flips += u64::from(sample.label != old_label);
+        stats.uniform_fallbacks += u64::from(sample.fallback);
+        if self.recorder.enabled() {
+            self.sweep_telemetry.merge(&self.pg.telemetry);
+        }
         Some(sample.label)
     }
 
     /// One full sweep over every variable.
     pub fn sweep(&mut self, model: &mut dyn GibbsModel, stats: &mut RunStats) {
+        // With the NoopRecorder this whole prologue/epilogue folds away:
+        // `enabled()` is a compile-time false.
+        let (start_ns, before) = if self.recorder.enabled() {
+            (self.recorder.now_ns(), stats.clone())
+        } else {
+            (0, RunStats::default())
+        };
         for var in 0..model.num_variables() {
             self.step(model, var, stats);
         }
         stats.iterations += 1;
+        self.journal_iteration += 1;
+        if self.recorder.enabled() {
+            let updates = stats.updates - before.updates;
+            let sample = SweepSample {
+                chain: self.chain,
+                iteration: self.journal_iteration,
+                start_ns,
+                wall_ns: self.recorder.now_ns().saturating_sub(start_ns),
+                updates,
+                flips: stats.flips - before.flips,
+                uniform_fallbacks: stats.uniform_fallbacks - before.uniform_fallbacks,
+                pg_ns: (stats.pg_time - before.pg_time).as_nanos() as u64,
+                sd_ns: (stats.sd_time - before.sd_time).as_nanos() as u64,
+                pu_ns: (stats.pu_time - before.pu_time).as_nanos() as u64,
+                pg_cycles: stats.pg_cycles - before.pg_cycles,
+                sd_cycles: stats.sd_cycles - before.sd_cycles,
+                pu_cycles: PU_CYCLES * updates,
+                norm_max: self.sweep_telemetry.norm_max,
+                exp_in_min: self.sweep_telemetry.exp_in_min,
+                exp_in_max: self.sweep_telemetry.exp_in_max,
+                stat: None,
+                colors: Vec::new(),
+            };
+            self.recorder.end_sweep(&sample);
+            self.sweep_telemetry = PgTelemetry::new();
+        }
     }
 
     /// Run `iterations` full sweeps.
@@ -140,7 +239,8 @@ impl<P: ProbabilityPipeline, S: Sampler, R: HwRng> GibbsEngine<P, S, R> {
     }
 
     /// Run `iterations` sweeps, invoking `observer` after each with the
-    /// iteration index (1-based) and the model.
+    /// journal iteration index (1-based, monotone across `run` calls) and
+    /// the model.
     pub fn run_observed(
         &mut self,
         model: &mut dyn GibbsModel,
@@ -148,9 +248,9 @@ impl<P: ProbabilityPipeline, S: Sampler, R: HwRng> GibbsEngine<P, S, R> {
         mut observer: impl FnMut(u64, &dyn GibbsModel),
     ) -> RunStats {
         let mut stats = RunStats::default();
-        for it in 1..=iterations {
+        for _ in 0..iterations {
             self.sweep(model, &mut stats);
-            observer(it, model);
+            observer(self.journal_iteration, model);
         }
         stats
     }

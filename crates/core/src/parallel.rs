@@ -13,14 +13,18 @@
 //! so a 1-thread and an 8-thread run produce identical chains — a strong
 //! correctness handle that the tests exploit.
 
+use coopmc_kernels::telemetry::PgTelemetry;
 use coopmc_models::coloring::ChromaticModel;
 use coopmc_models::mrf::GridMrf;
 use coopmc_models::{GibbsModel, LabelScore};
+use coopmc_obs::journal::{ColorSample, SweepSample};
+use coopmc_obs::{metrics, NoopRecorder, Recorder};
 use coopmc_rng::SplitMix64;
 use coopmc_sampler::{SampleScratch, Sampler, TreeSampler};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use crate::engine::PU_CYCLES;
 use crate::pipeline::{PgOutput, ProbabilityPipeline};
 use crate::pool::WorkerPool;
 
@@ -44,6 +48,42 @@ struct SweepScratch {
     /// `(var, label)` draws of this slot's chunk, committed after the class
     /// barrier.
     out: Vec<(usize, usize)>,
+    /// Per-chunk recording aggregates; only touched when a recorder is
+    /// enabled.
+    trace: ChunkTrace,
+}
+
+/// Per-chunk observation aggregate, drained into the sweep record after the
+/// class barrier (recording only).
+#[derive(Debug, Default)]
+struct ChunkTrace {
+    uniform_fallbacks: u64,
+    pg_ns: u64,
+    sd_ns: u64,
+    pg_cycles: u64,
+    sd_cycles: u64,
+    telemetry: PgTelemetry,
+}
+
+impl ChunkTrace {
+    fn reset(&mut self) {
+        *self = ChunkTrace::default();
+    }
+}
+
+/// Per-sweep recording aggregate for the chromatic engine (recording only).
+#[derive(Debug, Default)]
+struct SweepAcc {
+    updates: u64,
+    flips: u64,
+    uniform_fallbacks: u64,
+    pg_ns: u64,
+    sd_ns: u64,
+    pu_ns: u64,
+    pg_cycles: u64,
+    sd_cycles: u64,
+    telemetry: PgTelemetry,
+    colors: Vec<ColorSample>,
 }
 
 /// Chromatic parallel Gibbs engine.
@@ -54,23 +94,41 @@ struct SweepScratch {
 /// independent of thread count: every draw's RNG is derived from
 /// `(seed, iteration, var)` alone, and draws of a class are committed only
 /// after the whole class finishes, so neither chunking nor scheduling order
-/// can leak into the chain.
+/// can leak into the chain. Recording (the `Rec` parameter, default
+/// [`NoopRecorder`] = compiled out) observes the chain without touching the
+/// draw path, so recorded and unrecorded runs are **bit-identical** — a
+/// property the observability tests assert across thread counts.
 #[derive(Debug)]
-pub struct ChromaticEngine<P> {
+pub struct ChromaticEngine<P, Rec = NoopRecorder> {
     pipeline: P,
     n_threads: usize,
     seed: u64,
+    chain: u64,
+    recorder: Rec,
     pool: WorkerPool,
     scratch: Vec<Mutex<SweepScratch>>,
 }
 
 impl<P: ProbabilityPipeline + Sync> ChromaticEngine<P> {
-    /// Build an engine running `n_threads` persistent worker threads.
+    /// Build an engine running `n_threads` persistent worker threads, with
+    /// recording disabled.
     ///
     /// # Panics
     ///
     /// Panics if `n_threads == 0`.
     pub fn new(pipeline: P, n_threads: usize, seed: u64) -> Self {
+        Self::with_recorder(pipeline, n_threads, seed, NoopRecorder)
+    }
+}
+
+impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
+    /// Build an engine that reports every sweep (and per-color worker-pool
+    /// utilization) to `recorder`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_threads == 0`.
+    pub fn with_recorder(pipeline: P, n_threads: usize, seed: u64, recorder: Rec) -> Self {
         assert!(n_threads > 0, "need at least one thread");
         let scratch = (0..n_threads)
             .map(|_| Mutex::new(SweepScratch::default()))
@@ -79,14 +137,27 @@ impl<P: ProbabilityPipeline + Sync> ChromaticEngine<P> {
             pipeline,
             n_threads,
             seed,
+            chain: 0,
+            recorder,
             pool: WorkerPool::new(n_threads),
             scratch,
         }
     }
 
+    /// Set the chain identifier stamped into journal records.
+    pub fn with_chain(mut self, chain: u64) -> Self {
+        self.chain = chain;
+        self
+    }
+
     /// Number of worker threads.
     pub fn n_threads(&self) -> usize {
         self.n_threads
+    }
+
+    /// The recorder.
+    pub fn recorder(&self) -> &Rec {
+        &self.recorder
     }
 
     /// One full sweep: each color class is resampled concurrently from the
@@ -106,21 +177,65 @@ impl<P: ProbabilityPipeline + Sync> ChromaticEngine<P> {
         iteration: u64,
         scratch: &mut SweepScratch,
     ) {
+        let enabled = self.recorder.enabled();
         let sampler = TreeSampler::new();
         scratch.out.clear();
+        scratch.trace.reset();
         for &var in vars {
             if model.is_clamped(var) {
                 continue;
             }
+            let t0 = enabled.then(std::time::Instant::now);
             model.scores_into(var, &mut scratch.scores);
             self.pipeline
                 .generate_into(&scratch.scores, &mut scratch.pg);
+            let t1 = enabled.then(std::time::Instant::now);
             let mut rng = draw_rng(self.seed, iteration, var);
-            let label = sampler
-                .sample_into(&scratch.pg.probs, &mut rng, &mut scratch.sd)
-                .label;
-            scratch.out.push((var, label));
+            let sample = sampler.sample_into(&scratch.pg.probs, &mut rng, &mut scratch.sd);
+            scratch.out.push((var, sample.label));
+            if let (Some(t0), Some(t1)) = (t0, t1) {
+                let tr = &mut scratch.trace;
+                tr.pg_ns += (t1 - t0).as_nanos() as u64;
+                tr.sd_ns += t1.elapsed().as_nanos() as u64;
+                tr.uniform_fallbacks += u64::from(sample.fallback);
+                tr.pg_cycles += scratch.pg.ops.sequential_cycles();
+                tr.sd_cycles += sample.cycles;
+                tr.telemetry.merge(&scratch.pg.telemetry);
+            }
         }
+    }
+
+    /// Commit one slot's draws into the model; counts flips only when a
+    /// recording pass asked for them (extra `model.label` reads).
+    fn commit_slot<M: ChromaticModel>(
+        model: &mut M,
+        out: &[(usize, usize)],
+        acc: Option<&mut SweepAcc>,
+    ) {
+        match acc {
+            Some(acc) => {
+                for &(var, label) in out {
+                    acc.flips += u64::from(model.label(var) != label);
+                    model.update(var, label);
+                }
+                acc.updates += out.len() as u64;
+            }
+            None => {
+                for &(var, label) in out {
+                    model.update(var, label);
+                }
+            }
+        }
+    }
+
+    /// Drain one slot's chunk trace into the sweep aggregate.
+    fn drain_trace(acc: &mut SweepAcc, trace: &ChunkTrace) {
+        acc.uniform_fallbacks += trace.uniform_fallbacks;
+        acc.pg_cycles += trace.pg_cycles;
+        acc.sd_cycles += trace.sd_cycles;
+        acc.pg_ns += trace.pg_ns;
+        acc.sd_ns += trace.sd_ns;
+        acc.telemetry.merge(&trace.telemetry);
     }
 
     /// Sweep with precomputed color classes (lets `run` compute them once).
@@ -130,42 +245,124 @@ impl<P: ProbabilityPipeline + Sync> ChromaticEngine<P> {
         classes: &[Vec<usize>],
         iteration: u64,
     ) -> usize {
+        let enabled = self.recorder.enabled();
+        let sweep_start = if enabled { self.recorder.now_ns() } else { 0 };
+        let mut rec = enabled.then(SweepAcc::default);
         let mut updated = 0usize;
-        for class in classes {
+        for (class_idx, class) in classes.iter().enumerate() {
+            let class_start = if enabled { self.recorder.now_ns() } else { 0 };
+            let busy_before = if enabled {
+                self.pool.total_busy_ns()
+            } else {
+                0
+            };
             let chunk = class.len().div_ceil(self.n_threads).max(1);
-            if self.n_threads == 1 || class.len() <= chunk {
+            let inline = self.n_threads == 1 || class.len() <= chunk;
+            let n_slots = if inline {
                 // Single chunk: run inline, skip the dispatch round-trip.
                 let scratch = &mut *self.scratch[0].lock().unwrap();
                 self.resample_chunk(&*model, class, iteration, scratch);
-                updated += scratch.out.len();
-                for &(var, label) in &scratch.out {
-                    model.update(var, label);
-                }
-                continue;
-            }
-            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = class
-                .chunks(chunk)
-                .zip(&self.scratch)
-                .map(|(vars, slot)| {
-                    let model_ref: &M = &*model;
-                    Box::new(move || {
-                        let scratch = &mut *slot.lock().unwrap();
-                        self.resample_chunk(model_ref, vars, iteration, scratch);
-                    }) as Box<dyn FnOnce() + Send + '_>
-                })
-                .collect();
-            let n_jobs = jobs.len();
-            self.pool.execute(jobs);
+                1
+            } else {
+                let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = class
+                    .chunks(chunk)
+                    .zip(&self.scratch)
+                    .map(|(vars, slot)| {
+                        let model_ref: &M = &*model;
+                        Box::new(move || {
+                            let scratch = &mut *slot.lock().unwrap();
+                            self.resample_chunk(model_ref, vars, iteration, scratch);
+                        }) as Box<dyn FnOnce() + Send + '_>
+                    })
+                    .collect();
+                let n_jobs = jobs.len();
+                self.pool.execute(jobs);
+                n_jobs
+            };
+            // The class barrier ends here; commits below are the PU phase.
+            let barrier_ns = if enabled {
+                self.recorder.now_ns().saturating_sub(class_start)
+            } else {
+                0
+            };
             // Commit after the class barrier. Commit order is irrelevant to
             // the chain (each var appears once), so chunking cannot change
             // the result.
-            for slot in &self.scratch[..n_jobs] {
+            let t_commit = enabled.then(std::time::Instant::now);
+            for slot in &self.scratch[..n_slots] {
                 let scratch = slot.lock().unwrap();
                 updated += scratch.out.len();
-                for &(var, label) in &scratch.out {
-                    model.update(var, label);
+                Self::commit_slot(model, &scratch.out, rec.as_mut());
+                if let Some(acc) = rec.as_mut() {
+                    Self::drain_trace(acc, &scratch.trace);
                 }
             }
+            if let Some(acc) = rec.as_mut() {
+                acc.pu_ns += t_commit.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                // Worker busy time inside the barrier; the inline path runs
+                // on the calling thread, so busy == wall by construction.
+                let busy_ns = if inline {
+                    barrier_ns
+                } else {
+                    self.pool.total_busy_ns().saturating_sub(busy_before)
+                };
+                let capacity = barrier_ns.saturating_mul(n_slots as u64);
+                let utilization = if capacity == 0 {
+                    1.0
+                } else {
+                    (busy_ns as f64 / capacity as f64).clamp(0.0, 1.0)
+                };
+                acc.colors.push(ColorSample {
+                    class: class_idx as u64,
+                    wall_ns: barrier_ns,
+                    busy_ns,
+                    utilization,
+                });
+                self.recorder.span(
+                    &format!("color {class_idx}"),
+                    "pool",
+                    class_start,
+                    barrier_ns,
+                    self.chain,
+                );
+            }
+        }
+        if let Some(acc) = rec {
+            for c in &acc.colors {
+                metrics::gauge_with(
+                    "coopmc_pool_color_utilization",
+                    &[("color", &c.class.to_string())],
+                )
+                .set(c.utilization);
+            }
+            for (i, w) in self.pool.worker_stats().iter().enumerate() {
+                let worker = i.to_string();
+                metrics::gauge_with("coopmc_pool_worker_busy_ns", &[("worker", &worker)])
+                    .set(w.busy_ns as f64);
+                metrics::gauge_with("coopmc_pool_worker_jobs", &[("worker", &worker)])
+                    .set(w.jobs as f64);
+            }
+            let sample = SweepSample {
+                chain: self.chain,
+                iteration: iteration + 1,
+                start_ns: sweep_start,
+                wall_ns: self.recorder.now_ns().saturating_sub(sweep_start),
+                updates: acc.updates,
+                flips: acc.flips,
+                uniform_fallbacks: acc.uniform_fallbacks,
+                pg_ns: acc.pg_ns,
+                sd_ns: acc.sd_ns,
+                pu_ns: acc.pu_ns,
+                pg_cycles: acc.pg_cycles,
+                sd_cycles: acc.sd_cycles,
+                pu_cycles: PU_CYCLES * acc.updates,
+                norm_max: acc.telemetry.norm_max,
+                exp_in_min: acc.telemetry.exp_in_min,
+                exp_in_max: acc.telemetry.exp_in_max,
+                stat: None,
+                colors: acc.colors,
+            };
+            self.recorder.end_sweep(&sample);
         }
         updated
     }
@@ -177,6 +374,23 @@ impl<P: ProbabilityPipeline + Sync> ChromaticEngine<P> {
         (0..iterations)
             .map(|it| self.sweep_classes(model, &classes, it))
             .sum()
+    }
+
+    /// Run `iterations` sweeps, invoking `observer` after each with the
+    /// 1-based iteration number (matching the journal) and the model.
+    pub fn run_observed<M: ChromaticModel + Sync>(
+        &self,
+        model: &mut M,
+        iterations: u64,
+        mut observer: impl FnMut(u64, &M),
+    ) -> usize {
+        let classes = model.color_classes();
+        let mut updated = 0;
+        for it in 0..iterations {
+            updated += self.sweep_classes(model, &classes, it);
+            observer(it + 1, model);
+        }
+        updated
     }
 }
 

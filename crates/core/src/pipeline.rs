@@ -14,6 +14,7 @@ use coopmc_kernels::dynorm::dynorm_apply;
 use coopmc_kernels::exp::{ExpKernel, FixedExp, TableExp};
 use coopmc_kernels::fusion::{DirectDatapath, FactorExpr, LogFusion};
 use coopmc_kernels::log::TableLog;
+use coopmc_kernels::telemetry::PgTelemetry;
 use coopmc_models::LabelScore;
 
 /// Output of one PG evaluation.
@@ -23,6 +24,11 @@ pub struct PgOutput {
     pub probs: Vec<f64>,
     /// Primitive-operation tally.
     pub ops: OpCounts,
+    /// DyNorm/exp-kernel observations from this evaluation (stack-only; the
+    /// engine merges it into the sweep aggregate when a recorder is
+    /// enabled). `None` fields mean the datapath produced no such value —
+    /// e.g. the direct baseline has no NormTree maximum.
+    pub telemetry: PgTelemetry,
 }
 
 impl PgOutput {
@@ -142,6 +148,7 @@ impl ProbabilityPipeline for FloatPipeline {
         // weight relative to the factor entries.
         out.ops = OpCounts::new();
         out.probs.clear();
+        out.telemetry = PgTelemetry::new();
         if scores.is_empty() {
             return;
         }
@@ -155,11 +162,14 @@ impl ProbabilityPipeline for FloatPipeline {
             out.probs.resize(scores.len(), 0.0);
             return;
         }
+        let telemetry = &mut out.telemetry;
+        telemetry.observe_norm_max(max_log);
         out.probs.extend(scores.iter().map(|s| {
             let lv = score_log_value(s);
             if lv == f64::NEG_INFINITY {
                 0.0
             } else {
+                telemetry.observe_exp_input(lv - max_log);
                 (lv - max_log).exp()
             }
         }));
@@ -210,6 +220,7 @@ impl ProbabilityPipeline for FixedPipeline {
         PG_SCRATCH.with(|cell| {
             let scratch = &mut *cell.borrow_mut();
             let mut ops = OpCounts::new();
+            out.telemetry = PgTelemetry::new();
             // Split evaluation: log-domain scores run through the exp ALU
             // (optionally normalized); factor scores run the direct
             // multiplier/divider datapath.
@@ -232,16 +243,20 @@ impl ProbabilityPipeline for FixedPipeline {
                     let report = dynorm_apply(log_scores, 1);
                     ops.cmp += report.comparisons;
                     ops.add += log_scores.len() as u64;
+                    out.telemetry.observe_norm_max(report.max);
                 }
                 out.probs.clear();
+                let telemetry = &mut out.telemetry;
                 out.probs.extend(log_scores.iter().map(|&s| {
                     ops.approx += 1;
+                    telemetry.observe_exp_input(s);
                     self.exp.exp(s)
                 }));
                 out.ops = ops;
                 return;
             }
-            // Factor form: direct fixed-point multiply/divide.
+            // Factor form: direct fixed-point multiply/divide (no NormTree,
+            // no exp kernel — nothing to observe).
             refill_exprs(scores, &mut scratch.exprs);
             out.ops = self
                 .direct
@@ -311,21 +326,27 @@ impl ProbabilityPipeline for CoopMcPipeline {
         PG_SCRATCH.with(|cell| {
             let scratch = &mut *cell.borrow_mut();
             let all_log = scores.iter().all(|s| matches!(s, LabelScore::LogDomain(_)));
+            out.telemetry = PgTelemetry::new();
             out.ops = if all_log {
                 scratch.log_scores.clear();
                 scratch.log_scores.extend(scores.iter().map(|s| match s {
                     LabelScore::LogDomain(v) => *v,
                     _ => unreachable!(),
                 }));
-                self.fusion.evaluate_log_scores_into(
+                self.fusion.evaluate_log_scores_traced_into(
                     &scratch.log_scores,
                     &mut scratch.work,
                     &mut out.probs,
+                    &mut out.telemetry,
                 )
             } else {
                 refill_exprs(scores, &mut scratch.exprs);
-                self.fusion
-                    .evaluate_factors_into(&scratch.exprs, &mut scratch.work, &mut out.probs)
+                self.fusion.evaluate_factors_traced_into(
+                    &scratch.exprs,
+                    &mut scratch.work,
+                    &mut out.probs,
+                    &mut out.telemetry,
+                )
             };
         });
     }

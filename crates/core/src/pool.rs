@@ -17,9 +17,11 @@
 #![allow(unsafe_code)]
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A lifetime-erased job. Only ever constructed inside
 /// [`WorkerPool::execute`], which guarantees the erased borrows stay alive
@@ -33,6 +35,27 @@ enum Ack {
     Panicked,
 }
 
+/// Per-worker idle/busy accounting, updated with relaxed atomics after
+/// every job (two stores per *job*, not per variable — the cost is noise
+/// next to channel traffic, so the accounting is always on).
+#[derive(Debug, Default)]
+struct WorkerAccounting {
+    /// Nanoseconds spent executing job closures.
+    busy_ns: AtomicU64,
+    /// Jobs executed.
+    jobs: AtomicU64,
+}
+
+/// A snapshot of one worker's cumulative accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerStats {
+    /// Nanoseconds this worker spent executing job closures since the pool
+    /// was created.
+    pub busy_ns: u64,
+    /// Jobs this worker has executed since the pool was created.
+    pub jobs: u64,
+}
+
 /// A fixed-size pool of persistent worker threads executing batches of
 /// scoped jobs.
 #[derive(Debug)]
@@ -42,6 +65,8 @@ pub struct WorkerPool {
     /// Behind a mutex so the pool is `Sync`; only the batch holder reads it.
     acks: Mutex<Receiver<Ack>>,
     workers: Vec<JoinHandle<()>>,
+    /// Per-worker busy/job tallies, shared with the worker threads.
+    accounting: Arc<Vec<WorkerAccounting>>,
     /// Serializes `execute` batches so acks of concurrent callers can't
     /// interleave.
     batch_gate: Mutex<()>,
@@ -58,10 +83,16 @@ impl WorkerPool {
         let (jobs_tx, jobs_rx) = channel::<Job>();
         let (acks_tx, acks_rx) = channel::<Ack>();
         let jobs_rx = Arc::new(Mutex::new(jobs_rx));
+        let accounting: Arc<Vec<WorkerAccounting>> = Arc::new(
+            (0..n_threads)
+                .map(|_| WorkerAccounting::default())
+                .collect(),
+        );
         let workers = (0..n_threads)
             .map(|i| {
                 let jobs_rx = Arc::clone(&jobs_rx);
                 let acks_tx = acks_tx.clone();
+                let accounting = Arc::clone(&accounting);
                 std::thread::Builder::new()
                     .name(format!("coopmc-worker-{i}"))
                     .spawn(move || loop {
@@ -70,10 +101,15 @@ impl WorkerPool {
                             Ok(job) => job,
                             Err(_) => return, // pool dropped: channel closed
                         };
+                        let t0 = Instant::now();
                         let ack = match catch_unwind(AssertUnwindSafe(job)) {
                             Ok(()) => Ack::Done,
                             Err(_) => Ack::Panicked,
                         };
+                        let slot = &accounting[i];
+                        slot.busy_ns
+                            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        slot.jobs.fetch_add(1, Ordering::Relaxed);
                         // The pool may already be gone mid-drop; a dead ack
                         // channel just means nobody is waiting.
                         let _ = acks_tx.send(ack);
@@ -85,6 +121,7 @@ impl WorkerPool {
             jobs: Some(jobs_tx),
             acks: Mutex::new(acks_rx),
             workers,
+            accounting,
             batch_gate: Mutex::new(()),
         }
     }
@@ -92,6 +129,33 @@ impl WorkerPool {
     /// Number of worker threads.
     pub fn n_threads(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Snapshot every worker's cumulative busy/job tallies.
+    pub fn worker_stats(&self) -> Vec<WorkerStats> {
+        self.accounting
+            .iter()
+            .map(|a| WorkerStats {
+                busy_ns: a.busy_ns.load(Ordering::Relaxed),
+                jobs: a.jobs.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Total nanoseconds workers have spent executing jobs (all workers).
+    pub fn total_busy_ns(&self) -> u64 {
+        self.accounting
+            .iter()
+            .map(|a| a.busy_ns.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total jobs executed by the pool.
+    pub fn total_jobs(&self) -> u64 {
+        self.accounting
+            .iter()
+            .map(|a| a.jobs.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Run a batch of jobs to completion on the pool.
@@ -223,5 +287,30 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_panics() {
         let _ = WorkerPool::new(0);
+    }
+
+    #[test]
+    fn worker_accounting_tracks_jobs_and_busy_time() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.total_jobs(), 0);
+        assert_eq!(pool.total_busy_ns(), 0);
+        for _ in 0..4 {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..6)
+                .map(|_| {
+                    Box::new(|| {
+                        std::hint::black_box((0..2000).sum::<u64>());
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.execute(jobs);
+        }
+        assert_eq!(pool.total_jobs(), 24, "every job must be accounted");
+        let stats = pool.worker_stats();
+        assert_eq!(stats.len(), 3);
+        assert_eq!(stats.iter().map(|s| s.jobs).sum::<u64>(), 24);
+        assert_eq!(
+            stats.iter().map(|s| s.busy_ns).sum::<u64>(),
+            pool.total_busy_ns()
+        );
     }
 }

@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use coopmc_core::engine::GibbsEngine;
 use coopmc_core::pipeline::FixedPipeline;
 use coopmc_models::mrf::image_segmentation;
+use coopmc_obs::NoopRecorder;
 use coopmc_rng::SplitMix64;
 use coopmc_sampler::TreeSampler;
 
@@ -85,4 +86,31 @@ fn warm_steady_state_sweep_allocates_nothing() {
     );
     assert_eq!(stats.iterations, 3);
     assert_eq!(stats.updates, 3 * 32 * 32);
+
+    // Same guarantee with the observability hooks compiled in but disabled:
+    // an engine built explicitly with `NoopRecorder` must monomorphize the
+    // instrumentation away entirely. (Sequential measurement in the same
+    // test — the counter is process-global; see the module docs.)
+    let mut app = image_segmentation(32, 32, 21);
+    let mut engine = GibbsEngine::with_recorder(
+        FixedPipeline::new(8, true),
+        TreeSampler::new(),
+        SplitMix64::new(7),
+        NoopRecorder,
+    );
+    let mut stats = coopmc_core::engine::RunStats::default();
+    engine.sweep(&mut app.mrf, &mut stats);
+    engine.sweep(&mut app.mrf, &mut stats);
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    engine.sweep(&mut app.mrf, &mut stats);
+    ARMED.store(false, Ordering::SeqCst);
+
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        allocs, 0,
+        "a warm instrumented-but-disabled sweep must not touch the heap \
+         ({allocs} allocations observed)"
+    );
 }

@@ -18,6 +18,9 @@
 //! - [`accel`] — the end-to-end core configurations `V_Baseline`, `V_PG`,
 //!   `V_TS`, `V_PG+TS` of the §IV-D case study (Table IV).
 //! - [`roofline`] — the §IV-D memory-bandwidth feasibility analysis.
+//! - [`reconcile`] — checks run-journal cycle totals (from `coopmc-obs`)
+//!   against the closed-form model, tying the executed chain back to the
+//!   Table IV accounting.
 
 pub mod accel;
 pub mod area;
@@ -25,4 +28,5 @@ pub mod cycles;
 pub mod mem;
 pub mod pgpipe;
 pub mod power;
+pub mod reconcile;
 pub mod roofline;

@@ -1,0 +1,132 @@
+//! Reconcile run-journal cycle totals against the closed-form cycle model.
+//!
+//! Every journal line carries the sweep's modeled PG/SD/PU cycles as
+//! accumulated by the engine while the chain actually ran. This module
+//! checks those totals against this crate's closed-form model — PU priced
+//! at [`crate::cycles::PU_CYCLES`] per update, SD at the sampler's
+//! `latency_cycles` formula — so a traced run is evidence that the engine
+//! accounting and the hardware model agree, not two models drifting apart.
+
+use coopmc_obs::journal::SweepSample;
+
+use crate::area::SamplerKind;
+use crate::cycles::{sd_cycles, PU_CYCLES};
+
+/// Outcome of reconciling a journal against the cycle model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleReconciliation {
+    /// Total variable updates across the reconciled sweeps.
+    pub updates: u64,
+    /// Journal PG cycle total (engine-side op tally, priced per op).
+    pub pg_actual: u64,
+    /// Journal SD cycle total.
+    pub sd_actual: u64,
+    /// Closed-form SD total: `latency_cycles(n_labels) × updates`.
+    pub sd_expected: u64,
+    /// Journal PU cycle total.
+    pub pu_actual: u64,
+    /// Closed-form PU total: `PU_CYCLES × updates`.
+    pub pu_expected: u64,
+}
+
+impl CycleReconciliation {
+    /// One-line human-readable summary.
+    pub fn report(&self) -> String {
+        format!(
+            "updates={} pg={} sd={}/{} pu={}/{}",
+            self.updates,
+            self.pg_actual,
+            self.sd_actual,
+            self.sd_expected,
+            self.pu_actual,
+            self.pu_expected
+        )
+    }
+}
+
+/// Reconcile recorded sweeps against the closed-form model for a workload
+/// whose every draw is over `n_labels` labels with sampler `kind`.
+///
+/// SD and PU totals must match the closed-form products **exactly** (both
+/// sides are integer cycle counts — there is nothing to round); PG must be
+/// positive whenever updates happened (its op mix is workload-dependent, so
+/// no closed form exists per sweep).
+pub fn reconcile(
+    sweeps: &[SweepSample],
+    kind: SamplerKind,
+    n_labels: usize,
+) -> Result<CycleReconciliation, String> {
+    if sweeps.is_empty() {
+        return Err("no sweeps to reconcile".to_owned());
+    }
+    let updates: u64 = sweeps.iter().map(|s| s.updates).sum();
+    let pg_actual: u64 = sweeps.iter().map(|s| s.pg_cycles).sum();
+    let sd_actual: u64 = sweeps.iter().map(|s| s.sd_cycles).sum();
+    let pu_actual: u64 = sweeps.iter().map(|s| s.pu_cycles).sum();
+    let sd_expected = sd_cycles(kind, n_labels) * updates;
+    let pu_expected = PU_CYCLES * updates;
+    let r = CycleReconciliation {
+        updates,
+        pg_actual,
+        sd_actual,
+        sd_expected,
+        pu_actual,
+        pu_expected,
+    };
+    if sd_actual != sd_expected {
+        return Err(format!("SD cycles diverge from the model: {}", r.report()));
+    }
+    if pu_actual != pu_expected {
+        return Err(format!("PU cycles diverge from the model: {}", r.report()));
+    }
+    if updates > 0 && pg_actual == 0 {
+        return Err(format!("PG cycles missing: {}", r.report()));
+    }
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep(updates: u64, n_labels: usize) -> SweepSample {
+        SweepSample {
+            iteration: 1,
+            updates,
+            pg_cycles: 100 * updates,
+            sd_cycles: sd_cycles(SamplerKind::Tree, n_labels) * updates,
+            pu_cycles: PU_CYCLES * updates,
+            ..SweepSample::default()
+        }
+    }
+
+    #[test]
+    fn consistent_journal_reconciles() {
+        let sweeps = vec![sweep(64, 8), sweep(64, 8)];
+        let r = reconcile(&sweeps, SamplerKind::Tree, 8).unwrap();
+        assert_eq!(r.updates, 128);
+        assert_eq!(r.sd_actual, r.sd_expected);
+        assert_eq!(r.pu_actual, r.pu_expected);
+    }
+
+    #[test]
+    fn diverging_sd_total_is_reported() {
+        let mut bad = sweep(64, 8);
+        bad.sd_cycles += 1;
+        let err = reconcile(&[bad], SamplerKind::Tree, 8).unwrap_err();
+        assert!(err.contains("SD cycles diverge"), "{err}");
+    }
+
+    #[test]
+    fn diverging_pu_total_is_reported() {
+        let mut bad = sweep(10, 4);
+        bad.pu_cycles = 3 * bad.updates;
+        let err = reconcile(&[bad], SamplerKind::Tree, 4).unwrap_err();
+        assert!(err.contains("PU cycles diverge"), "{err}");
+    }
+
+    #[test]
+    fn empty_journal_is_an_error() {
+        assert!(reconcile(&[], SamplerKind::Tree, 4).is_err());
+    }
+}

@@ -19,6 +19,7 @@ use crate::cost::OpCounts;
 use crate::dynorm::dynorm_apply;
 use crate::exp::ExpKernel;
 use crate::log::LogKernel;
+use crate::telemetry::PgTelemetry;
 
 /// One element of a probability vector expressed as a product of linear
 /// domain factors divided by another product (Eq. 11's numerators `a_i` and
@@ -149,6 +150,30 @@ impl<L: LogKernel, E: ExpKernel> LogFusion<L, E> {
         work: &mut Vec<f64>,
         probs: &mut Vec<f64>,
     ) -> OpCounts {
+        self.factors_impl(exprs, work, probs, None)
+    }
+
+    /// [`LogFusion::evaluate_factors_into`] that additionally records
+    /// DyNorm/exp-kernel telemetry for the run journal. `telemetry` is a
+    /// plain stack accumulator; recording costs a handful of comparisons
+    /// per call and no allocation.
+    pub fn evaluate_factors_traced_into(
+        &self,
+        exprs: &[FactorExpr],
+        work: &mut Vec<f64>,
+        probs: &mut Vec<f64>,
+        telemetry: &mut PgTelemetry,
+    ) -> OpCounts {
+        self.factors_impl(exprs, work, probs, Some(telemetry))
+    }
+
+    fn factors_impl(
+        &self,
+        exprs: &[FactorExpr],
+        work: &mut Vec<f64>,
+        probs: &mut Vec<f64>,
+        telemetry: Option<&mut PgTelemetry>,
+    ) -> OpCounts {
         let mut ops = OpCounts::new();
         work.clear();
         for e in exprs {
@@ -165,7 +190,7 @@ impl<L: LogKernel, E: ExpKernel> LogFusion<L, E> {
             }
             work.push(acc.to_f64());
         }
-        self.finish_into(work, probs, &mut ops);
+        self.finish_into(work, probs, &mut ops, telemetry);
         ops
     }
 
@@ -186,6 +211,28 @@ impl<L: LogKernel, E: ExpKernel> LogFusion<L, E> {
         work: &mut Vec<f64>,
         probs: &mut Vec<f64>,
     ) -> OpCounts {
+        self.log_scores_impl(scores, work, probs, None)
+    }
+
+    /// [`LogFusion::evaluate_log_scores_into`] that additionally records
+    /// DyNorm/exp-kernel telemetry for the run journal.
+    pub fn evaluate_log_scores_traced_into(
+        &self,
+        scores: &[f64],
+        work: &mut Vec<f64>,
+        probs: &mut Vec<f64>,
+        telemetry: &mut PgTelemetry,
+    ) -> OpCounts {
+        self.log_scores_impl(scores, work, probs, Some(telemetry))
+    }
+
+    fn log_scores_impl(
+        &self,
+        scores: &[f64],
+        work: &mut Vec<f64>,
+        probs: &mut Vec<f64>,
+        telemetry: Option<&mut PgTelemetry>,
+    ) -> OpCounts {
         let mut ops = OpCounts::new();
         work.clear();
         work.extend(
@@ -193,11 +240,17 @@ impl<L: LogKernel, E: ExpKernel> LogFusion<L, E> {
                 .iter()
                 .map(|&s| Fixed::from_f64(s, self.acc_fmt, Rounding::Nearest).to_f64()),
         );
-        self.finish_into(work, probs, &mut ops);
+        self.finish_into(work, probs, &mut ops, telemetry);
         ops
     }
 
-    fn finish_into(&self, scores: &mut [f64], probs: &mut Vec<f64>, ops: &mut OpCounts) {
+    fn finish_into(
+        &self,
+        scores: &mut [f64],
+        probs: &mut Vec<f64>,
+        ops: &mut OpCounts,
+        telemetry: Option<&mut PgTelemetry>,
+    ) {
         probs.clear();
         if scores.is_empty() {
             return;
@@ -206,6 +259,16 @@ impl<L: LogKernel, E: ExpKernel> LogFusion<L, E> {
             let report = dynorm_apply(scores, self.pipelines);
             ops.cmp += report.comparisons;
             ops.add += scores.len() as u64; // the broadcast subtraction
+            if let Some(t) = telemetry {
+                t.observe_norm_max(report.max);
+                for &s in scores.iter() {
+                    t.observe_exp_input(s);
+                }
+            }
+        } else if let Some(t) = telemetry {
+            for &s in scores.iter() {
+                t.observe_exp_input(s);
+            }
         }
         probs.extend(scores.iter().map(|&s| {
             ops.lut += 1;

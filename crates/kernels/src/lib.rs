@@ -40,3 +40,4 @@ pub mod exp;
 pub mod faults;
 pub mod fusion;
 pub mod log;
+pub mod telemetry;

@@ -1,0 +1,101 @@
+//! Lightweight PG-datapath telemetry: the observable quantities the run
+//! journal reports per sweep.
+//!
+//! This is a plain stack-allocated accumulator — no atomics, no recorder
+//! dependency — so the kernels stay observability-framework-free. The
+//! engine merges one of these per PG call into its sweep aggregate when a
+//! recorder is enabled, and skips the merge entirely when it is not.
+
+/// Observations from one or more PG datapath evaluations.
+///
+/// `None` fields mean "nothing observed yet" (e.g. the direct baseline
+/// datapath never produces a NormTree maximum).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PgTelemetry {
+    /// Largest NormTree maximum seen (the DyNorm subtrahend of Eq. 8).
+    pub norm_max: Option<f64>,
+    /// Smallest post-normalization exp-kernel input seen.
+    pub exp_in_min: Option<f64>,
+    /// Largest post-normalization exp-kernel input seen.
+    pub exp_in_max: Option<f64>,
+}
+
+impl PgTelemetry {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a NormTree maximum.
+    #[inline]
+    pub fn observe_norm_max(&mut self, max: f64) {
+        self.norm_max = Some(match self.norm_max {
+            Some(m) => m.max(max),
+            None => max,
+        });
+    }
+
+    /// Record one exp-kernel input (post-normalization log-domain score).
+    #[inline]
+    pub fn observe_exp_input(&mut self, x: f64) {
+        self.exp_in_min = Some(match self.exp_in_min {
+            Some(m) => m.min(x),
+            None => x,
+        });
+        self.exp_in_max = Some(match self.exp_in_max {
+            Some(m) => m.max(x),
+            None => x,
+        });
+    }
+
+    /// Fold another accumulator into this one.
+    pub fn merge(&mut self, other: &PgTelemetry) {
+        if let Some(m) = other.norm_max {
+            self.observe_norm_max(m);
+        }
+        if let Some(lo) = other.exp_in_min {
+            self.observe_exp_input(lo);
+        }
+        if let Some(hi) = other.exp_in_max {
+            self.observe_exp_input(hi);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observations_track_extremes() {
+        let mut t = PgTelemetry::new();
+        assert_eq!(t.norm_max, None);
+        t.observe_norm_max(-3.0);
+        t.observe_norm_max(-1.0);
+        t.observe_norm_max(-2.0);
+        assert_eq!(t.norm_max, Some(-1.0));
+        t.observe_exp_input(-4.0);
+        t.observe_exp_input(0.0);
+        t.observe_exp_input(-2.0);
+        assert_eq!(t.exp_in_min, Some(-4.0));
+        assert_eq!(t.exp_in_max, Some(0.0));
+    }
+
+    #[test]
+    fn merge_combines_ranges() {
+        let mut a = PgTelemetry::new();
+        a.observe_norm_max(-5.0);
+        a.observe_exp_input(-1.0);
+        let mut b = PgTelemetry::new();
+        b.observe_norm_max(-2.0);
+        b.observe_exp_input(-6.0);
+        a.merge(&b);
+        assert_eq!(a.norm_max, Some(-2.0));
+        assert_eq!(a.exp_in_min, Some(-6.0));
+        assert_eq!(a.exp_in_max, Some(-1.0));
+        // Merging an empty accumulator changes nothing.
+        let before = a;
+        a.merge(&PgTelemetry::new());
+        assert_eq!(a, before);
+    }
+}

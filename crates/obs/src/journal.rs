@@ -1,0 +1,330 @@
+//! The run journal: one JSONL record per sweep per chain.
+//!
+//! Every enabled recorder emits the same schema (`coopmc-journal/1`),
+//! whether the sweep came from the sequential [`GibbsEngine`], the
+//! chromatic worker-pool engine or a bench harness — so regression tooling
+//! can diff runs across engines, precision configs and PRs. Each line
+//! carries the Table II phase split (wall time *and* modeled hardware
+//! cycles), the DyNorm/TableExp kernel telemetry of §III, chain-quality
+//! statistics (label-flip rate, uniform-fallback count, running ESS and
+//! split-chain Gelman–Rubin), and per-color worker-pool utilization.
+//!
+//! [`GibbsEngine`]: ../../coopmc_core/engine/struct.GibbsEngine.html
+
+use crate::json::{self, Value};
+
+/// Schema identifier embedded in every journal line.
+pub const SCHEMA: &str = "coopmc-journal/1";
+
+/// Per-color-class worker-pool sample within one sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ColorSample {
+    /// Color-class index within the sweep.
+    pub class: u64,
+    /// Wall time of the class barrier (dispatch → last commit), ns.
+    pub wall_ns: u64,
+    /// Summed worker busy time inside the barrier, ns.
+    pub busy_ns: u64,
+    /// `busy / (wall × threads)` — 1.0 means no worker ever idled.
+    pub utilization: f64,
+}
+
+/// One journal record: everything observed about one sweep of one chain.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SweepSample {
+    /// Chain identifier (0 for single-chain runs).
+    pub chain: u64,
+    /// 1-based sweep index; strictly increasing within a chain.
+    pub iteration: u64,
+    /// Nanoseconds since the recorder epoch at sweep start.
+    pub start_ns: u64,
+    /// Wall time of the whole sweep, ns.
+    pub wall_ns: u64,
+    /// Variables resampled this sweep.
+    pub updates: u64,
+    /// Resampled variables whose label changed.
+    pub flips: u64,
+    /// Draws that hit the all-zero-mass uniform fallback (the Fig. 2
+    /// flush regime).
+    pub uniform_fallbacks: u64,
+    /// Wall time in Probability Generation, ns.
+    pub pg_ns: u64,
+    /// Wall time in Sampling-from-Distribution, ns.
+    pub sd_ns: u64,
+    /// Wall time in Parameter Update, ns.
+    pub pu_ns: u64,
+    /// Modeled PG datapath cycles this sweep.
+    pub pg_cycles: u64,
+    /// Modeled sampler cycles this sweep.
+    pub sd_cycles: u64,
+    /// Modeled PU cycles this sweep (`PU_CYCLES × updates`).
+    pub pu_cycles: u64,
+    /// Largest NormTree maximum observed across the sweep's PG calls
+    /// (`None` when no DyNorm datapath ran).
+    pub norm_max: Option<f64>,
+    /// Smallest exp-kernel input observed (post-normalization).
+    pub exp_in_min: Option<f64>,
+    /// Largest exp-kernel input observed (post-normalization).
+    pub exp_in_max: Option<f64>,
+    /// Model statistic for this sweep (MRF energy, BN log joint, LDA
+    /// log-likelihood), when an observer supplied one.
+    pub stat: Option<f64>,
+    /// Per-color worker-pool utilization (chromatic engine only).
+    pub colors: Vec<ColorSample>,
+}
+
+/// Render one journal line (no trailing newline). `ess` / `rhat` are the
+/// running diagnostics computed over the chain so far; pass `None` while
+/// there are too few samples.
+pub fn render_line(s: &SweepSample, ess: Option<f64>, rhat: Option<f64>) -> String {
+    let mut out = String::with_capacity(512);
+    out.push('{');
+    out.push_str("\"schema\":");
+    json::write_str(&mut out, SCHEMA);
+    for (key, v) in [
+        ("chain", s.chain),
+        ("iteration", s.iteration),
+        ("start_ns", s.start_ns),
+        ("wall_ns", s.wall_ns),
+        ("updates", s.updates),
+        ("flips", s.flips),
+        ("uniform_fallbacks", s.uniform_fallbacks),
+        ("pg_ns", s.pg_ns),
+        ("sd_ns", s.sd_ns),
+        ("pu_ns", s.pu_ns),
+        ("pg_cycles", s.pg_cycles),
+        ("sd_cycles", s.sd_cycles),
+        ("pu_cycles", s.pu_cycles),
+    ] {
+        out.push_str(&format!(",\"{key}\":{v}"));
+    }
+    for (key, v) in [
+        ("norm_max", s.norm_max),
+        ("exp_in_min", s.exp_in_min),
+        ("exp_in_max", s.exp_in_max),
+        ("stat", s.stat),
+        ("ess", ess),
+        ("rhat", rhat),
+    ] {
+        out.push_str(&format!(",\"{key}\":"));
+        json::write_opt_num(&mut out, v);
+    }
+    out.push_str(",\"colors\":[");
+    for (i, c) in s.colors.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"class\":{},\"wall_ns\":{},\"busy_ns\":{},\"utilization\":",
+            c.class, c.wall_ns, c.busy_ns
+        ));
+        json::write_num(&mut out, c.utilization);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// The fields a journal line must carry as non-negative integers.
+const REQUIRED_COUNTS: [&str; 12] = [
+    "iteration",
+    "start_ns",
+    "wall_ns",
+    "updates",
+    "flips",
+    "uniform_fallbacks",
+    "pg_ns",
+    "sd_ns",
+    "pu_ns",
+    "pg_cycles",
+    "sd_cycles",
+    "pu_cycles",
+];
+
+/// The fields that must be present as a finite number **or** `null`.
+const NULLABLE_NUMS: [&str; 6] = [
+    "norm_max",
+    "exp_in_min",
+    "exp_in_max",
+    "stat",
+    "ess",
+    "rhat",
+];
+
+/// Validate one parsed journal line against the `coopmc-journal/1` schema.
+///
+/// Checks the schema tag, that every required count field is present and a
+/// non-negative integer-valued number, that nullable numeric fields are
+/// numbers or `null`, and that `colors` (if present) is an array of
+/// well-formed color samples with `0 ≤ utilization ≤ 1`.
+pub fn validate_line(v: &Value) -> Result<(), String> {
+    let schema = v
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing 'schema' field")?;
+    if schema != SCHEMA {
+        return Err(format!("schema '{schema}' is not '{SCHEMA}'"));
+    }
+    v.get("chain")
+        .and_then(Value::as_num)
+        .ok_or("missing numeric 'chain'")?;
+    for key in REQUIRED_COUNTS {
+        let n = v
+            .get(key)
+            .and_then(Value::as_num)
+            .ok_or_else(|| format!("missing numeric '{key}'"))?;
+        if n < 0.0 || n != n.trunc() {
+            return Err(format!("'{key}' must be a non-negative integer, got {n}"));
+        }
+    }
+    if v.get("iteration").and_then(Value::as_num) == Some(0.0) {
+        return Err("'iteration' is 1-based and must be positive".to_owned());
+    }
+    for key in NULLABLE_NUMS {
+        match v.get(key) {
+            Some(field) if field.is_null() || field.as_num().is_some() => {}
+            Some(_) => return Err(format!("'{key}' must be a number or null")),
+            None => return Err(format!("missing '{key}'")),
+        }
+    }
+    if let Some(colors) = v.get("colors") {
+        let arr = colors.as_arr().ok_or("'colors' must be an array")?;
+        for (i, c) in arr.iter().enumerate() {
+            for key in ["class", "wall_ns", "busy_ns"] {
+                c.get(key)
+                    .and_then(Value::as_num)
+                    .filter(|&n| n >= 0.0)
+                    .ok_or_else(|| format!("colors[{i}].{key} must be a non-negative number"))?;
+            }
+            let u = c
+                .get("utilization")
+                .and_then(Value::as_num)
+                .ok_or_else(|| format!("colors[{i}].utilization must be a number"))?;
+            if !(0.0..=1.0).contains(&u) {
+                return Err(format!("colors[{i}].utilization {u} outside [0, 1]"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validate a whole JSONL journal: every line parses, every line passes
+/// [`validate_line`], and iteration numbers are strictly increasing within
+/// each chain. Returns the number of validated lines.
+pub fn validate_journal(text: &str) -> Result<usize, String> {
+    let mut last_iter: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    let mut lines = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        validate_line(&v).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let chain = v.get("chain").and_then(Value::as_num).unwrap_or(0.0) as u64;
+        let iter = v.get("iteration").and_then(Value::as_num).unwrap_or(0.0) as u64;
+        if let Some(&prev) = last_iter.get(&chain) {
+            if iter <= prev {
+                return Err(format!(
+                    "line {}: iteration {iter} not greater than previous {prev} on chain {chain}",
+                    lineno + 1
+                ));
+            }
+        }
+        last_iter.insert(chain, iter);
+        lines += 1;
+    }
+    if lines == 0 {
+        return Err("journal is empty".to_owned());
+    }
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(iter: u64) -> SweepSample {
+        SweepSample {
+            chain: 0,
+            iteration: iter,
+            start_ns: iter * 1000,
+            wall_ns: 900,
+            updates: 64,
+            flips: 7,
+            uniform_fallbacks: 0,
+            pg_ns: 500,
+            sd_ns: 300,
+            pu_ns: 100,
+            pg_cycles: 640,
+            sd_cycles: 320,
+            pu_cycles: 256,
+            norm_max: Some(-1.5),
+            exp_in_min: Some(-8.0),
+            exp_in_max: Some(0.0),
+            stat: Some(-123.0),
+            colors: vec![ColorSample {
+                class: 0,
+                wall_ns: 450,
+                busy_ns: 400,
+                utilization: 0.888,
+            }],
+        }
+    }
+
+    #[test]
+    fn rendered_lines_validate() {
+        let text = format!(
+            "{}\n{}\n",
+            render_line(&sample(1), None, None),
+            render_line(&sample(2), Some(3.4), Some(1.01)),
+        );
+        assert_eq!(validate_journal(&text).unwrap(), 2);
+    }
+
+    #[test]
+    fn non_monotone_iterations_are_rejected() {
+        let text = format!(
+            "{}\n{}\n",
+            render_line(&sample(2), None, None),
+            render_line(&sample(2), None, None),
+        );
+        let err = validate_journal(&text).unwrap_err();
+        assert!(err.contains("not greater"), "{err}");
+    }
+
+    #[test]
+    fn independent_chains_have_independent_monotonicity() {
+        let a = sample(5);
+        let mut b = sample(3);
+        b.chain = 1;
+        let text = format!(
+            "{}\n{}\n",
+            render_line(&a, None, None),
+            render_line(&b, None, None)
+        );
+        assert_eq!(validate_journal(&text).unwrap(), 2);
+    }
+
+    #[test]
+    fn schema_violations_are_caught() {
+        let bad = r#"{"schema":"coopmc-journal/1","chain":0,"iteration":1}"#;
+        let v = crate::json::parse(bad).unwrap();
+        assert!(validate_line(&v).is_err());
+        let wrong_schema = r#"{"schema":"other/9"}"#;
+        let v = crate::json::parse(wrong_schema).unwrap();
+        assert!(validate_line(&v).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn bad_utilization_is_rejected() {
+        let mut s = sample(1);
+        s.colors[0].utilization = 1.5;
+        let v = crate::json::parse(&render_line(&s, None, None)).unwrap();
+        assert!(validate_line(&v).unwrap_err().contains("utilization"));
+    }
+
+    #[test]
+    fn empty_journal_is_an_error() {
+        assert!(validate_journal("\n\n").is_err());
+    }
+}

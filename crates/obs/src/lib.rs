@@ -1,0 +1,30 @@
+//! `coopmc-obs`: zero-overhead tracing, phase-level metrics and the
+//! per-chain run journal for the CoopMC reproduction.
+//!
+//! Three layers, all `std`-only (the build container is offline):
+//!
+//! 1. **Metrics** ([`metrics`]) — relaxed-atomic counters, gauges and
+//!    histograms behind a process-global registry with Prometheus-style
+//!    text exposition.
+//! 2. **Tracing** ([`trace`]) — a [`Recorder`] trait whose disabled form,
+//!    [`NoopRecorder`], is statically dispatched into nothing; the engines
+//!    are generic over it, so the warm-sweep zero-allocation guarantee from
+//!    the perf work survives instrumentation and is proved by the
+//!    counting-allocator test in `coopmc-core`.
+//! 3. **Journal** ([`journal`]) — one JSONL record per sweep per chain
+//!    (`coopmc-journal/1`), carrying the Table II phase split in wall time
+//!    and modeled cycles, DyNorm/TableExp telemetry, chain-quality
+//!    statistics and worker-pool utilization, plus a Chrome-trace export
+//!    of spans for `chrome://tracing`.
+//!
+//! The `coopmc-obs-check` binary validates a journal file against the
+//! schema; CI runs it on a freshly traced chain.
+
+pub mod journal;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use journal::{ColorSample, SweepSample, SCHEMA};
+pub use metrics::{counter, counter_with, gauge, gauge_with, histogram, render};
+pub use trace::{NoopRecorder, Recorder, TraceRecorder};

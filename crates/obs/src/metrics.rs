@@ -1,0 +1,415 @@
+//! Relaxed-atomic counters, gauges and histograms with a process-global
+//! registry and Prometheus-style text exposition.
+//!
+//! Hot paths hold `&'static` handles obtained once from the registry
+//! ([`counter`], [`gauge`], [`histogram`]); every subsequent update is a
+//! single relaxed atomic operation — no locks, no allocation. The registry
+//! itself is only locked at registration and exposition time, both of which
+//! happen off the sampling hot path.
+//!
+//! Metric identity is `name` plus an ordered label set, mirroring the
+//! Prometheus data model: `coopmc_pool_worker_busy_ns{worker="3"}`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A detached counter (use the registry functions for exposition).
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Add `v` to the counter.
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding an arbitrary `f64` (stored as raw bits in an atomic).
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gauge {
+    /// A detached gauge initialized to `0.0`.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram with fixed, caller-supplied bucket upper bounds plus the
+/// implicit `+Inf` bucket, tracking count and sum like Prometheus.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Upper bounds of the finite buckets, strictly increasing.
+    bounds: Box<[f64]>,
+    /// One cumulative-style slot per finite bound plus the `+Inf` slot.
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    /// Sum of observations, accumulated as `f64` bits via compare-exchange.
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// Build a histogram with the given finite bucket upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Self {
+            bounds: bounds.into(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Per-bucket raw (non-cumulative) counts, one per finite bound plus
+    /// the `+Inf` bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// The registered metric kinds.
+#[derive(Debug)]
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+/// Metric identity: name plus ordered label pairs.
+type Key = (String, Vec<(String, String)>);
+
+/// A set of named metrics with Prometheus text exposition.
+///
+/// Usually accessed through the process-global instance via the
+/// free functions [`counter`] / [`gauge`] / [`histogram`] / [`render`];
+/// separate registries exist only for tests.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<Key, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already registered as a different metric kind.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> &'static Counter {
+        let mut map = self.metrics.lock().unwrap();
+        match map
+            .entry(key_of(name, labels))
+            .or_insert_with(|| Metric::Counter(Box::leak(Box::new(Counter::new()))))
+        {
+            Metric::Counter(c) => c,
+            _ => panic!("metric '{name}' already registered with another kind"),
+        }
+    }
+
+    /// Get or create the gauge `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> &'static Gauge {
+        let mut map = self.metrics.lock().unwrap();
+        match map
+            .entry(key_of(name, labels))
+            .or_insert_with(|| Metric::Gauge(Box::leak(Box::new(Gauge::new()))))
+        {
+            Metric::Gauge(g) => g,
+            _ => panic!("metric '{name}' already registered with another kind"),
+        }
+    }
+
+    /// Get or create the histogram `name{labels}` with `bounds` (ignored if
+    /// the histogram already exists).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already registered as a different metric kind.
+    pub fn histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> &'static Histogram {
+        let mut map = self.metrics.lock().unwrap();
+        match map
+            .entry(key_of(name, labels))
+            .or_insert_with(|| Metric::Histogram(Box::leak(Box::new(Histogram::new(bounds)))))
+        {
+            Metric::Histogram(h) => h,
+            _ => panic!("metric '{name}' already registered with another kind"),
+        }
+    }
+
+    /// Render every registered metric in the Prometheus text exposition
+    /// format (`# TYPE` headers, one sample line per series).
+    pub fn render(&self) -> String {
+        let map = self.metrics.lock().unwrap();
+        let mut out = String::new();
+        let mut last_name = "";
+        for ((name, labels), metric) in map.iter() {
+            if name != last_name {
+                let kind = match metric {
+                    Metric::Counter(_) => "counter",
+                    Metric::Gauge(_) => "gauge",
+                    Metric::Histogram(_) => "histogram",
+                };
+                out.push_str(&format!("# TYPE {name} {kind}\n"));
+                last_name = name;
+            }
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("{}{} {}\n", name, render_labels(labels), c.get()));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("{}{} {}\n", name, render_labels(labels), g.get()));
+                }
+                Metric::Histogram(h) => {
+                    let counts = h.bucket_counts();
+                    let mut cum = 0u64;
+                    for (i, c) in counts.iter().enumerate() {
+                        cum += c;
+                        let le = if i < h.bounds.len() {
+                            format!("{}", h.bounds[i])
+                        } else {
+                            "+Inf".to_owned()
+                        };
+                        let mut with_le: Vec<(String, String)> = labels.clone();
+                        with_le.push(("le".to_owned(), le));
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            name,
+                            render_labels(&with_le),
+                            cum
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        name,
+                        render_labels(labels),
+                        h.sum()
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        name,
+                        render_labels(labels),
+                        h.count()
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn key_of(name: &str, labels: &[(&str, &str)]) -> Key {
+    (
+        name.to_owned(),
+        labels
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect(),
+    )
+}
+
+fn render_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// The process-global registry behind [`counter`] / [`gauge`] /
+/// [`histogram`] / [`render`].
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Get or create a label-free counter in the global registry.
+pub fn counter(name: &str) -> &'static Counter {
+    global().counter(name, &[])
+}
+
+/// Get or create a labelled counter in the global registry.
+pub fn counter_with(name: &str, labels: &[(&str, &str)]) -> &'static Counter {
+    global().counter(name, labels)
+}
+
+/// Get or create a label-free gauge in the global registry.
+pub fn gauge(name: &str) -> &'static Gauge {
+    global().gauge(name, &[])
+}
+
+/// Get or create a labelled gauge in the global registry.
+pub fn gauge_with(name: &str, labels: &[(&str, &str)]) -> &'static Gauge {
+    global().gauge(name, labels)
+}
+
+/// Get or create a label-free histogram in the global registry.
+pub fn histogram(name: &str, bounds: &[f64]) -> &'static Histogram {
+    global().histogram(name, &[], bounds)
+}
+
+/// Render the global registry in the Prometheus text format.
+pub fn render() -> String {
+    global().render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let r = Registry::new();
+        let c = r.counter("test_total", &[]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = r.gauge("test_level", &[("shard", "a")]);
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        let text = r.render();
+        assert!(text.contains("# TYPE test_total counter"));
+        assert!(text.contains("test_total 5"));
+        assert!(text.contains("test_level{shard=\"a\"} 2.5"));
+    }
+
+    #[test]
+    fn repeated_registration_returns_the_same_handle() {
+        let r = Registry::new();
+        let a = r.counter("same", &[]);
+        a.add(3);
+        let b = r.counter("same", &[]);
+        assert_eq!(b.get(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_count_and_sum() {
+        let r = Registry::new();
+        let h = r.histogram("lat", &[], &[1.0, 10.0, 100.0]);
+        for v in [0.5, 5.0, 5.0, 50.0, 500.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 560.5).abs() < 1e-9);
+        assert_eq!(h.bucket_counts(), vec![1, 2, 1, 1]);
+        let text = r.render();
+        assert!(text.contains("lat_bucket{le=\"1\"} 1"));
+        assert!(text.contains("lat_bucket{le=\"10\"} 3"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("lat_count 5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "another kind")]
+    fn kind_conflicts_are_rejected() {
+        let r = Registry::new();
+        let _ = r.counter("conflict", &[]);
+        let _ = r.gauge("conflict", &[]);
+    }
+
+    #[test]
+    fn label_sets_are_distinct_series() {
+        let r = Registry::new();
+        r.counter("c", &[("w", "0")]).add(1);
+        r.counter("c", &[("w", "1")]).add(2);
+        let text = r.render();
+        assert!(text.contains("c{w=\"0\"} 1"));
+        assert!(text.contains("c{w=\"1\"} 2"));
+        // One TYPE header for both series.
+        assert_eq!(text.matches("# TYPE c counter").count(), 1);
+    }
+}

@@ -1,0 +1,451 @@
+//! The span/event tracing layer: a statically dispatched [`Recorder`]
+//! abstraction whose disabled form compiles to nothing.
+//!
+//! The Gibbs engines are generic over `Rec: Recorder`. With the default
+//! [`NoopRecorder`] every recorder call is an inlined empty function and
+//! every `if recorder.enabled()` block is dead code the optimizer removes —
+//! which is how instrumentation coexists with the warm-sweep
+//! **zero-allocation guarantee** (proved by the counting-allocator test in
+//! `coopmc-core`). With a [`TraceRecorder`] the same call sites feed the
+//! run journal, the global metrics registry and a Chrome-trace span log.
+//!
+//! Recorders are shared by reference (`&TraceRecorder` implements
+//! `Recorder`), so the caller keeps ownership and can export the journal /
+//! trace / metrics after the run.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use coopmc_models::diagnostics::{effective_sample_size, gelman_rubin};
+
+use crate::journal::{render_line, SweepSample};
+use crate::metrics;
+
+/// A sink for sweep samples, spans and chain statistics.
+///
+/// All methods have empty default bodies; a no-op implementor compiles to
+/// nothing under static dispatch. Implementors that actually record must
+/// override [`Recorder::enabled`] to return `true` — instrumented code uses
+/// it to skip aggregation work entirely when recording is off.
+pub trait Recorder: Sync {
+    /// Whether this recorder captures anything. Instrumented hot paths
+    /// guard their aggregation behind this so a disabled recorder costs
+    /// zero work (the branch is resolved at compile time).
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Nanoseconds since this recorder's epoch (0 when disabled).
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        0
+    }
+
+    /// Record one completed sweep.
+    #[inline]
+    fn end_sweep(&self, sample: &SweepSample) {
+        let _ = sample;
+    }
+
+    /// Attach a model statistic (energy, log-likelihood, …) to a sweep.
+    #[inline]
+    fn observe_stat(&self, chain: u64, iteration: u64, stat: f64) {
+        let _ = (chain, iteration, stat);
+    }
+
+    /// Record a completed span (Chrome-trace "X" event).
+    #[inline]
+    fn span(&self, name: &str, category: &str, start_ns: u64, dur_ns: u64, tid: u64) {
+        let _ = (name, category, start_ns, dur_ns, tid);
+    }
+
+    /// Record an instantaneous event.
+    #[inline]
+    fn event(&self, name: &str) {
+        let _ = name;
+    }
+}
+
+/// The zero-cost disabled recorder: every method is an inlined no-op.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+impl<T: Recorder + ?Sized> Recorder for &T {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        (**self).now_ns()
+    }
+
+    #[inline]
+    fn end_sweep(&self, sample: &SweepSample) {
+        (**self).end_sweep(sample)
+    }
+
+    #[inline]
+    fn observe_stat(&self, chain: u64, iteration: u64, stat: f64) {
+        (**self).observe_stat(chain, iteration, stat)
+    }
+
+    #[inline]
+    fn span(&self, name: &str, category: &str, start_ns: u64, dur_ns: u64, tid: u64) {
+        (**self).span(name, category, start_ns, dur_ns, tid)
+    }
+
+    #[inline]
+    fn event(&self, name: &str) {
+        (**self).event(name)
+    }
+}
+
+/// One completed span for the Chrome-trace export.
+#[derive(Debug, Clone, PartialEq)]
+struct Span {
+    name: String,
+    category: String,
+    start_ns: u64,
+    dur_ns: u64,
+    tid: u64,
+}
+
+#[derive(Debug, Default)]
+struct TraceInner {
+    sweeps: Vec<SweepSample>,
+    spans: Vec<Span>,
+    /// `(chain, iteration, stat)` observations, joined to sweeps on export.
+    stats: Vec<(u64, u64, f64)>,
+    events: Vec<(u64, String)>,
+}
+
+/// The enabled recorder: captures sweep samples, spans and statistics in
+/// memory and exports them as a JSONL journal, a Chrome-trace file and
+/// global registry metrics.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    epoch: Instant,
+    inner: Mutex<TraceInner>,
+    m_sweeps: &'static metrics::Counter,
+    m_updates: &'static metrics::Counter,
+    m_flips: &'static metrics::Counter,
+    m_fallbacks: &'static metrics::Counter,
+    m_pg_ns: &'static metrics::Counter,
+    m_sd_ns: &'static metrics::Counter,
+    m_pu_ns: &'static metrics::Counter,
+    m_pg_cycles: &'static metrics::Counter,
+    m_sd_cycles: &'static metrics::Counter,
+    m_pu_cycles: &'static metrics::Counter,
+    h_sweep_us: &'static metrics::Histogram,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceRecorder {
+    /// A recorder whose epoch is *now*, pre-registering its metrics in the
+    /// global registry so the recording hot path never allocates for them.
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+            inner: Mutex::new(TraceInner::default()),
+            m_sweeps: metrics::counter("coopmc_sweeps_total"),
+            m_updates: metrics::counter("coopmc_updates_total"),
+            m_flips: metrics::counter("coopmc_label_flips_total"),
+            m_fallbacks: metrics::counter("coopmc_uniform_fallbacks_total"),
+            m_pg_ns: metrics::counter("coopmc_phase_pg_ns_total"),
+            m_sd_ns: metrics::counter("coopmc_phase_sd_ns_total"),
+            m_pu_ns: metrics::counter("coopmc_phase_pu_ns_total"),
+            m_pg_cycles: metrics::counter("coopmc_modeled_pg_cycles_total"),
+            m_sd_cycles: metrics::counter("coopmc_modeled_sd_cycles_total"),
+            m_pu_cycles: metrics::counter("coopmc_modeled_pu_cycles_total"),
+            h_sweep_us: metrics::histogram(
+                "coopmc_sweep_duration_us",
+                &[
+                    10.0,
+                    100.0,
+                    1_000.0,
+                    10_000.0,
+                    100_000.0,
+                    1_000_000.0,
+                    10_000_000.0,
+                ],
+            ),
+        }
+    }
+
+    /// The recorded sweep samples, in arrival order.
+    pub fn sweeps(&self) -> Vec<SweepSample> {
+        self.inner.lock().unwrap().sweeps.clone()
+    }
+
+    /// Render the run journal as JSONL, one line per sweep per chain.
+    ///
+    /// Model statistics attached via [`Recorder::observe_stat`] are joined
+    /// onto their sweeps; running ESS (≥ 4 samples) and split-chain
+    /// Gelman–Rubin (≥ 8 samples) are computed per chain over the statistic
+    /// series up to each line.
+    pub fn journal_jsonl(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut out = String::new();
+        // Per-chain running statistic series.
+        let mut series: std::collections::BTreeMap<u64, Vec<f64>> =
+            std::collections::BTreeMap::new();
+        for s in &inner.sweeps {
+            let stat = s.stat.or_else(|| {
+                inner
+                    .stats
+                    .iter()
+                    .find(|(c, it, _)| *c == s.chain && *it == s.iteration)
+                    .map(|&(_, _, v)| v)
+            });
+            let (mut ess, mut rhat) = (None, None);
+            if let Some(v) = stat {
+                let chain_series = series.entry(s.chain).or_default();
+                chain_series.push(v);
+                let n = chain_series.len();
+                if n >= 4 {
+                    ess = Some(effective_sample_size(chain_series));
+                }
+                if n >= 8 {
+                    let (a, b) = chain_series.split_at(n / 2);
+                    let r = gelman_rubin(&[a.to_vec(), b[..a.len()].to_vec()]);
+                    if r.is_finite() {
+                        rhat = Some(r);
+                    }
+                }
+            }
+            let mut line = s.clone();
+            line.stat = stat;
+            out.push_str(&render_line(&line, ess, rhat));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render every recorded span (plus synthetic per-phase child spans of
+    /// each sweep) as a Chrome-trace (`chrome://tracing` / Perfetto) JSON
+    /// document.
+    ///
+    /// Phase spans are per-sweep aggregates laid out back-to-back inside
+    /// their sweep span — their widths are exact, their internal order
+    /// within the sweep is schematic (PG/SD/PU interleave per variable).
+    pub fn chrome_trace_json(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut events = Vec::new();
+        for s in &inner.sweeps {
+            events.push(render_trace_event(
+                &format!("sweep {}", s.iteration),
+                "sweep",
+                s.start_ns,
+                s.wall_ns,
+                s.chain,
+            ));
+            let mut cursor = s.start_ns;
+            for (name, dur) in [("PG", s.pg_ns), ("SD", s.sd_ns), ("PU", s.pu_ns)] {
+                events.push(render_trace_event(name, "phase", cursor, dur, s.chain));
+                cursor += dur;
+            }
+        }
+        for sp in &inner.spans {
+            events.push(render_trace_event(
+                &sp.name,
+                &sp.category,
+                sp.start_ns,
+                sp.dur_ns,
+                sp.tid,
+            ));
+        }
+        for (ts, name) in &inner.events {
+            events.push(format!(
+                "{{\"name\":{},\"ph\":\"i\",\"ts\":{},\"pid\":1,\"tid\":0,\"s\":\"g\"}}",
+                quoted(name),
+                *ts as f64 / 1_000.0
+            ));
+        }
+        format!(
+            "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\"}}\n",
+            events.join(",")
+        )
+    }
+
+    /// Number of recorded sweeps.
+    pub fn sweep_count(&self) -> usize {
+        self.inner.lock().unwrap().sweeps.len()
+    }
+}
+
+fn quoted(s: &str) -> String {
+    let mut out = String::new();
+    crate::json::write_str(&mut out, s);
+    out
+}
+
+fn render_trace_event(name: &str, cat: &str, start_ns: u64, dur_ns: u64, tid: u64) -> String {
+    format!(
+        "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}",
+        quoted(name),
+        quoted(cat),
+        start_ns as f64 / 1_000.0,
+        dur_ns as f64 / 1_000.0,
+        tid
+    )
+}
+
+impl Recorder for TraceRecorder {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn end_sweep(&self, sample: &SweepSample) {
+        self.m_sweeps.inc();
+        self.m_updates.add(sample.updates);
+        self.m_flips.add(sample.flips);
+        self.m_fallbacks.add(sample.uniform_fallbacks);
+        self.m_pg_ns.add(sample.pg_ns);
+        self.m_sd_ns.add(sample.sd_ns);
+        self.m_pu_ns.add(sample.pu_ns);
+        self.m_pg_cycles.add(sample.pg_cycles);
+        self.m_sd_cycles.add(sample.sd_cycles);
+        self.m_pu_cycles.add(sample.pu_cycles);
+        self.h_sweep_us.observe(sample.wall_ns as f64 / 1_000.0);
+        self.inner.lock().unwrap().sweeps.push(sample.clone());
+    }
+
+    fn observe_stat(&self, chain: u64, iteration: u64, stat: f64) {
+        self.inner
+            .lock()
+            .unwrap()
+            .stats
+            .push((chain, iteration, stat));
+    }
+
+    fn span(&self, name: &str, category: &str, start_ns: u64, dur_ns: u64, tid: u64) {
+        self.inner.lock().unwrap().spans.push(Span {
+            name: name.to_owned(),
+            category: category.to_owned(),
+            start_ns,
+            dur_ns,
+            tid,
+        });
+    }
+
+    fn event(&self, name: &str) {
+        let ts = self.now_ns();
+        self.inner
+            .lock()
+            .unwrap()
+            .events
+            .push((ts, name.to_owned()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::validate_journal;
+
+    fn push_sweep(rec: &TraceRecorder, iteration: u64, stat: f64) {
+        let sample = SweepSample {
+            chain: 0,
+            iteration,
+            start_ns: iteration * 1_000,
+            wall_ns: 800,
+            updates: 16,
+            flips: 4,
+            uniform_fallbacks: 0,
+            pg_ns: 400,
+            sd_ns: 300,
+            pu_ns: 100,
+            pg_cycles: 160,
+            sd_cycles: 80,
+            pu_cycles: 64,
+            norm_max: Some(-0.5),
+            exp_in_min: Some(-4.0),
+            exp_in_max: Some(0.0),
+            stat: None,
+            colors: Vec::new(),
+        };
+        rec.observe_stat(0, iteration, stat);
+        rec.end_sweep(&sample);
+    }
+
+    #[test]
+    fn journal_has_running_diagnostics() {
+        let rec = TraceRecorder::new();
+        let mut x = 10.0;
+        for it in 1..=12 {
+            x = x * 0.9 + (it % 3) as f64;
+            push_sweep(&rec, it, x);
+        }
+        let journal = rec.journal_jsonl();
+        assert_eq!(validate_journal(&journal).unwrap(), 12);
+        let lines: Vec<&str> = journal.lines().collect();
+        let first = crate::json::parse(lines[0]).unwrap();
+        assert!(first.get("ess").unwrap().is_null(), "too few samples yet");
+        let last = crate::json::parse(lines[11]).unwrap();
+        assert!(last.get("ess").unwrap().as_num().unwrap() > 0.0);
+        assert!(last.get("rhat").unwrap().as_num().unwrap() > 0.0);
+        assert_eq!(last.get("stat").unwrap().as_num(), Some(x));
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_phase_spans() {
+        let rec = TraceRecorder::new();
+        push_sweep(&rec, 1, 1.0);
+        rec.span("color 0", "pool", 100, 50, 3);
+        rec.event("checkpoint");
+        let doc = rec.chrome_trace_json();
+        let v = crate::json::parse(&doc).expect("trace must parse");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        // 1 sweep + 3 phases + 1 span + 1 instant event.
+        assert_eq!(events.len(), 6);
+        let names: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert!(names.contains(&"PG") && names.contains(&"SD") && names.contains(&"PU"));
+        assert!(names.contains(&"color 0"));
+        for e in events {
+            if let Some(ph) = e.get("ph").and_then(crate::json::Value::as_str) {
+                if ph == "X" {
+                    assert!(e.get("dur").unwrap().as_num().unwrap() >= 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn noop_recorder_reports_disabled() {
+        let rec = NoopRecorder;
+        assert!(!rec.enabled());
+        assert_eq!(rec.now_ns(), 0);
+        // Reference forwarding preserves enabled().
+        let r = &TraceRecorder::new();
+        assert!(Recorder::enabled(&r));
+    }
+
+    #[test]
+    fn metrics_counters_accumulate() {
+        let rec = TraceRecorder::new();
+        let before = metrics::counter("coopmc_updates_total").get();
+        push_sweep(&rec, 1, 0.0);
+        push_sweep(&rec, 2, 0.0);
+        assert_eq!(metrics::counter("coopmc_updates_total").get(), before + 32);
+        assert!(metrics::render().contains("coopmc_sweep_duration_us_bucket"));
+    }
+}

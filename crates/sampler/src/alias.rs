@@ -127,12 +127,14 @@ impl Sampler for AliasSampler {
             return SampleResult {
                 label: uniform_fallback(probs.len(), rng),
                 cycles: self.latency_cycles(probs.len()),
+                fallback: true,
             };
         }
         let table = AliasTable::build(probs);
         SampleResult {
             label: table.sample(rng),
             cycles: self.latency_cycles(probs.len()),
+            fallback: false,
         }
     }
 

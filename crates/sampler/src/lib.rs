@@ -52,6 +52,9 @@ pub struct SampleResult {
     pub label: usize,
     /// Latency of this draw in cycles.
     pub cycles: u64,
+    /// Whether the draw hit the all-zero-mass uniform fallback (the Fig. 2
+    /// flush regime) instead of a real CDF inversion.
+    pub fallback: bool,
 }
 
 /// Reusable per-draw working memory for [`Sampler::sample_into`].

@@ -54,6 +54,7 @@ impl Sampler for PipeTreeSampler {
             return SampleResult {
                 label: uniform_fallback(probs.len(), rng),
                 cycles: self.latency_cycles(probs.len()),
+                fallback: true,
             };
         }
         let t = total * rng.next_f64();
@@ -71,6 +72,7 @@ impl Sampler for PipeTreeSampler {
             return SampleResult {
                 label: uniform_fallback(probs.len(), rng),
                 cycles: self.latency_cycles(probs.len()),
+                fallback: true,
             };
         }
         let t = total * rng.next_f64();
@@ -79,6 +81,7 @@ impl Sampler for PipeTreeSampler {
         SampleResult {
             label,
             cycles: self.latency_cycles(probs.len()),
+            fallback: false,
         }
     }
 
@@ -93,6 +96,7 @@ impl Sampler for PipeTreeSampler {
         SampleResult {
             label,
             cycles: self.latency_cycles(probs.len()),
+            fallback: false,
         }
     }
 

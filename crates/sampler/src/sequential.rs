@@ -29,6 +29,7 @@ impl Sampler for SequentialSampler {
             return SampleResult {
                 label: uniform_fallback(probs.len(), rng),
                 cycles: self.latency_cycles(probs.len()),
+                fallback: true,
             };
         }
         let t = total * rng.next_f64();
@@ -53,6 +54,7 @@ impl Sampler for SequentialSampler {
         SampleResult {
             label,
             cycles: self.latency_cycles(probs.len()),
+            fallback: false,
         }
     }
 

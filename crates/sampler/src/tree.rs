@@ -165,6 +165,7 @@ impl Sampler for TreeSampler {
             return SampleResult {
                 label: uniform_fallback(probs.len(), rng),
                 cycles: self.latency_cycles(probs.len()),
+                fallback: true,
             };
         }
         // ThresholdGen: total mass times a uniform draw from the PRNG.
@@ -174,6 +175,7 @@ impl Sampler for TreeSampler {
         SampleResult {
             label,
             cycles: self.latency_cycles(probs.len()),
+            fallback: false,
         }
     }
 
@@ -188,6 +190,7 @@ impl Sampler for TreeSampler {
         SampleResult {
             label,
             cycles: self.latency_cycles(probs.len()),
+            fallback: false,
         }
     }
 

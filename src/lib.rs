@@ -20,6 +20,8 @@
 //!   micro-architecture diagrams ([`coopmc_sim`])
 //! - [`analyze`] — static range/bit-width verification and the chromatic
 //!   race detector ([`coopmc_analyze`])
+//! - [`obs`] — metrics, zero-overhead tracing and the run journal
+//!   ([`coopmc_obs`])
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! `crates/bench` for the binaries that regenerate every table and figure of
@@ -31,6 +33,7 @@ pub use coopmc_fixed as fixed;
 pub use coopmc_hw as hw;
 pub use coopmc_kernels as kernels;
 pub use coopmc_models as models;
+pub use coopmc_obs as obs;
 pub use coopmc_rng as rng;
 pub use coopmc_sampler as sampler;
 pub use coopmc_sim as sim;

@@ -4,6 +4,7 @@
 //! coopmc list
 //! coopmc run <workload> [--pipeline SPEC] [--sampler KIND] [--sweeps N]
 //!                       [--seed S] [--threads T]
+//!                       [--journal-out F] [--trace-out F] [--metrics-out F]
 //! coopmc hw [--labels N]
 //! coopmc verify [--json] [--demo-broken]
 //! ```
@@ -21,6 +22,7 @@ use coopmc::hw::area::{sampler_area, SamplerKind};
 use coopmc::hw::roofline::roofline;
 use coopmc::models::workloads::{all_workloads, BuiltWorkload, WorkloadSpec};
 use coopmc::models::GibbsModel;
+use coopmc::obs::{Recorder, TraceRecorder};
 use coopmc::rng::SplitMix64;
 use coopmc::sampler::{AliasSampler, PipeTreeSampler, Sampler, SequentialSampler, TreeSampler};
 
@@ -33,6 +35,9 @@ struct RunArgs {
     sweeps: u64,
     seed: u64,
     threads: usize,
+    journal_out: Option<String>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 impl Default for RunArgs {
@@ -44,6 +49,9 @@ impl Default for RunArgs {
             sweeps: 20,
             seed: 2022,
             threads: 1,
+            journal_out: None,
+            trace_out: None,
+            metrics_out: None,
         }
     }
 }
@@ -115,6 +123,9 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                     return Err("--threads must be at least 1".to_owned());
                 }
             }
+            "--journal-out" => out.journal_out = Some(value(&mut it)?),
+            "--trace-out" => out.trace_out = Some(value(&mut it)?),
+            "--metrics-out" => out.metrics_out = Some(value(&mut it)?),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -149,6 +160,13 @@ fn cmd_list() {
     }
 }
 
+/// Write `contents` to `path`, mapping IO errors to a CLI-friendly string.
+fn write_output(path: &str, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("wrote {path}");
+    Ok(())
+}
+
 fn cmd_run(args: RunArgs) -> Result<(), String> {
     let spec = find_workload(&args.workload)
         .ok_or_else(|| format!("no workload matches '{}'", args.workload))?;
@@ -156,6 +174,9 @@ fn cmd_run(args: RunArgs) -> Result<(), String> {
         "running {} | pipeline {:?} | sampler {} | {} sweeps | seed {} | {} thread(s)",
         spec.name, args.pipeline, args.sampler, args.sweeps, args.seed, args.threads
     );
+    let tracing =
+        args.journal_out.is_some() || args.trace_out.is_some() || args.metrics_out.is_some();
+    let recorder = TraceRecorder::new();
     let built = spec.build(args.seed);
     match built {
         BuiltWorkload::Mrf(mut app) => {
@@ -169,8 +190,28 @@ fn cmd_run(args: RunArgs) -> Result<(), String> {
                         )
                     }
                 };
-                ChromaticEngine::new(CoopMcPipeline::new(size, bits), args.threads, args.seed)
-                    .run(&mut app.mrf, args.sweeps);
+                let pipeline = CoopMcPipeline::new(size, bits);
+                if tracing {
+                    ChromaticEngine::with_recorder(pipeline, args.threads, args.seed, &recorder)
+                        .run_observed(&mut app.mrf, args.sweeps, |it, m| {
+                            recorder.observe_stat(0, it, m.energy());
+                        });
+                } else {
+                    ChromaticEngine::new(pipeline, args.threads, args.seed)
+                        .run(&mut app.mrf, args.sweeps);
+                }
+            } else if tracing {
+                let mut engine = GibbsEngine::with_recorder(
+                    args.pipeline.build(),
+                    TreeSampler::new(),
+                    SplitMix64::new(args.seed),
+                    &recorder,
+                );
+                let mut stats = coopmc::core::engine::RunStats::default();
+                for _ in 0..args.sweeps {
+                    engine.sweep(&mut app.mrf, &mut stats);
+                    recorder.observe_stat(0, engine.journal_iteration(), app.mrf.energy());
+                }
             } else {
                 let mut engine = GibbsEngine::new(
                     args.pipeline.build(),
@@ -182,16 +223,30 @@ fn cmd_run(args: RunArgs) -> Result<(), String> {
             println!("energy: {e0:.1} -> {:.1}", app.mrf.energy());
         }
         BuiltWorkload::Bn(mut net) => {
-            let mut engine = GibbsEngine::new(
-                args.pipeline.build(),
-                build_sampler(&args.sampler),
-                SplitMix64::new(args.seed),
-            );
             let mut counter = coopmc::models::bn::MarginalCounter::new(&net);
             let mut stats = coopmc::core::engine::RunStats::default();
-            for _ in 0..args.sweeps {
-                engine.sweep(&mut net, &mut stats);
-                counter.record(&net);
+            if tracing {
+                let mut engine = GibbsEngine::with_recorder(
+                    args.pipeline.build(),
+                    build_sampler(&args.sampler),
+                    SplitMix64::new(args.seed),
+                    &recorder,
+                );
+                for _ in 0..args.sweeps {
+                    engine.sweep(&mut net, &mut stats);
+                    counter.record(&net);
+                    recorder.observe_stat(0, engine.journal_iteration(), net.joint_prob().ln());
+                }
+            } else {
+                let mut engine = GibbsEngine::new(
+                    args.pipeline.build(),
+                    build_sampler(&args.sampler),
+                    SplitMix64::new(args.seed),
+                );
+                for _ in 0..args.sweeps {
+                    engine.sweep(&mut net, &mut stats);
+                    counter.record(&net);
+                }
             }
             println!("{:<14} {:>10}", "node", "P(label 0)");
             for v in 0..net.num_variables() {
@@ -204,14 +259,37 @@ fn cmd_run(args: RunArgs) -> Result<(), String> {
         }
         BuiltWorkload::Lda(mut lda) => {
             let ll0 = lda.log_likelihood();
-            let mut engine = GibbsEngine::new(
-                args.pipeline.build(),
-                build_sampler(&args.sampler),
-                SplitMix64::new(args.seed),
-            );
-            engine.run(&mut lda, args.sweeps);
+            if tracing {
+                let mut engine = GibbsEngine::with_recorder(
+                    args.pipeline.build(),
+                    build_sampler(&args.sampler),
+                    SplitMix64::new(args.seed),
+                    &recorder,
+                );
+                let mut stats = coopmc::core::engine::RunStats::default();
+                for _ in 0..args.sweeps {
+                    engine.sweep(&mut lda, &mut stats);
+                    recorder.observe_stat(0, engine.journal_iteration(), lda.log_likelihood());
+                }
+            } else {
+                let mut engine = GibbsEngine::new(
+                    args.pipeline.build(),
+                    build_sampler(&args.sampler),
+                    SplitMix64::new(args.seed),
+                );
+                engine.run(&mut lda, args.sweeps);
+            }
             println!("log-likelihood: {ll0:.0} -> {:.0}", lda.log_likelihood());
         }
+    }
+    if let Some(path) = &args.journal_out {
+        write_output(path, &recorder.journal_jsonl())?;
+    }
+    if let Some(path) = &args.trace_out {
+        write_output(path, &recorder.chrome_trace_json())?;
+    }
+    if let Some(path) = &args.metrics_out {
+        write_output(path, &coopmc::obs::render())?;
     }
     Ok(())
 }
@@ -269,7 +347,7 @@ fn cmd_verify(demo_broken: bool, json: bool) -> Result<(), String> {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  coopmc list\n  coopmc run <workload> [--pipeline SPEC] [--sampler seq|tree|pipe|alias] [--sweeps N] [--seed S] [--threads T]\n  coopmc hw [--labels N]\n  coopmc verify [--json] [--demo-broken]"
+    "usage:\n  coopmc list\n  coopmc run <workload> [--pipeline SPEC] [--sampler seq|tree|pipe|alias] [--sweeps N] [--seed S] [--threads T] [--journal-out F] [--trace-out F] [--metrics-out F]\n  coopmc hw [--labels N]\n  coopmc verify [--json] [--demo-broken]"
 }
 
 fn main() -> ExitCode {

@@ -1,0 +1,151 @@
+//! End-to-end observability checks: an enabled recorder yields a valid,
+//! reconcilable run journal and a loadable Chrome trace, and recording is
+//! invisible to the chain itself (thread-count independence holds with
+//! tracing on).
+
+use coopmc::core::engine::{GibbsEngine, RunStats};
+use coopmc::core::parallel::ChromaticEngine;
+use coopmc::core::pipeline::{FixedPipeline, PipelineConfig};
+use coopmc::hw::area::SamplerKind;
+use coopmc::hw::reconcile::reconcile;
+use coopmc::models::mrf::image_segmentation;
+use coopmc::models::GibbsModel;
+use coopmc::obs::journal::validate_journal;
+use coopmc::obs::{json, Recorder, TraceRecorder};
+use coopmc::rng::SplitMix64;
+use coopmc::sampler::TreeSampler;
+
+/// Drive a short traced single-thread MRF chain and return the recorder.
+fn traced_mrf_chain(sweeps: u64) -> (TraceRecorder, u64, usize) {
+    let mut app = image_segmentation(24, 24, 11);
+    let n_labels = app.mrf.num_labels(0);
+    let recorder = TraceRecorder::new();
+    let mut engine = GibbsEngine::with_recorder(
+        PipelineConfig::coopmc(1024, 16).build(),
+        TreeSampler::new(),
+        SplitMix64::new(3),
+        &recorder,
+    );
+    let mut stats = RunStats::default();
+    for _ in 0..sweeps {
+        engine.sweep(&mut app.mrf, &mut stats);
+        recorder.observe_stat(0, engine.journal_iteration(), app.mrf.energy());
+    }
+    (recorder, stats.updates, n_labels)
+}
+
+#[test]
+fn traced_chain_journal_is_valid_monotone_and_time_consistent() {
+    let (recorder, updates, _) = traced_mrf_chain(5);
+
+    let journal = recorder.journal_jsonl();
+    let lines = validate_journal(&journal).expect("journal must self-validate");
+    assert_eq!(lines, 5);
+    // The observer's per-sweep statistic is joined onto every journal line.
+    for line in journal.lines() {
+        let v = json::parse(line).expect("journal line must be JSON");
+        assert!(
+            v.get("stat").and_then(|s| s.as_num()).is_some(),
+            "observer stat missing from journal line: {line}"
+        );
+    }
+
+    let sweeps = recorder.sweeps();
+    assert_eq!(sweeps.len(), 5);
+    let mut total_updates = 0;
+    for (i, s) in sweeps.iter().enumerate() {
+        assert_eq!(s.iteration, i as u64 + 1, "1-based, strictly increasing");
+        assert_eq!(s.chain, 0);
+        // Phase wall times are consistent: each phase fits in the sweep.
+        for phase_ns in [s.pg_ns, s.sd_ns, s.pu_ns] {
+            assert!(
+                phase_ns <= s.wall_ns,
+                "phase time {phase_ns}ns exceeds sweep wall {}ns",
+                s.wall_ns
+            );
+        }
+        // The CoopMC pipeline runs DyNorm + TableExp, so NormTree and
+        // exp-input telemetry must be populated with a sane range.
+        let (lo, hi) = (s.exp_in_min.unwrap(), s.exp_in_max.unwrap());
+        assert!(lo <= hi && hi <= 0.0, "post-DyNorm exp inputs must be <= 0");
+        assert!(s.norm_max.is_some());
+        assert!(s.flips <= s.updates);
+        total_updates += s.updates;
+    }
+    assert_eq!(total_updates, updates);
+}
+
+#[test]
+fn traced_chain_reconciles_with_the_hw_cycle_model() {
+    let (recorder, updates, n_labels) = traced_mrf_chain(4);
+    let r = reconcile(&recorder.sweeps(), SamplerKind::Tree, n_labels)
+        .expect("journal totals must match the closed-form cycle model");
+    assert_eq!(r.updates, updates);
+    assert_eq!(r.sd_actual, r.sd_expected);
+    assert_eq!(r.pu_actual, r.pu_expected);
+    assert!(r.pg_actual > 0);
+}
+
+#[test]
+fn engine_and_hw_model_agree_on_pu_cycles() {
+    // The engine prices PU at a pinned constant; the hardware model carries
+    // its own copy. A drift here would silently break reconciliation.
+    assert_eq!(
+        coopmc::core::engine::PU_CYCLES,
+        coopmc::hw::cycles::PU_CYCLES
+    );
+}
+
+#[test]
+fn chrome_trace_export_loads_as_json_with_events() {
+    let (recorder, _, _) = traced_mrf_chain(3);
+    let trace = recorder.chrome_trace_json();
+    let doc = json::parse(&trace).expect("chrome trace must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "trace must contain span events");
+    for e in events {
+        assert_eq!(e.get("ph").and_then(|v| v.as_str()), Some("X"));
+        assert!(e.get("name").is_some() && e.get("ts").is_some());
+    }
+}
+
+#[test]
+fn recording_does_not_perturb_the_pooled_chain() {
+    // PR 1's thread-count-independence guarantee, now with the recorder ON:
+    // idle/busy accounting and journal capture must stay outside the chain.
+    let run = |threads: usize| {
+        let mut app = image_segmentation(24, 24, 31);
+        let recorder = TraceRecorder::new();
+        let engine =
+            ChromaticEngine::with_recorder(FixedPipeline::new(8, true), threads, 2024, &recorder);
+        let updated = engine.run(&mut app.mrf, 6);
+        (updated, app.mrf.labels(), recorder.sweeps())
+    };
+    let (updated_1, labels_1, sweeps_1) = run(1);
+    let (updated_8, labels_8, sweeps_8) = run(8);
+    assert_eq!(updated_1, updated_8);
+    assert_eq!(labels_1, labels_8, "recording leaked into the chain");
+    assert_eq!(sweeps_1.len(), 6);
+    assert_eq!(sweeps_8.len(), 6);
+    for (a, b) in sweeps_1.iter().zip(&sweeps_8) {
+        // Chain-visible quantities agree exactly; only wall times differ.
+        assert_eq!(a.updates, b.updates);
+        assert_eq!(a.flips, b.flips);
+        assert_eq!(a.uniform_fallbacks, b.uniform_fallbacks);
+        assert_eq!(
+            (a.pg_cycles, a.sd_cycles, a.pu_cycles),
+            (b.pg_cycles, b.sd_cycles, b.pu_cycles)
+        );
+        for c in &b.colors {
+            assert!((0.0..=1.0).contains(&c.utilization));
+            assert!(c.busy_ns <= c.wall_ns.saturating_mul(8));
+        }
+    }
+    // The pool's idle/busy accounting surfaces as process-global gauges.
+    let metrics = coopmc::obs::render();
+    assert!(metrics.contains("coopmc_pool_worker_busy_ns"));
+    assert!(metrics.contains("coopmc_pool_color_utilization"));
+}
