@@ -41,7 +41,8 @@
 //!   depth (`2d` register stages) matches the structural circuit.
 
 use coopmc_hw::accel::case_study_table;
-use coopmc_hw::cycles::{LatencyTable, PgTiming};
+use coopmc_hw::batch::PgUnitConfig;
+use coopmc_hw::cycles::{LatencyTable, PgTiming, SYNC_CYCLES};
 use coopmc_hw::pgpipe::{self, PipeKind};
 use coopmc_hw::roofline::roofline;
 use coopmc_sampler::{PipeTreeSampler, Sampler, SequentialSampler, TreeSampler};
@@ -498,6 +499,31 @@ pub fn pg_invocation_cycles(
     }
 }
 
+/// The batched parallel-PG-unit bank as a dependence DAG: `rows` whole-
+/// variable PG evaluations round-robined across `pg_units` unit-capacity
+/// resources (`pg-unit-{u}`), joined by the class-barrier sync op. List
+/// scheduling this DAG must reproduce
+/// [`coopmc_hw::batch::PgUnitConfig::class_cycles`] exactly: each unit
+/// serializes its `ceil(rows / pg_units)` passes, the barrier waits for
+/// the slowest unit.
+pub fn batched_pg_dag(rows: u64, pg_units: u64, per_call_cycles: u64, sync_cycles: u64) -> DepDag {
+    assert!(pg_units > 0, "need at least one PG unit");
+    assert!(rows > 0, "need at least one row");
+    let mut d = DepDag::new();
+    let mut evals = Vec::with_capacity(rows as usize);
+    for r in 0..rows {
+        evals.push(d.add(
+            format!("pg-row{r}"),
+            per_call_cycles,
+            Some(format!("pg-unit-{}", r % pg_units)),
+            false,
+            &[],
+        ));
+    }
+    d.add("class-barrier", sync_cycles, None, false, &evals);
+    d
+}
+
 /// One finding of the schedule verifier.
 #[derive(Debug, Clone)]
 pub struct ScheduleFinding {
@@ -663,6 +689,62 @@ pub fn verify_schedules(lt: &LatencyTable) -> (usize, Vec<ScheduleFinding>) {
         ));
     }
 
+    // Batched parallel-PG-unit bank: the closed form of
+    // `coopmc_hw::batch::PgUnitConfig::class_cycles` must equal the
+    // list-scheduled makespan of the round-robin DAG for full, ragged and
+    // sub-width strides; and within one pass every lane group must issue
+    // exactly one row (II = 1 row per unit per pass — the batch width the
+    // engine may legally claim).
+    for (units, rows) in [
+        (1u64, 5u64),
+        (4, 4),
+        (8, 8),
+        (8, 64),
+        (8, 9),
+        (8, 3),
+        (16, 50),
+    ] {
+        let bank = PgUnitConfig {
+            timing: PgTiming::CoopMc {
+                pipelines: units as usize,
+            },
+            pg_units: units,
+            n_labels: 8,
+            factor_ops: 5,
+        };
+        let dag = batched_pg_dag(rows, units, bank.per_call_cycles(), SYNC_CYCLES);
+        let sched = dag.list_schedule();
+        checks += 1;
+        out.extend(check_claim(
+            "batched-pg-latency",
+            &format!("PgUnitConfig({units} units, {rows} rows)"),
+            bank.class_cycles(rows),
+            sched.makespan,
+            dag.describe(&dag.critical_path()),
+        ));
+        checks += 1;
+        if rows <= units {
+            // A stride no wider than the bank must schedule hazard-free
+            // with each unit busy for exactly one pass.
+            let passes = dag.min_initiation_interval() / bank.per_call_cycles();
+            if passes != 1 || !sched.hazards.is_empty() {
+                out.push(ScheduleFinding {
+                    check: "batched-pg-ii",
+                    subject: format!("PgUnitConfig({units} units, {rows} rows)"),
+                    severity: Severity::Error,
+                    message: format!(
+                        "lane groups cannot sustain II = 1 row per pass: busiest unit \
+                         needs {passes} passes with {} hazards",
+                        sched.hazards.len()
+                    ),
+                    claimed: Some(1),
+                    computed: Some(passes),
+                    provenance: vec![],
+                });
+            }
+        }
+    }
+
     // Roofline: every case-study core must stay compute-bound — its
     // verified cycles-per-variable must not demand more SRAM bandwidth
     // than the paper's interface provides.
@@ -814,6 +896,50 @@ mod tests {
                 "{lanes} lanes"
             );
         }
+    }
+
+    #[test]
+    fn batched_pg_dag_reproduces_the_closed_form() {
+        for (units, rows) in [(1u64, 7u64), (4, 4), (8, 64), (8, 9), (8, 3), (16, 50)] {
+            let bank = PgUnitConfig {
+                timing: PgTiming::CoopMc {
+                    pipelines: units as usize,
+                },
+                pg_units: units,
+                n_labels: 8,
+                factor_ops: 5,
+            };
+            let dag = batched_pg_dag(rows, units, bank.per_call_cycles(), SYNC_CYCLES);
+            assert_eq!(
+                dag.list_schedule().makespan,
+                bank.class_cycles(rows),
+                "{units} units, {rows} rows"
+            );
+        }
+    }
+
+    #[test]
+    fn over_claimed_batch_width_is_caught_as_an_under_claim() {
+        // Hardware with 4 physical units cannot meet the latency an 8-unit
+        // claim advertises: the 8-unit closed form under-claims the
+        // 4-unit schedule, which is a hard error.
+        let claimed_bank = PgUnitConfig {
+            timing: PgTiming::CoopMc { pipelines: 8 },
+            pg_units: 8,
+            n_labels: 8,
+            factor_ops: 5,
+        };
+        let dag = batched_pg_dag(64, 4, claimed_bank.per_call_cycles(), SYNC_CYCLES);
+        let finding = check_claim(
+            "batched-pg-latency",
+            "overclaimed-batch-width",
+            claimed_bank.class_cycles(64),
+            dag.list_schedule().makespan,
+            dag.describe(&dag.critical_path()),
+        )
+        .expect("the over-claimed width must surface");
+        assert_eq!(finding.severity, Severity::Error);
+        assert!(finding.message.contains("under-claims"));
     }
 
     #[test]

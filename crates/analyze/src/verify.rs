@@ -671,7 +671,9 @@ pub fn run_all() -> VerifyReport {
 ///   contract (the finding names the dominant error source with a
 ///   wire-level provenance trace), and
 /// - a sampler latency formula under-claiming its critical path, plus a
-///   shared traverse comparator that breaks the II = 1 claim.
+///   shared traverse comparator that breaks the II = 1 claim, and
+/// - a batched-PG bank claiming 8 parallel units when the modeled hardware
+///   round-robins its rows over only 4 (an over-claimed batch width).
 pub fn run_broken_demo() -> VerifyReport {
     let mut broken = DatapathConfig::coopmc("demo-broken:64x8-range2", 64, 8);
     broken.lut_range = 2.0;
@@ -757,6 +759,38 @@ pub fn run_broken_demo() -> VerifyReport {
             limit: f.claimed.map(|c| c as f64),
         });
     }
+    // Over-claimed batch width: the engine claims the 8-unit closed form
+    // while the modeled bank has only 4 physical PG units, so the claimed
+    // class latency under-claims the list-scheduled round-robin DAG.
+    schedsec.checks += 1;
+    let claimed_bank = coopmc_hw::batch::PgUnitConfig {
+        timing: coopmc_hw::cycles::PgTiming::CoopMc { pipelines: 8 },
+        pg_units: 8,
+        n_labels: WORKLOAD_LABELS,
+        factor_ops: WORKLOAD_FACTOR_OPS,
+    };
+    let physical = crate::schedule::batched_pg_dag(
+        64,
+        4,
+        claimed_bank.per_call_cycles(),
+        coopmc_hw::cycles::SYNC_CYCLES,
+    );
+    if let Some(f) = check_claim(
+        "batched-pg-latency",
+        "demo-broken:overclaimed-batch-width",
+        claimed_bank.class_cycles(64),
+        physical.list_schedule().makespan,
+        physical.describe(&physical.critical_path()),
+    ) {
+        schedsec.push(Finding {
+            severity: f.severity,
+            check: f.check.into(),
+            message: format!("[{}] {}", f.subject, f.message),
+            provenance: f.provenance,
+            bound: f.computed.map(|c| c as f64),
+            limit: f.claimed.map(|c| c as f64),
+        });
+    }
     schedsec.checks += 1;
     let shared = tree_sampler_dag(64, &lt, true);
     let ii = shared.min_initiation_interval();
@@ -813,6 +847,7 @@ mod tests {
         assert!(rendered.contains("lut-step"));
         assert!(rendered.contains("under-claims"));
         assert!(rendered.contains("II = 1"));
+        assert!(rendered.contains("demo-broken:overclaimed-batch-width"));
         assert!(rendered.contains("FAILED"));
         // The error-propagation finding carries a wire-level trace.
         let errsec = report

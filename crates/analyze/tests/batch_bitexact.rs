@@ -1,0 +1,101 @@
+//! Property tests: the batched PG datapath is bit-exact with the scalar
+//! one for every in-tree datapath configuration.
+//!
+//! For each [`in_tree_configs`] pipeline shape, random same-width
+//! log-domain score batches — including ragged row counts whose
+//! `len % 8 != 0` tails exercise the lane-packed datapath's scalar tail
+//! loop — must produce **bit-identical** probabilities, per-row op counts
+//! and merged telemetry whether evaluated row-by-row with `generate_into`
+//! or in one `generate_batch_into` call.
+
+use coopmc_analyze::contracts::in_tree_configs;
+use coopmc_core::pipeline::{CoopMcPipeline, PgBatch, PgOutput, ProbabilityPipeline};
+use coopmc_kernels::telemetry::PgTelemetry;
+use coopmc_models::LabelScore;
+use coopmc_rng::{HwRng, SplitMix64};
+
+/// Random log-domain scores spanning the useful DyNorm input range, with a
+/// few exact ties and deep-negative outliers mixed in.
+fn random_scores(rng: &mut SplitMix64, n: usize) -> Vec<LabelScore> {
+    (0..n)
+        .map(|i| {
+            let u = rng.next_f64();
+            let s = match i % 7 {
+                0 => 0.0,
+                1 => -40.0 * u,
+                _ => -8.0 * u,
+            };
+            LabelScore::LogDomain(s)
+        })
+        .collect()
+}
+
+#[test]
+fn batched_pg_is_bit_exact_for_every_in_tree_config() {
+    // Dedupe the sweep configs by pipeline shape; the batch path only
+    // depends on (size_lut, bit_lut, pipelines).
+    let mut shapes: Vec<(usize, u32, usize)> = in_tree_configs()
+        .iter()
+        .map(|c| (c.size_lut, c.bit_lut.min(46), c.pipelines))
+        .collect();
+    shapes.sort_unstable();
+    shapes.dedup();
+    assert!(shapes.len() >= 5, "expected the full in-tree config sweep");
+
+    let mut rng = SplitMix64::new(0xC0DE_2026);
+    let mut scalar = PgOutput::new();
+    let mut batch = PgBatch::new();
+    for &(size_lut, bit_lut, pipelines) in &shapes {
+        let pipeline = CoopMcPipeline::with_pipelines(size_lut, bit_lut, pipelines);
+        // Ragged row counts: tails of every residue class mod 8.
+        for &(rows, width) in &[(1, 2), (3, 4), (5, 3), (8, 4), (11, 2), (13, 5), (16, 8)] {
+            for _seed_round in 0..4 {
+                let scores = random_scores(&mut rng, rows * width);
+                pipeline.generate_batch_into(&scores, width, &mut batch);
+                assert_eq!(batch.rows(width), rows);
+                let mut merged = PgTelemetry::new();
+                for row in 0..rows {
+                    pipeline.generate_into(&scores[row * width..(row + 1) * width], &mut scalar);
+                    let got = batch.probs_row(row, width);
+                    assert_eq!(
+                        got,
+                        &scalar.probs[..],
+                        "probs diverge: lut{size_lut}x{bit_lut} p{pipelines} \
+                         rows={rows} width={width} row={row}"
+                    );
+                    assert_eq!(
+                        batch.ops[row], scalar.ops,
+                        "ops diverge: lut{size_lut}x{bit_lut} row={row}"
+                    );
+                    merged.merge(&scalar.telemetry);
+                }
+                assert_eq!(
+                    batch.telemetry, merged,
+                    "telemetry diverges: lut{size_lut}x{bit_lut} rows={rows} width={width}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_pg_survives_flush_regime_inputs() {
+    // Scores far outside the LUT range drive the TableExp flush-to-zero
+    // path; the lane-packed clamp must agree with the scalar clamp bit for
+    // bit, including all-zero rows (which the sampler later resolves with
+    // its uniform fallback).
+    let pipeline = CoopMcPipeline::with_pipelines(64, 8, 8);
+    let mut rng = SplitMix64::new(0xF1u64);
+    let width = 4;
+    let rows = 9;
+    let scores: Vec<LabelScore> = (0..rows * width)
+        .map(|_| LabelScore::LogDomain(-500.0 - 100.0 * rng.next_f64()))
+        .collect();
+    let mut batch = PgBatch::new();
+    pipeline.generate_batch_into(&scores, width, &mut batch);
+    let mut scalar = PgOutput::new();
+    for row in 0..rows {
+        pipeline.generate_into(&scores[row * width..(row + 1) * width], &mut scalar);
+        assert_eq!(batch.probs_row(row, width), &scalar.probs[..], "row {row}");
+    }
+}

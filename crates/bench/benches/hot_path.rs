@@ -1,21 +1,26 @@
 //! Hot-path throughput: allocating versus in-place PG, and scoped-spawn
 //! versus pooled chromatic sweeps.
 //!
-//! Two comparisons on a 128×128 MRF:
+//! Three comparisons on a 128×128 MRF:
 //!
 //! 1. `ProbabilityPipeline::generate` (allocates a fresh [`PgOutput`] per
 //!    call) versus `generate_into` (reuses caller buffers) for the
 //!    fixed-point and CoopMC pipelines.
-//! 2. The pre-pool chromatic engine — scoped `std::thread` spawns per color
+//! 2. Scalar `generate_into` versus the lane-packed `generate_batch_into`,
+//!    which evaluates a whole color-class slice (8 / 64 rows) per call.
+//! 3. The pre-pool chromatic engine — scoped `std::thread` spawns per color
 //!    class with per-step `Vec`s, reimplemented here as a baseline — versus
-//!    the persistent-pool [`ChromaticEngine`], at 1/2/4/8 threads.
+//!    the persistent-pool [`ChromaticEngine`], at 1/2/4/8 threads. Rows with
+//!    more threads than `host_cpus` are marked `"starved": true`.
 //!
 //! Emits `BENCH_hotpath.json` (samples/sec) at the repo root. Run with
 //! `cargo bench -p coopmc-bench --bench hot_path`.
 
 use coopmc_bench::harness::{black_box, git_commit, json_array, Harness, JsonObject, Measurement};
 use coopmc_core::parallel::ChromaticEngine;
-use coopmc_core::pipeline::{CoopMcPipeline, FixedPipeline, PgOutput, ProbabilityPipeline};
+use coopmc_core::pipeline::{
+    CoopMcPipeline, FixedPipeline, PgBatch, PgOutput, ProbabilityPipeline,
+};
 use coopmc_models::coloring::ChromaticModel;
 use coopmc_models::mrf::image_segmentation;
 use coopmc_models::{GibbsModel, LabelScore};
@@ -96,6 +101,19 @@ fn pg_row(name: &str, api: &str, m: &Measurement) -> String {
         .render()
 }
 
+/// A batched-PG row: one call evaluates `rows` variables, so the per-row
+/// time (directly comparable with the scalar rows above) is the per-call
+/// median divided by the stride.
+fn pg_batch_row(name: &str, rows: usize, m: &Measurement) -> String {
+    JsonObject::new()
+        .string("pipeline", name)
+        .string("api", &format!("generate_batch_into/rows={rows}"))
+        .number("batch_rows", rows as f64)
+        .number("median_ns", m.median_ns() / rows as f64)
+        .number("samples_per_sec", m.per_second() * rows as f64)
+        .render()
+}
+
 fn bench_pg(h: &Harness, rows: &mut Vec<String>) {
     let app = image_segmentation(WIDTH, HEIGHT, 2022);
     let var = WIDTH * (HEIGHT / 2) + WIDTH / 2;
@@ -126,9 +144,31 @@ fn bench_pg(h: &Harness, rows: &mut Vec<String>) {
         out.probs[0]
     });
     rows.push(pg_row("coopmc64x8", "generate_into", &m));
+
+    // Batched lane-packed evaluation: one call covers a whole color-class
+    // slice of same-width variables (here: consecutive pixels of the center
+    // row, all 2-label log-domain).
+    let width = scores.len();
+    for &batch_rows in &[8usize, 64] {
+        let mut flat: Vec<LabelScore> = Vec::with_capacity(batch_rows * width);
+        let mut tmp: Vec<LabelScore> = Vec::new();
+        for r in 0..batch_rows {
+            app.mrf.scores(var + r, &mut tmp);
+            flat.extend(tmp.iter().cloned());
+        }
+        let mut batch = PgBatch::new();
+        let m = h.run(
+            &format!("pg/coopmc64x8/generate_batch_into/{batch_rows}"),
+            || {
+                black_box(&coopmc).generate_batch_into(black_box(&flat), width, &mut batch);
+                batch.probs[0]
+            },
+        );
+        rows.push(pg_batch_row("coopmc64x8", batch_rows, &m));
+    }
 }
 
-fn bench_sweeps(h: &Harness, rows: &mut Vec<String>) -> (f64, f64) {
+fn bench_sweeps(h: &Harness, host_cpus: usize, rows: &mut Vec<String>) -> (f64, f64) {
     let n_vars = (WIDTH * HEIGHT) as f64;
     let mut scoped_1t = 0.0;
     let mut pooled_1t = 0.0;
@@ -155,6 +195,7 @@ fn bench_sweeps(h: &Harness, rows: &mut Vec<String>) -> (f64, f64) {
                 .number("threads", threads as f64)
                 .number("median_sweep_ns", m.median_ns())
                 .number("samples_per_sec", per_sec)
+                .raw("starved", (threads > host_cpus).to_string())
                 .render(),
         );
     }
@@ -177,6 +218,7 @@ fn bench_sweeps(h: &Harness, rows: &mut Vec<String>) -> (f64, f64) {
                 .number("threads", threads as f64)
                 .number("median_sweep_ns", m.median_ns())
                 .number("samples_per_sec", per_sec)
+                .raw("starved", (threads > host_cpus).to_string())
                 .render(),
         );
     }
@@ -188,20 +230,22 @@ fn main() {
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    println!("host_cpus = {host_cpus}");
     if host_cpus < *THREAD_COUNTS.iter().max().unwrap() {
         println!(
-            "note: host exposes {host_cpus} CPU(s); multi-thread rows measure \
+            "note: host exposes {host_cpus} CPU(s); thread counts above that are \
+             starved — their rows are emitted with \"starved\": true and measure \
              dispatch overhead, not scaling"
         );
     }
 
-    println!("== PG: generate vs generate_into (128x128 MRF scores) ==");
+    println!("\n== PG: generate vs generate_into vs generate_batch_into (128x128 MRF scores) ==");
     let mut pg_rows = Vec::new();
     bench_pg(&h, &mut pg_rows);
 
     println!("\n== Chromatic sweep: scoped-spawn baseline vs worker pool ==");
     let mut sweep_rows = Vec::new();
-    let (scoped_1t, pooled_1t) = bench_sweeps(&h, &mut sweep_rows);
+    let (scoped_1t, pooled_1t) = bench_sweeps(&h, host_cpus, &mut sweep_rows);
     let speedup = pooled_1t / scoped_1t;
     println!("\n1-thread sweep throughput: scoped {scoped_1t:.0}/s, pooled {pooled_1t:.0}/s ({speedup:.2}x)");
 

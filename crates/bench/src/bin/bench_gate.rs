@@ -1,0 +1,144 @@
+//! Regression gate for `BENCH_hotpath.json` PG-kernel rows.
+//!
+//! Usage: `coopmc-bench-gate <baseline.json> <candidate.json>` (the cargo
+//! bin is `bench_gate`). Compares every `pg` row of the committed baseline
+//! against the freshly measured candidate, matching rows by
+//! `(pipeline, api)`. Exits nonzero when
+//!
+//! * a baseline `pg` row is missing from the candidate, or
+//! * any candidate `pg` row's `samples_per_sec` dropped more than
+//!   [`TOLERANCE`] below its baseline value.
+//!
+//! Sweep rows are informational only: they depend on `host_cpus` and are
+//! already marked `"starved"` when oversubscribed, so they are not gated.
+
+use std::process::ExitCode;
+
+use coopmc_obs::json::{parse, Value};
+
+/// Allowed fractional throughput regression before the gate fails (15%).
+const TOLERANCE: f64 = 0.15;
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse(text.trim()).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+/// Extract `(pipeline/api, samples_per_sec)` for every `pg` row.
+fn pg_rows(doc: &Value, path: &str) -> Result<Vec<(String, f64)>, String> {
+    let rows = doc
+        .get("pg")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("{path}: no \"pg\" array"))?;
+    rows.iter()
+        .map(|row| {
+            let pipeline = row
+                .get("pipeline")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("{path}: pg row without \"pipeline\""))?;
+            let api = row
+                .get("api")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("{path}: pg row without \"api\""))?;
+            let per_sec = row
+                .get("samples_per_sec")
+                .and_then(Value::as_num)
+                .ok_or_else(|| format!("{path}: pg row without \"samples_per_sec\""))?;
+            Ok((format!("{pipeline}/{api}"), per_sec))
+        })
+        .collect()
+}
+
+fn run(baseline_path: &str, candidate_path: &str) -> Result<bool, String> {
+    let baseline = pg_rows(&load(baseline_path)?, baseline_path)?;
+    let candidate = pg_rows(&load(candidate_path)?, candidate_path)?;
+    if baseline.is_empty() {
+        return Err(format!("{baseline_path}: empty \"pg\" array"));
+    }
+
+    let mut ok = true;
+    println!(
+        "{:<48} {:>14} {:>14} {:>8}  verdict",
+        "pg row", "baseline/s", "candidate/s", "delta"
+    );
+    for (key, base) in &baseline {
+        match candidate.iter().find(|(k, _)| k == key) {
+            None => {
+                ok = false;
+                println!("{key:<48} {base:>14.0} {:>14} {:>8}  MISSING", "-", "-");
+            }
+            Some((_, new)) => {
+                let delta = new / base - 1.0;
+                let fail = delta < -TOLERANCE;
+                ok &= !fail;
+                println!(
+                    "{key:<48} {base:>14.0} {new:>14.0} {:>7.1}%  {}",
+                    delta * 100.0,
+                    if fail { "FAIL" } else { "ok" }
+                );
+            }
+        }
+    }
+    for (key, _) in &candidate {
+        if !baseline.iter().any(|(k, _)| k == key) {
+            println!("{key:<48} (new row, not gated)");
+        }
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline, candidate] = match args.as_slice() {
+        [b, c] => [b.clone(), c.clone()],
+        _ => {
+            eprintln!("usage: bench_gate <baseline.json> <candidate.json>");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&baseline, &candidate) {
+        Ok(true) => {
+            println!("\nbench gate: all pg rows within {:.0}%", TOLERANCE * 100.0);
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!(
+                "\nbench gate: FAILED — pg throughput regressed more than {:.0}% \
+                 (or a baseline row vanished)",
+                TOLERANCE * 100.0
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench gate: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(rows: &str) -> Value {
+        parse(&format!("{{\"pg\": [{rows}]}}")).unwrap()
+    }
+
+    #[test]
+    fn extracts_keyed_rows() {
+        let d = doc(
+            "{\"pipeline\": \"a\", \"api\": \"x\", \"samples_per_sec\": 10.0}, \
+             {\"pipeline\": \"b\", \"api\": \"y\", \"samples_per_sec\": 20.0}",
+        );
+        let rows = pg_rows(&d, "t").unwrap();
+        assert_eq!(rows[0], ("a/x".to_owned(), 10.0));
+        assert_eq!(rows[1], ("b/y".to_owned(), 20.0));
+    }
+
+    #[test]
+    fn missing_fields_are_reported() {
+        let d = doc("{\"pipeline\": \"a\", \"samples_per_sec\": 1}");
+        assert!(pg_rows(&d, "t").unwrap_err().contains("\"api\""));
+        assert!(pg_rows(&parse("{}").unwrap(), "t").is_err());
+    }
+}

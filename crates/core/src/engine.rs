@@ -218,6 +218,8 @@ impl<P: ProbabilityPipeline, S: Sampler, R: HwRng, Rec: Recorder> GibbsEngine<P,
                 pg_cycles: stats.pg_cycles - before.pg_cycles,
                 sd_cycles: stats.sd_cycles - before.sd_cycles,
                 pu_cycles: PU_CYCLES * updates,
+                pg_batches: 0,
+                pg_batch_rows: 0,
                 norm_max: self.sweep_telemetry.norm_max,
                 exp_in_min: self.sweep_telemetry.exp_in_min,
                 exp_in_max: self.sweep_telemetry.exp_in_max,

@@ -20,13 +20,17 @@ use coopmc_models::{GibbsModel, LabelScore};
 use coopmc_obs::journal::{ColorSample, SweepSample};
 use coopmc_obs::{metrics, NoopRecorder, Recorder};
 use coopmc_rng::SplitMix64;
-use coopmc_sampler::{SampleScratch, Sampler, TreeSampler};
+use coopmc_sampler::{SampleResult, SampleScratch, Sampler, TreeSampler};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::engine::PU_CYCLES;
-use crate::pipeline::{PgOutput, ProbabilityPipeline};
+use crate::pipeline::{PgBatch, PgOutput, ProbabilityPipeline};
 use crate::pool::WorkerPool;
+
+/// Default batch stride of the chromatic engine: one lane-packed word of
+/// the fixed-8 datapath per `generate_batch_into` call.
+pub const DEFAULT_BATCH_ROWS: usize = coopmc_fixed::lane::LANES;
 
 /// Derive the per-variable RNG for a chromatic draw. SplitMix64's finalizer
 /// decorrelates the structured seeds.
@@ -48,6 +52,14 @@ struct SweepScratch {
     /// `(var, label)` draws of this slot's chunk, committed after the class
     /// barrier.
     out: Vec<(usize, usize)>,
+    /// Batched PG output shared by every stride this slot evaluates.
+    batch: PgBatch,
+    /// Gathered same-width rows awaiting the next `generate_batch_into`.
+    batch_scores: Vec<LabelScore>,
+    /// Variables owning each gathered row, in gather order.
+    batch_vars: Vec<usize>,
+    /// Per-row draws of the current stride.
+    draws: Vec<SampleResult>,
     /// Per-chunk recording aggregates; only touched when a recorder is
     /// enabled.
     trace: ChunkTrace,
@@ -62,6 +74,8 @@ struct ChunkTrace {
     sd_ns: u64,
     pg_cycles: u64,
     sd_cycles: u64,
+    pg_batches: u64,
+    pg_batch_rows: u64,
     telemetry: PgTelemetry,
 }
 
@@ -82,6 +96,8 @@ struct SweepAcc {
     pu_ns: u64,
     pg_cycles: u64,
     sd_cycles: u64,
+    pg_batches: u64,
+    pg_batch_rows: u64,
     telemetry: PgTelemetry,
     colors: Vec<ColorSample>,
 }
@@ -104,6 +120,7 @@ pub struct ChromaticEngine<P, Rec = NoopRecorder> {
     n_threads: usize,
     seed: u64,
     chain: u64,
+    batch_rows: usize,
     recorder: Rec,
     pool: WorkerPool,
     scratch: Vec<Mutex<SweepScratch>>,
@@ -138,6 +155,7 @@ impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
             n_threads,
             seed,
             chain: 0,
+            batch_rows: DEFAULT_BATCH_ROWS,
             recorder,
             pool: WorkerPool::new(n_threads),
             scratch,
@@ -148,6 +166,27 @@ impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
     pub fn with_chain(mut self, chain: u64) -> Self {
         self.chain = chain;
         self
+    }
+
+    /// Set the batch stride: how many same-width log-domain rows each
+    /// worker gathers per `generate_batch_into` call (`1` restores the
+    /// scalar per-variable path). The chain is **bit-identical** for every
+    /// stride — each row still sees its own `(seed, iteration, var)` RNG
+    /// and the batched kernels are bit-exact with their scalar forms — so
+    /// the stride only trades call overhead against gather-buffer size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0`.
+    pub fn with_batch_rows(mut self, rows: usize) -> Self {
+        assert!(rows > 0, "batch stride must be positive");
+        self.batch_rows = rows;
+        self
+    }
+
+    /// The configured batch stride.
+    pub fn batch_rows(&self) -> usize {
+        self.batch_rows
     }
 
     /// Number of worker threads.
@@ -170,6 +209,14 @@ impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
     }
 
     /// Resample one chunk of a color class against an immutable snapshot.
+    ///
+    /// With `batch_rows > 1` the chunk is processed in batch strides: runs
+    /// of same-width log-domain score rows are gathered and evaluated with
+    /// one `generate_batch_into` + one `sample_rows_into` per stride.
+    /// Factor-domain (or empty) rows fall back to the per-variable path.
+    /// Draw order within `out` is irrelevant — commits happen after the
+    /// class barrier and each variable appears once — so grouping cannot
+    /// change the chain.
     fn resample_chunk<M: ChromaticModel>(
         &self,
         model: &M,
@@ -181,28 +228,126 @@ impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
         let sampler = TreeSampler::new();
         scratch.out.clear();
         scratch.trace.reset();
+        if self.batch_rows <= 1 {
+            for &var in vars {
+                if model.is_clamped(var) {
+                    continue;
+                }
+                let t0 = enabled.then(std::time::Instant::now);
+                model.scores_into(var, &mut scratch.scores);
+                self.draw_var_from_scores(var, iteration, &sampler, scratch, t0);
+            }
+            return;
+        }
+        scratch.batch_scores.clear();
+        scratch.batch_vars.clear();
+        let mut width = 0usize;
         for &var in vars {
             if model.is_clamped(var) {
                 continue;
             }
             let t0 = enabled.then(std::time::Instant::now);
             model.scores_into(var, &mut scratch.scores);
-            self.pipeline
-                .generate_into(&scratch.scores, &mut scratch.pg);
-            let t1 = enabled.then(std::time::Instant::now);
-            let mut rng = draw_rng(self.seed, iteration, var);
-            let sample = sampler.sample_into(&scratch.pg.probs, &mut rng, &mut scratch.sd);
-            scratch.out.push((var, sample.label));
-            if let (Some(t0), Some(t1)) = (t0, t1) {
-                let tr = &mut scratch.trace;
-                tr.pg_ns += (t1 - t0).as_nanos() as u64;
-                tr.sd_ns += t1.elapsed().as_nanos() as u64;
-                tr.uniform_fallbacks += u64::from(sample.fallback);
-                tr.pg_cycles += scratch.pg.ops.sequential_cycles();
-                tr.sd_cycles += sample.cycles;
-                tr.telemetry.merge(&scratch.pg.telemetry);
+            let batchable = !scratch.scores.is_empty()
+                && scratch
+                    .scores
+                    .iter()
+                    .all(|s| matches!(s, LabelScore::LogDomain(_)));
+            if !batchable {
+                self.draw_var_from_scores(var, iteration, &sampler, scratch, t0);
+                continue;
+            }
+            let w = scratch.scores.len();
+            if !scratch.batch_vars.is_empty() && w != width {
+                self.flush_batch(width, iteration, &sampler, scratch, enabled);
+            }
+            width = w;
+            scratch.batch_scores.extend(scratch.scores.iter().cloned());
+            scratch.batch_vars.push(var);
+            if let Some(t0) = t0 {
+                scratch.trace.pg_ns += t0.elapsed().as_nanos() as u64;
+            }
+            if scratch.batch_vars.len() == self.batch_rows {
+                self.flush_batch(width, iteration, &sampler, scratch, enabled);
             }
         }
+        self.flush_batch(width, iteration, &sampler, scratch, enabled);
+    }
+
+    /// Scalar PG + SD for one variable whose scores are already gathered in
+    /// `scratch.scores`. `t0` is the phase timer started before the gather.
+    fn draw_var_from_scores(
+        &self,
+        var: usize,
+        iteration: u64,
+        sampler: &TreeSampler,
+        scratch: &mut SweepScratch,
+        t0: Option<std::time::Instant>,
+    ) {
+        self.pipeline
+            .generate_into(&scratch.scores, &mut scratch.pg);
+        let t1 = t0.map(|_| std::time::Instant::now());
+        let mut rng = draw_rng(self.seed, iteration, var);
+        let sample = sampler.sample_into(&scratch.pg.probs, &mut rng, &mut scratch.sd);
+        scratch.out.push((var, sample.label));
+        if let (Some(t0), Some(t1)) = (t0, t1) {
+            let tr = &mut scratch.trace;
+            tr.pg_ns += (t1 - t0).as_nanos() as u64;
+            tr.sd_ns += t1.elapsed().as_nanos() as u64;
+            tr.uniform_fallbacks += u64::from(sample.fallback);
+            tr.pg_cycles += scratch.pg.ops.sequential_cycles();
+            tr.sd_cycles += sample.cycles;
+            tr.telemetry.merge(&scratch.pg.telemetry);
+        }
+    }
+
+    /// Evaluate the gathered stride: one `generate_batch_into` call, then
+    /// one draw per row with the row's own `(seed, iteration, var)` RNG —
+    /// exactly the RNG the scalar path would have used, which is what makes
+    /// batching invisible to the chain.
+    fn flush_batch(
+        &self,
+        width: usize,
+        iteration: u64,
+        sampler: &TreeSampler,
+        scratch: &mut SweepScratch,
+        enabled: bool,
+    ) {
+        if scratch.batch_vars.is_empty() {
+            return;
+        }
+        let t0 = enabled.then(std::time::Instant::now);
+        self.pipeline
+            .generate_batch_into(&scratch.batch_scores, width, &mut scratch.batch);
+        let t1 = enabled.then(std::time::Instant::now);
+        let seed = self.seed;
+        let row_vars = &scratch.batch_vars;
+        sampler.sample_rows_into(
+            &scratch.batch.probs,
+            width,
+            |row| draw_rng(seed, iteration, row_vars[row]),
+            &mut scratch.draws,
+            &mut scratch.sd,
+        );
+        for (&var, sample) in scratch.batch_vars.iter().zip(&scratch.draws) {
+            scratch.out.push((var, sample.label));
+        }
+        if let (Some(t0), Some(t1)) = (t0, t1) {
+            let rows = scratch.batch_vars.len() as u64;
+            let tr = &mut scratch.trace;
+            tr.pg_ns += (t1 - t0).as_nanos() as u64;
+            tr.sd_ns += t1.elapsed().as_nanos() as u64;
+            tr.telemetry.merge(&scratch.batch.telemetry);
+            tr.pg_batches += 1;
+            tr.pg_batch_rows += rows;
+            for (ops, sample) in scratch.batch.ops.iter().zip(&scratch.draws) {
+                tr.uniform_fallbacks += u64::from(sample.fallback);
+                tr.pg_cycles += ops.sequential_cycles();
+                tr.sd_cycles += sample.cycles;
+            }
+        }
+        scratch.batch_scores.clear();
+        scratch.batch_vars.clear();
     }
 
     /// Commit one slot's draws into the model; counts flips only when a
@@ -235,6 +380,8 @@ impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
         acc.sd_cycles += trace.sd_cycles;
         acc.pg_ns += trace.pg_ns;
         acc.sd_ns += trace.sd_ns;
+        acc.pg_batches += trace.pg_batches;
+        acc.pg_batch_rows += trace.pg_batch_rows;
         acc.telemetry.merge(&trace.telemetry);
     }
 
@@ -356,6 +503,8 @@ impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
                 pg_cycles: acc.pg_cycles,
                 sd_cycles: acc.sd_cycles,
                 pu_cycles: PU_CYCLES * acc.updates,
+                pg_batches: acc.pg_batches,
+                pg_batch_rows: acc.pg_batch_rows,
                 norm_max: acc.telemetry.norm_max,
                 exp_in_min: acc.telemetry.exp_in_min,
                 exp_in_max: acc.telemetry.exp_in_max,
@@ -567,5 +716,51 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_panics() {
         let _ = ChromaticEngine::new(FloatPipeline::new(), 0, 1);
+    }
+
+    #[test]
+    fn batched_chains_are_bit_identical_to_scalar_chains() {
+        // The tentpole acceptance criterion: any batch stride (including
+        // ragged tails, strides wider than a class chunk, and the scalar
+        // stride 1) must produce the exact same chain.
+        let run = |rows: usize, threads: usize| {
+            let mut app = image_segmentation(20, 16, 21);
+            let engine = ChromaticEngine::new(CoopMcPipeline::new(64, 8), threads, 909)
+                .with_batch_rows(rows);
+            engine.run(&mut app.mrf, 6);
+            app.mrf.labels()
+        };
+        let scalar = run(1, 1);
+        for rows in [2, 5, 8, 32] {
+            assert_eq!(scalar, run(rows, 1), "stride {rows}, 1 thread");
+            assert_eq!(scalar, run(rows, 3), "stride {rows}, 3 threads");
+        }
+    }
+
+    #[test]
+    fn batched_chains_match_scalar_on_factor_fallback_models() {
+        // Bayesian-network scores are factor-domain, so every row takes the
+        // scalar fallback inside the batched path — chains must still match.
+        let run = |rows: usize| {
+            let mut net = earthquake();
+            net.set_evidence(2, 0);
+            let engine = ChromaticEngine::new(FloatPipeline::new(), 2, 31).with_batch_rows(rows);
+            engine.run(&mut net, 8);
+            (0..5).map(|v| net.label(v)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn default_batch_stride_is_one_packed_word() {
+        let engine = ChromaticEngine::new(FloatPipeline::new(), 1, 1);
+        assert_eq!(engine.batch_rows(), DEFAULT_BATCH_ROWS);
+        assert_eq!(DEFAULT_BATCH_ROWS, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch stride must be positive")]
+    fn zero_batch_stride_panics() {
+        let _ = ChromaticEngine::new(FloatPipeline::new(), 1, 1).with_batch_rows(0);
     }
 }

@@ -8,7 +8,7 @@
 
 use std::cell::RefCell;
 
-use coopmc_fixed::{Fixed, QFormat, Rounding};
+use coopmc_fixed::QFormat;
 use coopmc_kernels::cost::OpCounts;
 use coopmc_kernels::dynorm::dynorm_apply;
 use coopmc_kernels::exp::{ExpKernel, FixedExp, TableExp};
@@ -35,6 +35,73 @@ impl PgOutput {
     /// An empty output whose buffers grow on first use.
     pub fn new() -> Self {
         Self::default()
+    }
+}
+
+/// Output of one batched PG evaluation over several same-width score rows.
+///
+/// `probs` is row-major: row `r` of a width-`w` batch occupies
+/// `probs[r*w .. (r+1)*w]`. `ops` carries one tally per row (identical to
+/// what a scalar [`ProbabilityPipeline::generate_into`] call on that row
+/// would report, so modeled cycle totals are batching-invariant), and
+/// `telemetry` is the merge of every row's observations.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PgBatch {
+    /// Row-major unnormalized probabilities.
+    pub probs: Vec<f64>,
+    /// Per-row primitive-operation tallies.
+    pub ops: Vec<OpCounts>,
+    /// Merged DyNorm/exp-kernel observations across all rows.
+    pub telemetry: PgTelemetry,
+    /// Scalar scratch reused by the row-loop fallback path.
+    row: PgOutput,
+}
+
+impl PgBatch {
+    /// An empty batch whose buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of rows in the batch given its row width.
+    pub fn rows(&self, width: usize) -> usize {
+        self.probs.len() / width.max(1)
+    }
+
+    /// The probability slice of row `row` for a width-`width` batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row is out of range.
+    pub fn probs_row(&self, row: usize, width: usize) -> &[f64] {
+        &self.probs[row * width..(row + 1) * width]
+    }
+}
+
+/// Shared row-loop fallback: evaluate each row through the scalar
+/// `generate_into` path. Bit-identical by construction; used as the default
+/// `generate_batch_into` and by pipelines for score forms their fused batch
+/// path does not cover.
+fn batch_rows_via_scalar<P: ProbabilityPipeline + ?Sized>(
+    pipeline: &P,
+    scores: &[LabelScore],
+    width: usize,
+    out: &mut PgBatch,
+) {
+    assert!(width > 0, "row width must be positive");
+    assert_eq!(
+        scores.len() % width,
+        0,
+        "batch length must be a multiple of the row width"
+    );
+    out.probs.clear();
+    out.ops.clear();
+    out.telemetry = PgTelemetry::new();
+    for row in scores.chunks_exact(width) {
+        pipeline.generate_into(row, &mut out.row);
+        out.probs.extend_from_slice(&out.row.probs);
+        out.ops.push(out.row.ops);
+        out.telemetry.merge(&out.row.telemetry);
     }
 }
 
@@ -104,6 +171,25 @@ pub trait ProbabilityPipeline {
     /// two).
     fn generate_into(&self, scores: &[LabelScore], out: &mut PgOutput) {
         *out = self.generate(scores);
+    }
+
+    /// Evaluate a whole batch of same-width score rows in one call.
+    ///
+    /// `scores` is row-major: `scores.len() / width` rows of exactly
+    /// `width` labels each. The result is **bit-identical** to calling
+    /// [`ProbabilityPipeline::generate_into`] once per row — `out.probs`
+    /// holds the concatenated per-row probability vectors and `out.ops`
+    /// one tally per row. Implementations may fuse work across rows (the
+    /// CoopMC pipeline batches its quantize pass, NormTree reduction and
+    /// lane-packed TableExp gather) but must preserve per-row results
+    /// exactly; the default implementation is the plain row loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or `scores.len()` is not a multiple of
+    /// `width`.
+    fn generate_batch_into(&self, scores: &[LabelScore], width: usize, out: &mut PgBatch) {
+        batch_rows_via_scalar(self, scores, width, out);
     }
 
     /// Short human-readable name for reports.
@@ -229,9 +315,7 @@ impl ProbabilityPipeline for FixedPipeline {
             let mut is_log = true;
             for s in scores {
                 match s {
-                    LabelScore::LogDomain(v) => {
-                        log_scores.push(Fixed::from_f64(*v, self.fmt, Rounding::Nearest).to_f64())
-                    }
+                    LabelScore::LogDomain(v) => log_scores.push(self.fmt.requantize_nearest(*v)),
                     LabelScore::Factors { .. } => {
                         is_log = false;
                         break;
@@ -351,6 +435,38 @@ impl ProbabilityPipeline for CoopMcPipeline {
         });
     }
 
+    fn generate_batch_into(&self, scores: &[LabelScore], width: usize, out: &mut PgBatch) {
+        let all_log = scores.iter().all(|s| matches!(s, LabelScore::LogDomain(_)));
+        if !all_log {
+            // Factor rows keep the per-row path (still bit-identical).
+            batch_rows_via_scalar(self, scores, width, out);
+            return;
+        }
+        assert!(width > 0, "row width must be positive");
+        assert_eq!(
+            scores.len() % width,
+            0,
+            "batch length must be a multiple of the row width"
+        );
+        PG_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            scratch.log_scores.clear();
+            scratch.log_scores.extend(scores.iter().map(|s| match s {
+                LabelScore::LogDomain(v) => *v,
+                _ => unreachable!(),
+            }));
+            out.telemetry = PgTelemetry::new();
+            self.fusion.evaluate_log_score_rows_traced_into(
+                &scratch.log_scores,
+                width,
+                &mut scratch.work,
+                &mut out.probs,
+                &mut out.ops,
+                &mut out.telemetry,
+            );
+        });
+    }
+
     fn name(&self) -> String {
         format!("coopmc-lut{}x{}", self.size_lut, self.bit_lut)
     }
@@ -425,6 +541,10 @@ impl<P: ProbabilityPipeline + ?Sized> ProbabilityPipeline for Box<P> {
 
     fn generate_into(&self, scores: &[LabelScore], out: &mut PgOutput) {
         (**self).generate_into(scores, out)
+    }
+
+    fn generate_batch_into(&self, scores: &[LabelScore], width: usize, out: &mut PgBatch) {
+        (**self).generate_batch_into(scores, width, out)
     }
 
     fn name(&self) -> String {
@@ -605,5 +725,67 @@ mod tests {
         let out = p.generate(&log_scores(&[-1.0, -2.0, -3.0]));
         assert_eq!(out.ops.approx, 3, "one exp ALU call per label");
         assert!(out.ops.cmp > 0, "DyNorm comparators must be counted");
+    }
+
+    #[test]
+    fn batch_generate_is_bit_identical_to_scalar_for_all_pipelines() {
+        let pipelines: Vec<Box<dyn ProbabilityPipeline>> = vec![
+            Box::new(FloatPipeline::new()),
+            Box::new(FixedPipeline::new(8, true)),
+            Box::new(FixedPipeline::new(8, false)),
+            Box::new(CoopMcPipeline::new(64, 8)),
+            Box::new(CoopMcPipeline::with_pipelines(1024, 24, 8)),
+        ];
+        // Ragged row counts around the 8-lane packing, several widths.
+        for (rows, width) in [(1usize, 2usize), (3, 2), (7, 3), (8, 2), (9, 5), (16, 4)] {
+            let flat: Vec<LabelScore> = (0..rows * width)
+                .map(|i| LabelScore::LogDomain(-(((i * 7) % 23) as f64) * 0.43 - 0.1))
+                .collect();
+            // One dirty reused batch across pipelines and shapes.
+            let mut batch = PgBatch::new();
+            for p in &pipelines {
+                p.generate_batch_into(&flat, width, &mut batch);
+                assert_eq!(batch.rows(width), rows, "{}", p.name());
+                let mut merged = PgTelemetry::new();
+                for (r, row_scores) in flat.chunks_exact(width).enumerate() {
+                    let scalar = p.generate(row_scores);
+                    assert_eq!(
+                        batch.probs_row(r, width),
+                        &scalar.probs[..],
+                        "{} row {r} of {rows}x{width}",
+                        p.name()
+                    );
+                    assert_eq!(batch.ops[r], scalar.ops, "{} row {r} ops", p.name());
+                    merged.merge(&scalar.telemetry);
+                }
+                assert_eq!(batch.telemetry, merged, "{} telemetry", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_generate_handles_factor_rows_via_scalar_fallback() {
+        let p = CoopMcPipeline::new(128, 16);
+        let rows: Vec<LabelScore> = (0..6)
+            .map(|i| LabelScore::Factors {
+                numerators: vec![0.2 + 0.1 * i as f64, 0.5],
+                denominators: vec![0.8],
+            })
+            .collect();
+        let mut batch = PgBatch::new();
+        p.generate_batch_into(&rows, 2, &mut batch);
+        for (r, row_scores) in rows.chunks_exact(2).enumerate() {
+            let scalar = p.generate(row_scores);
+            assert_eq!(batch.probs_row(r, 2), &scalar.probs[..], "row {r}");
+            assert_eq!(batch.ops[r], scalar.ops, "row {r}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the row width")]
+    fn batch_generate_rejects_ragged_input() {
+        let p = CoopMcPipeline::new(64, 8);
+        let mut batch = PgBatch::new();
+        p.generate_batch_into(&log_scores(&[-1.0, -2.0, -3.0]), 2, &mut batch);
     }
 }

@@ -101,6 +101,7 @@ impl QFormat {
     }
 
     /// Number of fractional bits.
+    #[inline]
     pub fn frac_bits(&self) -> u32 {
         self.frac_bits
     }
@@ -111,6 +112,7 @@ impl QFormat {
     }
 
     /// Smallest positive representable increment, `2^-frac_bits`.
+    #[inline]
     pub fn resolution(&self) -> f64 {
         1.0 / (1i64 << self.frac_bits) as f64
     }
@@ -138,20 +140,49 @@ impl QFormat {
     }
 
     /// Largest raw (integer) representation: `2^(int+frac) - 1`.
+    #[inline]
     pub fn max_raw(&self) -> i64 {
         (1i64 << (self.int_bits + self.frac_bits)) - 1
     }
 
     /// Smallest raw (integer) representation: `-2^(int+frac)`.
+    #[inline]
     pub fn min_raw(&self) -> i64 {
         -(1i64 << (self.int_bits + self.frac_bits))
     }
 
     /// Clamp a raw value into the representable range (hardware saturation).
+    #[inline]
     pub fn saturate_raw(&self, raw: i128) -> i64 {
         let max = self.max_raw() as i128;
         let min = self.min_raw() as i128;
         raw.clamp(min, max) as i64
+    }
+
+    /// Snap `x` onto this format's grid with round-to-nearest (ties away
+    /// from zero) and saturation, returning the dequantized `f64`.
+    ///
+    /// Bit-identical to
+    /// `Fixed::from_f64(x, fmt, Rounding::Nearest).to_f64()` — same NaN→0
+    /// contract, same rounding, same saturation — but fused entirely in
+    /// `f64` arithmetic: no `i128` widening, no `Fixed` round-trip. This is
+    /// the form the PG datapaths' accumulator-bus quantization loops use;
+    /// the fused version is what keeps the batched quantize pass to a few
+    /// nanoseconds per score.
+    ///
+    /// The `f64` clamp is exact even for formats whose `max_raw` is not
+    /// `f64`-representable (55+ total bits): the rounded value and the
+    /// saturated raw value always convert to the same `f64`, because no
+    /// integral `f64` lies strictly between `max_raw` and its rounded
+    /// conversion.
+    #[inline]
+    pub fn requantize_nearest(&self, x: f64) -> f64 {
+        const LIMIT: f64 = 9_223_372_036_854_775_808.0; // 2^63
+        let scaled = (x * (1i64 << self.frac_bits) as f64).clamp(-LIMIT, LIMIT);
+        // NaN survives the clamp and maps to 0 inside `round_ties_away`,
+        // matching `Fixed::from_f64`'s NaN-quantizes-to-zero contract.
+        let r = crate::round_ties_away(scaled);
+        r.clamp(self.min_raw() as f64, self.max_raw() as f64) * self.resolution()
     }
 
     /// The closed representable interval `[min_value, max_value]`.
@@ -254,5 +285,56 @@ mod tests {
         assert_eq!(q.rounding_error_bound(Rounding::Nearest), 0.0625);
         assert_eq!(q.rounding_error_bound(Rounding::Floor), 0.125);
         assert_eq!(q.rounding_error_bound(Rounding::Truncate), 0.125);
+    }
+
+    #[test]
+    fn requantize_nearest_is_bit_identical_to_fixed_round_trip() {
+        use crate::Fixed;
+        // Narrow, standard and near-maximal formats — including ones whose
+        // max_raw exceeds 2^53 and is not f64-representable.
+        let formats = [
+            QFormat::new(1, 4).unwrap(),
+            QFormat::new(8, 8).unwrap(),
+            QFormat::baseline32(),
+            QFormat::new(15, 46).unwrap(),
+            QFormat::new(3, 58).unwrap(),
+        ];
+        for fmt in formats {
+            let res = fmt.resolution();
+            let mut probes = vec![
+                0.0,
+                -0.0,
+                f64::NAN,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                1e300,
+                -1e300,
+                fmt.max_value(),
+                fmt.min_value(),
+                fmt.max_value() + res,
+                fmt.min_value() - res,
+                res * 0.5, // exact grid-halfway tie
+                -res * 0.5,
+                res * 0.49999,
+                1.0e-320, // subnormal
+            ];
+            let mut state = 0x0DDB_1A5Eu64;
+            for _ in 0..4000 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+                let u = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+                for scale in [res, 1.0, fmt.max_value(), fmt.max_value() * 4.0] {
+                    probes.push(u * scale);
+                }
+            }
+            for x in probes {
+                let want = Fixed::from_f64(x, fmt, Rounding::Nearest).to_f64();
+                let got = fmt.requantize_nearest(x);
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "{fmt:?} x={x:e}: got {got:e} want {want:e}"
+                );
+            }
+        }
     }
 }

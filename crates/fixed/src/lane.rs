@@ -1,0 +1,178 @@
+//! SWAR lane primitives: eight unsigned 8-bit lanes packed in one `u64`.
+//!
+//! The batched PG datapath computes TableExp ROM addresses for a whole
+//! stride of labels at once. Every in-tree LUT the packed path serves has at
+//! most 255 entries, so an address fits a byte and eight addresses fit one
+//! 64-bit word — the software analogue of the eight parallel ROM ports of
+//! the modeled vector datapath. The helpers here implement the branch-free
+//! per-byte compare/select that range-clamps a word of addresses using the
+//! classic SIMD-within-a-register carry trick, plus the pack/unpack and
+//! reduction utilities the batched kernels build on.
+//!
+//! Lane 0 always lives in the least-significant byte (little-endian order),
+//! matching `u64::from_le_bytes`.
+
+/// Number of 8-bit lanes per packed word.
+pub const LANES: usize = 8;
+
+/// High (sign) bit of every lane.
+const HI: u64 = 0x8080_8080_8080_8080;
+/// Low bit of every lane.
+const LO: u64 = 0x0101_0101_0101_0101;
+
+/// Pack eight bytes into a word, lane 0 in the least-significant byte.
+#[inline]
+pub fn pack8(lanes: [u8; LANES]) -> u64 {
+    u64::from_le_bytes(lanes)
+}
+
+/// Unpack a word into its eight lanes, lane 0 first.
+#[inline]
+pub fn unpack8(word: u64) -> [u8; LANES] {
+    word.to_le_bytes()
+}
+
+/// Broadcast one byte to all eight lanes.
+#[inline]
+pub fn splat8(v: u8) -> u64 {
+    u64::from(v).wrapping_mul(LO)
+}
+
+/// Per-lane unsigned `x >= y`: a mask word holding `0xFF` in every lane
+/// where the comparison holds and `0x00` elsewhere.
+///
+/// The low seven bits of each lane are compared with the borrow trick
+/// (`(x | 0x80) - (y & 0x7F)` keeps its high bit iff `low7(x) >= low7(y)`),
+/// then the lanes' own high bits arbitrate: `x` wins outright when only its
+/// high bit is set, and the low-7-bit verdict decides when the high bits
+/// agree.
+#[inline]
+pub fn lane_ge(x: u64, y: u64) -> u64 {
+    let low7 = ((x | HI).wrapping_sub(y & !HI)) & HI;
+    let ge = ((x & !y) | (!(x ^ y) & low7)) & HI;
+    ((ge >> 7) & LO).wrapping_mul(0xFF)
+}
+
+/// Per-lane select: lane `i` of the result is taken from `a` where `mask`
+/// holds `0xFF` and from `b` where it holds `0x00`.
+///
+/// `mask` must be a lane mask (every lane all-ones or all-zeros), e.g. the
+/// output of [`lane_ge`].
+#[inline]
+pub fn lane_select(mask: u64, a: u64, b: u64) -> u64 {
+    (a & mask) | (b & !mask)
+}
+
+/// Per-lane unsigned minimum.
+#[inline]
+pub fn lane_min(x: u64, y: u64) -> u64 {
+    lane_select(lane_ge(x, y), y, x)
+}
+
+/// Per-lane unsigned maximum.
+#[inline]
+pub fn lane_max(x: u64, y: u64) -> u64 {
+    lane_select(lane_ge(x, y), x, y)
+}
+
+/// Maximum of all eight lanes of `word`.
+///
+/// A three-level shift/max reduction: after each halving only the lower
+/// lanes are meaningful, and lane 0 of the final word holds the answer.
+#[inline]
+pub fn reduce_max8(word: u64) -> u8 {
+    let m = lane_max(word, word >> 32);
+    let m = lane_max(m, m >> 16);
+    let m = lane_max(m, m >> 8);
+    (m & 0xFF) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic byte stream for the equivalence sweeps (SplitMix64
+    /// finalizer; this crate has no RNG dependency).
+    fn mix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let lanes = [1u8, 2, 3, 4, 250, 251, 252, 255];
+        assert_eq!(unpack8(pack8(lanes)), lanes);
+        assert_eq!(pack8([0x11; 8]), 0x1111_1111_1111_1111);
+        // Lane 0 is the least-significant byte.
+        assert_eq!(pack8([0xAB, 0, 0, 0, 0, 0, 0, 0]), 0xAB);
+    }
+
+    #[test]
+    fn splat_fills_every_lane() {
+        assert_eq!(unpack8(splat8(0x7F)), [0x7F; 8]);
+        assert_eq!(splat8(0), 0);
+        assert_eq!(splat8(0xFF), u64::MAX);
+    }
+
+    #[test]
+    fn lane_ge_matches_scalar_on_edge_cases() {
+        // High-bit boundaries, equality and the extremes in one word each.
+        let xs = [0u8, 5, 3, 200, 10, 127, 128, 255];
+        let ys = [0u8, 3, 5, 10, 200, 128, 127, 255];
+        let mask = unpack8(lane_ge(pack8(xs), pack8(ys)));
+        for i in 0..LANES {
+            let want = if xs[i] >= ys[i] { 0xFF } else { 0x00 };
+            assert_eq!(mask[i], want, "lane {i}: {} >= {}", xs[i], ys[i]);
+        }
+    }
+
+    #[test]
+    fn lane_ops_match_scalar_under_random_sweep() {
+        let mut state = 0xC0FF_EE00_u64;
+        for _ in 0..2000 {
+            let x = mix(&mut state);
+            let y = mix(&mut state);
+            let (xs, ys) = (unpack8(x), unpack8(y));
+            let ge = unpack8(lane_ge(x, y));
+            let min = unpack8(lane_min(x, y));
+            let max = unpack8(lane_max(x, y));
+            for i in 0..LANES {
+                assert_eq!(ge[i], if xs[i] >= ys[i] { 0xFF } else { 0 });
+                assert_eq!(min[i], xs[i].min(ys[i]));
+                assert_eq!(max[i], xs[i].max(ys[i]));
+            }
+            assert_eq!(
+                reduce_max8(x),
+                xs.iter().copied().max().unwrap(),
+                "reduce_max8 of {xs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lane_select_mixes_by_mask() {
+        let a = splat8(0xAA);
+        let b = splat8(0x55);
+        let mask = pack8([0xFF, 0, 0xFF, 0, 0xFF, 0, 0xFF, 0]);
+        assert_eq!(
+            unpack8(lane_select(mask, a, b)),
+            [0xAA, 0x55, 0xAA, 0x55, 0xAA, 0x55, 0xAA, 0x55]
+        );
+    }
+
+    #[test]
+    fn clamp_pattern_used_by_the_exp_gather() {
+        // The batched TableExp clamps addresses >= len to the flush address.
+        let len = 64u8;
+        let codes = [0u8, 63, 64, 65, 200, 255, 1, 63];
+        let word = pack8(codes);
+        let limit = splat8(len);
+        let clamped = unpack8(lane_select(lane_ge(word, limit), limit, word));
+        for i in 0..LANES {
+            assert_eq!(clamped[i], codes[i].min(len), "lane {i}");
+        }
+    }
+}

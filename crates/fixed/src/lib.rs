@@ -24,11 +24,37 @@
 //! # }
 //! ```
 
+pub mod lane;
+
 mod format;
 mod value;
 
 pub use format::{FormatError, QFormat, Rounding};
 pub use value::Fixed;
+
+/// Round to the nearest integer, ties away from zero — the same value
+/// [`f64::round`] produces (up to the sign of zero), but computed with an
+/// integer truncation and a fractional-part compare instead of a libm
+/// call. On baseline targets (x86-64 without SSE4.1) `f64::round` lowers
+/// to a function call, which dominates the quantization stage of the
+/// batched PG datapath; this form keeps the quantize loop inlinable.
+///
+/// The truncation `x as i64` is exact for `|x| < 2^63` and saturating
+/// beyond, and `x - trunc(x)` is always exact in f64, so the adjustment
+/// compare reproduces round-half-away-from-zero bit for bit. Callers must
+/// reject NaN themselves (a NaN input returns 0).
+#[inline]
+pub fn round_ties_away(x: f64) -> f64 {
+    let t = x as i64 as f64;
+    let f = x - t;
+    if f >= 0.5 {
+        t + 1.0
+    } else if f <= -0.5 {
+        t - 1.0
+    } else {
+        t
+    }
+}
 
 /// Quantize `x` to an unsigned value with `frac_bits` fractional bits,
 /// saturating into `[0, max_raw * 2^-frac_bits]`.
@@ -46,7 +72,7 @@ pub fn quantize_unsigned(x: f64, frac_bits: u32, max_raw: u64) -> f64 {
         return 0.0;
     }
     let scale = (1u64 << frac_bits) as f64;
-    let raw = (x * scale).round() as u64;
+    let raw = round_ties_away(x * scale) as u64;
     let raw = raw.min(max_raw);
     raw as f64 / scale
 }
@@ -94,6 +120,45 @@ pub fn quantize_stochastic(x: f64, fmt: QFormat, u: f64) -> Fixed {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn round_ties_away_matches_f64_round() {
+        // Edge cases: halfway points, just-below-half fractions that a
+        // naive `+0.5; trunc` would mis-round, huge and tiny magnitudes.
+        let probes = [
+            0.0,
+            -0.0,
+            0.25,
+            0.5,
+            0.75,
+            1.5,
+            2.5,
+            -0.5,
+            -1.5,
+            -2.5,
+            0.49999999999999994,
+            -0.49999999999999994,
+            4503599627370495.5, // 2^52 - 0.5: largest f64 with a fraction
+            -4503599627370495.5,
+            9.2e18, // near 2^63 (the from_f64 clamp boundary)
+            -9.2e18,
+            1e-300,
+            -1e-300,
+        ];
+        for x in probes {
+            assert_eq!(round_ties_away(x), x.round(), "x = {x}");
+        }
+        // A pseudo-random sweep over mixed magnitudes.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..10_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            for scale in [1.0, 1e3, 1e9, 1e15] {
+                let x = (u - 0.5) * scale;
+                assert_eq!(round_ties_away(x), x.round(), "x = {x}");
+            }
+        }
+    }
 
     #[test]
     fn quantize_unsigned_rounds_to_grid() {

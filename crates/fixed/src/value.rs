@@ -25,15 +25,18 @@ pub struct Fixed {
 impl Fixed {
     /// Quantize an `f64` into format `fmt` using rounding mode `mode`,
     /// saturating out-of-range values. NaN quantizes to zero.
+    #[inline]
     pub fn from_f64(x: f64, fmt: QFormat, mode: Rounding) -> Self {
         if x.is_nan() {
             return Self { raw: 0, fmt };
         }
+        // 2^63 as an f64 constant; `powi` is not reliably const-folded.
+        const LIMIT: f64 = 9_223_372_036_854_775_808.0;
         let scaled = x * (1i64 << fmt.frac_bits()) as f64;
         // Clamp in f64 space first so the cast below cannot overflow i128.
-        let scaled = scaled.clamp(-(2.0f64.powi(63)), 2.0f64.powi(63));
+        let scaled = scaled.clamp(-LIMIT, LIMIT);
         let raw = match mode {
-            Rounding::Nearest => scaled.round(),
+            Rounding::Nearest => crate::round_ties_away(scaled),
             Rounding::Floor => scaled.floor(),
             Rounding::Truncate => scaled.trunc(),
         };
@@ -46,6 +49,7 @@ impl Fixed {
     /// Build from a raw two's-complement integer representation.
     ///
     /// The raw value is saturated into the representable range of `fmt`.
+    #[inline]
     pub fn from_raw(raw: i64, fmt: QFormat) -> Self {
         Self {
             raw: fmt.saturate_raw(raw as i128),
@@ -81,6 +85,7 @@ impl Fixed {
 
     /// Convert back to `f64` (exact: every fixed-point value is a dyadic
     /// rational well within `f64` range).
+    #[inline]
     pub fn to_f64(self) -> f64 {
         self.raw as f64 * self.fmt.resolution()
     }

@@ -12,6 +12,9 @@
 //!
 //! - [`area`] — the primitive component table and composite area for every
 //!   PG datapath variant (Table III) and sampler design (Fig. 14).
+//! - [`batch`] — the parallel-PG-unit (`pg_units`) bank that models the
+//!   engine's batched `generate_batch_into` strides, extending the Table
+//!   III-style ratios to the vector datapath.
 //! - [`cycles`] — per-stage cycle composition for the PG/SD/PU flow.
 //! - [`power`] — activity-based relative energy/power (Table IV power
 //!   column).
@@ -24,6 +27,7 @@
 
 pub mod accel;
 pub mod area;
+pub mod batch;
 pub mod cycles;
 pub mod mem;
 pub mod pgpipe;

@@ -9,7 +9,7 @@
 //!   previous accelerators ([`FixedExp`]), and
 //! - the LUT-based [`TableExp`] enabled by DyNorm (Eq. 10).
 
-use coopmc_fixed::{quantize_unsigned, Fixed, QFormat, Rounding};
+use coopmc_fixed::{lane, quantize_unsigned, QFormat};
 
 /// An exponential kernel mapping a (log-domain) score to `e^x`.
 ///
@@ -101,7 +101,7 @@ impl FixedExp {
 impl ExpKernel for FixedExp {
     fn exp(&self, x: f64) -> f64 {
         // Input quantization (the value arriving on the input bus).
-        let xq = Fixed::from_f64(x, self.in_fmt, Rounding::Nearest).to_f64();
+        let xq = self.in_fmt.requantize_nearest(x);
         // Range reduction: x = k*ln2 + r.
         let k = (xq / std::f64::consts::LN_2).round();
         let r = xq - k * std::f64::consts::LN_2;
@@ -242,6 +242,85 @@ impl TableExp {
     /// on-grid, so no quantization error applies there).
     pub fn worst_case_abs_error(&self) -> f64 {
         (self.step_error_bound() + self.output_quantization_error()).max(self.flush_tail_mass())
+    }
+
+    /// ROM address of input `x`, saturated into a byte.
+    ///
+    /// `0` for non-negative (and NaN) inputs, `floor(-x/step)` otherwise,
+    /// with everything at or above 255 pinned to 255. Addresses at or past
+    /// the table length mean "flush to zero"; the SWAR clamp in
+    /// [`TableExp::exp_batch_into`] folds them all onto the length itself,
+    /// so pinning at 255 loses nothing when the table has ≤ 255 entries.
+    #[inline]
+    fn byte_address(&self, x: f64) -> u8 {
+        if x >= 0.0 {
+            return 0;
+        }
+        let k = (-x / self.step).floor();
+        // NaN compares false here and casts to 0 below — the same entry-0
+        // read the scalar path performs (`NaN as usize` saturates to 0).
+        if k >= 255.0 {
+            255
+        } else {
+            k as u8
+        }
+    }
+
+    /// Evaluate the kernel over a batch: `out[i] = self.exp(xs[i])`,
+    /// **bit-identical** to element-wise [`ExpKernel::exp`] calls.
+    ///
+    /// Both paths resolve the same floor-index ROM address per input and
+    /// read the same quantized entry. Tables with at most 255 entries take
+    /// the lane-packed path: per `chunks_exact` group of 8 inputs, the
+    /// byte addresses are packed into one `u64`, range-clamped with a
+    /// single SWAR compare/select against the table length, and gathered
+    /// from the ROM — the software analogue of eight parallel ROM ports.
+    /// Larger tables and the ragged tail run a plain scalar loop the
+    /// compiler can autovectorize.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != xs.len()`.
+    pub fn exp_batch_into(&self, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            xs.len(),
+            out.len(),
+            "exp_batch_into requires matching input/output lengths"
+        );
+        let len = self.entries.len();
+        if len > u8::MAX as usize {
+            for (o, &x) in out.iter_mut().zip(xs) {
+                *o = self.exp(x);
+            }
+            return;
+        }
+        // The address one past the last entry doubles as the flush code.
+        let flush = len as u8;
+        let limit = lane::splat8(flush);
+        let packed = xs.len() - xs.len() % lane::LANES;
+        for (chunk, out_chunk) in xs[..packed]
+            .chunks_exact(lane::LANES)
+            .zip(out[..packed].chunks_exact_mut(lane::LANES))
+        {
+            let mut codes = [0u8; lane::LANES];
+            for (c, &x) in codes.iter_mut().zip(chunk) {
+                *c = self.byte_address(x);
+            }
+            let word = lane::pack8(codes);
+            // One compare/select clamps all out-of-range addresses to the
+            // flush code.
+            let clamped = lane::lane_select(lane::lane_ge(word, limit), limit, word);
+            for (o, c) in out_chunk.iter_mut().zip(lane::unpack8(clamped)) {
+                *o = if c == flush {
+                    0.0
+                } else {
+                    self.entries[c as usize]
+                };
+            }
+        }
+        for (o, &x) in out[packed..].iter_mut().zip(&xs[packed..]) {
+            *o = self.exp(x);
+        }
     }
 }
 
@@ -400,5 +479,86 @@ mod tests {
     #[should_panic(expected = "bit_lut")]
     fn zero_bit_lut_panics() {
         let _ = TableExp::new(16, 0);
+    }
+
+    /// Inputs exercising every address regime: in-range, first/last knot,
+    /// flush edge, deep flush, positive saturation and NaN.
+    fn batch_probe_inputs(t: &TableExp) -> Vec<f64> {
+        let step = t.step_lut();
+        let range = t.lut_range();
+        let mut xs = vec![
+            0.0,
+            0.5,
+            f64::NAN,
+            -0.0,
+            -step * 0.5,
+            -step,
+            -step * 1.5,
+            -(range - step * 0.25),
+            -range,
+            -range - step,
+            -1.0e6,
+            -255.0 * step,
+            -254.5 * step,
+            -256.0 * step,
+        ];
+        // A dense sweep so chunks_exact groups mix regimes arbitrarily.
+        for i in 0..61 {
+            xs.push(-(i as f64) * range / 37.0);
+        }
+        xs
+    }
+
+    #[test]
+    fn exp_batch_is_bit_identical_to_scalar_across_table_sizes() {
+        // ≤255 entries takes the SWAR path; 256+ the scalar fallback.
+        for (size, bit) in [(16, 4), (64, 8), (255, 8), (256, 16), (1024, 32)] {
+            let t = TableExp::new(size, bit);
+            let xs = batch_probe_inputs(&t);
+            // Deliberately ragged length (not a multiple of 8).
+            assert_ne!(xs.len() % 8, 0, "probe set should exercise the tail");
+            let mut out = vec![f64::MAX; xs.len()];
+            t.exp_batch_into(&xs, &mut out);
+            for (i, (&x, &y)) in xs.iter().zip(&out).enumerate() {
+                let scalar = t.exp(x);
+                assert!(
+                    y == scalar || (y.is_nan() && scalar.is_nan()),
+                    "{size}x{bit} lane {i}: x={x} batch={y} scalar={scalar}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exp_batch_matches_scalar_on_narrow_range_tables() {
+        // Narrow range pushes many addresses past the table: the clamp path.
+        let t = TableExp::with_range(32, 6, 2.0);
+        let xs: Vec<f64> = (0..80).map(|i| -(i as f64) * 0.1).collect();
+        let mut out = vec![0.0; xs.len()];
+        t.exp_batch_into(&xs, &mut out);
+        for (&x, &y) in xs.iter().zip(&out) {
+            assert_eq!(y, t.exp(x), "x={x}");
+        }
+    }
+
+    #[test]
+    fn exp_batch_handles_empty_and_sub_lane_batches() {
+        let t = TableExp::new(64, 8);
+        let mut empty: [f64; 0] = [];
+        t.exp_batch_into(&[], &mut empty);
+        let xs = [-1.0, -2.0, -3.0];
+        let mut out = [0.0; 3];
+        t.exp_batch_into(&xs, &mut out);
+        for (&x, &y) in xs.iter().zip(&out) {
+            assert_eq!(y, t.exp(x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matching input/output lengths")]
+    fn exp_batch_rejects_length_mismatch() {
+        let t = TableExp::new(64, 8);
+        let mut out = [0.0; 2];
+        t.exp_batch_into(&[-1.0], &mut out);
     }
 }

@@ -16,8 +16,8 @@
 use coopmc_fixed::{Fixed, QFormat, Rounding};
 
 use crate::cost::OpCounts;
-use crate::dynorm::dynorm_apply;
-use crate::exp::ExpKernel;
+use crate::dynorm::{dynorm_apply, dynorm_apply_rows};
+use crate::exp::{ExpKernel, TableExp};
 use crate::log::LogKernel;
 use crate::telemetry::PgTelemetry;
 
@@ -235,11 +235,7 @@ impl<L: LogKernel, E: ExpKernel> LogFusion<L, E> {
     ) -> OpCounts {
         let mut ops = OpCounts::new();
         work.clear();
-        work.extend(
-            scores
-                .iter()
-                .map(|&s| Fixed::from_f64(s, self.acc_fmt, Rounding::Nearest).to_f64()),
-        );
+        work.extend(scores.iter().map(|&s| self.acc_fmt.requantize_nearest(s)));
         self.finish_into(work, probs, &mut ops, telemetry);
         ops
     }
@@ -274,6 +270,81 @@ impl<L: LogKernel, E: ExpKernel> LogFusion<L, E> {
             ops.lut += 1;
             self.exp.exp(s)
         }));
+    }
+}
+
+impl<L: LogKernel> LogFusion<L, TableExp> {
+    /// Evaluate a whole batch of same-width log-domain score rows in one
+    /// call: the vector datapath behind `generate_batch_into`.
+    ///
+    /// `scores` is row-major (`scores.len() / width` rows of exactly
+    /// `width` labels). The result is **bit-identical** to calling
+    /// [`LogFusion::evaluate_log_scores_traced_into`] once per row: the
+    /// same per-score accumulator quantization, the same per-row DyNorm
+    /// fold, and the same ROM entries — only fused into one quantize pass,
+    /// one [`dynorm_apply_rows`] sweep and one lane-packed
+    /// [`TableExp::exp_batch_into`] gather over the contiguous buffer.
+    ///
+    /// `probs` receives the concatenated per-row probability vectors and
+    /// `ops_per_row` one tally per row (matching the scalar path's
+    /// per-call [`OpCounts`] exactly, so modeled cycle totals are
+    /// batching-invariant). All output buffers are cleared first; with
+    /// warmed buffers the evaluation is allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or `scores.len()` is not a multiple of
+    /// `width`.
+    pub fn evaluate_log_score_rows_traced_into(
+        &self,
+        scores: &[f64],
+        width: usize,
+        work: &mut Vec<f64>,
+        probs: &mut Vec<f64>,
+        ops_per_row: &mut Vec<OpCounts>,
+        telemetry: &mut PgTelemetry,
+    ) {
+        assert!(width > 0, "row width must be positive");
+        assert_eq!(
+            scores.len() % width,
+            0,
+            "batch length must be a multiple of the row width"
+        );
+        // Stage 1: the accumulator-bus quantization, identical per score.
+        work.clear();
+        work.extend(scores.iter().map(|&s| self.acc_fmt.requantize_nearest(s)));
+        ops_per_row.clear();
+        probs.clear();
+        if scores.is_empty() {
+            return;
+        }
+        // Stage 2: per-row DyNorm (one NormTree fold per row, in order).
+        if self.dynorm {
+            dynorm_apply_rows(work, width, self.pipelines, |_, report| {
+                let ops = OpCounts {
+                    add: width as u64, // the broadcast subtraction
+                    lut: width as u64, // the exp gathers below
+                    cmp: report.comparisons,
+                    ..OpCounts::new()
+                };
+                ops_per_row.push(ops);
+                telemetry.observe_norm_max(report.max);
+            });
+        } else {
+            let ops = OpCounts {
+                lut: width as u64,
+                ..OpCounts::new()
+            };
+            for _ in 0..scores.len() / width {
+                ops_per_row.push(ops);
+            }
+        }
+        for &s in work.iter() {
+            telemetry.observe_exp_input(s);
+        }
+        // Stage 3: one gathered TableExp lookup over the whole batch.
+        probs.resize(scores.len(), 0.0);
+        self.exp.exp_batch_into(work, probs);
     }
 }
 
@@ -470,5 +541,123 @@ mod tests {
         let fusion = LogFusion::new(FloatLog::new(), FloatExp::new(), acc(), 1);
         assert!(fusion.evaluate_factors(&[]).probs.is_empty());
         assert!(fusion.evaluate_log_scores(&[]).probs.is_empty());
+    }
+
+    #[test]
+    fn batched_rows_are_bit_identical_to_per_row_scalar_calls() {
+        use crate::telemetry::PgTelemetry;
+        // Cover both SWAR (64 ≤ 255 entries) and scalar-fallback (1024)
+        // exp tables, several widths (ragged vs the 8-lane packing) and
+        // pipeline counts (multi-pass NormTree folds included).
+        for (size, bit) in [(64u32, 8u32), (1024, 24)] {
+            for (width, pipelines) in [(2usize, 4usize), (3, 1), (8, 4), (13, 4)] {
+                let fusion = LogFusion::new(
+                    TableLog::new(size as usize, bit),
+                    TableExp::new(size as usize, bit),
+                    acc(),
+                    pipelines,
+                );
+                let rows = 7;
+                let flat: Vec<f64> = (0..rows * width)
+                    .map(|i| -(((i * 13) % 29) as f64) * 0.61 - 0.01)
+                    .collect();
+                let (mut work, mut probs, mut ops_rows) = (Vec::new(), Vec::new(), Vec::new());
+                let mut batched_tel = PgTelemetry::new();
+                fusion.evaluate_log_score_rows_traced_into(
+                    &flat,
+                    width,
+                    &mut work,
+                    &mut probs,
+                    &mut ops_rows,
+                    &mut batched_tel,
+                );
+                assert_eq!(probs.len(), rows * width);
+                assert_eq!(ops_rows.len(), rows);
+                let mut scalar_tel = PgTelemetry::new();
+                for (row, chunk) in flat.chunks_exact(width).enumerate() {
+                    let (mut w, mut p) = (Vec::new(), Vec::new());
+                    let ops = fusion.evaluate_log_scores_traced_into(
+                        chunk,
+                        &mut w,
+                        &mut p,
+                        &mut scalar_tel,
+                    );
+                    assert_eq!(
+                        probs[row * width..(row + 1) * width],
+                        p[..],
+                        "{size}x{bit} width {width} row {row}"
+                    );
+                    assert_eq!(
+                        ops_rows[row], ops,
+                        "{size}x{bit} width {width} row {row} ops"
+                    );
+                }
+                assert_eq!(
+                    batched_tel, scalar_tel,
+                    "{size}x{bit} width {width} telemetry"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_rows_without_dynorm_match_scalar_too() {
+        use crate::telemetry::PgTelemetry;
+        let fusion =
+            LogFusion::new(TableLog::new(64, 8), TableExp::new(64, 8), acc(), 4).without_dynorm();
+        let width = 4;
+        let flat: Vec<f64> = (0..width * 3).map(|i| -(i as f64) * 0.9).collect();
+        let (mut work, mut probs, mut ops_rows) = (Vec::new(), Vec::new(), Vec::new());
+        let mut tel = PgTelemetry::new();
+        fusion.evaluate_log_score_rows_traced_into(
+            &flat,
+            width,
+            &mut work,
+            &mut probs,
+            &mut ops_rows,
+            &mut tel,
+        );
+        for (row, chunk) in flat.chunks_exact(width).enumerate() {
+            let (mut w, mut p) = (Vec::new(), Vec::new());
+            let mut stel = PgTelemetry::new();
+            let ops = fusion.evaluate_log_scores_traced_into(chunk, &mut w, &mut p, &mut stel);
+            assert_eq!(probs[row * width..(row + 1) * width], p[..]);
+            assert_eq!(ops_rows[row], ops);
+        }
+    }
+
+    #[test]
+    fn batched_rows_reuse_dirty_buffers_correctly() {
+        use crate::telemetry::PgTelemetry;
+        let fusion = LogFusion::new(TableLog::new(64, 8), TableExp::new(64, 8), acc(), 4);
+        let (mut work, mut probs, mut ops_rows) = (Vec::new(), Vec::new(), Vec::new());
+        let mut tel = PgTelemetry::new();
+        // A big first batch leaves stale content behind...
+        let big: Vec<f64> = (0..40).map(|i| -(i as f64)).collect();
+        fusion.evaluate_log_score_rows_traced_into(
+            &big,
+            8,
+            &mut work,
+            &mut probs,
+            &mut ops_rows,
+            &mut tel,
+        );
+        // ...which a smaller second batch must fully overwrite.
+        let small = [-1.0, -2.0, -3.0, -4.0];
+        let mut tel2 = PgTelemetry::new();
+        fusion.evaluate_log_score_rows_traced_into(
+            &small,
+            2,
+            &mut work,
+            &mut probs,
+            &mut ops_rows,
+            &mut tel2,
+        );
+        assert_eq!(probs.len(), 4);
+        assert_eq!(ops_rows.len(), 2);
+        let (mut w, mut p) = (Vec::new(), Vec::new());
+        let mut stel = PgTelemetry::new();
+        fusion.evaluate_log_scores_traced_into(&small[..2], &mut w, &mut p, &mut stel);
+        assert_eq!(probs[..2], p[..]);
     }
 }

@@ -59,6 +59,11 @@ pub struct SweepSample {
     pub sd_cycles: u64,
     /// Modeled PU cycles this sweep (`PU_CYCLES × updates`).
     pub pu_cycles: u64,
+    /// Batched PG evaluations (`generate_batch_into` strides) this sweep;
+    /// 0 for scalar engines or a batch stride of 1.
+    pub pg_batches: u64,
+    /// Total rows evaluated through batched PG strides this sweep.
+    pub pg_batch_rows: u64,
     /// Largest NormTree maximum observed across the sweep's PG calls
     /// (`None` when no DyNorm datapath ran).
     pub norm_max: Option<f64>,
@@ -95,6 +100,8 @@ pub fn render_line(s: &SweepSample, ess: Option<f64>, rhat: Option<f64>) -> Stri
         ("pg_cycles", s.pg_cycles),
         ("sd_cycles", s.sd_cycles),
         ("pu_cycles", s.pu_cycles),
+        ("pg_batches", s.pg_batches),
+        ("pg_batch_rows", s.pg_batch_rows),
     ] {
         out.push_str(&format!(",\"{key}\":{v}"));
     }
@@ -126,7 +133,7 @@ pub fn render_line(s: &SweepSample, ess: Option<f64>, rhat: Option<f64>) -> Stri
 }
 
 /// The fields a journal line must carry as non-negative integers.
-const REQUIRED_COUNTS: [&str; 12] = [
+const REQUIRED_COUNTS: [&str; 14] = [
     "iteration",
     "start_ns",
     "wall_ns",
@@ -139,6 +146,8 @@ const REQUIRED_COUNTS: [&str; 12] = [
     "pg_cycles",
     "sd_cycles",
     "pu_cycles",
+    "pg_batches",
+    "pg_batch_rows",
 ];
 
 /// The fields that must be present as a finite number **or** `null`.
@@ -258,6 +267,8 @@ mod tests {
             pg_cycles: 640,
             sd_cycles: 320,
             pu_cycles: 256,
+            pg_batches: 8,
+            pg_batch_rows: 64,
             norm_max: Some(-1.5),
             exp_in_min: Some(-8.0),
             exp_in_max: Some(0.0),

@@ -374,6 +374,8 @@ mod tests {
             pg_cycles: 160,
             sd_cycles: 80,
             pu_cycles: 64,
+            pg_batches: 2,
+            pg_batch_rows: 16,
             norm_max: Some(-0.5),
             exp_in_min: Some(-4.0),
             exp_in_max: Some(0.0),

@@ -118,6 +118,51 @@ pub trait Sampler {
         self.sample(probs, rng)
     }
 
+    /// Draw one label per `width`-wide row of a row-major batch of
+    /// probability vectors (the SD half of the batched color-class path),
+    /// pushing one [`SampleResult`] per row into `results` (cleared
+    /// first).
+    ///
+    /// `rng_for_row` supplies each row's RNG — the chromatic engine
+    /// derives one per variable from `(seed, iteration, var)` — so the
+    /// draws are **bit-identical** to calling [`Sampler::sample_into`]
+    /// once per row with the same RNGs, and independent of how rows were
+    /// grouped into batches. The per-draw working memory in `scratch` is
+    /// reused across rows, keeping a warmed batch draw allocation-free.
+    ///
+    /// Requires `Self: Sized` so the trait stays object-safe; `Box<dyn
+    /// Sampler>` callers draw per row via [`Sampler::sample_into`].
+    ///
+    /// # Panics
+    ///
+    /// Per row, the same contract as [`Sampler::sample_into`];
+    /// additionally panics if `width == 0` or `probs.len()` is not a
+    /// multiple of `width`.
+    fn sample_rows_into<F, R>(
+        &self,
+        probs: &[f64],
+        width: usize,
+        mut rng_for_row: F,
+        results: &mut Vec<SampleResult>,
+        scratch: &mut SampleScratch,
+    ) where
+        Self: Sized,
+        F: FnMut(usize) -> R,
+        R: HwRng,
+    {
+        assert!(width > 0, "row width must be positive");
+        assert_eq!(
+            probs.len() % width,
+            0,
+            "batch length must be a multiple of the row width"
+        );
+        results.clear();
+        for (row, chunk) in probs.chunks_exact(width).enumerate() {
+            let mut rng = rng_for_row(row);
+            results.push(self.sample_into(chunk, &mut rng, scratch));
+        }
+    }
+
     /// Deterministic core: draw with an explicit threshold
     /// `t ∈ [0, total)`. Exposed so different micro-architectures can be
     /// proven equivalent under the same threshold.
@@ -334,6 +379,45 @@ mod tests {
             "64-label speedup {s64} (paper: 8.7x)"
         );
         assert!(s128 > s64, "speedup must grow with label count");
+    }
+
+    #[test]
+    fn batched_row_draws_match_per_row_draws() {
+        // 5 rows of width 4, including an all-zero row (uniform fallback).
+        let flat = [
+            0.1, 0.7, 0.2, 0.0, //
+            0.0, 0.0, 0.0, 0.0, //
+            0.25, 0.25, 0.25, 0.25, //
+            1.0, 0.0, 0.0, 3.0, //
+            0.4, 0.3, 0.2, 0.1,
+        ];
+        let rng_for = |row: usize| SplitMix64::new(0xFEED ^ (row as u64).wrapping_mul(0x9E37));
+        let sampler = TreeSampler::new();
+        let mut results = Vec::new();
+        let mut scratch = SampleScratch::new();
+        sampler.sample_rows_into(&flat, 4, rng_for, &mut results, &mut scratch);
+        assert_eq!(results.len(), 5);
+        let mut scalar_scratch = SampleScratch::new();
+        for (row, chunk) in flat.chunks_exact(4).enumerate() {
+            let mut rng = rng_for(row);
+            let want = sampler.sample_into(chunk, &mut rng, &mut scalar_scratch);
+            assert_eq!(results[row], want, "row {row}");
+        }
+        assert!(results[1].fallback, "all-zero row must hit the fallback");
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the row width")]
+    fn batched_row_draws_reject_ragged_batches() {
+        let mut results = Vec::new();
+        let mut scratch = SampleScratch::new();
+        TreeSampler::new().sample_rows_into(
+            &[0.5, 0.5, 0.5],
+            2,
+            |row| SplitMix64::new(row as u64),
+            &mut results,
+            &mut scratch,
+        );
     }
 
     #[test]
