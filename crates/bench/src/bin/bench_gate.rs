@@ -5,9 +5,12 @@
 //! against the freshly measured candidate, matching rows by
 //! `(pipeline, api)`. Exits nonzero when
 //!
-//! * a baseline `pg` row is missing from the candidate, or
+//! * a baseline `pg` row is missing from the candidate,
 //! * any candidate `pg` row's `samples_per_sec` dropped more than
-//!   [`TOLERANCE`] below its baseline value.
+//!   [`TOLERANCE`] below its baseline value, or
+//! * the two documents' `health_enabled` flags differ (a run measured with
+//!   chain-health monitoring on is not comparable to one measured without;
+//!   documents predating the flag count as `false`).
 //!
 //! Sweep rows are informational only: they depend on `host_cpus` and are
 //! already marked `"starved"` when oversubscribed, so they are not gated.
@@ -22,6 +25,12 @@ const TOLERANCE: f64 = 0.15;
 fn load(path: &str) -> Result<Value, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     parse(text.trim()).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+/// Whether the document's rows were measured with chain-health monitoring
+/// enabled. Documents from before the flag existed count as `false`.
+fn health_enabled(doc: &Value) -> bool {
+    matches!(doc.get("health_enabled"), Some(Value::Bool(true)))
 }
 
 /// Extract `(pipeline/api, samples_per_sec)` for every `pg` row.
@@ -50,8 +59,20 @@ fn pg_rows(doc: &Value, path: &str) -> Result<Vec<(String, f64)>, String> {
 }
 
 fn run(baseline_path: &str, candidate_path: &str) -> Result<bool, String> {
-    let baseline = pg_rows(&load(baseline_path)?, baseline_path)?;
-    let candidate = pg_rows(&load(candidate_path)?, candidate_path)?;
+    let baseline_doc = load(baseline_path)?;
+    let candidate_doc = load(candidate_path)?;
+    let (base_health, cand_health) = (
+        health_enabled(&baseline_doc),
+        health_enabled(&candidate_doc),
+    );
+    if base_health != cand_health {
+        return Err(format!(
+            "health_enabled mismatch: baseline {base_health}, candidate {cand_health} — \
+             rows measured under different health settings are not comparable"
+        ));
+    }
+    let baseline = pg_rows(&baseline_doc, baseline_path)?;
+    let candidate = pg_rows(&candidate_doc, candidate_path)?;
     if baseline.is_empty() {
         return Err(format!("{baseline_path}: empty \"pg\" array"));
     }
@@ -140,5 +161,38 @@ mod tests {
         let d = doc("{\"pipeline\": \"a\", \"samples_per_sec\": 1}");
         assert!(pg_rows(&d, "t").unwrap_err().contains("\"api\""));
         assert!(pg_rows(&parse("{}").unwrap(), "t").is_err());
+    }
+
+    #[test]
+    fn health_flag_defaults_to_false_and_reads_true() {
+        assert!(!health_enabled(&parse("{}").unwrap()));
+        assert!(!health_enabled(
+            &parse("{\"health_enabled\": false}").unwrap()
+        ));
+        assert!(health_enabled(
+            &parse("{\"health_enabled\": true}").unwrap()
+        ));
+    }
+
+    #[test]
+    fn mismatched_health_flags_refuse_to_compare() {
+        let row = "{\"pipeline\": \"a\", \"api\": \"x\", \"samples_per_sec\": 10}";
+        let dir = std::env::temp_dir();
+        let base = dir.join(format!("bench-gate-base-{}.json", std::process::id()));
+        let cand = dir.join(format!("bench-gate-cand-{}.json", std::process::id()));
+        // Baseline predates the flag entirely; candidate measured with
+        // health on — the gate must refuse rather than compare.
+        std::fs::write(&base, format!("{{\"pg\": [{row}]}}")).unwrap();
+        std::fs::write(
+            &cand,
+            format!("{{\"health_enabled\": true, \"pg\": [{row}]}}"),
+        )
+        .unwrap();
+        let err = run(base.to_str().unwrap(), cand.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("health_enabled mismatch"), "{err}");
+        // Matching flags (both absent/false): the gate compares normally.
+        assert!(run(base.to_str().unwrap(), base.to_str().unwrap()).unwrap());
+        let _ = std::fs::remove_file(&base);
+        let _ = std::fs::remove_file(&cand);
     }
 }

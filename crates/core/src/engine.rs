@@ -5,6 +5,7 @@ use std::time::{Duration, Instant};
 use coopmc_kernels::cost::OpCounts;
 use coopmc_kernels::telemetry::PgTelemetry;
 use coopmc_models::{GibbsModel, LabelScore};
+use coopmc_obs::health::{ConvergenceController, Decision};
 use coopmc_obs::journal::SweepSample;
 use coopmc_obs::{NoopRecorder, Recorder};
 use coopmc_rng::HwRng;
@@ -240,6 +241,51 @@ impl<P: ProbabilityPipeline, S: Sampler, R: HwRng, Rec: Recorder> GibbsEngine<P,
         stats
     }
 
+    /// Run up to `max_sweeps` sweeps, consulting `controller` after each.
+    ///
+    /// After every sweep, `stat_fn` extracts the chain's scalar statistic
+    /// from the model (return `None` to run the flip/fallback detectors
+    /// without moment tracking); the statistic is forwarded to the recorder
+    /// (when enabled) and handed to the controller together with the
+    /// sweep's update/flip/fallback counts. The run ends early when the
+    /// controller returns [`Decision::Stop`].
+    ///
+    /// With [`coopmc_obs::health::NoControl`] and a `|_| None` statistic
+    /// this is exactly [`run`](Self::run): the controller neither observes
+    /// the chain's labels nor its RNG, so controlled and plain runs are
+    /// bit-identical — pinned by the workspace `tests/health.rs`.
+    pub fn run_controlled(
+        &mut self,
+        model: &mut dyn GibbsModel,
+        max_sweeps: u64,
+        mut stat_fn: impl FnMut(&dyn GibbsModel) -> Option<f64>,
+        controller: &mut impl ConvergenceController,
+    ) -> RunStats {
+        let mut stats = RunStats::default();
+        for _ in 0..max_sweeps {
+            let (u0, f0, fb0) = (stats.updates, stats.flips, stats.uniform_fallbacks);
+            self.sweep(model, &mut stats);
+            let stat = stat_fn(model);
+            if self.recorder.enabled() {
+                if let Some(v) = stat {
+                    self.recorder
+                        .observe_stat(self.chain, self.journal_iteration, v);
+                }
+            }
+            let decision = controller.observe_sweep(
+                self.journal_iteration,
+                stats.updates - u0,
+                stats.flips - f0,
+                stats.uniform_fallbacks - fb0,
+                stat,
+            );
+            if decision == Decision::Stop {
+                break;
+            }
+        }
+        stats
+    }
+
     /// Run `iterations` sweeps, invoking `observer` after each with the
     /// journal iteration index (1-based, monotone across `run` calls) and
     /// the model.
@@ -345,6 +391,58 @@ mod tests {
             stats.simulated_hw_cycles(),
             stats.pg_cycles + stats.sd_cycles + 4 * stats.updates
         );
+    }
+
+    #[test]
+    fn controlled_run_with_no_control_matches_plain_run() {
+        use coopmc_obs::health::NoControl;
+        let plain = {
+            let mut app = image_segmentation(12, 12, 44);
+            let mut engine =
+                GibbsEngine::new(FloatPipeline::new(), TreeSampler::new(), SplitMix64::new(8));
+            engine.run(&mut app.mrf, 5);
+            app.mrf.labels()
+        };
+        let controlled = {
+            let mut app = image_segmentation(12, 12, 44);
+            let mut engine =
+                GibbsEngine::new(FloatPipeline::new(), TreeSampler::new(), SplitMix64::new(8));
+            engine.run_controlled(&mut app.mrf, 5, |_| None, &mut NoControl);
+            app.mrf.labels()
+        };
+        assert_eq!(plain, controlled);
+    }
+
+    #[test]
+    fn controlled_run_stops_when_the_controller_says_so() {
+        use coopmc_obs::health::{ConvergenceController, Decision};
+        struct StopAfter(u64);
+        impl ConvergenceController for StopAfter {
+            fn observe_sweep(
+                &mut self,
+                it: u64,
+                _: u64,
+                _: u64,
+                _: u64,
+                _: Option<f64>,
+            ) -> Decision {
+                if it >= self.0 {
+                    Decision::Stop
+                } else {
+                    Decision::Continue
+                }
+            }
+        }
+        let mut app = image_segmentation(10, 10, 45);
+        let mut engine =
+            GibbsEngine::new(FloatPipeline::new(), TreeSampler::new(), SplitMix64::new(9));
+        let stats = engine.run_controlled(
+            &mut app.mrf,
+            100,
+            |m| Some(-(m.num_variables() as f64)),
+            &mut StopAfter(3),
+        );
+        assert_eq!(stats.iterations, 3, "must stop at the controller's word");
     }
 
     #[test]

@@ -17,6 +17,7 @@ use coopmc_kernels::telemetry::PgTelemetry;
 use coopmc_models::coloring::ChromaticModel;
 use coopmc_models::mrf::GridMrf;
 use coopmc_models::{GibbsModel, LabelScore};
+use coopmc_obs::health::{ConvergenceController, Decision};
 use coopmc_obs::journal::{ColorSample, SweepSample};
 use coopmc_obs::{metrics, NoopRecorder, Recorder};
 use coopmc_rng::SplitMix64;
@@ -60,6 +61,10 @@ struct SweepScratch {
     batch_vars: Vec<usize>,
     /// Per-row draws of the current stride.
     draws: Vec<SampleResult>,
+    /// Uniform-fallback draws in this slot's current chunk. Always counted
+    /// (one add per draw) so chain-health runs see fallbacks without a
+    /// recorder.
+    fallbacks: u64,
     /// Per-chunk recording aggregates; only touched when a recorder is
     /// enabled.
     trace: ChunkTrace,
@@ -69,7 +74,6 @@ struct SweepScratch {
 /// class barrier (recording only).
 #[derive(Debug, Default)]
 struct ChunkTrace {
-    uniform_fallbacks: u64,
     pg_ns: u64,
     sd_ns: u64,
     pg_cycles: u64,
@@ -85,12 +89,21 @@ impl ChunkTrace {
     }
 }
 
+/// Per-sweep chain-behaviour counts: what a convergence controller needs
+/// from one sweep, trackable without (and independently of) a recorder.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SweepCounts {
+    /// Variables resampled this sweep.
+    pub updates: u64,
+    /// Resampled variables whose label changed.
+    pub flips: u64,
+    /// Draws that hit the all-zero-mass uniform fallback.
+    pub uniform_fallbacks: u64,
+}
+
 /// Per-sweep recording aggregate for the chromatic engine (recording only).
 #[derive(Debug, Default)]
 struct SweepAcc {
-    updates: u64,
-    flips: u64,
-    uniform_fallbacks: u64,
     pg_ns: u64,
     sd_ns: u64,
     pu_ns: u64,
@@ -205,7 +218,7 @@ impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
     /// Returns the number of variables updated.
     pub fn sweep<M: ChromaticModel + Sync>(&self, model: &mut M, iteration: u64) -> usize {
         let classes = model.color_classes();
-        self.sweep_classes(model, &classes, iteration)
+        self.sweep_classes(model, &classes, iteration, None)
     }
 
     /// Resample one chunk of a color class against an immutable snapshot.
@@ -227,6 +240,7 @@ impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
         let enabled = self.recorder.enabled();
         let sampler = TreeSampler::new();
         scratch.out.clear();
+        scratch.fallbacks = 0;
         scratch.trace.reset();
         if self.batch_rows <= 1 {
             for &var in vars {
@@ -290,11 +304,11 @@ impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
         let mut rng = draw_rng(self.seed, iteration, var);
         let sample = sampler.sample_into(&scratch.pg.probs, &mut rng, &mut scratch.sd);
         scratch.out.push((var, sample.label));
+        scratch.fallbacks += u64::from(sample.fallback);
         if let (Some(t0), Some(t1)) = (t0, t1) {
             let tr = &mut scratch.trace;
             tr.pg_ns += (t1 - t0).as_nanos() as u64;
             tr.sd_ns += t1.elapsed().as_nanos() as u64;
-            tr.uniform_fallbacks += u64::from(sample.fallback);
             tr.pg_cycles += scratch.pg.ops.sequential_cycles();
             tr.sd_cycles += sample.cycles;
             tr.telemetry.merge(&scratch.pg.telemetry);
@@ -331,6 +345,7 @@ impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
         );
         for (&var, sample) in scratch.batch_vars.iter().zip(&scratch.draws) {
             scratch.out.push((var, sample.label));
+            scratch.fallbacks += u64::from(sample.fallback);
         }
         if let (Some(t0), Some(t1)) = (t0, t1) {
             let rows = scratch.batch_vars.len() as u64;
@@ -341,7 +356,6 @@ impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
             tr.pg_batches += 1;
             tr.pg_batch_rows += rows;
             for (ops, sample) in scratch.batch.ops.iter().zip(&scratch.draws) {
-                tr.uniform_fallbacks += u64::from(sample.fallback);
                 tr.pg_cycles += ops.sequential_cycles();
                 tr.sd_cycles += sample.cycles;
             }
@@ -351,19 +365,20 @@ impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
     }
 
     /// Commit one slot's draws into the model; counts flips only when a
-    /// recording pass asked for them (extra `model.label` reads).
+    /// recording or health-controlled pass asked for them (extra
+    /// `model.label` reads — observation only, the chain is untouched).
     fn commit_slot<M: ChromaticModel>(
         model: &mut M,
         out: &[(usize, usize)],
-        acc: Option<&mut SweepAcc>,
+        counts: Option<&mut SweepCounts>,
     ) {
-        match acc {
-            Some(acc) => {
+        match counts {
+            Some(c) => {
                 for &(var, label) in out {
-                    acc.flips += u64::from(model.label(var) != label);
+                    c.flips += u64::from(model.label(var) != label);
                     model.update(var, label);
                 }
-                acc.updates += out.len() as u64;
+                c.updates += out.len() as u64;
             }
             None => {
                 for &(var, label) in out {
@@ -375,7 +390,6 @@ impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
 
     /// Drain one slot's chunk trace into the sweep aggregate.
     fn drain_trace(acc: &mut SweepAcc, trace: &ChunkTrace) {
-        acc.uniform_fallbacks += trace.uniform_fallbacks;
         acc.pg_cycles += trace.pg_cycles;
         acc.sd_cycles += trace.sd_cycles;
         acc.pg_ns += trace.pg_ns;
@@ -386,13 +400,20 @@ impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
     }
 
     /// Sweep with precomputed color classes (lets `run` compute them once).
+    ///
+    /// `counts`, when supplied, receives the sweep's update/flip/fallback
+    /// tally — the input a [`ConvergenceController`] needs — whether or not
+    /// a recorder is attached.
     fn sweep_classes<M: ChromaticModel + Sync>(
         &self,
         model: &mut M,
         classes: &[Vec<usize>],
         iteration: u64,
+        counts: Option<&mut SweepCounts>,
     ) -> usize {
         let enabled = self.recorder.enabled();
+        let counting = enabled || counts.is_some();
+        let mut local = SweepCounts::default();
         let sweep_start = if enabled { self.recorder.now_ns() } else { 0 };
         let mut rec = enabled.then(SweepAcc::default);
         let mut updated = 0usize;
@@ -439,7 +460,10 @@ impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
             for slot in &self.scratch[..n_slots] {
                 let scratch = slot.lock().unwrap();
                 updated += scratch.out.len();
-                Self::commit_slot(model, &scratch.out, rec.as_mut());
+                Self::commit_slot(model, &scratch.out, counting.then_some(&mut local));
+                if counting {
+                    local.uniform_fallbacks += scratch.fallbacks;
+                }
                 if let Some(acc) = rec.as_mut() {
                     Self::drain_trace(acc, &scratch.trace);
                 }
@@ -494,15 +518,15 @@ impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
                 iteration: iteration + 1,
                 start_ns: sweep_start,
                 wall_ns: self.recorder.now_ns().saturating_sub(sweep_start),
-                updates: acc.updates,
-                flips: acc.flips,
-                uniform_fallbacks: acc.uniform_fallbacks,
+                updates: local.updates,
+                flips: local.flips,
+                uniform_fallbacks: local.uniform_fallbacks,
                 pg_ns: acc.pg_ns,
                 sd_ns: acc.sd_ns,
                 pu_ns: acc.pu_ns,
                 pg_cycles: acc.pg_cycles,
                 sd_cycles: acc.sd_cycles,
-                pu_cycles: PU_CYCLES * acc.updates,
+                pu_cycles: PU_CYCLES * local.updates,
                 pg_batches: acc.pg_batches,
                 pg_batch_rows: acc.pg_batch_rows,
                 norm_max: acc.telemetry.norm_max,
@@ -513,6 +537,9 @@ impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
             };
             self.recorder.end_sweep(&sample);
         }
+        if let Some(c) = counts {
+            *c = local;
+        }
         updated
     }
 
@@ -521,7 +548,7 @@ impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
     pub fn run<M: ChromaticModel + Sync>(&self, model: &mut M, iterations: u64) -> usize {
         let classes = model.color_classes();
         (0..iterations)
-            .map(|it| self.sweep_classes(model, &classes, it))
+            .map(|it| self.sweep_classes(model, &classes, it, None))
             .sum()
     }
 
@@ -536,8 +563,49 @@ impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
         let classes = model.color_classes();
         let mut updated = 0;
         for it in 0..iterations {
-            updated += self.sweep_classes(model, &classes, it);
+            updated += self.sweep_classes(model, &classes, it, None);
             observer(it + 1, model);
+        }
+        updated
+    }
+
+    /// Run up to `max_sweeps` sweeps, consulting `controller` after each
+    /// with the sweep's update/flip/fallback counts and the statistic
+    /// `stat_fn` extracts from the model. Stops early when the controller
+    /// returns [`Decision::Stop`]; returns total variables updated.
+    ///
+    /// The controller only *observes* the chain (counts and a derived
+    /// statistic) — it never touches the `(seed, iteration, var)` draw
+    /// path, so controlled and plain runs are bit-identical for the sweeps
+    /// they share, across any thread count.
+    pub fn run_controlled<M: ChromaticModel + Sync>(
+        &self,
+        model: &mut M,
+        max_sweeps: u64,
+        mut stat_fn: impl FnMut(&M) -> Option<f64>,
+        controller: &mut impl ConvergenceController,
+    ) -> usize {
+        let classes = model.color_classes();
+        let mut updated = 0;
+        for it in 0..max_sweeps {
+            let mut counts = SweepCounts::default();
+            updated += self.sweep_classes(model, &classes, it, Some(&mut counts));
+            let stat = stat_fn(model);
+            if self.recorder.enabled() {
+                if let Some(v) = stat {
+                    self.recorder.observe_stat(self.chain, it + 1, v);
+                }
+            }
+            let decision = controller.observe_sweep(
+                it + 1,
+                counts.updates,
+                counts.flips,
+                counts.uniform_fallbacks,
+                stat,
+            );
+            if decision == Decision::Stop {
+                break;
+            }
         }
         updated
     }
@@ -749,6 +817,63 @@ mod tests {
             (0..5).map(|v| net.label(v)).collect::<Vec<_>>()
         };
         assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn controlled_chromatic_run_matches_plain_run_across_threads() {
+        use coopmc_obs::health::NoControl;
+        let plain = {
+            let mut app = image_segmentation(16, 12, 33);
+            let engine = ChromaticEngine::new(FloatPipeline::new(), 1, 55);
+            engine.run(&mut app.mrf, 4);
+            app.mrf.labels()
+        };
+        for threads in [1, 3] {
+            let mut app = image_segmentation(16, 12, 33);
+            let engine = ChromaticEngine::new(FloatPipeline::new(), threads, 55);
+            engine.run_controlled(&mut app.mrf, 4, |_| None, &mut NoControl);
+            assert_eq!(plain, app.mrf.labels(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn controlled_chromatic_run_reports_counts_and_stops() {
+        use coopmc_obs::health::{ConvergenceController, Decision};
+        #[derive(Default)]
+        struct Probe {
+            sweeps: u64,
+            updates: u64,
+            stats: Vec<f64>,
+        }
+        impl ConvergenceController for Probe {
+            fn observe_sweep(
+                &mut self,
+                it: u64,
+                updates: u64,
+                flips: u64,
+                _fallbacks: u64,
+                stat: Option<f64>,
+            ) -> Decision {
+                self.sweeps = it;
+                self.updates += updates;
+                assert!(flips <= updates);
+                self.stats.push(stat.unwrap());
+                if it >= 3 {
+                    Decision::Stop
+                } else {
+                    Decision::Continue
+                }
+            }
+        }
+        let mut app = image_segmentation(14, 10, 34);
+        let engine = ChromaticEngine::new(FloatPipeline::new(), 2, 8);
+        let mut probe = Probe::default();
+        let updated = engine.run_controlled(&mut app.mrf, 50, |m| Some(m.energy()), &mut probe);
+        assert_eq!(probe.sweeps, 3, "stopped by the controller");
+        assert_eq!(probe.updates as usize, updated);
+        assert_eq!(updated, 3 * 14 * 10, "every variable, every sweep");
+        assert_eq!(probe.stats.len(), 3);
+        assert!(probe.stats.iter().all(|s| s.is_finite()));
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Validate a CoopMC run journal (JSONL) against the `coopmc-journal/1`
-//! schema. CI runs this on the journal of a short traced MRF chain.
+//! sweep schema and the `coopmc-health/1` chain-health schema (lines of the
+//! two kinds may interleave). CI runs this on the journal of a short traced
+//! MRF chain.
 //!
 //! Usage: `coopmc-obs-check <journal.jsonl> [more.jsonl ...]`
 //! Exits non-zero with a diagnostic on the first invalid file.
@@ -23,7 +25,7 @@ fn main() -> ExitCode {
             }
         };
         match validate_journal(&text) {
-            Ok(lines) => println!("{path}: OK ({lines} journal lines, schema coopmc-journal/1)"),
+            Ok(lines) => println!("{path}: OK ({lines} journal lines)"),
             Err(e) => {
                 eprintln!("{path}: INVALID: {e}");
                 return ExitCode::FAILURE;

@@ -11,10 +11,14 @@
 //!
 //! [`GibbsEngine`]: ../../coopmc_core/engine/struct.GibbsEngine.html
 
+use crate::health::HealthRecord;
 use crate::json::{self, Value};
 
 /// Schema identifier embedded in every journal line.
 pub const SCHEMA: &str = "coopmc-journal/1";
+
+/// Schema identifier of chain-health records interleaved into the journal.
+pub const HEALTH_SCHEMA: &str = "coopmc-health/1";
 
 /// Per-color-class worker-pool sample within one sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -132,6 +136,139 @@ pub fn render_line(s: &SweepSample, ess: Option<f64>, rhat: Option<f64>) -> Stri
     out
 }
 
+/// Render one chain-health record as its `coopmc-health/1` journal line
+/// (no trailing newline). Health lines carry the streaming diagnostics a
+/// [`crate::health::ChainHealth`] refreshed at that iteration; they are
+/// interleaved with the sweep lines of the same chain.
+pub fn render_health_line(r: &HealthRecord) -> String {
+    let mut out = String::with_capacity(320);
+    out.push('{');
+    out.push_str("\"schema\":");
+    json::write_str(&mut out, HEALTH_SCHEMA);
+    for (key, v) in [
+        ("chain", r.chain),
+        ("iteration", r.iteration),
+        ("samples", r.samples),
+        ("window", r.window),
+        ("events_stuck", r.events_stuck),
+        ("events_drift", r.events_drift),
+        ("events_fallback", r.events_fallback),
+    ] {
+        out.push_str(&format!(",\"{key}\":{v}"));
+    }
+    for (key, v) in [
+        ("mean", r.mean),
+        ("variance", r.variance),
+        ("flip_rate", r.flip_rate),
+    ] {
+        out.push_str(&format!(",\"{key}\":"));
+        json::write_num(&mut out, v);
+    }
+    for (key, v) in [
+        ("ess", r.ess),
+        ("rhat", r.rhat),
+        ("rhat_split", r.rhat_split),
+        ("mcse", r.mcse),
+    ] {
+        out.push_str(&format!(",\"{key}\":"));
+        json::write_opt_num(&mut out, v);
+    }
+    out.push('}');
+    out
+}
+
+/// The fields a health line must carry as non-negative integers.
+const HEALTH_COUNTS: [&str; 6] = [
+    "iteration",
+    "samples",
+    "window",
+    "events_stuck",
+    "events_drift",
+    "events_fallback",
+];
+
+/// Validate one parsed `coopmc-health/1` line: structural checks plus the
+/// diagnostic range rules — rank-normalized `rhat` must be ≥ 1, `ess` must
+/// be non-negative and can never exceed the samples it was computed from,
+/// `mcse` and `variance` must be non-negative and `flip_rate` must be a
+/// fraction. (`rhat_split` is the classic unclamped estimator and is only
+/// required to be a number or null.)
+pub fn validate_health_line(v: &Value) -> Result<(), String> {
+    let schema = v
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing 'schema' field")?;
+    if schema != HEALTH_SCHEMA {
+        return Err(format!("schema '{schema}' is not '{HEALTH_SCHEMA}'"));
+    }
+    v.get("chain")
+        .and_then(Value::as_num)
+        .ok_or("missing numeric 'chain'")?;
+    for key in HEALTH_COUNTS {
+        let n = v
+            .get(key)
+            .and_then(Value::as_num)
+            .ok_or_else(|| format!("missing numeric '{key}'"))?;
+        if n < 0.0 || n != n.trunc() {
+            return Err(format!("'{key}' must be a non-negative integer, got {n}"));
+        }
+    }
+    if v.get("iteration").and_then(Value::as_num) == Some(0.0) {
+        return Err("'iteration' is 1-based and must be positive".to_owned());
+    }
+    let samples = v.get("samples").and_then(Value::as_num).unwrap_or(0.0);
+    let window = v.get("window").and_then(Value::as_num).unwrap_or(0.0);
+    if window > samples {
+        return Err(format!("'window' {window} exceeds 'samples' {samples}"));
+    }
+    for key in ["mean", "variance", "flip_rate"] {
+        v.get(key)
+            .and_then(Value::as_num)
+            .filter(|n| n.is_finite())
+            .ok_or_else(|| format!("missing finite numeric '{key}'"))?;
+    }
+    let num_or_null = |key: &str| -> Result<Option<f64>, String> {
+        match v.get(key) {
+            Some(field) if field.is_null() => Ok(None),
+            Some(field) => field
+                .as_num()
+                .map(Some)
+                .ok_or_else(|| format!("'{key}' must be a number or null")),
+            None => Err(format!("missing '{key}'")),
+        }
+    };
+    if let Some(ess) = num_or_null("ess")? {
+        if ess < 0.0 {
+            return Err(format!("'ess' must be non-negative, got {ess}"));
+        }
+        if ess > window {
+            return Err(format!(
+                "'ess' {ess} exceeds the window of {window} samples"
+            ));
+        }
+    }
+    if let Some(rhat) = num_or_null("rhat")? {
+        if rhat < 1.0 {
+            return Err(format!("rank-normalized 'rhat' must be >= 1.0, got {rhat}"));
+        }
+    }
+    num_or_null("rhat_split")?;
+    if let Some(mcse) = num_or_null("mcse")? {
+        if mcse < 0.0 {
+            return Err(format!("'mcse' must be non-negative, got {mcse}"));
+        }
+    }
+    let fr = v.get("flip_rate").and_then(Value::as_num).unwrap_or(0.0);
+    if !(0.0..=1.0).contains(&fr) {
+        return Err(format!("'flip_rate' {fr} outside [0, 1]"));
+    }
+    let var = v.get("variance").and_then(Value::as_num).unwrap_or(0.0);
+    if var < 0.0 {
+        return Err(format!("'variance' must be non-negative, got {var}"));
+    }
+    Ok(())
+}
+
 /// The fields a journal line must carry as non-negative integers.
 const REQUIRED_COUNTS: [&str; 14] = [
     "iteration",
@@ -217,21 +354,31 @@ pub fn validate_line(v: &Value) -> Result<(), String> {
     Ok(())
 }
 
-/// Validate a whole JSONL journal: every line parses, every line passes
-/// [`validate_line`], and iteration numbers are strictly increasing within
-/// each chain. Returns the number of validated lines.
+/// Validate a whole JSONL journal: every line parses, sweep lines pass
+/// [`validate_line`], interleaved `coopmc-health/1` lines pass
+/// [`validate_health_line`], and iteration numbers are strictly increasing
+/// within each chain (sweep and health lines track monotonicity
+/// independently — a health record shares the iteration of the sweep that
+/// refreshed it). Returns the number of validated lines.
 pub fn validate_journal(text: &str) -> Result<usize, String> {
-    let mut last_iter: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    let mut last_iter: std::collections::BTreeMap<(u64, bool), u64> =
+        std::collections::BTreeMap::new();
     let mut lines = 0usize;
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
         let v = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
-        validate_line(&v).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let schema = v.get("schema").and_then(Value::as_str).unwrap_or("");
+        let is_health = schema == HEALTH_SCHEMA;
+        if is_health {
+            validate_health_line(&v).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        } else {
+            validate_line(&v).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        }
         let chain = v.get("chain").and_then(Value::as_num).unwrap_or(0.0) as u64;
         let iter = v.get("iteration").and_then(Value::as_num).unwrap_or(0.0) as u64;
-        if let Some(&prev) = last_iter.get(&chain) {
+        if let Some(&prev) = last_iter.get(&(chain, is_health)) {
             if iter <= prev {
                 return Err(format!(
                     "line {}: iteration {iter} not greater than previous {prev} on chain {chain}",
@@ -239,7 +386,7 @@ pub fn validate_journal(text: &str) -> Result<usize, String> {
                 ));
             }
         }
-        last_iter.insert(chain, iter);
+        last_iter.insert((chain, is_health), iter);
         lines += 1;
     }
     if lines == 0 {
@@ -337,5 +484,79 @@ mod tests {
     #[test]
     fn empty_journal_is_an_error() {
         assert!(validate_journal("\n\n").is_err());
+    }
+
+    fn health(iter: u64) -> HealthRecord {
+        HealthRecord {
+            chain: 0,
+            iteration: iter,
+            samples: iter + 63,
+            window: 64,
+            mean: -10.0,
+            variance: 2.5,
+            ess: Some(12.5),
+            rhat: Some(1.02),
+            rhat_split: Some(0.997),
+            mcse: Some(0.45),
+            flip_rate: 0.31,
+            events_stuck: 0,
+            events_drift: 1,
+            events_fallback: 0,
+        }
+    }
+
+    #[test]
+    fn health_lines_render_and_validate_interleaved() {
+        let text = format!(
+            "{}\n{}\n{}\n{}\n",
+            render_line(&sample(1), None, None),
+            render_line(&sample(2), Some(3.4), Some(1.01)),
+            render_health_line(&health(2)),
+            render_health_line(&health(4)),
+        );
+        assert_eq!(validate_journal(&text).unwrap(), 4);
+    }
+
+    #[test]
+    fn health_line_iterations_are_monotone_per_chain() {
+        let text = format!(
+            "{}\n{}\n",
+            render_health_line(&health(5)),
+            render_health_line(&health(5)),
+        );
+        assert!(validate_journal(&text).unwrap_err().contains("not greater"));
+    }
+
+    #[test]
+    fn out_of_range_health_diagnostics_are_rejected() {
+        // Rank-normalized R-hat below 1 is impossible.
+        let mut h = health(3);
+        h.rhat = Some(0.95);
+        let v = crate::json::parse(&render_health_line(&h)).unwrap();
+        assert!(validate_health_line(&v).unwrap_err().contains("rhat"));
+        // Negative ESS.
+        let mut h = health(3);
+        h.ess = Some(-2.0);
+        let v = crate::json::parse(&render_health_line(&h)).unwrap();
+        assert!(validate_health_line(&v).unwrap_err().contains("ess"));
+        // ESS exceeding the window it was computed from.
+        let mut h = health(300);
+        h.ess = Some(1000.0);
+        let v = crate::json::parse(&render_health_line(&h)).unwrap();
+        assert!(validate_health_line(&v).unwrap_err().contains("exceeds"));
+        // The classic split estimator may legitimately dip below 1.
+        let v = crate::json::parse(&render_health_line(&health(3))).unwrap();
+        validate_health_line(&v).expect("rhat_split < 1 is allowed");
+    }
+
+    #[test]
+    fn health_diagnostics_may_be_null_while_warming_up() {
+        let mut h = health(1);
+        h.ess = None;
+        h.rhat = None;
+        h.rhat_split = None;
+        h.mcse = None;
+        let v = crate::json::parse(&render_health_line(&h)).unwrap();
+        validate_health_line(&v).unwrap();
     }
 }

@@ -20,11 +20,16 @@
 //! The `coopmc-obs-check` binary validates a journal file against the
 //! schema; CI runs it on a freshly traced chain.
 
+pub mod health;
 pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod trace;
 
-pub use journal::{ColorSample, SweepSample, SCHEMA};
-pub use metrics::{counter, counter_with, gauge, gauge_with, histogram, render};
+pub use health::{
+    ChainHealth, ConvergenceController, Decision, EarlyStop, HealthConfig, HealthEvent,
+    HealthEventKind, HealthRecord, NoControl, StopInfo,
+};
+pub use journal::{ColorSample, SweepSample, HEALTH_SCHEMA, SCHEMA};
+pub use metrics::{counter, counter_with, gauge, gauge_with, histogram, log2_buckets, render};
 pub use trace::{NoopRecorder, Recorder, TraceRecorder};

@@ -347,6 +347,18 @@ pub fn render() -> String {
     global().render()
 }
 
+/// Fixed power-of-two histogram bounds `2^lo, 2^(lo+1), …, 2^hi` —
+/// logarithmic coverage for latency-style distributions where one linear
+/// bucket width can't span microseconds to seconds.
+///
+/// # Panics
+///
+/// Panics unless `lo < hi`.
+pub fn log2_buckets(lo: i32, hi: i32) -> Vec<f64> {
+    assert!(lo < hi, "log2 bucket range must be non-empty");
+    (lo..=hi).map(|p| (p as f64).exp2()).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -399,6 +411,80 @@ mod tests {
         let r = Registry::new();
         let _ = r.counter("conflict", &[]);
         let _ = r.gauge("conflict", &[]);
+    }
+
+    #[test]
+    fn histogram_edge_values_land_in_the_le_bucket() {
+        // Prometheus buckets are `v <= bound`: a value exactly on a bound
+        // belongs to that bound's bucket, not the next one.
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for v in [1.0, 2.0, 4.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.bucket_counts(), vec![1, 1, 1, 0]);
+        // Just past an edge spills into the next bucket.
+        h.observe(1.0000000001);
+        assert_eq!(h.bucket_counts(), vec![1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn histogram_underflow_and_overflow_buckets() {
+        let h = Histogram::new(&[10.0, 100.0]);
+        // Below every bound (including negative and zero): first bucket.
+        h.observe(-5.0);
+        h.observe(0.0);
+        h.observe(9.9);
+        // Above every bound: the +Inf bucket.
+        h.observe(101.0);
+        h.observe(f64::MAX);
+        assert_eq!(h.bucket_counts(), vec![3, 0, 2]);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn histogram_le_exposition_is_cumulative_and_ordered() {
+        let r = Registry::new();
+        let h = r.histogram("edges", &[], &[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.0, 2.0, 3.0, 8.0] {
+            h.observe(v);
+        }
+        let text = r.render();
+        // `le` lines appear in ascending bound order, ending at +Inf, with
+        // cumulative counts.
+        let lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("edges_bucket"))
+            .collect();
+        assert_eq!(
+            lines,
+            vec![
+                "edges_bucket{le=\"1\"} 2",
+                "edges_bucket{le=\"2\"} 3",
+                "edges_bucket{le=\"4\"} 4",
+                "edges_bucket{le=\"+Inf\"} 5",
+            ]
+        );
+        assert!(text.contains("edges_count 5"));
+    }
+
+    #[test]
+    fn log2_buckets_are_exact_powers_and_strictly_increasing() {
+        let b = log2_buckets(0, 4);
+        assert_eq!(b, vec![1.0, 2.0, 4.0, 8.0, 16.0]);
+        let wide = log2_buckets(-2, 20);
+        assert_eq!(wide[0], 0.25);
+        assert_eq!(*wide.last().unwrap(), 1_048_576.0);
+        assert!(wide.windows(2).all(|w| w[0] < w[1]));
+        // Power-of-two values sit exactly on their own edge bucket.
+        let h = Histogram::new(&log2_buckets(0, 3));
+        h.observe(4.0);
+        assert_eq!(h.bucket_counts(), vec![0, 0, 1, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn log2_buckets_reject_empty_range() {
+        let _ = log2_buckets(3, 3);
     }
 
     #[test]

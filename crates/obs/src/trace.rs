@@ -16,9 +16,8 @@
 use std::sync::Mutex;
 use std::time::Instant;
 
-use coopmc_models::diagnostics::{effective_sample_size, gelman_rubin};
-
-use crate::journal::{render_line, SweepSample};
+use crate::health::{ChainHealth, HealthConfig, HealthRecord};
+use crate::journal::{render_health_line, render_line, SweepSample};
 use crate::metrics;
 
 /// A sink for sweep samples, spans and chain statistics.
@@ -65,6 +64,14 @@ pub trait Recorder: Sync {
     fn event(&self, name: &str) {
         let _ = name;
     }
+
+    /// Record a refreshed chain-health snapshot (a `coopmc-health/1`
+    /// journal line). Forwarded by the early-stop convergence controller
+    /// whenever its diagnostics refresh.
+    #[inline]
+    fn health(&self, record: &HealthRecord) {
+        let _ = record;
+    }
 }
 
 /// The zero-cost disabled recorder: every method is an inlined no-op.
@@ -103,6 +110,11 @@ impl<T: Recorder + ?Sized> Recorder for &T {
     fn event(&self, name: &str) {
         (**self).event(name)
     }
+
+    #[inline]
+    fn health(&self, record: &HealthRecord) {
+        (**self).health(record)
+    }
 }
 
 /// One completed span for the Chrome-trace export.
@@ -122,6 +134,8 @@ struct TraceInner {
     /// `(chain, iteration, stat)` observations, joined to sweeps on export.
     stats: Vec<(u64, u64, f64)>,
     events: Vec<(u64, String)>,
+    /// Chain-health snapshots, interleaved into the journal on export.
+    health: Vec<HealthRecord>,
 }
 
 /// The enabled recorder: captures sweep samples, spans and statistics in
@@ -142,6 +156,9 @@ pub struct TraceRecorder {
     m_sd_cycles: &'static metrics::Counter,
     m_pu_cycles: &'static metrics::Counter,
     h_sweep_us: &'static metrics::Histogram,
+    h_pg_us: &'static metrics::Histogram,
+    h_sd_us: &'static metrics::Histogram,
+    h_pu_us: &'static metrics::Histogram,
 }
 
 impl Default for TraceRecorder {
@@ -179,6 +196,21 @@ impl TraceRecorder {
                     10_000_000.0,
                 ],
             ),
+            // Per-phase latency histograms: fixed log2 buckets from 1 µs to
+            // ~1 s so the Table II split is visible as a distribution, not
+            // just a total.
+            h_pg_us: metrics::histogram(
+                "coopmc_phase_pg_duration_us",
+                &metrics::log2_buckets(0, 20),
+            ),
+            h_sd_us: metrics::histogram(
+                "coopmc_phase_sd_duration_us",
+                &metrics::log2_buckets(0, 20),
+            ),
+            h_pu_us: metrics::histogram(
+                "coopmc_phase_pu_duration_us",
+                &metrics::log2_buckets(0, 20),
+            ),
         }
     }
 
@@ -187,18 +219,32 @@ impl TraceRecorder {
         self.inner.lock().unwrap().sweeps.clone()
     }
 
-    /// Render the run journal as JSONL, one line per sweep per chain.
+    /// Render the run journal as JSONL, one line per sweep per chain, with
+    /// any chain-health snapshots ([`Recorder::health`]) interleaved after
+    /// the sweep they were refreshed at.
     ///
     /// Model statistics attached via [`Recorder::observe_stat`] are joined
     /// onto their sweeps; running ESS (≥ 4 samples) and split-chain
-    /// Gelman–Rubin (≥ 8 samples) are computed per chain over the statistic
-    /// series up to each line.
+    /// Gelman–Rubin (≥ 8 samples) come from a per-chain incremental
+    /// [`ChainHealth`] in export mode ([`HealthConfig::for_export`]), so
+    /// export cost is linear in chain length instead of the quadratic
+    /// full-series rescan this replaced. Per-line values are identical to
+    /// the old rescan for chains up to the export window (4096 statistics);
+    /// past that the diagnostics cover the trailing window only.
     pub fn journal_jsonl(&self) -> String {
         let inner = self.inner.lock().unwrap();
         let mut out = String::new();
-        // Per-chain running statistic series.
-        let mut series: std::collections::BTreeMap<u64, Vec<f64>> =
+        // Per-chain incremental diagnostics, fed one statistic per line.
+        let mut health: std::collections::BTreeMap<u64, ChainHealth> =
             std::collections::BTreeMap::new();
+        // Health snapshots not yet emitted, in arrival order per chain.
+        let mut pending: std::collections::BTreeMap<
+            u64,
+            std::collections::VecDeque<&HealthRecord>,
+        > = std::collections::BTreeMap::new();
+        for r in &inner.health {
+            pending.entry(r.chain).or_default().push_back(r);
+        }
         for s in &inner.sweeps {
             let stat = s.stat.or_else(|| {
                 inner
@@ -209,24 +255,37 @@ impl TraceRecorder {
             });
             let (mut ess, mut rhat) = (None, None);
             if let Some(v) = stat {
-                let chain_series = series.entry(s.chain).or_default();
-                chain_series.push(v);
-                let n = chain_series.len();
-                if n >= 4 {
-                    ess = Some(effective_sample_size(chain_series));
-                }
-                if n >= 8 {
-                    let (a, b) = chain_series.split_at(n / 2);
-                    let r = gelman_rubin(&[a.to_vec(), b[..a.len()].to_vec()]);
-                    if r.is_finite() {
-                        rhat = Some(r);
-                    }
-                }
+                let h = health
+                    .entry(s.chain)
+                    .or_insert_with(|| ChainHealth::new(s.chain, HealthConfig::for_export()));
+                h.observe_sweep(
+                    s.iteration,
+                    s.updates,
+                    s.flips,
+                    s.uniform_fallbacks,
+                    Some(v),
+                );
+                ess = h.record().ess;
+                rhat = h.record().rhat_split;
             }
             let mut line = s.clone();
             line.stat = stat;
             out.push_str(&render_line(&line, ess, rhat));
             out.push('\n');
+            if let Some(queue) = pending.get_mut(&s.chain) {
+                while queue.front().is_some_and(|r| r.iteration <= s.iteration) {
+                    out.push_str(&render_health_line(queue.pop_front().unwrap()));
+                    out.push('\n');
+                }
+            }
+        }
+        // Health records past the last recorded sweep of their chain (or on
+        // chains with no sweep lines at all) flush at the end.
+        for queue in pending.values_mut() {
+            for r in queue.drain(..) {
+                out.push_str(&render_health_line(r));
+                out.push('\n');
+            }
         }
         out
     }
@@ -323,6 +382,9 @@ impl Recorder for TraceRecorder {
         self.m_sd_cycles.add(sample.sd_cycles);
         self.m_pu_cycles.add(sample.pu_cycles);
         self.h_sweep_us.observe(sample.wall_ns as f64 / 1_000.0);
+        self.h_pg_us.observe(sample.pg_ns as f64 / 1_000.0);
+        self.h_sd_us.observe(sample.sd_ns as f64 / 1_000.0);
+        self.h_pu_us.observe(sample.pu_ns as f64 / 1_000.0);
         self.inner.lock().unwrap().sweeps.push(sample.clone());
     }
 
@@ -351,6 +413,10 @@ impl Recorder for TraceRecorder {
             .unwrap()
             .events
             .push((ts, name.to_owned()));
+    }
+
+    fn health(&self, record: &HealthRecord) {
+        self.inner.lock().unwrap().health.push(*record);
     }
 }
 
@@ -449,5 +515,93 @@ mod tests {
         push_sweep(&rec, 2, 0.0);
         assert_eq!(metrics::counter("coopmc_updates_total").get(), before + 32);
         assert!(metrics::render().contains("coopmc_sweep_duration_us_bucket"));
+        assert!(metrics::render().contains("coopmc_phase_pg_duration_us_bucket"));
+    }
+
+    /// Pin: the incremental export diagnostics reproduce the full-series
+    /// rescan this PR removed — `effective_sample_size` over the chain so
+    /// far and split-chain `gelman_rubin` (odd-length tail dropped,
+    /// non-finite dropped) — on a fixed smooth series.
+    #[test]
+    fn incremental_export_matches_the_old_full_series_rescan() {
+        use coopmc_models::diagnostics::{effective_sample_size, gelman_rubin};
+        let rec = TraceRecorder::new();
+        let mut x = 5.0;
+        let mut series = Vec::new();
+        for it in 1..=40u64 {
+            x = 0.7 * x + ((it * 2_654_435_761) % 97) as f64 / 97.0;
+            series.push(x);
+            push_sweep(&rec, it, x);
+        }
+        let journal = rec.journal_jsonl();
+        for (i, line) in journal.lines().enumerate() {
+            let v = crate::json::parse(line).unwrap();
+            let n = i + 1;
+            let want_ess = (n >= 4).then(|| effective_sample_size(&series[..n]));
+            let want_rhat = (n >= 8)
+                .then(|| {
+                    let (a, b) = series[..n].split_at(n / 2);
+                    gelman_rubin(&[a.to_vec(), b[..a.len()].to_vec()])
+                })
+                .filter(|r| r.is_finite());
+            let got_ess = v.get("ess").unwrap().as_num();
+            let got_rhat = v.get("rhat").unwrap().as_num();
+            match (want_ess, got_ess) {
+                (None, None) => {}
+                (Some(w), Some(g)) => assert!((w - g).abs() < 1e-9, "line {n}: ess {g} vs {w}"),
+                other => panic!("line {n}: ess mismatch {other:?}"),
+            }
+            match (want_rhat, got_rhat) {
+                (None, None) => {}
+                (Some(w), Some(g)) => assert!((w - g).abs() < 1e-9, "line {n}: rhat {g} vs {w}"),
+                other => panic!("line {n}: rhat mismatch {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn health_records_interleave_after_their_sweep() {
+        let rec = TraceRecorder::new();
+        for it in 1..=4u64 {
+            push_sweep(&rec, it, it as f64);
+        }
+        let mut r = HealthRecord {
+            chain: 0,
+            iteration: 2,
+            samples: 2,
+            window: 2,
+            flip_rate: 0.25,
+            ..HealthRecord::default()
+        };
+        Recorder::health(&rec, &r);
+        r.iteration = 9; // past the last sweep: flushed at the end
+        r.samples = 9;
+        r.window = 9;
+        Recorder::health(&rec, &r);
+        let journal = rec.journal_jsonl();
+        assert_eq!(validate_journal(&journal).unwrap(), 6);
+        let schemas: Vec<String> = journal
+            .lines()
+            .map(|l| {
+                crate::json::parse(l)
+                    .unwrap()
+                    .get("schema")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_owned()
+            })
+            .collect();
+        assert_eq!(
+            schemas,
+            vec![
+                "coopmc-journal/1",
+                "coopmc-journal/1",
+                "coopmc-health/1",
+                "coopmc-journal/1",
+                "coopmc-journal/1",
+                "coopmc-health/1",
+            ]
+        );
     }
 }

@@ -4,6 +4,7 @@
 //! coopmc list
 //! coopmc run <workload> [--pipeline SPEC] [--sampler KIND] [--sweeps N]
 //!                       [--seed S] [--threads T]
+//!                       [--health] [--early-stop-rhat R] [--early-stop-ess E]
 //!                       [--journal-out F] [--trace-out F] [--metrics-out F]
 //! coopmc hw [--labels N]
 //! coopmc verify [--json] [--demo-broken]
@@ -11,19 +12,26 @@
 //!
 //! Pipeline SPECs: `float32`, `fixed:<bits>`, `fixed+dn:<bits>`,
 //! `coopmc:<size>x<bits>`. Sampler KINDs: `seq`, `tree`, `pipe`, `alias`.
+//!
+//! `--health` streams chain-health diagnostics (online ESS / rank-normalized
+//! split R-hat / MCSE, anomaly detectors) while the chain runs; the
+//! early-stop flags additionally end the run once rank-normalized R-hat ≤ R
+//! **and** windowed ESS ≥ E (each implies `--health`; the other threshold
+//! defaults to R = 1.01, E = 100).
 
 use std::process::ExitCode;
 
-use coopmc::core::engine::GibbsEngine;
+use coopmc::core::engine::{GibbsEngine, RunStats};
 use coopmc::core::parallel::ChromaticEngine;
-use coopmc::core::pipeline::{CoopMcPipeline, PipelineConfig};
+use coopmc::core::pipeline::{CoopMcPipeline, PipelineConfig, ProbabilityPipeline};
 use coopmc::hw::accel::case_study_table;
 use coopmc::hw::area::{sampler_area, SamplerKind};
 use coopmc::hw::roofline::roofline;
 use coopmc::models::workloads::{all_workloads, BuiltWorkload, WorkloadSpec};
 use coopmc::models::GibbsModel;
+use coopmc::obs::health::{ChainHealth, ConvergenceController, Decision, EarlyStop, HealthConfig};
 use coopmc::obs::{Recorder, TraceRecorder};
-use coopmc::rng::SplitMix64;
+use coopmc::rng::{HwRng, SplitMix64};
 use coopmc::sampler::{AliasSampler, PipeTreeSampler, Sampler, SequentialSampler, TreeSampler};
 
 /// Parsed `run` subcommand options.
@@ -35,6 +43,9 @@ struct RunArgs {
     sweeps: u64,
     seed: u64,
     threads: usize,
+    health: bool,
+    early_stop_rhat: Option<f64>,
+    early_stop_ess: Option<f64>,
     journal_out: Option<String>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
@@ -49,10 +60,21 @@ impl Default for RunArgs {
             sweeps: 20,
             seed: 2022,
             threads: 1,
+            health: false,
+            early_stop_rhat: None,
+            early_stop_ess: None,
             journal_out: None,
             trace_out: None,
             metrics_out: None,
         }
+    }
+}
+
+impl RunArgs {
+    /// Whether chain-health monitoring runs (either requested directly or
+    /// implied by an early-stop threshold).
+    fn health_enabled(&self) -> bool {
+        self.health || self.early_stop_rhat.is_some() || self.early_stop_ess.is_some()
     }
 }
 
@@ -123,6 +145,25 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                     return Err("--threads must be at least 1".to_owned());
                 }
             }
+            "--health" => out.health = true,
+            "--early-stop-rhat" => {
+                let r: f64 = value(&mut it)?
+                    .parse()
+                    .map_err(|_| "bad --early-stop-rhat value".to_owned())?;
+                if !(r.is_finite() && r >= 1.0) {
+                    return Err("--early-stop-rhat must be a finite number >= 1.0".to_owned());
+                }
+                out.early_stop_rhat = Some(r);
+            }
+            "--early-stop-ess" => {
+                let e: f64 = value(&mut it)?
+                    .parse()
+                    .map_err(|_| "bad --early-stop-ess value".to_owned())?;
+                if !(e.is_finite() && e > 0.0) {
+                    return Err("--early-stop-ess must be a finite number > 0".to_owned());
+                }
+                out.early_stop_ess = Some(e);
+            }
             "--journal-out" => out.journal_out = Some(value(&mut it)?),
             "--trace-out" => out.trace_out = Some(value(&mut it)?),
             "--metrics-out" => out.metrics_out = Some(value(&mut it)?),
@@ -167,6 +208,106 @@ fn write_output(path: &str, contents: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// R-hat threshold used when only `--early-stop-ess` names a target.
+const DEFAULT_STOP_RHAT: f64 = 1.01;
+/// ESS budget used when only `--early-stop-rhat` names a target.
+const DEFAULT_STOP_ESS: f64 = 100.0;
+
+/// Build the convergence controller for a `--health` run. Without an
+/// early-stop flag this is a pure monitor (never stops the chain); with one,
+/// the other threshold falls back to its default. `recorder` is attached
+/// only when an output file will consume the journal.
+fn build_controller<'a>(args: &RunArgs, recorder: Option<&'a dyn Recorder>) -> EarlyStop<'a> {
+    let health = ChainHealth::new(0, HealthConfig::default());
+    let early = args.early_stop_rhat.is_some() || args.early_stop_ess.is_some();
+    let mut ctl = if early {
+        EarlyStop::new(
+            health,
+            args.early_stop_rhat.unwrap_or(DEFAULT_STOP_RHAT),
+            args.early_stop_ess.unwrap_or(DEFAULT_STOP_ESS),
+        )
+    } else {
+        EarlyStop::monitor(health)
+    };
+    if let Some(rec) = recorder {
+        ctl = ctl.with_recorder(rec);
+    }
+    ctl
+}
+
+/// Print the end-of-run health summary (the `early-stop:` line is what CI
+/// greps to check the run ended inside its sweep budget).
+fn report_health(ctl: &EarlyStop, budget: u64) {
+    let opt = |v: Option<f64>| v.map_or("n/a".to_owned(), |x| format!("{x:.4}"));
+    let info = ctl.stop_info();
+    let rec = ctl.health().record();
+    if info.stopped_early {
+        println!(
+            "early-stop: converged at sweep {} of {} (rhat {}, ess {})",
+            info.iteration,
+            budget,
+            opt(info.rhat),
+            opt(info.ess)
+        );
+    } else {
+        println!(
+            "health: ran all {budget} sweeps (rhat {}, ess {}, mcse {})",
+            opt(rec.rhat),
+            opt(rec.ess),
+            opt(rec.mcse)
+        );
+    }
+    println!(
+        "health: flip-rate {:.4}, events stuck/drift/fallback {}/{}/{}",
+        rec.flip_rate, rec.events_stuck, rec.events_drift, rec.events_fallback
+    );
+}
+
+/// Drive up to `sweeps` manual sweeps of a sequential engine, reporting the
+/// per-sweep statistic from `stat_fn` to `observer` (journal capture) and to
+/// `controller` (health / early stop). The manual loop exists because the
+/// interesting statistics (energy, joint probability, log-likelihood) live
+/// on the concrete model types, which `GibbsEngine::run_controlled`'s
+/// `&dyn GibbsModel` callback cannot see.
+fn drive_gibbs<P, S, R, Rec, M, F>(
+    engine: &mut GibbsEngine<P, S, R, Rec>,
+    model: &mut M,
+    sweeps: u64,
+    observer: Option<&dyn Recorder>,
+    mut stat_fn: F,
+    mut controller: Option<&mut EarlyStop<'_>>,
+) where
+    P: ProbabilityPipeline,
+    S: Sampler,
+    R: HwRng,
+    Rec: Recorder,
+    M: GibbsModel,
+    F: FnMut(&M) -> f64,
+{
+    let mut stats = RunStats::default();
+    for _ in 0..sweeps {
+        let (u0, f0, fb0) = (stats.updates, stats.flips, stats.uniform_fallbacks);
+        engine.sweep(model, &mut stats);
+        let stat = stat_fn(model);
+        let it = engine.journal_iteration();
+        if let Some(rec) = observer {
+            rec.observe_stat(0, it, stat);
+        }
+        if let Some(ctl) = controller.as_deref_mut() {
+            let decision = ctl.observe_sweep(
+                it,
+                stats.updates - u0,
+                stats.flips - f0,
+                stats.uniform_fallbacks - fb0,
+                Some(stat),
+            );
+            if decision == Decision::Stop {
+                break;
+            }
+        }
+    }
+}
+
 fn cmd_run(args: RunArgs) -> Result<(), String> {
     let spec = find_workload(&args.workload)
         .ok_or_else(|| format!("no workload matches '{}'", args.workload))?;
@@ -177,6 +318,10 @@ fn cmd_run(args: RunArgs) -> Result<(), String> {
     let tracing =
         args.journal_out.is_some() || args.trace_out.is_some() || args.metrics_out.is_some();
     let recorder = TraceRecorder::new();
+    let mut controller = args
+        .health_enabled()
+        .then(|| build_controller(&args, tracing.then_some(&recorder as &dyn Recorder)));
+    let observer = tracing.then_some(&recorder as &dyn Recorder);
     let built = spec.build(args.seed);
     match built {
         BuiltWorkload::Mrf(mut app) => {
@@ -191,27 +336,64 @@ fn cmd_run(args: RunArgs) -> Result<(), String> {
                     }
                 };
                 let pipeline = CoopMcPipeline::new(size, bits);
-                if tracing {
-                    ChromaticEngine::with_recorder(pipeline, args.threads, args.seed, &recorder)
-                        .run_observed(&mut app.mrf, args.sweeps, |it, m| {
-                            recorder.observe_stat(0, it, m.energy());
-                        });
-                } else {
-                    ChromaticEngine::new(pipeline, args.threads, args.seed)
-                        .run(&mut app.mrf, args.sweeps);
+                match (tracing, controller.as_mut()) {
+                    (true, Some(ctl)) => {
+                        ChromaticEngine::with_recorder(
+                            pipeline,
+                            args.threads,
+                            args.seed,
+                            &recorder,
+                        )
+                        .run_controlled(
+                            &mut app.mrf,
+                            args.sweeps,
+                            |m| Some(m.energy()),
+                            ctl,
+                        );
+                    }
+                    (true, None) => {
+                        ChromaticEngine::with_recorder(
+                            pipeline,
+                            args.threads,
+                            args.seed,
+                            &recorder,
+                        )
+                        .run_observed(
+                            &mut app.mrf,
+                            args.sweeps,
+                            |it, m| {
+                                recorder.observe_stat(0, it, m.energy());
+                            },
+                        );
+                    }
+                    (false, Some(ctl)) => {
+                        ChromaticEngine::new(pipeline, args.threads, args.seed).run_controlled(
+                            &mut app.mrf,
+                            args.sweeps,
+                            |m| Some(m.energy()),
+                            ctl,
+                        );
+                    }
+                    (false, None) => {
+                        ChromaticEngine::new(pipeline, args.threads, args.seed)
+                            .run(&mut app.mrf, args.sweeps);
+                    }
                 }
-            } else if tracing {
+            } else if tracing || controller.is_some() {
                 let mut engine = GibbsEngine::with_recorder(
                     args.pipeline.build(),
                     TreeSampler::new(),
                     SplitMix64::new(args.seed),
                     &recorder,
                 );
-                let mut stats = coopmc::core::engine::RunStats::default();
-                for _ in 0..args.sweeps {
-                    engine.sweep(&mut app.mrf, &mut stats);
-                    recorder.observe_stat(0, engine.journal_iteration(), app.mrf.energy());
-                }
+                drive_gibbs(
+                    &mut engine,
+                    &mut app.mrf,
+                    args.sweeps,
+                    observer,
+                    |m| m.energy(),
+                    controller.as_mut(),
+                );
             } else {
                 let mut engine = GibbsEngine::new(
                     args.pipeline.build(),
@@ -224,25 +406,31 @@ fn cmd_run(args: RunArgs) -> Result<(), String> {
         }
         BuiltWorkload::Bn(mut net) => {
             let mut counter = coopmc::models::bn::MarginalCounter::new(&net);
-            let mut stats = coopmc::core::engine::RunStats::default();
-            if tracing {
+            if tracing || controller.is_some() {
                 let mut engine = GibbsEngine::with_recorder(
                     args.pipeline.build(),
                     build_sampler(&args.sampler),
                     SplitMix64::new(args.seed),
                     &recorder,
                 );
-                for _ in 0..args.sweeps {
-                    engine.sweep(&mut net, &mut stats);
-                    counter.record(&net);
-                    recorder.observe_stat(0, engine.journal_iteration(), net.joint_prob().ln());
-                }
+                drive_gibbs(
+                    &mut engine,
+                    &mut net,
+                    args.sweeps,
+                    observer,
+                    |n| {
+                        counter.record(n);
+                        n.joint_prob().ln()
+                    },
+                    controller.as_mut(),
+                );
             } else {
                 let mut engine = GibbsEngine::new(
                     args.pipeline.build(),
                     build_sampler(&args.sampler),
                     SplitMix64::new(args.seed),
                 );
+                let mut stats = RunStats::default();
                 for _ in 0..args.sweeps {
                     engine.sweep(&mut net, &mut stats);
                     counter.record(&net);
@@ -259,18 +447,21 @@ fn cmd_run(args: RunArgs) -> Result<(), String> {
         }
         BuiltWorkload::Lda(mut lda) => {
             let ll0 = lda.log_likelihood();
-            if tracing {
+            if tracing || controller.is_some() {
                 let mut engine = GibbsEngine::with_recorder(
                     args.pipeline.build(),
                     build_sampler(&args.sampler),
                     SplitMix64::new(args.seed),
                     &recorder,
                 );
-                let mut stats = coopmc::core::engine::RunStats::default();
-                for _ in 0..args.sweeps {
-                    engine.sweep(&mut lda, &mut stats);
-                    recorder.observe_stat(0, engine.journal_iteration(), lda.log_likelihood());
-                }
+                drive_gibbs(
+                    &mut engine,
+                    &mut lda,
+                    args.sweeps,
+                    observer,
+                    |l| l.log_likelihood(),
+                    controller.as_mut(),
+                );
             } else {
                 let mut engine = GibbsEngine::new(
                     args.pipeline.build(),
@@ -281,6 +472,9 @@ fn cmd_run(args: RunArgs) -> Result<(), String> {
             }
             println!("log-likelihood: {ll0:.0} -> {:.0}", lda.log_likelihood());
         }
+    }
+    if let Some(ctl) = &controller {
+        report_health(ctl, args.sweeps);
     }
     if let Some(path) = &args.journal_out {
         write_output(path, &recorder.journal_jsonl())?;
@@ -347,7 +541,7 @@ fn cmd_verify(demo_broken: bool, json: bool) -> Result<(), String> {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  coopmc list\n  coopmc run <workload> [--pipeline SPEC] [--sampler seq|tree|pipe|alias] [--sweeps N] [--seed S] [--threads T] [--journal-out F] [--trace-out F] [--metrics-out F]\n  coopmc hw [--labels N]\n  coopmc verify [--json] [--demo-broken]"
+    "usage:\n  coopmc list\n  coopmc run <workload> [--pipeline SPEC] [--sampler seq|tree|pipe|alias] [--sweeps N] [--seed S] [--threads T] [--health] [--early-stop-rhat R] [--early-stop-ess E] [--journal-out F] [--trace-out F] [--metrics-out F]\n  coopmc hw [--labels N]\n  coopmc verify [--json] [--demo-broken]"
 }
 
 fn main() -> ExitCode {
@@ -427,6 +621,35 @@ mod tests {
         assert_eq!(parsed.seed, 7);
         assert_eq!(parsed.sampler, "seq");
         assert_eq!(parsed.threads, 1);
+    }
+
+    #[test]
+    fn health_flags_parse_and_imply_monitoring() {
+        let to_vec = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        let plain = parse_run_args(&to_vec(&["w"])).unwrap();
+        assert!(!plain.health_enabled());
+
+        let health = parse_run_args(&to_vec(&["w", "--health"])).unwrap();
+        assert!(health.health && health.health_enabled());
+        assert_eq!(health.early_stop_rhat, None);
+
+        let rhat = parse_run_args(&to_vec(&["w", "--early-stop-rhat", "1.05"])).unwrap();
+        assert!(rhat.health_enabled(), "early-stop implies health");
+        assert_eq!(rhat.early_stop_rhat, Some(1.05));
+
+        let ess = parse_run_args(&to_vec(&["w", "--early-stop-ess", "250"])).unwrap();
+        assert!(ess.health_enabled());
+        assert_eq!(ess.early_stop_ess, Some(250.0));
+    }
+
+    #[test]
+    fn health_flags_reject_bad_thresholds() {
+        let to_vec = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        assert!(parse_run_args(&to_vec(&["w", "--early-stop-rhat", "0.9"])).is_err());
+        assert!(parse_run_args(&to_vec(&["w", "--early-stop-rhat", "nan"])).is_err());
+        assert!(parse_run_args(&to_vec(&["w", "--early-stop-ess", "0"])).is_err());
+        assert!(parse_run_args(&to_vec(&["w", "--early-stop-ess", "-5"])).is_err());
+        assert!(parse_run_args(&to_vec(&["w", "--early-stop-ess"])).is_err());
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! End-to-end chain-health integration: monitoring is invisible to the
+//! chain (bit-identical labels and chain-visible journal fields with health
+//! on vs off), the early-stop controller ends an easy-converging chain well
+//! inside its sweep budget with the converged R-hat on record, and health
+//! diagnostics are thread-count independent on the chromatic engine.
+
+use coopmc::core::engine::{GibbsEngine, RunStats};
+use coopmc::core::parallel::ChromaticEngine;
+use coopmc::core::pipeline::{CoopMcPipeline, PipelineConfig};
+use coopmc::models::bn::asia;
+use coopmc::models::mrf::image_segmentation;
+use coopmc::models::GibbsModel;
+use coopmc::obs::health::{ChainHealth, ConvergenceController, Decision, EarlyStop, HealthConfig};
+use coopmc::obs::journal::{validate_journal, HEALTH_SCHEMA};
+use coopmc::obs::{json, Recorder, TraceRecorder};
+use coopmc::rng::SplitMix64;
+use coopmc::sampler::TreeSampler;
+
+/// Health config for tests: metrics off so parallel tests don't race on the
+/// process-global registry.
+fn quiet(cfg: HealthConfig) -> HealthConfig {
+    HealthConfig {
+        publish_metrics: false,
+        ..cfg
+    }
+}
+
+/// Run a traced single-thread MRF chain, optionally under a health monitor,
+/// and return the final labels plus the journal.
+fn mrf_chain(sweeps: u64, health: bool) -> (Vec<usize>, String) {
+    let mut app = image_segmentation(24, 24, 11);
+    let recorder = TraceRecorder::new();
+    let mut engine = GibbsEngine::with_recorder(
+        PipelineConfig::coopmc(1024, 16).build(),
+        TreeSampler::new(),
+        SplitMix64::new(9),
+        &recorder,
+    );
+    let mut ctl = health.then(|| {
+        EarlyStop::monitor(ChainHealth::new(
+            0,
+            quiet(HealthConfig {
+                refresh_stride: 1,
+                ..HealthConfig::default()
+            }),
+        ))
+        .with_recorder(&recorder)
+    });
+    let mut stats = RunStats::default();
+    for _ in 0..sweeps {
+        let (u0, f0, fb0) = (stats.updates, stats.flips, stats.uniform_fallbacks);
+        engine.sweep(&mut app.mrf, &mut stats);
+        let energy = app.mrf.energy();
+        recorder.observe_stat(0, engine.journal_iteration(), energy);
+        if let Some(c) = ctl.as_mut() {
+            c.observe_sweep(
+                engine.journal_iteration(),
+                stats.updates - u0,
+                stats.flips - f0,
+                stats.uniform_fallbacks - fb0,
+                Some(energy),
+            );
+        }
+    }
+    (app.mrf.labels(), recorder.journal_jsonl())
+}
+
+/// The chain-visible fields of one `coopmc-journal/1` sweep line (wall-clock
+/// fields are nondeterministic and excluded).
+fn chain_visible(line: &str) -> (u64, u64, u64, u64, Option<f64>) {
+    let v = json::parse(line).expect("journal line must be JSON");
+    let int = |k: &str| v.get(k).and_then(|x| x.as_num()).unwrap() as u64;
+    (
+        int("iteration"),
+        int("updates"),
+        int("flips"),
+        int("uniform_fallbacks"),
+        v.get("stat").and_then(|x| x.as_num()),
+    )
+}
+
+#[test]
+fn health_monitoring_is_chain_invisible() {
+    let (labels_off, journal_off) = mrf_chain(12, false);
+    let (labels_on, journal_on) = mrf_chain(12, true);
+    assert_eq!(
+        labels_off, labels_on,
+        "health observation leaked into the chain"
+    );
+
+    // The health-on journal adds coopmc-health/1 lines but leaves every
+    // chain-visible sweep field untouched.
+    let sweeps = |journal: &str| {
+        journal
+            .lines()
+            .filter(|l| !l.contains(HEALTH_SCHEMA))
+            .map(chain_visible)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(sweeps(&journal_off), sweeps(&journal_on));
+    assert_eq!(sweeps(&journal_off).len(), 12);
+    assert!(
+        journal_on.lines().any(|l| l.contains(HEALTH_SCHEMA)),
+        "monitored run must journal health records"
+    );
+    validate_journal(&journal_on).expect("mixed sweep + health journal must validate");
+    validate_journal(&journal_off).expect("plain journal must validate");
+}
+
+#[test]
+fn early_stop_ends_an_easy_chain_inside_half_the_budget() {
+    const BUDGET: u64 = 2000;
+    let mut net = asia();
+    let recorder = TraceRecorder::new();
+    let mut engine = GibbsEngine::with_recorder(
+        PipelineConfig::float32().build(),
+        TreeSampler::new(),
+        SplitMix64::new(2022),
+        &recorder,
+    );
+    let health = ChainHealth::new(0, quiet(HealthConfig::default()));
+    let mut ctl = EarlyStop::new(health, 1.01, 50.0).with_recorder(&recorder);
+    let mut stats = RunStats::default();
+    for _ in 0..BUDGET {
+        let (u0, f0, fb0) = (stats.updates, stats.flips, stats.uniform_fallbacks);
+        engine.sweep(&mut net, &mut stats);
+        let stat = net.joint_prob().ln();
+        recorder.observe_stat(0, engine.journal_iteration(), stat);
+        let decision = ctl.observe_sweep(
+            engine.journal_iteration(),
+            stats.updates - u0,
+            stats.flips - f0,
+            stats.uniform_fallbacks - fb0,
+            Some(stat),
+        );
+        if decision == Decision::Stop {
+            break;
+        }
+    }
+
+    let info = ctl.stop_info();
+    assert!(
+        info.stopped_early,
+        "ASIA must converge under the controller"
+    );
+    assert!(
+        info.iteration < BUDGET / 2,
+        "stopped at sweep {} of {BUDGET}: not inside half the budget",
+        info.iteration
+    );
+    let rhat = info.rhat.expect("a stop decision carries R-hat");
+    assert!(rhat <= 1.01, "stopped with R-hat {rhat} > threshold");
+    assert!(info.ess.expect("a stop decision carries ESS") >= 50.0);
+
+    // The converged diagnostics are on record in the journal.
+    let journal = recorder.journal_jsonl();
+    validate_journal(&journal).expect("early-stopped journal must validate");
+    let journaled_rhat = journal
+        .lines()
+        .filter(|l| l.contains(HEALTH_SCHEMA))
+        .filter_map(|l| json::parse(l).ok())
+        .filter_map(|v| v.get("rhat").and_then(|r| r.as_num()))
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        journaled_rhat <= 1.01,
+        "journal's best R-hat {journaled_rhat} never reached the threshold"
+    );
+}
+
+#[test]
+fn chromatic_health_diagnostics_are_thread_count_independent() {
+    let run = |threads: usize| {
+        let mut app = image_segmentation(16, 16, 8);
+        let engine = ChromaticEngine::new(CoopMcPipeline::new(64, 8), threads, 77);
+        let mut ctl = EarlyStop::monitor(ChainHealth::new(
+            0,
+            quiet(HealthConfig {
+                refresh_stride: 1,
+                ..HealthConfig::default()
+            }),
+        ));
+        engine.run_controlled(&mut app.mrf, 16, |m| Some(m.energy()), &mut ctl);
+        (app.mrf.labels(), *ctl.health().record())
+    };
+    let (labels_1, rec_1) = run(1);
+    let (labels_4, rec_4) = run(4);
+    assert_eq!(labels_1, labels_4);
+    assert_eq!(
+        rec_1, rec_4,
+        "health diagnostics must not depend on the worker-pool shape"
+    );
+    assert_eq!(rec_1.iteration, 16);
+    assert!(rec_1.ess.is_some() && rec_1.rhat.is_some());
+}
