@@ -7,13 +7,32 @@
 //! limit, wire provenance) instead of text — CI archives it as an
 //! artifact. `--demo-broken` verifies deliberately broken configurations
 //! instead, demonstrating (and letting CI assert) that the gate actually
-//! fails. The flags combine.
+//! fails. `--export-schematic DIR` additionally writes the canonical
+//! circuits' graphviz/JSON schematics into `DIR`. The flags combine.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let demo = std::env::args().any(|a| a == "--demo-broken");
-    let json = std::env::args().any(|a| a == "--json");
+    let args: Vec<String> = std::env::args().collect();
+    let demo = args.iter().any(|a| a == "--demo-broken");
+    let json = args.iter().any(|a| a == "--json");
+    if let Some(i) = args.iter().position(|a| a == "--export-schematic") {
+        let Some(dir) = args.get(i + 1) else {
+            eprintln!("--export-schematic needs a directory argument");
+            return ExitCode::FAILURE;
+        };
+        match coopmc_analyze::descriptor::export_schematics(std::path::Path::new(dir)) {
+            Ok(written) => {
+                for p in written {
+                    eprintln!("wrote {}", p.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("schematic export failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let report = if demo {
         coopmc_analyze::verify::run_broken_demo()
     } else {

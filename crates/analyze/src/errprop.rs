@@ -317,6 +317,32 @@ pub enum LutErrorModel {
     Lipschitz(f64),
 }
 
+/// How a [`LutErrorModel`] is attached to the netlist's LUT instances.
+///
+/// Since LUTs carry a named [`coopmc_sim::LutSpec`], the natural key is the
+/// ROM id — one declaration covers every instance of the same table (all
+/// `lanes` copies of `"table-exp"` in a PG core). Index keys remain for
+/// pinpointing a single component when two same-id ROMs need different
+/// models. A LUT matched by *neither* key is undeclared and propagates
+/// `+∞`, exactly as before ids existed — soundness never hinges on a ROM
+/// merely having a name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LutKey {
+    /// Match the component at this index in [`Netlist::components`].
+    Index(usize),
+    /// Match every LUT whose [`coopmc_sim::LutSpec::id`] equals this id.
+    Id(&'static str),
+}
+
+impl LutKey {
+    fn matches(&self, index: usize, comp: &Component) -> bool {
+        match self {
+            LutKey::Index(i) => *i == index,
+            LutKey::Id(id) => comp.lut_spec().is_some_and(|s| s.id == *id),
+        }
+    }
+}
+
 /// The per-wire worst-case errors of one netlist.
 #[derive(Debug)]
 pub struct ErrorAnalysis {
@@ -356,7 +382,7 @@ impl ErrorAnalysis {
                             comp.operands().iter().map(|o| format!("w{o}")).collect();
                         out.push(format!(
                             "w{w} = {}({}) err ≤ {:.3e}",
-                            comp.kind(),
+                            comp.label(),
                             ops.join(", "),
                             self.errors[w]
                         ));
@@ -406,13 +432,13 @@ fn table_exp_error(table: &TableExp, lo: f64, hi: f64, e_in: f64) -> f64 {
 ///
 /// `input_errors` declares the worst-case error already present on each
 /// input wire (e.g. one accumulator-grid rounding per quantized factor);
-/// undeclared inputs are exact. `lut_models` maps *component indices* (not
-/// wires) to their [`LutErrorModel`]; undeclared LUTs propagate `+∞`.
+/// undeclared inputs are exact. `lut_models` attaches [`LutErrorModel`]s by
+/// [`LutKey`] — ROM id or component index; undeclared LUTs propagate `+∞`.
 pub fn analyze_errors(
     netlist: &Netlist,
     ranges: &RangeAnalysis,
     input_errors: &[(Wire, f64)],
-    lut_models: &[(usize, LutErrorModel)],
+    lut_models: &[(LutKey, LutErrorModel)],
     max_iterations: usize,
 ) -> ErrorAnalysis {
     let n = netlist.n_wires();
@@ -455,7 +481,7 @@ pub fn analyze_errors(
                     err[out] = e;
                 }
                 Component::Lut { input, out, .. } => {
-                    let model = lut_models.iter().find(|(idx, _)| *idx == c);
+                    let model = lut_models.iter().find(|(key, _)| key.matches(c, comp));
                     let iv = ranges.interval(input);
                     err[out] = match model {
                         Some((_, LutErrorModel::TableExp(t))) => {
@@ -506,6 +532,7 @@ mod tests {
     use super::*;
     use crate::interval::Interval;
     use crate::netcheck::{analyze, AnalysisOptions};
+    use coopmc_sim::LutSpec;
 
     fn cfg(name: &str, size: usize, bit: u32) -> DatapathConfig {
         DatapathConfig::coopmc(name, size, bit)
@@ -602,14 +629,25 @@ mod tests {
     fn undeclared_luts_are_unbounded() {
         let mut n = Netlist::new();
         let a = n.input();
-        let l = n.lut(a, std::rc::Rc::new(|x: f64| x));
+        let l = n.lut(a, LutSpec::opaque("identity", std::rc::Rc::new(|x: f64| x)));
         let ra = analyze(
             &n,
             &[(a, Interval::new(0.0, 1.0))],
             &AnalysisOptions::default(),
         );
+        // No model at all: the ROM's output error is unbounded.
         let ea = analyze_errors(&n, &ra, &[(a, 0.0)], &[], 64);
         assert!(ea.error(l).is_infinite());
+        // A model keyed to a *different* id must not attach either.
+        let miss = [(LutKey::Id("table-exp"), LutErrorModel::Lipschitz(1.0))];
+        let ea = analyze_errors(&n, &ra, &[(a, 0.0)], &miss, 64);
+        assert!(ea.error(l).is_infinite());
+        // Keyed by index or by the right id, the Lipschitz model applies.
+        for key in [LutKey::Index(0), LutKey::Id("identity")] {
+            let hit = [(key, LutErrorModel::Lipschitz(1.0))];
+            let ea = analyze_errors(&n, &ra, &[(a, 0.25)], &hit, 64);
+            assert_eq!(ea.error(l), 0.25);
+        }
     }
 
     #[test]

@@ -30,10 +30,16 @@
 //!   primitives, list-schedule them under unit-capacity resources and
 //!   check every closed-form latency formula, the pipelined sampler's
 //!   II = 1 claim and the SRAM roofline.
+//! - [`descriptor`] — the `descriptor-drift` gate: every circuit's typed
+//!   [`coopmc_sim::CircuitDescriptor`] is cross-checked against its
+//!   netlist census, the closed-form schedule DAGs, the structural area
+//!   anchors and a dead-wire/unconnected-pin lint, and the canonical
+//!   circuits' schematics are exported as graphviz/JSON.
 //! - [`verify`] — the full in-tree sweep behind the `coopmc-verify` binary
 //!   and the `coopmc verify` CLI subcommand; exits nonzero on any error.
 
 pub mod contracts;
+pub mod descriptor;
 pub mod errprop;
 pub mod interval;
 pub mod netcheck;
@@ -42,6 +48,9 @@ pub mod schedule;
 pub mod verify;
 
 pub use contracts::{check_datapath, in_tree_configs, ContractViolation, DatapathConfig};
+pub use descriptor::{
+    broken_descriptor_demo, comb_depth, export_schematics, lint_descriptor, verify_descriptors,
+};
 pub use errprop::{
     analyze_errors, check_quality, declared_contract, propagate_datapath, ErrorAnalysis,
     ErrorBudget, LutErrorModel, QualityContract,
@@ -50,7 +59,7 @@ pub use interval::Interval;
 pub use netcheck::{AnalysisOptions, RangeAnalysis, Severity, WireDiagnostic};
 pub use races::{check_chromatic, check_classes, ChromaticError, ColoringAudit};
 pub use schedule::{
-    check_claim, normtree_dag, pg_invocation_cycles, sequential_sampler_dag, tree_sampler_dag,
-    verify_schedules, DepDag, ScheduleFinding,
+    check_claim, dag_from_descriptor, normtree_dag, pg_invocation_cycles, sequential_sampler_dag,
+    tree_sampler_dag, verify_schedules, DepDag, ScheduleFinding,
 };
 pub use verify::{run_all, run_broken_demo, VerifyReport};

@@ -299,9 +299,11 @@ pub fn analyze(
                 Component::Mux { sel, lo, hi, out } => {
                     iv[out] = Interval::mux(iv[sel], iv[lo], iv[hi])
                 }
-                Component::Lut { input, out, ref f } => {
-                    iv[out] = iv[input].lut(&**f, opts.lut_samples)
-                }
+                Component::Lut {
+                    input,
+                    out,
+                    ref spec,
+                } => iv[out] = iv[input].lut(&*spec.f, opts.lut_samples),
             }
         }
     };
@@ -344,6 +346,7 @@ pub fn analyze(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use coopmc_sim::LutSpec;
     use std::rc::Rc;
 
     #[test]
@@ -425,7 +428,7 @@ mod tests {
     fn lut_component_is_bounded_by_sampling() {
         let mut n = Netlist::new();
         let a = n.input();
-        let e = n.lut(a, Rc::new(|x: f64| x.exp()));
+        let e = n.lut(a, LutSpec::opaque("exp", Rc::new(|x: f64| x.exp())));
         let ra = analyze(
             &n,
             &[(a, Interval::new(-2.0, 0.0))],

@@ -7,7 +7,7 @@
 //! distribution (a data race in the statistical sense, even when the
 //! memory accesses are clean). This module verifies the assumption
 //! statically: [`check_chromatic`] audits any
-//! [`ChromaticModel`](coopmc_models::coloring::ChromaticModel) against its
+//! [`ChromaticModel`] against its
 //! own [`dependency_graph`](coopmc_models::coloring::ChromaticModel::dependency_graph),
 //! and [`check_classes`] does the same for a raw (graph, classes) pair.
 

@@ -47,6 +47,7 @@ use coopmc_hw::pgpipe::{self, PipeKind};
 use coopmc_hw::roofline::roofline;
 use coopmc_sampler::{PipeTreeSampler, Sampler, SequentialSampler, TreeSampler};
 use coopmc_sim::circuits::PipeTreeSamplerCircuit;
+use coopmc_sim::CircuitDescriptor;
 
 use crate::netcheck::Severity;
 
@@ -524,6 +525,192 @@ pub fn batched_pg_dag(rows: u64, pg_units: u64, per_call_cycles: u64, sync_cycle
     d
 }
 
+/// Derive a dependence DAG from a circuit's typed [`CircuitDescriptor`].
+///
+/// The hand-built `*_dag` constructors above encode what the closed-form
+/// latency formulas *claim*; this builder reads the structure the netlist
+/// actually has — one op per comparator/adder/ROM counted in the
+/// descriptor's netlist-derived slices. The `descriptor-drift` verify
+/// section cross-checks the two: a circuit that silently grows or loses a
+/// component diverges here first, with the offending layer named in the
+/// op list.
+///
+/// Supported kinds: `norm-tree`, `tree-sampler`, `pipe-tree-sampler`,
+/// `pg-core`.
+///
+/// # Panics
+///
+/// Panics on a descriptor kind this builder does not know.
+pub fn dag_from_descriptor(desc: &CircuitDescriptor, lt: &LatencyTable) -> DepDag {
+    let mut d = DepDag::new();
+    match desc.kind {
+        "norm-tree" => {
+            let levels = max_layer_ops(&mut d, desc, &[], lt);
+            let root = *levels
+                .last()
+                .and_then(|l| l.first())
+                .expect("norm tree descriptor has at least one comparator");
+            d.add("max-reg", lt.stage_reg, None, false, &[root]);
+        }
+        "tree-sampler" | "pipe-tree-sampler" => tree_sampler_ops(&mut d, desc, lt),
+        "pg-core" => pg_core_ops(&mut d, desc, lt),
+        other => panic!("no DAG builder for descriptor kind {other:?}"),
+    }
+    d
+}
+
+/// Add one comparator op per comparator each `max-layer` child owns,
+/// wired as a binary reduction. Layer 0 reads `base` (empty = external
+/// inputs). Returns the ops per layer.
+fn max_layer_ops(
+    d: &mut DepDag,
+    tree: &CircuitDescriptor,
+    base: &[OpId],
+    lt: &LatencyTable,
+) -> Vec<Vec<OpId>> {
+    let mut levels: Vec<Vec<OpId>> = Vec::new();
+    for (l, layer) in tree.children_of_kind("max-layer").into_iter().enumerate() {
+        let prev: &[OpId] = if l == 0 { base } else { &levels[l - 1] };
+        let mut ops = Vec::with_capacity(layer.counts.comparators);
+        for i in 0..layer.counts.comparators {
+            let preds: Vec<OpId> = prev
+                .get(2 * i)
+                .into_iter()
+                .chain(prev.get(2 * i + 1))
+                .copied()
+                .collect();
+            ops.push(d.add(
+                format!("cmp-l{l}-{i}"),
+                lt.tree_layer,
+                Some(format!("comparator-l{l}-{i}")),
+                true,
+                &preds,
+            ));
+        }
+        levels.push(ops);
+    }
+    levels
+}
+
+/// Ops of a (pipelined or combinational) tree sampler descriptor: the
+/// `sum` child's adder layers, ThresholdGen, the `traverse` child's
+/// comparator steps (with the same sum-level cross-links as
+/// [`tree_sampler_dag`]) and the output register.
+fn tree_sampler_ops(d: &mut DepDag, desc: &CircuitDescriptor, lt: &LatencyTable) {
+    let sum = desc
+        .child("sum")
+        .expect("tree sampler descriptor has a sum stage");
+    let mut levels: Vec<Vec<OpId>> = Vec::new();
+    for (l, level) in sum.children_of_kind("sum-layer").into_iter().enumerate() {
+        let mut ops = Vec::with_capacity(level.counts.adders);
+        for i in 0..level.counts.adders {
+            let preds: Vec<OpId> = if l == 0 {
+                vec![]
+            } else {
+                levels[l - 1]
+                    .get(2 * i)
+                    .into_iter()
+                    .chain(levels[l - 1].get(2 * i + 1))
+                    .copied()
+                    .collect()
+            };
+            ops.push(d.add(
+                format!("sum-l{l}-{i}"),
+                lt.add,
+                Some(format!("sum-adder-l{l}-{i}")),
+                true,
+                &preds,
+            ));
+        }
+        levels.push(ops);
+    }
+    let depth = levels.len();
+    let root = *levels
+        .last()
+        .and_then(|l| l.first())
+        .expect("sum stage has at least one adder");
+    let mul = d.add(
+        "threshold-mul",
+        lt.threshold_mul,
+        Some("threshold-mul".into()),
+        false,
+        &[root],
+    );
+    let mut chain = d.add("threshold-reg", lt.stage_reg, None, false, &[mul]);
+    let traverse = desc
+        .child("traverse")
+        .expect("tree sampler descriptor has a traverse stage");
+    for (k, step) in traverse
+        .children_of_kind("traverse-step")
+        .into_iter()
+        .enumerate()
+    {
+        // One serial op per comparator the step actually owns: a step that
+        // silently gains one lengthens the chain and fails the cross-check.
+        for c in 0..step.counts.comparators {
+            let mut preds = vec![chain];
+            if c == 0 && k + 2 <= depth {
+                preds.push(levels[depth - 2 - k][0]);
+            }
+            let name = if c == 0 {
+                format!("traverse{k}")
+            } else {
+                format!("traverse{k}+{c}")
+            };
+            chain = d.add(
+                name,
+                lt.tree_layer,
+                Some(format!("traverse-comparator-l{k}")),
+                true,
+                &preds,
+            );
+        }
+    }
+    d.add("label-reg", lt.stage_reg, None, false, &[chain]);
+}
+
+/// Ops of a combinational PG core descriptor: per-lane factor adder
+/// chains, the shared `norm` max tree over the lane scores, then the
+/// broadcast subtract and TableExp ROM per lane.
+fn pg_core_ops(d: &mut DepDag, desc: &CircuitDescriptor, lt: &LatencyTable) {
+    let mut tails: Vec<OpId> = Vec::new();
+    for (lane, chain) in desc
+        .children_of_kind("factor-chain")
+        .into_iter()
+        .enumerate()
+    {
+        let mut prev: Option<OpId> = None;
+        for k in 0..chain.counts.adders {
+            let preds: Vec<OpId> = prev.into_iter().collect();
+            prev = Some(d.add(format!("lane{lane}-add{k}"), lt.add, None, true, &preds));
+        }
+        // A one-factor lane has no adders; its score is an external input.
+        tails.extend(prev);
+    }
+    let norm = desc
+        .child("norm")
+        .expect("pg core descriptor has a norm tree");
+    let levels = max_layer_ops(d, norm, &tails, lt);
+    let root = *levels
+        .last()
+        .and_then(|l| l.first())
+        .expect("norm tree has at least one comparator");
+    let exp = desc
+        .child("exp")
+        .expect("pg core descriptor has an exp stage");
+    for i in 0..exp.counts.luts.max(exp.counts.adders) {
+        let mut sub_preds = vec![root];
+        sub_preds.extend(tails.get(i));
+        let mut prev = root;
+        if i < exp.counts.adders {
+            prev = d.add(format!("shift{i}"), lt.add, None, true, &sub_preds);
+        }
+        if i < exp.counts.luts {
+            d.add(format!("exp{i}"), lt.lut, None, true, &[prev]);
+        }
+    }
+}
+
 /// One finding of the schedule verifier.
 #[derive(Debug, Clone)]
 pub struct ScheduleFinding {
@@ -940,6 +1127,47 @@ mod tests {
         .expect("the over-claimed width must surface");
         assert_eq!(finding.severity, Severity::Error);
         assert!(finding.message.contains("under-claims"));
+    }
+
+    #[test]
+    fn descriptor_dags_agree_with_the_hand_built_claims() {
+        use coopmc_sim::circuits::{NormTreeCircuit, TreeSamplerCircuit};
+        let table = lt();
+        for width in [2usize, 4, 16] {
+            let hand = normtree_dag(width, &table);
+            let derived = dag_from_descriptor(NormTreeCircuit::new(width).descriptor(), &table);
+            assert_eq!(derived.len(), hand.len(), "width={width}");
+            assert_eq!(
+                derived.critical_path().length,
+                hand.critical_path().length,
+                "width={width}"
+            );
+            assert_eq!(derived.netlist_depth(), hand.netlist_depth());
+        }
+        for n in [4usize, 8, 64] {
+            let hand = tree_sampler_dag(n, &table, false);
+            let derived = dag_from_descriptor(TreeSamplerCircuit::new(n).descriptor(), &table);
+            assert_eq!(derived.len(), hand.len(), "n={n}");
+            assert_eq!(derived.critical_path().length, hand.critical_path().length);
+            assert_eq!(derived.netlist_depth(), hand.netlist_depth());
+            assert_eq!(derived.min_initiation_interval(), 1);
+        }
+        let pipe = dag_from_descriptor(PipeTreeSamplerCircuit::new(16).descriptor(), &table);
+        let hand = tree_sampler_dag(16, &table, false);
+        assert_eq!(pipe.critical_path().length, hand.critical_path().length);
+    }
+
+    #[test]
+    fn pg_core_descriptor_dag_has_one_op_per_component() {
+        use coopmc_sim::circuits::PgCoreCircuit;
+        let core = PgCoreCircuit::new(4, 5, 64, 8);
+        let d = dag_from_descriptor(core.descriptor(), &lt());
+        let census = core.descriptor().census();
+        assert_eq!(
+            d.len(),
+            census.adders + census.comparators + census.luts,
+            "one op per adder/comparator/ROM"
+        );
     }
 
     #[test]

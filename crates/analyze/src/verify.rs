@@ -1,6 +1,6 @@
 //! The full in-tree verification sweep behind `coopmc-verify`.
 //!
-//! [`run_all`] runs six sections and collects their findings into a
+//! [`run_all`] runs seven sections and collects their findings into a
 //! [`VerifyReport`]:
 //!
 //! 1. **netlist-ranges** — abstract interpretation of every structural
@@ -20,8 +20,12 @@
 //!    [`crate::schedule`]: sampler/PG latency formulas versus
 //!    list-scheduled critical paths, II = 1 for the pipelined sampler,
 //!    structural-hazard freedom and the SRAM roofline.
-//! 6. **chromatic-schedules** — the race detector over every in-tree
-//!    [`ChromaticModel`](coopmc_models::coloring::ChromaticModel).
+//! 6. **descriptor-drift** — the typed-descriptor cross-checks of
+//!    [`crate::descriptor`]: every circuit's descriptor-derived census,
+//!    schedule DAG and structural area against the netlist and the
+//!    closed forms, plus the dead-wire/unconnected-pin lint.
+//! 7. **chromatic-schedules** — the race detector over every in-tree
+//!    [`ChromaticModel`].
 //!
 //! Errors fail the gate (nonzero exit); warnings and notes never do.
 //! [`VerifyReport::to_json`] renders the same findings as a machine-readable
@@ -41,7 +45,7 @@ use coopmc_sim::circuits::{
 use coopmc_sim::{Component, Netlist, Wire};
 
 use crate::contracts::{check_datapath, in_tree_configs, ContractViolation, DatapathConfig};
-use crate::errprop::{analyze_errors, check_quality, declared_contract, LutErrorModel};
+use crate::errprop::{analyze_errors, check_quality, declared_contract, LutErrorModel, LutKey};
 use crate::interval::Interval;
 use crate::netcheck::{analyze, AnalysisOptions, DiagnosticKind, Severity};
 use crate::races::check_chromatic;
@@ -536,15 +540,9 @@ fn errprop_section() -> SectionReport {
             .flatten()
             .map(|&w| (w, q))
             .collect();
+        // One id-keyed declaration covers every "table-exp" ROM instance.
         let table = TableExp::with_range(size_lut, bit_lut, cfg.lut_range);
-        let lut_models: Vec<(usize, LutErrorModel)> = core
-            .netlist()
-            .components()
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| matches!(c, Component::Lut { .. }))
-            .map(|(i, _)| (i, LutErrorModel::TableExp(table.clone())))
-            .collect();
+        let lut_models = [(LutKey::Id("table-exp"), LutErrorModel::TableExp(table))];
         let ea = analyze_errors(core.netlist(), &ra, &input_errors, &lut_models, 64);
         let budget = crate::errprop::propagate_datapath(&cfg, WORKLOAD_LABELS, factors as u64);
         let closed_form = budget.rel_factor + budget.abs_floor;
@@ -597,7 +595,20 @@ fn schedule_section() -> SectionReport {
     section
 }
 
-/// Section 6: race-detect every in-tree chromatic model.
+/// Section 6: descriptor drift — every circuit's typed descriptor against
+/// its netlist census, the closed-form schedule DAGs, the structural area
+/// anchors and the dead-wire lint.
+fn descriptor_section() -> SectionReport {
+    let mut section = SectionReport::new("descriptor-drift");
+    let (checks, findings) = crate::descriptor::verify_descriptors();
+    section.checks = checks;
+    for f in findings {
+        section.push(f);
+    }
+    section
+}
+
+/// Section 7: race-detect every in-tree chromatic model.
 fn chromatic_section() -> SectionReport {
     let mut section = SectionReport::new("chromatic-schedules");
     let seed = 7u64;
@@ -656,6 +667,7 @@ pub fn run_all() -> VerifyReport {
             pgpipe_section(),
             errprop_section(),
             schedule_section(),
+            descriptor_section(),
             chromatic_section(),
         ],
     }
@@ -673,7 +685,10 @@ pub fn run_all() -> VerifyReport {
 /// - a sampler latency formula under-claiming its critical path, plus a
 ///   shared traverse comparator that breaks the II = 1 claim, and
 /// - a batched-PG bank claiming 8 parallel units when the modeled hardware
-///   round-robins its rows over only 4 (an over-claimed batch width).
+///   round-robins its rows over only 4 (an over-claimed batch width), and
+/// - a tree-sampler descriptor whose traverse-step comparator count
+///   silently diverged from the netlist (the descriptor-drift gate fails
+///   with the tampered node's path and pins in the provenance).
 pub fn run_broken_demo() -> VerifyReport {
     let mut broken = DatapathConfig::coopmc("demo-broken:64x8-range2", 64, 8);
     broken.lut_range = 2.0;
@@ -705,14 +720,7 @@ pub fn run_broken_demo() -> VerifyReport {
         .map(|&w| (w, q))
         .collect();
     let table = TableExp::with_range(coarse.size_lut, coarse.bit_lut, coarse.lut_range);
-    let lut_models: Vec<(usize, LutErrorModel)> = core
-        .netlist()
-        .components()
-        .iter()
-        .enumerate()
-        .filter(|(_, c)| matches!(c, Component::Lut { .. }))
-        .map(|(i, _)| (i, LutErrorModel::TableExp(table.clone())))
-        .collect();
+    let lut_models = [(LutKey::Id("table-exp"), LutErrorModel::TableExp(table))];
     let ea = analyze_errors(core.netlist(), &ra, &input_errors, &lut_models, 64);
     let worst = core
         .output_wires()
@@ -808,11 +816,20 @@ pub fn run_broken_demo() -> VerifyReport {
         });
     }
 
+    // Descriptor-drift demo: a comparator count that silently diverged.
+    let mut descsec = SectionReport::new("descriptor-drift");
+    let (checks, findings) = crate::descriptor::broken_descriptor_demo();
+    descsec.checks = checks;
+    for f in findings {
+        descsec.push(f);
+    }
+
     VerifyReport {
         sections: vec![
             contract_section("datapath-contracts", &[broken, narrow]),
             errsec,
             schedsec,
+            descsec,
         ],
     }
 }
@@ -834,6 +851,7 @@ mod tests {
         let titles: Vec<&str> = report.sections.iter().map(|s| s.title.as_str()).collect();
         assert!(titles.contains(&"error-propagation"));
         assert!(titles.contains(&"pipeline-schedules"));
+        assert!(titles.contains(&"descriptor-drift"));
     }
 
     #[test]
@@ -860,8 +878,23 @@ mod tests {
             .find(|f| f.check == "error-tv-bound")
             .expect("tv finding present");
         assert!(tv.provenance.iter().any(|l| l.starts_with("lut-step")));
-        assert!(tv.provenance.iter().any(|l| l.contains("Lut(")));
+        // The wire-level trace names the ROM by its LutSpec id.
+        assert!(tv.provenance.iter().any(|l| l.contains("Lut[table-exp](")));
         assert!(tv.bound.unwrap() > tv.limit.unwrap());
+        // The descriptor-drift demo fails with path+pin provenance.
+        let descsec = report
+            .sections
+            .iter()
+            .find(|s| s.title == "descriptor-drift")
+            .expect("descriptor section present");
+        let census = descsec
+            .errors()
+            .find(|f| f.check == "census-drift")
+            .expect("census drift present");
+        assert!(census
+            .provenance
+            .iter()
+            .any(|l| l.contains("traverse/step3") && l.contains("bit(out")));
     }
 
     #[test]

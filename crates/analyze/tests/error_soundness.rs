@@ -13,7 +13,7 @@
 
 use std::rc::Rc;
 
-use coopmc_analyze::errprop::{analyze_errors, propagate_datapath, LutErrorModel};
+use coopmc_analyze::errprop::{analyze_errors, propagate_datapath, LutErrorModel, LutKey};
 use coopmc_analyze::interval::Interval;
 use coopmc_analyze::netcheck::{analyze, AnalysisOptions};
 use coopmc_analyze::schedule::{sequential_sampler_dag, tree_sampler_dag};
@@ -22,7 +22,7 @@ use coopmc_hw::cycles::LatencyTable;
 use coopmc_kernels::exp::{ExpKernel, TableExp};
 use coopmc_sampler::{Sampler, SequentialSampler, TreeSampler};
 use coopmc_sim::circuits::PipeTreeSamplerCircuit;
-use coopmc_sim::{Component, Netlist, Wire};
+use coopmc_sim::{LutSpec, Netlist, Wire};
 use coopmc_testkit::{check, Gen};
 
 /// Round onto the fixed-point grid of `resolution` (round-to-nearest, the
@@ -175,7 +175,7 @@ fn build_recipe(n_inputs: usize, ops: &[RecipeOp]) -> (Netlist, Vec<Wire>) {
                 let sel = n.ge(a, b);
                 n.mux(sel, a, b)
             }
-            5 => n.lut(a, Rc::new(|x: f64| 0.5 * x)),
+            5 => n.lut(a, LutSpec::opaque("halve", Rc::new(|x: f64| 0.5 * x))),
             6 => n.register(a),
             _ => n.constant(cval),
         };
@@ -194,13 +194,8 @@ fn wire_level_errors_dominate_observed_perturbations() {
             in_wires.iter().copied().zip(enclosures.clone()).collect();
         let input_errs: Vec<(Wire, f64)> = in_wires.iter().copied().zip(declared.clone()).collect();
         let ra = analyze(&reference, &input_ivs, &AnalysisOptions::default());
-        let lut_models: Vec<(usize, LutErrorModel)> = reference
-            .components()
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| matches!(c, Component::Lut { .. }))
-            .map(|(i, _)| (i, LutErrorModel::Lipschitz(0.5)))
-            .collect();
+        // One id-keyed declaration covers every "halve" ROM in the recipe.
+        let lut_models = [(LutKey::Id("halve"), LutErrorModel::Lipschitz(0.5))];
         let ea = analyze_errors(&reference, &ra, &input_errs, &lut_models, 64);
 
         // Reference run on x, perturbed run on x + δ with |δ| within the

@@ -16,7 +16,7 @@ use coopmc_analyze::races::{check_chromatic, check_classes, ChromaticError};
 use coopmc_models::coloring::ChromaticModel;
 use coopmc_models::mrf::{image_segmentation, Connectivity};
 use coopmc_sim::circuits::{NormTreeCircuit, PgCoreCircuit};
-use coopmc_sim::{Netlist, Wire};
+use coopmc_sim::{LutSpec, Netlist, Wire};
 use coopmc_testkit::{check, Gen};
 
 const GRID: f64 = 64.0;
@@ -58,10 +58,13 @@ fn random_netlist(g: &mut Gen) -> (Netlist, Vec<(Wire, Interval)>) {
             }
             5 => {
                 let table = coopmc_kernels::exp::TableExp::new(64, 8);
-                n.lut(a, {
-                    use coopmc_kernels::exp::ExpKernel;
-                    Rc::new(move |x| table.exp(x))
-                })
+                n.lut(
+                    a,
+                    LutSpec::new("table-exp", 64, 8, {
+                        use coopmc_kernels::exp::ExpKernel;
+                        Rc::new(move |x| table.exp(x))
+                    }),
+                )
             }
             6 => n.register(a),
             _ => n.constant(g.i64_in(-256, 256) as f64 / GRID),

@@ -24,6 +24,9 @@
 //! - [`reconcile`] — checks run-journal cycle totals (from `coopmc-obs`)
 //!   against the closed-form model, tying the executed chain back to the
 //!   Table IV accounting.
+//! - [`structural`] — prices a descriptor-derived component census with the
+//!   same anchors, so the netlist-derived and closed-form tallies can be
+//!   cross-checked by the `descriptor-drift` verify gate.
 
 pub mod accel;
 pub mod area;
@@ -34,3 +37,4 @@ pub mod pgpipe;
 pub mod power;
 pub mod reconcile;
 pub mod roofline;
+pub mod structural;

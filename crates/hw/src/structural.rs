@@ -1,0 +1,167 @@
+//! Structural area tally: price a descriptor-derived component census with
+//! the same Table III anchors the closed-form models use.
+//!
+//! The closed-form functions in [`crate::area`] ([`pg_alu_area`],
+//! [`sampler_area`], [`dynorm_amortized_area`]) are *formulas* — they never
+//! look at a netlist. This module prices the other direction: take a
+//! [`ComponentCensus`] derived from a `coopmc-sim` [`CircuitDescriptor`]
+//! (itself derived from the netlist) and multiply each count by its anchor
+//! cost. The `descriptor-drift` verify section in `coopmc-analyze`
+//! cross-checks the two tallies, so a circuit that silently grows a
+//! comparator — or a formula that silently drops one — fails the gate.
+//!
+//! [`pg_alu_area`]: crate::area::pg_alu_area
+//! [`sampler_area`]: crate::area::sampler_area
+//! [`dynorm_amortized_area`]: crate::area::dynorm_amortized_area
+
+use coopmc_sim::{CircuitDescriptor, ComponentCensus};
+
+use crate::area::{add_area, cmp_area, lut_area, regfile_area, scale_linear, AreaBreakdown};
+
+/// Area of a 2:1 32-bit mux.
+///
+/// Assumption: one transmission-gate pair plus output buffer per bit —
+/// about a sixth of an adder at this node. Muxes appear only in the
+/// structural tally (the closed-form models fold them into their
+/// per-design overhead constants), so this anchor never enters a Table
+/// III/IV figure.
+pub const MUX32_UM2: f64 = 12.0;
+
+/// 2:1 mux area at a given width.
+pub fn mux_area(bits: u32) -> f64 {
+    scale_linear(MUX32_UM2, bits)
+}
+
+/// Price a component census on a `bits`-wide datapath. LUT ROMs are priced
+/// at `lut_geometry = (size_lut, bit_lut)`.
+///
+/// # Panics
+///
+/// Panics if the census contains LUTs but no geometry was given — a ROM
+/// without a committed size has no area.
+pub fn census_area(
+    census: &ComponentCensus,
+    bits: u32,
+    lut_geometry: Option<(usize, u32)>,
+) -> AreaBreakdown {
+    let rom = match lut_geometry {
+        Some((size, b)) => census.luts as f64 * lut_area(size, b),
+        None => {
+            assert!(
+                census.luts == 0,
+                "census has {} LUT(s) but no geometry was given",
+                census.luts
+            );
+            0.0
+        }
+    };
+    AreaBreakdown {
+        components: vec![
+            ("ADD", census.adders as f64 * add_area(bits)),
+            ("CMP", census.comparators as f64 * cmp_area(bits)),
+            ("MUX", census.muxes as f64 * mux_area(bits)),
+            ("ROM", rom),
+            ("REG", regfile_area(census.registers, bits)),
+        ],
+    }
+}
+
+/// Price a descriptor subtree, reading the LUT geometry from its
+/// `size-lut`/`bit-lut` params when present.
+///
+/// # Panics
+///
+/// Panics (via [`census_area`]) if the subtree instantiates LUTs but
+/// declares no geometry params.
+pub fn descriptor_area(desc: &CircuitDescriptor, bits: u32) -> AreaBreakdown {
+    let geometry = match (desc.param("size-lut"), desc.param("bit-lut")) {
+        (Some(size), Some(b)) => Some((size, b as u32)),
+        _ => None,
+    };
+    census_area(&desc.census(), bits, geometry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::area::{dynorm_amortized_area, pg_alu_area, sampler_area, PgAluDesign, SamplerKind};
+    use coopmc_sim::circuits::{NormTreeCircuit, PgCoreCircuit, TreeSamplerCircuit};
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn tree_sum_structural_price_matches_sampler_area_formula() {
+        for n in [4usize, 16, 64, 128] {
+            let circuit = TreeSamplerCircuit::new(n);
+            let sum = circuit.descriptor().child("sum").expect("sum child");
+            let structural = census_area(&sum.census(), 32, None);
+            let formula = sampler_area(SamplerKind::Tree, n, 32);
+            assert!(
+                (structural.component("ADD").unwrap() - formula.component("TreeSum").unwrap())
+                    .abs()
+                    < EPS,
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn pg_core_rom_price_matches_table3_exp_entry() {
+        let lanes = 8;
+        let core = PgCoreCircuit::new(lanes, 3, 1024, 32);
+        let exp = core.descriptor().child("exp").expect("exp stage");
+        let mut census = exp.census();
+        // Isolate the ROMs: the exp stage also owns the broadcast subs.
+        census.adders = 0;
+        let structural = census_area(&census, 32, Some((1024, 32)));
+        let formula = pg_alu_area(PgAluDesign::DynormLogFusionTableExp {
+            bits: 32,
+            pipelines: lanes,
+            size_lut: 1024,
+            bit_lut: 32,
+        });
+        // Table III prices EXP per pipeline; the circuit holds one ROM per
+        // lane.
+        let per_lane = structural.component("ROM").unwrap() / lanes as f64;
+        assert!((per_lane - formula.component("EXP").unwrap()).abs() < EPS);
+    }
+
+    #[test]
+    fn norm_tree_comparators_match_dynorm_amortization() {
+        for width in [2usize, 8, 16] {
+            let tree = NormTreeCircuit::new(width);
+            let census = tree.descriptor().census();
+            assert_eq!(census.comparators, width - 1, "width={width}");
+            let structural = census_area(&census, 32, None);
+            // dynorm_amortized_area charges cmp·(p−1)/p per pipeline; over
+            // all p pipelines that is exactly the tree's comparator total.
+            let amortized_cmp_total = (dynorm_amortized_area(width, 32)
+                - crate::area::add_area(32) / 2.0
+                - crate::area::DYNORM_MUX_UM2)
+                * width as f64;
+            assert!(
+                (structural.component("CMP").unwrap() - amortized_cmp_total).abs() < EPS,
+                "width={width}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no geometry")]
+    fn pricing_luts_without_geometry_panics() {
+        let census = ComponentCensus {
+            luts: 1,
+            ..Default::default()
+        };
+        let _ = census_area(&census, 32, None);
+    }
+
+    #[test]
+    fn descriptor_area_reads_geometry_params() {
+        let core = PgCoreCircuit::new(4, 3, 64, 8);
+        let a = descriptor_area(core.descriptor(), 32);
+        let rom = a.component("ROM").unwrap();
+        assert!((rom - 4.0 * lut_area(64, 8)).abs() < EPS);
+        assert!(a.total() > 0.0);
+    }
+}

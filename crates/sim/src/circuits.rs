@@ -4,7 +4,8 @@ use std::rc::Rc;
 
 use coopmc_kernels::exp::{ExpKernel, TableExp};
 
-use crate::netlist::{ComponentCensus, Netlist, Wire};
+use crate::descriptor::{CircuitDescriptor, DescriptorBuilder};
+use crate::netlist::{LutSpec, Netlist, Wire};
 
 /// Recursive binary mux selecting one of `candidates` by `bits`
 /// (most-significant selector first). `candidates.len()` must be
@@ -29,6 +30,7 @@ pub struct NormTreeCircuit {
     inputs: Vec<Wire>,
     output: Wire,
     depth: usize,
+    descriptor: CircuitDescriptor,
 }
 
 impl NormTreeCircuit {
@@ -43,23 +45,35 @@ impl NormTreeCircuit {
             "width must be a power of two >= 2"
         );
         let mut n = Netlist::new();
+        let mut b = DescriptorBuilder::new(&n, format!("norm-tree-{width}"), "norm-tree");
         let inputs: Vec<Wire> = (0..width).map(|_| n.input()).collect();
+        for (i, &w) in inputs.iter().enumerate() {
+            b.pin_in(format!("in{i}"), w);
+        }
         let mut layer = inputs.clone();
         let mut depth = 0;
         while layer.len() > 1 {
+            b.begin(&n, format!("layer{depth}"), "max-layer");
+            b.param("pairs", layer.len() / 2);
             let mut next = Vec::with_capacity(layer.len() / 2);
             for pair in layer.chunks(2) {
                 let m = n.max(pair[0], pair[1]);
                 next.push(n.register(m));
             }
+            b.end(&n);
             layer = next;
             depth += 1;
         }
+        b.pin_out("max", layer[0]);
+        b.param("width", width);
+        b.param("depth", depth);
+        let descriptor = b.finish(&n);
         Self {
             netlist: n,
             inputs,
             output: layer[0],
             depth,
+            descriptor,
         }
     }
 
@@ -83,9 +97,10 @@ impl NormTreeCircuit {
         self.output
     }
 
-    /// Component census (for area-model cross-checks).
-    pub fn census(&self) -> ComponentCensus {
-        self.netlist.census()
+    /// The netlist-derived structural descriptor (one `max-layer` child per
+    /// pipeline stage). Its census *is* the circuit's component census.
+    pub fn descriptor(&self) -> &CircuitDescriptor {
+        &self.descriptor
     }
 
     /// Clock one cycle with a fresh input vector; returns the tree output
@@ -115,6 +130,7 @@ pub struct PgCoreCircuit {
     netlist: Netlist,
     factor_inputs: Vec<Vec<Wire>>,
     outputs: Vec<Wire>,
+    descriptor: CircuitDescriptor,
 }
 
 impl PgCoreCircuit {
@@ -133,38 +149,75 @@ impl PgCoreCircuit {
         assert!(factors > 0, "need at least one factor per lane");
         let table = Rc::new(TableExp::new(size_lut, bit_lut));
         let mut n = Netlist::new();
+        let mut b = DescriptorBuilder::new(
+            &n,
+            format!("pg-core-{lanes}x{factors}-{size_lut}x{bit_lut}"),
+            "pg-core",
+        );
         let mut factor_inputs = Vec::with_capacity(lanes);
         let mut scores = Vec::with_capacity(lanes);
-        for _ in 0..lanes {
+        for lane in 0..lanes {
+            b.begin(&n, format!("lane{lane}"), "factor-chain");
+            b.param("factors", factors);
             let ins: Vec<Wire> = (0..factors).map(|_| n.input()).collect();
+            for (k, &w) in ins.iter().enumerate() {
+                b.pin_in(format!("f{k}"), w);
+            }
             // Adder chain accumulating the lane's log-domain factors.
             let mut acc = ins[0];
             for &w in &ins[1..] {
                 acc = n.add(acc, w);
             }
+            b.pin_out("score", acc);
+            b.end(&n);
             scores.push(acc);
             factor_inputs.push(ins);
         }
         // NormTree (combinational here; the pipelined variant is the
         // standalone NormTreeCircuit).
+        b.begin(&n, "norm", "norm-tree");
+        b.param("width", lanes);
         let mut layer = scores.clone();
+        let mut norm_depth = 0;
         while layer.len() > 1 {
+            b.begin(&n, format!("layer{norm_depth}"), "max-layer");
+            b.param("pairs", layer.len() / 2);
             layer = layer.chunks(2).map(|p| n.max(p[0], p[1])).collect();
+            b.end(&n);
+            norm_depth += 1;
         }
         let max = layer[0];
+        b.param("depth", norm_depth);
+        b.pin_out("max", max);
+        b.end(&n);
         // Broadcast subtract + TableExp per lane.
-        let outputs = scores
+        b.begin(&n, "exp", "exp-stage");
+        b.param("lanes", lanes);
+        let outputs: Vec<Wire> = scores
             .iter()
             .map(|&s| {
                 let shifted = n.sub(s, max);
                 let t = Rc::clone(&table);
-                n.lut(shifted, Rc::new(move |x| t.exp(x)))
+                n.lut(
+                    shifted,
+                    LutSpec::new("table-exp", size_lut, bit_lut, Rc::new(move |x| t.exp(x))),
+                )
             })
             .collect();
+        b.end(&n);
+        for (i, &w) in outputs.iter().enumerate() {
+            b.pin_out(format!("p{i}"), w);
+        }
+        b.param("lanes", lanes);
+        b.param("factors", factors);
+        b.param("size-lut", size_lut);
+        b.param("bit-lut", bit_lut as usize);
+        let descriptor = b.finish(&n);
         Self {
             netlist: n,
             factor_inputs,
             outputs,
+            descriptor,
         }
     }
 
@@ -188,9 +241,11 @@ impl PgCoreCircuit {
         &self.outputs
     }
 
-    /// Component census.
-    pub fn census(&self) -> ComponentCensus {
-        self.netlist.census()
+    /// The netlist-derived structural descriptor: per-lane `factor-chain`
+    /// children, a nested `norm-tree`, and the `exp-stage` holding the
+    /// broadcast subtractors and the named `table-exp` ROMs.
+    pub fn descriptor(&self) -> &CircuitDescriptor {
+        &self.descriptor
     }
 
     /// Evaluate one probability vector: `factors[lane][k]` are the
@@ -232,6 +287,7 @@ pub struct TreeSamplerCircuit {
     label_out: Wire,
     total_out: Wire,
     n_labels: usize,
+    descriptor: CircuitDescriptor,
 }
 
 impl TreeSamplerCircuit {
@@ -245,42 +301,71 @@ impl TreeSamplerCircuit {
         let padded = n_labels.next_power_of_two();
         let depth = padded.trailing_zeros() as usize;
         let mut n = Netlist::new();
+        let mut b = DescriptorBuilder::new(&n, format!("tree-sampler-{n_labels}"), "tree-sampler");
         let leaves: Vec<Wire> = (0..n_labels).map(|_| n.input()).collect();
+        for (i, &w) in leaves.iter().enumerate() {
+            b.pin_in(format!("leaf{i}"), w);
+        }
         let zero = n.constant(0.0);
         let mut padded_leaves = leaves.clone();
         padded_leaves.resize(padded, zero);
 
         // TreeSum: sums[level][i] = sum of the 2^level-leaf block at i<<level.
+        b.begin(&n, "sum", "tree-sum");
+        b.param("padded", padded);
+        b.param("depth", depth);
         let mut sums: Vec<Vec<Wire>> = vec![padded_leaves];
-        for _ in 0..depth {
+        for l in 0..depth {
             let prev = sums.last().unwrap().clone();
+            b.begin(&n, format!("level{l}"), "sum-layer");
+            b.param("pairs", prev.len() / 2);
             let next: Vec<Wire> = prev.chunks(2).map(|p| n.add(p[0], p[1])).collect();
+            b.end(&n);
             sums.push(next);
         }
         let total = sums[depth][0];
+        b.pin_out("total", total);
+        b.end(&n);
         let threshold = n.input();
+        b.pin_in("threshold", threshold);
 
         // TraverseTree: walk from the root, selecting the left-child sum
         // through a mux tree addressed by the bits chosen so far.
+        b.begin(&n, "traverse", "tree-traverse");
+        b.param("depth", depth);
         let mut t = threshold;
         let mut bits: Vec<Wire> = Vec::with_capacity(depth);
         for k in 0..depth {
             let level = depth - 1 - k; // children level of the current node
                                        // Left children of the 2^k candidate nodes: even indices.
             let candidates: Vec<Wire> = (0..(1 << k)).map(|j| sums[level][2 * j]).collect();
+            b.begin(&n, format!("step{k}"), "traverse-step");
+            b.param("candidates", 1 << k);
             let left = mux_select(&mut n, &candidates, &bits);
             let go_right = n.ge(t, left);
             let t_minus = n.sub(t, left);
             t = n.mux(go_right, t, t_minus);
+            b.pin_out("bit", go_right);
+            b.end(&n);
             bits.push(go_right);
         }
+        b.pin_out("remainder", t);
+        b.end(&n);
         // Label = Σ bit_k · 2^(depth-1-k).
+        b.begin(&n, "label", "label-decode");
+        b.param("bits", depth);
         let mut label = zero;
-        for (k, &b) in bits.iter().enumerate() {
+        for (k, &bit) in bits.iter().enumerate() {
             let weight = n.constant((1usize << (depth - 1 - k)) as f64);
-            let contrib = n.mux(b, zero, weight);
+            let contrib = n.mux(bit, zero, weight);
             label = n.add(label, contrib);
         }
+        b.end(&n);
+        b.pin_out("label", label);
+        b.param("labels", n_labels);
+        b.param("padded", padded);
+        b.param("depth", depth);
+        let descriptor = b.finish(&n);
         Self {
             netlist: n,
             leaves,
@@ -288,6 +373,7 @@ impl TreeSamplerCircuit {
             label_out: label,
             total_out: total,
             n_labels,
+            descriptor,
         }
     }
 
@@ -316,9 +402,11 @@ impl TreeSamplerCircuit {
         self.total_out
     }
 
-    /// Component census.
-    pub fn census(&self) -> ComponentCensus {
-        self.netlist.census()
+    /// The netlist-derived structural descriptor: `tree-sum` levels,
+    /// `traverse-step`s (each exporting its decision `bit` pin) and the
+    /// `label-decode` stage.
+    pub fn descriptor(&self) -> &CircuitDescriptor {
+        &self.descriptor
     }
 
     /// Evaluate: select the label for `probs` under threshold `t`.
@@ -367,6 +455,7 @@ pub struct PipeTreeSamplerCircuit {
     label_out: Wire,
     n_labels: usize,
     latency: usize,
+    descriptor: CircuitDescriptor,
 }
 
 impl PipeTreeSamplerCircuit {
@@ -380,16 +469,30 @@ impl PipeTreeSamplerCircuit {
         let padded = n_labels.next_power_of_two();
         let depth = padded.trailing_zeros() as usize;
         let mut n = Netlist::new();
+        let mut b = DescriptorBuilder::new(
+            &n,
+            format!("pipe-tree-sampler-{n_labels}"),
+            "pipe-tree-sampler",
+        );
         let leaves: Vec<Wire> = (0..n_labels).map(|_| n.input()).collect();
+        for (i, &w) in leaves.iter().enumerate() {
+            b.pin_in(format!("leaf{i}"), w);
+        }
         let threshold = n.input();
+        b.pin_in("threshold", threshold);
         let zero = n.constant(0.0);
         let mut padded_leaves = leaves.clone();
         padded_leaves.resize(padded, zero);
 
         // Registered TreeSum: sums[L] are valid at stage L (leaves at 0).
+        b.begin(&n, "sum", "tree-sum");
+        b.param("padded", padded);
+        b.param("depth", depth);
         let mut sums: Vec<Vec<Wire>> = vec![padded_leaves];
-        for _ in 0..depth {
+        for l in 0..depth {
             let prev = sums.last().unwrap().clone();
+            b.begin(&n, format!("level{l}"), "sum-layer");
+            b.param("pairs", prev.len() / 2);
             let next: Vec<Wire> = prev
                 .chunks(2)
                 .map(|p| {
@@ -397,8 +500,11 @@ impl PipeTreeSamplerCircuit {
                     n.register(s)
                 })
                 .collect();
+            b.end(&n);
             sums.push(next);
         }
+        b.pin_out("total", sums[depth][0]);
+        b.end(&n);
 
         // Helper: delay a wire by `k` register stages.
         fn delay(n: &mut Netlist, mut w: Wire, k: usize) -> Wire {
@@ -413,10 +519,14 @@ impl PipeTreeSamplerCircuit {
         // traverse step k computes at stage depth+k, so the level
         // (depth-1-k) sums ride 2k+1 extra shift-register stages and the
         // threshold rides depth of them.
+        b.begin(&n, "traverse", "tree-traverse");
+        b.param("depth", depth);
         let mut t = delay(&mut n, threshold, depth);
         let mut bits: Vec<Wire> = Vec::with_capacity(depth);
         for k in 0..depth {
             let level = depth - 1 - k;
+            b.begin(&n, format!("step{k}"), "traverse-step");
+            b.param("candidates", 1 << k);
             let candidates: Vec<Wire> = (0..(1 << k))
                 .map(|j| {
                     let w = sums[level][2 * j];
@@ -428,25 +538,39 @@ impl PipeTreeSamplerCircuit {
             let bits_here: Vec<Wire> = bits
                 .iter()
                 .enumerate()
-                .map(|(i, &b)| delay(&mut n, b, k - i - 1))
+                .map(|(i, &bw)| delay(&mut n, bw, k - i - 1))
                 .collect();
             let left = mux_select(&mut n, &candidates, &bits_here);
             let go_right = n.ge(t, left);
             let t_minus = n.sub(t, left);
             let t_next = n.mux(go_right, t, t_minus);
             t = n.register(t_next);
-            bits.push(n.register(go_right));
+            let bit_q = n.register(go_right);
+            b.pin_out("bit", bit_q);
+            b.end(&n);
+            bits.push(bit_q);
         }
+        b.pin_out("remainder", t);
+        b.end(&n);
         // Reconstruct the label at stage 2·depth, re-timing each bit.
+        b.begin(&n, "label", "label-decode");
+        b.param("bits", depth);
         let mut label = zero;
         let n_bits = bits.len();
-        for (k, &b) in bits.iter().enumerate() {
-            let b_aligned = delay(&mut n, b, n_bits - 1 - k);
+        for (k, &bw) in bits.iter().enumerate() {
+            let b_aligned = delay(&mut n, bw, n_bits - 1 - k);
             let weight = n.constant((1usize << (depth - 1 - k)) as f64);
             let contrib = n.mux(b_aligned, zero, weight);
             label = n.add(label, contrib);
         }
+        b.end(&n);
+        b.pin_out("label", label);
         let latency = 2 * depth;
+        b.param("labels", n_labels);
+        b.param("padded", padded);
+        b.param("depth", depth);
+        b.param("latency", latency);
+        let descriptor = b.finish(&n);
         Self {
             netlist: n,
             leaves,
@@ -454,6 +578,7 @@ impl PipeTreeSamplerCircuit {
             label_out: label,
             n_labels,
             latency,
+            descriptor,
         }
     }
 
@@ -482,9 +607,11 @@ impl PipeTreeSamplerCircuit {
         self.label_out
     }
 
-    /// Component census.
-    pub fn census(&self) -> ComponentCensus {
-        self.netlist.census()
+    /// The netlist-derived structural descriptor — the same shape as
+    /// [`TreeSamplerCircuit::descriptor`] but with the pipeline registers
+    /// owned by the stages that instantiate them.
+    pub fn descriptor(&self) -> &CircuitDescriptor {
+        &self.descriptor
     }
 
     /// Clock one cycle with a fresh `(probs, threshold)` pair; returns the
@@ -540,9 +667,16 @@ mod tests {
     #[test]
     fn normtree_census_matches_structure() {
         let tree = NormTreeCircuit::new(8);
-        let c = tree.census();
+        let c = tree.descriptor().census();
         assert_eq!(c.comparators, 7, "n-1 max units");
         assert_eq!(c.registers, 7, "one register per tree node");
+        // The descriptor-derived census is a genuine netlist walk.
+        assert_eq!(c, tree.netlist().census());
+        // Hierarchy: one max-layer child per pipeline stage.
+        let layers = tree.descriptor().children_of_kind("max-layer");
+        assert_eq!(layers.len(), 3);
+        assert_eq!(layers[0].counts.comparators, 4);
+        assert_eq!(layers[2].counts.comparators, 1);
     }
 
     #[test]
@@ -568,7 +702,7 @@ mod tests {
     #[test]
     fn pg_core_census() {
         let core = PgCoreCircuit::new(4, 3, 64, 8);
-        let c = core.census();
+        let c = core.descriptor().census();
         // 4 lanes x 2 chain adders + 4 broadcast subtractors = 12 adders;
         // 3 max units; 4 LUTs.
         assert_eq!(c.adders, 12);
@@ -595,7 +729,7 @@ mod tests {
         // The structural netlist and the hw area model must agree on the
         // number of TreeSum adders for the same label count.
         let circuit = TreeSamplerCircuit::new(64);
-        let census = circuit.census();
+        let census = circuit.descriptor().census();
         // TreeSum: 63 adders. Traverse: 6 subtractors (one per level).
         // Label reconstruction: 6 adders.
         assert_eq!(census.adders, 63 + 6 + 6);
@@ -642,10 +776,12 @@ mod tests {
     fn pipelined_sampler_has_more_registers_than_combinational() {
         let pipe = PipeTreeSamplerCircuit::new(64);
         let comb = TreeSamplerCircuit::new(64);
-        assert!(pipe.census().registers > 0);
-        assert_eq!(comb.census().registers, 0);
+        let pc = pipe.descriptor().census();
+        let cc = comb.descriptor().census();
+        assert!(pc.registers > 0);
+        assert_eq!(cc.registers, 0);
         // Same arithmetic structure: adders and comparators match.
-        assert_eq!(pipe.census().comparators, comb.census().comparators);
+        assert_eq!(pc.comparators, cc.comparators);
     }
 
     #[test]

@@ -11,11 +11,17 @@
 //!   LUT → NormTree → broadcast subtract → TableExp (Fig. 6),
 //! - [`circuits::TreeSamplerCircuit`] — TreeSum + TraverseTree (Fig. 8).
 //!
+//! Every circuit also carries a typed [`CircuitDescriptor`] (see
+//! [`descriptor`]): named pins, typed component counts and named children,
+//! derived by bracketing the netlist during construction — the single
+//! structural source of truth that `coopmc-analyze` schedules/lints,
+//! `coopmc-hw` prices, and `coopmc verify --export-schematic` renders.
+//!
 //! The test suites prove, exhaustively and property-based, that every
 //! structural circuit computes *exactly* the same outputs as its behavioral
-//! counterpart, and that its component census matches the area model in
-//! `coopmc-hw` — closing the loop between the three layers of the
-//! reproduction (behavioral ≡ structural ≡ costed).
+//! counterpart, and that its descriptor-derived component census matches
+//! the area model in `coopmc-hw` — closing the loop between the three
+//! layers of the reproduction (behavioral ≡ structural ≡ costed).
 //!
 //! # Example
 //!
@@ -29,6 +35,8 @@
 //! ```
 
 pub mod circuits;
+pub mod descriptor;
 mod netlist;
 
-pub use netlist::{Component, Netlist, Wire};
+pub use descriptor::{CircuitDescriptor, DescriptorBuilder, Pin, PinDir};
+pub use netlist::{Component, ComponentCensus, LutSpec, Mark, Netlist, Wire};

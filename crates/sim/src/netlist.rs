@@ -64,15 +64,58 @@ pub enum Component {
         /// Output wire.
         out: Wire,
     },
-    /// Read-only lookup kernel (TableExp / TableLog): `out = f(input)`.
+    /// Read-only lookup kernel (TableExp / TableLog): `out = spec.f(input)`.
     Lut {
         /// Input wire.
         input: Wire,
         /// Output wire.
         out: Wire,
-        /// The ROM's transfer function.
-        f: Rc<dyn Fn(f64) -> f64>,
+        /// The ROM's identity, geometry and transfer function.
+        spec: LutSpec,
     },
+}
+
+/// A named LUT ROM: identity, geometry and transfer function.
+///
+/// Replaces the old anonymous `Rc<dyn Fn>` argument to [`Netlist::lut`] so
+/// descriptors, schematic exports and the `coopmc-analyze` error propagator
+/// can refer to a ROM by name (`"table-exp"`) instead of by its position in
+/// the component list.
+#[derive(Clone)]
+pub struct LutSpec {
+    /// Stable identifier (e.g. `"table-exp"`), unique per ROM *kind* — two
+    /// instances of the same table share an id.
+    pub id: &'static str,
+    /// Number of table entries (0 when the ROM models an abstract function
+    /// with no committed geometry, e.g. in unit tests).
+    pub size: usize,
+    /// Fractional bits per entry (0 when abstract).
+    pub bits: u32,
+    /// The transfer function the simulator evaluates.
+    pub f: Rc<dyn Fn(f64) -> f64>,
+}
+
+impl LutSpec {
+    /// A ROM with committed geometry (`size` entries × `bits` bits).
+    pub fn new(id: &'static str, size: usize, bits: u32, f: Rc<dyn Fn(f64) -> f64>) -> Self {
+        Self { id, size, bits, f }
+    }
+
+    /// A named ROM with no committed geometry (unit tests, abstract models).
+    pub fn opaque(id: &'static str, f: Rc<dyn Fn(f64) -> f64>) -> Self {
+        Self {
+            id,
+            size: 0,
+            bits: 0,
+            f,
+        }
+    }
+}
+
+impl std::fmt::Debug for LutSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[{}x{}]", self.id, self.size, self.bits)
+    }
 }
 
 impl Component {
@@ -114,6 +157,23 @@ impl Component {
             Component::Lut { input, .. } => vec![input],
         }
     }
+
+    /// Display label: like [`Component::kind`] but LUTs carry their ROM id
+    /// (`Lut[table-exp]`), so provenance traces name the table involved.
+    pub fn label(&self) -> String {
+        match self {
+            Component::Lut { spec, .. } => format!("Lut[{}]", spec.id),
+            other => other.kind().to_string(),
+        }
+    }
+
+    /// The LUT spec, when this component is a ROM.
+    pub fn lut_spec(&self) -> Option<&LutSpec> {
+        match self {
+            Component::Lut { spec, .. } => Some(spec),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Debug for Component {
@@ -135,6 +195,50 @@ pub struct ComponentCensus {
     pub luts: usize,
     /// Registers.
     pub registers: usize,
+}
+
+impl ComponentCensus {
+    /// Accumulate another census into this one, field by field.
+    pub fn absorb(&mut self, other: ComponentCensus) {
+        self.adders += other.adders;
+        self.comparators += other.comparators;
+        self.muxes += other.muxes;
+        self.luts += other.luts;
+        self.registers += other.registers;
+    }
+
+    /// Tally one component kind (constants are free).
+    pub fn count(&mut self, comp: &Component) {
+        match comp {
+            Component::Add { .. } | Component::Sub { .. } => self.adders += 1,
+            Component::Max { .. } | Component::Ge { .. } => self.comparators += 1,
+            Component::Mux { .. } => self.muxes += 1,
+            Component::Lut { .. } => self.luts += 1,
+            Component::Const { .. } => {}
+        }
+    }
+
+    /// Total priced instances (everything except constants).
+    pub fn total(&self) -> usize {
+        self.adders + self.comparators + self.muxes + self.luts + self.registers
+    }
+}
+
+/// A cursor into a [`Netlist`]'s build history: how many components,
+/// registers and wires existed at the moment [`Netlist::mark`] was called.
+///
+/// Two marks bracket a *region* — the slice of hardware instantiated
+/// between them. Circuit constructors capture marks around each logical
+/// block so the derived [`crate::descriptor::CircuitDescriptor`] counts
+/// come from walking the netlist itself, never from hand-kept arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mark {
+    /// Component count at the mark.
+    pub components: usize,
+    /// Register count at the mark.
+    pub registers: usize,
+    /// Wire count at the mark.
+    pub wires: usize,
 }
 
 /// A synchronous netlist: combinational components evaluated in build
@@ -210,10 +314,10 @@ impl Netlist {
         out
     }
 
-    /// A LUT ROM with transfer function `f`.
-    pub fn lut(&mut self, input: Wire, f: Rc<dyn Fn(f64) -> f64>) -> Wire {
+    /// A LUT ROM described by `spec` (see [`LutSpec`]).
+    pub fn lut(&mut self, input: Wire, spec: LutSpec) -> Wire {
         let out = self.wire();
-        self.components.push(Component::Lut { input, out, f });
+        self.components.push(Component::Lut { input, out, spec });
         out
     }
 
@@ -232,15 +336,69 @@ impl Netlist {
             ..Default::default()
         };
         for comp in &self.components {
-            match comp {
-                Component::Add { .. } | Component::Sub { .. } => c.adders += 1,
-                Component::Max { .. } | Component::Ge { .. } => c.comparators += 1,
-                Component::Mux { .. } => c.muxes += 1,
-                Component::Lut { .. } => c.luts += 1,
-                Component::Const { .. } => {}
-            }
+            c.count(comp);
         }
         c
+    }
+
+    /// Capture a cursor into the build history (see [`Mark`]).
+    pub fn mark(&self) -> Mark {
+        Mark {
+            components: self.components.len(),
+            registers: self.registers.len(),
+            wires: self.values.len(),
+        }
+    }
+
+    /// Census of the region between two marks, skipping any sub-spans in
+    /// `exclude` (component-index/register-index ranges claimed by nested
+    /// regions). This is how descriptor counts are derived: each
+    /// descriptor node owns exactly the hardware its own bracket
+    /// instantiated, minus what its children's brackets claimed.
+    pub fn census_between(
+        &self,
+        from: Mark,
+        to: Mark,
+        exclude: &[(Mark, Mark)],
+    ) -> ComponentCensus {
+        let mut c = ComponentCensus::default();
+        for i in from.components..to.components {
+            if exclude
+                .iter()
+                .any(|&(s, e)| i >= s.components && i < e.components)
+            {
+                continue;
+            }
+            c.count(&self.components[i]);
+        }
+        for r in from.registers..to.registers {
+            if exclude
+                .iter()
+                .any(|&(s, e)| r >= s.registers && r < e.registers)
+            {
+                continue;
+            }
+            c.registers += 1;
+        }
+        c
+    }
+
+    /// Ids of the LUT ROMs instantiated between two marks (same exclusion
+    /// semantics as [`Netlist::census_between`]), in build order.
+    pub fn lut_ids_between(
+        &self,
+        from: Mark,
+        to: Mark,
+        exclude: &[(Mark, Mark)],
+    ) -> Vec<&'static str> {
+        (from.components..to.components)
+            .filter(|&i| {
+                !exclude
+                    .iter()
+                    .any(|&(s, e)| i >= s.components && i < e.components)
+            })
+            .filter_map(|i| self.components[i].lut_spec().map(|s| s.id))
+            .collect()
     }
 
     /// Current value of a wire.
@@ -312,7 +470,9 @@ impl Netlist {
                         self.values[*lo]
                     }
                 }
-                Component::Lut { input, out, f } => self.values[*out] = f(self.values[*input]),
+                Component::Lut { input, out, spec } => {
+                    self.values[*out] = (spec.f)(self.values[*input])
+                }
             }
         }
         // Clock edge: all registers latch simultaneously.
@@ -388,7 +548,7 @@ mod tests {
     fn lut_applies_transfer_function() {
         let mut n = Netlist::new();
         let a = n.input();
-        let out = n.lut(a, Rc::new(|x| x * x));
+        let out = n.lut(a, LutSpec::opaque("square", Rc::new(|x| x * x)));
         n.step(&[(a, 3.0)]);
         assert_eq!(n.value(out), 9.0);
     }
@@ -403,13 +563,57 @@ mod tests {
         let g = n.ge(s, m);
         let x = n.mux(g, s, m);
         let _ = n.register(x);
-        let _ = n.lut(x, Rc::new(|v| v));
+        let _ = n.lut(x, LutSpec::opaque("identity", Rc::new(|v| v)));
         let c = n.census();
         assert_eq!(c.adders, 1);
         assert_eq!(c.comparators, 2);
         assert_eq!(c.muxes, 1);
         assert_eq!(c.registers, 1);
         assert_eq!(c.luts, 1);
+    }
+
+    #[test]
+    fn region_census_tiles_the_netlist() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        let m0 = n.mark();
+        let s = n.add(a, b);
+        let inner_start = n.mark();
+        let m = n.max(s, a);
+        let _ = n.register(m);
+        let inner_end = n.mark();
+        let _ = n.sub(s, m);
+        let m1 = n.mark();
+
+        let inner = n.census_between(inner_start, inner_end, &[]);
+        assert_eq!(inner.comparators, 1);
+        assert_eq!(inner.registers, 1);
+        assert_eq!(inner.adders, 0);
+
+        // Outer region excluding the inner span keeps only its own add/sub.
+        let outer_own = n.census_between(m0, m1, &[(inner_start, inner_end)]);
+        assert_eq!(outer_own.adders, 2);
+        assert_eq!(outer_own.comparators, 0);
+        assert_eq!(outer_own.registers, 0);
+
+        // Own + inner == the unexcluded walk == the whole-netlist census.
+        let mut sum = outer_own;
+        sum.absorb(inner);
+        assert_eq!(sum, n.census_between(m0, m1, &[]));
+        assert_eq!(sum, n.census());
+    }
+
+    #[test]
+    fn lut_ids_surface_in_labels_and_regions() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let m0 = n.mark();
+        let _ = n.lut(a, LutSpec::new("table-exp", 64, 8, Rc::new(|x| x.exp())));
+        let m1 = n.mark();
+        assert_eq!(n.lut_ids_between(m0, m1, &[]), vec!["table-exp"]);
+        assert_eq!(n.components()[0].label(), "Lut[table-exp]");
+        assert_eq!(n.components()[0].kind(), "Lut");
     }
 
     #[test]

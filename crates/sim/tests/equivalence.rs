@@ -79,7 +79,7 @@ fn normtree_streaming_equivalence() {
 fn structural_census_tracks_area_model() {
     for n in [2usize, 4, 8, 16, 32, 64, 128] {
         let circuit = TreeSamplerCircuit::new(n);
-        let census = circuit.census();
+        let census = circuit.descriptor().census();
         let padded = n.next_power_of_two();
         let depth = padded.trailing_zeros() as usize;
         // TreeSum adders (padded-1) + per-level traverse subtractor +

@@ -29,7 +29,7 @@ fn main() {
     println!("  structural outputs:       {structural:?}");
     println!("  behavioral reference:     {behavioral:?}");
     assert_eq!(structural, behavioral);
-    let census = core.census();
+    let census = core.descriptor().census();
     println!(
         "  netlist census: {} adders, {} comparators, {} LUT ROMs\n",
         census.adders, census.comparators, census.luts

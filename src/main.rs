@@ -521,8 +521,16 @@ fn cmd_hw(labels: usize) {
 }
 
 /// Run the static verifier (same sweep as the `coopmc-verify` binary) and
-/// report success as an exit-code-style `Result`.
-fn cmd_verify(demo_broken: bool, json: bool) -> Result<(), String> {
+/// report success as an exit-code-style `Result`. With `export_schematic`,
+/// first write the canonical circuits' graphviz/JSON schematics there.
+fn cmd_verify(demo_broken: bool, json: bool, export_schematic: Option<&str>) -> Result<(), String> {
+    if let Some(dir) = export_schematic {
+        let written = coopmc::analyze::descriptor::export_schematics(std::path::Path::new(dir))
+            .map_err(|e| format!("schematic export failed: {e}"))?;
+        for p in written {
+            eprintln!("wrote {}", p.display());
+        }
+    }
     let report = if demo_broken {
         coopmc::analyze::verify::run_broken_demo()
     } else {
@@ -541,7 +549,7 @@ fn cmd_verify(demo_broken: bool, json: bool) -> Result<(), String> {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  coopmc list\n  coopmc run <workload> [--pipeline SPEC] [--sampler seq|tree|pipe|alias] [--sweeps N] [--seed S] [--threads T] [--health] [--early-stop-rhat R] [--early-stop-ess E] [--journal-out F] [--trace-out F] [--metrics-out F]\n  coopmc hw [--labels N]\n  coopmc verify [--json] [--demo-broken]"
+    "usage:\n  coopmc list\n  coopmc run <workload> [--pipeline SPEC] [--sampler seq|tree|pipe|alias] [--sweeps N] [--seed S] [--threads T] [--health] [--early-stop-rhat R] [--early-stop-ess E] [--journal-out F] [--trace-out F] [--metrics-out F]\n  coopmc hw [--labels N]\n  coopmc verify [--json] [--demo-broken] [--export-schematic DIR]"
 }
 
 fn main() -> ExitCode {
@@ -565,6 +573,10 @@ fn main() -> ExitCode {
         Some("verify") => cmd_verify(
             args.iter().any(|a| a == "--demo-broken"),
             args.iter().any(|a| a == "--json"),
+            args.iter()
+                .position(|a| a == "--export-schematic")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str),
         ),
         _ => Err(usage().to_owned()),
     };
