@@ -7,8 +7,10 @@
 //! limit, wire provenance) instead of text — CI archives it as an
 //! artifact. `--demo-broken` verifies deliberately broken configurations
 //! instead, demonstrating (and letting CI assert) that the gate actually
-//! fails. `--export-schematic DIR` additionally writes the canonical
-//! circuits' graphviz/JSON schematics into `DIR`. The flags combine.
+//! fails. `--only SECTION` restricts the sweep to one named section (for
+//! local iteration; CI keeps running everything). `--export-schematic DIR`
+//! additionally writes the canonical circuits' graphviz/JSON schematics
+//! into `DIR`. The flags combine (`--only` is ignored by `--demo-broken`).
 
 use std::process::ExitCode;
 
@@ -16,6 +18,19 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let demo = args.iter().any(|a| a == "--demo-broken");
     let json = args.iter().any(|a| a == "--json");
+    let only = match args.iter().position(|a| a == "--only") {
+        Some(i) => match args.get(i + 1) {
+            Some(name) => Some(name.clone()),
+            None => {
+                eprintln!(
+                    "--only needs a section name (one of: {})",
+                    coopmc_analyze::verify::SECTION_TITLES.join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     if let Some(i) = args.iter().position(|a| a == "--export-schematic") {
         let Some(dir) = args.get(i + 1) else {
             eprintln!("--export-schematic needs a directory argument");
@@ -36,7 +51,13 @@ fn main() -> ExitCode {
     let report = if demo {
         coopmc_analyze::verify::run_broken_demo()
     } else {
-        coopmc_analyze::verify::run_all()
+        match coopmc_analyze::verify::run_sections(only.as_deref()) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
     };
     if json {
         println!("{}", report.to_json());

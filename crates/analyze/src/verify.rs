@@ -1,7 +1,8 @@
 //! The full in-tree verification sweep behind `coopmc-verify`.
 //!
-//! [`run_all`] runs seven sections and collects their findings into a
-//! [`VerifyReport`]:
+//! [`run_all`] runs eight sections and collects their findings into a
+//! [`VerifyReport`]; [`run_sections`] runs a single named section (the
+//! `--only` flag):
 //!
 //! 1. **netlist-ranges** — abstract interpretation of every structural
 //!    circuit the tree instantiates (NormTree, PG core, TreeSampler,
@@ -24,13 +25,19 @@
 //!    [`crate::descriptor`]: every circuit's descriptor-derived census,
 //!    schedule DAG and structural area against the netlist and the
 //!    closed forms, plus the dead-wire/unconnected-pin lint.
-//! 7. **chromatic-schedules** — the race detector over every in-tree
+//! 7. **lane-datapath** — the bit-level lane theorems of
+//!    [`crate::bitflow`]: lane isolation, per-lane scalar equivalence and
+//!    overflow-freedom for every SWAR primitive and the batched kernels
+//!    built on them, plus the packed-width registration against
+//!    `coopmc_hw::batch::PgUnitConfig`.
+//! 8. **chromatic-schedules** — the race detector over every in-tree
 //!    [`ChromaticModel`].
 //!
 //! Errors fail the gate (nonzero exit); warnings and notes never do.
 //! [`VerifyReport::to_json`] renders the same findings as a machine-readable
 //! document (contract name, bound versus limit, wire provenance) for the CI
-//! artifact.
+//! artifact; its layout is documented in DESIGN.md §13 and versioned by the
+//! leading `schema_version` field ([`JSON_SCHEMA_VERSION`]).
 
 use coopmc_fixed::{QFormat, Rounding};
 use coopmc_hw::cycles::LatencyTable;
@@ -58,6 +65,23 @@ const WORKLOAD_LABELS: usize = 64;
 /// Factor accumulations per label of the reference workload (data cost +
 /// four smoothness costs of a 4-connected MRF).
 const WORKLOAD_FACTOR_OPS: u64 = 5;
+
+/// Version of the `--json` report layout (see DESIGN.md §13). Bumped on
+/// any structural change so downstream tooling can gate on it.
+pub const JSON_SCHEMA_VERSION: u32 = 1;
+
+/// Stable section names in execution order — the vocabulary accepted by
+/// [`run_sections`] and the `--only` flag.
+pub const SECTION_TITLES: [&str; 8] = [
+    "netlist-ranges",
+    "datapath-contracts",
+    "pgpipe-configs",
+    "error-propagation",
+    "pipeline-schedules",
+    "descriptor-drift",
+    "lane-datapath",
+    "chromatic-schedules",
+];
 
 /// One structured finding of a verification section.
 #[derive(Debug, Clone)]
@@ -206,8 +230,8 @@ impl VerifyReport {
         let warnings: usize = self.sections.iter().map(|s| s.warnings().count()).sum();
         let notes: usize = self.sections.iter().map(|s| s.notes).sum();
         out.push_str(&format!(
-            "\"status\":\"{}\",\"checks\":{checks},\"errors\":{errors},\
-             \"warnings\":{warnings},\"notes\":{notes},\"sections\":[",
+            "\"schema_version\":{JSON_SCHEMA_VERSION},\"status\":\"{}\",\"checks\":{checks},\
+             \"errors\":{errors},\"warnings\":{warnings},\"notes\":{notes},\"sections\":[",
             if errors > 0 { "failed" } else { "passed" }
         ));
         for (i, s) in self.sections.iter().enumerate() {
@@ -608,7 +632,20 @@ fn descriptor_section() -> SectionReport {
     section
 }
 
-/// Section 7: race-detect every in-tree chromatic model.
+/// Section 7: the bit-level lane theorems — isolation, scalar equivalence
+/// and overflow-freedom for the SWAR datapath, plus width registration,
+/// fused-quantizer equivalence and primitive coverage.
+fn lane_datapath_section() -> SectionReport {
+    let mut section = SectionReport::new("lane-datapath");
+    let (checks, findings) = crate::bitflow::verify_lane_datapath();
+    section.checks = checks;
+    for f in findings {
+        section.push(f);
+    }
+    section
+}
+
+/// Section 8: race-detect every in-tree chromatic model.
 fn chromatic_section() -> SectionReport {
     let mut section = SectionReport::new("chromatic-schedules");
     let seed = 7u64;
@@ -659,18 +696,49 @@ fn chromatic_section() -> SectionReport {
 /// models. The default workload envelope (scores in `[-1024, 64]`) matches
 /// [`DatapathConfig::coopmc`].
 pub fn run_all() -> VerifyReport {
-    let envelope = Interval::new(-1024.0, 64.0);
-    VerifyReport {
-        sections: vec![
-            netlist_ranges(envelope),
-            contract_section("datapath-contracts", &in_tree_configs()),
-            pgpipe_section(),
-            errprop_section(),
-            schedule_section(),
-            descriptor_section(),
-            chromatic_section(),
-        ],
+    run_sections(None).expect("a run without a section filter cannot fail")
+}
+
+/// Run the verification sweep, optionally restricted to one named section
+/// (`--only`). An unknown section name is an error listing the valid
+/// vocabulary ([`SECTION_TITLES`]).
+pub fn run_sections(only: Option<&str>) -> Result<VerifyReport, String> {
+    if let Some(name) = only {
+        if !SECTION_TITLES.contains(&name) {
+            return Err(format!(
+                "unknown section {name:?}; valid sections: {}",
+                SECTION_TITLES.join(", ")
+            ));
+        }
     }
+    let wanted = |title: &str| only.is_none() || only == Some(title);
+    let envelope = Interval::new(-1024.0, 64.0);
+    let mut sections = Vec::new();
+    if wanted("netlist-ranges") {
+        sections.push(netlist_ranges(envelope));
+    }
+    if wanted("datapath-contracts") {
+        sections.push(contract_section("datapath-contracts", &in_tree_configs()));
+    }
+    if wanted("pgpipe-configs") {
+        sections.push(pgpipe_section());
+    }
+    if wanted("error-propagation") {
+        sections.push(errprop_section());
+    }
+    if wanted("pipeline-schedules") {
+        sections.push(schedule_section());
+    }
+    if wanted("descriptor-drift") {
+        sections.push(descriptor_section());
+    }
+    if wanted("lane-datapath") {
+        sections.push(lane_datapath_section());
+    }
+    if wanted("chromatic-schedules") {
+        sections.push(chromatic_section());
+    }
+    Ok(VerifyReport { sections })
 }
 
 /// Run the sweep with deliberately broken configurations injected — the
@@ -688,7 +756,12 @@ pub fn run_all() -> VerifyReport {
 ///   round-robins its rows over only 4 (an over-claimed batch width), and
 /// - a tree-sampler descriptor whose traverse-step comparator count
 ///   silently diverged from the netlist (the descriptor-drift gate fails
-///   with the tampered node's path and pins in the provenance).
+///   with the tampered node's path and pins in the provenance), and
+/// - two lane-datapath defects: a SWAR guard mask whose lane-3 byte
+///   slipped one bit (`0x7F` where `0x80` belongs), bleeding a
+///   data-dependent borrow into lane 4, and a clamp that selects through
+///   the un-spread `lane_ge` verdict (a non-mask select), both caught with
+///   bit/lane provenance by [`crate::bitflow::broken_lane_demo`].
 pub fn run_broken_demo() -> VerifyReport {
     let mut broken = DatapathConfig::coopmc("demo-broken:64x8-range2", 64, 8);
     broken.lut_range = 2.0;
@@ -824,12 +897,21 @@ pub fn run_broken_demo() -> VerifyReport {
         descsec.push(f);
     }
 
+    // Lane-datapath demo: the slipped guard mask and the un-spread select.
+    let mut lanesec = SectionReport::new("lane-datapath");
+    let (checks, findings) = crate::bitflow::broken_lane_demo();
+    lanesec.checks = checks;
+    for f in findings {
+        lanesec.push(f);
+    }
+
     VerifyReport {
         sections: vec![
             contract_section("datapath-contracts", &[broken, narrow]),
             errsec,
             schedsec,
             descsec,
+            lanesec,
         ],
     }
 }
@@ -849,9 +931,18 @@ mod tests {
         let total: usize = report.sections.iter().map(|s| s.checks).sum();
         assert!(total > 150, "expected a substantive sweep, got {total}");
         let titles: Vec<&str> = report.sections.iter().map(|s| s.title.as_str()).collect();
-        assert!(titles.contains(&"error-propagation"));
-        assert!(titles.contains(&"pipeline-schedules"));
-        assert!(titles.contains(&"descriptor-drift"));
+        assert_eq!(titles, SECTION_TITLES.to_vec());
+    }
+
+    #[test]
+    fn only_filter_runs_one_section_and_rejects_unknown_names() {
+        let report = run_sections(Some("lane-datapath")).expect("valid section");
+        assert_eq!(report.sections.len(), 1);
+        assert_eq!(report.sections[0].title, "lane-datapath");
+        assert!(!report.has_errors(), "{}", report.render());
+        let err = run_sections(Some("no-such-section")).unwrap_err();
+        assert!(err.contains("no-such-section"));
+        assert!(err.contains("lane-datapath"), "must list the vocabulary");
     }
 
     #[test]
@@ -867,6 +958,19 @@ mod tests {
         assert!(rendered.contains("II = 1"));
         assert!(rendered.contains("demo-broken:overclaimed-batch-width"));
         assert!(rendered.contains("FAILED"));
+        // The lane-datapath demo catches both seeded defects.
+        let lanesec = report
+            .sections
+            .iter()
+            .find(|s| s.title == "lane-datapath")
+            .expect("lane section present");
+        let iso = lanesec
+            .errors()
+            .find(|f| f.check == "lane-isolation")
+            .expect("isolation finding present");
+        assert!(iso.provenance.iter().any(|l| l.contains("lane 4")));
+        assert!(lanesec.errors().any(|f| f.check == "lane-overflow"));
+        assert!(lanesec.errors().any(|f| f.check == "lane-mask"));
         // The error-propagation finding carries a wire-level trace.
         let errsec = report
             .sections
@@ -926,7 +1030,7 @@ mod tests {
         };
         assert!(balance('{', '}'));
         assert!(balance('[', ']'));
-        assert!(json.starts_with("{\"status\":\"failed\""));
+        assert!(json.starts_with("{\"schema_version\":1,\"status\":\"failed\""));
         assert!(json.contains("\"check\":\"error-tv-bound\""));
         assert!(json.contains("\"bound\":"));
         assert!(json.contains("\"limit\":0.02"));
@@ -935,7 +1039,7 @@ mod tests {
         assert!(!json.chars().any(|c| (c as u32) < 0x20));
 
         let clean = run_all().to_json();
-        assert!(clean.starts_with("{\"status\":\"passed\""));
+        assert!(clean.starts_with("{\"schema_version\":1,\"status\":\"passed\""));
     }
 
     #[test]

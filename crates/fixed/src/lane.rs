@@ -11,14 +11,237 @@
 //!
 //! Lane 0 always lives in the least-significant byte (little-endian order),
 //! matching `u64::from_le_bytes`.
+//!
+//! # One dataflow, two interpreters
+//!
+//! Each primitive's bit-level dataflow is written once, in [`flow`],
+//! against the [`LaneWord`] word algebra. The public `u64` functions here
+//! instantiate that dataflow concretely; `coopmc_analyze::bitflow`
+//! instantiates the *same* dataflow over an abstract known-bits/lane-taint
+//! domain to prove lane isolation and carry containment statically. Because
+//! both interpreters share one definition, the analyzer can never drift
+//! from the code it certifies — there is no second copy of the masks or the
+//! borrow trick to keep in sync.
 
 /// Number of 8-bit lanes per packed word.
 pub const LANES: usize = 8;
 
-/// High (sign) bit of every lane.
-const HI: u64 = 0x8080_8080_8080_8080;
-/// Low bit of every lane.
-const LO: u64 = 0x0101_0101_0101_0101;
+/// High (sign) bit of every lane — the guard bit of the SWAR borrow trick.
+pub const HI: u64 = 0x8080_8080_8080_8080;
+/// Low bit of every lane — the byte-broadcast multiplier.
+pub const LO: u64 = 0x0101_0101_0101_0101;
+
+/// The word algebra the SWAR primitives are written against.
+///
+/// A `LaneWord` is a 64-bit word viewed through whatever semantics the
+/// implementor chooses: [`u64`] implements it with ordinary two's-complement
+/// machine arithmetic (the shipping datapath), and the static analyzer
+/// implements it with an abstract known-bits/taint domain. The generic
+/// dataflows in [`flow`] must behave identically under both — every method
+/// mirrors exactly one `u64` operation.
+pub trait LaneWord: Sized + Clone {
+    /// A compile-time-known word (masks, broadcast limits).
+    fn lit(v: u64) -> Self;
+    /// Bitwise AND.
+    fn band(&self, other: &Self) -> Self;
+    /// Bitwise OR.
+    fn bor(&self, other: &Self) -> Self;
+    /// Bitwise XOR.
+    fn bxor(&self, other: &Self) -> Self;
+    /// Bitwise complement.
+    fn bnot(&self) -> Self;
+    /// Logical shift left by `n < 64` bits.
+    fn shl_by(&self, n: u32) -> Self;
+    /// Logical shift right by `n < 64` bits.
+    fn shr_by(&self, n: u32) -> Self;
+    /// Wrapping 64-bit addition.
+    fn add_wrap(&self, other: &Self) -> Self;
+    /// Wrapping 64-bit subtraction.
+    fn sub_wrap(&self, other: &Self) -> Self;
+    /// Wrapping multiplication by a compile-time-known constant.
+    fn mul_const(&self, c: u64) -> Self;
+}
+
+impl LaneWord for u64 {
+    #[inline]
+    fn lit(v: u64) -> Self {
+        v
+    }
+    #[inline]
+    fn band(&self, other: &Self) -> Self {
+        self & other
+    }
+    #[inline]
+    fn bor(&self, other: &Self) -> Self {
+        self | other
+    }
+    #[inline]
+    fn bxor(&self, other: &Self) -> Self {
+        self ^ other
+    }
+    #[inline]
+    fn bnot(&self) -> Self {
+        !self
+    }
+    #[inline]
+    fn shl_by(&self, n: u32) -> Self {
+        self << n
+    }
+    #[inline]
+    fn shr_by(&self, n: u32) -> Self {
+        self >> n
+    }
+    #[inline]
+    fn add_wrap(&self, other: &Self) -> Self {
+        self.wrapping_add(*other)
+    }
+    #[inline]
+    fn sub_wrap(&self, other: &Self) -> Self {
+        self.wrapping_sub(*other)
+    }
+    #[inline]
+    fn mul_const(&self, c: u64) -> Self {
+        self.wrapping_mul(c)
+    }
+}
+
+/// The shared bit-level dataflow of every SWAR primitive, generic over the
+/// interpreting [`LaneWord`].
+///
+/// These are the *definitions*; the concrete `u64` wrappers below and the
+/// abstract interpreter in `coopmc-analyze` are both thin instantiations.
+/// The `hi` parameter of [`flow::lane_ge_masked`] exists so the analyzer
+/// can demonstrate what a corrupted guard mask does to lane containment —
+/// production code always passes [`HI`].
+pub mod flow {
+    use super::{LaneWord, HI, LO};
+
+    /// Broadcast the byte in lane 0 (lanes 1–7 must be zero) to all lanes.
+    #[inline]
+    pub fn splat8<W: LaneWord>(v: &W) -> W {
+        v.mul_const(LO)
+    }
+
+    /// Per-lane unsigned `x >= y` under an explicit guard mask `hi`.
+    ///
+    /// The low seven bits of each lane are compared with the borrow trick
+    /// (`(x | 0x80) - (y & 0x7F)` keeps its high bit iff
+    /// `low7(x) >= low7(y)`), then the lanes' own high bits arbitrate: `x`
+    /// wins outright when only its high bit is set, and the low-7-bit
+    /// verdict decides when the high bits agree. The guard bit forced high
+    /// in the minuend is what stops each lane's borrow at its own top bit.
+    #[inline]
+    pub fn lane_ge_masked<W: LaneWord>(x: &W, y: &W, hi: u64) -> W {
+        let hi_w = W::lit(hi);
+        let low7 = x.bor(&hi_w).sub_wrap(&y.band(&hi_w.bnot())).band(&hi_w);
+        let ge = x
+            .band(&y.bnot())
+            .bor(&x.bxor(y).bnot().band(&low7))
+            .band(&hi_w);
+        mask_spread(&ge)
+    }
+
+    /// Spread per-lane verdict bits (`0x80` or `0x00` per lane) into full
+    /// byte masks (`0xFF` or `0x00`): shift the verdict down to the lane's
+    /// low bit, then multiply by `0xFF` to fill the byte.
+    #[inline]
+    pub fn mask_spread<W: LaneWord>(verdict: &W) -> W {
+        verdict.shr_by(7).band(&W::lit(LO)).mul_const(0xFF)
+    }
+
+    /// Per-lane unsigned `x >= y` (the production guard mask).
+    #[inline]
+    pub fn lane_ge<W: LaneWord>(x: &W, y: &W) -> W {
+        lane_ge_masked(x, y, HI)
+    }
+
+    /// Per-lane select: `a` where `mask` holds `0xFF`, `b` where `0x00`.
+    #[inline]
+    pub fn lane_select<W: LaneWord>(mask: &W, a: &W, b: &W) -> W {
+        a.band(mask).bor(&b.band(&mask.bnot()))
+    }
+
+    /// Per-lane unsigned minimum.
+    #[inline]
+    pub fn lane_min<W: LaneWord>(x: &W, y: &W) -> W {
+        lane_select(&lane_ge(x, y), y, x)
+    }
+
+    /// Per-lane unsigned maximum.
+    #[inline]
+    pub fn lane_max<W: LaneWord>(x: &W, y: &W) -> W {
+        lane_select(&lane_ge(x, y), x, y)
+    }
+
+    /// Shift/max ladder reducing all eight lanes into lane 0.
+    #[inline]
+    pub fn reduce_max8<W: LaneWord>(word: &W) -> W {
+        let m = lane_max(word, &word.shr_by(32));
+        let m = lane_max(&m, &m.shr_by(16));
+        let m = lane_max(&m, &m.shr_by(8));
+        m.band(&W::lit(0xFF))
+    }
+
+    /// The batched TableExp address clamp: every lane at or above `limit`
+    /// is folded onto `limit` itself (the flush address), leaving in-range
+    /// addresses untouched — per-lane `min(word, limit)` for a broadcast
+    /// limit.
+    #[inline]
+    pub fn address_clamp<W: LaneWord>(word: &W, limit: &W) -> W {
+        lane_select(&lane_ge(word, limit), limit, word)
+    }
+}
+
+/// Identity of one SWAR primitive, for declaring which primitives a kernel
+/// is built on and for the lane-datapath verifier to report theorem
+/// coverage against ([`Primitive::ALL`] enumerates every member).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Primitive {
+    /// [`pack8`] — eight bytes into a little-endian word.
+    Pack8,
+    /// [`unpack8`] — a word back into its eight bytes.
+    Unpack8,
+    /// [`splat8`] — broadcast one byte to all lanes.
+    Splat8,
+    /// [`lane_ge`] — per-lane unsigned `>=` mask.
+    LaneGe,
+    /// [`lane_select`] — per-lane mask select.
+    LaneSelect,
+    /// [`lane_min`] — per-lane unsigned minimum.
+    LaneMin,
+    /// [`lane_max`] — per-lane unsigned maximum.
+    LaneMax,
+    /// [`reduce_max8`] — maximum over all eight lanes.
+    ReduceMax8,
+}
+
+impl Primitive {
+    /// Every SWAR primitive this module exports.
+    pub const ALL: [Primitive; 8] = [
+        Primitive::Pack8,
+        Primitive::Unpack8,
+        Primitive::Splat8,
+        Primitive::LaneGe,
+        Primitive::LaneSelect,
+        Primitive::LaneMin,
+        Primitive::LaneMax,
+        Primitive::ReduceMax8,
+    ];
+
+    /// Stable name used in verifier findings and coverage reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Primitive::Pack8 => "pack8",
+            Primitive::Unpack8 => "unpack8",
+            Primitive::Splat8 => "splat8",
+            Primitive::LaneGe => "lane_ge",
+            Primitive::LaneSelect => "lane_select",
+            Primitive::LaneMin => "lane_min",
+            Primitive::LaneMax => "lane_max",
+            Primitive::ReduceMax8 => "reduce_max8",
+        }
+    }
+}
 
 /// Pack eight bytes into a word, lane 0 in the least-significant byte.
 #[inline]
@@ -35,22 +258,16 @@ pub fn unpack8(word: u64) -> [u8; LANES] {
 /// Broadcast one byte to all eight lanes.
 #[inline]
 pub fn splat8(v: u8) -> u64 {
-    u64::from(v).wrapping_mul(LO)
+    flow::splat8(&u64::from(v))
 }
 
 /// Per-lane unsigned `x >= y`: a mask word holding `0xFF` in every lane
 /// where the comparison holds and `0x00` elsewhere.
 ///
-/// The low seven bits of each lane are compared with the borrow trick
-/// (`(x | 0x80) - (y & 0x7F)` keeps its high bit iff `low7(x) >= low7(y)`),
-/// then the lanes' own high bits arbitrate: `x` wins outright when only its
-/// high bit is set, and the low-7-bit verdict decides when the high bits
-/// agree.
+/// See [`flow::lane_ge_masked`] for the borrow trick this instantiates.
 #[inline]
 pub fn lane_ge(x: u64, y: u64) -> u64 {
-    let low7 = ((x | HI).wrapping_sub(y & !HI)) & HI;
-    let ge = ((x & !y) | (!(x ^ y) & low7)) & HI;
-    ((ge >> 7) & LO).wrapping_mul(0xFF)
+    flow::lane_ge(&x, &y)
 }
 
 /// Per-lane select: lane `i` of the result is taken from `a` where `mask`
@@ -60,19 +277,19 @@ pub fn lane_ge(x: u64, y: u64) -> u64 {
 /// output of [`lane_ge`].
 #[inline]
 pub fn lane_select(mask: u64, a: u64, b: u64) -> u64 {
-    (a & mask) | (b & !mask)
+    flow::lane_select(&mask, &a, &b)
 }
 
 /// Per-lane unsigned minimum.
 #[inline]
 pub fn lane_min(x: u64, y: u64) -> u64 {
-    lane_select(lane_ge(x, y), y, x)
+    flow::lane_min(&x, &y)
 }
 
 /// Per-lane unsigned maximum.
 #[inline]
 pub fn lane_max(x: u64, y: u64) -> u64 {
-    lane_select(lane_ge(x, y), x, y)
+    flow::lane_max(&x, &y)
 }
 
 /// Maximum of all eight lanes of `word`.
@@ -81,10 +298,7 @@ pub fn lane_max(x: u64, y: u64) -> u64 {
 /// lanes are meaningful, and lane 0 of the final word holds the answer.
 #[inline]
 pub fn reduce_max8(word: u64) -> u8 {
-    let m = lane_max(word, word >> 32);
-    let m = lane_max(m, m >> 16);
-    let m = lane_max(m, m >> 8);
-    (m & 0xFF) as u8
+    (flow::reduce_max8(&word) & 0xFF) as u8
 }
 
 #[cfg(test)]

@@ -1,0 +1,155 @@
+//! Exhaustive scalar-equivalence tests for every `coopmc_fixed::lane`
+//! primitive over the full 256×256 per-lane input square.
+//!
+//! These are the regression backstops behind the `lane-datapath` section
+//! of `coopmc-verify`: the analyzer's lane-isolation theorem proves each
+//! output lane depends only on the same input lane, which reduces
+//! correctness on arbitrary words to correctness of each lane pair —
+//! exactly what these sweeps enumerate. The splat-square form checks all
+//! eight lane positions of a pair in one evaluation; the rotating
+//! mixed-background sweeps re-check each lane position against *different*
+//! neighbor contents, so a cross-lane dependence would also fail here
+//! directly, without appealing to the theorem.
+
+use coopmc_fixed::lane::{
+    lane_ge, lane_max, lane_min, lane_select, pack8, reduce_max8, splat8, unpack8, LANES,
+};
+
+fn scalar_ge(a: u8, b: u8) -> u8 {
+    if a >= b {
+        0xFF
+    } else {
+        0x00
+    }
+}
+
+/// A deterministic background word that differs per lane and per case, so
+/// the lane under test is surrounded by varying neighbor bytes.
+fn background(case: u32) -> [u8; LANES] {
+    std::array::from_fn(|i| (case.wrapping_mul(0x9E37).wrapping_add(i as u32 * 0x85) >> 3) as u8)
+}
+
+#[test]
+fn splat8_broadcasts_every_value() {
+    for v in 0..=255u8 {
+        assert_eq!(unpack8(splat8(v)), [v; LANES]);
+    }
+}
+
+#[test]
+fn pack_unpack_round_trips_every_lane_value() {
+    for i in 0..LANES {
+        for v in 0..=255u8 {
+            let mut lanes = background(v as u32);
+            lanes[i] = v;
+            assert_eq!(unpack8(pack8(lanes)), lanes);
+        }
+    }
+}
+
+#[test]
+fn lane_ge_matches_scalar_compare_on_the_full_square() {
+    for a in 0..=255u16 {
+        for b in 0..=255u16 {
+            let (a, b) = (a as u8, b as u8);
+            let got = unpack8(lane_ge(splat8(a), splat8(b)));
+            assert_eq!(got, [scalar_ge(a, b); LANES], "a={a:#04x} b={b:#04x}");
+        }
+    }
+}
+
+#[test]
+fn lane_ge_is_always_a_proper_mask() {
+    for a in 0..=255u16 {
+        for b in 0..=255u16 {
+            for m in unpack8(lane_ge(splat8(a as u8), splat8(b as u8))) {
+                assert!(m == 0 || m == 0xFF, "non-mask byte {m:#04x} at ({a},{b})");
+            }
+        }
+    }
+}
+
+#[test]
+fn lane_min_max_match_scalar_on_the_full_square() {
+    for a in 0..=255u16 {
+        for b in 0..=255u16 {
+            let (a, b) = (a as u8, b as u8);
+            assert_eq!(unpack8(lane_min(splat8(a), splat8(b))), [a.min(b); LANES]);
+            assert_eq!(unpack8(lane_max(splat8(a), splat8(b))), [a.max(b); LANES]);
+        }
+    }
+}
+
+#[test]
+fn lane_select_routes_every_operand_pair_under_proper_masks() {
+    for m in [0u8, 0xFF] {
+        let mask = splat8(m);
+        for a in 0..=255u16 {
+            for b in 0..=255u16 {
+                let (a, b) = (a as u8, b as u8);
+                let want = if m == 0xFF { a } else { b };
+                assert_eq!(
+                    unpack8(lane_select(mask, splat8(a), splat8(b))),
+                    [want; LANES]
+                );
+            }
+        }
+    }
+}
+
+/// Per-lane mixed-background sweep: lane `i` runs the full 256×256 square
+/// in steps while every other lane holds unrelated varying bytes — a
+/// direct (theorem-free) check that no lane reads its neighbors. The
+/// stride keeps the full cross product at 8 lanes × 64² cases; the
+/// offsets make successive lanes sample different residues.
+#[test]
+fn mixed_background_square_per_lane() {
+    for i in 0..LANES {
+        for a in (i as u16..=255).step_by(4) {
+            for b in ((7 - i as u16)..=255).step_by(4) {
+                let (a, b) = (a as u8, b as u8);
+                let mut la = background(a as u32 ^ 0x55);
+                let mut lb = background(b as u32 ^ 0xAA);
+                la[i] = a;
+                lb[i] = b;
+                let x = pack8(la);
+                let y = pack8(lb);
+                assert_eq!(unpack8(lane_ge(x, y))[i], scalar_ge(a, b));
+                assert_eq!(unpack8(lane_min(x, y))[i], a.min(b));
+                assert_eq!(unpack8(lane_max(x, y))[i], a.max(b));
+                // The surrounding lanes must equal their own scalar
+                // results too — a bleed in either direction fails here.
+                for (j, (&na, &nb)) in la.iter().zip(&lb).enumerate() {
+                    assert_eq!(unpack8(lane_ge(x, y))[j], scalar_ge(na, nb));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn reduce_max8_on_zero_one_patterns_and_single_hot_words() {
+    // The shift/max ladder is a monotone comparator network: by the 0-1
+    // principle it computes the true maximum iff it does on every 0-1
+    // lane pattern.
+    for pat in 0..=255u8 {
+        let lanes: [u8; LANES] = std::array::from_fn(|i| (pat >> i) & 1);
+        assert_eq!(reduce_max8(pack8(lanes)), u8::from(pat != 0));
+    }
+    // Single-hot: the value must survive from any position.
+    for i in 0..LANES {
+        for v in 0..=255u8 {
+            let mut lanes = [0u8; LANES];
+            lanes[i] = v;
+            assert_eq!(reduce_max8(pack8(lanes)), v);
+        }
+    }
+    // Mixed backstop: deterministic words against the scalar fold.
+    for case in 0..4096u32 {
+        let lanes = background(case);
+        assert_eq!(
+            reduce_max8(pack8(lanes)),
+            lanes.iter().copied().max().unwrap()
+        );
+    }
+}

@@ -135,6 +135,19 @@ pub struct TableExp {
 }
 
 impl TableExp {
+    /// The SWAR primitives the packed [`TableExp::exp_batch_into`] address
+    /// path is built on. The `lane-datapath` section of `coopmc-verify`
+    /// asserts its theorems cover every member, so a kernel change that
+    /// pulls in a new primitive fails verification until the analyzer
+    /// covers it too.
+    pub const BATCH_LANE_PRIMITIVES: &'static [lane::Primitive] = &[
+        lane::Primitive::Pack8,
+        lane::Primitive::Unpack8,
+        lane::Primitive::Splat8,
+        lane::Primitive::LaneGe,
+        lane::Primitive::LaneSelect,
+    ];
+
     /// Build a table with `size_lut` entries of `bit_lut` fractional bits
     /// each, with the default step `16 / size_lut`.
     ///

@@ -7,7 +7,7 @@
 //!                       [--health] [--early-stop-rhat R] [--early-stop-ess E]
 //!                       [--journal-out F] [--trace-out F] [--metrics-out F]
 //! coopmc hw [--labels N]
-//! coopmc verify [--json] [--demo-broken]
+//! coopmc verify [--json] [--demo-broken] [--only SECTION]
 //! ```
 //!
 //! Pipeline SPECs: `float32`, `fixed:<bits>`, `fixed+dn:<bits>`,
@@ -523,7 +523,12 @@ fn cmd_hw(labels: usize) {
 /// Run the static verifier (same sweep as the `coopmc-verify` binary) and
 /// report success as an exit-code-style `Result`. With `export_schematic`,
 /// first write the canonical circuits' graphviz/JSON schematics there.
-fn cmd_verify(demo_broken: bool, json: bool, export_schematic: Option<&str>) -> Result<(), String> {
+fn cmd_verify(
+    demo_broken: bool,
+    json: bool,
+    only: Option<&str>,
+    export_schematic: Option<&str>,
+) -> Result<(), String> {
     if let Some(dir) = export_schematic {
         let written = coopmc::analyze::descriptor::export_schematics(std::path::Path::new(dir))
             .map_err(|e| format!("schematic export failed: {e}"))?;
@@ -534,7 +539,7 @@ fn cmd_verify(demo_broken: bool, json: bool, export_schematic: Option<&str>) -> 
     let report = if demo_broken {
         coopmc::analyze::verify::run_broken_demo()
     } else {
-        coopmc::analyze::verify::run_all()
+        coopmc::analyze::verify::run_sections(only)?
     };
     if json {
         println!("{}", report.to_json());
@@ -549,7 +554,7 @@ fn cmd_verify(demo_broken: bool, json: bool, export_schematic: Option<&str>) -> 
 }
 
 fn usage() -> &'static str {
-    "usage:\n  coopmc list\n  coopmc run <workload> [--pipeline SPEC] [--sampler seq|tree|pipe|alias] [--sweeps N] [--seed S] [--threads T] [--health] [--early-stop-rhat R] [--early-stop-ess E] [--journal-out F] [--trace-out F] [--metrics-out F]\n  coopmc hw [--labels N]\n  coopmc verify [--json] [--demo-broken] [--export-schematic DIR]"
+    "usage:\n  coopmc list\n  coopmc run <workload> [--pipeline SPEC] [--sampler seq|tree|pipe|alias] [--sweeps N] [--seed S] [--threads T] [--health] [--early-stop-rhat R] [--early-stop-ess E] [--journal-out F] [--trace-out F] [--metrics-out F]\n  coopmc hw [--labels N]\n  coopmc verify [--json] [--demo-broken] [--only SECTION] [--export-schematic DIR]"
 }
 
 fn main() -> ExitCode {
@@ -573,6 +578,10 @@ fn main() -> ExitCode {
         Some("verify") => cmd_verify(
             args.iter().any(|a| a == "--demo-broken"),
             args.iter().any(|a| a == "--json"),
+            args.iter()
+                .position(|a| a == "--only")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str),
             args.iter()
                 .position(|a| a == "--export-schematic")
                 .and_then(|i| args.get(i + 1))
