@@ -258,9 +258,10 @@ fn main() {
         .number("variables", (WIDTH * HEIGHT) as f64)
         .number("host_cpus", host_cpus as f64)
         // The bench always measures the raw hot path (no ChainHealth
-        // observation); the gate refuses to compare against a baseline
-        // whose flag differs.
+        // observation, no span profiler); the gate refuses to compare
+        // against a baseline whose flags differ.
         .raw("health_enabled", "false".to_owned())
+        .raw("profile_enabled", "false".to_owned())
         .raw("pg", json_array(&pg_rows))
         .raw("sweeps", json_array(&sweep_rows))
         .number("pooled_over_scoped_1t", speedup)

@@ -10,7 +10,10 @@
 //!   [`TOLERANCE`] below its baseline value, or
 //! * the two documents' `health_enabled` flags differ (a run measured with
 //!   chain-health monitoring on is not comparable to one measured without;
-//!   documents predating the flag count as `false`).
+//!   documents predating the flag count as `false`), or
+//! * the two documents' `profile_enabled` flags differ (same reasoning:
+//!   the span profiler adds per-call overhead, so profiled and unprofiled
+//!   throughput numbers must never be gated against each other).
 //!
 //! Sweep rows are informational only: they depend on `host_cpus` and are
 //! already marked `"starved"` when oversubscribed, so they are not gated.
@@ -31,6 +34,14 @@ fn load(path: &str) -> Result<Value, String> {
 /// enabled. Documents from before the flag existed count as `false`.
 fn health_enabled(doc: &Value) -> bool {
     matches!(doc.get("health_enabled"), Some(Value::Bool(true)))
+}
+
+/// Whether the document's rows were measured with the span profiler armed.
+/// Profiling adds ring writes and phase timestamps to every hot-path call,
+/// so profiled and unprofiled runs are not throughput-comparable. Documents
+/// from before the flag existed count as `false`.
+fn profile_enabled(doc: &Value) -> bool {
+    matches!(doc.get("profile_enabled"), Some(Value::Bool(true)))
 }
 
 /// Extract `(pipeline/api, samples_per_sec)` for every `pg` row.
@@ -69,6 +80,16 @@ fn run(baseline_path: &str, candidate_path: &str) -> Result<bool, String> {
         return Err(format!(
             "health_enabled mismatch: baseline {base_health}, candidate {cand_health} — \
              rows measured under different health settings are not comparable"
+        ));
+    }
+    let (base_prof, cand_prof) = (
+        profile_enabled(&baseline_doc),
+        profile_enabled(&candidate_doc),
+    );
+    if base_prof != cand_prof {
+        return Err(format!(
+            "profile_enabled mismatch: baseline {base_prof}, candidate {cand_prof} — \
+             rows measured under different profiler settings are not comparable"
         ));
     }
     let baseline = pg_rows(&baseline_doc, baseline_path)?;
@@ -172,6 +193,37 @@ mod tests {
         assert!(health_enabled(
             &parse("{\"health_enabled\": true}").unwrap()
         ));
+    }
+
+    #[test]
+    fn profile_flag_defaults_to_false_and_reads_true() {
+        assert!(!profile_enabled(&parse("{}").unwrap()));
+        assert!(!profile_enabled(
+            &parse("{\"profile_enabled\": false}").unwrap()
+        ));
+        assert!(profile_enabled(
+            &parse("{\"profile_enabled\": true}").unwrap()
+        ));
+    }
+
+    #[test]
+    fn mismatched_profile_flags_refuse_to_compare() {
+        let row = "{\"pipeline\": \"a\", \"api\": \"x\", \"samples_per_sec\": 10}";
+        let dir = std::env::temp_dir();
+        let base = dir.join(format!("bench-gate-prof-base-{}.json", std::process::id()));
+        let cand = dir.join(format!("bench-gate-prof-cand-{}.json", std::process::id()));
+        // Baseline predates the flag entirely; candidate measured with the
+        // profiler armed — the gate must refuse rather than compare.
+        std::fs::write(&base, format!("{{\"pg\": [{row}]}}")).unwrap();
+        std::fs::write(
+            &cand,
+            format!("{{\"profile_enabled\": true, \"pg\": [{row}]}}"),
+        )
+        .unwrap();
+        let err = run(base.to_str().unwrap(), cand.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("profile_enabled mismatch"), "{err}");
+        let _ = std::fs::remove_file(&base);
+        let _ = std::fs::remove_file(&cand);
     }
 
     #[test]

@@ -2,11 +2,15 @@
 
 use std::time::{Duration, Instant};
 
-use coopmc_kernels::cost::OpCounts;
+use coopmc_kernels::cost::{
+    OpCounts, ADD_CYCLES, DIV_CYCLES, EXP_APPROX_CYCLES, LUT_CYCLES, MUL_CYCLES, TREE_LAYER_CYCLES,
+};
+use coopmc_kernels::fusion::StagePhases;
 use coopmc_kernels::telemetry::PgTelemetry;
 use coopmc_models::{GibbsModel, LabelScore};
 use coopmc_obs::health::{ConvergenceController, Decision};
 use coopmc_obs::journal::SweepSample;
+use coopmc_obs::profile::Kernel;
 use coopmc_obs::{NoopRecorder, Recorder};
 use coopmc_rng::HwRng;
 use coopmc_sampler::{SampleScratch, Sampler};
@@ -71,6 +75,49 @@ impl RunStats {
             100.0 * self.pu_time.as_secs_f64() / total,
         )
     }
+}
+
+/// Elementwise difference of two op tallies (`after` must dominate).
+pub(crate) fn delta_ops(after: &OpCounts, before: &OpCounts) -> OpCounts {
+    OpCounts {
+        add: after.add - before.add,
+        mul: after.mul - before.mul,
+        div: after.div - before.div,
+        lut: after.lut - before.lut,
+        approx: after.approx - before.approx,
+        cmp: after.cmp - before.cmp,
+    }
+}
+
+/// Attribute a sweep's modeled cycles to profiler kernels on `lane`.
+///
+/// The split mirrors how the fused PG datapath spends its op tally:
+/// accumulator add/mul/div land in `pg.normalize`, NormTree comparators in
+/// `pg.dynorm`, TableExp/TableLog lookups and approximation-ALU calls in
+/// `pg.exp_batch` — together exactly [`OpCounts::sequential_cycles`], so the
+/// ledger's modeled total matches the journal's `pg_cycles`. SD is the
+/// sampler's own latency tally and PU is [`PU_CYCLES`] per committed update,
+/// matching [`RunStats::simulated_hw_cycles`].
+pub(crate) fn emit_kernel_cycles<Rec: Recorder>(
+    rec: &Rec,
+    lane: usize,
+    ops: &OpCounts,
+    sd_cycles: u64,
+    updates: u64,
+) {
+    rec.prof_cycles(
+        lane,
+        Kernel::PgNormalize,
+        ops.add * ADD_CYCLES + ops.mul * MUL_CYCLES + ops.div * DIV_CYCLES,
+    );
+    rec.prof_cycles(lane, Kernel::PgDynorm, ops.cmp * TREE_LAYER_CYCLES);
+    rec.prof_cycles(
+        lane,
+        Kernel::PgExpBatch,
+        ops.lut * LUT_CYCLES + ops.approx * EXP_APPROX_CYCLES,
+    );
+    rec.prof_cycles(lane, Kernel::SdSampleRows, sd_cycles);
+    rec.prof_cycles(lane, Kernel::PuUpdate, PU_CYCLES * updates);
 }
 
 /// Drives a [`GibbsModel`] through PG → SD → PU sweeps.
@@ -162,10 +209,18 @@ impl<P: ProbabilityPipeline, S: Sampler, R: HwRng, Rec: Recorder> GibbsEngine<P,
             return None;
         }
         let old_label = model.label(var);
+        let prof = self.recorder.prof_enabled();
+        let mut phases = StagePhases::default();
         let t0 = Instant::now();
         model.begin_resample(var);
         model.scores_into(var, &mut self.scores);
-        self.pipeline.generate_into(&self.scores, &mut self.pg);
+        let tg = Instant::now();
+        if prof {
+            self.pipeline
+                .generate_into_profiled(&self.scores, &mut self.pg, &mut phases);
+        } else {
+            self.pipeline.generate_into(&self.scores, &mut self.pg);
+        }
         let t1 = Instant::now();
         let sample = self
             .sampler
@@ -173,6 +228,23 @@ impl<P: ProbabilityPipeline, S: Sampler, R: HwRng, Rec: Recorder> GibbsEngine<P,
         let t2 = Instant::now();
         model.update(var, sample.label);
         let t3 = Instant::now();
+        if prof {
+            // Sequential engine: everything runs on lane 0, the coordinator.
+            self.recorder
+                .prof_leaf(0, Kernel::PgGather, (tg - t0).as_nanos() as u64);
+            if phases.active {
+                self.recorder
+                    .prof_leaf(0, Kernel::PgNormalize, phases.normalize_ns);
+                self.recorder
+                    .prof_leaf(0, Kernel::PgDynorm, phases.dynorm_ns);
+                self.recorder
+                    .prof_leaf(0, Kernel::PgExpBatch, phases.exp_ns);
+            }
+            self.recorder
+                .prof_leaf(0, Kernel::SdSampleRows, (t2 - t1).as_nanos() as u64);
+            self.recorder
+                .prof_leaf(0, Kernel::PuUpdate, (t3 - t2).as_nanos() as u64);
+        }
 
         stats.pg_time += t1 - t0;
         stats.sd_time += t2 - t1;
@@ -192,14 +264,28 @@ impl<P: ProbabilityPipeline, S: Sampler, R: HwRng, Rec: Recorder> GibbsEngine<P,
     /// One full sweep over every variable.
     pub fn sweep(&mut self, model: &mut dyn GibbsModel, stats: &mut RunStats) {
         // With the NoopRecorder this whole prologue/epilogue folds away:
-        // `enabled()` is a compile-time false.
-        let (start_ns, before) = if self.recorder.enabled() {
+        // `enabled()` and `prof_enabled()` are compile-time false.
+        let prof = self.recorder.prof_enabled();
+        let (start_ns, before) = if self.recorder.enabled() || prof {
             (self.recorder.now_ns(), stats.clone())
         } else {
             (0, RunStats::default())
         };
+        if prof {
+            self.recorder.prof_begin(0, Kernel::Sweep);
+        }
         for var in 0..model.num_variables() {
             self.step(model, var, stats);
+        }
+        if prof {
+            self.recorder.prof_end(0, Kernel::Sweep);
+            emit_kernel_cycles(
+                &self.recorder,
+                0,
+                &delta_ops(&stats.ops, &before.ops),
+                stats.sd_cycles - before.sd_cycles,
+                stats.updates - before.updates,
+            );
         }
         stats.iterations += 1;
         self.journal_iteration += 1;
@@ -443,6 +529,62 @@ mod tests {
             &mut StopAfter(3),
         );
         assert_eq!(stats.iterations, 3, "must stop at the controller's word");
+    }
+
+    #[test]
+    fn profiled_run_attributes_kernels_and_stays_bit_identical() {
+        use coopmc_obs::SpanProfiler;
+        let base = {
+            let mut app = image_segmentation(10, 10, 31);
+            let mut engine = GibbsEngine::new(
+                PipelineConfig::coopmc(64, 8).build(),
+                TreeSampler::new(),
+                SplitMix64::new(7),
+            );
+            engine.run(&mut app.mrf, 2);
+            app.mrf.labels()
+        };
+        let prof = SpanProfiler::new(1);
+        let (labels, stats) = {
+            let mut app = image_segmentation(10, 10, 31);
+            let mut engine = GibbsEngine::with_recorder(
+                PipelineConfig::coopmc(64, 8).build(),
+                TreeSampler::new(),
+                SplitMix64::new(7),
+                &prof,
+            );
+            let stats = engine.run(&mut app.mrf, 2);
+            (app.mrf.labels(), stats)
+        };
+        assert_eq!(base, labels, "profiling must be chain-invisible");
+
+        let reports = prof.kernel_reports();
+        let modeled: u64 = reports.iter().map(|r| r.modeled_cycles).sum();
+        assert_eq!(
+            modeled,
+            stats.simulated_hw_cycles(),
+            "kernel attribution must conserve the modeled cycle total"
+        );
+        let sweep = reports
+            .iter()
+            .find(|r| r.kernel == Kernel::Sweep)
+            .expect("sweep span");
+        assert_eq!(sweep.calls, 2);
+        assert_eq!(sweep.unclosed, 0);
+        for k in [
+            Kernel::PgGather,
+            Kernel::PgNormalize,
+            Kernel::PgDynorm,
+            Kernel::PgExpBatch,
+            Kernel::SdSampleRows,
+            Kernel::PuUpdate,
+        ] {
+            let row = reports
+                .iter()
+                .find(|r| r.kernel == k)
+                .unwrap_or_else(|| panic!("missing {} row", k.name()));
+            assert!(row.calls > 0 || row.modeled_cycles > 0);
+        }
     }
 
     #[test]

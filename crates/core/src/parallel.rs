@@ -13,19 +13,22 @@
 //! so a 1-thread and an 8-thread run produce identical chains — a strong
 //! correctness handle that the tests exploit.
 
+use coopmc_kernels::cost::OpCounts;
+use coopmc_kernels::fusion::StagePhases;
 use coopmc_kernels::telemetry::PgTelemetry;
 use coopmc_models::coloring::ChromaticModel;
 use coopmc_models::mrf::GridMrf;
 use coopmc_models::{GibbsModel, LabelScore};
 use coopmc_obs::health::{ConvergenceController, Decision};
 use coopmc_obs::journal::{ColorSample, SweepSample};
+use coopmc_obs::profile::Kernel;
 use coopmc_obs::{metrics, NoopRecorder, Recorder};
 use coopmc_rng::SplitMix64;
 use coopmc_sampler::{SampleResult, SampleScratch, Sampler, TreeSampler};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use crate::engine::PU_CYCLES;
+use crate::engine::{emit_kernel_cycles, PU_CYCLES};
 use crate::pipeline::{PgBatch, PgOutput, ProbabilityPipeline};
 use crate::pool::WorkerPool;
 
@@ -71,7 +74,10 @@ struct SweepScratch {
 }
 
 /// Per-chunk observation aggregate, drained into the sweep record after the
-/// class barrier (recording only).
+/// class barrier (recording only). The `gather_ns`/stage-phase fields and
+/// the op tally feed the kernel profiler's per-lane leaves; they overlap
+/// `pg_ns` (which keeps the journal's Table II semantics: gather + datapath
+/// together) rather than re-partitioning it.
 #[derive(Debug, Default)]
 struct ChunkTrace {
     pg_ns: u64,
@@ -81,6 +87,16 @@ struct ChunkTrace {
     pg_batches: u64,
     pg_batch_rows: u64,
     telemetry: PgTelemetry,
+    /// Time in `scores_into` (the PG gather), profiling only.
+    gather_ns: u64,
+    /// Fused-datapath stage splits, profiling only.
+    normalize_ns: u64,
+    dynorm_ns: u64,
+    exp_ns: u64,
+    /// Whether any evaluation reported stage phases (fused pipelines only).
+    phases_active: bool,
+    /// Datapath op tally, for per-lane modeled-cycle attribution.
+    ops: OpCounts,
 }
 
 impl ChunkTrace {
@@ -212,6 +228,16 @@ impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
         &self.recorder
     }
 
+    /// Cumulative busy time across the pool's workers, in nanoseconds.
+    ///
+    /// Inline work (single-thread engines, or classes small enough to skip
+    /// the dispatch round-trip) runs on the coordinator and is *not*
+    /// counted here — this is the pool's own job accounting, exposed so
+    /// scaling studies can compute utilization without a recorder.
+    pub fn pool_busy_ns(&self) -> u64 {
+        self.pool.total_busy_ns()
+    }
+
     /// One full sweep: each color class is resampled concurrently from the
     /// same snapshot, then committed before the next class starts.
     ///
@@ -236,8 +262,13 @@ impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
         vars: &[usize],
         iteration: u64,
         scratch: &mut SweepScratch,
+        lane: usize,
     ) {
         let enabled = self.recorder.enabled();
+        let prof = self.recorder.prof_enabled();
+        // `timing` drives the Instant captures and ChunkTrace aggregation;
+        // `enabled` alone decides whether the trace reaches the journal.
+        let timing = enabled || prof;
         let sampler = TreeSampler::new();
         scratch.out.clear();
         scratch.fallbacks = 0;
@@ -247,10 +278,16 @@ impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
                 if model.is_clamped(var) {
                     continue;
                 }
-                let t0 = enabled.then(std::time::Instant::now);
+                let t0 = timing.then(std::time::Instant::now);
                 model.scores_into(var, &mut scratch.scores);
-                self.draw_var_from_scores(var, iteration, &sampler, scratch, t0);
+                if prof {
+                    if let Some(t0) = t0 {
+                        scratch.trace.gather_ns += t0.elapsed().as_nanos() as u64;
+                    }
+                }
+                self.draw_var_from_scores(var, iteration, &sampler, scratch, t0, prof);
             }
+            self.emit_chunk_profile(scratch, lane, prof);
             return;
         }
         scratch.batch_scores.clear();
@@ -260,20 +297,25 @@ impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
             if model.is_clamped(var) {
                 continue;
             }
-            let t0 = enabled.then(std::time::Instant::now);
+            let t0 = timing.then(std::time::Instant::now);
             model.scores_into(var, &mut scratch.scores);
+            if prof {
+                if let Some(t0) = t0 {
+                    scratch.trace.gather_ns += t0.elapsed().as_nanos() as u64;
+                }
+            }
             let batchable = !scratch.scores.is_empty()
                 && scratch
                     .scores
                     .iter()
                     .all(|s| matches!(s, LabelScore::LogDomain(_)));
             if !batchable {
-                self.draw_var_from_scores(var, iteration, &sampler, scratch, t0);
+                self.draw_var_from_scores(var, iteration, &sampler, scratch, t0, prof);
                 continue;
             }
             let w = scratch.scores.len();
             if !scratch.batch_vars.is_empty() && w != width {
-                self.flush_batch(width, iteration, &sampler, scratch, enabled);
+                self.flush_batch(width, iteration, &sampler, scratch, timing, prof);
             }
             width = w;
             scratch.batch_scores.extend(scratch.scores.iter().cloned());
@@ -282,10 +324,33 @@ impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
                 scratch.trace.pg_ns += t0.elapsed().as_nanos() as u64;
             }
             if scratch.batch_vars.len() == self.batch_rows {
-                self.flush_batch(width, iteration, &sampler, scratch, enabled);
+                self.flush_batch(width, iteration, &sampler, scratch, timing, prof);
             }
         }
-        self.flush_batch(width, iteration, &sampler, scratch, enabled);
+        self.flush_batch(width, iteration, &sampler, scratch, timing, prof);
+        self.emit_chunk_profile(scratch, lane, prof);
+    }
+
+    /// Flush one finished chunk's trace to the profiler as per-lane kernel
+    /// leaves plus the lane's modeled-cycle attribution. One leaf per kernel
+    /// per *chunk* (not per variable) keeps ring traffic proportional to
+    /// jobs, like the pool's own accounting.
+    fn emit_chunk_profile(&self, scratch: &SweepScratch, lane: usize, prof: bool) {
+        if !prof {
+            return;
+        }
+        let tr = &scratch.trace;
+        let rec = &self.recorder;
+        rec.prof_leaf(lane, Kernel::PgGather, tr.gather_ns);
+        if tr.phases_active {
+            rec.prof_leaf(lane, Kernel::PgNormalize, tr.normalize_ns);
+            rec.prof_leaf(lane, Kernel::PgDynorm, tr.dynorm_ns);
+            rec.prof_leaf(lane, Kernel::PgExpBatch, tr.exp_ns);
+        }
+        rec.prof_leaf(lane, Kernel::SdSampleRows, tr.sd_ns);
+        // PU commits happen on the coordinator after the class barrier, so
+        // a chunk attributes zero update cycles (the sweep adds them there).
+        emit_kernel_cycles(rec, lane, &tr.ops, tr.sd_cycles, 0);
     }
 
     /// Scalar PG + SD for one variable whose scores are already gathered in
@@ -297,9 +362,23 @@ impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
         sampler: &TreeSampler,
         scratch: &mut SweepScratch,
         t0: Option<std::time::Instant>,
+        prof: bool,
     ) {
-        self.pipeline
-            .generate_into(&scratch.scores, &mut scratch.pg);
+        if prof {
+            let mut phases = StagePhases::default();
+            self.pipeline
+                .generate_into_profiled(&scratch.scores, &mut scratch.pg, &mut phases);
+            if phases.active {
+                let tr = &mut scratch.trace;
+                tr.phases_active = true;
+                tr.normalize_ns += phases.normalize_ns;
+                tr.dynorm_ns += phases.dynorm_ns;
+                tr.exp_ns += phases.exp_ns;
+            }
+        } else {
+            self.pipeline
+                .generate_into(&scratch.scores, &mut scratch.pg);
+        }
         let t1 = t0.map(|_| std::time::Instant::now());
         let mut rng = draw_rng(self.seed, iteration, var);
         let sample = sampler.sample_into(&scratch.pg.probs, &mut rng, &mut scratch.sd);
@@ -312,6 +391,7 @@ impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
             tr.pg_cycles += scratch.pg.ops.sequential_cycles();
             tr.sd_cycles += sample.cycles;
             tr.telemetry.merge(&scratch.pg.telemetry);
+            tr.ops.merge(&scratch.pg.ops);
         }
     }
 
@@ -325,15 +405,33 @@ impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
         iteration: u64,
         sampler: &TreeSampler,
         scratch: &mut SweepScratch,
-        enabled: bool,
+        timing: bool,
+        prof: bool,
     ) {
         if scratch.batch_vars.is_empty() {
             return;
         }
-        let t0 = enabled.then(std::time::Instant::now);
-        self.pipeline
-            .generate_batch_into(&scratch.batch_scores, width, &mut scratch.batch);
-        let t1 = enabled.then(std::time::Instant::now);
+        let t0 = timing.then(std::time::Instant::now);
+        if prof {
+            let mut phases = StagePhases::default();
+            self.pipeline.generate_batch_into_profiled(
+                &scratch.batch_scores,
+                width,
+                &mut scratch.batch,
+                &mut phases,
+            );
+            if phases.active {
+                let tr = &mut scratch.trace;
+                tr.phases_active = true;
+                tr.normalize_ns += phases.normalize_ns;
+                tr.dynorm_ns += phases.dynorm_ns;
+                tr.exp_ns += phases.exp_ns;
+            }
+        } else {
+            self.pipeline
+                .generate_batch_into(&scratch.batch_scores, width, &mut scratch.batch);
+        }
+        let t1 = timing.then(std::time::Instant::now);
         let seed = self.seed;
         let row_vars = &scratch.batch_vars;
         sampler.sample_rows_into(
@@ -358,6 +456,7 @@ impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
             for (ops, sample) in scratch.batch.ops.iter().zip(&scratch.draws) {
                 tr.pg_cycles += ops.sequential_cycles();
                 tr.sd_cycles += sample.cycles;
+                tr.ops.merge(ops);
             }
         }
         scratch.batch_scores.clear();
@@ -412,11 +511,18 @@ impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
         counts: Option<&mut SweepCounts>,
     ) -> usize {
         let enabled = self.recorder.enabled();
-        let counting = enabled || counts.is_some();
+        let prof = self.recorder.prof_enabled();
+        // Profiling needs the update tally for PU cycle attribution even
+        // when the journal recorder is off; counting is observation-only
+        // (extra `model.label` reads), never chain-visible.
+        let counting = enabled || prof || counts.is_some();
         let mut local = SweepCounts::default();
         let sweep_start = if enabled { self.recorder.now_ns() } else { 0 };
         let mut rec = enabled.then(SweepAcc::default);
         let mut updated = 0usize;
+        if prof {
+            self.recorder.prof_begin(0, Kernel::Sweep);
+        }
         for (class_idx, class) in classes.iter().enumerate() {
             let class_start = if enabled { self.recorder.now_ns() } else { 0 };
             let busy_before = if enabled {
@@ -428,23 +534,26 @@ impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
             let inline = self.n_threads == 1 || class.len() <= chunk;
             let n_slots = if inline {
                 // Single chunk: run inline, skip the dispatch round-trip.
+                // Inline work executes on the coordinator, hence lane 0.
                 let scratch = &mut *self.scratch[0].lock().unwrap();
-                self.resample_chunk(&*model, class, iteration, scratch);
+                self.resample_chunk(&*model, class, iteration, scratch, 0);
                 1
             } else {
                 let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = class
                     .chunks(chunk)
                     .zip(&self.scratch)
-                    .map(|(vars, slot)| {
+                    .enumerate()
+                    .map(|(slot_idx, (vars, slot))| {
                         let model_ref: &M = &*model;
                         Box::new(move || {
                             let scratch = &mut *slot.lock().unwrap();
-                            self.resample_chunk(model_ref, vars, iteration, scratch);
+                            // Profiler lane i + 1 is pool worker slot i.
+                            self.resample_chunk(model_ref, vars, iteration, scratch, slot_idx + 1);
                         }) as Box<dyn FnOnce() + Send + '_>
                     })
                     .collect();
                 let n_jobs = jobs.len();
-                self.pool.execute(jobs);
+                self.pool.execute_with(jobs, &self.recorder);
                 n_jobs
             };
             // The class barrier ends here; commits below are the PU phase.
@@ -456,7 +565,7 @@ impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
             // Commit after the class barrier. Commit order is irrelevant to
             // the chain (each var appears once), so chunking cannot change
             // the result.
-            let t_commit = enabled.then(std::time::Instant::now);
+            let t_commit = (enabled || prof).then(std::time::Instant::now);
             for slot in &self.scratch[..n_slots] {
                 let scratch = slot.lock().unwrap();
                 updated += scratch.out.len();
@@ -468,8 +577,12 @@ impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
                     Self::drain_trace(acc, &scratch.trace);
                 }
             }
+            let commit_ns = t_commit.map_or(0, |t| t.elapsed().as_nanos() as u64);
+            if prof {
+                self.recorder.prof_leaf(0, Kernel::PuUpdate, commit_ns);
+            }
             if let Some(acc) = rec.as_mut() {
-                acc.pu_ns += t_commit.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                acc.pu_ns += commit_ns;
                 // Worker busy time inside the barrier; the inline path runs
                 // on the calling thread, so busy == wall by construction.
                 let busy_ns = if inline {
@@ -497,6 +610,13 @@ impl<P: ProbabilityPipeline + Sync, Rec: Recorder> ChromaticEngine<P, Rec> {
                     self.chain,
                 );
             }
+        }
+        if prof {
+            // PU runs on the coordinator: attribute its modeled cycles to
+            // lane 0, then close the sweep span.
+            self.recorder
+                .prof_cycles(0, Kernel::PuUpdate, PU_CYCLES * local.updates);
+            self.recorder.prof_end(0, Kernel::Sweep);
         }
         if let Some(acc) = rec {
             for c in &acc.colors {
@@ -874,6 +994,59 @@ mod tests {
         assert_eq!(updated, 3 * 14 * 10, "every variable, every sweep");
         assert_eq!(probe.stats.len(), 3);
         assert!(probe.stats.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn profiled_chromatic_run_is_chain_invisible_and_covers_worker_lanes() {
+        use coopmc_obs::SpanProfiler;
+        let base = {
+            let mut app = image_segmentation(20, 16, 21);
+            let engine = ChromaticEngine::new(CoopMcPipeline::new(64, 8), 3, 909);
+            engine.run(&mut app.mrf, 4);
+            app.mrf.labels()
+        };
+        let prof = SpanProfiler::new(4);
+        let (labels, updated) = {
+            let mut app = image_segmentation(20, 16, 21);
+            let engine = ChromaticEngine::with_recorder(CoopMcPipeline::new(64, 8), 3, 909, &prof);
+            let updated = engine.run(&mut app.mrf, 4);
+            (app.mrf.labels(), updated)
+        };
+        assert_eq!(base, labels, "profiling must be chain-invisible");
+
+        let reports = prof.kernel_reports();
+        let sweep = reports
+            .iter()
+            .find(|r| r.kernel == Kernel::Sweep && r.worker == 0)
+            .expect("lane-0 sweep span");
+        assert_eq!(sweep.calls, 4);
+        assert_eq!(sweep.unclosed, 0);
+        // 320 vars over 2 color classes and 3 threads: every class is
+        // chunked across the pool, so worker lanes must carry PG/SD leaves
+        // and the coordinator the dispatch/join/commit ones.
+        for k in [Kernel::PoolDispatch, Kernel::PoolJoin, Kernel::PuUpdate] {
+            assert!(
+                reports.iter().any(|r| r.kernel == k && r.worker == 0),
+                "missing coordinator {} leaf",
+                k.name()
+            );
+        }
+        for lane in 1..=3 {
+            for k in [Kernel::PgGather, Kernel::PgNormalize, Kernel::SdSampleRows] {
+                assert!(
+                    reports.iter().any(|r| r.kernel == k && r.worker == lane),
+                    "missing {} on worker lane {lane}",
+                    k.name()
+                );
+            }
+        }
+        // PU cycles follow the sweep's update count.
+        let pu: u64 = reports
+            .iter()
+            .filter(|r| r.kernel == Kernel::PuUpdate)
+            .map(|r| r.modeled_cycles)
+            .sum();
+        assert_eq!(pu, PU_CYCLES * updated as u64);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use coopmc_fixed::QFormat;
 use coopmc_kernels::cost::OpCounts;
 use coopmc_kernels::dynorm::dynorm_apply;
 use coopmc_kernels::exp::{ExpKernel, FixedExp, TableExp};
-use coopmc_kernels::fusion::{DirectDatapath, FactorExpr, LogFusion};
+use coopmc_kernels::fusion::{DirectDatapath, FactorExpr, LogFusion, StagePhases};
 use coopmc_kernels::log::TableLog;
 use coopmc_kernels::telemetry::PgTelemetry;
 use coopmc_models::LabelScore;
@@ -190,6 +190,37 @@ pub trait ProbabilityPipeline {
     /// `width`.
     fn generate_batch_into(&self, scores: &[LabelScore], width: usize, out: &mut PgBatch) {
         batch_rows_via_scalar(self, scores, width, out);
+    }
+
+    /// As [`ProbabilityPipeline::generate_into`], additionally accumulating
+    /// per-stage wall times into `phases` for the kernel profiler.
+    ///
+    /// The result must be bit-identical to the unprofiled call. The default
+    /// delegates and leaves `phases` untouched (`active == false`), meaning
+    /// the datapath offers no stage decomposition — its whole PG time then
+    /// shows up as sweep self time in the flamegraph.
+    fn generate_into_profiled(
+        &self,
+        scores: &[LabelScore],
+        out: &mut PgOutput,
+        phases: &mut StagePhases,
+    ) {
+        let _ = &phases;
+        self.generate_into(scores, out);
+    }
+
+    /// As [`ProbabilityPipeline::generate_batch_into`], additionally
+    /// accumulating per-stage wall times into `phases`; same contract as
+    /// [`ProbabilityPipeline::generate_into_profiled`].
+    fn generate_batch_into_profiled(
+        &self,
+        scores: &[LabelScore],
+        width: usize,
+        out: &mut PgBatch,
+        phases: &mut StagePhases,
+    ) {
+        let _ = &phases;
+        self.generate_batch_into(scores, width, out);
     }
 
     /// Short human-readable name for reports.
@@ -467,6 +498,89 @@ impl ProbabilityPipeline for CoopMcPipeline {
         });
     }
 
+    fn generate_into_profiled(
+        &self,
+        scores: &[LabelScore],
+        out: &mut PgOutput,
+        phases: &mut StagePhases,
+    ) {
+        PG_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let all_log = scores.iter().all(|s| matches!(s, LabelScore::LogDomain(_)));
+            out.telemetry = PgTelemetry::new();
+            out.ops = if all_log {
+                scratch.log_scores.clear();
+                scratch.log_scores.extend(scores.iter().map(|s| match s {
+                    LabelScore::LogDomain(v) => *v,
+                    _ => unreachable!(),
+                }));
+                self.fusion.evaluate_log_scores_phased_into(
+                    &scratch.log_scores,
+                    &mut scratch.work,
+                    &mut out.probs,
+                    &mut out.telemetry,
+                    phases,
+                )
+            } else {
+                refill_exprs(scores, &mut scratch.exprs);
+                self.fusion.evaluate_factors_phased_into(
+                    &scratch.exprs,
+                    &mut scratch.work,
+                    &mut out.probs,
+                    &mut out.telemetry,
+                    phases,
+                )
+            };
+        });
+    }
+
+    fn generate_batch_into_profiled(
+        &self,
+        scores: &[LabelScore],
+        width: usize,
+        out: &mut PgBatch,
+        phases: &mut StagePhases,
+    ) {
+        assert!(width > 0, "row width must be positive");
+        assert_eq!(
+            scores.len() % width,
+            0,
+            "batch length must be a multiple of the row width"
+        );
+        let all_log = scores.iter().all(|s| matches!(s, LabelScore::LogDomain(_)));
+        if !all_log {
+            // Factor rows keep the per-row path (still bit-identical).
+            out.probs.clear();
+            out.ops.clear();
+            out.telemetry = PgTelemetry::new();
+            for row in scores.chunks_exact(width) {
+                self.generate_into_profiled(row, &mut out.row, phases);
+                out.probs.extend_from_slice(&out.row.probs);
+                out.ops.push(out.row.ops);
+                out.telemetry.merge(&out.row.telemetry);
+            }
+            return;
+        }
+        PG_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            scratch.log_scores.clear();
+            scratch.log_scores.extend(scores.iter().map(|s| match s {
+                LabelScore::LogDomain(v) => *v,
+                _ => unreachable!(),
+            }));
+            out.telemetry = PgTelemetry::new();
+            self.fusion.evaluate_log_score_rows_phased_into(
+                &scratch.log_scores,
+                width,
+                &mut scratch.work,
+                &mut out.probs,
+                &mut out.ops,
+                &mut out.telemetry,
+                phases,
+            );
+        });
+    }
+
     fn name(&self) -> String {
         format!("coopmc-lut{}x{}", self.size_lut, self.bit_lut)
     }
@@ -545,6 +659,25 @@ impl<P: ProbabilityPipeline + ?Sized> ProbabilityPipeline for Box<P> {
 
     fn generate_batch_into(&self, scores: &[LabelScore], width: usize, out: &mut PgBatch) {
         (**self).generate_batch_into(scores, width, out)
+    }
+
+    fn generate_into_profiled(
+        &self,
+        scores: &[LabelScore],
+        out: &mut PgOutput,
+        phases: &mut StagePhases,
+    ) {
+        (**self).generate_into_profiled(scores, out, phases)
+    }
+
+    fn generate_batch_into_profiled(
+        &self,
+        scores: &[LabelScore],
+        width: usize,
+        out: &mut PgBatch,
+        phases: &mut StagePhases,
+    ) {
+        (**self).generate_batch_into_profiled(scores, width, out, phases)
     }
 
     fn name(&self) -> String {
@@ -716,6 +849,53 @@ mod tests {
                 p.generate_into(scores, &mut out);
                 assert_eq!(fresh, out, "{} diverged", p.name());
             }
+        }
+    }
+
+    #[test]
+    fn profiled_generate_is_bit_identical_for_all_pipelines() {
+        let log = log_scores(&[-4.0, -2.5, -3.1, -0.7]);
+        let factors = vec![
+            LabelScore::Factors {
+                numerators: vec![0.2, 0.5],
+                denominators: vec![0.8],
+            },
+            LabelScore::Factors {
+                numerators: vec![0.4, 0.5],
+                denominators: vec![0.8],
+            },
+        ];
+        let pipelines: Vec<Box<dyn ProbabilityPipeline>> = vec![
+            Box::new(FloatPipeline::new()),
+            Box::new(FixedPipeline::new(8, true)),
+            Box::new(CoopMcPipeline::new(64, 8)),
+        ];
+        let (mut out, mut profiled) = (PgOutput::new(), PgOutput::new());
+        let mut phases = StagePhases::default();
+        for p in &pipelines {
+            for scores in [&log, &factors] {
+                p.generate_into(scores, &mut out);
+                p.generate_into_profiled(scores, &mut profiled, &mut phases);
+                assert_eq!(out, profiled, "{} diverged under profiling", p.name());
+            }
+        }
+        // CoopMC decomposes into stages; the float reference does not.
+        assert!(phases.active, "CoopMC pipeline must fill stage phases");
+        let mut float_phases = StagePhases::default();
+        FloatPipeline::new().generate_into_profiled(&log, &mut profiled, &mut float_phases);
+        assert!(!float_phases.active);
+
+        // The batched path agrees too, for both score forms.
+        let (mut batch, mut pbatch) = (PgBatch::new(), PgBatch::new());
+        let p = CoopMcPipeline::new(64, 8);
+        for scores in [&log, &factors] {
+            let mut bphases = StagePhases::default();
+            p.generate_batch_into(scores, 2, &mut batch);
+            p.generate_batch_into_profiled(scores, 2, &mut pbatch, &mut bphases);
+            assert_eq!(batch.probs, pbatch.probs);
+            assert_eq!(batch.ops, pbatch.ops);
+            assert_eq!(batch.telemetry, pbatch.telemetry);
+            assert!(bphases.active);
         }
     }
 

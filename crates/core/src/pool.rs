@@ -169,11 +169,31 @@ impl WorkerPool {
     /// Panics with "worker panicked" if any job panicked (after all jobs in
     /// the batch have completed, so borrows are never left dangling).
     pub fn execute<'scope>(&self, batch: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        self.execute_with(batch, &coopmc_obs::NoopRecorder);
+    }
+
+    /// [`execute`](Self::execute), reporting dispatch/join latency to a
+    /// profiling recorder.
+    ///
+    /// When `recorder.prof_enabled()` the time spent feeding the job channel
+    /// is emitted as a `pool.dispatch` leaf and the time blocked on worker
+    /// acks as a `pool.join` leaf, both on lane 0 (the coordinator) — the
+    /// join leaf is how the scaling-curve bench separates coordinator wait
+    /// from worker busy time. With the [`coopmc_obs::NoopRecorder`] this is
+    /// exactly `execute`.
+    pub fn execute_with<'scope, Rec: coopmc_obs::Recorder>(
+        &self,
+        batch: Vec<Box<dyn FnOnce() + Send + 'scope>>,
+        recorder: &Rec,
+    ) {
+        use coopmc_obs::profile::Kernel;
+        let prof = recorder.prof_enabled();
         // `into_inner` on poison: a previous batch that propagated a job
         // panic must not brick the pool.
         let _gate = self.batch_gate.lock().unwrap_or_else(|e| e.into_inner());
         let n = batch.len();
         let jobs = self.jobs.as_ref().expect("pool is live outside drop");
+        let t_dispatch = Instant::now();
         for job in batch {
             // SAFETY: erasing 'scope to 'static is sound because this
             // function does not return (not even by panic) until the ack
@@ -187,6 +207,14 @@ impl WorkerPool {
                 unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
             jobs.send(job).expect("workers alive while pool is live");
         }
+        if prof {
+            recorder.prof_leaf(
+                0,
+                Kernel::PoolDispatch,
+                t_dispatch.elapsed().as_nanos() as u64,
+            );
+        }
+        let t_join = Instant::now();
         let mut panicked = false;
         {
             let acks = self.acks.lock().unwrap_or_else(|e| e.into_inner());
@@ -196,6 +224,9 @@ impl WorkerPool {
                     Ack::Panicked => panicked = true,
                 }
             }
+        }
+        if prof {
+            recorder.prof_leaf(0, Kernel::PoolJoin, t_join.elapsed().as_nanos() as u64);
         }
         assert!(!panicked, "worker panicked");
     }
@@ -281,6 +312,33 @@ mod tests {
         // The pool stays usable after a panicked batch.
         let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = vec![Box::new(|| {})];
         pool.execute(jobs);
+    }
+
+    #[test]
+    fn execute_with_profiler_emits_dispatch_and_join_leaves() {
+        use coopmc_obs::profile::Kernel;
+        use coopmc_obs::SpanProfiler;
+        let pool = WorkerPool::new(2);
+        let prof = SpanProfiler::new(3);
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..5)
+            .map(|_| {
+                let counter = &counter;
+                Box::new(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.execute_with(jobs, &&prof);
+        assert_eq!(counter.load(Ordering::SeqCst), 5);
+        let reports = prof.kernel_reports();
+        for k in [Kernel::PoolDispatch, Kernel::PoolJoin] {
+            let row = reports
+                .iter()
+                .find(|r| r.kernel == k && r.worker == 0)
+                .unwrap_or_else(|| panic!("missing {} leaf", k.name()));
+            assert_eq!(row.calls, 1);
+        }
     }
 
     #[test]

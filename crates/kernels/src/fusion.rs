@@ -13,6 +13,8 @@
 //! PG datapath entirely. DyNorm sits between the accumulation and the exp
 //! kernel so the exp inputs are always in range.
 
+use std::time::Instant;
+
 use coopmc_fixed::{Fixed, QFormat, Rounding};
 
 use crate::cost::OpCounts;
@@ -20,6 +22,33 @@ use crate::dynorm::{dynorm_apply, dynorm_apply_rows};
 use crate::exp::{ExpKernel, TableExp};
 use crate::log::LogKernel;
 use crate::telemetry::PgTelemetry;
+
+/// Per-stage wall times of one fused PG evaluation, filled by the
+/// `*_phased_into` variants for the kernel profiler.
+///
+/// Stage names follow the datapath order: `normalize` is the
+/// accumulator-bus arithmetic/requantization feeding the bus, `dynorm`
+/// the NormTree max-shift, `exp` the TableExp lookup. Times accumulate
+/// across calls so one `StagePhases` can cover a whole sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StagePhases {
+    /// True once any phased evaluation has run; lets callers distinguish
+    /// "no stage decomposition available" from "stages took 0 ns".
+    pub active: bool,
+    /// Accumulator-bus arithmetic / requantization, ns.
+    pub normalize_ns: u64,
+    /// DyNorm NormTree max-shift, ns.
+    pub dynorm_ns: u64,
+    /// Exp-kernel evaluation, ns.
+    pub exp_ns: u64,
+}
+
+impl StagePhases {
+    /// Reset all phase times and the `active` flag.
+    pub fn reset(&mut self) {
+        *self = StagePhases::default();
+    }
+}
 
 /// One element of a probability vector expressed as a product of linear
 /// domain factors divided by another product (Eq. 11's numerators `a_i` and
@@ -150,7 +179,7 @@ impl<L: LogKernel, E: ExpKernel> LogFusion<L, E> {
         work: &mut Vec<f64>,
         probs: &mut Vec<f64>,
     ) -> OpCounts {
-        self.factors_impl(exprs, work, probs, None)
+        self.factors_impl(exprs, work, probs, None, None)
     }
 
     /// [`LogFusion::evaluate_factors_into`] that additionally records
@@ -164,7 +193,21 @@ impl<L: LogKernel, E: ExpKernel> LogFusion<L, E> {
         probs: &mut Vec<f64>,
         telemetry: &mut PgTelemetry,
     ) -> OpCounts {
-        self.factors_impl(exprs, work, probs, Some(telemetry))
+        self.factors_impl(exprs, work, probs, Some(telemetry), None)
+    }
+
+    /// [`LogFusion::evaluate_factors_traced_into`] that additionally
+    /// accumulates per-stage wall times into `phases` for the kernel
+    /// profiler. The result is bit-identical to the unphased call.
+    pub fn evaluate_factors_phased_into(
+        &self,
+        exprs: &[FactorExpr],
+        work: &mut Vec<f64>,
+        probs: &mut Vec<f64>,
+        telemetry: &mut PgTelemetry,
+        phases: &mut StagePhases,
+    ) -> OpCounts {
+        self.factors_impl(exprs, work, probs, Some(telemetry), Some(phases))
     }
 
     fn factors_impl(
@@ -173,8 +216,13 @@ impl<L: LogKernel, E: ExpKernel> LogFusion<L, E> {
         work: &mut Vec<f64>,
         probs: &mut Vec<f64>,
         telemetry: Option<&mut PgTelemetry>,
+        mut phases: Option<&mut StagePhases>,
     ) -> OpCounts {
         let mut ops = OpCounts::new();
+        let t0 = phases.as_deref_mut().map(|p| {
+            p.active = true;
+            Instant::now()
+        });
         work.clear();
         for e in exprs {
             let mut acc = Fixed::zero(self.acc_fmt);
@@ -190,7 +238,10 @@ impl<L: LogKernel, E: ExpKernel> LogFusion<L, E> {
             }
             work.push(acc.to_f64());
         }
-        self.finish_into(work, probs, &mut ops, telemetry);
+        if let (Some(p), Some(t0)) = (phases.as_deref_mut(), t0) {
+            p.normalize_ns += t0.elapsed().as_nanos() as u64;
+        }
+        self.finish_into(work, probs, &mut ops, telemetry, phases);
         ops
     }
 
@@ -211,7 +262,7 @@ impl<L: LogKernel, E: ExpKernel> LogFusion<L, E> {
         work: &mut Vec<f64>,
         probs: &mut Vec<f64>,
     ) -> OpCounts {
-        self.log_scores_impl(scores, work, probs, None)
+        self.log_scores_impl(scores, work, probs, None, None)
     }
 
     /// [`LogFusion::evaluate_log_scores_into`] that additionally records
@@ -223,7 +274,21 @@ impl<L: LogKernel, E: ExpKernel> LogFusion<L, E> {
         probs: &mut Vec<f64>,
         telemetry: &mut PgTelemetry,
     ) -> OpCounts {
-        self.log_scores_impl(scores, work, probs, Some(telemetry))
+        self.log_scores_impl(scores, work, probs, Some(telemetry), None)
+    }
+
+    /// [`LogFusion::evaluate_log_scores_traced_into`] that additionally
+    /// accumulates per-stage wall times into `phases` for the kernel
+    /// profiler. The result is bit-identical to the unphased call.
+    pub fn evaluate_log_scores_phased_into(
+        &self,
+        scores: &[f64],
+        work: &mut Vec<f64>,
+        probs: &mut Vec<f64>,
+        telemetry: &mut PgTelemetry,
+        phases: &mut StagePhases,
+    ) -> OpCounts {
+        self.log_scores_impl(scores, work, probs, Some(telemetry), Some(phases))
     }
 
     fn log_scores_impl(
@@ -232,11 +297,19 @@ impl<L: LogKernel, E: ExpKernel> LogFusion<L, E> {
         work: &mut Vec<f64>,
         probs: &mut Vec<f64>,
         telemetry: Option<&mut PgTelemetry>,
+        mut phases: Option<&mut StagePhases>,
     ) -> OpCounts {
         let mut ops = OpCounts::new();
+        let t0 = phases.as_deref_mut().map(|p| {
+            p.active = true;
+            Instant::now()
+        });
         work.clear();
         work.extend(scores.iter().map(|&s| self.acc_fmt.requantize_nearest(s)));
-        self.finish_into(work, probs, &mut ops, telemetry);
+        if let (Some(p), Some(t0)) = (phases.as_deref_mut(), t0) {
+            p.normalize_ns += t0.elapsed().as_nanos() as u64;
+        }
+        self.finish_into(work, probs, &mut ops, telemetry, phases);
         ops
     }
 
@@ -246,11 +319,13 @@ impl<L: LogKernel, E: ExpKernel> LogFusion<L, E> {
         probs: &mut Vec<f64>,
         ops: &mut OpCounts,
         telemetry: Option<&mut PgTelemetry>,
+        mut phases: Option<&mut StagePhases>,
     ) {
         probs.clear();
         if scores.is_empty() {
             return;
         }
+        let t0 = phases.as_deref_mut().map(|_| Instant::now());
         if self.dynorm {
             let report = dynorm_apply(scores, self.pipelines);
             ops.cmp += report.comparisons;
@@ -266,10 +341,20 @@ impl<L: LogKernel, E: ExpKernel> LogFusion<L, E> {
                 t.observe_exp_input(s);
             }
         }
+        let t1 = if let (Some(p), Some(t0)) = (phases.as_deref_mut(), t0) {
+            let now = Instant::now();
+            p.dynorm_ns += now.duration_since(t0).as_nanos() as u64;
+            Some(now)
+        } else {
+            None
+        };
         probs.extend(scores.iter().map(|&s| {
             ops.lut += 1;
             self.exp.exp(s)
         }));
+        if let (Some(p), Some(t1)) = (phases, t1) {
+            p.exp_ns += t1.elapsed().as_nanos() as u64;
+        }
     }
 }
 
@@ -304,17 +389,67 @@ impl<L: LogKernel> LogFusion<L, TableExp> {
         ops_per_row: &mut Vec<OpCounts>,
         telemetry: &mut PgTelemetry,
     ) {
+        self.log_score_rows_impl(scores, width, work, probs, ops_per_row, telemetry, None)
+    }
+
+    /// [`LogFusion::evaluate_log_score_rows_traced_into`] that additionally
+    /// accumulates per-stage wall times into `phases` for the kernel
+    /// profiler. The result is bit-identical to the unphased call.
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate_log_score_rows_phased_into(
+        &self,
+        scores: &[f64],
+        width: usize,
+        work: &mut Vec<f64>,
+        probs: &mut Vec<f64>,
+        ops_per_row: &mut Vec<OpCounts>,
+        telemetry: &mut PgTelemetry,
+        phases: &mut StagePhases,
+    ) {
+        self.log_score_rows_impl(
+            scores,
+            width,
+            work,
+            probs,
+            ops_per_row,
+            telemetry,
+            Some(phases),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn log_score_rows_impl(
+        &self,
+        scores: &[f64],
+        width: usize,
+        work: &mut Vec<f64>,
+        probs: &mut Vec<f64>,
+        ops_per_row: &mut Vec<OpCounts>,
+        telemetry: &mut PgTelemetry,
+        mut phases: Option<&mut StagePhases>,
+    ) {
         assert!(width > 0, "row width must be positive");
         assert_eq!(
             scores.len() % width,
             0,
             "batch length must be a multiple of the row width"
         );
+        let t0 = phases.as_deref_mut().map(|p| {
+            p.active = true;
+            Instant::now()
+        });
         // Stage 1: the accumulator-bus quantization, identical per score.
         work.clear();
         work.extend(scores.iter().map(|&s| self.acc_fmt.requantize_nearest(s)));
         ops_per_row.clear();
         probs.clear();
+        let t1 = if let (Some(p), Some(t0)) = (phases.as_deref_mut(), t0) {
+            let now = Instant::now();
+            p.normalize_ns += now.duration_since(t0).as_nanos() as u64;
+            Some(now)
+        } else {
+            None
+        };
         if scores.is_empty() {
             return;
         }
@@ -342,9 +477,19 @@ impl<L: LogKernel> LogFusion<L, TableExp> {
         for &s in work.iter() {
             telemetry.observe_exp_input(s);
         }
+        let t2 = if let (Some(p), Some(t1)) = (phases.as_deref_mut(), t1) {
+            let now = Instant::now();
+            p.dynorm_ns += now.duration_since(t1).as_nanos() as u64;
+            Some(now)
+        } else {
+            None
+        };
         // Stage 3: one gathered TableExp lookup over the whole batch.
         probs.resize(scores.len(), 0.0);
         self.exp.exp_batch_into(work, probs);
+        if let (Some(p), Some(t2)) = (phases, t2) {
+            p.exp_ns += t2.elapsed().as_nanos() as u64;
+        }
     }
 }
 
@@ -624,6 +769,60 @@ mod tests {
             assert_eq!(probs[row * width..(row + 1) * width], p[..]);
             assert_eq!(ops_rows[row], ops);
         }
+    }
+
+    #[test]
+    fn phased_evaluation_is_bit_identical_and_fills_phases() {
+        use crate::telemetry::PgTelemetry;
+        let fusion = LogFusion::new(TableLog::new(64, 8), TableExp::new(64, 8), acc(), 4);
+        let scores = [-10.0, -9.0, -12.0, -11.5];
+
+        let (mut w1, mut p1, mut tel1) = (Vec::new(), Vec::new(), PgTelemetry::new());
+        let ops1 = fusion.evaluate_log_scores_traced_into(&scores, &mut w1, &mut p1, &mut tel1);
+
+        let (mut w2, mut p2, mut tel2) = (Vec::new(), Vec::new(), PgTelemetry::new());
+        let mut phases = StagePhases::default();
+        let ops2 = fusion.evaluate_log_scores_phased_into(
+            &scores,
+            &mut w2,
+            &mut p2,
+            &mut tel2,
+            &mut phases,
+        );
+        assert_eq!(p1, p2);
+        assert_eq!(ops1, ops2);
+        assert_eq!(tel1, tel2);
+        assert!(phases.active, "phased call must mark phases active");
+
+        // The batched rows path agrees too.
+        let (mut wb, mut pb, mut opsb, mut telb) =
+            (Vec::new(), Vec::new(), Vec::new(), PgTelemetry::new());
+        let mut bphases = StagePhases::default();
+        fusion.evaluate_log_score_rows_phased_into(
+            &scores,
+            scores.len(),
+            &mut wb,
+            &mut pb,
+            &mut opsb,
+            &mut telb,
+            &mut bphases,
+        );
+        assert_eq!(p1, pb);
+        assert_eq!(vec![ops1], opsb);
+        assert!(bphases.active);
+
+        // Factor expressions fill phases through the same plumbing.
+        let exprs = vec![FactorExpr::product(vec![0.5, 0.7])];
+        let (mut wf, mut pf, mut telf) = (Vec::new(), Vec::new(), PgTelemetry::new());
+        let mut fphases = StagePhases::default();
+        let fops =
+            fusion.evaluate_factors_phased_into(&exprs, &mut wf, &mut pf, &mut telf, &mut fphases);
+        let plain = fusion.evaluate_factors(&exprs);
+        assert_eq!(pf, plain.probs);
+        assert_eq!(fops, plain.ops);
+        assert!(fphases.active);
+        fphases.reset();
+        assert_eq!(fphases, StagePhases::default());
     }
 
     #[test]

@@ -20,6 +20,9 @@ pub const SCHEMA: &str = "coopmc-journal/1";
 /// Schema identifier of chain-health records interleaved into the journal.
 pub const HEALTH_SCHEMA: &str = "coopmc-health/1";
 
+/// Schema identifier of kernel-profile records appended to the journal.
+pub const PROFILE_SCHEMA: &str = "coopmc-profile/1";
+
 /// Per-color-class worker-pool sample within one sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ColorSample {
@@ -269,6 +272,126 @@ pub fn validate_health_line(v: &Value) -> Result<(), String> {
     Ok(())
 }
 
+/// One `(worker lane, kernel)` attribution row of the `coopmc-profile/1`
+/// journal section, rendered by [`render_profile_line`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileSample {
+    /// Chain identifier (0 for single-chain runs).
+    pub chain: u64,
+    /// Lane index: 0 is the coordinator, `i > 0` is pool worker `i - 1`.
+    pub worker: u64,
+    /// Kernel wire name (one of the [`crate::profile::Kernel`] names).
+    pub kernel: &'static str,
+    /// Phase the kernel belongs to (`root`, `pg`, `sd`, `pu`, `pool`).
+    pub phase: &'static str,
+    /// Number of closed spans.
+    pub calls: u64,
+    /// Inclusive wall time, ns.
+    pub total_ns: u64,
+    /// Exclusive wall time, ns (`self_ns ≤ total_ns`).
+    pub self_ns: u64,
+    /// Modeled hardware cycles attributed to this row.
+    pub modeled_cycles: u64,
+    /// Ring-capacity span losses on this lane.
+    pub spans_dropped: u64,
+    /// Span-stack imbalance events on this lane (0 on a healthy run).
+    pub unclosed: u64,
+}
+
+/// Render one `coopmc-profile/1` journal line (no trailing newline).
+pub fn render_profile_line(s: &ProfileSample) -> String {
+    let mut out = String::with_capacity(256);
+    out.push('{');
+    out.push_str("\"schema\":");
+    json::write_str(&mut out, PROFILE_SCHEMA);
+    out.push_str(&format!(",\"chain\":{},\"worker\":{}", s.chain, s.worker));
+    out.push_str(",\"kernel\":");
+    json::write_str(&mut out, s.kernel);
+    out.push_str(",\"phase\":");
+    json::write_str(&mut out, s.phase);
+    for (key, v) in [
+        ("calls", s.calls),
+        ("total_ns", s.total_ns),
+        ("self_ns", s.self_ns),
+        ("modeled_cycles", s.modeled_cycles),
+        ("spans_dropped", s.spans_dropped),
+        ("unclosed", s.unclosed),
+    ] {
+        out.push_str(&format!(",\"{key}\":{v}"));
+    }
+    out.push('}');
+    out
+}
+
+/// The fields a profile line must carry as non-negative integers.
+const PROFILE_COUNTS: [&str; 7] = [
+    "worker",
+    "calls",
+    "total_ns",
+    "self_ns",
+    "modeled_cycles",
+    "spans_dropped",
+    "unclosed",
+];
+
+/// Validate one parsed `coopmc-profile/1` line: the kernel name must be in
+/// the profiler vocabulary with its matching phase, every count must be a
+/// non-negative integer (negative durations are impossible by
+/// construction and rejected here), self time can never exceed total
+/// time, and `unclosed` must be zero — a nonzero value means the span
+/// stack was imbalanced during the run.
+pub fn validate_profile_line(v: &Value) -> Result<(), String> {
+    let schema = v
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing 'schema' field")?;
+    if schema != PROFILE_SCHEMA {
+        return Err(format!("schema '{schema}' is not '{PROFILE_SCHEMA}'"));
+    }
+    v.get("chain")
+        .and_then(Value::as_num)
+        .ok_or("missing numeric 'chain'")?;
+    for key in PROFILE_COUNTS {
+        let n = v
+            .get(key)
+            .and_then(Value::as_num)
+            .ok_or_else(|| format!("missing numeric '{key}'"))?;
+        if n < 0.0 || n != n.trunc() {
+            return Err(format!("'{key}' must be a non-negative integer, got {n}"));
+        }
+    }
+    let name = v
+        .get("kernel")
+        .and_then(Value::as_str)
+        .ok_or("missing string 'kernel'")?;
+    let kernel = crate::profile::Kernel::from_name(name)
+        .ok_or_else(|| format!("unknown kernel '{name}'"))?;
+    let phase = v
+        .get("phase")
+        .and_then(Value::as_str)
+        .ok_or("missing string 'phase'")?;
+    if phase != kernel.phase() {
+        return Err(format!(
+            "kernel '{name}' belongs to phase '{}', got '{phase}'",
+            kernel.phase()
+        ));
+    }
+    let total = v.get("total_ns").and_then(Value::as_num).unwrap_or(0.0);
+    let self_ns = v.get("self_ns").and_then(Value::as_num).unwrap_or(0.0);
+    if self_ns > total {
+        return Err(format!(
+            "self-time {self_ns} exceeds total-time {total} for kernel '{name}'"
+        ));
+    }
+    let unclosed = v.get("unclosed").and_then(Value::as_num).unwrap_or(0.0);
+    if unclosed != 0.0 {
+        return Err(format!(
+            "span-stack imbalance: {unclosed} unclosed spans on worker lane for kernel '{name}'"
+        ));
+    }
+    Ok(())
+}
+
 /// The fields a journal line must carry as non-negative integers.
 const REQUIRED_COUNTS: [&str; 14] = [
     "iteration",
@@ -356,10 +479,12 @@ pub fn validate_line(v: &Value) -> Result<(), String> {
 
 /// Validate a whole JSONL journal: every line parses, sweep lines pass
 /// [`validate_line`], interleaved `coopmc-health/1` lines pass
-/// [`validate_health_line`], and iteration numbers are strictly increasing
-/// within each chain (sweep and health lines track monotonicity
-/// independently — a health record shares the iteration of the sweep that
-/// refreshed it). Returns the number of validated lines.
+/// [`validate_health_line`], appended `coopmc-profile/1` lines pass
+/// [`validate_profile_line`], and iteration numbers are strictly
+/// increasing within each chain (sweep and health lines track
+/// monotonicity independently — a health record shares the iteration of
+/// the sweep that refreshed it; profile lines are per-run aggregates with
+/// no iteration). Returns the number of validated lines.
 pub fn validate_journal(text: &str) -> Result<usize, String> {
     let mut last_iter: std::collections::BTreeMap<(u64, bool), u64> =
         std::collections::BTreeMap::new();
@@ -370,6 +495,11 @@ pub fn validate_journal(text: &str) -> Result<usize, String> {
         }
         let v = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
         let schema = v.get("schema").and_then(Value::as_str).unwrap_or("");
+        if schema == PROFILE_SCHEMA {
+            validate_profile_line(&v).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            lines += 1;
+            continue;
+        }
         let is_health = schema == HEALTH_SCHEMA;
         if is_health {
             validate_health_line(&v).map_err(|e| format!("line {}: {e}", lineno + 1))?;
@@ -547,6 +677,71 @@ mod tests {
         // The classic split estimator may legitimately dip below 1.
         let v = crate::json::parse(&render_health_line(&health(3))).unwrap();
         validate_health_line(&v).expect("rhat_split < 1 is allowed");
+    }
+
+    fn profile(kernel: &'static str, phase: &'static str) -> ProfileSample {
+        ProfileSample {
+            chain: 0,
+            worker: 1,
+            kernel,
+            phase,
+            calls: 12,
+            total_ns: 5000,
+            self_ns: 4200,
+            modeled_cycles: 640,
+            spans_dropped: 0,
+            unclosed: 0,
+        }
+    }
+
+    #[test]
+    fn profile_lines_render_validate_and_interleave() {
+        let text = format!(
+            "{}\n{}\n{}\n",
+            render_line(&sample(1), None, None),
+            render_profile_line(&profile("pg.exp_batch", "pg")),
+            render_profile_line(&profile("sd.sample_rows", "sd")),
+        );
+        assert_eq!(validate_journal(&text).unwrap(), 3);
+    }
+
+    #[test]
+    fn profile_self_exceeding_total_is_rejected() {
+        let mut p = profile("pu.update", "pu");
+        p.self_ns = p.total_ns + 1;
+        let v = crate::json::parse(&render_profile_line(&p)).unwrap();
+        let err = validate_profile_line(&v).unwrap_err();
+        assert!(err.contains("self-time"), "{err}");
+    }
+
+    #[test]
+    fn profile_unknown_kernel_is_rejected() {
+        let p = profile("pg.bogus", "pg");
+        let v = crate::json::parse(&render_profile_line(&p)).unwrap();
+        let err = validate_profile_line(&v).unwrap_err();
+        assert!(err.contains("unknown kernel"), "{err}");
+    }
+
+    #[test]
+    fn profile_phase_mismatch_is_rejected() {
+        let p = profile("pg.dynorm", "sd");
+        let v = crate::json::parse(&render_profile_line(&p)).unwrap();
+        let err = validate_profile_line(&v).unwrap_err();
+        assert!(err.contains("phase"), "{err}");
+    }
+
+    #[test]
+    fn profile_imbalance_and_negative_durations_are_rejected() {
+        let mut p = profile("sweep", "root");
+        p.unclosed = 2;
+        let v = crate::json::parse(&render_profile_line(&p)).unwrap();
+        let err = validate_profile_line(&v).unwrap_err();
+        assert!(err.contains("span-stack imbalance"), "{err}");
+
+        let line = render_profile_line(&profile("sweep", "root")).replace("5000", "-5000");
+        let v = crate::json::parse(&line).unwrap();
+        let err = validate_profile_line(&v).unwrap_err();
+        assert!(err.contains("non-negative"), "{err}");
     }
 
     #[test]

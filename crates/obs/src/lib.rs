@@ -17,19 +17,30 @@
 //!    statistics and worker-pool utilization, plus a Chrome-trace export
 //!    of spans for `chrome://tracing`.
 //!
+//! 4. **Profiling** ([`profile`]) — a hierarchical kernel-span profiler
+//!    ([`SpanProfiler`]) behind the same static-dispatch `prof_*` hooks,
+//!    with fixed-capacity per-worker span rings, per-`(lane, kernel)`
+//!    self/total attribution and modeled-cycle tallies, exported as
+//!    collapsed-stack flamegraph text, a `coopmc-profile/1` journal
+//!    section and Chrome-trace span merges.
+//!
 //! The `coopmc-obs-check` binary validates a journal file against the
-//! schema; CI runs it on a freshly traced chain.
+//! schemas; CI runs it on a freshly traced chain.
 
 pub mod health;
 pub mod journal;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod trace;
 
 pub use health::{
     ChainHealth, ConvergenceController, Decision, EarlyStop, HealthConfig, HealthEvent,
     HealthEventKind, HealthRecord, NoControl, StopInfo,
 };
-pub use journal::{ColorSample, SweepSample, HEALTH_SCHEMA, SCHEMA};
-pub use metrics::{counter, counter_with, gauge, gauge_with, histogram, log2_buckets, render};
+pub use journal::{ColorSample, ProfileSample, SweepSample, HEALTH_SCHEMA, PROFILE_SCHEMA, SCHEMA};
+pub use metrics::{
+    counter, counter_with, describe, gauge, gauge_with, histogram, log2_buckets, render,
+};
+pub use profile::{Kernel, KernelReport, Profiled, SpanProfiler};
 pub use trace::{NoopRecorder, Recorder, TraceRecorder};

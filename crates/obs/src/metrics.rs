@@ -166,6 +166,8 @@ type Key = (String, Vec<(String, String)>);
 #[derive(Debug, Default)]
 pub struct Registry {
     metrics: Mutex<BTreeMap<Key, Metric>>,
+    /// Per-family `# HELP` text, keyed by metric name.
+    helps: Mutex<BTreeMap<String, String>>,
 }
 
 impl Registry {
@@ -228,10 +230,23 @@ impl Registry {
         }
     }
 
+    /// Attach `# HELP` text to the metric family `name`, emitted once per
+    /// family by [`Registry::render`]. Later calls overwrite earlier ones.
+    pub fn describe(&self, name: &str, help: &str) {
+        self.helps
+            .lock()
+            .unwrap()
+            .insert(name.to_owned(), help.to_owned());
+    }
+
     /// Render every registered metric in the Prometheus text exposition
-    /// format (`# TYPE` headers, one sample line per series).
+    /// format. `# HELP` (when described) and `# TYPE` headers are emitted
+    /// exactly once per metric family, followed by one sample line per
+    /// series; label values are escaped per the exposition format
+    /// (`\` → `\\`, `"` → `\"`, newline → `\n`).
     pub fn render(&self) -> String {
         let map = self.metrics.lock().unwrap();
+        let helps = self.helps.lock().unwrap();
         let mut out = String::new();
         let mut last_name = "";
         for ((name, labels), metric) in map.iter() {
@@ -241,6 +256,12 @@ impl Registry {
                     Metric::Gauge(_) => "gauge",
                     Metric::Histogram(_) => "histogram",
                 };
+                if let Some(help) = helps.get(name) {
+                    out.push_str(&format!(
+                        "# HELP {name} {}\n",
+                        help.replace('\\', "\\\\").replace('\n', "\\n")
+                    ));
+                }
                 out.push_str(&format!("# TYPE {name} {kind}\n"));
                 last_name = name;
             }
@@ -305,7 +326,14 @@ fn render_labels(labels: &[(String, String)]) -> String {
     }
     let body: Vec<String> = labels
         .iter()
-        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .map(|(k, v)| {
+            format!(
+                "{k}=\"{}\"",
+                v.replace('\\', "\\\\")
+                    .replace('"', "\\\"")
+                    .replace('\n', "\\n")
+            )
+        })
         .collect();
     format!("{{{}}}", body.join(","))
 }
@@ -340,6 +368,11 @@ pub fn gauge_with(name: &str, labels: &[(&str, &str)]) -> &'static Gauge {
 /// Get or create a label-free histogram in the global registry.
 pub fn histogram(name: &str, bounds: &[f64]) -> &'static Histogram {
     global().histogram(name, &[], bounds)
+}
+
+/// Attach `# HELP` text to a metric family in the global registry.
+pub fn describe(name: &str, help: &str) {
+    global().describe(name, help)
 }
 
 /// Render the global registry in the Prometheus text format.
@@ -497,5 +530,48 @@ mod tests {
         assert!(text.contains("c{w=\"1\"} 2"));
         // One TYPE header for both series.
         assert_eq!(text.matches("# TYPE c counter").count(), 1);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter("esc", &[("path", "a\\b\"c\nd")]).add(1);
+        let text = r.render();
+        assert!(
+            text.contains(r#"esc{path="a\\b\"c\nd"} 1"#),
+            "escaped series line missing in:\n{text}"
+        );
+        // The raw newline must never reach the exposition output: every
+        // sample stays on one physical line.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.contains(' '),
+                "sample split across lines: {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn help_and_type_are_emitted_exactly_once_per_family() {
+        let r = Registry::new();
+        r.describe("fam", "counts things\nacross lines \\ with escapes");
+        r.counter("fam", &[("w", "0")]).add(1);
+        r.counter("fam", &[("w", "1")]).add(2);
+        r.gauge("other", &[]).set(1.0);
+        let text = r.render();
+        assert_eq!(
+            text.matches("# HELP fam counts things\\nacross lines \\\\ with escapes")
+                .count(),
+            1,
+            "HELP must appear exactly once, escaped:\n{text}"
+        );
+        assert_eq!(text.matches("# TYPE fam counter").count(), 1);
+        // Families without a description get no HELP line at all.
+        assert_eq!(text.matches("# HELP other").count(), 0);
+        assert_eq!(text.matches("# TYPE other gauge").count(), 1);
+        // HELP precedes TYPE for the described family.
+        let help_at = text.find("# HELP fam").unwrap();
+        let type_at = text.find("# TYPE fam").unwrap();
+        assert!(help_at < type_at);
     }
 }

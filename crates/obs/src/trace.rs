@@ -19,6 +19,7 @@ use std::time::Instant;
 use crate::health::{ChainHealth, HealthConfig, HealthRecord};
 use crate::journal::{render_health_line, render_line, SweepSample};
 use crate::metrics;
+use crate::profile::Kernel;
 
 /// A sink for sweep samples, spans and chain statistics.
 ///
@@ -72,6 +73,38 @@ pub trait Recorder: Sync {
     fn health(&self, record: &HealthRecord) {
         let _ = record;
     }
+
+    /// Whether kernel-level span profiling is on. Engines guard the extra
+    /// per-kernel timing behind this, independently of [`Recorder::enabled`]
+    /// (a run can profile without journaling and vice versa).
+    #[inline]
+    fn prof_enabled(&self) -> bool {
+        false
+    }
+
+    /// Open a hierarchical kernel span on a worker lane.
+    #[inline]
+    fn prof_begin(&self, lane: usize, kernel: Kernel) {
+        let _ = (lane, kernel);
+    }
+
+    /// Close the innermost kernel span on a worker lane.
+    #[inline]
+    fn prof_end(&self, lane: usize, kernel: Kernel) {
+        let _ = (lane, kernel);
+    }
+
+    /// Record an already-timed leaf kernel span ending now.
+    #[inline]
+    fn prof_leaf(&self, lane: usize, kernel: Kernel, dur_ns: u64) {
+        let _ = (lane, kernel, dur_ns);
+    }
+
+    /// Attribute modeled hardware cycles to `(lane, kernel)`.
+    #[inline]
+    fn prof_cycles(&self, lane: usize, kernel: Kernel, cycles: u64) {
+        let _ = (lane, kernel, cycles);
+    }
 }
 
 /// The zero-cost disabled recorder: every method is an inlined no-op.
@@ -114,6 +147,31 @@ impl<T: Recorder + ?Sized> Recorder for &T {
     #[inline]
     fn health(&self, record: &HealthRecord) {
         (**self).health(record)
+    }
+
+    #[inline]
+    fn prof_enabled(&self) -> bool {
+        (**self).prof_enabled()
+    }
+
+    #[inline]
+    fn prof_begin(&self, lane: usize, kernel: Kernel) {
+        (**self).prof_begin(lane, kernel)
+    }
+
+    #[inline]
+    fn prof_end(&self, lane: usize, kernel: Kernel) {
+        (**self).prof_end(lane, kernel)
+    }
+
+    #[inline]
+    fn prof_leaf(&self, lane: usize, kernel: Kernel, dur_ns: u64) {
+        (**self).prof_leaf(lane, kernel, dur_ns)
+    }
+
+    #[inline]
+    fn prof_cycles(&self, lane: usize, kernel: Kernel, cycles: u64) {
+        (**self).prof_cycles(lane, kernel, cycles)
     }
 }
 

@@ -26,11 +26,12 @@ use coopmc::core::parallel::ChromaticEngine;
 use coopmc::core::pipeline::{CoopMcPipeline, PipelineConfig, ProbabilityPipeline};
 use coopmc::hw::accel::case_study_table;
 use coopmc::hw::area::{sampler_area, SamplerKind};
+use coopmc::hw::reconcile::divergence_ledger;
 use coopmc::hw::roofline::roofline;
 use coopmc::models::workloads::{all_workloads, BuiltWorkload, WorkloadSpec};
 use coopmc::models::GibbsModel;
 use coopmc::obs::health::{ChainHealth, ConvergenceController, Decision, EarlyStop, HealthConfig};
-use coopmc::obs::{Recorder, TraceRecorder};
+use coopmc::obs::{NoopRecorder, Profiled, Recorder, SpanProfiler, TraceRecorder};
 use coopmc::rng::{HwRng, SplitMix64};
 use coopmc::sampler::{AliasSampler, PipeTreeSampler, Sampler, SequentialSampler, TreeSampler};
 
@@ -49,6 +50,9 @@ struct RunArgs {
     journal_out: Option<String>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    profile: bool,
+    flame_out: Option<String>,
+    profile_out: Option<String>,
 }
 
 impl Default for RunArgs {
@@ -66,6 +70,9 @@ impl Default for RunArgs {
             journal_out: None,
             trace_out: None,
             metrics_out: None,
+            profile: false,
+            flame_out: None,
+            profile_out: None,
         }
     }
 }
@@ -75,6 +82,12 @@ impl RunArgs {
     /// implied by an early-stop threshold).
     fn health_enabled(&self) -> bool {
         self.health || self.early_stop_rhat.is_some() || self.early_stop_ess.is_some()
+    }
+
+    /// Whether the kernel profiler runs (requested directly or implied by a
+    /// profiler output file).
+    fn profile_enabled(&self) -> bool {
+        self.profile || self.flame_out.is_some() || self.profile_out.is_some()
     }
 }
 
@@ -167,6 +180,9 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             "--journal-out" => out.journal_out = Some(value(&mut it)?),
             "--trace-out" => out.trace_out = Some(value(&mut it)?),
             "--metrics-out" => out.metrics_out = Some(value(&mut it)?),
+            "--profile" => out.profile = true,
+            "--flame-out" => out.flame_out = Some(value(&mut it)?),
+            "--profile-out" => out.profile_out = Some(value(&mut it)?),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -308,21 +324,27 @@ fn drive_gibbs<P, S, R, Rec, M, F>(
     }
 }
 
-fn cmd_run(args: RunArgs) -> Result<(), String> {
-    let spec = find_workload(&args.workload)
-        .ok_or_else(|| format!("no workload matches '{}'", args.workload))?;
-    println!(
-        "running {} | pipeline {:?} | sampler {} | {} sweeps | seed {} | {} thread(s)",
-        spec.name, args.pipeline, args.sampler, args.sweeps, args.seed, args.threads
-    );
+/// Divergence-ledger gate for profiled CLI runs: a modeled kernel's share
+/// of measured self time may differ from its share of modeled cycles by at
+/// most this much. Host wall-clock shares are only loosely coupled to
+/// modeled accelerator cycles, so the gate is deliberately wide — it
+/// catches attribution bugs (a kernel losing its timing leaves or its cycle
+/// feed), not model precision.
+const PROFILE_DIVERGENCE_TOLERANCE: f64 = 0.5;
+
+/// Execute the built workload with `rec` as the engines' recorder. Generic
+/// so one body serves the plain `&TraceRecorder` and both [`Profiled`]
+/// shapes (journal + profiler, profiler only).
+fn run_workload<Rec: Recorder + Copy>(
+    args: &RunArgs,
+    built: BuiltWorkload,
+    rec: Rec,
+    controller: Option<&mut EarlyStop<'_>>,
+) -> Result<(), String> {
     let tracing =
         args.journal_out.is_some() || args.trace_out.is_some() || args.metrics_out.is_some();
-    let recorder = TraceRecorder::new();
-    let mut controller = args
-        .health_enabled()
-        .then(|| build_controller(&args, tracing.then_some(&recorder as &dyn Recorder)));
-    let observer = tracing.then_some(&recorder as &dyn Recorder);
-    let built = spec.build(args.seed);
+    let observing = tracing || rec.prof_enabled();
+    let observer = observing.then_some(&rec as &dyn Recorder);
     match built {
         BuiltWorkload::Mrf(mut app) => {
             let e0 = app.mrf.energy();
@@ -336,35 +358,16 @@ fn cmd_run(args: RunArgs) -> Result<(), String> {
                     }
                 };
                 let pipeline = CoopMcPipeline::new(size, bits);
-                match (tracing, controller.as_mut()) {
+                match (observing, controller) {
                     (true, Some(ctl)) => {
-                        ChromaticEngine::with_recorder(
-                            pipeline,
-                            args.threads,
-                            args.seed,
-                            &recorder,
-                        )
-                        .run_controlled(
-                            &mut app.mrf,
-                            args.sweeps,
-                            |m| Some(m.energy()),
-                            ctl,
-                        );
+                        ChromaticEngine::with_recorder(pipeline, args.threads, args.seed, rec)
+                            .run_controlled(&mut app.mrf, args.sweeps, |m| Some(m.energy()), ctl);
                     }
                     (true, None) => {
-                        ChromaticEngine::with_recorder(
-                            pipeline,
-                            args.threads,
-                            args.seed,
-                            &recorder,
-                        )
-                        .run_observed(
-                            &mut app.mrf,
-                            args.sweeps,
-                            |it, m| {
-                                recorder.observe_stat(0, it, m.energy());
-                            },
-                        );
+                        ChromaticEngine::with_recorder(pipeline, args.threads, args.seed, rec)
+                            .run_observed(&mut app.mrf, args.sweeps, |it, m| {
+                                rec.observe_stat(0, it, m.energy());
+                            });
                     }
                     (false, Some(ctl)) => {
                         ChromaticEngine::new(pipeline, args.threads, args.seed).run_controlled(
@@ -379,12 +382,12 @@ fn cmd_run(args: RunArgs) -> Result<(), String> {
                             .run(&mut app.mrf, args.sweeps);
                     }
                 }
-            } else if tracing || controller.is_some() {
+            } else if observing || controller.is_some() {
                 let mut engine = GibbsEngine::with_recorder(
                     args.pipeline.build(),
                     TreeSampler::new(),
                     SplitMix64::new(args.seed),
-                    &recorder,
+                    rec,
                 );
                 drive_gibbs(
                     &mut engine,
@@ -392,7 +395,7 @@ fn cmd_run(args: RunArgs) -> Result<(), String> {
                     args.sweeps,
                     observer,
                     |m| m.energy(),
-                    controller.as_mut(),
+                    controller,
                 );
             } else {
                 let mut engine = GibbsEngine::new(
@@ -406,12 +409,12 @@ fn cmd_run(args: RunArgs) -> Result<(), String> {
         }
         BuiltWorkload::Bn(mut net) => {
             let mut counter = coopmc::models::bn::MarginalCounter::new(&net);
-            if tracing || controller.is_some() {
+            if observing || controller.is_some() {
                 let mut engine = GibbsEngine::with_recorder(
                     args.pipeline.build(),
                     build_sampler(&args.sampler),
                     SplitMix64::new(args.seed),
-                    &recorder,
+                    rec,
                 );
                 drive_gibbs(
                     &mut engine,
@@ -422,7 +425,7 @@ fn cmd_run(args: RunArgs) -> Result<(), String> {
                         counter.record(n);
                         n.joint_prob().ln()
                     },
-                    controller.as_mut(),
+                    controller,
                 );
             } else {
                 let mut engine = GibbsEngine::new(
@@ -447,12 +450,12 @@ fn cmd_run(args: RunArgs) -> Result<(), String> {
         }
         BuiltWorkload::Lda(mut lda) => {
             let ll0 = lda.log_likelihood();
-            if tracing || controller.is_some() {
+            if observing || controller.is_some() {
                 let mut engine = GibbsEngine::with_recorder(
                     args.pipeline.build(),
                     build_sampler(&args.sampler),
                     SplitMix64::new(args.seed),
-                    &recorder,
+                    rec,
                 );
                 drive_gibbs(
                     &mut engine,
@@ -460,7 +463,7 @@ fn cmd_run(args: RunArgs) -> Result<(), String> {
                     args.sweeps,
                     observer,
                     |l| l.log_likelihood(),
-                    controller.as_mut(),
+                    controller,
                 );
             } else {
                 let mut engine = GibbsEngine::new(
@@ -473,17 +476,88 @@ fn cmd_run(args: RunArgs) -> Result<(), String> {
             println!("log-likelihood: {ll0:.0} -> {:.0}", lda.log_likelihood());
         }
     }
+    Ok(())
+}
+
+fn cmd_run(args: RunArgs) -> Result<(), String> {
+    let spec = find_workload(&args.workload)
+        .ok_or_else(|| format!("no workload matches '{}'", args.workload))?;
+    println!(
+        "running {} | pipeline {:?} | sampler {} | {} sweeps | seed {} | {} thread(s)",
+        spec.name, args.pipeline, args.sampler, args.sweeps, args.seed, args.threads
+    );
+    let tracing =
+        args.journal_out.is_some() || args.trace_out.is_some() || args.metrics_out.is_some();
+    let recorder = TraceRecorder::new();
+    // Lane 0 is the coordinator; lanes 1..=threads are pool worker slots.
+    let profiler = args
+        .profile_enabled()
+        .then(|| SpanProfiler::new(args.threads + 1));
+    let mut controller = args
+        .health_enabled()
+        .then(|| build_controller(&args, tracing.then_some(&recorder as &dyn Recorder)));
+    let built = spec.build(args.seed);
+    match (&profiler, tracing) {
+        (Some(p), true) => run_workload(
+            &args,
+            built,
+            Profiled::new(&recorder, p),
+            controller.as_mut(),
+        )?,
+        (Some(p), false) => run_workload(
+            &args,
+            built,
+            Profiled::new(NoopRecorder, p),
+            controller.as_mut(),
+        )?,
+        (None, _) => run_workload(&args, built, &recorder, controller.as_mut())?,
+    }
     if let Some(ctl) = &controller {
         report_health(ctl, args.sweeps);
     }
+    if let Some(p) = &profiler {
+        if let Some(path) = &args.flame_out {
+            write_output(path, &p.flamegraph())?;
+        }
+        if let Some(path) = &args.profile_out {
+            write_output(path, &p.journal_jsonl(0))?;
+        }
+        if args.trace_out.is_some() {
+            // Merge kernel spans into the Chrome trace. The profiler and
+            // the trace recorder run on different epochs; skew maps the
+            // profiler's clock onto the recorder's. Lanes become pseudo
+            // thread ids above 1000 so they sort after the chain rows.
+            let skew = recorder.now_ns().saturating_sub(p.now_ns());
+            for (lane, kernel, start_ns, dur_ns) in p.ring_spans() {
+                recorder.span(
+                    kernel.name(),
+                    "kernel",
+                    start_ns + skew,
+                    dur_ns,
+                    1000 + lane as u64,
+                );
+            }
+        }
+    }
     if let Some(path) = &args.journal_out {
-        write_output(path, &recorder.journal_jsonl())?;
+        let mut journal = recorder.journal_jsonl();
+        if let Some(p) = &profiler {
+            journal.push_str(&p.journal_jsonl(0));
+        }
+        write_output(path, &journal)?;
     }
     if let Some(path) = &args.trace_out {
         write_output(path, &recorder.chrome_trace_json())?;
     }
     if let Some(path) = &args.metrics_out {
         write_output(path, &coopmc::obs::render())?;
+    }
+    if let Some(p) = &profiler {
+        // The divergence ledger is the profiled run's exit gate: artifacts
+        // above are written first so a failing run still leaves evidence.
+        let ledger = divergence_ledger(&p.kernel_reports(), PROFILE_DIVERGENCE_TOLERANCE)?;
+        print!("{}", ledger.report());
+        ledger.check()?;
     }
     Ok(())
 }
@@ -554,7 +628,7 @@ fn cmd_verify(
 }
 
 fn usage() -> &'static str {
-    "usage:\n  coopmc list\n  coopmc run <workload> [--pipeline SPEC] [--sampler seq|tree|pipe|alias] [--sweeps N] [--seed S] [--threads T] [--health] [--early-stop-rhat R] [--early-stop-ess E] [--journal-out F] [--trace-out F] [--metrics-out F]\n  coopmc hw [--labels N]\n  coopmc verify [--json] [--demo-broken] [--only SECTION] [--export-schematic DIR]"
+    "usage:\n  coopmc list\n  coopmc run <workload> [--pipeline SPEC] [--sampler seq|tree|pipe|alias] [--sweeps N] [--seed S] [--threads T] [--health] [--early-stop-rhat R] [--early-stop-ess E] [--journal-out F] [--trace-out F] [--metrics-out F] [--profile] [--flame-out F] [--profile-out F]\n  coopmc hw [--labels N]\n  coopmc verify [--json] [--demo-broken] [--only SECTION] [--export-schematic DIR]"
 }
 
 fn main() -> ExitCode {
@@ -671,6 +745,28 @@ mod tests {
         assert!(parse_run_args(&to_vec(&["w", "--early-stop-ess", "0"])).is_err());
         assert!(parse_run_args(&to_vec(&["w", "--early-stop-ess", "-5"])).is_err());
         assert!(parse_run_args(&to_vec(&["w", "--early-stop-ess"])).is_err());
+    }
+
+    #[test]
+    fn profile_flags_parse_and_imply_profiling() {
+        let to_vec = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        let plain = parse_run_args(&to_vec(&["w"])).unwrap();
+        assert!(!plain.profile_enabled());
+
+        let prof = parse_run_args(&to_vec(&["w", "--profile"])).unwrap();
+        assert!(prof.profile && prof.profile_enabled());
+        assert_eq!(prof.flame_out, None);
+
+        let flame = parse_run_args(&to_vec(&["w", "--flame-out", "f.txt"])).unwrap();
+        assert!(flame.profile_enabled(), "--flame-out implies profiling");
+        assert_eq!(flame.flame_out.as_deref(), Some("f.txt"));
+
+        let out = parse_run_args(&to_vec(&["w", "--profile-out", "p.jsonl"])).unwrap();
+        assert!(out.profile_enabled(), "--profile-out implies profiling");
+        assert_eq!(out.profile_out.as_deref(), Some("p.jsonl"));
+
+        assert!(parse_run_args(&to_vec(&["w", "--flame-out"])).is_err());
+        assert!(parse_run_args(&to_vec(&["w", "--profile-out"])).is_err());
     }
 
     #[test]

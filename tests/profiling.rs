@@ -1,0 +1,200 @@
+//! End-to-end contracts of the kernel-level span profiler.
+//!
+//! Four claims, each load-bearing for the observability story:
+//!
+//! 1. **Golden chains.** With profiling off, the float, CoopMC and
+//!    chromatic chains land on the exact label checksums recorded before
+//!    the profiler existed — the instrumentation hooks cost nothing and
+//!    change nothing when disabled.
+//! 2. **Chain invisibility.** With profiling *on*, the chains are
+//!    bit-identical to the profile-off chains.
+//! 3. **Flamegraph accounting.** The collapsed-stack self times of a real
+//!    profiled run sum to the measured wall time of the sweeps (within
+//!    5%): no kernel time is double-counted or lost.
+//! 4. **Divergence ledger.** The modeled-vs-measured ledger reconciles a
+//!    real run at the CLI's shipping tolerance and still *fails* at an
+//!    absurdly tight one — the gate is live, not decorative.
+
+use std::time::Instant;
+
+use coopmc::core::engine::{GibbsEngine, RunStats};
+use coopmc::core::parallel::ChromaticEngine;
+use coopmc::core::pipeline::{CoopMcPipeline, FloatPipeline};
+use coopmc::hw::reconcile::divergence_ledger;
+use coopmc::models::mrf::image_segmentation;
+use coopmc::models::GibbsModel;
+use coopmc::obs::{Kernel, NoopRecorder, Profiled, SpanProfiler};
+use coopmc::rng::SplitMix64;
+use coopmc::sampler::TreeSampler;
+
+/// FNV-1a over the chain's final labels: the golden-checksum fingerprint.
+fn label_checksum(labels: &[usize]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &l in labels {
+        h ^= l as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// Sequential chain labels for `pipeline`, optionally profiled.
+fn seq_labels<P: coopmc::core::pipeline::ProbabilityPipeline>(
+    pipeline: P,
+    seed: u64,
+    sweeps: u64,
+    profiler: Option<&SpanProfiler>,
+    dims: (usize, usize, u64),
+) -> Vec<usize> {
+    let mut app = image_segmentation(dims.0, dims.1, dims.2);
+    let mut stats = RunStats::default();
+    match profiler {
+        Some(p) => {
+            let mut engine = GibbsEngine::with_recorder(
+                pipeline,
+                TreeSampler::new(),
+                SplitMix64::new(seed),
+                Profiled::new(NoopRecorder, p),
+            );
+            for _ in 0..sweeps {
+                engine.sweep(&mut app.mrf, &mut stats);
+            }
+        }
+        None => {
+            let mut engine = GibbsEngine::new(pipeline, TreeSampler::new(), SplitMix64::new(seed));
+            for _ in 0..sweeps {
+                engine.sweep(&mut app.mrf, &mut stats);
+            }
+        }
+    }
+    app.mrf.labels().to_vec()
+}
+
+/// Chromatic chain labels, optionally profiled.
+fn chromatic_labels(profiler: Option<&SpanProfiler>) -> Vec<usize> {
+    let mut app = image_segmentation(20, 16, 21);
+    match profiler {
+        Some(p) => {
+            let engine = ChromaticEngine::with_recorder(CoopMcPipeline::new(64, 8), 3, 909, p);
+            for it in 0..6 {
+                engine.sweep(&mut app.mrf, it);
+            }
+        }
+        None => {
+            let engine = ChromaticEngine::new(CoopMcPipeline::new(64, 8), 3, 909);
+            for it in 0..6 {
+                engine.sweep(&mut app.mrf, it);
+            }
+        }
+    }
+    app.mrf.labels().to_vec()
+}
+
+#[test]
+fn profile_off_chains_match_pre_profiler_goldens() {
+    // Recorded on the commit immediately before the profiler landed; any
+    // drift means the hooks are not free when disabled.
+    let float = seq_labels(FloatPipeline::new(), 1, 3, None, (12, 12, 3));
+    assert_eq!(
+        label_checksum(&float),
+        0xbfe7_fcc6_87a4_364f,
+        "float chain drifted"
+    );
+    let coopmc = seq_labels(CoopMcPipeline::new(64, 8), 1, 3, None, (12, 12, 3));
+    assert_eq!(
+        label_checksum(&coopmc),
+        0xe515_724a_477e_41fe,
+        "coopmc chain drifted"
+    );
+    let chromatic = chromatic_labels(None);
+    assert_eq!(
+        label_checksum(&chromatic),
+        0xe21b_a970_2601_ecbe,
+        "chromatic chain drifted"
+    );
+}
+
+#[test]
+fn profile_on_chains_are_bit_identical_to_profile_off() {
+    let p = SpanProfiler::new(1);
+    let on = seq_labels(CoopMcPipeline::new(64, 8), 1, 3, Some(&p), (12, 12, 3));
+    let off = seq_labels(CoopMcPipeline::new(64, 8), 1, 3, None, (12, 12, 3));
+    assert_eq!(on, off, "sequential profiling must be chain-invisible");
+    assert!(p.kernel_reports().iter().any(|r| r.kernel == Kernel::Sweep));
+
+    let p = SpanProfiler::new(4);
+    let on = chromatic_labels(Some(&p));
+    let off = chromatic_labels(None);
+    assert_eq!(on, off, "chromatic profiling must be chain-invisible");
+}
+
+#[test]
+fn flamegraph_self_times_sum_to_measured_wall_within_5_percent() {
+    let profiler = SpanProfiler::new(1);
+    let mut app = image_segmentation(48, 48, 21);
+    let mut engine = GibbsEngine::with_recorder(
+        CoopMcPipeline::new(64, 8),
+        TreeSampler::new(),
+        SplitMix64::new(5),
+        Profiled::new(NoopRecorder, &profiler),
+    );
+    let mut stats = RunStats::default();
+    // Every span the engine opens lives inside a sweep, so walling the
+    // whole sweep loop leaves only the loop's own bookkeeping unspanned.
+    let start = Instant::now();
+    for _ in 0..7 {
+        engine.sweep(&mut app.mrf, &mut stats);
+    }
+    let wall_ns = start.elapsed().as_nanos() as f64;
+
+    // Collapsed-stack lines are "<stack> <self_ns>"; summing every line's
+    // self time reconstructs the inclusive root total.
+    let flame_ns: f64 = profiler
+        .flamegraph()
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| {
+            l.rsplit(' ')
+                .next()
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or_else(|| panic!("malformed flamegraph line: {l}"))
+        })
+        .sum();
+    let rel = (flame_ns - wall_ns).abs() / wall_ns;
+    assert!(
+        rel < 0.05,
+        "flamegraph self-times ({flame_ns:.0} ns) diverge {:.1}% from the \
+         measured wall ({wall_ns:.0} ns)",
+        rel * 100.0
+    );
+}
+
+#[test]
+fn divergence_ledger_reconciles_a_real_run_and_the_gate_is_live() {
+    let profiler = SpanProfiler::new(1);
+    let mut app = image_segmentation(32, 32, 21);
+    let mut engine = GibbsEngine::with_recorder(
+        CoopMcPipeline::new(64, 8),
+        TreeSampler::new(),
+        SplitMix64::new(9),
+        Profiled::new(NoopRecorder, &profiler),
+    );
+    let mut stats = RunStats::default();
+    for _ in 0..5 {
+        engine.sweep(&mut app.mrf, &mut stats);
+    }
+    let reports = profiler.kernel_reports();
+
+    // The CLI's shipping tolerance must reconcile every gated kernel.
+    let ledger = divergence_ledger(&reports, 0.5).expect("ledger must build from a real run");
+    ledger
+        .check()
+        .expect("a real run must reconcile at the shipping tolerance");
+    assert!(ledger.report().contains("[not gated]"));
+
+    // And the gate actually fires: no real measurement aligns to 1e-9.
+    let tight = divergence_ledger(&reports, 1e-9).expect("ledger must build");
+    assert!(
+        tight.check().is_err(),
+        "an absurdly tight tolerance must fail — otherwise the gate is decorative"
+    );
+}
